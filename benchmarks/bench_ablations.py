@@ -1,0 +1,62 @@
+"""Benches: ablations of the model's design choices (DESIGN.md §5).
+
+* ON/OFF-chip decomposition removed → Table-1-like frequency errors.
+* Assumption 2 violated (CPU-bound messaging) → SP errors inflate.
+* Assumption 1 relaxed (DOP workload) → quantifies the paper's named
+  future-work direction on LU.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.platform import PAPER_FREQUENCIES, measure_campaign
+from repro.experiments.table7 import TABLE7_COUNTS
+from repro.npb import FTBenchmark, LUBenchmark
+
+
+@pytest.mark.paper_artifact("Ablation: ON/OFF-chip split")
+def bench_ablation_onoff(benchmark, print_once):
+    measure_campaign(FTBenchmark())  # warm
+
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation_onoff"), rounds=3, iterations=1
+    )
+    print_once("ablation_onoff", result.text)
+    assert result.data["without_split_max"] > 3 * result.data["with_split_max"]
+
+
+@pytest.mark.paper_artifact("Ablation: Assumption 2")
+def bench_ablation_overhead(benchmark, print_once):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation_overhead"), rounds=1, iterations=1
+    )
+    print_once("ablation_overhead", result.text)
+    assert result.data["heavy_max"] > 2 * result.data["normal_max"]
+
+
+@pytest.mark.paper_artifact("Ablation: Assumption 1 / DOP")
+def bench_ablation_dop(benchmark, print_once):
+    measure_campaign(LUBenchmark(), TABLE7_COUNTS, PAPER_FREQUENCIES)  # warm
+
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation_dop"), rounds=1, iterations=1
+    )
+    print_once("ablation_dop", result.text)
+    # Both variants must stay within the paper's overall error band.
+    assert max(result.data["flat_errors"].values()) < 0.13
+    assert max(result.data["dop_errors"].values()) < 0.13
+
+
+@pytest.mark.paper_artifact("Ablation: FT decomposition")
+def bench_ablation_decomposition(benchmark, print_once):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation_decomposition"),
+        rounds=1,
+        iterations=1,
+    )
+    print_once("ablation_decomposition", result.text)
+    data = result.data
+    assert (
+        data["100Mb (paper)/1d"]["speedup"]
+        > data["100Mb (paper)/2d"]["speedup"]
+    )

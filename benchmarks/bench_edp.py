@@ -1,0 +1,29 @@
+"""Bench: the abstract's claim — performance and energy-delay products
+predicted within 7 % across configurations."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.platform import PAPER_FREQUENCIES, measure_campaign
+from repro.npb import EPBenchmark, FTBenchmark, LUBenchmark
+
+
+@pytest.mark.paper_artifact("Abstract: EDP within 7%")
+def bench_edp(benchmark, print_once):
+    # Warm all three campaigns outside the timer.
+    measure_campaign(EPBenchmark())
+    measure_campaign(FTBenchmark())
+    measure_campaign(LUBenchmark(), (1, 2, 4, 8), PAPER_FREQUENCIES)
+
+    result = benchmark.pedantic(
+        lambda: run_experiment("edp"), rounds=2, iterations=1
+    )
+    print_once("edp", result.text)
+
+    # Acceptance (DESIGN.md EDP): within 7 % for EP and FT across the
+    # full grid; LU's worst single cell exceeds it (documented in
+    # EXPERIMENTS.md) but its mean stays small.
+    per = result.data["per_benchmark"]
+    assert per["ep"]["edp_max_error"] < 0.07
+    assert per["ft"]["edp_max_error"] < 0.07
+    assert per["lu"]["edp_mean_error"] < 0.05

@@ -1,0 +1,30 @@
+"""Bench: extrapolation to the 32-node cluster the authors lacked.
+
+Regenerates the footnote-3 experiment: FP fitted from small-config
+measurements only, validated against simulated 16/32-node jobs, with
+and without the DOP decomposition.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.platform import PAPER_FREQUENCIES, measure_campaign
+from repro.npb import FTBenchmark, LUBenchmark
+
+
+@pytest.mark.paper_artifact("Footnote 3: larger-cluster prediction")
+def bench_extrapolation(benchmark, print_once):
+    # Warm the heavy campaigns outside the timer.
+    measure_campaign(LUBenchmark(), (1, 16, 32), PAPER_FREQUENCIES)
+    measure_campaign(FTBenchmark(), (1, 16, 32), (min(PAPER_FREQUENCIES),))
+
+    result = benchmark.pedantic(
+        lambda: run_experiment("extrapolation"), rounds=1, iterations=1
+    )
+    print_once("extrapolation", result.text)
+
+    # DOP-awareness must materially improve extrapolation at scale.
+    assert result.data["lu_dop_max_error"] < result.data["lu_max_error"]
+    assert result.data["lu_dop_max_error"] < 0.13
+    # FT's 16 -> 32 gain stays well below ideal doubling.
+    assert result.data["ft_relative_change"] < 0.60

@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 1 (EP times and 2-D speedup surface).
+
+Also checks the §4.2 claim: the Eq. 12 analytical prediction
+``S = N·f/f0`` lands within a few percent of the measured surface.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.platform import measure_campaign
+from repro.npb import EPBenchmark
+from repro.units import mhz
+
+
+@pytest.mark.paper_artifact("Figure 1")
+def bench_figure1(benchmark, print_once):
+    measure_campaign(EPBenchmark())  # warm
+
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure1"), rounds=3, iterations=1
+    )
+    print_once("figure1", result.text)
+
+    # Shape acceptance (DESIGN.md F1): near-separable surface with the
+    # paper's anchor values.
+    s = result.data["speedups"]
+    assert s[(16, mhz(600))] == pytest.approx(15.9, rel=0.02)
+    assert s[(1, mhz(1400))] == pytest.approx(2.34, rel=0.02)
+    assert s[(16, mhz(1400))] == pytest.approx(36.5, rel=0.05)
+    assert result.data["eq12_max_error"] < 0.025  # paper: 2.3 %

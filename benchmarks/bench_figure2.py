@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 2 (FT times and 2-D speedup surface)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.platform import measure_campaign
+from repro.npb import FTBenchmark
+from repro.units import mhz
+
+
+@pytest.mark.paper_artifact("Figure 2")
+def bench_figure2(benchmark, print_once):
+    measure_campaign(FTBenchmark())  # warm
+
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure2"), rounds=3, iterations=1
+    )
+    print_once("figure2", result.text)
+
+    # Shape acceptance (DESIGN.md F2): dip at 2 nodes, recovery to
+    # ~2.9 by 16 nodes, sub-linear frequency row, diminishing
+    # frequency effect.
+    assert all(result.data["observations"].values())
+    s = result.data["speedups"]
+    assert s[(2, mhz(600))] < 1.0
+    assert s[(16, mhz(600))] == pytest.approx(2.9, rel=0.15)
+    assert s[(1, mhz(1400))] == pytest.approx(1.9, rel=0.05)

@@ -1,0 +1,27 @@
+"""Bench: model-guided DVS decisions (the paper's motivating loop).
+
+The SP fit predicts per-configuration scheduling benefit without
+profiling; the bench validates the model's pick with a real scheduled
+run.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.platform import measure_campaign
+from repro.npb import FTBenchmark
+
+
+@pytest.mark.paper_artifact("Motivation: prediction replaces profiling")
+def bench_predictive_scheduling(benchmark, print_once):
+    measure_campaign(FTBenchmark())  # warm
+
+    result = benchmark.pedantic(
+        lambda: run_experiment("predictive_scheduling"),
+        rounds=1,
+        iterations=1,
+    )
+    print_once("predictive_scheduling", result.text)
+
+    assert result.data["absolute_error"] < 0.05
+    assert result.data["achieved_savings"] > 0.30

@@ -1,0 +1,24 @@
+"""Bench: slack-reclamation DVFS on an imbalanced workload.
+
+The related-work result (paper §6: Chen et al., Kappiah et al.):
+slowing down off-critical-path ranks saves energy at essentially zero
+performance cost.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.paper_artifact("Related work: slack reclamation")
+def bench_slack_savings(benchmark, print_once):
+    result = benchmark.pedantic(
+        lambda: run_experiment("slack_savings"), rounds=1, iterations=1
+    )
+    print_once("slack_savings", result.text)
+
+    assert result.data["energy_savings"] > 0.05
+    assert abs(result.data["slowdown"]) < 0.01
+    # The critical-path rank keeps the peak frequency.
+    ranks = sorted(result.data["assigned_mhz"])
+    assert result.data["assigned_mhz"][ranks[-1]] == 1400.0

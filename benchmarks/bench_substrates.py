@@ -1,0 +1,83 @@
+"""Performance microbenchmarks of the library's own substrates.
+
+Not paper artifacts — these track the simulator's throughput so
+regressions in the engine, the network model or the analytical model
+show up in CI history:
+
+* discrete-event engine: events/second,
+* simulated MPI: a 16-rank alltoall,
+* NPB model execution: one FT class-S job,
+* the analytical model: full-surface evaluation.
+"""
+
+from repro.cluster import InstructionMix, paper_cluster
+from repro.core.cpi import WorkloadRates
+from repro.core.exectime import ExecutionTimeModel
+from repro.core.speedup import PowerAwareSpeedupModel
+from repro.core.workload import Workload
+from repro.mpi import run_program
+from repro.npb import FTBenchmark, ProblemClass
+from repro.sim import Engine
+from repro.units import mhz, ns
+
+
+def bench_engine_event_throughput(benchmark):
+    """Time 10k timeout events through the engine."""
+
+    def run():
+        eng = Engine()
+
+        def prog(env):
+            for _ in range(10_000):
+                yield env.timeout(1.0)
+
+        eng.process(prog(eng))
+        eng.run()
+        return eng.now
+
+    assert benchmark(run) == 10_000.0
+
+
+def bench_alltoall_16_ranks(benchmark):
+    """Time one 16-rank simulated alltoall (240 messages)."""
+
+    def run():
+        cluster = paper_cluster(16)
+
+        def prog(ctx):
+            yield from ctx.alltoall(nbytes_per_pair=64 * 1024)
+
+        return run_program(cluster, prog).message_count
+
+    assert benchmark(run) == 16 * 15
+
+
+def bench_ft_class_s_job(benchmark):
+    """Time a full FT class-S 8-rank simulated job."""
+    ft = FTBenchmark(ProblemClass.S)
+
+    def run():
+        return ft.run(paper_cluster(8)).elapsed_s
+
+    assert benchmark(run) > 0
+
+
+def bench_model_surface_evaluation(benchmark):
+    """Time 80 analytical speedup evaluations (16 counts x 5 freqs)."""
+    rates = WorkloadRates(
+        2.19,
+        {mhz(m): ns(110) for m in (600, 800, 1000, 1200, 1400)},
+    )
+    workload = Workload.serial_parallel(
+        "bench",
+        InstructionMix(cpu=1e9),
+        InstructionMix(cpu=99e9, l1=20e9, mem=1e8),
+        max_dop=1 << 20,
+    )
+    model = PowerAwareSpeedupModel(ExecutionTimeModel(workload, rates))
+
+    def run():
+        return model.surface(range(1, 17))
+
+    surface = benchmark(run)
+    assert len(surface) == 16 * 5

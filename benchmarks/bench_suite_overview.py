@@ -1,0 +1,32 @@
+"""Bench: the suite-overview sweep (all eight codes, corner grid)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.platform import measure_campaign
+from repro.experiments.suite_overview import DEFAULT_SUITE
+from repro.npb import BENCHMARKS
+from repro.units import mhz
+
+
+@pytest.mark.paper_artifact("Suite overview")
+def bench_suite_overview(benchmark, print_once):
+    for name in DEFAULT_SUITE:  # warm all campaigns
+        measure_campaign(BENCHMARKS[name](), (1, 16), (mhz(600), mhz(1400)))
+
+    result = benchmark.pedantic(
+        lambda: run_experiment("suite_overview"), rounds=2, iterations=1
+    )
+    print_once("suite_overview", result.text)
+
+    suite = result.data["suite"]
+    # EP keeps essentially all its frequency leverage at scale; the
+    # communication-bound codes keep the least.
+    assert suite["ep"]["leverage_retained"] > 0.98
+    for comm_bound in ("ft", "cg", "is"):
+        assert suite[comm_bound]["leverage_retained"] < 0.8
+    # EP is the best combined scaler; FT/IS the worst parallel scalers.
+    best = max(suite, key=lambda k: suite[k]["combined_speedup"])
+    assert best == "ep"
+    worst = min(suite, key=lambda k: suite[k]["parallel_speedup"])
+    assert worst in ("ft", "is")

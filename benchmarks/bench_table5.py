@@ -1,0 +1,25 @@
+"""Bench: regenerate Table 5 (LU workload decomposition via counters).
+
+Times the full multi-run PAPI counter campaign on sequential LU
+(three runs at two events each — the PMU-width protocol).
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.paper_artifact("Table 5")
+def bench_table5(benchmark, print_once):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table5"), rounds=2, iterations=1
+    )
+    print_once("table5", result.text)
+
+    # Acceptance (DESIGN.md T5): the published decomposition, exactly.
+    mix = result.data["mix"]
+    assert mix["cpu"] == pytest.approx(145e9, rel=1e-6)
+    assert mix["l1"] == pytest.approx(175e9, rel=1e-6)
+    assert mix["l2"] == pytest.approx(4.71e9, rel=1e-6)
+    assert mix["mem"] == pytest.approx(3.97e9, rel=1e-6)
+    assert result.data["on_chip_fraction"] == pytest.approx(0.988, abs=0.001)

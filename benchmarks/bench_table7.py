@@ -1,0 +1,38 @@
+"""Bench: regenerate Table 7 (LU errors, fine-grain vs simplified).
+
+The heaviest reproduction: the LU measurement campaign (20 simulated
+jobs) plus the full FP pipeline (counter campaign, level probes,
+message timing).  The campaign is warmed outside the timer; the bench
+times the fitting + prediction pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.platform import PAPER_FREQUENCIES, measure_campaign
+from repro.experiments.table7 import TABLE7_COUNTS
+from repro.npb import LUBenchmark
+from repro.units import mhz
+
+
+@pytest.mark.paper_artifact("Table 7")
+def bench_table7(benchmark, print_once):
+    measure_campaign(LUBenchmark(), TABLE7_COUNTS, PAPER_FREQUENCIES)  # warm
+
+    result = benchmark.pedantic(
+        lambda: run_experiment("table7"), rounds=1, iterations=1
+    )
+    print_once("table7", result.text)
+
+    # Acceptance (DESIGN.md T7): both methods bounded (paper ~13 %);
+    # SP errors grow with f at scale; FP errors grow with N but level
+    # off with f.
+    assert result.data["fp_max_error"] < 0.13
+    assert result.data["sp_max_error"] < 0.13
+    sp, fp = result.data["sp_errors"], result.data["fp_errors"]
+    n_max = max(TABLE7_COUNTS)
+    assert sp[(n_max, mhz(1400))] > sp[(n_max, mhz(800))]
+    assert fp[(n_max, mhz(600))] > fp[(2, mhz(600))]
+    fp_growth = fp[(n_max, mhz(1400))] - fp[(n_max, mhz(800))]
+    sp_growth = sp[(n_max, mhz(1400))] - sp[(n_max, mhz(800))]
+    assert fp_growth < sp_growth

@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures and
+prints it (once) so ``pytest benchmarks/ --benchmark-only -s`` doubles
+as the full reproduction report.  The underlying measurement campaigns
+are cached by :mod:`repro.experiments.platform`, so the timed portion
+of each bench is the *experiment pipeline* (fit + predict + compare),
+re-run on warm campaign data.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): the paper table/figure a bench regenerates"
+    )
+
+
+@pytest.fixture(scope="session")
+def print_once():
+    """Print each experiment report exactly once per session."""
+    seen: set[str] = set()
+
+    def _print(key: str, text: str) -> None:
+        if key not in seen:
+            seen.add(key)
+            print(f"\n{text}\n")
+
+    return _print

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Bring your own workload: model a custom application and analyze it.
+
+Everything the library does for the NPB codes works for any workload
+you can describe as phases.  This example models a made-up
+"halo-stencil" application — an iterative 3-D stencil with
+nearest-neighbour halo exchanges and a periodic global residual check
+— then runs the full analysis pipeline on it:
+
+* simulate it across the (N, f) grid,
+* inspect its measured power-aware speedup surface,
+* fit the SP model and check prediction quality,
+* ask where its energy-delay sweet spot sits.
+
+Run:  python examples/custom_benchmark.py
+"""
+
+from repro import (
+    EnergyModel,
+    InstructionMix,
+    Predictor,
+    SimplifiedParameterization,
+    SweetSpotFinder,
+    measure_campaign,
+    paper_spec,
+)
+from repro.core.workload import DopComponent, MessageProfile
+from repro.npb.base import BenchmarkModel
+from repro.npb.phases import (
+    AllreducePhase,
+    ComputePhase,
+    NeighborExchangePhase,
+    Phase,
+    SerialComputePhase,
+)
+from repro.reporting import format_error_table, format_grid
+from repro.units import mib
+
+
+class HaloStencilBenchmark(BenchmarkModel):
+    """An iterative stencil: compute, exchange halos, check residual.
+
+    50 iterations over a 192³ grid of doubles; each iteration streams
+    the grid once (memory-heavy mix), exchanges one face with each
+    ring neighbour and allreduces an 8-byte residual.
+    """
+
+    name = "halo-stencil"
+
+    ITERATIONS = 50
+    TOTAL_INSTRUCTIONS = 2.0e10
+    MIX_FRACTIONS = dict(cpu=0.40, l1=0.45, l2=0.10, mem=0.05)
+    SERIAL_FRACTION = 0.002
+    FACE_BYTES = 192 * 192 * 8.0  # one grid face of doubles
+
+    def __init__(self, problem_class="A"):
+        super().__init__(problem_class)
+        self._mix = InstructionMix.from_fractions(
+            self.TOTAL_INSTRUCTIONS, **self.MIX_FRACTIONS
+        )
+
+    def total_mix(self) -> InstructionMix:
+        return self._mix
+
+    def dop_components(self, max_dop: int):
+        serial = self._mix.scaled(self.SERIAL_FRACTION)
+        parallel = self._mix.scaled(1.0 - self.SERIAL_FRACTION)
+        return (DopComponent(1, serial), DopComponent(max_dop, parallel))
+
+    def message_profile(self, n_ranks: int) -> MessageProfile:
+        if n_ranks == 1:
+            return MessageProfile(0.0, 0.0)
+        return MessageProfile(
+            critical_messages=float(self.ITERATIONS * 2),
+            nbytes=self.FACE_BYTES,
+        )
+
+    def phases(self, n_ranks: int) -> list[Phase]:
+        n = self.check_ranks(n_ranks)
+        serial = self._mix.scaled(self.SERIAL_FRACTION)
+        per_iter = self._mix.scaled(
+            (1.0 - self.SERIAL_FRACTION) / (self.ITERATIONS * n)
+        )
+        phases: list[Phase] = [SerialComputePhase("init", serial)]
+        for it in range(self.ITERATIONS):
+            phases.append(ComputePhase(f"stencil[{it}]", per_iter))
+            if n > 1:
+                phases.append(
+                    NeighborExchangePhase(f"halo[{it}]", self.FACE_BYTES)
+                )
+            phases.append(AllreducePhase(f"residual[{it}]", 8.0))
+        return phases
+
+
+def main() -> None:
+    bench = HaloStencilBenchmark()
+    counts = (1, 2, 4, 8, 16)
+
+    print("simulating the halo-stencil across the (N, f) grid...")
+    campaign = measure_campaign(bench, counts)
+
+    print()
+    print(
+        format_grid(
+            campaign.speedups(),
+            title="measured power-aware speedup surface",
+            value_style="speedup",
+        )
+    )
+
+    sp = SimplifiedParameterization(campaign)
+    spec = paper_spec()
+    predictor = Predictor(
+        campaign,
+        sp,
+        energy_model=EnergyModel(spec.power, spec.cpu.operating_points),
+        overhead_for=lambda n, f: max(sp.overhead(n), 0.0) if n > 1 else 0.0,
+    )
+    print()
+    print(format_error_table(predictor.speedup_error_table(
+        label="SP prediction errors"
+    )))
+
+    finder = SweetSpotFinder(predictor.predicted_energies())
+    fastest = finder.fastest()
+    frugal = finder.min_energy(max_slowdown=1.05)
+    edp = finder.min_edp()
+    print(
+        f"\nfastest:          N={fastest.n} @ {fastest.frequency_mhz:.0f} MHz"
+        f"\nfrugal (<=5% slow): N={frugal.n} @ {frugal.frequency_mhz:.0f} MHz"
+        f"\nmin EDP:          N={edp.n} @ {edp.frequency_mhz:.0f} MHz"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Fine-grain parameterization, end to end (paper §5.2, on LU).
+
+The FP method builds a predictive model from *microbenchmarks and
+counters only* — no parallel application runs needed:
+
+* **Step 1** — hardware counters on a sequential run, two events at a
+  time (the PMU width limit), then the Table 5 derivation formulae.
+* **Step 2** — LMBENCH-style probes isolate seconds/instruction per
+  memory level per frequency; MPPTEST-style ping-pongs price the
+  application's message sizes; weighting by the Step-1 mix yields
+  ``CPI_ON`` and ``CPI_OFF/f_OFF`` (Table 6).
+* **Step 3** — compose Eq. 14/15 and predict any (N, f).
+
+The script ends by validating predictions against full simulated
+measurements — the Table 7 comparison.
+
+Run:  python examples/model_fitting.py
+"""
+
+from repro import LUBenchmark, Predictor, measure_campaign
+from repro.cluster.counters import HardwareCounters
+from repro.core import FineGrainParameterization, WorkloadRates
+from repro.experiments.platform import PAPER_FREQUENCIES
+from repro.proftools import LevelLatencyProbe, MppTest, counter_campaign
+from repro.reporting import format_error_table, format_rows
+from repro.units import doubles
+
+COUNTS = (1, 2, 4, 8)
+
+
+def main() -> None:
+    lu = LUBenchmark()
+
+    # -- Step 1: workload distribution from counters ------------------------
+    print("step 1: PAPI counter campaign (3 runs, 2 events each)...")
+    counters = counter_campaign(lu)
+    hc = HardwareCounters()
+    for event, value in counters.items():
+        hc._events[event] = value
+    mix = hc.derive_mix()
+    print(
+        format_rows(
+            ["memory level", "instructions (x10^9)"],
+            [
+                ["CPU/Register", f"{mix.cpu / 1e9:8.2f}"],
+                ["L1 cache", f"{mix.l1 / 1e9:8.2f}"],
+                ["L2 cache", f"{mix.l2 / 1e9:8.2f}"],
+                ["main memory", f"{mix.mem / 1e9:8.2f}"],
+            ],
+            title="workload decomposition (compare paper Table 5)",
+        )
+    )
+    print(f"ON-chip fraction: {mix.on_chip_fraction:.1%} (paper: 98.8%)")
+
+    # -- Step 2: workload time from microbenchmarks --------------------------
+    print("\nstep 2: LMBENCH-style level probes at every frequency...")
+    level_table = LevelLatencyProbe().measure(PAPER_FREQUENCIES)
+    rates = WorkloadRates.from_level_latencies(mix, level_table)
+    print(f"weighted CPI_ON = {rates.cpi_on:.2f} (paper: 2.19)")
+
+    print("step 2: MPPTEST-style message timing for LU's sizes...")
+    sizes = sorted({lu.exchange_bytes(n) for n in COUNTS if n > 1} | {doubles(310)})
+    message_table = MppTest().measure(sizes, PAPER_FREQUENCIES, repetitions=10)
+
+    # -- Step 3: predict ---------------------------------------------------------
+    fp = FineGrainParameterization(
+        mix=mix,
+        rates=rates,
+        message_time=message_table.time,
+        message_profile_for=lu.message_profile,
+    )
+    print("\nstep 3: predicted sequential times (Eq. 14):")
+    for f in PAPER_FREQUENCIES:
+        print(
+            f"  {f / 1e6:5.0f} MHz: {fp.predict_sequential_time(f):8.1f} s"
+        )
+
+    # -- validation ---------------------------------------------------------------
+    print("\nvalidating against full simulated measurements "
+          f"({len(COUNTS) * len(PAPER_FREQUENCIES)} runs)...")
+    campaign = measure_campaign(lu, COUNTS, PAPER_FREQUENCIES)
+    table = Predictor(campaign, fp).speedup_error_table(
+        label="LU speedup errors (FP)"
+    )
+    print()
+    print(format_error_table(table))
+    print("\nThe paper's Table 7 reports FP errors up to ~11%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""What-if study: would gigabit Ethernet change the conclusions?
+
+The model's purpose is answering configuration questions *before*
+buying hardware.  This example customizes the platform — swapping the
+100 Mb switch for gigabit-class parameters — and re-runs the FT
+analysis to see which of the paper's conclusions are interconnect
+artifacts and which are intrinsic:
+
+* FT's 1→2-node slowdown disappears (it was pure network cost);
+* parallel speedup at 16 nodes jumps from ~2.8 toward ~9;
+* but the *frequency-leverage* story survives: even on gigabit, FT at
+  scale keeps less of its frequency gain than sequentially — the
+  interdependence is structural, only weaker.
+
+Also demonstrates config serialization: the custom platform is dumped
+to JSON and reloaded, so a study's exact hardware is reproducible.
+
+Run:  python examples/what_if_gigabit.py
+"""
+
+import dataclasses
+import json
+
+from repro import FTBenchmark, measure_campaign, paper_spec
+from repro.config import spec_from_dict, spec_to_dict
+from repro.reporting import format_rows, normalized_frequency_gain
+from repro.units import mbit_per_s, mhz
+
+COUNTS = (1, 2, 4, 8, 16)
+FREQS = (mhz(600), mhz(1400))
+
+
+def gigabit_spec():
+    """The paper's cluster with a gigabit-class interconnect."""
+    base = paper_spec()
+    return dataclasses.replace(
+        base,
+        network=dataclasses.replace(
+            base.network,
+            line_rate_bytes_per_s=mbit_per_s(1000),
+            latency_s=30e-6,  # better switches, same era's best
+            congestion_coeff=0.2,  # larger buffers congest less
+        ),
+    )
+
+
+def analyze(label, spec):
+    campaign = measure_campaign(
+        FTBenchmark(), COUNTS, FREQS, spec=spec, use_cache=False
+    )
+    speedups = campaign.speedups()
+    gains = normalized_frequency_gain(campaign.times, mhz(600))
+    return {
+        "label": label,
+        "t1": campaign.time(1, mhz(600)),
+        "t2": campaign.time(2, mhz(600)),
+        "s16": speedups[(16, mhz(600))],
+        "gain1": gains[1],
+        "gain16": gains[16],
+    }
+
+
+def main() -> None:
+    # Round-trip the custom platform through JSON: the study's hardware
+    # is now an artifact alongside its results.
+    blob = json.dumps(spec_to_dict(gigabit_spec()), indent=2)
+    restored = spec_from_dict(json.loads(blob))
+    print(
+        f"custom platform serialized to {len(blob)} bytes of JSON and "
+        "restored\n"
+    )
+
+    rows = []
+    for result in (
+        analyze("100 Mb (paper)", paper_spec()),
+        analyze("gigabit (what-if)", restored),
+    ):
+        rows.append(
+            [
+                result["label"],
+                f"{result['t1']:.1f}s",
+                f"{result['t2']:.1f}s",
+                f"{result['s16']:.2f}",
+                f"{result['gain1']:.2f}",
+                f"{result['gain16']:.2f}",
+                f"{result['gain16'] / result['gain1']:.0%}",
+            ]
+        )
+    print(
+        format_rows(
+            [
+                "interconnect",
+                "T(1,600)",
+                "T(2,600)",
+                "S(16,600)",
+                "f-gain @1",
+                "f-gain @16",
+                "leverage kept",
+            ],
+            rows,
+            title="FT class A: what a faster interconnect changes",
+        )
+    )
+    print(
+        "\nThe 1->2-node slowdown and the collapsed speedup are network "
+        "artifacts; the\ndiminished frequency leverage at scale persists "
+        "(weaker) on gigabit — the\npaper's interdependence is structural."
+    )
+
+
+if __name__ == "__main__":
+    main()

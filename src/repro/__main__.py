@@ -1,0 +1,16 @@
+"""``python -m repro`` — alias for the ``repro-experiments`` CLI.
+
+Lets environments without console-script installation (e.g. a plain
+``PYTHONPATH`` checkout) drive the experiment suite:
+
+    python -m repro list
+    python -m repro run table3
+    python -m repro campaign ft --counts 1,2,4
+"""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Power-aware cluster hardware models.
+
+This package is the simulated stand-in for the paper's experimental
+platform (§4.1): a 16-node cluster of Dell Inspiron 8600 laptops with
+1.4 GHz Pentium M processors (five DVFS operating points, Table 2),
+a 32 KiB L1 / 1 MiB L2 / 1 GiB DDR memory hierarchy, and a 100 Mb
+switched Ethernet interconnect running MPICH.
+
+Components
+----------
+* :mod:`~repro.cluster.opoints` — DVFS operating points (Table 2).
+* :mod:`~repro.cluster.workmix` — instruction mixes by memory level.
+* :mod:`~repro.cluster.cpu` — core timing model (per-level CPI ÷ f).
+* :mod:`~repro.cluster.memory` — memory hierarchy and the OFF-chip
+  (bus-clocked) access time, including the bus-downshift quirk the paper
+  observed at low CPU frequencies.
+* :mod:`~repro.cluster.counters` — PAPI-like hardware event counters.
+* :mod:`~repro.cluster.power` — node power model and energy meters.
+* :mod:`~repro.cluster.nic` — per-message host CPU overhead model.
+* :mod:`~repro.cluster.network` — switched-Ethernet link/contention model.
+* :mod:`~repro.cluster.node` — a node assembling all of the above.
+* :mod:`~repro.cluster.machine` — the cluster, plus :func:`paper_cluster`.
+* :mod:`~repro.cluster.dvfs` — the DVFS controller.
+"""
+
+from repro.cluster.counters import HardwareCounters
+from repro.cluster.cpu import CpuSpec, CpuTimingModel
+from repro.cluster.dvfs import DvfsController
+from repro.cluster.machine import Cluster, ClusterSpec, paper_cluster, paper_spec
+from repro.cluster.memory import MemorySpec, MemoryTimingModel
+from repro.cluster.network import NetworkSpec, SwitchedNetwork
+from repro.cluster.nic import NicSpec
+from repro.cluster.node import Node
+from repro.cluster.opoints import (
+    PENTIUM_M_OPERATING_POINTS,
+    OperatingPoint,
+    OperatingPointTable,
+)
+from repro.cluster.power import EnergyMeter, PowerSpec, PowerState
+from repro.cluster.workmix import InstructionMix
+
+__all__ = [
+    "OperatingPoint",
+    "OperatingPointTable",
+    "PENTIUM_M_OPERATING_POINTS",
+    "InstructionMix",
+    "CpuSpec",
+    "CpuTimingModel",
+    "MemorySpec",
+    "MemoryTimingModel",
+    "HardwareCounters",
+    "PowerSpec",
+    "PowerState",
+    "EnergyMeter",
+    "NicSpec",
+    "NetworkSpec",
+    "SwitchedNetwork",
+    "Node",
+    "Cluster",
+    "ClusterSpec",
+    "paper_cluster",
+    "paper_spec",
+    "DvfsController",
+]

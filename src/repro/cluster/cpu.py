@@ -1,0 +1,119 @@
+"""Core (ON-chip) timing model.
+
+The paper models ON-chip execution time as ``w_ON · CPI_ON / f_ON``
+(Eq. 6): instructions times average cycles-per-instruction divided by the
+core clock.  ``CPI_ON`` is itself the workload-weighted average of
+per-memory-level CPIs (paper §5.2 step 2).  This module provides that
+machinery for the simulator side:
+
+* :class:`CpuSpec` — per-level cycle costs and the DVFS operating points.
+* :class:`CpuTimingModel` — turns an ON-chip instruction mix plus a
+  frequency into seconds.
+
+Cycle costs are *effective* CPIs: superscalar issue and instruction-level
+parallelism are folded in (the paper applies an ILP adjustment of ~2.42
+FPD computations per memory operation the same way; footnote 9).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.opoints import (
+    PENTIUM_M_OPERATING_POINTS,
+    OperatingPointTable,
+)
+from repro.cluster.workmix import InstructionMix
+from repro.errors import ConfigurationError
+
+__all__ = ["CpuSpec", "CpuTimingModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuSpec:
+    """Static description of a DVFS-capable core.
+
+    Attributes
+    ----------
+    operating_points:
+        Legal (frequency, voltage) pairs.
+    cpi_cpu, cpi_l1, cpi_l2:
+        Effective cycles per instruction for work whose data is in
+        registers, the L1 data cache and the L2 cache respectively.
+        Calibrated so the weighted average over a typical NPB mix lands
+        near the paper's measured ``CPI_ON`` = 2.19 (Table 6).
+    dvfs_transition_s:
+        Wall time to switch operating points.  Enhanced SpeedStep
+        transitions take on the order of tens of microseconds.
+    """
+
+    operating_points: OperatingPointTable = PENTIUM_M_OPERATING_POINTS
+    cpi_cpu: float = 1.2
+    cpi_l1: float = 2.8
+    cpi_l2: float = 10.0
+    dvfs_transition_s: float = 50e-6
+
+    def __post_init__(self) -> None:
+        for name in ("cpi_cpu", "cpi_l1", "cpi_l2"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.dvfs_transition_s < 0:
+            raise ConfigurationError("dvfs_transition_s must be >= 0")
+
+    @property
+    def cpi_by_level(self) -> dict[str, float]:
+        """Per-ON-chip-level CPI, keyed like :class:`InstructionMix`."""
+        return {"cpu": self.cpi_cpu, "l1": self.cpi_l1, "l2": self.cpi_l2}
+
+
+class CpuTimingModel:
+    """Computes ON-chip execution time for instruction mixes.
+
+    Parameters
+    ----------
+    spec:
+        The core description.
+    """
+
+    def __init__(self, spec: CpuSpec) -> None:
+        self.spec = spec
+
+    def validate_frequency(self, frequency_hz: float) -> float:
+        """Return ``frequency_hz`` if it is a legal operating point."""
+        return self.spec.operating_points.lookup(frequency_hz).frequency_hz
+
+    def on_chip_cycles(self, mix: InstructionMix) -> float:
+        """Total core cycles for the ON-chip part of ``mix``.
+
+        Cycles are frequency-independent; divide by ``f`` for seconds.
+        """
+        cpis = self.spec.cpi_by_level
+        return sum(
+            getattr(mix, level) * cpis[level]
+            for level in InstructionMix.ON_CHIP_LEVELS
+        )
+
+    def on_chip_seconds(self, mix: InstructionMix, frequency_hz: float) -> float:
+        """ON-chip execution time: ``Σ_level w_level · CPI_level / f``.
+
+        This is the simulator-side realization of the
+        ``w_ON · CPI_ON / f_ON`` term of Eq. 6.
+        """
+        f = self.validate_frequency(frequency_hz)
+        return self.on_chip_cycles(mix) / f
+
+    def weighted_cpi_on(self, mix: InstructionMix) -> float:
+        """Workload-weighted average ON-chip CPI (paper §5.2 step 2).
+
+        ``CPI_ON = Σ_level weight_level · CPI_level`` where the weights
+        are the ON-chip level fractions of ``mix``.  Returns 0 for a mix
+        with no ON-chip work.
+        """
+        weights = mix.on_chip_weights()
+        cpis = self.spec.cpi_by_level
+        return sum(weights[level] * cpis[level] for level in weights)
+
+    def frequency_speedup(self, frequency_hz: float) -> float:
+        """Ideal ON-chip speedup ``f / f0`` relative to the base point."""
+        f = self.validate_frequency(frequency_hz)
+        return f / self.spec.operating_points.base.frequency_hz

@@ -1,0 +1,153 @@
+"""Cluster assembly and the paper-platform preset.
+
+:class:`Cluster` wires an :class:`~repro.sim.engine.Engine`, ``N``
+:class:`~repro.cluster.node.Node` objects and a
+:class:`~repro.cluster.network.SwitchedNetwork` together.  One
+:class:`Cluster` instance represents one *job execution*: build it,
+run a program on it (see :mod:`repro.mpi.program`), read its meters.
+Fresh runs should build fresh clusters — they are cheap.
+
+:func:`paper_cluster` returns the reproduction of the paper's platform
+(§4.1): 16 Dell Inspiron 8600 nodes, Pentium M 1.4 GHz with the Table 2
+operating points, 32 KiB L1 / 1 MiB L2 / 1 GiB DDR, 100 Mb switched
+Ethernet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.cpu import CpuSpec
+from repro.cluster.memory import MemorySpec
+from repro.cluster.network import NetworkSpec, SwitchedNetwork
+from repro.cluster.nic import NicSpec
+from repro.cluster.node import Node
+from repro.cluster.power import PowerSpec
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+
+__all__ = ["ClusterSpec", "Cluster", "paper_spec", "paper_cluster"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterSpec:
+    """Full static description of a homogeneous cluster."""
+
+    n_nodes: int = 16
+    cpu: CpuSpec = dataclasses.field(default_factory=CpuSpec)
+    memory: MemorySpec = dataclasses.field(default_factory=MemorySpec)
+    power: PowerSpec = dataclasses.field(default_factory=PowerSpec)
+    nic: NicSpec = dataclasses.field(default_factory=NicSpec)
+    network: NetworkSpec = dataclasses.field(default_factory=NetworkSpec)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1: {self.n_nodes}")
+
+    def with_nodes(self, n_nodes: int) -> "ClusterSpec":
+        """A copy of this spec with a different node count."""
+        return dataclasses.replace(self, n_nodes=n_nodes)
+
+
+class Cluster:
+    """One bootable instance of a cluster.
+
+    Parameters
+    ----------
+    spec:
+        The hardware description.
+    frequency_hz:
+        Initial frequency for every node (default: the base point).
+    trace:
+        When true, attach a :class:`~repro.sim.trace.Tracer` that the
+        program runtime fills with per-rank activity intervals.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec | None = None,
+        *,
+        frequency_hz: float | None = None,
+        trace: bool = False,
+    ) -> None:
+        self.spec = spec or ClusterSpec()
+        self.engine = Engine()
+        self.nodes = [
+            Node(
+                node_id=i,
+                cpu=self.spec.cpu,
+                memory=self.spec.memory,
+                power=self.spec.power,
+                nic=self.spec.nic,
+                frequency_hz=frequency_hz,
+            )
+            for i in range(self.spec.n_nodes)
+        ]
+        self.network = SwitchedNetwork(
+            self.engine, self.spec.n_nodes, self.spec.network
+        )
+        self.tracer: Tracer | None = Tracer() if trace else None
+
+    # -- shape -----------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the cluster."""
+        return self.spec.n_nodes
+
+    def node(self, node_id: int) -> Node:
+        """The node with the given id."""
+        if not 0 <= node_id < self.n_nodes:
+            raise ConfigurationError(
+                f"node id {node_id} out of range [0, {self.n_nodes})"
+            )
+        return self.nodes[node_id]
+
+    # -- frequency control -------------------------------------------------
+
+    def set_all_frequencies(self, frequency_hz: float) -> None:
+        """Set every node to the same operating point (instantaneous)."""
+        for node in self.nodes:
+            node.set_frequency(frequency_hz)
+
+    @property
+    def operating_points(self):
+        """The (shared) operating point table of the nodes' CPUs."""
+        return self.spec.cpu.operating_points
+
+    # -- meters -----------------------------------------------------------
+
+    @property
+    def total_energy_joules(self) -> float:
+        """Energy consumed so far across all nodes."""
+        return sum(node.energy.total_joules for node in self.nodes)
+
+    def reset_measurements(self) -> None:
+        """Zero all node counters and energy meters."""
+        for node in self.nodes:
+            node.reset_measurements()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Cluster n={self.n_nodes} t={self.engine.now:.6f}s>"
+
+
+def paper_spec(n_nodes: int = 16) -> ClusterSpec:
+    """The paper's experimental platform (§4.1) as a :class:`ClusterSpec`.
+
+    All component specs use their defaults, which are calibrated to the
+    published observables: Table 2 operating points, Table 6 per-level
+    latencies (including the bus-downshift quirk), 100 Mb switched
+    Ethernet with MPICH-era efficiency.
+    """
+    return ClusterSpec(n_nodes=n_nodes)
+
+
+def paper_cluster(
+    n_nodes: int = 16,
+    *,
+    frequency_hz: float | None = None,
+    trace: bool = False,
+) -> Cluster:
+    """A bootable instance of the paper's 16-node platform."""
+    return Cluster(paper_spec(n_nodes), frequency_hz=frequency_hz, trace=trace)

@@ -1,0 +1,125 @@
+"""Memory-hierarchy (OFF-chip) timing model.
+
+OFF-chip work — instructions whose data must come from main memory — is
+clocked by the memory bus, not the core, so DVFS does not speed it up
+(paper Eq. 6: the ``w_OFF · CPI_OFF / f_OFF`` term).  The paper's
+platform additionally shows a *bus-downshift quirk*: at the two lowest
+core frequencies the chipset drives the front-side bus slower, so the
+measured seconds-per-OFF-chip-instruction *rises* from 110 ns to 140 ns
+(Table 6).  :class:`MemorySpec` models this with an explicit per-core-
+frequency latency map.
+
+Cache capacities are carried for documentation and for the workload
+characterization in :mod:`repro.npb.characterize` (footprint vs. cache
+size decides the level split); the timing model itself consumes only the
+latency map.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import types
+
+from repro.errors import ConfigurationError
+from repro.units import gib, kib, mib, ns
+
+__all__ = ["MemorySpec", "MemoryTimingModel"]
+
+
+def _default_bus_quirk() -> types.MappingProxyType:
+    """Default Table-6 latency map for the paper platform.
+
+    140 ns/OFF-chip instruction at 600 and 800 MHz (bus downshifted),
+    110 ns at 1.0–1.4 GHz.
+    """
+    return types.MappingProxyType({600e6: 140.0, 800e6: 140.0})
+
+
+@dataclasses.dataclass(frozen=True)
+class MemorySpec:
+    """Static description of a node's memory system.
+
+    Attributes
+    ----------
+    l1_bytes, l2_bytes, ram_bytes:
+        Capacities (Pentium M: 32 KiB L1-D, 1 MiB L2; nodes have 1 GiB).
+    off_chip_ns:
+        Default seconds-per-OFF-chip-instruction, in nanoseconds.  This
+        is ``CPI_OFF / f_OFF`` as a single measured latency (the paper
+        reports it exactly this way in Table 6).
+    off_chip_ns_overrides:
+        Mapping from *core* frequency (Hz) to an overriding OFF-chip
+        latency (ns), modelling the bus-downshift quirk.
+    """
+
+    l1_bytes: float = kib(32)
+    l2_bytes: float = mib(1)
+    ram_bytes: float = gib(1)
+    off_chip_ns: float = 110.0
+    off_chip_ns_overrides: dict[float, float] = dataclasses.field(
+        default_factory=_default_bus_quirk
+    )
+
+    def __post_init__(self) -> None:
+        if self.off_chip_ns <= 0:
+            raise ConfigurationError("off_chip_ns must be positive")
+        for f, lat in self.off_chip_ns_overrides.items():
+            if f <= 0 or lat <= 0:
+                raise ConfigurationError(
+                    f"invalid off-chip override {f!r}: {lat!r}"
+                )
+        if not (0 < self.l1_bytes <= self.l2_bytes <= self.ram_bytes):
+            raise ConfigurationError(
+                "capacities must satisfy 0 < L1 <= L2 <= RAM: "
+                f"{self.l1_bytes}, {self.l2_bytes}, {self.ram_bytes}"
+            )
+        # Freeze the override map so the spec is safely shareable.
+        object.__setattr__(
+            self,
+            "off_chip_ns_overrides",
+            types.MappingProxyType(dict(self.off_chip_ns_overrides)),
+        )
+
+
+class MemoryTimingModel:
+    """Computes OFF-chip execution time for instruction mixes."""
+
+    def __init__(self, spec: MemorySpec) -> None:
+        self.spec = spec
+
+    def off_chip_latency_s(self, core_frequency_hz: float) -> float:
+        """Seconds per OFF-chip instruction at a given *core* frequency.
+
+        Mostly flat (OFF-chip work is bus-clocked), except where the
+        platform's bus-downshift overrides apply.
+        """
+        nanos = self.spec.off_chip_ns_overrides.get(
+            float(core_frequency_hz), self.spec.off_chip_ns
+        )
+        return ns(nanos)
+
+    def off_chip_seconds(
+        self, off_chip_instructions: float, core_frequency_hz: float
+    ) -> float:
+        """OFF-chip execution time ``w_OFF · (CPI_OFF / f_OFF)``."""
+        if off_chip_instructions < 0:
+            raise ConfigurationError(
+                f"instruction count must be >= 0: {off_chip_instructions}"
+            )
+        return off_chip_instructions * self.off_chip_latency_s(
+            core_frequency_hz
+        )
+
+    def level_for_footprint(self, footprint_bytes: float) -> str:
+        """Deepest level a working set of ``footprint_bytes`` lives in.
+
+        Used by the workload characterizer to decide where a kernel's
+        data resides: 'l1', 'l2' or 'mem'.
+        """
+        if footprint_bytes < 0:
+            raise ConfigurationError("footprint must be >= 0")
+        if footprint_bytes <= self.spec.l1_bytes:
+            return "l1"
+        if footprint_bytes <= self.spec.l2_bytes:
+            return "l2"
+        return "mem"

@@ -1,0 +1,203 @@
+"""Switched-Ethernet interconnect model.
+
+The paper's cluster uses a Cisco Catalyst 2950: a store-and-forward
+switch giving every node a dedicated full-duplex 100 Mb/s port.  The
+consequences we model:
+
+* Each node has an independent *transmit* and *receive* channel
+  (full duplex): a node can send and receive simultaneously, but two
+  concurrent sends from one node share its TX port, and two concurrent
+  sends *to* one node share its RX port.  This ingress contention is
+  what makes FT's all-to-all sub-linear.
+* Effective bandwidth is well below line rate — MPICH over TCP on
+  100 Mb hardware of that era sustained roughly 60–80 % of line rate —
+  captured by ``efficiency``.
+* A fixed one-way latency covers PHY, switch forwarding and kernel
+  stack traversal.
+* **Congestion**: TCP over small-buffer 100 Mb switches degrades
+  sharply under many simultaneous flows (packet loss, retransmission
+  timeouts — the "incast" effect).  Dense exchanges such as FT's
+  all-to-all ran far below per-port line rate on clusters of this era.
+  We model it as a bandwidth penalty that grows sublinearly with the
+  number of concurrently active flows:
+  ``penalty = 1 + congestion_coeff · (flows − 1)^congestion_exponent``.
+  Setting ``congestion_coeff = 0`` recovers the ideal switch (used by
+  the ablation benches).
+
+Intra-node "messages" (rank to itself) bypass the network and move at
+local memcpy bandwidth.
+
+:class:`SwitchedNetwork` executes transfers as simulated processes on
+the discrete-event engine; the analytic Hockney/LogGP view of the same
+network lives in :mod:`repro.mpi.cost`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+from repro.sim.resources import Resource
+from repro.units import mbit_per_s, mbyte_per_s
+
+__all__ = ["NetworkSpec", "SwitchedNetwork"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkSpec:
+    """Static description of the interconnect.
+
+    Attributes
+    ----------
+    line_rate_bytes_per_s:
+        Physical port speed (100 Mb/s for the paper platform).
+    efficiency:
+        Fraction of line rate achievable by the messaging stack.
+    latency_s:
+        One-way message latency (wire + switch + protocol stack).
+    local_copy_bytes_per_s:
+        Bandwidth for rank-to-self transfers (memcpy speed).
+    congestion_coeff, congestion_exponent:
+        TCP-era congestion surrogate: a transfer that starts while
+        ``k`` other transfers are active sees its bandwidth divided by
+        ``1 + coeff · k^exponent``.  Zero coefficient disables it.
+    """
+
+    line_rate_bytes_per_s: float = mbit_per_s(100)
+    efficiency: float = 0.72
+    latency_s: float = 70e-6
+    local_copy_bytes_per_s: float = mbyte_per_s(400)
+    congestion_coeff: float = 0.5
+    congestion_exponent: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.line_rate_bytes_per_s <= 0:
+            raise ConfigurationError("line rate must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ConfigurationError(
+                f"efficiency must be in (0, 1]: {self.efficiency}"
+            )
+        if self.latency_s < 0:
+            raise ConfigurationError("latency must be >= 0")
+        if self.local_copy_bytes_per_s <= 0:
+            raise ConfigurationError("local copy bandwidth must be positive")
+        if self.congestion_coeff < 0:
+            raise ConfigurationError("congestion_coeff must be >= 0")
+        if self.congestion_exponent < 0:
+            raise ConfigurationError("congestion_exponent must be >= 0")
+
+    def congestion_penalty(self, concurrent_flows: int) -> float:
+        """Bandwidth division factor when ``concurrent_flows`` are active."""
+        if concurrent_flows <= 1:
+            return 1.0
+        return 1.0 + self.congestion_coeff * float(
+            concurrent_flows - 1
+        ) ** self.congestion_exponent
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achievable point-to-point bandwidth in bytes/second."""
+        return self.line_rate_bytes_per_s * self.efficiency
+
+
+class SwitchedNetwork:
+    """A full-duplex switched network with per-port contention.
+
+    Parameters
+    ----------
+    env:
+        The discrete-event engine.
+    n_nodes:
+        Number of switch ports (cluster nodes).
+    spec:
+        Interconnect description.
+    """
+
+    def __init__(
+        self, env: Engine, n_nodes: int, spec: NetworkSpec | None = None
+    ) -> None:
+        if n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1: {n_nodes}")
+        self.env = env
+        self.spec = spec or NetworkSpec()
+        self.n_nodes = int(n_nodes)
+        self._tx = [Resource(env, capacity=1) for _ in range(n_nodes)]
+        self._rx = [Resource(env, capacity=1) for _ in range(n_nodes)]
+        #: Transfers currently clocking bytes through the switch.
+        self._active_flows = 0
+        #: Total payload bytes moved over the switch (excludes local copies).
+        self.bytes_transferred = 0.0
+        #: Number of completed remote transfers.
+        self.transfer_count = 0
+
+    def _check_port(self, port: int) -> int:
+        if not 0 <= port < self.n_nodes:
+            raise ConfigurationError(
+                f"port {port} out of range [0, {self.n_nodes})"
+            )
+        return int(port)
+
+    def serialization_time(self, nbytes: float) -> float:
+        """Time to clock ``nbytes`` through one port (no contention)."""
+        if nbytes < 0:
+            raise ConfigurationError(f"message size must be >= 0: {nbytes}")
+        return nbytes / self.spec.effective_bandwidth
+
+    def uncontended_transfer_time(self, nbytes: float) -> float:
+        """Latency + serialization for a lone message (Hockney view)."""
+        return self.spec.latency_s + self.serialization_time(nbytes)
+
+    def transfer(self, src: int, dst: int, nbytes: float) -> Process:
+        """Start moving ``nbytes`` from node ``src`` to node ``dst``.
+
+        Returns the transfer :class:`~repro.sim.process.Process`; it
+        succeeds when the last byte has arrived at ``dst``.  The wire
+        time occupies the sender's TX port and the receiver's RX port
+        simultaneously; latency is pure pipeline delay and holds
+        neither.
+        """
+        src = self._check_port(src)
+        dst = self._check_port(dst)
+        if nbytes < 0:
+            raise ConfigurationError(f"message size must be >= 0: {nbytes}")
+        if src == dst:
+            return self.env.process(self._local_copy(nbytes))
+        return self.env.process(self._remote_transfer(src, dst, nbytes))
+
+    def _local_copy(self, nbytes: float) -> _t.Generator:
+        yield self.env.timeout(nbytes / self.spec.local_copy_bytes_per_s)
+
+    def _remote_transfer(
+        self, src: int, dst: int, nbytes: float
+    ) -> _t.Generator:
+        # Acquire TX before RX everywhere.  The two resource classes are
+        # disjoint (nobody holds an RX while waiting for a TX), so the
+        # ordering is deadlock-free.
+        with self._tx[src].request() as tx_req:
+            yield tx_req
+            with self._rx[dst].request() as rx_req:
+                yield rx_req
+                self._active_flows += 1
+                penalty = self.spec.congestion_penalty(self._active_flows)
+                try:
+                    yield self.env.timeout(
+                        self.serialization_time(nbytes) * penalty
+                    )
+                finally:
+                    self._active_flows -= 1
+        # Propagation/forwarding delay after the ports are released: the
+        # message is "in flight" and does not block subsequent traffic.
+        yield self.env.timeout(self.spec.latency_s)
+        self.bytes_transferred += nbytes
+        self.transfer_count += 1
+
+    def tx_queue_length(self, port: int) -> int:
+        """Number of transfers waiting on a node's TX port."""
+        return self._tx[self._check_port(port)].queue_length
+
+    def rx_queue_length(self, port: int) -> int:
+        """Number of transfers waiting on a node's RX port."""
+        return self._rx[self._check_port(port)].queue_length

@@ -1,0 +1,127 @@
+"""A cluster node: core + memory + counters + power meter + NIC.
+
+The node is the unit the simulated MPI runtime talks to.  It exposes
+duration computations (how long would this instruction mix take at my
+current clock?) and accounting hooks (this much time was spent in that
+power state).  All *waiting* — the actual passage of simulated time — is
+done by the program runtime in :mod:`repro.mpi.program`, which keeps the
+node model clock-free and easy to test.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.counters import HardwareCounters
+from repro.cluster.cpu import CpuSpec, CpuTimingModel
+from repro.cluster.memory import MemorySpec, MemoryTimingModel
+from repro.cluster.nic import NicSpec
+from repro.cluster.opoints import OperatingPoint
+from repro.cluster.power import EnergyMeter, PowerSpec, PowerState
+from repro.cluster.workmix import InstructionMix
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One simulated cluster node.
+
+    Parameters
+    ----------
+    node_id:
+        Zero-based node index (also its network port and MPI rank in
+        the single-process-per-node runs the paper performs).
+    cpu, memory, power, nic:
+        Hardware specifications.
+    frequency_hz:
+        Initial operating frequency; defaults to the CPU's base
+        (lowest) operating point, the paper's ``f0``.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        cpu: CpuSpec | None = None,
+        memory: MemorySpec | None = None,
+        power: PowerSpec | None = None,
+        nic: NicSpec | None = None,
+        frequency_hz: float | None = None,
+    ) -> None:
+        self.node_id = int(node_id)
+        self.cpu_spec = cpu or CpuSpec()
+        self.memory_spec = memory or MemorySpec()
+        self.power_spec = power or PowerSpec()
+        self.nic_spec = nic or NicSpec()
+        self.cpu = CpuTimingModel(self.cpu_spec)
+        self.memory = MemoryTimingModel(self.memory_spec)
+        self.counters = HardwareCounters()
+        self.energy = EnergyMeter(self.power_spec)
+        if frequency_hz is None:
+            frequency_hz = self.cpu_spec.operating_points.base.frequency_hz
+        self._point = self.cpu_spec.operating_points.lookup(frequency_hz)
+
+    # -- frequency --------------------------------------------------------
+
+    @property
+    def operating_point(self) -> OperatingPoint:
+        """The node's current DVFS operating point."""
+        return self._point
+
+    @property
+    def frequency_hz(self) -> float:
+        """The node's current core frequency in hertz."""
+        return self._point.frequency_hz
+
+    def set_frequency(self, frequency_hz: float) -> OperatingPoint:
+        """Switch to a legal operating point (instantaneous).
+
+        The DVFS transition *time* is charged by whoever drives the
+        simulation (see :class:`repro.cluster.dvfs.DvfsController`);
+        this setter only flips the state.
+        """
+        self._point = self.cpu_spec.operating_points.lookup(frequency_hz)
+        return self._point
+
+    # -- timing -----------------------------------------------------------
+
+    def compute_seconds(self, mix: InstructionMix) -> float:
+        """Execution time of ``mix`` at the current clock.
+
+        Realizes Eq. 6 of the paper:
+        ``w_ON · CPI_ON/f_ON + w_OFF · CPI_OFF/f_OFF`` — ON-chip work at
+        the core clock, OFF-chip work at the (quirk-adjusted) bus speed.
+        """
+        f = self.frequency_hz
+        return self.cpu.on_chip_seconds(mix, f) + self.memory.off_chip_seconds(
+            mix.off_chip, f
+        )
+
+    def message_overhead_seconds(self, nbytes: float) -> float:
+        """Host CPU time to process one message at the current clock."""
+        return self.nic_spec.host_overhead_s(nbytes, self.frequency_hz)
+
+    # -- accounting ----------------------------------------------------------
+
+    def execute_mix(self, mix: InstructionMix) -> float:
+        """Account one executed mix: counters + compute energy.
+
+        Returns the execution time so the caller can advance the clock.
+        """
+        duration = self.compute_seconds(mix)
+        self.counters.record_mix(mix)
+        self.energy.account(duration, self._point, PowerState.COMPUTE)
+        return duration
+
+    def account_comm(self, duration_s: float) -> None:
+        """Charge active-messaging time to the energy meter."""
+        self.energy.account(duration_s, self._point, PowerState.COMM)
+
+    def account_idle(self, duration_s: float) -> None:
+        """Charge blocked/waiting time to the energy meter."""
+        self.energy.account(duration_s, self._point, PowerState.IDLE)
+
+    def reset_measurements(self) -> None:
+        """Zero counters and the energy meter (frequency is kept)."""
+        self.counters.reset()
+        self.energy.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.node_id} @ {self._point}>"

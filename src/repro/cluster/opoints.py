@@ -1,0 +1,204 @@
+"""DVFS operating points.
+
+An *operating point* pairs a core clock frequency with the minimum supply
+voltage at which the core is stable at that frequency.  The paper's
+platform (Table 2) exposes five Enhanced-SpeedStep points on the
+1.4 GHz Pentium M:
+
+==========  ==============
+Frequency   Supply voltage
+==========  ==============
+1.4 GHz     1.484 V
+1.2 GHz     1.436 V
+1.0 GHz     1.308 V
+800 MHz     1.180 V
+600 MHz     0.956 V
+==========  ==============
+
+:class:`OperatingPointTable` stores a sorted, validated set of points and
+answers the lookups the rest of the library needs (base frequency,
+voltage at a frequency, nearest legal point).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import ConfigurationError
+from repro.units import mhz, to_mhz
+
+__all__ = [
+    "OperatingPoint",
+    "OperatingPointTable",
+    "PENTIUM_M_OPERATING_POINTS",
+]
+
+
+@dataclasses.dataclass(frozen=True, slots=True, order=True)
+class OperatingPoint:
+    """One DVFS (frequency, voltage) pair.
+
+    Attributes
+    ----------
+    frequency_hz:
+        Core clock frequency in hertz.
+    voltage_v:
+        Supply voltage in volts.
+    """
+
+    frequency_hz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(
+                f"operating point frequency must be positive: {self.frequency_hz}"
+            )
+        if self.voltage_v <= 0:
+            raise ConfigurationError(
+                f"operating point voltage must be positive: {self.voltage_v}"
+            )
+
+    @property
+    def frequency_mhz(self) -> float:
+        """The frequency in MHz (convenience for table rendering)."""
+        return to_mhz(self.frequency_hz)
+
+    def __str__(self) -> str:
+        return f"{self.frequency_mhz:.0f} MHz @ {self.voltage_v:.3f} V"
+
+
+class OperatingPointTable:
+    """An immutable, frequency-sorted collection of operating points.
+
+    Parameters
+    ----------
+    points:
+        The available (frequency, voltage) pairs.  Frequencies must be
+        unique; voltage must be non-decreasing with frequency (a physical
+        requirement of DVFS: higher clocks need at least as much voltage).
+    """
+
+    def __init__(self, points: _t.Iterable[OperatingPoint]) -> None:
+        pts = sorted(points, key=lambda p: p.frequency_hz)
+        if not pts:
+            raise ConfigurationError("operating point table cannot be empty")
+        freqs = [p.frequency_hz for p in pts]
+        if len(set(freqs)) != len(freqs):
+            raise ConfigurationError(f"duplicate frequencies in {freqs}")
+        for lo, hi in zip(pts, pts[1:]):
+            if hi.voltage_v < lo.voltage_v:
+                raise ConfigurationError(
+                    "voltage must be non-decreasing with frequency: "
+                    f"{hi} < {lo}"
+                )
+        self._points: tuple[OperatingPoint, ...] = tuple(pts)
+        self._by_freq: dict[float, OperatingPoint] = {
+            p.frequency_hz: p for p in pts
+        }
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> _t.Iterator[OperatingPoint]:
+        return iter(self._points)
+
+    def __contains__(self, frequency_hz: float) -> bool:
+        return float(frequency_hz) in self._by_freq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OperatingPointTable):
+            return NotImplemented
+        return self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def points(self) -> tuple[OperatingPoint, ...]:
+        """All points, ascending in frequency."""
+        return self._points
+
+    @property
+    def frequencies(self) -> tuple[float, ...]:
+        """All frequencies in hertz, ascending."""
+        return tuple(p.frequency_hz for p in self._points)
+
+    @property
+    def frequencies_mhz(self) -> tuple[float, ...]:
+        """All frequencies in MHz, ascending."""
+        return tuple(p.frequency_mhz for p in self._points)
+
+    @property
+    def base(self) -> OperatingPoint:
+        """The lowest-frequency point — the paper's ``f0``."""
+        return self._points[0]
+
+    @property
+    def peak(self) -> OperatingPoint:
+        """The highest-frequency point."""
+        return self._points[-1]
+
+    def lookup(self, frequency_hz: float) -> OperatingPoint:
+        """The point at exactly ``frequency_hz``.
+
+        Raises
+        ------
+        ConfigurationError
+            If the frequency is not one of the table's legal points.
+        """
+        try:
+            return self._by_freq[float(frequency_hz)]
+        except KeyError:
+            legal = ", ".join(f"{f:.0f}" for f in self.frequencies_mhz)
+            raise ConfigurationError(
+                f"{to_mhz(frequency_hz):.0f} MHz is not an available operating "
+                f"point (legal: {legal} MHz)"
+            ) from None
+
+    def voltage_at(self, frequency_hz: float) -> float:
+        """Supply voltage (volts) at a legal frequency."""
+        return self.lookup(frequency_hz).voltage_v
+
+    def nearest(self, frequency_hz: float) -> OperatingPoint:
+        """The legal point whose frequency is closest to ``frequency_hz``.
+
+        Ties resolve to the *lower* frequency (the conservative choice
+        for a power-aware scheduler).
+        """
+        return min(
+            self._points,
+            key=lambda p: (abs(p.frequency_hz - frequency_hz), p.frequency_hz),
+        )
+
+    def next_below(self, frequency_hz: float) -> OperatingPoint | None:
+        """The highest legal point strictly below ``frequency_hz``, if any."""
+        below = [p for p in self._points if p.frequency_hz < frequency_hz]
+        return below[-1] if below else None
+
+    def next_above(self, frequency_hz: float) -> OperatingPoint | None:
+        """The lowest legal point strictly above ``frequency_hz``, if any."""
+        above = [p for p in self._points if p.frequency_hz > frequency_hz]
+        return above[0] if above else None
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(p) for p in self._points)
+        return f"OperatingPointTable([{inner}])"
+
+
+#: Table 2 of the paper: Enhanced Intel SpeedStep operating points of the
+#: 1.4 GHz Pentium M in the Dell Inspiron 8600 nodes.
+PENTIUM_M_OPERATING_POINTS = OperatingPointTable(
+    [
+        OperatingPoint(mhz(600), 0.956),
+        OperatingPoint(mhz(800), 1.180),
+        OperatingPoint(mhz(1000), 1.308),
+        OperatingPoint(mhz(1200), 1.436),
+        OperatingPoint(mhz(1400), 1.484),
+    ]
+)

@@ -1,0 +1,223 @@
+"""Configuration serialization.
+
+Experiments are defined by a :class:`~repro.cluster.machine.ClusterSpec`
+(hardware) plus grid parameters.  This module round-trips specs through
+plain JSON-able dicts so a campaign's exact platform can be stored next
+to its results and reloaded later::
+
+    from repro.config import spec_to_dict, spec_from_dict
+    blob = json.dumps(spec_to_dict(paper_spec()))
+    spec = spec_from_dict(json.loads(blob))
+
+Every numeric knob of every component spec is covered; unknown keys are
+rejected loudly (a typo in a stored config should never silently fall
+back to a default).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cluster.cpu import CpuSpec
+from repro.cluster.machine import ClusterSpec
+from repro.cluster.memory import MemorySpec
+from repro.cluster.network import NetworkSpec
+from repro.cluster.nic import NicSpec
+from repro.cluster.opoints import OperatingPoint, OperatingPointTable
+from repro.cluster.power import PowerSpec, PowerState
+from repro.errors import ConfigurationError
+
+__all__ = ["spec_to_dict", "spec_from_dict"]
+
+
+def _check_keys(data: _t.Mapping, allowed: set[str], what: str) -> None:
+    unknown = set(data) - allowed
+    if unknown:
+        raise ConfigurationError(
+            f"unknown keys in {what} config: {sorted(unknown)} "
+            f"(allowed: {sorted(allowed)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# to dict
+# ---------------------------------------------------------------------------
+
+def _opoints_to_dict(table: OperatingPointTable) -> list[dict]:
+    return [
+        {"frequency_hz": p.frequency_hz, "voltage_v": p.voltage_v}
+        for p in table
+    ]
+
+
+def spec_to_dict(spec: ClusterSpec) -> dict:
+    """Serialize a :class:`ClusterSpec` to a JSON-able dict."""
+    return {
+        "n_nodes": spec.n_nodes,
+        "cpu": {
+            "operating_points": _opoints_to_dict(spec.cpu.operating_points),
+            "cpi_cpu": spec.cpu.cpi_cpu,
+            "cpi_l1": spec.cpu.cpi_l1,
+            "cpi_l2": spec.cpu.cpi_l2,
+            "dvfs_transition_s": spec.cpu.dvfs_transition_s,
+        },
+        "memory": {
+            "l1_bytes": spec.memory.l1_bytes,
+            "l2_bytes": spec.memory.l2_bytes,
+            "ram_bytes": spec.memory.ram_bytes,
+            "off_chip_ns": spec.memory.off_chip_ns,
+            "off_chip_ns_overrides": {
+                str(f): lat
+                for f, lat in spec.memory.off_chip_ns_overrides.items()
+            },
+        },
+        "power": {
+            "cpu_dynamic_max_w": spec.power.cpu_dynamic_max_w,
+            "cpu_static_max_w": spec.power.cpu_static_max_w,
+            "system_base_w": spec.power.system_base_w,
+            "activity": {
+                state.value: factor
+                for state, factor in spec.power.activity.items()
+            },
+            "peak": {
+                "frequency_hz": spec.power.peak.frequency_hz,
+                "voltage_v": spec.power.peak.voltage_v,
+            },
+        },
+        "nic": {
+            "per_message_overhead_s": spec.nic.per_message_overhead_s,
+            "cycles_per_byte": spec.nic.cycles_per_byte,
+            "eager_threshold_bytes": spec.nic.eager_threshold_bytes,
+        },
+        "network": {
+            "line_rate_bytes_per_s": spec.network.line_rate_bytes_per_s,
+            "efficiency": spec.network.efficiency,
+            "latency_s": spec.network.latency_s,
+            "local_copy_bytes_per_s": spec.network.local_copy_bytes_per_s,
+            "congestion_coeff": spec.network.congestion_coeff,
+            "congestion_exponent": spec.network.congestion_exponent,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# from dict
+# ---------------------------------------------------------------------------
+
+def _opoints_from_dict(data: _t.Sequence[_t.Mapping]) -> OperatingPointTable:
+    points = []
+    for entry in data:
+        _check_keys(entry, {"frequency_hz", "voltage_v"}, "operating point")
+        points.append(
+            OperatingPoint(
+                frequency_hz=float(entry["frequency_hz"]),
+                voltage_v=float(entry["voltage_v"]),
+            )
+        )
+    return OperatingPointTable(points)
+
+
+def _cpu_from_dict(data: _t.Mapping) -> CpuSpec:
+    _check_keys(
+        data,
+        {"operating_points", "cpi_cpu", "cpi_l1", "cpi_l2",
+         "dvfs_transition_s"},
+        "cpu",
+    )
+    return CpuSpec(
+        operating_points=_opoints_from_dict(data["operating_points"]),
+        cpi_cpu=float(data["cpi_cpu"]),
+        cpi_l1=float(data["cpi_l1"]),
+        cpi_l2=float(data["cpi_l2"]),
+        dvfs_transition_s=float(data["dvfs_transition_s"]),
+    )
+
+
+def _memory_from_dict(data: _t.Mapping) -> MemorySpec:
+    _check_keys(
+        data,
+        {"l1_bytes", "l2_bytes", "ram_bytes", "off_chip_ns",
+         "off_chip_ns_overrides"},
+        "memory",
+    )
+    return MemorySpec(
+        l1_bytes=float(data["l1_bytes"]),
+        l2_bytes=float(data["l2_bytes"]),
+        ram_bytes=float(data["ram_bytes"]),
+        off_chip_ns=float(data["off_chip_ns"]),
+        off_chip_ns_overrides={
+            float(f): float(lat)
+            for f, lat in data["off_chip_ns_overrides"].items()
+        },
+    )
+
+
+def _power_from_dict(data: _t.Mapping) -> PowerSpec:
+    _check_keys(
+        data,
+        {"cpu_dynamic_max_w", "cpu_static_max_w", "system_base_w",
+         "activity", "peak"},
+        "power",
+    )
+    return PowerSpec(
+        cpu_dynamic_max_w=float(data["cpu_dynamic_max_w"]),
+        cpu_static_max_w=float(data["cpu_static_max_w"]),
+        system_base_w=float(data["system_base_w"]),
+        activity={
+            PowerState(name): float(factor)
+            for name, factor in data["activity"].items()
+        },
+        peak=OperatingPoint(
+            frequency_hz=float(data["peak"]["frequency_hz"]),
+            voltage_v=float(data["peak"]["voltage_v"]),
+        ),
+    )
+
+
+def _nic_from_dict(data: _t.Mapping) -> NicSpec:
+    _check_keys(
+        data,
+        {"per_message_overhead_s", "cycles_per_byte",
+         "eager_threshold_bytes"},
+        "nic",
+    )
+    return NicSpec(
+        per_message_overhead_s=float(data["per_message_overhead_s"]),
+        cycles_per_byte=float(data["cycles_per_byte"]),
+        eager_threshold_bytes=float(data["eager_threshold_bytes"]),
+    )
+
+
+def _network_from_dict(data: _t.Mapping) -> NetworkSpec:
+    _check_keys(
+        data,
+        {"line_rate_bytes_per_s", "efficiency", "latency_s",
+         "local_copy_bytes_per_s", "congestion_coeff",
+         "congestion_exponent"},
+        "network",
+    )
+    return NetworkSpec(
+        line_rate_bytes_per_s=float(data["line_rate_bytes_per_s"]),
+        efficiency=float(data["efficiency"]),
+        latency_s=float(data["latency_s"]),
+        local_copy_bytes_per_s=float(data["local_copy_bytes_per_s"]),
+        congestion_coeff=float(data["congestion_coeff"]),
+        congestion_exponent=float(data["congestion_exponent"]),
+    )
+
+
+def spec_from_dict(data: _t.Mapping) -> ClusterSpec:
+    """Rebuild a :class:`ClusterSpec` from :func:`spec_to_dict` output."""
+    _check_keys(
+        data,
+        {"n_nodes", "cpu", "memory", "power", "nic", "network"},
+        "cluster",
+    )
+    return ClusterSpec(
+        n_nodes=int(data["n_nodes"]),
+        cpu=_cpu_from_dict(data["cpu"]),
+        memory=_memory_from_dict(data["memory"]),
+        power=_power_from_dict(data["power"]),
+        nic=_nic_from_dict(data["nic"]),
+        network=_network_from_dict(data["network"]),
+    )

@@ -1,0 +1,78 @@
+"""Power-aware speedup: the paper's analytical contribution.
+
+This package implements the model of Ge & Cameron's *Power-Aware
+Speedup* (IPDPS 2007) and both of its parameterization methods:
+
+* :mod:`~repro.core.workload` — workload decomposition: ON/OFF-chip
+  split, degree-of-parallelism (DOP) components, parallel-overhead
+  descriptions.
+* :mod:`~repro.core.cpi` — workload *rates*: seconds per ON-chip and
+  OFF-chip instruction as functions of frequency (Table 6's rows).
+* :mod:`~repro.core.exectime` — execution-time equations (Eq. 5–9 and
+  the simplified Eq. 14–16).
+* :mod:`~repro.core.speedup` — power-aware speedup itself (Eq. 4,
+  10–13).
+* :mod:`~repro.core.amdahl` — the classical and generalized Amdahl
+  baselines (Eq. 1–3) the paper argues against.
+* :mod:`~repro.core.baselines` — Gustafson, Sun–Ni, Karp–Flatt,
+  isoefficiency (related-work speedup models, §6).
+* :mod:`~repro.core.params_sp` — simplified parameterization (§5.1).
+* :mod:`~repro.core.params_fp` — fine-grain parameterization (§5.2).
+* :mod:`~repro.core.energy` — energy / energy-delay prediction.
+* :mod:`~repro.core.prediction` — the measurement-to-prediction facade.
+* :mod:`~repro.core.sweetspot` — configuration search.
+* :mod:`~repro.core.analysis` — error tables and model comparison.
+"""
+
+from repro.core.amdahl import (
+    amdahl_speedup,
+    generalized_amdahl_speedup,
+    product_of_speedups_prediction,
+)
+from repro.core.analysis import ErrorTable, relative_error
+from repro.core.baselines import (
+    gustafson_speedup,
+    karp_flatt_serial_fraction,
+    memory_bounded_speedup,
+)
+from repro.core.cpi import WorkloadRates
+from repro.core.energy import EnergyModel
+from repro.core.exectime import ExecutionTimeModel
+from repro.core.params_fp import FineGrainParameterization
+from repro.core.params_sp import SimplifiedParameterization
+from repro.core.prediction import Predictor
+from repro.core.speedup import PowerAwareSpeedupModel
+from repro.core.sweetspot import SweetSpotFinder
+from repro.core.workload import (
+    DopComponent,
+    MeasuredOverhead,
+    MessageOverhead,
+    MessageProfile,
+    Workload,
+    ZeroOverhead,
+)
+
+__all__ = [
+    "Workload",
+    "DopComponent",
+    "ZeroOverhead",
+    "MeasuredOverhead",
+    "MessageOverhead",
+    "MessageProfile",
+    "WorkloadRates",
+    "ExecutionTimeModel",
+    "PowerAwareSpeedupModel",
+    "amdahl_speedup",
+    "generalized_amdahl_speedup",
+    "product_of_speedups_prediction",
+    "gustafson_speedup",
+    "memory_bounded_speedup",
+    "karp_flatt_serial_fraction",
+    "SimplifiedParameterization",
+    "FineGrainParameterization",
+    "EnergyModel",
+    "Predictor",
+    "SweetSpotFinder",
+    "ErrorTable",
+    "relative_error",
+]

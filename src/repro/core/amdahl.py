@@ -1,0 +1,109 @@
+"""Amdahl's law and its multi-enhancement generalization (Eq. 1–3).
+
+These are the baselines the paper's motivating example (§2, Table 1)
+shows failing on power-aware clusters.  Three pieces:
+
+* :func:`amdahl_speedup` — Eq. 2: one enhancement applied to a fraction
+  of the workload.
+* :func:`generalized_amdahl_speedup` — Eq. 3: ``e`` simultaneous
+  enhancements, assumed independent.
+* :func:`product_of_speedups_prediction` — the way Eq. 3 is actually
+  *used* in the paper's Table 1: predict the combined (N, f) speedup as
+  the product of the two measured single-enhancement speedups,
+  ``S(N, f0) × S(1, f)``.  On communication-bound codes this
+  over-predicts badly, because the enhancements are interdependent.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import ModelError
+
+__all__ = [
+    "amdahl_speedup",
+    "generalized_amdahl_speedup",
+    "product_of_speedups_prediction",
+]
+
+
+def amdahl_speedup(enhanced_fraction: float, enhancement_speedup: float) -> float:
+    """Eq. 2: speedup when ``enhanced_fraction`` of the work is sped up
+    by ``enhancement_speedup``.
+
+    >>> amdahl_speedup(1.0, 4.0)   # fully parallel on 4 processors
+    4.0
+    >>> round(amdahl_speedup(0.5, 1e12), 6)   # serial half dominates
+    2.0
+    """
+    if not 0.0 <= enhanced_fraction <= 1.0:
+        raise ModelError(
+            f"enhanced fraction must be in [0, 1]: {enhanced_fraction}"
+        )
+    if enhancement_speedup <= 0:
+        raise ModelError(
+            f"enhancement speedup must be positive: {enhancement_speedup}"
+        )
+    denominator = (1.0 - enhanced_fraction) + enhanced_fraction / enhancement_speedup
+    return 1.0 / denominator
+
+
+def generalized_amdahl_speedup(
+    enhancements: _t.Iterable[tuple[float, float]],
+) -> float:
+    """Eq. 3: the product of per-enhancement Amdahl speedups.
+
+    Parameters
+    ----------
+    enhancements:
+        Pairs ``(enhanced_fraction, enhancement_speedup)``, one per
+        enhancement.  The paper notes this formula *assumes the
+        enhancements' effects are independent* — the assumption that
+        breaks on power-aware clusters.
+
+    >>> generalized_amdahl_speedup([(1.0, 2.0), (1.0, 3.0)])
+    6.0
+    """
+    speedup = 1.0
+    count = 0
+    for fraction, se in enhancements:
+        speedup *= amdahl_speedup(fraction, se)
+        count += 1
+    if count == 0:
+        raise ModelError("need at least one enhancement")
+    return speedup
+
+
+def product_of_speedups_prediction(
+    measured_times: _t.Mapping[tuple[int, float], float],
+    base_frequency_hz: float,
+) -> dict[tuple[int, float], float]:
+    """Table 1's predictor: ``S_pred(N, f) = S(N, f0) · S(1, f)``.
+
+    Parameters
+    ----------
+    measured_times:
+        ``{(n, frequency_hz): seconds}``; must contain the full base
+        column ``(n, f0)`` and base row ``(1, f)`` for every cell to
+        be predicted.
+    base_frequency_hz:
+        The slowest frequency ``f0``.
+
+    Returns predictions for every (n, f) whose base column and row
+    entries are present.
+    """
+    f0 = float(base_frequency_hz)
+    base_cell = (1, f0)
+    if base_cell not in measured_times:
+        raise ModelError(f"missing baseline measurement {base_cell}")
+    t_base = measured_times[base_cell]
+    predictions: dict[tuple[int, float], float] = {}
+    for (n, f), _t_measured in measured_times.items():
+        col = (n, f0)
+        row = (1, float(f))
+        if col not in measured_times or row not in measured_times:
+            continue
+        s_parallel = t_base / measured_times[col]
+        s_frequency = t_base / measured_times[row]
+        predictions[(n, float(f))] = s_parallel * s_frequency
+    return predictions

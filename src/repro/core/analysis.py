@@ -1,0 +1,122 @@
+"""Prediction-error analysis.
+
+The paper reports model quality as tables of relative errors over the
+(N, f) grid (Tables 1, 3, 7).  :class:`ErrorTable` reproduces that
+shape: build it from a mapping of predictions and a mapping of
+measurements, query cells, rows, columns and summary statistics, and
+render it through :mod:`repro.reporting.tables`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import ModelError
+
+__all__ = ["relative_error", "ErrorTable"]
+
+Key = tuple[int, float]
+
+
+def relative_error(predicted: float, measured: float) -> float:
+    """``|predicted − measured| / measured`` (the paper's error metric:
+    "the difference between the measured and predicted speedup divided
+    by the measured speedup", Table 3 caption)."""
+    if measured == 0:
+        raise ModelError("relative error undefined for measured == 0")
+    return abs(predicted - measured) / abs(measured)
+
+
+class ErrorTable:
+    """Relative errors over a (processor count, frequency) grid."""
+
+    def __init__(self, errors: _t.Mapping[Key, float], label: str = "") -> None:
+        self._errors = {
+            (int(n), float(f)): float(e) for (n, f), e in errors.items()
+        }
+        self.label = str(label)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def compare(
+        cls,
+        predicted: _t.Mapping[Key, float],
+        measured: _t.Mapping[Key, float],
+        label: str = "",
+    ) -> "ErrorTable":
+        """Errors over every key present in *both* mappings."""
+        keys = set(predicted) & set(measured)
+        if not keys:
+            raise ModelError("no common (n, f) cells to compare")
+        return cls(
+            {k: relative_error(predicted[k], measured[k]) for k in keys},
+            label=label,
+        )
+
+    # -- access -----------------------------------------------------------
+
+    def error(self, n: int, frequency_hz: float) -> float:
+        """The error at one cell."""
+        key = (int(n), float(frequency_hz))
+        try:
+            return self._errors[key]
+        except KeyError:
+            raise ModelError(f"no error entry for {key}") from None
+
+    def cells(self) -> dict[Key, float]:
+        """All cells (a copy)."""
+        return dict(self._errors)
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """Distinct processor counts, ascending."""
+        return tuple(sorted({n for n, _ in self._errors}))
+
+    @property
+    def frequencies(self) -> tuple[float, ...]:
+        """Distinct frequencies, ascending."""
+        return tuple(sorted({f for _, f in self._errors}))
+
+    def row(self, n: int) -> dict[float, float]:
+        """Errors for one processor count across frequencies."""
+        return {f: e for (ni, f), e in self._errors.items() if ni == n}
+
+    def column(self, frequency_hz: float) -> dict[int, float]:
+        """Errors for one frequency across processor counts."""
+        f = float(frequency_hz)
+        return {n: e for (n, fi), e in self._errors.items() if fi == f}
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def max_error(self) -> float:
+        """The worst cell."""
+        return max(self._errors.values())
+
+    @property
+    def mean_error(self) -> float:
+        """The average over all cells."""
+        return sum(self._errors.values()) / len(self._errors)
+
+    def max_excluding_base(self, base_frequency_hz: float) -> float:
+        """Worst error ignoring the base-frequency column.
+
+        The base column is zero by construction for measurement-driven
+        predictors (the paper's tables show 0 % there), so excluding it
+        gives the informative maximum.
+        """
+        f0 = float(base_frequency_hz)
+        others = [e for (n, f), e in self._errors.items() if f != f0]
+        if not others:
+            raise ModelError("table only contains the base column")
+        return max(others)
+
+    def __len__(self) -> int:
+        return len(self._errors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ErrorTable {self.label!r} cells={len(self)} "
+            f"max={self.max_error:.1%} mean={self.mean_error:.1%}>"
+        )

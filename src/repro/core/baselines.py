@@ -1,0 +1,150 @@
+"""Related-work speedup models (paper §6).
+
+The paper situates power-aware speedup among the classical scalability
+models; we implement them both as baselines for the comparison benches
+and because they are useful in their own right:
+
+* :func:`gustafson_speedup` — fixed-*time* (scaled) speedup
+  [Gustafson 1988].
+* :func:`memory_bounded_speedup` — Sun–Ni's memory-bounded speedup
+  [Sun & Ni 1993].
+* :func:`karp_flatt_serial_fraction` — the experimentally determined
+  serial fraction [Karp & Flatt 1990], a diagnostic for measured
+  speedups.
+* :func:`isoefficiency_workload` — the workload growth needed to hold
+  efficiency constant [Grama et al. 1993].
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import ModelError
+
+__all__ = [
+    "gustafson_speedup",
+    "memory_bounded_speedup",
+    "karp_flatt_serial_fraction",
+    "parallel_efficiency",
+    "isoefficiency_workload",
+]
+
+
+def _check_serial_fraction(serial_fraction: float) -> float:
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ModelError(
+            f"serial fraction must be in [0, 1]: {serial_fraction}"
+        )
+    return float(serial_fraction)
+
+
+def _check_n(n: int) -> int:
+    if n < 1:
+        raise ModelError(f"processor count must be >= 1: {n}")
+    return int(n)
+
+
+def gustafson_speedup(serial_fraction: float, n: int) -> float:
+    """Fixed-time (scaled) speedup: ``s + (1 − s)·N``.
+
+    The workload grows with N so the parallel part fills the same wall
+    time; speedup is measured against running the *scaled* workload
+    serially.
+
+    >>> gustafson_speedup(0.0, 16)
+    16.0
+    """
+    s = _check_serial_fraction(serial_fraction)
+    n = _check_n(n)
+    return s + (1.0 - s) * n
+
+
+def memory_bounded_speedup(
+    serial_fraction: float,
+    n: int,
+    workload_growth: _t.Callable[[int], float] | None = None,
+) -> float:
+    """Sun–Ni memory-bounded speedup.
+
+    The parallel workload scales by ``G(N)`` — the factor by which the
+    aggregate memory of N nodes lets the problem grow::
+
+        S = (s + (1 − s)·G(N)) / (s + (1 − s)·G(N)/N)
+
+    ``G(N) = 1`` recovers Amdahl; ``G(N) = N`` recovers Gustafson.  The
+    default ``G(N) = N`` models memory that scales linearly with nodes
+    and a workload that uses all of it.
+    """
+    s = _check_serial_fraction(serial_fraction)
+    n = _check_n(n)
+    growth = workload_growth(n) if workload_growth is not None else float(n)
+    if growth <= 0:
+        raise ModelError(f"workload growth must be positive: {growth}")
+    numerator = s + (1.0 - s) * growth
+    denominator = s + (1.0 - s) * growth / n
+    return numerator / denominator
+
+
+def karp_flatt_serial_fraction(speedup: float, n: int) -> float:
+    """The experimentally determined serial fraction.
+
+    ``e = (1/S − 1/N) / (1 − 1/N)`` — computed from a *measured*
+    speedup.  Rising ``e`` with N signals growing parallel overhead,
+    which is precisely FT's signature in the paper.
+    """
+    n = _check_n(n)
+    if n == 1:
+        raise ModelError("Karp-Flatt is undefined for N = 1")
+    if speedup <= 0:
+        raise ModelError(f"speedup must be positive: {speedup}")
+    return (1.0 / speedup - 1.0 / n) / (1.0 - 1.0 / n)
+
+
+def parallel_efficiency(speedup: float, n: int) -> float:
+    """``E = S / N`` — the speedup's share of ideal scaling."""
+    n = _check_n(n)
+    if speedup < 0:
+        raise ModelError(f"speedup must be >= 0: {speedup}")
+    return speedup / n
+
+
+def isoefficiency_workload(
+    overhead_time: _t.Callable[[int, float], float],
+    n: int,
+    efficiency: float,
+    unit_work_seconds: float,
+    *,
+    initial_workload: float = 1.0,
+    max_iterations: int = 100,
+    tolerance: float = 1e-9,
+) -> float:
+    """Workload (in unit-work items) keeping ``efficiency`` on ``n`` CPUs.
+
+    Solves the isoefficiency relation ``W = E/(1−E) · T_o(N, W) /
+    t_unit`` by fixed-point iteration, where ``overhead_time(n, w)``
+    prices the total overhead for workload ``w`` on ``n`` processors.
+
+    Raises :class:`~repro.errors.ModelError` if the iteration fails to
+    converge (overhead growing superlinearly in W means no fixed
+    workload achieves the efficiency).
+    """
+    n = _check_n(n)
+    if not 0.0 < efficiency < 1.0:
+        raise ModelError(f"efficiency must be in (0, 1): {efficiency}")
+    if unit_work_seconds <= 0:
+        raise ModelError(
+            f"unit work time must be positive: {unit_work_seconds}"
+        )
+    ratio = efficiency / (1.0 - efficiency)
+    w = float(initial_workload)
+    for _ in range(max_iterations):
+        w_next = ratio * overhead_time(n, w) / unit_work_seconds
+        if w_next <= 0:
+            return 0.0
+        if abs(w_next - w) <= tolerance * max(w, 1.0):
+            return w_next
+        w = w_next
+    raise ModelError(
+        f"isoefficiency iteration did not converge for n={n}, "
+        f"efficiency={efficiency}"
+    )

@@ -1,0 +1,145 @@
+"""Workload rates: seconds per instruction as functions of frequency.
+
+The model's time equations need two rates (paper Eq. 6 / Table 6):
+
+* ``CPI_ON / f_ON`` — seconds per ON-chip instruction.  ``CPI_ON`` is a
+  frequency-independent cycle count, so this rate falls as 1/f.
+* ``CPI_OFF / f_OFF`` — seconds per OFF-chip instruction.  Clocked by
+  the memory bus, hence (nearly) DVFS-independent; the paper's platform
+  shows a small *rise* at low core frequencies (bus downshift), which a
+  per-frequency table captures.
+
+:class:`WorkloadRates` bundles both.  Build it:
+
+* from fine-grain measurements
+  (:meth:`WorkloadRates.from_level_latencies` — §5.2 step 2: weight the
+  per-memory-level latencies by the counter-derived workload
+  distribution), or
+* from a hardware spec directly (tests / analytic studies).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cluster.workmix import InstructionMix
+from repro.errors import ConfigurationError, ModelError
+
+__all__ = ["WorkloadRates"]
+
+
+class WorkloadRates:
+    """Seconds-per-instruction rates for ON- and OFF-chip work.
+
+    Parameters
+    ----------
+    cpi_on:
+        Average ON-chip cycles per instruction (paper: 2.19 for LU).
+    off_chip_s_by_f:
+        Mapping from core frequency (Hz) to seconds per OFF-chip
+        instruction (Table 6's ``CPI_OFF/f_OFF`` row).
+    frequencies:
+        The legal frequencies.  Defaults to the keys of
+        ``off_chip_s_by_f``.
+    """
+
+    def __init__(
+        self,
+        cpi_on: float,
+        off_chip_s_by_f: _t.Mapping[float, float],
+        frequencies: _t.Iterable[float] | None = None,
+    ) -> None:
+        if cpi_on < 0:
+            raise ConfigurationError(f"cpi_on must be >= 0: {cpi_on}")
+        self.cpi_on = float(cpi_on)
+        self._off_chip = {float(f): float(s) for f, s in off_chip_s_by_f.items()}
+        for f, s in self._off_chip.items():
+            if f <= 0 or s < 0:
+                raise ConfigurationError(
+                    f"invalid off-chip rate entry {f} -> {s}"
+                )
+        if frequencies is None:
+            self.frequencies = tuple(sorted(self._off_chip))
+        else:
+            self.frequencies = tuple(sorted(float(f) for f in frequencies))
+        missing = [f for f in self.frequencies if f not in self._off_chip]
+        if missing:
+            raise ConfigurationError(
+                f"off-chip rate missing for frequencies {missing}"
+            )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_level_latencies(
+        cls,
+        mix: InstructionMix,
+        level_seconds_by_f: _t.Mapping[float, _t.Mapping[str, float]],
+    ) -> "WorkloadRates":
+        """Fine-grain parameterization step 2 (paper §5.2).
+
+        Parameters
+        ----------
+        mix:
+            The counter-derived workload distribution (step 1); its
+            ON-chip level weights average the per-level latencies.
+        level_seconds_by_f:
+            ``{frequency: {"cpu": s, "l1": s, "l2": s, "mem": s}}`` —
+            measured seconds per instruction at each memory level
+            (LMBENCH-style probes).
+
+        The weighted ON-chip latency must scale as 1/f if the probe data
+        is consistent; ``cpi_on`` is recovered by multiplying by ``f``
+        and averaging across frequencies.
+        """
+        if not level_seconds_by_f:
+            raise ConfigurationError("need at least one frequency of probes")
+        weights = mix.on_chip_weights()
+        cpi_estimates = []
+        off_chip: dict[float, float] = {}
+        for f, levels in level_seconds_by_f.items():
+            for needed in ("cpu", "l1", "l2", "mem"):
+                if needed not in levels:
+                    raise ConfigurationError(
+                        f"probe data at {f} Hz missing level {needed!r}"
+                    )
+            on_seconds = sum(
+                weights[level] * levels[level] for level in weights
+            )
+            cpi_estimates.append(on_seconds * float(f))
+            off_chip[float(f)] = float(levels["mem"])
+        cpi_on = sum(cpi_estimates) / len(cpi_estimates)
+        return cls(cpi_on, off_chip)
+
+    # -- rates ---------------------------------------------------------------
+
+    def check_frequency(self, frequency_hz: float) -> float:
+        """Validate ``frequency_hz`` against the known operating points."""
+        f = float(frequency_hz)
+        if f not in self._off_chip:
+            raise ModelError(
+                f"no rate data for {f / 1e6:.0f} MHz; known: "
+                f"{[fi / 1e6 for fi in self.frequencies]} MHz"
+            )
+        return f
+
+    def on_chip_seconds_per_instruction(self, frequency_hz: float) -> float:
+        """``CPI_ON / f`` — falls as 1/f (Table 6, second row)."""
+        f = self.check_frequency(frequency_hz)
+        return self.cpi_on / f
+
+    def off_chip_seconds_per_instruction(self, frequency_hz: float) -> float:
+        """``CPI_OFF / f_OFF`` at the given *core* frequency."""
+        f = self.check_frequency(frequency_hz)
+        return self._off_chip[f]
+
+    @property
+    def base_frequency(self) -> float:
+        """The lowest known frequency — the paper's ``f0``."""
+        return self.frequencies[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<WorkloadRates CPI_ON={self.cpi_on:.3f} over "
+            f"{[f / 1e6 for f in self.frequencies]} MHz>"
+        )

@@ -1,0 +1,134 @@
+"""Energy and energy-delay prediction.
+
+The paper closes by noting that power-aware speedup "coupled with an
+energy-delay metric … can predict both the performance and the
+energy/power consumption".  This module supplies that coupling:
+
+* node power comes from the CMOS model at each operating point
+  (:class:`~repro.cluster.power.PowerSpec` — the same one the
+  simulator integrates, so predictions and simulated measurements are
+  commensurable);
+* a predicted execution time splits into *busy* time (the workload,
+  drawing COMPUTE power) and *overhead* time (communication waits,
+  drawing a COMM/IDLE blend);
+* energy is ``N × Σ (power × time)`` and the energy-delay product is
+  ``E · T`` (or ``E · T²``).
+
+The EDP surface over (N, f) is what "sweet spot" identification
+(:mod:`repro.core.sweetspot`) searches.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cluster.opoints import OperatingPointTable
+from repro.cluster.power import PowerSpec, PowerState
+from repro.errors import ModelError
+
+__all__ = ["EnergyModel", "EnergyPrediction"]
+
+
+class EnergyPrediction(_t.NamedTuple):
+    """Predicted energy figures for one (N, f) configuration."""
+
+    energy_j: float
+    time_s: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product ``E · T``."""
+        return self.energy_j * self.time_s
+
+    @property
+    def ed2p(self) -> float:
+        """Energy-delay-squared product ``E · T²``."""
+        return self.energy_j * self.time_s**2
+
+    @property
+    def mean_power_w(self) -> float:
+        """Average power implied by the prediction."""
+        return self.energy_j / self.time_s if self.time_s > 0 else 0.0
+
+
+class EnergyModel:
+    """Turns time predictions into energy/EDP predictions.
+
+    Parameters
+    ----------
+    power_spec:
+        The node power model.
+    operating_points:
+        Legal (f, V) pairs for power lookups.
+    overhead_comm_fraction:
+        During overhead time a node is partly moving bytes (COMM) and
+        partly blocked (IDLE); this sets the blend.
+    """
+
+    def __init__(
+        self,
+        power_spec: PowerSpec,
+        operating_points: OperatingPointTable,
+        overhead_comm_fraction: float = 0.3,
+    ) -> None:
+        if not 0.0 <= overhead_comm_fraction <= 1.0:
+            raise ModelError(
+                "overhead_comm_fraction must be in [0, 1]: "
+                f"{overhead_comm_fraction}"
+            )
+        self.power_spec = power_spec
+        self.operating_points = operating_points
+        self.overhead_comm_fraction = float(overhead_comm_fraction)
+
+    # -- power ---------------------------------------------------------------
+
+    def busy_power_w(self, frequency_hz: float) -> float:
+        """Per-node power while executing workload."""
+        point = self.operating_points.lookup(frequency_hz)
+        return self.power_spec.node_power_w(point, PowerState.COMPUTE)
+
+    def overhead_power_w(self, frequency_hz: float) -> float:
+        """Per-node power during parallel overhead (COMM/IDLE blend)."""
+        point = self.operating_points.lookup(frequency_hz)
+        comm = self.power_spec.node_power_w(point, PowerState.COMM)
+        idle = self.power_spec.node_power_w(point, PowerState.IDLE)
+        c = self.overhead_comm_fraction
+        return c * comm + (1.0 - c) * idle
+
+    # -- energy ---------------------------------------------------------------
+
+    def predict(
+        self,
+        n: int,
+        frequency_hz: float,
+        total_time_s: float,
+        overhead_time_s: float = 0.0,
+    ) -> EnergyPrediction:
+        """Predicted energy for ``n`` nodes at ``f`` given a predicted
+        time and its overhead component.
+
+        ``overhead_time_s`` is clamped into ``[0, total_time_s]``.
+        """
+        if n < 1:
+            raise ModelError(f"n must be >= 1: {n}")
+        if total_time_s < 0:
+            raise ModelError(f"time must be >= 0: {total_time_s}")
+        overhead = min(max(overhead_time_s, 0.0), total_time_s)
+        busy = total_time_s - overhead
+        energy = n * (
+            self.busy_power_w(frequency_hz) * busy
+            + self.overhead_power_w(frequency_hz) * overhead
+        )
+        return EnergyPrediction(energy_j=energy, time_s=total_time_s)
+
+    def prediction_grid(
+        self,
+        times: _t.Mapping[tuple[int, float], float],
+        overheads: _t.Mapping[tuple[int, float], float] | None = None,
+    ) -> dict[tuple[int, float], EnergyPrediction]:
+        """Energy predictions for a grid of predicted times."""
+        overheads = overheads or {}
+        return {
+            (n, f): self.predict(n, f, t, overheads.get((n, f), 0.0))
+            for (n, f), t in times.items()
+        }

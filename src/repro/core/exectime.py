@@ -1,0 +1,125 @@
+"""Execution-time equations of the power-aware speedup model.
+
+Implements the paper's time formulae over a decomposed
+:class:`~repro.core.workload.Workload` and a pair of
+:class:`~repro.core.cpi.WorkloadRates`:
+
+* **Eq. 6** (sequential):
+  ``T_1(w, f) = w_ON · CPI_ON/f_ON + w_OFF · CPI_OFF/f_OFF``
+* **Eq. 9** (parallel, DOP-decomposed):
+  ``T_N(w, f) = Σ_i [ (w_i_ON/i)·⌈i/N⌉·CPI_ON/f + (w_i_OFF/i)·⌈i/N⌉·CPI_OFF/f_OFF ]
+  + T(w_PO_ON, f) + T(w_PO_OFF, f_OFF)``
+  (the ⌈i/N⌉ factor is footnote 2's extension for DOP > N)
+* **Eq. 15/16** (simplified, under Assumption 1):
+  ``T_N(w, f) = T_1(w, f)/N + T_PO``.
+
+The overhead term is delegated to an
+:class:`~repro.core.workload.OverheadModel`, which is how the same
+equations serve the SP (measured overhead) and FP (message-profile
+overhead) parameterizations and the ablations (frequency-scaled
+overhead).
+"""
+
+from __future__ import annotations
+
+from repro.core.cpi import WorkloadRates
+from repro.core.workload import OverheadModel, Workload, ZeroOverhead
+from repro.errors import ConfigurationError
+
+__all__ = ["ExecutionTimeModel"]
+
+
+class ExecutionTimeModel:
+    """Predicts execution times for a workload on a power-aware cluster.
+
+    Parameters
+    ----------
+    workload:
+        The DOP/ON/OFF-decomposed workload.
+    rates:
+        Seconds-per-instruction rates per frequency.
+    overhead:
+        Parallel-overhead model; defaults to none.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        rates: WorkloadRates,
+        overhead: OverheadModel | None = None,
+    ) -> None:
+        self.workload = workload
+        self.rates = rates
+        self.overhead = overhead if overhead is not None else ZeroOverhead()
+
+    # -- Eq. 6 --------------------------------------------------------------
+
+    def sequential_time(self, frequency_hz: float) -> float:
+        """``T_1(w, f)``: the whole workload on one processor (Eq. 6)."""
+        mix = self.workload.total_mix
+        return (
+            mix.on_chip
+            * self.rates.on_chip_seconds_per_instruction(frequency_hz)
+            + mix.off_chip
+            * self.rates.off_chip_seconds_per_instruction(frequency_hz)
+        )
+
+    # -- Eq. 9 --------------------------------------------------------------
+
+    def parallel_time(self, n: int, frequency_hz: float) -> float:
+        """``T_N(w, f)`` with the full DOP decomposition (Eq. 9).
+
+        For ``n = 1`` this reduces to :meth:`sequential_time` (every
+        component's effective divisor is 1 and overhead vanishes).
+        """
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1: {n}")
+        on_rate = self.rates.on_chip_seconds_per_instruction(frequency_hz)
+        off_rate = self.rates.off_chip_seconds_per_instruction(frequency_hz)
+        time = 0.0
+        for comp in self.workload.components:
+            divisor = comp.effective_divisor(n)
+            time += comp.mix.on_chip * on_rate / divisor
+            time += comp.mix.off_chip * off_rate / divisor
+        time += self.overhead.overhead_time(n, frequency_hz)
+        return time
+
+    # -- Eq. 15/16 (Assumption 1) ---------------------------------------------
+
+    def simplified_parallel_time(self, n: int, frequency_hz: float) -> float:
+        """``T_1(w, f)/N + T_PO`` (Eq. 15/16: Assumption 1).
+
+        Treats the entire workload as perfectly parallelizable, which
+        over-estimates the benefit of processors — the error source the
+        paper discusses in §5.1.
+        """
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1: {n}")
+        return self.sequential_time(
+            frequency_hz
+        ) / n + self.overhead.overhead_time(n, frequency_hz)
+
+    # -- decomposition helpers -----------------------------------------------
+
+    def time_breakdown(self, n: int, frequency_hz: float) -> dict[str, float]:
+        """Per-term decomposition of :meth:`parallel_time`.
+
+        Keys: ``on_chip``, ``off_chip``, ``overhead`` — the quantities
+        Eq. 11 names (parallelizable/serial × ON/OFF portions are
+        recoverable from the workload's components).
+        """
+        on_rate = self.rates.on_chip_seconds_per_instruction(frequency_hz)
+        off_rate = self.rates.off_chip_seconds_per_instruction(frequency_hz)
+        on = sum(
+            c.mix.on_chip * on_rate / c.effective_divisor(n)
+            for c in self.workload.components
+        )
+        off = sum(
+            c.mix.off_chip * off_rate / c.effective_divisor(n)
+            for c in self.workload.components
+        )
+        return {
+            "on_chip": on,
+            "off_chip": off,
+            "overhead": self.overhead.overhead_time(n, frequency_hz),
+        }

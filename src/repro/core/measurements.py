@@ -1,0 +1,128 @@
+"""Measurement campaigns: the raw inputs to parameterization.
+
+A :class:`TimingCampaign` is a table of execution times indexed by
+``(processor count, frequency)`` — exactly what the paper gathers on
+its cluster before fitting either parameterization.  Optional energy
+readings ride along for the energy-delay studies.
+
+Both parameterizations consume campaigns:
+
+* SP (§5.1) needs the *base column* (every N at ``f0``) and the
+  *base row* (every f at N = 1).
+* FP (§5.2) needs no timing campaign at all (it builds times from
+  counters and microbenchmarks) but campaigns supply the measured
+  truth that prediction-error tables compare against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import MeasurementError
+
+__all__ = ["TimingCampaign"]
+
+
+@dataclasses.dataclass
+class TimingCampaign:
+    """Measured execution times (and optionally energies) over a grid.
+
+    Attributes
+    ----------
+    times:
+        ``{(n, frequency_hz): seconds}``.
+    base_frequency_hz:
+        The lowest frequency ``f0`` (the speedup baseline).
+    energies:
+        Optional ``{(n, frequency_hz): joules}``.
+    label:
+        Human-readable campaign name (benchmark + class).
+    """
+
+    times: dict[tuple[int, float], float]
+    base_frequency_hz: float
+    energies: dict[tuple[int, float], float] = dataclasses.field(
+        default_factory=dict
+    )
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.times = {
+            (int(n), float(f)): float(t) for (n, f), t in self.times.items()
+        }
+        self.energies = {
+            (int(n), float(f)): float(e)
+            for (n, f), e in self.energies.items()
+        }
+        self.base_frequency_hz = float(self.base_frequency_hz)
+        for key, t in self.times.items():
+            if t <= 0:
+                raise MeasurementError(f"non-positive time at {key}: {t}")
+
+    # -- lookups ------------------------------------------------------------
+
+    def time(self, n: int, frequency_hz: float) -> float:
+        """The measured time at one grid point."""
+        key = (int(n), float(frequency_hz))
+        try:
+            return self.times[key]
+        except KeyError:
+            raise MeasurementError(
+                f"campaign {self.label!r} has no measurement at "
+                f"N={key[0]}, f={key[1] / 1e6:.0f} MHz"
+            ) from None
+
+    def energy(self, n: int, frequency_hz: float) -> float:
+        """The measured energy at one grid point."""
+        key = (int(n), float(frequency_hz))
+        try:
+            return self.energies[key]
+        except KeyError:
+            raise MeasurementError(
+                f"campaign {self.label!r} has no energy at "
+                f"N={key[0]}, f={key[1] / 1e6:.0f} MHz"
+            ) from None
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """Distinct processor counts, ascending."""
+        return tuple(sorted({n for n, _ in self.times}))
+
+    @property
+    def frequencies(self) -> tuple[float, ...]:
+        """Distinct frequencies, ascending."""
+        return tuple(sorted({f for _, f in self.times}))
+
+    def base_column(self) -> dict[int, float]:
+        """``{n: T_N(w, f0)}`` — SP Step 1's measurements."""
+        f0 = self.base_frequency_hz
+        return {n: t for (n, f), t in self.times.items() if f == f0}
+
+    def base_row(self) -> dict[float, float]:
+        """``{f: T_1(w, f)}`` — SP Step 3's measurements."""
+        return {f: t for (n, f), t in self.times.items() if n == 1}
+
+    def sequential_base_time(self) -> float:
+        """``T_1(w, f0)`` — the speedup baseline."""
+        return self.time(1, self.base_frequency_hz)
+
+    def speedups(self) -> dict[tuple[int, float], float]:
+        """Measured power-aware speedups for every grid point (Eq. 4)."""
+        baseline = self.sequential_base_time()
+        return {key: baseline / t for key, t in self.times.items()}
+
+    def merged_with(self, other: "TimingCampaign") -> "TimingCampaign":
+        """A campaign containing both tables (other wins on conflicts)."""
+        if other.base_frequency_hz != self.base_frequency_hz:
+            raise MeasurementError(
+                "cannot merge campaigns with different base frequencies"
+            )
+        return TimingCampaign(
+            times={**self.times, **other.times},
+            base_frequency_hz=self.base_frequency_hz,
+            energies={**self.energies, **other.energies},
+            label=self.label or other.label,
+        )

@@ -1,0 +1,138 @@
+"""Fine-grain parameterization (paper §5.2).
+
+Three steps, none of which requires running the parallel application
+across the full (N, f) grid:
+
+1. **Workload distribution** — read hardware counters on a sequential
+   run; derive the per-memory-level instruction mix (Table 5).
+2. **Workload time** — measure per-level seconds/instruction with
+   LMBENCH-style probes at every frequency, and per-message times with
+   MPPTEST-style probes (Table 6).  Weight the per-level latencies by
+   the mix to get ``CPI_ON/f`` and take the memory row as
+   ``CPI_OFF/f_OFF``.
+3. **Prediction** — compose Eq. 14 (sequential) and Eq. 15 (parallel
+   under Assumption 1) with the message-profile overhead
+   ``T(w_PO, f) = messages(N) × t_msg(size(N), f)``.
+
+Compared to SP, FP separates ON- and OFF-chip work — so frequency
+effects are modelled rather than measured — at the cost of extra
+parameterization studies.  The optional ``workload`` argument extends
+the paper: when a DOP-decomposed workload is supplied the prediction
+uses Eq. 9 instead of Assumption 1, which is the "better estimates of
+DOP" direction the paper names as future work.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cluster.workmix import InstructionMix
+from repro.core.cpi import WorkloadRates
+from repro.core.exectime import ExecutionTimeModel
+from repro.core.workload import (
+    MessageOverhead,
+    MessageProfile,
+    Workload,
+)
+from repro.errors import ModelError
+
+__all__ = ["FineGrainParameterization"]
+
+
+class FineGrainParameterization:
+    """FP model built from counters + microbenchmark tables.
+
+    Parameters
+    ----------
+    mix:
+        Counter-derived instruction mix of the whole application
+        (step 1).
+    rates:
+        Per-frequency ON/OFF-chip rates (step 2,
+        :meth:`~repro.core.cpi.WorkloadRates.from_level_latencies`).
+    message_time:
+        ``(nbytes, frequency_hz) -> seconds`` per-message cost
+        (step 2, MPPTEST-style).
+    message_profile_for:
+        ``n -> MessageProfile`` from application profiling.
+    workload:
+        Optional DOP decomposition.  When omitted, Assumption 1
+        (fully parallel) applies, as in the paper.
+    max_dop:
+        The paper's ``m``; used only when ``workload`` is omitted.
+    """
+
+    def __init__(
+        self,
+        mix: InstructionMix,
+        rates: WorkloadRates,
+        message_time: _t.Callable[[float, float], float],
+        message_profile_for: _t.Callable[[int], MessageProfile],
+        workload: Workload | None = None,
+        max_dop: int = 1 << 20,
+    ) -> None:
+        self.mix = mix
+        self.rates = rates
+        self.overhead = MessageOverhead(message_profile_for, message_time)
+        if workload is None:
+            workload = Workload.fully_parallel("fp", mix, max_dop)
+        self.workload = workload
+        self._exec = ExecutionTimeModel(workload, rates, self.overhead)
+
+    # -- Step 3: prediction ----------------------------------------------------
+
+    def predict_sequential_time(self, frequency_hz: float) -> float:
+        """Eq. 14: ``w_ON·CPI_ON/f + w_OFF·CPI_OFF/f_OFF``."""
+        return self._exec.sequential_time(frequency_hz)
+
+    def predict_time(self, n: int, frequency_hz: float) -> float:
+        """Eq. 15 (or Eq. 9 with a DOP workload): parallel time."""
+        if n < 1:
+            raise ModelError(f"n must be >= 1: {n}")
+        return self._exec.parallel_time(n, frequency_hz)
+
+    def predict_speedup(self, n: int, frequency_hz: float) -> float:
+        """Power-aware speedup against ``T_1(w, f0)``."""
+        baseline = self.predict_sequential_time(self.rates.base_frequency)
+        t = self.predict_time(n, frequency_hz)
+        if t <= 0:
+            raise ModelError(
+                f"non-positive predicted time at ({n}, {frequency_hz})"
+            )
+        return baseline / t
+
+    def prediction_grid(
+        self,
+        counts: _t.Iterable[int],
+        frequencies: _t.Iterable[float] | None = None,
+    ) -> dict[tuple[int, float], float]:
+        """Predicted times over a grid."""
+        freqs = (
+            tuple(frequencies)
+            if frequencies is not None
+            else self.rates.frequencies
+        )
+        return {
+            (n, f): self.predict_time(n, f) for n in counts for f in freqs
+        }
+
+    def time_breakdown(self, n: int, frequency_hz: float) -> dict[str, float]:
+        """ON-chip / OFF-chip / overhead decomposition of a prediction."""
+        return self._exec.time_breakdown(n, frequency_hz)
+
+    def parameter_summary(self) -> dict[str, _t.Any]:
+        """The fitted parameters, shaped like the paper's Tables 5–6."""
+        return {
+            "mix": self.mix.as_dict(),
+            "on_chip_fraction": self.mix.on_chip_fraction,
+            "on_chip_weights": self.mix.on_chip_weights(),
+            "cpi_on": self.rates.cpi_on,
+            "on_chip_ns_per_ins": {
+                f / 1e6: self.rates.on_chip_seconds_per_instruction(f) * 1e9
+                for f in self.rates.frequencies
+            },
+            "off_chip_ns_per_ins": {
+                f / 1e6: self.rates.off_chip_seconds_per_instruction(f) * 1e9
+                for f in self.rates.frequencies
+            },
+        }

@@ -1,0 +1,139 @@
+"""Simplified parameterization (paper §5.1).
+
+The four-step recipe, verbatim from the paper:
+
+1. Measure ``T_N(w, f0)`` for each processor count at the base
+   frequency.
+2. Derive the parallel overhead (Eq. 17)::
+
+       T(w_PO^OFF, f_OFF)(N) = T_N(w, f0) − T_1(w, f0)/N
+
+3. Measure ``T_1(w, f)`` for each frequency on one processor.
+4. Predict (Eq. 18)::
+
+       T_N(w, f) = T_1(w, f)/N + [T_N(w, f0) − T_1(w, f0)/N]
+
+Two assumptions underpin it:
+
+* **Assumption 1** — the workload is perfectly parallelizable
+  (over-estimates the benefit of N; error grows with N).
+* **Assumption 2** — parallel overhead is frequency-insensitive
+  (under-estimates the benefit of f; error grows with f).
+
+Both error signatures appear in the paper's Table 7 and in our
+reproduction benches.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.measurements import TimingCampaign
+from repro.core.workload import MeasuredOverhead
+from repro.errors import MeasurementError, ModelError
+
+__all__ = ["SimplifiedParameterization"]
+
+
+class SimplifiedParameterization:
+    """SP model fitted from a timing campaign.
+
+    Parameters
+    ----------
+    campaign:
+        Must contain the base column (all N at ``f0``) and base row
+        (all f at N = 1).
+    """
+
+    def __init__(self, campaign: TimingCampaign) -> None:
+        self.campaign = campaign
+        self.base_frequency_hz = campaign.base_frequency_hz
+        self._t1_by_f = campaign.base_row()
+        self._tn_at_f0 = campaign.base_column()
+        if self.base_frequency_hz not in self._t1_by_f:
+            raise MeasurementError(
+                "SP needs the sequential run at the base frequency"
+            )
+        self._t1_f0 = self._t1_by_f[self.base_frequency_hz]
+
+    # -- Step 2: Eq. 17 --------------------------------------------------------
+
+    def overhead(self, n: int) -> float:
+        """Derived parallel-overhead time for ``n`` processors (Eq. 17).
+
+        May come out slightly negative when the measured run scales
+        super-linearly (cache effects); the value is reported raw here
+        and clamped only where used as a time term.
+        """
+        n = int(n)
+        if n == 1:
+            return 0.0
+        if n not in self._tn_at_f0:
+            raise MeasurementError(
+                f"SP has no base-frequency measurement for N={n}; "
+                f"measured: {sorted(self._tn_at_f0)}"
+            )
+        return self._tn_at_f0[n] - self._t1_f0 / n
+
+    def overhead_model(self) -> MeasuredOverhead:
+        """The derived overheads as an
+        :class:`~repro.core.workload.OverheadModel` for reuse in the
+        general equations."""
+        return MeasuredOverhead(
+            {n: self.overhead(n) for n in self._tn_at_f0 if n != 1}
+        )
+
+    # -- Step 4: Eq. 18 -------------------------------------------------------
+
+    def predict_time(self, n: int, frequency_hz: float) -> float:
+        """``T_N(w, f) = T_1(w, f)/N + overhead(N)`` (Eq. 18)."""
+        n = int(n)
+        f = float(frequency_hz)
+        if f not in self._t1_by_f:
+            raise MeasurementError(
+                f"SP has no sequential measurement at {f / 1e6:.0f} MHz; "
+                f"measured: {[fi / 1e6 for fi in sorted(self._t1_by_f)]}"
+            )
+        if n == 1:
+            return self._t1_by_f[f]
+        return self._t1_by_f[f] / n + max(self.overhead(n), 0.0)
+
+    def predict_speedup(self, n: int, frequency_hz: float) -> float:
+        """``S_N(w, f) = T_1(w, f0) / T_N_pred(w, f)``."""
+        t = self.predict_time(n, frequency_hz)
+        if t <= 0:
+            raise ModelError(f"non-positive predicted time at ({n}, {frequency_hz})")
+        return self._t1_f0 / t
+
+    # -- batch helpers -----------------------------------------------------------
+
+    def prediction_grid(
+        self,
+        counts: _t.Iterable[int] | None = None,
+        frequencies: _t.Iterable[float] | None = None,
+    ) -> dict[tuple[int, float], float]:
+        """Predicted times over a grid (defaults to the campaign's)."""
+        counts = tuple(counts) if counts is not None else self.campaign.counts
+        freqs = (
+            tuple(frequencies)
+            if frequencies is not None
+            else self.campaign.frequencies
+        )
+        return {
+            (n, f): self.predict_time(n, f) for n in counts for f in freqs
+        }
+
+    def inputs_used(self) -> dict[str, _t.Any]:
+        """The measurements this fit consumed (for reporting).
+
+        SP needs ``counts + frequencies − 1`` runs, versus the full
+        grid's ``counts × frequencies`` — the practical appeal the
+        paper emphasizes.
+        """
+        return {
+            "base_column_counts": sorted(self._tn_at_f0),
+            "base_row_frequencies_mhz": [
+                f / 1e6 for f in sorted(self._t1_by_f)
+            ],
+            "runs_required": len(self._tn_at_f0) + len(self._t1_by_f) - 1,
+        }

@@ -1,0 +1,146 @@
+"""The prediction facade: measurements in, validated predictions out.
+
+:class:`Predictor` bundles a measured :class:`~repro.core.measurements.
+TimingCampaign` with any object implementing ``predict_time(n, f)``
+(both parameterizations do) and produces the paper's deliverables:
+predicted time/speedup grids, error tables against the measurements,
+and — given an :class:`~repro.core.energy.EnergyModel` — EDP grids and
+their error tables.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.analysis import ErrorTable
+from repro.core.energy import EnergyModel, EnergyPrediction
+from repro.core.measurements import TimingCampaign
+from repro.core.speedup import measured_speedup_table
+from repro.errors import ModelError
+
+__all__ = ["Predictor", "TimePredictor"]
+
+
+class TimePredictor(_t.Protocol):
+    """Anything that predicts an execution time for (n, f)."""
+
+    def predict_time(self, n: int, frequency_hz: float) -> float:
+        """Predicted seconds for the configuration."""
+        ...  # pragma: no cover - protocol
+
+
+class Predictor:
+    """Couples a fitted model with the campaign it should reproduce.
+
+    Parameters
+    ----------
+    campaign:
+        The measured grid (the "truth" to validate against).
+    model:
+        A fitted SP/FP parameterization (or anything with
+        ``predict_time``).
+    energy_model:
+        Optional; enables energy/EDP predictions.
+    overhead_for:
+        Optional ``(n, f) -> seconds`` giving the overhead share of the
+        predicted time, used to blend power states in the energy
+        prediction.  SP's :meth:`~repro.core.params_sp.
+        SimplifiedParameterization.overhead` is the natural source.
+    """
+
+    def __init__(
+        self,
+        campaign: TimingCampaign,
+        model: TimePredictor,
+        energy_model: EnergyModel | None = None,
+        overhead_for: _t.Callable[[int, float], float] | None = None,
+    ) -> None:
+        self.campaign = campaign
+        self.model = model
+        self.energy_model = energy_model
+        self.overhead_for = overhead_for
+
+    # -- grids ---------------------------------------------------------------
+
+    def grid_keys(self) -> tuple[tuple[int, float], ...]:
+        """The campaign's (n, f) grid."""
+        return tuple(sorted(self.campaign.times))
+
+    def predicted_times(self) -> dict[tuple[int, float], float]:
+        """Predicted time at every measured grid point."""
+        return {
+            (n, f): self.model.predict_time(n, f)
+            for (n, f) in self.grid_keys()
+        }
+
+    def predicted_speedups(self) -> dict[tuple[int, float], float]:
+        """Predicted power-aware speedups (vs the *measured* baseline).
+
+        Using the measured ``T_1(w, f0)`` as numerator mirrors the
+        paper's error tables, which compare predicted and measured
+        speedups over the same baseline.
+        """
+        baseline = self.campaign.sequential_base_time()
+        return {
+            key: baseline / t for key, t in self.predicted_times().items()
+        }
+
+    def measured_speedups(self) -> dict[tuple[int, float], float]:
+        """Measured power-aware speedups (Eq. 4 over the campaign)."""
+        return measured_speedup_table(
+            self.campaign.times, self.campaign.base_frequency_hz
+        )
+
+    # -- error tables -----------------------------------------------------------
+
+    def speedup_error_table(self, label: str = "") -> ErrorTable:
+        """Relative speedup errors over the grid (Tables 3/7 shape)."""
+        return ErrorTable.compare(
+            self.predicted_speedups(), self.measured_speedups(), label=label
+        )
+
+    def time_error_table(self, label: str = "") -> ErrorTable:
+        """Relative execution-time errors over the grid."""
+        return ErrorTable.compare(
+            self.predicted_times(), self.campaign.times, label=label
+        )
+
+    # -- energy -----------------------------------------------------------------
+
+    def predicted_energies(self) -> dict[tuple[int, float], EnergyPrediction]:
+        """Energy/EDP predictions at every grid point."""
+        if self.energy_model is None:
+            raise ModelError("no energy model attached to this predictor")
+        times = self.predicted_times()
+        overheads = {}
+        if self.overhead_for is not None:
+            overheads = {
+                (n, f): self.overhead_for(n, f) for (n, f) in times
+            }
+        return self.energy_model.prediction_grid(times, overheads)
+
+    def edp_error_table(self, label: str = "") -> ErrorTable:
+        """Relative EDP errors vs the campaign's measured energies."""
+        if not self.campaign.energies:
+            raise ModelError("campaign carries no energy measurements")
+        predicted = {
+            key: pred.edp for key, pred in self.predicted_energies().items()
+        }
+        measured = {
+            key: self.campaign.energies[key] * self.campaign.times[key]
+            for key in self.campaign.energies
+            if key in self.campaign.times
+        }
+        return ErrorTable.compare(predicted, measured, label=label)
+
+    def energy_error_table(self, label: str = "") -> ErrorTable:
+        """Relative energy errors vs the campaign's measured energies."""
+        if not self.campaign.energies:
+            raise ModelError("campaign carries no energy measurements")
+        predicted = {
+            key: pred.energy_j
+            for key, pred in self.predicted_energies().items()
+        }
+        return ErrorTable.compare(
+            predicted, self.campaign.energies, label=label
+        )

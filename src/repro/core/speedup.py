@@ -1,0 +1,134 @@
+"""Power-aware speedup (paper Eq. 4 and 10–13).
+
+Power-aware speedup compares the parallel execution time at any
+(processor count, frequency) configuration against one fixed baseline:
+the *sequential* run at the *lowest* frequency ``f0``::
+
+    S_N(w, f) = T_1(w, f0) / T_N(w, f)          (Eq. 4 / Eq. 10)
+
+This single definition captures both enhancements simultaneously, which
+is the paper's point: the two effects interact through parallel
+overhead and OFF-chip work, so no product of per-enhancement speedups
+(Eq. 3) reproduces it for real codes.
+
+:class:`PowerAwareSpeedupModel` evaluates the model analytically over
+an :class:`~repro.core.exectime.ExecutionTimeModel`;
+:func:`measured_speedup_table` computes the same quantity from measured
+(or simulated) execution times so models and measurements can be
+compared cell by cell.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.exectime import ExecutionTimeModel
+from repro.errors import ModelError
+
+__all__ = ["PowerAwareSpeedupModel", "measured_speedup_table"]
+
+
+class PowerAwareSpeedupModel:
+    """Analytic power-aware speedup over an execution-time model.
+
+    Parameters
+    ----------
+    exec_model:
+        The execution-time model (workload + rates + overhead).
+    base_frequency_hz:
+        The paper's ``f0``.  Defaults to the rates' lowest frequency.
+    simplified:
+        When true, use the Assumption-1 parallel time (Eq. 15/16)
+        instead of the DOP-decomposed Eq. 9.
+    """
+
+    def __init__(
+        self,
+        exec_model: ExecutionTimeModel,
+        base_frequency_hz: float | None = None,
+        simplified: bool = False,
+    ) -> None:
+        self.exec_model = exec_model
+        if base_frequency_hz is None:
+            base_frequency_hz = exec_model.rates.base_frequency
+        self.base_frequency_hz = exec_model.rates.check_frequency(
+            base_frequency_hz
+        )
+        self.simplified = bool(simplified)
+
+    # -- times -----------------------------------------------------------
+
+    @property
+    def baseline_time(self) -> float:
+        """``T_1(w, f0)``: the speedup denominator's numerator."""
+        return self.exec_model.sequential_time(self.base_frequency_hz)
+
+    def time(self, n: int, frequency_hz: float) -> float:
+        """``T_N(w, f)`` under the configured equations."""
+        if self.simplified:
+            return self.exec_model.simplified_parallel_time(n, frequency_hz)
+        return self.exec_model.parallel_time(n, frequency_hz)
+
+    # -- speedups ------------------------------------------------------------
+
+    def speedup(self, n: int, frequency_hz: float) -> float:
+        """``S_N(w, f) = T_1(w, f0) / T_N(w, f)`` (Eq. 4/10)."""
+        t = self.time(n, frequency_hz)
+        if t <= 0:
+            raise ModelError(f"non-positive predicted time at ({n}, {frequency_hz})")
+        return self.baseline_time / t
+
+    def parallel_speedup(self, n: int) -> float:
+        """Traditional speedup at the base frequency (the 600 MHz column)."""
+        return self.speedup(n, self.base_frequency_hz)
+
+    def frequency_speedup(self, frequency_hz: float) -> float:
+        """Sequential speedup from frequency alone (the N = 1 row)."""
+        return self.speedup(1, frequency_hz)
+
+    def surface(
+        self,
+        counts: _t.Iterable[int],
+        frequencies: _t.Iterable[float] | None = None,
+    ) -> dict[tuple[int, float], float]:
+        """The 2-D speedup surface over a (N, f) grid (Figures 1b/2b)."""
+        if frequencies is None:
+            frequencies = self.exec_model.rates.frequencies
+        return {
+            (n, f): self.speedup(n, f)
+            for n in counts
+            for f in frequencies
+        }
+
+
+def measured_speedup_table(
+    times: _t.Mapping[tuple[int, float], float],
+    base_frequency_hz: float,
+) -> dict[tuple[int, float], float]:
+    """Speedups from a table of measured execution times.
+
+    Parameters
+    ----------
+    times:
+        ``{(n, frequency_hz): seconds}`` including the baseline cell
+        ``(1, base_frequency_hz)``.
+    base_frequency_hz:
+        The paper's ``f0``.
+
+    Returns the same keys mapped to
+    ``T_measured(1, f0) / T_measured(n, f)``.
+    """
+    key = (1, float(base_frequency_hz))
+    if key not in times:
+        raise ModelError(
+            f"times table is missing the baseline cell {key}"
+        )
+    baseline = times[key]
+    if baseline <= 0:
+        raise ModelError(f"non-positive baseline time: {baseline}")
+    out: dict[tuple[int, float], float] = {}
+    for (n, f), t in times.items():
+        if t <= 0:
+            raise ModelError(f"non-positive measured time at ({n}, {f})")
+        out[(n, float(f))] = baseline / t
+    return out

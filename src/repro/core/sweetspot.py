@@ -1,0 +1,140 @@
+"""Configuration "sweet spot" search.
+
+The paper's motivation (§1, §2): with an accurate power-aware
+performance model you can search the (processor count, frequency) space
+for configurations optimized under performance/power constraints —
+without measuring every cell.  :class:`SweetSpotFinder` implements the
+searches the paper sketches:
+
+* the fastest configuration outright,
+* the fastest configuration under a cluster power budget,
+* the most energy-frugal configuration within a slowdown bound,
+* the minimum energy-delay (EDP) and energy-delay-squared (ED²P)
+  configurations.
+
+Inputs are grids of (predicted or measured) times and energies, so the
+finder works identically on model output and on campaign data.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.energy import EnergyPrediction
+from repro.errors import ModelError
+
+__all__ = ["SweetSpotFinder", "SweetSpot"]
+
+Key = tuple[int, float]
+
+
+class SweetSpot(_t.NamedTuple):
+    """One selected configuration and its figures."""
+
+    n: int
+    frequency_hz: float
+    time_s: float
+    energy_j: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product of the configuration."""
+        return self.energy_j * self.time_s
+
+    @property
+    def frequency_mhz(self) -> float:
+        """Frequency in MHz for display."""
+        return self.frequency_hz / 1e6
+
+
+class SweetSpotFinder:
+    """Searches a (N, f) grid of time/energy figures.
+
+    Parameters
+    ----------
+    predictions:
+        ``{(n, frequency_hz): EnergyPrediction}`` — as produced by
+        :meth:`repro.core.energy.EnergyModel.prediction_grid`, or built
+        from a measured campaign.
+    """
+
+    def __init__(
+        self, predictions: _t.Mapping[Key, EnergyPrediction]
+    ) -> None:
+        if not predictions:
+            raise ModelError("sweet-spot search needs a non-empty grid")
+        self._grid = {
+            (int(n), float(f)): p for (n, f), p in predictions.items()
+        }
+
+    def _spot(self, key: Key) -> SweetSpot:
+        p = self._grid[key]
+        return SweetSpot(key[0], key[1], p.time_s, p.energy_j)
+
+    def _argmin(
+        self,
+        objective: _t.Callable[[EnergyPrediction], float],
+        feasible: _t.Callable[[Key, EnergyPrediction], bool] | None = None,
+    ) -> SweetSpot:
+        candidates = [
+            key
+            for key, p in self._grid.items()
+            if feasible is None or feasible(key, p)
+        ]
+        if not candidates:
+            raise ModelError("no configuration satisfies the constraints")
+        best = min(
+            candidates,
+            key=lambda k: (objective(self._grid[k]), k[0], k[1]),
+        )
+        return self._spot(best)
+
+    # -- searches ------------------------------------------------------------
+
+    def fastest(self) -> SweetSpot:
+        """The minimum-time configuration."""
+        return self._argmin(lambda p: p.time_s)
+
+    def fastest_within_power(self, power_budget_w: float) -> SweetSpot:
+        """Fastest configuration whose mean power fits the budget."""
+        if power_budget_w <= 0:
+            raise ModelError(f"power budget must be positive: {power_budget_w}")
+        return self._argmin(
+            lambda p: p.time_s,
+            feasible=lambda _k, p: p.mean_power_w <= power_budget_w,
+        )
+
+    def min_energy(self, max_slowdown: float | None = None) -> SweetSpot:
+        """Most energy-frugal configuration.
+
+        ``max_slowdown`` (e.g. 1.05 for "at most 5 % slower") bounds
+        the admissible time relative to the fastest configuration.
+        """
+        if max_slowdown is None:
+            return self._argmin(lambda p: p.energy_j)
+        if max_slowdown < 1.0:
+            raise ModelError(f"max_slowdown must be >= 1: {max_slowdown}")
+        t_best = self.fastest().time_s
+        return self._argmin(
+            lambda p: p.energy_j,
+            feasible=lambda _k, p: p.time_s <= max_slowdown * t_best,
+        )
+
+    def min_edp(self) -> SweetSpot:
+        """The minimum energy-delay-product configuration."""
+        return self._argmin(lambda p: p.edp)
+
+    def min_ed2p(self) -> SweetSpot:
+        """The minimum E·T² configuration."""
+        return self._argmin(lambda p: p.ed2p)
+
+    # -- reporting ------------------------------------------------------------
+
+    def summary(self) -> dict[str, SweetSpot]:
+        """All standard searches at once."""
+        return {
+            "fastest": self.fastest(),
+            "min_energy": self.min_energy(),
+            "min_edp": self.min_edp(),
+            "min_ed2p": self.min_ed2p(),
+        }

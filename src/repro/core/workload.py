@@ -1,0 +1,278 @@
+"""Workload decomposition for the power-aware speedup model.
+
+The paper decomposes a workload ``w`` along two axes (§3):
+
+1. **ON/OFF-chip**: ``w = w_ON + w_OFF``.  ON-chip work scales with the
+   core clock (DVFS); OFF-chip work is clocked by the memory bus.
+2. **Degree of parallelism (DOP)**: ``w = Σ_i w_i`` where ``w_i`` is
+   the work whose DOP is exactly ``i`` (it can use at most ``i``
+   processors no matter how many exist).
+
+On top of the decomposed workload sits the **parallel overhead**
+``w_PO`` — communication and synchronization work that appears only in
+parallel execution, is itself not parallelizable, and splits ON/OFF
+chip.  For message-passing codes the paper observes ``w_PO_ON ≈ 0``:
+overhead lives in the network, not the core (§4.3, [5, 17]).
+
+This module provides:
+
+* :class:`DopComponent` / :class:`Workload` — the decomposed workload.
+* Overhead models implementing the ``overhead_time(n, f)`` protocol:
+  :class:`ZeroOverhead`, :class:`MeasuredOverhead` (SP-style: one
+  derived number per N), :class:`MessageOverhead` (FP-style: message
+  count × measured per-message time).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as _t
+
+from repro.cluster.workmix import InstructionMix
+from repro.errors import ConfigurationError, ModelError
+
+__all__ = [
+    "DopComponent",
+    "Workload",
+    "OverheadModel",
+    "ZeroOverhead",
+    "MeasuredOverhead",
+    "MessageProfile",
+    "MessageOverhead",
+]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DopComponent:
+    """Work with one fixed degree of parallelism.
+
+    Attributes
+    ----------
+    dop:
+        The component's degree of parallelism ``i`` (>= 1): the
+        maximum number of processors that can be busy on it.
+    mix:
+        The component's instruction mix (gives ``w_i_ON`` and
+        ``w_i_OFF``).
+    """
+
+    dop: int
+    mix: InstructionMix
+
+    def __post_init__(self) -> None:
+        if self.dop < 1:
+            raise ConfigurationError(f"dop must be >= 1: {self.dop}")
+
+    def effective_divisor(self, n: int) -> float:
+        """Parallel speedup of this component on ``n`` processors.
+
+        With ``i = dop``: the component occupies min(i, n) processors;
+        for ``i > n`` the work wraps around in ⌈i/n⌉ passes (footnote 2
+        of the paper), giving ``i / ⌈i/n⌉`` effective speedup.
+        """
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1: {n}")
+        return self.dop / math.ceil(self.dop / n)
+
+
+class Workload:
+    """A DOP- and ON/OFF-chip-decomposed workload.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    components:
+        The DOP spectrum.  Multiple components may share a DOP value
+        (they are kept separate; queries aggregate).
+    """
+
+    def __init__(
+        self, name: str, components: _t.Iterable[DopComponent]
+    ) -> None:
+        self.name = str(name)
+        self.components = tuple(components)
+        if not self.components:
+            raise ConfigurationError("workload needs at least one component")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def serial_parallel(
+        cls,
+        name: str,
+        serial_mix: InstructionMix,
+        parallel_mix: InstructionMix,
+        max_dop: int,
+    ) -> "Workload":
+        """The common two-term split ``w = w_1 + w_N`` (paper §3 usage).
+
+        ``serial_mix`` gets DOP 1; ``parallel_mix`` gets DOP
+        ``max_dop`` (the paper's ``m``).
+        """
+        components = []
+        if serial_mix.total > 0:
+            components.append(DopComponent(1, serial_mix))
+        components.append(DopComponent(max_dop, parallel_mix))
+        return cls(name, components)
+
+    @classmethod
+    def fully_parallel(
+        cls, name: str, mix: InstructionMix, max_dop: int
+    ) -> "Workload":
+        """Assumption 1 of §5.1: the whole workload has DOP = m."""
+        return cls(name, [DopComponent(max_dop, mix)])
+
+    # -- aggregates --------------------------------------------------------
+
+    @property
+    def total_mix(self) -> InstructionMix:
+        """The summed instruction mix over all components."""
+        return sum((c.mix for c in self.components), InstructionMix.zero())
+
+    @property
+    def total_on_chip(self) -> float:
+        """``w_ON`` over the whole workload."""
+        return self.total_mix.on_chip
+
+    @property
+    def total_off_chip(self) -> float:
+        """``w_OFF`` over the whole workload."""
+        return self.total_mix.off_chip
+
+    @property
+    def max_dop(self) -> int:
+        """The paper's ``m``: the largest DOP present."""
+        return max(c.dop for c in self.components)
+
+    def serial_fraction(self) -> float:
+        """Fraction of total work with DOP = 1."""
+        total = self.total_mix.total
+        if total <= 0:
+            return 0.0
+        serial = sum(c.mix.total for c in self.components if c.dop == 1)
+        return serial / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Workload {self.name!r} components={len(self.components)} "
+            f"m={self.max_dop}>"
+        )
+
+
+class OverheadModel(_t.Protocol):
+    """Anything that can price parallel overhead in seconds.
+
+    Implementations answer ``overhead_time(n, f)``: the serial parallel
+    overhead time ``T(w_PO, f)`` on ``n`` processors at core frequency
+    ``f`` (Hz).  ``n = 1`` must return 0 — a sequential run has no
+    parallel overhead.
+    """
+
+    def overhead_time(self, n: int, frequency_hz: float) -> float:
+        """Overhead seconds for (n, f)."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclasses.dataclass(frozen=True)
+class ZeroOverhead:
+    """No parallel overhead (the EP idealization, Eq. 12)."""
+
+    def overhead_time(self, n: int, frequency_hz: float) -> float:
+        """Always zero: ideal parallelism has no overhead."""
+        return 0.0
+
+
+class MeasuredOverhead:
+    """SP-style overhead: one derived/measured time per processor count.
+
+    Embodies Assumption 2 (§5.1): overhead is frequency-*insensitive*,
+    so the stored per-N seconds apply at every frequency.
+
+    Parameters
+    ----------
+    by_n:
+        Mapping from processor count to overhead seconds (Eq. 17's
+        ``T(w_PO^OFF, f_OFF)`` per N).  Negative derived values are
+        clamped to zero (they arise from super-linear cache effects).
+    """
+
+    def __init__(self, by_n: _t.Mapping[int, float]) -> None:
+        self._by_n = {int(n): max(float(t), 0.0) for n, t in by_n.items()}
+
+    def overhead_time(self, n: int, frequency_hz: float) -> float:
+        """The stored per-N overhead, identical at every frequency
+        (Assumption 2)."""
+        if n == 1:
+            return 0.0
+        try:
+            return self._by_n[int(n)]
+        except KeyError:
+            raise ModelError(
+                f"no overhead measurement for n={n}; available: "
+                f"{sorted(self._by_n)}"
+            ) from None
+
+    def known_counts(self) -> tuple[int, ...]:
+        """Processor counts with a stored overhead value."""
+        return tuple(sorted(self._by_n))
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MessageProfile:
+    """A benchmark's communication profile at one processor count.
+
+    Attributes
+    ----------
+    critical_messages:
+        Number of messages on the critical path (the count the paper
+        multiplies by a per-message time, §5.2 step 2).
+    nbytes:
+        Bytes per message (paper Table 6: LU sends 310 doubles at 2
+        nodes, 155 at 4).
+    """
+
+    critical_messages: float
+    nbytes: float
+
+    def __post_init__(self) -> None:
+        if self.critical_messages < 0:
+            raise ConfigurationError(
+                f"critical_messages must be >= 0: {self.critical_messages}"
+            )
+        if self.nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0: {self.nbytes}")
+
+
+class MessageOverhead:
+    """FP-style overhead: message count × measured per-message time.
+
+    Parameters
+    ----------
+    profile_for:
+        Callable giving the :class:`MessageProfile` at each processor
+        count (from application profiling).
+    message_time:
+        Callable ``(nbytes, frequency_hz) -> seconds``: the per-message
+        time, from MPPTEST-style measurement
+        (:class:`repro.proftools.mpptest.MessageTimeTable`) or an
+        analytic model (:class:`repro.mpi.cost.HockneyModel` adapted).
+    """
+
+    def __init__(
+        self,
+        profile_for: _t.Callable[[int], MessageProfile],
+        message_time: _t.Callable[[float, float], float],
+    ) -> None:
+        self._profile_for = profile_for
+        self._message_time = message_time
+
+    def overhead_time(self, n: int, frequency_hz: float) -> float:
+        """Messages on the critical path x per-message time at f."""
+        if n <= 1:
+            return 0.0
+        profile = self._profile_for(n)
+        return profile.critical_messages * self._message_time(
+            profile.nbytes, frequency_hz
+        )

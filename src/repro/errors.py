@@ -1,0 +1,71 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-defined exceptions derive from :class:`ReproError` so callers
+can catch everything the library raises with a single ``except`` clause
+while still being able to distinguish the broad failure domains:
+
+* :class:`ConfigurationError` — an object was constructed with invalid
+  parameters (negative sizes, unknown frequencies, ...).
+* :class:`SimulationError` — the discrete-event simulator reached an
+  inconsistent state (deadlock, unmatched messages, time travel).
+* :class:`ModelError` — the analytical model was asked something it cannot
+  answer (missing parameters, divide-by-zero workloads).
+* :class:`MeasurementError` — a measurement campaign is missing data needed
+  by a parameterization step.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "DeadlockError",
+    "ModelError",
+    "MeasurementError",
+    "UnknownExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An object was configured with invalid or inconsistent parameters."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while simulated processes were still blocked.
+
+    Typically raised when a simulated MPI program posts a receive that is
+    never matched by a send (or vice versa), the simulated analogue of a
+    hung ``mpirun``.
+    """
+
+
+class ModelError(ReproError, ValueError):
+    """The analytical model cannot produce an answer from its inputs."""
+
+
+class MeasurementError(ReproError, KeyError):
+    """A required measurement is missing from a campaign.
+
+    Parameterization methods (SP and FP, paper §5) consume measurement
+    campaigns; this error identifies exactly which (N, f) sample was
+    required but absent.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its message; undo that.
+        return Exception.__str__(self)
+
+
+class UnknownExperimentError(ReproError, KeyError):
+    """An experiment id was requested that the registry does not know."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)

@@ -1,0 +1,203 @@
+"""Command-line interface: ``repro-experiments``.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run table3 [--class A] [--json OUT.json]
+    repro-experiments run-all [--outdir results/]
+    repro-experiments campaign ft --class A --counts 1,2,4,8,16 \\
+        --csv ft_times.csv
+
+Every experiment prints its report in the paper's table layout; JSON
+export captures the machine-readable data for downstream analysis.
+The ``campaign`` subcommand measures any registered benchmark over a
+custom (counts × frequencies) grid and exports times/energies/speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import typing as _t
+
+from repro.experiments.registry import (
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = ["main"]
+
+
+def _jsonify(value: _t.Any) -> _t.Any:
+    """Make experiment data JSON-serializable (tuple keys become
+    strings)."""
+    if isinstance(value, dict):
+        return {
+            (
+                f"{k[0]}@{k[1] / 1e6:.0f}MHz"
+                if isinstance(k, tuple) and len(k) == 2
+                else str(k)
+            ): _jsonify(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, float):
+        return value
+    if hasattr(value, "as_dict"):
+        return _jsonify(value.as_dict())
+    return value
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for exp_id, title, _desc in list_experiments():
+        print(f"{exp_id:20s} {title}")
+    return 0
+
+
+def _run_one(
+    exp_id: str, problem_class: str, json_path: str | None
+) -> None:
+    kwargs: dict[str, _t.Any] = {}
+    if problem_class:
+        kwargs["problem_class"] = problem_class
+    result = run_experiment(exp_id, **kwargs)
+    print(result)
+    print()
+    if json_path:
+        document = {
+            "experiment": result.experiment_id,
+            "title": result.title,
+            "data": _jsonify(result.data),
+        }
+        pathlib.Path(json_path).write_text(json.dumps(document, indent=2))
+        print(f"[data written to {json_path}]")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    _run_one(args.experiment, args.problem_class, args.json)
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    outdir = pathlib.Path(args.outdir) if args.outdir else None
+    if outdir:
+        outdir.mkdir(parents=True, exist_ok=True)
+    for exp_id, _title, _desc in list_experiments():
+        json_path = str(outdir / f"{exp_id}.json") if outdir else None
+        _run_one(exp_id, args.problem_class, json_path)
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.platform import (
+        PAPER_COUNTS,
+        PAPER_FREQUENCIES,
+        measure_campaign,
+    )
+    from repro.npb import BENCHMARKS, ProblemClass
+    from repro.reporting import format_grid, grid_to_csv
+    from repro.units import mhz
+
+    name = args.benchmark.lower()
+    if name not in BENCHMARKS:
+        print(
+            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}",
+            file=sys.stderr,
+        )
+        return 2
+    counts = (
+        tuple(int(c) for c in args.counts.split(","))
+        if args.counts
+        else PAPER_COUNTS
+    )
+    frequencies = (
+        tuple(mhz(float(m)) for m in args.frequencies.split(","))
+        if args.frequencies
+        else PAPER_FREQUENCIES
+    )
+    bench = BENCHMARKS[name](
+        ProblemClass.parse(args.problem_class or "A")
+    )
+    campaign = measure_campaign(bench, counts, frequencies)
+
+    print(
+        format_grid(
+            campaign.times,
+            title=f"{name.upper()} execution time (seconds)",
+            value_style="time",
+        )
+    )
+    print()
+    print(
+        format_grid(
+            campaign.speedups(),
+            title=f"{name.upper()} power-aware speedup",
+            value_style="speedup",
+        )
+    )
+    if args.csv:
+        base = pathlib.Path(args.csv)
+        grid_to_csv(campaign.times, base, value_name="seconds")
+        energy_path = base.with_name(base.stem + "_energy" + base.suffix)
+        grid_to_csv(campaign.energies, energy_path, value_name="joules")
+        print(f"\n[times written to {base}, energies to {energy_path}]")
+    return 0
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    """Entry point for the ``repro-experiments`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of 'Power-Aware "
+        "Speedup' (Ge & Cameron, IPDPS 2007) on the simulated platform.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list available experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment", help="experiment id (see 'list')")
+    p_run.add_argument(
+        "--class",
+        dest="problem_class",
+        default="",
+        help="NPB problem class (default: each experiment's default, A)",
+    )
+    p_run.add_argument("--json", default=None, help="write data to JSON file")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_all = sub.add_parser("run-all", help="run every experiment")
+    p_all.add_argument("--class", dest="problem_class", default="")
+    p_all.add_argument(
+        "--outdir", default=None, help="directory for per-experiment JSON"
+    )
+    p_all.set_defaults(func=_cmd_run_all)
+
+    p_camp = sub.add_parser(
+        "campaign", help="measure a benchmark over a custom (N, f) grid"
+    )
+    p_camp.add_argument(
+        "benchmark", help="benchmark name (ep, ft, lu, cg, mg, is, bt, sp)"
+    )
+    p_camp.add_argument("--class", dest="problem_class", default="A")
+    p_camp.add_argument(
+        "--counts", default="", help="comma-separated processor counts"
+    )
+    p_camp.add_argument(
+        "--frequencies", default="", help="comma-separated frequencies (MHz)"
+    )
+    p_camp.add_argument(
+        "--csv", default=None, help="CSV path for times (+ _energy sibling)"
+    )
+    p_camp.set_defaults(func=_cmd_campaign)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Extrapolation to a larger cluster — the paper's footnote-3 wish.
+
+"Admittedly, it would be nice to confirm this result on a larger
+power-aware cluster.  However, ours is one of only a few power-aware
+clusters in the US and there are few (if any) larger than 16 or 32
+nodes."  (Paper, footnote 3.)
+
+Our platform is simulated, so we *can* build the larger machine.  This
+experiment:
+
+1. fits the FP parameterization to LU using only measurements
+   obtainable on small configurations (sequential counters,
+   microbenchmarks, a 2-node message probe);
+2. predicts execution times at 16 and 32 nodes — configurations whose
+   parallel runs were never used in the fit;
+3. simulates real 16- and 32-node jobs and scores the predictions.
+
+It also tests the paper's §4.3 empirical claim that FT's speedup
+"does not change significantly from 16 to 32 nodes".
+"""
+
+from __future__ import annotations
+
+from repro.core.prediction import Predictor
+from repro.experiments.platform import PAPER_FREQUENCIES, measure_campaign
+from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.table7 import fit_lu_fp
+from repro.npb import FTBenchmark, LUBenchmark, ProblemClass
+from repro.reporting.tables import format_error_table, format_rows
+
+__all__ = ["run"]
+
+#: The configurations the fit never sees as parallel measurements.
+EXTRAPOLATED_COUNTS = (16, 32)
+
+
+@register(
+    "extrapolation",
+    "Footnote 3: predict the larger cluster the authors could not build",
+    "FP fitted on small-config measurements, validated at 16/32 nodes",
+)
+def run(problem_class: str = "A") -> ExperimentResult:
+    """Extrapolate LU to 16/32 nodes; check FT's 16→32 flattening."""
+    # -- LU: FP extrapolation ------------------------------------------------
+    lu = LUBenchmark(ProblemClass.parse(problem_class))
+    fp = fit_lu_fp(lu)  # sequential counters + probes only
+    fp_dop = fit_lu_fp(lu, workload=lu.workload(max_dop=1 << 20))
+
+    # The sequential baseline is measurable on any machine; only the
+    # 16/32-node *parallel* cells are extrapolated.
+    campaign = measure_campaign(
+        lu, (1,) + EXTRAPOLATED_COUNTS, PAPER_FREQUENCIES
+    )
+    table = Predictor(campaign, fp).speedup_error_table(
+        label="LU extrapolation errors (FP)"
+    )
+    table_dop = Predictor(campaign, fp_dop).speedup_error_table(
+        label="LU extrapolation errors (FP + DOP)"
+    )
+
+    # -- FT: the 16 -> 32 flattening claim --------------------------------------
+    ft = FTBenchmark(ProblemClass.parse(problem_class))
+    f0 = min(PAPER_FREQUENCIES)
+    ft_times = measure_campaign(ft, (1, 16, 32), (f0,))
+    s16 = ft_times.time(1, f0) / ft_times.time(16, f0)
+    s32 = ft_times.time(1, f0) / ft_times.time(32, f0)
+    rel_change = (s32 - s16) / s16
+
+    text = "\n\n".join(
+        [
+            format_error_table(
+                table,
+                title="LU at 16/32 nodes: FP (Assumption 1) predictions vs "
+                "simulated measurements (no parallel runs used in the fit)",
+            ),
+            format_error_table(
+                table_dop,
+                title="Same, with the DOP-decomposed workload: the pipeline "
+                "limit is modelled and extrapolation holds up at scale",
+            ),
+            format_rows(
+                ["config", "speedup @ 600 MHz"],
+                [["16 nodes", f"{s16:.2f}"], ["32 nodes", f"{s32:.2f}"]],
+                title="FT speedup, 16 vs 32 nodes",
+            ),
+            f"FT speedup changes {rel_change:+.1%} from 16 to 32 nodes — "
+            "sub-linear (ideal doubling would be +100%) but not the full "
+            "saturation the authors observed on the Argus prototype [10]; "
+            "our TCP-congestion surrogate keeps a modest gain beyond 16 "
+            "nodes (documented in EXPERIMENTS.md).",
+        ]
+    )
+    data = {
+        "lu_errors": table.cells(),
+        "lu_max_error": table.max_error,
+        "lu_dop_errors": table_dop.cells(),
+        "lu_dop_max_error": table_dop.max_error,
+        "ft_speedup_16": s16,
+        "ft_speedup_32": s32,
+        "ft_relative_change": rel_change,
+    }
+    return ExperimentResult(
+        "extrapolation",
+        "Footnote 3: predict the larger cluster the authors could not build",
+        text,
+        data,
+    )

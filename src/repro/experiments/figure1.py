@@ -1,0 +1,82 @@
+"""Figure 1 — EP execution times and the 2-D power-aware speedup surface.
+
+Figure 1a plots EP's measured execution time against processor count,
+one series per frequency; Figure 1b the speedup surface over (N, f).
+The paper's observations this experiment regenerates:
+
+1. time falls with N at fixed f;  2. time falls with f at fixed N;
+3. speedup is linear in N at the base frequency (15.9 at 16);
+4. linear in f at N = 1 (2.34 at 1400 MHz);
+5. the combined speedup ≈ the product (36.5 ≈ 15.9 × 2.34), and the
+   analytical Eq. 12 prediction ``S = N·f/f0`` lands within ~2 %.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.analysis import ErrorTable
+from repro.core.speedup import measured_speedup_table
+from repro.experiments.platform import (
+    PAPER_COUNTS,
+    PAPER_FREQUENCIES,
+    measure_campaign,
+)
+from repro.experiments.registry import ExperimentResult, register
+from repro.npb import EPBenchmark, ProblemClass
+from repro.reporting.tables import format_grid
+
+__all__ = ["run"]
+
+
+@register(
+    "figure1",
+    "Figure 1: EP execution time and two-dimensional speedup",
+    "EP time series per frequency + (N, f) speedup surface + Eq. 12 check",
+)
+def run(
+    problem_class: str = "A",
+    counts: _t.Sequence[int] = PAPER_COUNTS,
+    frequencies: _t.Sequence[float] = PAPER_FREQUENCIES,
+) -> ExperimentResult:
+    """Reproduce Figure 1 (and the §4.2 Eq. 12 accuracy claim)."""
+    ep = EPBenchmark(ProblemClass.parse(problem_class))
+    campaign = measure_campaign(ep, counts, frequencies)
+    speedups = measured_speedup_table(
+        campaign.times, campaign.base_frequency_hz
+    )
+
+    # Eq. 12: S = N · f / f0 (the EP analytical prediction).
+    f0 = campaign.base_frequency_hz
+    eq12 = {(n, f): n * f / f0 for (n, f) in speedups}
+    eq12_errors = ErrorTable.compare(eq12, speedups, label="Eq. 12 vs measured")
+
+    text = "\n\n".join(
+        [
+            format_grid(
+                campaign.times,
+                title="Figure 1a: EP execution time (seconds)",
+                value_style="time",
+            ),
+            format_grid(
+                speedups,
+                title="Figure 1b: EP power-aware speedup surface",
+                value_style="speedup",
+            ),
+            f"Eq. 12 (S = N·f/f0) max error: {eq12_errors.max_error:.1%}"
+            f"  (paper: 2.3% max)",
+        ]
+    )
+    data = {
+        "times": dict(campaign.times),
+        "energies": dict(campaign.energies),
+        "speedups": speedups,
+        "eq12_predictions": eq12,
+        "eq12_max_error": eq12_errors.max_error,
+    }
+    return ExperimentResult(
+        "figure1",
+        "Figure 1: EP execution time and two-dimensional speedup",
+        text,
+        data,
+    )

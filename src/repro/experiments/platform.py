@@ -1,0 +1,98 @@
+"""The paper's measurement grid and campaign runner.
+
+The experiments all share one measurement protocol: run a benchmark at
+every (processor count, frequency) combination on the simulated
+platform, recording execution time and energy.  This module provides
+the paper's grid constants and a cached campaign runner — simulation is
+deterministic, so re-measuring the same (benchmark, grid) is wasted
+work within a process.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cluster.machine import Cluster, paper_spec
+from repro.core.measurements import TimingCampaign
+from repro.npb.base import BenchmarkModel
+from repro.units import mhz
+
+__all__ = [
+    "PAPER_COUNTS",
+    "PAPER_FREQUENCIES",
+    "measure_campaign",
+    "clear_campaign_cache",
+]
+
+#: The processor counts of the paper's tables (powers of two to 16).
+PAPER_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16)
+
+#: The five SpeedStep frequencies of Table 2, in hertz.
+PAPER_FREQUENCIES: tuple[float, ...] = tuple(
+    mhz(m) for m in (600, 800, 1000, 1200, 1400)
+)
+
+_CACHE: dict[tuple, TimingCampaign] = {}
+
+
+def _cache_key(
+    benchmark: BenchmarkModel,
+    counts: _t.Sequence[int],
+    frequencies: _t.Sequence[float],
+) -> tuple:
+    return (
+        benchmark.name,
+        benchmark.problem_class.value,
+        tuple(counts),
+        tuple(frequencies),
+    )
+
+
+def measure_campaign(
+    benchmark: BenchmarkModel,
+    counts: _t.Sequence[int] = PAPER_COUNTS,
+    frequencies: _t.Sequence[float] = PAPER_FREQUENCIES,
+    use_cache: bool = True,
+    spec=None,
+) -> TimingCampaign:
+    """Measure a benchmark over a (counts × frequencies) grid.
+
+    Each cell is one fresh simulated job: a cluster of exactly ``n``
+    nodes pinned at frequency ``f`` running the benchmark to
+    completion.  Returns a :class:`~repro.core.measurements.
+    TimingCampaign` with both times and energies.
+
+    ``spec`` overrides the platform (ablations measure on modified
+    hardware); custom-spec campaigns bypass the cache.
+    """
+    if spec is not None:
+        use_cache = False
+    key = _cache_key(benchmark, counts, frequencies)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    times: dict[tuple[int, float], float] = {}
+    energies: dict[tuple[int, float], float] = {}
+    for n in counts:
+        for f in frequencies:
+            node_spec = (
+                spec.with_nodes(n) if spec is not None else paper_spec(n)
+            )
+            cluster = Cluster(node_spec, frequency_hz=f)
+            result = benchmark.run(cluster)
+            times[(n, f)] = result.elapsed_s
+            energies[(n, f)] = result.energy_j
+    campaign = TimingCampaign(
+        times=times,
+        base_frequency_hz=min(frequencies),
+        energies=energies,
+        label=f"{benchmark.name}.{benchmark.problem_class.value}",
+    )
+    if use_cache:
+        _CACHE[key] = campaign
+    return campaign
+
+
+def clear_campaign_cache() -> None:
+    """Drop all cached campaigns (tests use this for isolation)."""
+    _CACHE.clear()

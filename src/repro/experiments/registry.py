@@ -1,0 +1,117 @@
+"""Experiment registry and result container.
+
+Experiments register themselves with :func:`register`; the CLI and the
+benchmark harness discover them through :func:`list_experiments` /
+:func:`run_experiment`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.errors import UnknownExperimentError
+
+__all__ = [
+    "ExperimentResult",
+    "register",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentResult:
+    """The outcome of one experiment driver.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry id (e.g. ``"table3"``).
+    title:
+        Human-readable title naming the paper artifact.
+    text:
+        The rendered report (tables in the paper's layout).
+    data:
+        Machine-readable results: grids, rows, scalar summaries.
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict[str, _t.Any]
+
+    def __str__(self) -> str:
+        return f"== {self.title} ==\n{self.text}"
+
+
+@dataclasses.dataclass(frozen=True)
+class _Entry:
+    experiment_id: str
+    title: str
+    runner: _t.Callable[..., ExperimentResult]
+    description: str
+
+
+_REGISTRY: dict[str, _Entry] = {}
+
+
+def register(
+    experiment_id: str, title: str, description: str = ""
+) -> _t.Callable:
+    """Decorator registering an experiment runner under an id."""
+
+    def wrap(fn: _t.Callable[..., ExperimentResult]):
+        _REGISTRY[experiment_id] = _Entry(
+            experiment_id, title, fn, description or fn.__doc__ or ""
+        )
+        return fn
+
+    return wrap
+
+
+def _ensure_loaded() -> None:
+    # Import experiment modules for their registration side effects.
+    from repro.experiments import (  # noqa: F401
+        ablations,
+        dvfs_savings,
+        edp,
+        extrapolation,
+        figure1,
+        figure2,
+        predictive_scheduling,
+        slack_savings,
+        suite_overview,
+        table1,
+        table3,
+        table5,
+        table6,
+        table7,
+    )
+
+
+def get_experiment(experiment_id: str) -> _Entry:
+    """Look up a registered experiment."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise UnknownExperimentError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_experiments() -> list[tuple[str, str, str]]:
+    """(id, title, description) of every registered experiment."""
+    _ensure_loaded()
+    return [
+        (e.experiment_id, e.title, e.description)
+        for e in sorted(_REGISTRY.values(), key=lambda e: e.experiment_id)
+    ]
+
+
+def run_experiment(experiment_id: str, **kwargs: _t.Any) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id).runner(**kwargs)

@@ -1,0 +1,76 @@
+"""Table 3 — power-aware speedup prediction errors for FT (SP method).
+
+The paper fits the simplified parameterization (§5.1) to FT — one
+base-frequency column of parallel runs plus one sequential frequency
+row — and predicts the full grid with Eq. 18.  Published errors: 0 % in
+the base column (by construction), at most ~3 % elsewhere, growing
+with N and f.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.params_sp import SimplifiedParameterization
+from repro.core.prediction import Predictor
+from repro.experiments.platform import (
+    PAPER_COUNTS,
+    PAPER_FREQUENCIES,
+    measure_campaign,
+)
+from repro.experiments.registry import ExperimentResult, register
+from repro.npb import FTBenchmark, ProblemClass
+from repro.reporting.tables import format_error_table, format_grid
+
+__all__ = ["run"]
+
+
+@register(
+    "table3",
+    "Table 3: power-aware speedup (SP) prediction errors for FT",
+    "Simplified parameterization fitted to FT, errors over the grid",
+)
+def run(
+    problem_class: str = "A",
+    counts: _t.Sequence[int] = PAPER_COUNTS,
+    frequencies: _t.Sequence[float] = PAPER_FREQUENCIES,
+) -> ExperimentResult:
+    """Reproduce Table 3."""
+    ft = FTBenchmark(ProblemClass.parse(problem_class))
+    campaign = measure_campaign(ft, counts, frequencies)
+    sp = SimplifiedParameterization(campaign)
+    predictor = Predictor(campaign, sp)
+    table = predictor.speedup_error_table(label="Table 3 (SP errors, FT)")
+
+    overheads = {n: sp.overhead(n) for n in campaign.counts if n > 1}
+    text = "\n\n".join(
+        [
+            format_error_table(table),
+            format_grid(
+                predictor.predicted_speedups(),
+                title="Predicted power-aware speedups",
+                value_style="speedup",
+            ),
+            "Derived parallel overhead T(w_PO, f_OFF) per N (Eq. 17):\n"
+            + "\n".join(
+                f"  N={n:2d}: {t:.2f}s" for n, t in sorted(overheads.items())
+            ),
+            f"max error off the base column: "
+            f"{table.max_excluding_base(campaign.base_frequency_hz):.1%}"
+            f"  (paper: <= 3%)",
+        ]
+    )
+    data = {
+        "errors": table.cells(),
+        "max_error": table.max_error,
+        "predicted_speedups": predictor.predicted_speedups(),
+        "measured_speedups": predictor.measured_speedups(),
+        "derived_overheads": overheads,
+        "runs_required": sp.inputs_used()["runs_required"],
+    }
+    return ExperimentResult(
+        "table3",
+        "Table 3: power-aware speedup (SP) prediction errors for FT",
+        text,
+        data,
+    )

@@ -1,0 +1,106 @@
+"""Table 6 — seconds per instruction and per message.
+
+The fine-grain parameterization's step 2, both halves:
+
+* LMBENCH-style probes give seconds/instruction per memory level per
+  frequency.  Expected shape: ON-chip rows fall as 1/f (constant
+  ``CPI_ON``); the memory row is flat except for the bus-downshift
+  rise at the two lowest frequencies (140 ns vs 110 ns).
+* MPPTEST-style probes give per-message times for LU's two message
+  sizes (310 doubles at 2 nodes, 155 at 4).  Expected shape: the small
+  message is frequency-insensitive; the large one is slower at
+  600 MHz.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.workmix import InstructionMix
+from repro.core.cpi import WorkloadRates
+from repro.experiments.platform import PAPER_FREQUENCIES
+from repro.experiments.registry import ExperimentResult, register
+from repro.npb import LUBenchmark, ProblemClass
+from repro.proftools.lmbench import LevelLatencyProbe
+from repro.proftools.mpptest import MppTest
+from repro.reporting.tables import format_rows
+from repro.units import doubles
+
+__all__ = ["run"]
+
+
+@register(
+    "table6",
+    "Table 6: seconds per instruction (CPI/f) and per message",
+    "LMBENCH-style level latencies + MPPTEST-style message times",
+)
+def run(problem_class: str = "A", repetitions: int = 10) -> ExperimentResult:
+    """Reproduce Table 6."""
+    freqs = list(PAPER_FREQUENCIES)
+    mhz_labels = [f"{f / 1e6:.0f}MHz" for f in freqs]
+
+    # -- upper half: per-level latencies and the weighted CPI_ON ---------
+    probe = LevelLatencyProbe()
+    level_table = probe.measure(freqs)
+    lu = LUBenchmark(ProblemClass.parse(problem_class))
+    mix: InstructionMix = lu.total_mix()
+    rates = WorkloadRates.from_level_latencies(mix, level_table)
+
+    on_chip_row = [
+        f"{rates.on_chip_seconds_per_instruction(f) * 1e9:.2f}"
+        for f in freqs
+    ]
+    off_chip_row = [
+        f"{rates.off_chip_seconds_per_instruction(f) * 1e9:.0f}"
+        for f in freqs
+    ]
+
+    # -- lower half: per-message times for LU's two sizes -----------------
+    sizes = {
+        "155 doubles": doubles(155),
+        "310 doubles": doubles(310),
+    }
+    mpp = MppTest()
+    message_table = mpp.measure(
+        list(sizes.values()), freqs, repetitions=repetitions
+    )
+    message_rows = [
+        [label]
+        + [
+            f"{message_table.time(nbytes, f) * 1e6:.0f}"
+            for f in freqs
+        ]
+        for label, nbytes in sizes.items()
+    ]
+
+    text = "\n\n".join(
+        [
+            format_rows(
+                ["quantity"] + mhz_labels,
+                [
+                    [f"CPI_ON (cycles, weighted)"]
+                    + [f"{rates.cpi_on:.2f}"] * len(freqs),
+                    ["CPI_ON/f_ON (ns/ins)"] + on_chip_row,
+                    ["CPI_OFF/f_OFF (ns/ins)"] + off_chip_row,
+                ],
+                title="Table 6 (upper): seconds per instruction",
+            ),
+            format_rows(
+                ["message"] + mhz_labels,
+                message_rows,
+                title="Table 6 (lower): per-message time (microseconds)",
+            ),
+            f"weighted CPI_ON = {rates.cpi_on:.2f}  (paper: 2.19)",
+        ]
+    )
+    data = {
+        "cpi_on": rates.cpi_on,
+        "level_latencies": {
+            f: dict(levels) for f, levels in level_table.items()
+        },
+        "message_times": message_table.as_dict(),
+    }
+    return ExperimentResult(
+        "table6",
+        "Table 6: seconds per instruction (CPI/f) and per message",
+        text,
+        data,
+    )

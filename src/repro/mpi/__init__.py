@@ -1,0 +1,51 @@
+"""Simulated message-passing runtime (``simmpi``).
+
+A deliberately MPICH-flavoured message-passing layer that runs *inside*
+the discrete-event simulator.  Rank programs are Python generators; they
+``yield from`` communication operations exactly where a real MPI code
+would call them, and the runtime charges simulated time, per-port
+network contention, host CPU overhead and energy.
+
+Layers
+------
+* :mod:`~repro.mpi.datatypes` — message envelopes and byte accounting.
+* :mod:`~repro.mpi.matching`  — the unexpected-message / posted-receive
+  matching engine every real MPI implementation carries.
+* :mod:`~repro.mpi.p2p`       — eager/rendezvous point-to-point.
+* :mod:`~repro.mpi.collectives` — barrier, bcast, reduce, allreduce,
+  allgather, alltoall built from p2p with the classic algorithms.
+* :mod:`~repro.mpi.cost`      — Hockney and LogGP closed-form cost
+  models of the same network (the analytic view used by tests and by
+  the fine-grain parameterization).
+* :mod:`~repro.mpi.program`   — the rank-program API and job runner.
+
+Quickstart
+----------
+>>> from repro.cluster import paper_cluster
+>>> from repro.mpi import run_program
+>>> def ping(ctx):
+...     if ctx.rank == 0:
+...         yield from ctx.send(1, nbytes=1024)
+...     else:
+...         yield from ctx.recv(0)
+>>> result = run_program(paper_cluster(2), ping)
+>>> result.elapsed_s > 0
+True
+"""
+
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Communicator
+from repro.mpi.cost import HockneyModel, LogGPModel
+from repro.mpi.datatypes import Message
+from repro.mpi.program import RankContext, RunResult, run_program
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "Message",
+    "HockneyModel",
+    "LogGPModel",
+    "RankContext",
+    "RunResult",
+    "run_program",
+]

@@ -1,0 +1,386 @@
+"""Collective operations built from point-to-point messages.
+
+Each collective is implemented with the classic MPICH algorithm so the
+*communication structure* — who talks to whom, in how many rounds, with
+what message sizes — matches what the paper's cluster actually executed:
+
+================  ===========================================
+Collective        Algorithm
+================  ===========================================
+barrier           dissemination (⌈log₂N⌉ rounds, empty msgs)
+bcast             binomial tree
+reduce            binomial tree (leaves toward root)
+allreduce         recursive doubling with remainder pre/post
+allgather         ring (N−1 steps of the per-rank block)
+alltoall          pairwise exchange (N−1 steps)
+scatter, gather   linear rooted
+================  ===========================================
+
+All functions are generators taking ``(comm, rank, ..., seq)`` and are
+meant to be invoked via ``yield from`` inside a rank program, with every
+participating rank calling the same collective with the same ``seq``
+(the per-rank collective call counter that keeps tags of back-to-back
+collectives from colliding).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import ConfigurationError
+from repro.mpi.comm import Communicator
+from repro.mpi.p2p import recv, send, sendrecv
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "allreduce_rabenseifner",
+    "allgather",
+    "alltoall",
+    "alltoall_bruck",
+    "reduce_scatter",
+    "scatter",
+    "gather",
+]
+
+#: Collective tags live above user tag space.
+_TAG_BASE = 1 << 20
+_OPS = {
+    "barrier": 1,
+    "bcast": 2,
+    "reduce": 3,
+    "allreduce": 4,
+    "allgather": 5,
+    "alltoall": 6,
+    "scatter": 7,
+    "gather": 8,
+}
+
+
+def _tag(op: str, seq: int, round_: int = 0) -> int:
+    """Compose a collision-resistant tag for one collective round."""
+    return _TAG_BASE | (_OPS[op] << 16) | ((seq & 0xFF) << 8) | (round_ & 0xFF)
+
+
+def _check_nbytes(nbytes: float) -> float:
+    if nbytes < 0:
+        raise ConfigurationError(f"nbytes must be >= 0: {nbytes}")
+    return float(nbytes)
+
+
+def barrier(comm: Communicator, rank: int, seq: int = 0) -> _t.Generator:
+    """Dissemination barrier: ⌈log₂N⌉ rounds of empty sendrecvs."""
+    size = comm.size
+    mask, round_ = 1, 0
+    while mask < size:
+        dst = (rank + mask) % size
+        src = (rank - mask) % size
+        tag = _tag("barrier", seq, round_)
+        yield from sendrecv(
+            comm, rank, dst, 0.0, source=src, send_tag=tag, recv_tag=tag
+        )
+        mask <<= 1
+        round_ += 1
+
+
+def bcast(
+    comm: Communicator,
+    rank: int,
+    root: int,
+    nbytes: float,
+    seq: int = 0,
+) -> _t.Generator:
+    """Binomial-tree broadcast of ``nbytes`` from ``root``."""
+    _check_nbytes(nbytes)
+    size = comm.size
+    comm.check_rank(root)
+    vrank = (rank - root) % size
+    tag = _tag("bcast", seq)
+
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank & ~mask) + root) % size
+            yield from recv(comm, rank, source=parent, tag=tag)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size and not vrank & mask:
+            child = ((vrank + mask) + root) % size
+            yield from send(comm, rank, child, nbytes, tag=tag)
+        mask >>= 1
+
+
+def reduce(
+    comm: Communicator,
+    rank: int,
+    root: int,
+    nbytes: float,
+    seq: int = 0,
+) -> _t.Generator:
+    """Binomial-tree reduction of ``nbytes`` per rank toward ``root``."""
+    _check_nbytes(nbytes)
+    size = comm.size
+    comm.check_rank(root)
+    vrank = (rank - root) % size
+    tag = _tag("reduce", seq)
+
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank & ~mask) + root) % size
+            yield from send(comm, rank, parent, nbytes, tag=tag)
+            break
+        child_v = vrank | mask
+        if child_v < size:
+            child = (child_v + root) % size
+            yield from recv(comm, rank, source=child, tag=tag)
+        mask <<= 1
+
+
+def allreduce(
+    comm: Communicator, rank: int, nbytes: float, seq: int = 0
+) -> _t.Generator:
+    """Recursive-doubling allreduce with the MPICH remainder handling.
+
+    For non-power-of-two sizes, the first ``rem = N − 2^⌊log₂N⌋`` even
+    ranks fold into their odd neighbours before the doubling rounds and
+    get the result back afterwards.
+    """
+    _check_nbytes(nbytes)
+    size = comm.size
+    if size == 1:
+        return
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+    tag0 = _tag("allreduce", seq, 0)
+
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            yield from send(comm, rank, rank + 1, nbytes, tag=tag0)
+            newrank = -1
+        else:
+            yield from recv(comm, rank, source=rank - 1, tag=tag0)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+
+    if newrank >= 0:
+        mask, round_ = 1, 1
+        while mask < pof2:
+            partner_new = newrank ^ mask
+            partner = (
+                partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+            )
+            tag = _tag("allreduce", seq, round_)
+            yield from sendrecv(
+                comm,
+                rank,
+                partner,
+                nbytes,
+                source=partner,
+                send_tag=tag,
+                recv_tag=tag,
+            )
+            mask <<= 1
+            round_ += 1
+
+    tag_last = _tag("allreduce", seq, 0xFF)
+    if rank < 2 * rem:
+        if rank % 2 == 1:
+            yield from send(comm, rank, rank - 1, nbytes, tag=tag_last)
+        else:
+            yield from recv(comm, rank, source=rank + 1, tag=tag_last)
+
+
+def allgather(
+    comm: Communicator, rank: int, nbytes_per_rank: float, seq: int = 0
+) -> _t.Generator:
+    """Ring allgather: N−1 steps, each forwarding one rank's block."""
+    _check_nbytes(nbytes_per_rank)
+    size = comm.size
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for step in range(size - 1):
+        tag = _tag("allgather", seq, step)
+        yield from sendrecv(
+            comm,
+            rank,
+            right,
+            nbytes_per_rank,
+            source=left,
+            send_tag=tag,
+            recv_tag=tag,
+        )
+
+
+def alltoall(
+    comm: Communicator, rank: int, nbytes_per_pair: float, seq: int = 0
+) -> _t.Generator:
+    """Pairwise-exchange alltoall: N−1 steps of ``nbytes_per_pair``.
+
+    ``nbytes_per_pair`` is the payload each rank sends to each *other*
+    rank (the local block does not touch the network).  With a
+    power-of-two size the partner schedule is XOR-based (mutual pairs);
+    otherwise a shifted ring.
+    """
+    _check_nbytes(nbytes_per_pair)
+    size = comm.size
+    is_pof2 = size & (size - 1) == 0
+    for step in range(1, size):
+        tag = _tag("alltoall", seq, step)
+        if is_pof2:
+            partner = rank ^ step
+            yield from sendrecv(
+                comm,
+                rank,
+                partner,
+                nbytes_per_pair,
+                source=partner,
+                send_tag=tag,
+                recv_tag=tag,
+            )
+        else:
+            dst = (rank + step) % size
+            src = (rank - step) % size
+            yield from sendrecv(
+                comm,
+                rank,
+                dst,
+                nbytes_per_pair,
+                source=src,
+                send_tag=tag,
+                recv_tag=tag,
+            )
+
+
+def scatter(
+    comm: Communicator,
+    rank: int,
+    root: int,
+    nbytes_per_rank: float,
+    seq: int = 0,
+) -> _t.Generator:
+    """Linear rooted scatter: root sends one block to every other rank."""
+    _check_nbytes(nbytes_per_rank)
+    comm.check_rank(root)
+    tag = _tag("scatter", seq)
+    if rank == root:
+        for dst in range(comm.size):
+            if dst != root:
+                yield from send(comm, rank, dst, nbytes_per_rank, tag=tag)
+    else:
+        yield from recv(comm, rank, source=root, tag=tag)
+
+
+def gather(
+    comm: Communicator,
+    rank: int,
+    root: int,
+    nbytes_per_rank: float,
+    seq: int = 0,
+) -> _t.Generator:
+    """Linear rooted gather: every non-root rank sends its block to root."""
+    _check_nbytes(nbytes_per_rank)
+    comm.check_rank(root)
+    tag = _tag("gather", seq)
+    if rank == root:
+        for _ in range(comm.size - 1):
+            yield from recv(comm, rank, tag=tag)
+    else:
+        yield from send(comm, rank, root, nbytes_per_rank, tag=tag)
+
+
+def alltoall_bruck(
+    comm: Communicator, rank: int, nbytes_per_pair: float, seq: int = 0
+) -> _t.Generator:
+    """Bruck's alltoall: ⌈log₂N⌉ rounds of aggregated blocks.
+
+    Each round ``k`` ships every data block whose destination index has
+    bit ``k`` set — about half the blocks — to rank ``(rank − 2^k) mod
+    N``.  Latency cost is ⌈log₂N⌉·α instead of pairwise's (N−1)·α, at
+    the price of ~log₂N/2 × the bandwidth, so it wins for *small*
+    messages.  MPICH switches algorithms the same way.
+    """
+    _check_nbytes(nbytes_per_pair)
+    size = comm.size
+    if size == 1:
+        return
+    k, round_ = 1, 0
+    while k < size:
+        # Blocks whose index (relative to this rank) has bit `round_` set.
+        n_blocks = sum(1 for b in range(size) if b & k)
+        payload = n_blocks * nbytes_per_pair
+        dst = (rank - k) % size
+        src = (rank + k) % size
+        tag = _tag("alltoall", seq, 0x80 | round_)
+        yield from sendrecv(
+            comm, rank, dst, payload, source=src, send_tag=tag, recv_tag=tag
+        )
+        k <<= 1
+        round_ += 1
+
+
+def reduce_scatter(
+    comm: Communicator, rank: int, nbytes_total: float, seq: int = 0
+) -> _t.Generator:
+    """Recursive-halving reduce-scatter of ``nbytes_total`` per rank.
+
+    After ⌈log₂N⌉ rounds each rank holds the fully-reduced 1/N block.
+    Round ``i`` exchanges half the remaining payload with the partner
+    ``rank XOR 2^i``.  Power-of-two sizes use pure recursive halving;
+    other sizes fall back to a pairwise exchange of 1/N blocks.
+    """
+    _check_nbytes(nbytes_total)
+    size = comm.size
+    if size == 1:
+        return
+    if size & (size - 1) == 0:
+        remaining = nbytes_total
+        mask, round_ = 1, 0
+        while mask < size:
+            remaining /= 2.0
+            partner = rank ^ mask
+            tag = _tag("reduce", seq, 0x80 | round_)
+            yield from sendrecv(
+                comm,
+                rank,
+                partner,
+                remaining,
+                source=partner,
+                send_tag=tag,
+                recv_tag=tag,
+            )
+            mask <<= 1
+            round_ += 1
+    else:
+        block = nbytes_total / size
+        for step in range(1, size):
+            dst = (rank + step) % size
+            src = (rank - step) % size
+            tag = _tag("reduce", seq, 0x80 | (step & 0x7F))
+            yield from sendrecv(
+                comm, rank, dst, block, source=src, send_tag=tag,
+                recv_tag=tag,
+            )
+
+
+def allreduce_rabenseifner(
+    comm: Communicator, rank: int, nbytes: float, seq: int = 0
+) -> _t.Generator:
+    """Rabenseifner's allreduce: reduce-scatter + allgather.
+
+    Total bandwidth ≈ 2·nbytes instead of recursive doubling's
+    log₂N·nbytes — the winner for large payloads (MPICH's choice above
+    its allreduce threshold).
+    """
+    _check_nbytes(nbytes)
+    if comm.size == 1:
+        return
+    yield from reduce_scatter(comm, rank, nbytes, seq)
+    yield from allgather(comm, rank, nbytes / comm.size, seq)

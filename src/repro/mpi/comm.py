@@ -1,0 +1,178 @@
+"""Communicators: the binding between ranks and cluster nodes.
+
+A :class:`Communicator` names a set of participating nodes and owns the
+per-rank :class:`~repro.mpi.matching.MessageMatcher` state.  Ranks map
+to nodes one-to-one (the paper runs one MPI process per node), but the
+mapping is explicit so sub-communicators over a larger machine work.
+
+:meth:`Communicator.split` provides ``MPI_Comm_split`` semantics: a
+collective that partitions the ranks by *color* into disjoint
+sub-communicators (the row/column communicators of 2-D decompositions).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cluster.machine import Cluster
+from repro.cluster.node import Node
+from repro.errors import ConfigurationError
+from repro.mpi.matching import MessageMatcher
+from repro.sim.events import Event
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Communicator"]
+
+#: Wildcard source for receives (matches any sender).
+ANY_SOURCE = -1
+#: Wildcard tag for receives (matches any tag).
+ANY_TAG = -1
+
+
+class Communicator:
+    """A group of ranks on a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The machine the job runs on.
+    node_ids:
+        The nodes participating, in rank order.  Defaults to all nodes.
+    """
+
+    def __init__(
+        self, cluster: Cluster, node_ids: _t.Sequence[int] | None = None
+    ) -> None:
+        self.cluster = cluster
+        if node_ids is None:
+            node_ids = list(range(cluster.n_nodes))
+        node_ids = [int(n) for n in node_ids]
+        if not node_ids:
+            raise ConfigurationError("communicator needs at least one rank")
+        if len(set(node_ids)) != len(node_ids):
+            raise ConfigurationError(f"duplicate node ids: {node_ids}")
+        for n in node_ids:
+            cluster.node(n)  # bounds check
+        self._node_ids = tuple(node_ids)
+        self.matchers = [
+            MessageMatcher(cluster.engine, rank)
+            for rank in range(len(node_ids))
+        ]
+        #: Per-rank phase labels (set by the rank contexts) used to
+        #: attribute sends to application phases.
+        self._current_phase: list[str] = [""] * len(node_ids)
+        #: Send statistics: ``{(rank, phase_label): [count, bytes]}``.
+        self._send_stats: dict[tuple[int, str], list[float]] = {}
+        #: In-progress MPI_Comm_split registrations (None = idle).
+        self._pending_split: (
+            dict[int, tuple[_t.Hashable, int, Event]] | None
+        ) = None
+
+    # -- send accounting -----------------------------------------------------
+
+    def set_phase(self, rank: int, label: str) -> None:
+        """Record the phase a rank is currently executing."""
+        self._current_phase[self.check_rank(rank)] = str(label)
+
+    def record_send(self, rank: int, nbytes: float) -> None:
+        """Attribute one sent message to the rank's current phase."""
+        key = (self.check_rank(rank), self._current_phase[rank])
+        entry = self._send_stats.setdefault(key, [0.0, 0.0])
+        entry[0] += 1.0
+        entry[1] += float(nbytes)
+
+    def send_stats(self) -> dict[tuple[int, str], tuple[float, float]]:
+        """``{(rank, phase): (message_count, total_bytes)}`` (a copy)."""
+        return {k: (v[0], v[1]) for k, v in self._send_stats.items()}
+
+    # -- shape ------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of ranks."""
+        return len(self._node_ids)
+
+    @property
+    def engine(self):
+        """The cluster's discrete-event engine."""
+        return self.cluster.engine
+
+    @property
+    def network(self):
+        """The cluster's interconnect."""
+        return self.cluster.network
+
+    def check_rank(self, rank: int) -> int:
+        """Validate a rank id and return it."""
+        if not 0 <= rank < self.size:
+            raise ConfigurationError(
+                f"rank {rank} out of range [0, {self.size})"
+            )
+        return int(rank)
+
+    def node_of(self, rank: int) -> Node:
+        """The cluster node a rank runs on."""
+        return self.cluster.node(self._node_ids[self.check_rank(rank)])
+
+    def port_of(self, rank: int) -> int:
+        """The network port of a rank's node."""
+        return self._node_ids[self.check_rank(rank)]
+
+    def matcher_of(self, rank: int) -> MessageMatcher:
+        """The matching engine of a rank."""
+        return self.matchers[self.check_rank(rank)]
+
+    # -- MPI_Comm_split ---------------------------------------------------
+
+    def split(self, rank: int, color: _t.Hashable, key: int = 0) -> Event:
+        """Collective split: partition ranks by ``color``.
+
+        Every rank of this communicator must call ``split`` exactly
+        once per split operation (like ``MPI_Comm_split``).  The
+        returned event triggers — once the *last* rank has called —
+        with a tuple ``(sub_communicator, sub_rank)`` for this rank's
+        color group, ordered by ``(key, parent rank)``.  A ``None``
+        color opts the rank out (``MPI_UNDEFINED``): its event delivers
+        ``(None, -1)``.
+
+        Successive splits are matched in call order per rank, so
+        loosely synchronous programs may split repeatedly.
+        """
+        self.check_rank(rank)
+        if self._pending_split is None:
+            self._pending_split = {}
+        if rank in self._pending_split:
+            raise ConfigurationError(
+                f"rank {rank} called split twice in one split operation"
+            )
+        ev = Event(self.cluster.engine)
+        self._pending_split[rank] = (color, int(key), ev)
+        if len(self._pending_split) == self.size:
+            pending, self._pending_split = self._pending_split, None
+            self._complete_split(pending)
+        return ev
+
+    def _complete_split(
+        self,
+        pending: dict[int, tuple[_t.Hashable, int, Event]],
+    ) -> None:
+        groups: dict[_t.Hashable, list[tuple[int, int]]] = {}
+        for parent_rank, (color, key, _ev) in pending.items():
+            if color is None:
+                continue
+            groups.setdefault(color, []).append((key, parent_rank))
+        subcomms: dict[_t.Hashable, Communicator] = {}
+        rank_in_sub: dict[int, int] = {}
+        for color, members in groups.items():
+            members.sort()
+            node_ids = [self._node_ids[r] for _k, r in members]
+            subcomms[color] = Communicator(self.cluster, node_ids)
+            for sub_rank, (_k, parent_rank) in enumerate(members):
+                rank_in_sub[parent_rank] = sub_rank
+        for parent_rank, (color, _key, ev) in pending.items():
+            if color is None:
+                ev.succeed((None, -1))
+            else:
+                ev.succeed((subcomms[color], rank_in_sub[parent_rank]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Communicator size={self.size} nodes={self._node_ids}>"

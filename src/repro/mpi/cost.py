@@ -1,0 +1,181 @@
+"""Closed-form communication cost models (Hockney and LogGP).
+
+These are the *analytic* views of the network that the discrete-event
+simulator executes.  They serve three purposes:
+
+1. unit tests cross-check simulated transfer times against the Hockney
+   prediction in uncontended cases;
+2. the fine-grain parameterization (paper §5.2 step 2) multiplies a
+   *measured* per-message time by a message count — these models supply
+   the same quantity when an experiment wants a purely analytic
+   parallel-overhead term;
+3. the ablation benches swap cost models to show how much the overhead
+   model matters to power-aware speedup predictions.
+
+The **Hockney** model prices a message of ``m`` bytes at
+``α + m·β`` (latency plus inverse bandwidth).  **LogGP** refines it with
+sender/receiver CPU overhead ``o`` and per-byte gap ``G``; the ``o``
+term is what couples message cost to DVFS, mirroring
+:class:`repro.cluster.nic.NicSpec`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.cluster.machine import ClusterSpec
+from repro.errors import ConfigurationError
+
+__all__ = ["HockneyModel", "LogGPModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class HockneyModel:
+    """The α–β point-to-point cost model.
+
+    Attributes
+    ----------
+    alpha_s:
+        Per-message latency in seconds.
+    beta_s_per_byte:
+        Inverse bandwidth in seconds per byte.
+    """
+
+    alpha_s: float
+    beta_s_per_byte: float
+
+    def __post_init__(self) -> None:
+        if self.alpha_s < 0 or self.beta_s_per_byte < 0:
+            raise ConfigurationError("Hockney parameters must be >= 0")
+
+    @classmethod
+    def from_cluster_spec(cls, spec: ClusterSpec) -> "HockneyModel":
+        """Derive α and β from a cluster's network description."""
+        return cls(
+            alpha_s=spec.network.latency_s,
+            beta_s_per_byte=1.0 / spec.network.effective_bandwidth,
+        )
+
+    # -- point-to-point ----------------------------------------------------
+
+    def p2p(self, nbytes: float) -> float:
+        """Cost of one point-to-point message: ``α + m·β``."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0: {nbytes}")
+        return self.alpha_s + nbytes * self.beta_s_per_byte
+
+    # -- collectives ---------------------------------------------------------
+
+    def barrier(self, n: int) -> float:
+        """Dissemination barrier: ⌈log₂N⌉ rounds of empty messages."""
+        if n <= 1:
+            return 0.0
+        return math.ceil(math.log2(n)) * self.p2p(0.0)
+
+    def bcast(self, n: int, nbytes: float) -> float:
+        """Binomial broadcast: ⌈log₂N⌉ rounds of the full payload."""
+        if n <= 1:
+            return 0.0
+        return math.ceil(math.log2(n)) * self.p2p(nbytes)
+
+    def reduce(self, n: int, nbytes: float) -> float:
+        """Binomial reduction: same round structure as broadcast."""
+        return self.bcast(n, nbytes)
+
+    def allreduce(self, n: int, nbytes: float) -> float:
+        """Recursive doubling: ⌈log₂N⌉ full-payload exchange rounds."""
+        if n <= 1:
+            return 0.0
+        return math.ceil(math.log2(n)) * self.p2p(nbytes)
+
+    def allgather(self, n: int, nbytes_per_rank: float) -> float:
+        """Ring allgather: N−1 steps of one block."""
+        if n <= 1:
+            return 0.0
+        return (n - 1) * self.p2p(nbytes_per_rank)
+
+    def alltoall(self, n: int, nbytes_per_pair: float) -> float:
+        """Pairwise exchange: N−1 steps of one pair block."""
+        if n <= 1:
+            return 0.0
+        return (n - 1) * self.p2p(nbytes_per_pair)
+
+
+@dataclasses.dataclass(frozen=True)
+class LogGPModel:
+    """The LogGP model: L, o, g, G (P is passed per call).
+
+    Attributes
+    ----------
+    latency_s:
+        ``L`` — wire latency.
+    overhead_s:
+        ``o`` — fixed host CPU time per message end.
+    overhead_s_per_byte:
+        per-byte host CPU time (frequency-dependent in our NIC model;
+        evaluate :meth:`from_cluster_spec` at a chosen frequency).
+    gap_s:
+        ``g`` — minimum inter-message gap at one NIC.
+    gap_s_per_byte:
+        ``G`` — per-byte gap (inverse wire bandwidth).
+    """
+
+    latency_s: float
+    overhead_s: float
+    overhead_s_per_byte: float
+    gap_s: float
+    gap_s_per_byte: float
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            if getattr(self, field.name) < 0:
+                raise ConfigurationError(f"{field.name} must be >= 0")
+
+    @classmethod
+    def from_cluster_spec(
+        cls, spec: ClusterSpec, frequency_hz: float
+    ) -> "LogGPModel":
+        """Derive LogGP parameters at a given core frequency.
+
+        The per-byte host overhead is ``cycles_per_byte / f`` — the DVFS
+        coupling of message cost the paper measures in Table 6.
+        """
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        return cls(
+            latency_s=spec.network.latency_s,
+            overhead_s=spec.nic.per_message_overhead_s,
+            overhead_s_per_byte=spec.nic.cycles_per_byte / frequency_hz,
+            gap_s=0.0,
+            gap_s_per_byte=1.0 / spec.network.effective_bandwidth,
+        )
+
+    def host_overhead(self, nbytes: float) -> float:
+        """One end's CPU time for a message: ``o + m·o_byte``."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0: {nbytes}")
+        return self.overhead_s + nbytes * self.overhead_s_per_byte
+
+    def p2p(self, nbytes: float) -> float:
+        """End-to-end one-message cost.
+
+        ``o_send + max(g + m·G, 0) + L + o_recv`` — sender overhead,
+        wire serialization, latency, receiver overhead.
+        """
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0: {nbytes}")
+        wire = self.gap_s + nbytes * self.gap_s_per_byte
+        return self.host_overhead(nbytes) * 2 + wire + self.latency_s
+
+    def alltoall(self, n: int, nbytes_per_pair: float) -> float:
+        """Pairwise exchange under LogGP (N−1 serial rounds)."""
+        if n <= 1:
+            return 0.0
+        return (n - 1) * self.p2p(nbytes_per_pair)
+
+    def allreduce(self, n: int, nbytes: float) -> float:
+        """Recursive doubling under LogGP."""
+        if n <= 1:
+            return 0.0
+        return math.ceil(math.log2(n)) * self.p2p(nbytes)

@@ -1,0 +1,62 @@
+"""Message envelopes and byte accounting for the simulated MPI layer."""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing as _t
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Message"]
+
+_serial = itertools.count()
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Message:
+    """One point-to-point message envelope.
+
+    Attributes
+    ----------
+    source, dest:
+        Sending and receiving ranks.
+    tag:
+        User matching tag (>= 0).
+    nbytes:
+        Payload size in bytes.
+    payload:
+        Optional application data carried along (the simulator moves
+        *time*, not data, but tests and example programs use payloads
+        to check ordering semantics).
+    serial:
+        Global creation order, used to keep matching deterministic and
+        to preserve MPI's non-overtaking rule between identical
+        envelopes.
+    """
+
+    source: int
+    dest: int
+    tag: int
+    nbytes: float
+    payload: _t.Any = None
+    serial: int = dataclasses.field(default_factory=lambda: next(_serial))
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ConfigurationError(
+                f"message size must be >= 0: {self.nbytes}"
+            )
+        if self.tag < 0:
+            raise ConfigurationError(f"tag must be >= 0: {self.tag}")
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Whether this envelope satisfies a receive for (source, tag).
+
+        ``source`` / ``tag`` may be the wildcards
+        :data:`~repro.mpi.comm.ANY_SOURCE` / :data:`~repro.mpi.comm.ANY_TAG`
+        (encoded as -1).
+        """
+        source_ok = source == -1 or source == self.source
+        tag_ok = tag == -1 or tag == self.tag
+        return source_ok and tag_ok

@@ -1,0 +1,144 @@
+"""The message-matching engine.
+
+Every MPI implementation keeps, per process, an *unexpected message
+queue* (envelopes that arrived before a matching receive was posted) and
+a *posted receive queue* (receives waiting for a matching envelope).
+This module implements both with MPI's ordering semantics:
+
+* envelopes from the same sender with the same tag are matched in the
+  order they were sent (non-overtaking);
+* a posted receive matches the *earliest-arrived* satisfying envelope;
+* an arriving envelope matches the *earliest-posted* satisfying receive.
+
+Two delivery disciplines share the matcher:
+
+* **eager** — payload travels immediately; the envelope enters the queue
+  already carrying its data, and matching completes the receive.
+* **rendezvous** — only the envelope travels up-front; matching fires
+  the sender's *clear-to-send* event, and the receive completes later
+  when the sender's bulk transfer finishes
+  (:meth:`MessageMatcher.complete_rendezvous`).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing as _t
+
+from repro.errors import SimulationError
+from repro.mpi.datatypes import Message
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+__all__ = ["MessageMatcher"]
+
+
+@dataclasses.dataclass(slots=True)
+class _Envelope:
+    """An arrived envelope waiting for a matching receive."""
+
+    message: Message
+    #: ``None`` for eager envelopes (payload already present); for
+    #: rendezvous envelopes, the sender's clear-to-send event.
+    clear_to_send: Event | None
+
+
+@dataclasses.dataclass(slots=True)
+class _PostedRecv:
+    """A posted receive waiting for a matching envelope."""
+
+    source: int
+    tag: int
+    delivered: Event
+
+
+class MessageMatcher:
+    """Per-rank matching state (unexpected + posted-receive queues)."""
+
+    def __init__(self, env: Engine, rank: int) -> None:
+        self.env = env
+        self.rank = rank
+        self._envelopes: collections.deque[_Envelope] = collections.deque()
+        self._posted: collections.deque[_PostedRecv] = collections.deque()
+        #: In-flight rendezvous transfers: message serial → delivery event.
+        self._rndv_in_flight: dict[int, Event] = {}
+
+    # -- receiver side -----------------------------------------------------
+
+    def post_recv(self, source: int, tag: int) -> Event:
+        """Post a receive; the returned event delivers the
+        :class:`~repro.mpi.datatypes.Message` once its payload has fully
+        arrived."""
+        delivered = Event(self.env)
+        for i, env_entry in enumerate(self._envelopes):
+            if env_entry.message.matches(source, tag):
+                del self._envelopes[i]
+                self._complete_match(env_entry, delivered)
+                return delivered
+        self._posted.append(_PostedRecv(source, tag, delivered))
+        return delivered
+
+    def _complete_match(self, envelope: _Envelope, delivered: Event) -> None:
+        if envelope.clear_to_send is None:
+            # Eager: payload is already here.
+            delivered.succeed(envelope.message)
+        else:
+            # Rendezvous: let the sender start the bulk transfer; the
+            # receive completes when the transfer does.
+            self._rndv_in_flight[envelope.message.serial] = delivered
+            envelope.clear_to_send.succeed(envelope.message)
+
+    # -- sender side -------------------------------------------------------
+
+    def deliver_eager(self, message: Message) -> None:
+        """An eager payload has fully arrived at this rank."""
+        for i, posted in enumerate(self._posted):
+            if message.matches(posted.source, posted.tag):
+                del self._posted[i]
+                posted.delivered.succeed(message)
+                return
+        self._envelopes.append(_Envelope(message, clear_to_send=None))
+
+    def announce_rendezvous(
+        self, message: Message, clear_to_send: Event
+    ) -> None:
+        """A rendezvous envelope has arrived at this rank."""
+        for i, posted in enumerate(self._posted):
+            if message.matches(posted.source, posted.tag):
+                del self._posted[i]
+                self._rndv_in_flight[message.serial] = posted.delivered
+                clear_to_send.succeed(message)
+                return
+        self._envelopes.append(_Envelope(message, clear_to_send))
+
+    def complete_rendezvous(self, message: Message) -> None:
+        """The bulk transfer of a matched rendezvous message finished."""
+        try:
+            delivered = self._rndv_in_flight.pop(message.serial)
+        except KeyError:
+            raise SimulationError(
+                f"rendezvous completion for unmatched message {message}"
+            ) from None
+        delivered.succeed(message)
+
+    # -- diagnostics -------------------------------------------------------
+
+    @property
+    def unexpected_count(self) -> int:
+        """Envelopes that arrived with no matching receive posted."""
+        return len(self._envelopes)
+
+    @property
+    def posted_count(self) -> int:
+        """Receives posted and still unmatched."""
+        return len(self._posted)
+
+    def pending_summary(self) -> dict[str, _t.Any]:
+        """A debugging snapshot of queue contents."""
+        return {
+            "rank": self.rank,
+            "unexpected": [e.message for e in self._envelopes],
+            "posted": [(p.source, p.tag) for p in self._posted],
+            "rndv_in_flight": sorted(self._rndv_in_flight),
+        }

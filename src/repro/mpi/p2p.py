@@ -1,0 +1,140 @@
+"""Point-to-point messaging: eager and rendezvous protocols.
+
+Small messages (up to the NIC's eager threshold) travel *eagerly*: the
+sender pays its host overhead, hands the payload to the network and
+continues; the payload is buffered at the receiver if no receive is
+posted yet.  Large messages use *rendezvous*: the sender ships only an
+envelope, blocks until the receiver posts a matching receive
+(clear-to-send), then performs the bulk transfer.  This is the MPICH
+protocol split, and it matters for workload behaviour: eager sends
+decouple sender and receiver; rendezvous sends synchronize them, which
+is how real codes pick up "parallel overhead" waiting time.
+
+These functions are *generators* meant to be driven by the engine —
+either directly (``yield from send(...)``) or wrapped in a process for
+the non-blocking variants (``engine.process(send(...))``).
+
+Time charged to the caller:
+
+* ``send`` (eager): host overhead only.
+* ``send`` (rendezvous): host overhead + wait-for-CTS + wire time.
+* ``recv``: wait-for-payload + host overhead.
+
+Energy accounting is done by the caller (the rank context) which knows
+how to split active messaging time from blocked waiting time.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Communicator
+from repro.mpi.datatypes import Message
+from repro.sim.events import Event
+
+__all__ = ["send", "recv", "sendrecv"]
+
+
+def _eager_delivery(comm: Communicator, message: Message) -> _t.Generator:
+    """Background process: move an eager payload, then deliver it."""
+    yield comm.network.transfer(
+        comm.port_of(message.source), comm.port_of(message.dest), message.nbytes
+    )
+    comm.matcher_of(message.dest).deliver_eager(message)
+
+
+def _rndv_announce(
+    comm: Communicator, message: Message, clear_to_send: Event
+) -> _t.Generator:
+    """Background process: carry a rendezvous envelope to the receiver."""
+    yield comm.engine.timeout(comm.network.spec.latency_s)
+    comm.matcher_of(message.dest).announce_rendezvous(message, clear_to_send)
+
+
+def send(
+    comm: Communicator,
+    source: int,
+    dest: int,
+    nbytes: float,
+    tag: int = 0,
+    payload: _t.Any = None,
+) -> _t.Generator[Event, _t.Any, Message]:
+    """Blocking send from ``source`` to ``dest``.
+
+    Returns the sent :class:`~repro.mpi.datatypes.Message` (useful for
+    tests).  Eager sends complete locally — MPI's buffered-send
+    semantics for small messages; rendezvous sends complete only after
+    the payload has been pulled by a matching receive.
+    """
+    comm.check_rank(source)
+    comm.check_rank(dest)
+    node = comm.node_of(source)
+    message = Message(source, dest, tag, nbytes, payload)
+
+    # Host CPU cost of initiating the message (copies, packetization).
+    overhead = node.message_overhead_seconds(nbytes)
+    yield comm.engine.timeout(overhead)
+    node.account_comm(overhead)
+    comm.record_send(source, nbytes)
+
+    if node.nic_spec.is_eager(nbytes):
+        comm.engine.process(_eager_delivery(comm, message))
+        return message
+
+    clear_to_send = Event(comm.engine)
+    comm.engine.process(_rndv_announce(comm, message, clear_to_send))
+    yield clear_to_send
+    yield comm.network.transfer(
+        comm.port_of(source), comm.port_of(dest), nbytes
+    )
+    comm.matcher_of(dest).complete_rendezvous(message)
+    return message
+
+
+def recv(
+    comm: Communicator,
+    rank: int,
+    source: int = ANY_SOURCE,
+    tag: int = ANY_TAG,
+) -> _t.Generator[Event, _t.Any, Message]:
+    """Blocking receive at ``rank``.
+
+    ``source`` and ``tag`` accept the :data:`~repro.mpi.comm.ANY_SOURCE`
+    / :data:`~repro.mpi.comm.ANY_TAG` wildcards.  Returns the received
+    :class:`~repro.mpi.datatypes.Message`.
+    """
+    comm.check_rank(rank)
+    if source != ANY_SOURCE:
+        comm.check_rank(source)
+    delivered = comm.matcher_of(rank).post_recv(source, tag)
+    message: Message = yield delivered
+    # Host CPU cost of draining the message out of the NIC buffers.
+    node = comm.node_of(rank)
+    overhead = node.message_overhead_seconds(message.nbytes)
+    yield comm.engine.timeout(overhead)
+    node.account_comm(overhead)
+    return message
+
+
+def sendrecv(
+    comm: Communicator,
+    rank: int,
+    dest: int,
+    send_nbytes: float,
+    source: int,
+    send_tag: int = 0,
+    recv_tag: int = ANY_TAG,
+    payload: _t.Any = None,
+) -> _t.Generator[Event, _t.Any, Message]:
+    """Concurrent send+receive (the workhorse of exchange algorithms).
+
+    The send and receive progress simultaneously, like
+    ``MPI_Sendrecv``; the call completes when both have.  Returns the
+    received message.
+    """
+    send_proc = comm.engine.process(
+        send(comm, rank, dest, send_nbytes, send_tag, payload)
+    )
+    recv_proc = comm.engine.process(recv(comm, rank, source, recv_tag))
+    yield comm.engine.all_of([send_proc, recv_proc])
+    return recv_proc.value

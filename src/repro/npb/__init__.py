@@ -1,0 +1,58 @@
+"""NAS Parallel Benchmark workload models.
+
+The paper evaluates power-aware speedup on NPB codes: **EP**
+(embarrassingly parallel, computation-bound), **FT** (3-D FFT,
+communication-bound) and **LU** (SSOR solver, memory-heavy with limited
+parallelism).  We cannot run the Fortran+MPI originals, so each
+benchmark is reproduced as a *workload model*: its phase structure,
+per-phase instruction mix by memory level, degree-of-parallelism
+profile and communication pattern, executed on the simulated cluster
+through :mod:`repro.mpi`.
+
+The models are calibrated to the paper's published observables (Figures
+1–2, Tables 5–6) — see each module's CALIBRATION notes — and each is
+paired with a small *reference kernel* in :mod:`repro.npb.kernels` that
+actually computes the benchmark's mathematics in numpy at toy scale,
+used to validate the phase structure and to demonstrate what is being
+modelled.
+
+Extensions beyond the paper's three codes: **CG**, **MG** and **IS**
+models are provided for the sweet-spot and scheduling examples.
+"""
+
+from repro.npb.base import BenchmarkModel
+from repro.npb.bt import BTBenchmark
+from repro.npb.cg import CGBenchmark
+from repro.npb.classes import ProblemClass
+from repro.npb.ep import EPBenchmark
+from repro.npb.ft import FTBenchmark
+from repro.npb.is_ import ISBenchmark
+from repro.npb.lu import LUBenchmark
+from repro.npb.mg import MGBenchmark
+from repro.npb.sp_ import SPBenchmark
+
+__all__ = [
+    "ProblemClass",
+    "BenchmarkModel",
+    "EPBenchmark",
+    "FTBenchmark",
+    "LUBenchmark",
+    "CGBenchmark",
+    "MGBenchmark",
+    "ISBenchmark",
+    "BTBenchmark",
+    "SPBenchmark",
+    "BENCHMARKS",
+]
+
+#: Registry of benchmark model classes by (lower-case) name.
+BENCHMARKS = {
+    "ep": EPBenchmark,
+    "ft": FTBenchmark,
+    "lu": LUBenchmark,
+    "cg": CGBenchmark,
+    "mg": MGBenchmark,
+    "is": ISBenchmark,
+    "bt": BTBenchmark,
+    "sp": SPBenchmark,
+}

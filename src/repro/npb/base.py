@@ -1,0 +1,112 @@
+"""Benchmark-model base class.
+
+A :class:`BenchmarkModel` describes one NPB code well enough to (a) run
+it on the simulated cluster and (b) feed the analytical model:
+
+* :meth:`BenchmarkModel.phases` — the executable phase list for a rank
+  count (drives the simulator).
+* :meth:`BenchmarkModel.total_mix` — the global instruction mix (what
+  hardware counters would read on a sequential run).
+* :meth:`BenchmarkModel.dop_components` — the DOP spectrum for the
+  Eq. 9/10 model.
+* :meth:`BenchmarkModel.message_profile` — the communication profile
+  the FP parameterization multiplies by per-message times.
+"""
+
+from __future__ import annotations
+
+import abc
+import typing as _t
+
+from repro.cluster.machine import Cluster
+from repro.cluster.workmix import InstructionMix
+from repro.core.workload import DopComponent, MessageProfile, Workload
+from repro.errors import ConfigurationError
+from repro.mpi.program import RankContext, RunResult, run_program
+from repro.npb.classes import ProblemClass
+from repro.npb.phases import Phase
+
+__all__ = ["BenchmarkModel"]
+
+
+class BenchmarkModel(abc.ABC):
+    """One NPB code as a simulatable + modelable workload.
+
+    Parameters
+    ----------
+    problem_class:
+        NPB class letter; defaults to A (the paper's scale).
+    """
+
+    #: Short lower-case benchmark name ("ep", "ft", ...).
+    name: str = "benchmark"
+
+    def __init__(
+        self, problem_class: ProblemClass | str = ProblemClass.A
+    ) -> None:
+        self.problem_class = ProblemClass.parse(problem_class)
+
+    # -- abstract surface ---------------------------------------------------
+
+    @abc.abstractmethod
+    def phases(self, n_ranks: int) -> list[Phase]:
+        """The executable phase sequence for one rank count."""
+
+    @abc.abstractmethod
+    def total_mix(self) -> InstructionMix:
+        """The global (all ranks, whole run) instruction mix."""
+
+    @abc.abstractmethod
+    def dop_components(self, max_dop: int) -> tuple[DopComponent, ...]:
+        """The DOP spectrum of :meth:`total_mix`, capped at ``max_dop``."""
+
+    def message_profile(self, n_ranks: int) -> MessageProfile:
+        """Critical-path communication profile at ``n_ranks``.
+
+        Defaults to "no communication" (EP-style); communication-bound
+        models override.
+        """
+        return MessageProfile(critical_messages=0.0, nbytes=0.0)
+
+    # -- derived conveniences ----------------------------------------------------
+
+    def check_ranks(self, n_ranks: int) -> int:
+        """Validate a rank count and return it as an int."""
+        if n_ranks < 1:
+            raise ConfigurationError(f"n_ranks must be >= 1: {n_ranks}")
+        return int(n_ranks)
+
+    def workload(self, max_dop: int) -> Workload:
+        """The model-side :class:`~repro.core.workload.Workload`."""
+        return Workload(
+            f"{self.name}.{self.problem_class.value}",
+            self.dop_components(max_dop),
+        )
+
+    def rank_program(
+        self, n_ranks: int
+    ) -> _t.Callable[[RankContext], _t.Generator]:
+        """A rank program executing this benchmark's phases in order."""
+        n_ranks = self.check_ranks(n_ranks)
+        phase_list = self.phases(n_ranks)
+
+        def program(ctx: RankContext) -> _t.Generator:
+            if ctx.size != n_ranks:
+                raise ConfigurationError(
+                    f"program built for {n_ranks} ranks, run on {ctx.size}"
+                )
+            for phase in phase_list:
+                yield from phase.execute(ctx)
+
+        program.__name__ = f"{self.name}_{self.problem_class.value}"
+        return program
+
+    def run(
+        self, cluster: Cluster, ranks: _t.Sequence[int] | None = None
+    ) -> RunResult:
+        """Execute this benchmark on a cluster and return the result."""
+        n_ranks = len(ranks) if ranks is not None else cluster.n_nodes
+        return run_program(cluster, self.rank_program(n_ranks), ranks=ranks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} class {self.problem_class.value}>"

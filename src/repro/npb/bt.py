@@ -1,0 +1,161 @@
+"""BT — block-tridiagonal solver (extension beyond the paper's codes).
+
+NPB BT solves three sets of block-tridiagonal systems, one per grid
+dimension, each iteration.  Its power-aware personality:
+
+* heavy per-point computation (5×5 block operations) — a high
+  CPU/register share and decent frequency scaling;
+* three *directional sweeps* per iteration, each pipelined along the
+  rank dimension like LU's but with much larger per-boundary payloads
+  (whole 5×5 block faces);
+* a moderate serial fraction from the pipeline fill/drain of each
+  sweep.
+
+Loosely calibrated (class A ≈ 700 s sequential at 600 MHz); provided
+for suite coverage and the examples, not validated against the paper.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.workmix import InstructionMix
+from repro.core.workload import DopComponent, MessageProfile
+from repro.npb.base import BenchmarkModel
+from repro.npb.classes import ProblemClass
+from repro.npb.phases import (
+    AllreducePhase,
+    ComputePhase,
+    Phase,
+    PipelinedSweepPhase,
+    SerialComputePhase,
+)
+
+__all__ = ["BTBenchmark"]
+
+#: Class-A grid (official NPB value).
+_GRIDS = {
+    "S": (12, 12, 12),
+    "W": (24, 24, 24),
+    "A": (64, 64, 64),
+    "B": (102, 102, 102),
+}
+_ITERATIONS = {"S": 60, "W": 200, "A": 200, "B": 200}
+
+#: Class-A total instruction count (≈700 s at 600 MHz).
+_CLASS_A_INSTRUCTIONS = 1.5e11
+
+#: Dense 5x5 block math: register-heavy, modest memory traffic.
+_MIX_FRACTIONS = {"cpu": 0.52, "l1": 0.42, "l2": 0.05, "mem": 0.01}
+
+_SERIAL_FRACTION = 0.001
+
+#: Share of per-iteration work inside the three sweeps (vs RHS).
+_SWEEP_FRACTION = 0.60
+
+#: Wavefront blocks per directional sweep.
+_SWEEP_BLOCKS = 16
+
+#: Simulated-iteration batching (event-count control).
+_SIM_BATCH = 20
+
+#: Boundary payload: a face of 5 doubles per point, split per rank.
+_FACE_DOUBLES_TOTAL = 64 * 64 * 5.0
+
+
+class BTBenchmark(BenchmarkModel):
+    """Workload model of NPB BT."""
+
+    name = "bt"
+
+    def __init__(
+        self, problem_class: ProblemClass | str = ProblemClass.A
+    ) -> None:
+        super().__init__(problem_class)
+        pc = self.problem_class
+        grid = _GRIDS[pc.value]
+        ref = _GRIDS["A"]
+        scale = (
+            (grid[0] * grid[1] * grid[2]) / (ref[0] * ref[1] * ref[2])
+        ) * (_ITERATIONS[pc.value] / _ITERATIONS["A"])
+        self._total_mix = InstructionMix.from_fractions(
+            _CLASS_A_INSTRUCTIONS * scale, **_MIX_FRACTIONS
+        )
+        self.iterations = _ITERATIONS[pc.value]
+        self.sim_iterations = max(self.iterations // _SIM_BATCH, 1)
+        self.sweep_blocks = _SWEEP_BLOCKS
+        face_scale = (grid[0] * grid[1]) / (ref[0] * ref[1])
+        self.face_bytes_total = _FACE_DOUBLES_TOTAL * 8.0 * face_scale
+
+    def total_mix(self) -> InstructionMix:
+        return self._total_mix
+
+    @property
+    def serial_mix(self) -> InstructionMix:
+        """DOP = 1 setup work."""
+        return self._total_mix.scaled(_SERIAL_FRACTION)
+
+    @property
+    def sweep_mix(self) -> InstructionMix:
+        """Work inside the three directional sweeps."""
+        return self._total_mix.scaled(
+            (1.0 - _SERIAL_FRACTION) * _SWEEP_FRACTION
+        )
+
+    @property
+    def rhs_mix(self) -> InstructionMix:
+        """Data-parallel RHS computation."""
+        return self._total_mix.scaled(
+            (1.0 - _SERIAL_FRACTION) * (1.0 - _SWEEP_FRACTION)
+        )
+
+    def dop_components(self, max_dop: int) -> tuple[DopComponent, ...]:
+        """Sweeps are 1/K-serial (pipeline equivalence, as for LU)."""
+        sweep = self.sweep_mix
+        pipeline_serial = sweep.scaled(1.0 / self.sweep_blocks)
+        pipeline_parallel = sweep.scaled(1.0 - 1.0 / self.sweep_blocks)
+        return (
+            DopComponent(1, self.serial_mix + pipeline_serial),
+            DopComponent(max_dop, pipeline_parallel + self.rhs_mix),
+        )
+
+    def boundary_bytes(self, n_ranks: int) -> float:
+        """Per-message boundary payload at ``n_ranks``."""
+        n = self.check_ranks(n_ranks)
+        if n == 1:
+            return 0.0
+        return self.face_bytes_total / n
+
+    def message_profile(self, n_ranks: int) -> MessageProfile:
+        n = self.check_ranks(n_ranks)
+        if n == 1:
+            return MessageProfile(0.0, 0.0)
+        per_iteration = 3.0 * self.sweep_blocks
+        return MessageProfile(
+            critical_messages=self.iterations * per_iteration,
+            nbytes=self.boundary_bytes(n),
+        )
+
+    def phases(self, n_ranks: int) -> list[Phase]:
+        n = self.check_ranks(n_ranks)
+        sim_iters = self.sim_iterations
+        rhs_per_iter = self.rhs_mix.scaled(1.0 / (sim_iters * n))
+        sweep_per_iter = self.sweep_mix.scaled(1.0 / (3 * sim_iters))
+        block_mix = sweep_per_iter.scaled(1.0 / (self.sweep_blocks * n))
+        nbytes = self.boundary_bytes(n)
+
+        phase_list: list[Phase] = [
+            SerialComputePhase("setup", self.serial_mix)
+        ]
+        for it in range(sim_iters):
+            phase_list.append(ComputePhase(f"rhs[{it}]", rhs_per_iter))
+            for axis, reverse in (("x", False), ("y", True), ("z", False)):
+                phase_list.append(
+                    PipelinedSweepPhase(
+                        f"{axis}solve[{it}]",
+                        block_mix,
+                        self.sweep_blocks,
+                        nbytes,
+                        reverse=reverse,
+                    )
+                )
+            phase_list.append(AllreducePhase(f"norm[{it}]", 40.0))
+        return phase_list

@@ -1,0 +1,119 @@
+"""CG — conjugate gradient (extension beyond the paper's three codes).
+
+NPB CG estimates the largest eigenvalue of a sparse symmetric matrix
+with inverse power iteration; each outer iteration runs 25 inner CG
+steps.  Its power-aware personality sits between EP and FT:
+
+* the sparse matrix-vector product has irregular access — a noticeably
+  larger OFF-chip share than EP (so sub-linear frequency speedup);
+* every inner step performs two tiny allreduces (dot products) — a
+  *latency*-bound overhead that grows with log N, unlike FT's
+  bandwidth-bound all-to-all;
+* partition exchanges ship vector segments (ring allgather here).
+
+Calibrated loosely (class A ≈ 45 s sequential at 600 MHz); CG is not
+validated against the paper — it exists for the sweet-spot and
+scheduling examples, where a latency-bound code contrasts with FT.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.workmix import InstructionMix
+from repro.core.workload import DopComponent, MessageProfile
+from repro.npb.base import BenchmarkModel
+from repro.npb.classes import ProblemClass
+from repro.npb.phases import (
+    AllgatherPhase,
+    AllreducePhase,
+    ComputePhase,
+    Phase,
+    SerialComputePhase,
+)
+
+__all__ = ["CGBenchmark"]
+
+#: Class-A total instruction count (≈45 s at 600 MHz).
+_CLASS_A_INSTRUCTIONS = 1.05e10
+
+#: Sparse matvec: streaming with indirect access — significant L2 and
+#: memory shares.
+_MIX_FRACTIONS = {"cpu": 0.40, "l1": 0.47, "l2": 0.10, "mem": 0.03}
+
+_SERIAL_FRACTION = 0.002
+_INNER_STEPS = 25
+_DOT_BYTES = 8.0
+
+
+class CGBenchmark(BenchmarkModel):
+    """Workload model of NPB CG."""
+
+    name = "cg"
+
+    def __init__(
+        self, problem_class: ProblemClass | str = ProblemClass.A
+    ) -> None:
+        super().__init__(problem_class)
+        pc = self.problem_class
+        scale = (pc.cg_size / ProblemClass.A.cg_size) * (
+            pc.cg_iterations / ProblemClass.A.cg_iterations
+        )
+        self._total_mix = InstructionMix.from_fractions(
+            _CLASS_A_INSTRUCTIONS * scale, **_MIX_FRACTIONS
+        )
+        self.outer_iterations = pc.cg_iterations
+        self.vector_bytes = pc.cg_size * 8.0
+
+    def total_mix(self) -> InstructionMix:
+        return self._total_mix
+
+    @property
+    def serial_mix(self) -> InstructionMix:
+        """DOP = 1 matrix-generation work."""
+        return self._total_mix.scaled(_SERIAL_FRACTION)
+
+    @property
+    def parallel_mix(self) -> InstructionMix:
+        """The iterative solve."""
+        return self._total_mix.scaled(1.0 - _SERIAL_FRACTION)
+
+    def dop_components(self, max_dop: int) -> tuple[DopComponent, ...]:
+        return (
+            DopComponent(1, self.serial_mix),
+            DopComponent(max_dop, self.parallel_mix),
+        )
+
+    def message_profile(self, n_ranks: int) -> MessageProfile:
+        """Dominated by the per-step vector allgather blocks."""
+        n = self.check_ranks(n_ranks)
+        if n == 1:
+            return MessageProfile(0.0, 0.0)
+        steps = self.outer_iterations * _INNER_STEPS
+        return MessageProfile(
+            critical_messages=float(steps * (n - 1)),
+            nbytes=self.vector_bytes / n,
+        )
+
+    def phases(self, n_ranks: int) -> list[Phase]:
+        n = self.check_ranks(n_ranks)
+        steps = self.outer_iterations * _INNER_STEPS
+        per_step = self.parallel_mix.scaled(1.0 / (steps * n))
+        phase_list: list[Phase] = [
+            SerialComputePhase("makea", self.serial_mix)
+        ]
+        for outer in range(self.outer_iterations):
+            for inner in range(_INNER_STEPS):
+                tagname = f"[{outer}.{inner}]"
+                phase_list.append(ComputePhase(f"matvec{tagname}", per_step))
+                if n > 1:
+                    phase_list.append(
+                        AllgatherPhase(
+                            f"exchange{tagname}", self.vector_bytes / n
+                        )
+                    )
+                phase_list.append(
+                    AllreducePhase(f"dot-rho{tagname}", _DOT_BYTES)
+                )
+                phase_list.append(
+                    AllreducePhase(f"dot-alpha{tagname}", _DOT_BYTES)
+                )
+        return phase_list

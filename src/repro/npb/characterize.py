@@ -1,0 +1,85 @@
+"""Workload characterization: the paper's §5.2 step 1 as a service.
+
+Run a benchmark sequentially on a one-node simulated cluster, read the
+PAPI-style counters, and derive the per-memory-level workload
+decomposition via the Table 5 formulae.  This is the measurement-side
+path into the fine-grain parameterization — deliberately *not* a
+shortcut through the model's own mix, so the FP pipeline exercises the
+same counter→mix derivation the paper performs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.machine import Cluster, ClusterSpec
+from repro.cluster.workmix import InstructionMix
+from repro.npb.base import BenchmarkModel
+
+__all__ = ["Characterization", "characterize"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Characterization:
+    """Counter-derived workload description of one benchmark."""
+
+    benchmark: str
+    problem_class: str
+    counters: dict[str, float]
+    mix: InstructionMix
+    sequential_time_s: float
+    frequency_hz: float
+
+    @property
+    def on_chip_fraction(self) -> float:
+        """``w_ON / w`` (Table 5 reports 98.8 % for LU)."""
+        return self.mix.on_chip_fraction
+
+    def on_chip_weights(self) -> dict[str, float]:
+        """Per-level ON-chip weights (the CPI_ON averaging weights)."""
+        return self.mix.on_chip_weights()
+
+    def table5_rows(self) -> list[tuple[str, str, str, float]]:
+        """Rows shaped like the paper's Table 5.
+
+        Each row: (workload kind, memory level, derivation formula,
+        instruction count).
+        """
+        return [
+            (
+                "ON-chip",
+                "CPU/Register",
+                "PAPI_TOT_INS - PAPI_L1_DCA",
+                self.mix.cpu,
+            ),
+            ("ON-chip", "L1 Cache", "PAPI_L1_DCA - PAPI_L1_DCM", self.mix.l1),
+            ("ON-chip", "L2 Cache", "PAPI_L2_TCA - PAPI_L2_TCM", self.mix.l2),
+            ("OFF-chip", "Main Memory", "PAPI_L2_TCM", self.mix.mem),
+        ]
+
+
+def characterize(
+    benchmark: BenchmarkModel,
+    spec: ClusterSpec | None = None,
+    frequency_hz: float | None = None,
+) -> Characterization:
+    """Profile a benchmark on a 1-node cluster and derive its mix.
+
+    The paper runs counters on one processor and assumes "hardware
+    event counts are similar across different processors for the same
+    workload" (footnote 6) — we follow the same protocol.
+    """
+    from repro.cluster.machine import paper_spec
+
+    base_spec = (spec or paper_spec()).with_nodes(1)
+    cluster = Cluster(base_spec, frequency_hz=frequency_hz)
+    result = benchmark.run(cluster)
+    counters = cluster.node(0).counters
+    return Characterization(
+        benchmark=benchmark.name,
+        problem_class=benchmark.problem_class.value,
+        counters=counters.snapshot(),
+        mix=counters.derive_mix(),
+        sequential_time_s=result.elapsed_s,
+        frequency_hz=cluster.node(0).frequency_hz,
+    )

@@ -1,0 +1,136 @@
+"""NPB problem classes.
+
+NPB defines lettered problem classes of increasing size.  The paper
+does not state the class it ran; the published execution times
+(~300 s for EP and ~65 s for FT sequentially at 600 MHz) are consistent
+with **class A**, which is therefore the default everywhere.
+
+Class scaling here follows the official NPB definitions for the
+quantities that matter to the models: EP doubles per class step, FT/LU
+grid dimensions, iteration counts.  Workload instruction counts scale
+with the per-class operation counts.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ProblemClass"]
+
+
+class ProblemClass(enum.Enum):
+    """NPB problem classes, smallest to largest."""
+
+    S = "S"
+    W = "W"
+    A = "A"
+    B = "B"
+
+    @classmethod
+    def parse(cls, value: "ProblemClass | str") -> "ProblemClass":
+        """Accept either an enum member or its letter."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).upper())
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown problem class {value!r}; choose from "
+                f"{[c.value for c in cls]}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Per-benchmark size tables (official NPB values)
+    # ------------------------------------------------------------------
+
+    @property
+    def ep_log2_pairs(self) -> int:
+        """EP: log2 of the number of random pairs (NPB ``M``)."""
+        return {"S": 24, "W": 25, "A": 28, "B": 30}[self.value]
+
+    @property
+    def ft_grid(self) -> tuple[int, int, int]:
+        """FT: 3-D grid dimensions."""
+        return {
+            "S": (64, 64, 64),
+            "W": (128, 128, 32),
+            "A": (256, 256, 128),
+            "B": (512, 256, 256),
+        }[self.value]
+
+    @property
+    def ft_iterations(self) -> int:
+        """FT: number of time-step iterations."""
+        return {"S": 6, "W": 6, "A": 6, "B": 20}[self.value]
+
+    @property
+    def lu_grid(self) -> tuple[int, int, int]:
+        """LU: 3-D grid dimensions."""
+        return {
+            "S": (12, 12, 12),
+            "W": (33, 33, 33),
+            "A": (64, 64, 64),
+            "B": (102, 102, 102),
+        }[self.value]
+
+    @property
+    def lu_iterations(self) -> int:
+        """LU: SSOR iteration count (NPB ``itmax``)."""
+        return {"S": 50, "W": 300, "A": 250, "B": 250}[self.value]
+
+    @property
+    def cg_size(self) -> int:
+        """CG: matrix dimension (NPB ``NA``)."""
+        return {"S": 1400, "W": 7000, "A": 14000, "B": 75000}[self.value]
+
+    @property
+    def cg_iterations(self) -> int:
+        """CG: outer iterations (NPB ``NITER``)."""
+        return {"S": 15, "W": 15, "A": 15, "B": 75}[self.value]
+
+    @property
+    def mg_grid(self) -> tuple[int, int, int]:
+        """MG: finest grid dimensions."""
+        return {
+            "S": (32, 32, 32),
+            "W": (128, 128, 128),
+            "A": (256, 256, 256),
+            "B": (256, 256, 256),
+        }[self.value]
+
+    @property
+    def mg_iterations(self) -> int:
+        """MG: V-cycle count."""
+        return {"S": 4, "W": 4, "A": 4, "B": 20}[self.value]
+
+    @property
+    def is_log2_keys(self) -> int:
+        """IS: log2 of the number of keys to sort."""
+        return {"S": 16, "W": 20, "A": 23, "B": 25}[self.value]
+
+    @property
+    def is_iterations(self) -> int:
+        """IS: ranking iterations."""
+        return 10
+
+    # ------------------------------------------------------------------
+    # Generic scale factors relative to class A
+    # ------------------------------------------------------------------
+
+    def ep_scale(self) -> float:
+        """EP workload relative to class A."""
+        return 2.0 ** (self.ep_log2_pairs - ProblemClass.A.ep_log2_pairs)
+
+    def ft_scale(self) -> float:
+        """FT per-iteration workload relative to class A (grid points)."""
+        mine = self.ft_grid
+        ref = ProblemClass.A.ft_grid
+        return (mine[0] * mine[1] * mine[2]) / (ref[0] * ref[1] * ref[2])
+
+    def lu_scale(self) -> float:
+        """LU per-iteration workload relative to class A (grid points)."""
+        mine = self.lu_grid
+        ref = ProblemClass.A.lu_grid
+        return (mine[0] * mine[1] * mine[2]) / (ref[0] * ref[1] * ref[2])

@@ -1,0 +1,119 @@
+"""EP — the Embarrassingly Parallel benchmark (paper §4.2).
+
+EP evaluates an integral with pseudorandom trials (Marsaglia polar
+Gaussian pairs) and tabulates the pairs into ten annular bins.  Its
+relevant characteristics, straight from the paper:
+
+* cluster-wide computation with "virtually no inter-processor
+  communication";
+* "the ratio of memory operations to computations on each node is very
+  low" — the workload is essentially all ON-chip;
+* speedup scales linearly in both N (15.9 at 16 nodes) and f (2.34 at
+  1400 MHz), and the combined speedup is nearly the product (36.5
+  measured vs 37.3 = 16 × 2.33 predicted by Eq. 12).
+
+CALIBRATION (class A)
+---------------------
+* Sequential time at 600 MHz ≈ 300 s (Figure 1a) ⇒ total instruction
+  count ``w ≈ 1.0e11`` with an instruction mix whose weighted
+  ``CPI_ON ≈ 1.81`` (register-dominated, tiny L2/memory tail).
+* The serial setup fraction is 0.05 % — enough to pull 16-node speedup
+  from 16.0 down to the paper's ≈15.9.
+* Communication: the final tabulation is three 80-byte allreduces
+  (the ``sx/sy/q`` reductions of real EP).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.workmix import InstructionMix
+from repro.core.workload import DopComponent, MessageProfile
+from repro.npb.base import BenchmarkModel
+from repro.npb.classes import ProblemClass
+from repro.npb.phases import (
+    AllreducePhase,
+    ComputePhase,
+    Phase,
+    SerialComputePhase,
+)
+from repro.units import doubles
+
+__all__ = ["EPBenchmark"]
+
+#: Class-A total instruction count (calibrated to ~300 s at 600 MHz).
+_CLASS_A_INSTRUCTIONS = 1.0e11
+
+#: Per-level fractions of the EP workload: register-dominated with a
+#: small L1 tail and negligible L2/memory traffic ("very low" memory
+#: ratio per the paper).
+_MIX_FRACTIONS = {"cpu": 0.62, "l1": 0.37949, "l2": 0.0005, "mem": 1e-5}
+
+#: Fraction of the workload that is serial setup (seeding, constants).
+_SERIAL_FRACTION = 5e-4
+
+#: The three closing reductions each combine ten doubles of tallies.
+_REDUCTION_DOUBLES = 10
+_N_REDUCTIONS = 3
+
+
+class EPBenchmark(BenchmarkModel):
+    """Workload model of NPB EP."""
+
+    name = "ep"
+
+    def __init__(
+        self, problem_class: ProblemClass | str = ProblemClass.A
+    ) -> None:
+        super().__init__(problem_class)
+        total = _CLASS_A_INSTRUCTIONS * self.problem_class.ep_scale()
+        self._total_mix = InstructionMix.from_fractions(
+            total, **_MIX_FRACTIONS
+        )
+
+    # -- model-side description -------------------------------------------------
+
+    def total_mix(self) -> InstructionMix:
+        return self._total_mix
+
+    @property
+    def serial_mix(self) -> InstructionMix:
+        """The DOP = 1 setup portion."""
+        return self._total_mix.scaled(_SERIAL_FRACTION)
+
+    @property
+    def parallel_mix(self) -> InstructionMix:
+        """The embarrassingly parallel main loop."""
+        return self._total_mix.scaled(1.0 - _SERIAL_FRACTION)
+
+    def dop_components(self, max_dop: int) -> tuple[DopComponent, ...]:
+        return (
+            DopComponent(1, self.serial_mix),
+            DopComponent(max_dop, self.parallel_mix),
+        )
+
+    def message_profile(self, n_ranks: int) -> MessageProfile:
+        """Three small allreduces: ⌈log₂N⌉ critical messages each."""
+        self.check_ranks(n_ranks)
+        if n_ranks == 1:
+            return MessageProfile(0.0, 0.0)
+        rounds = max((n_ranks - 1).bit_length(), 1)
+        return MessageProfile(
+            critical_messages=_N_REDUCTIONS * rounds,
+            nbytes=doubles(_REDUCTION_DOUBLES),
+        )
+
+    # -- executable phases -----------------------------------------------------
+
+    def phases(self, n_ranks: int) -> list[Phase]:
+        n_ranks = self.check_ranks(n_ranks)
+        per_rank = self.parallel_mix.scaled(1.0 / n_ranks)
+        phase_list: list[Phase] = [
+            SerialComputePhase("setup", self.serial_mix),
+            ComputePhase("gaussian-pairs", per_rank),
+        ]
+        for i in range(_N_REDUCTIONS):
+            phase_list.append(
+                AllreducePhase(
+                    f"tally-reduce-{i}", doubles(_REDUCTION_DOUBLES)
+                )
+            )
+        return phase_list

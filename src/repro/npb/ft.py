@@ -1,0 +1,249 @@
+"""FT — the 3-D FFT PDE benchmark (paper §4.3).
+
+FT solves a 3-D partial differential equation with forward/inverse
+FFTs.  Parallel FT iterates through four phases (paper §4.3):
+*computation phase 1* (evolve + local FFTs), a *reduction phase*
+(checksum), *computation phase 2* (remaining FFT dimension) and an
+*all-to-all communication phase* (the distributed transpose).  Its
+published signatures, all of which this model must reproduce:
+
+* execution time *rises* from 1 to 2 processors — the transpose's
+  network cost exceeds the halved computation;
+* speedup at the base frequency recovers to ≈2.9 by 16 processors and
+  flattens (sub-linear: the all-to-all does not shrink as fast as the
+  compute);
+* sequential frequency speedup is sub-linear (1.6 at 1400 MHz in
+  Figure 2b's N = 1 row; ≈1.9 measured on times in §4.3 point 2)
+  because of its sizable OFF-chip (memory) workload;
+* frequency scaling's benefit *diminishes* as nodes are added, because
+  the frequency-insensitive overhead ``T(w_PO^OFF, f_OFF)`` dominates
+  (w_PO^ON ≈ 0).
+
+CALIBRATION (class A)
+---------------------
+* Sequential time at 600 MHz ≈ 65 s (Figure 2a), of which ≈17.75 s is
+  OFF-chip (memory) time — that ratio fixes the measured sequential
+  frequency speedup at ≈1.9.
+* The transpose moves the full 256×256×128 complex-double dataset
+  (134 MB) every iteration: each rank sends ``dataset/N²`` bytes to
+  every peer, through the congested 100 Mb switch.
+* Six iterations (class A), each: compute1 (60 %), checksum reduction,
+  compute2 (40 %), transpose all-to-all.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from repro.cluster.workmix import InstructionMix
+from repro.core.workload import DopComponent, MessageProfile
+from repro.errors import ConfigurationError
+from repro.npb.base import BenchmarkModel
+from repro.npb.classes import ProblemClass
+from repro.npb.phases import (
+    AllreducePhase,
+    AlltoallPhase,
+    ComputePhase,
+    Phase,
+    SerialComputePhase,
+)
+
+__all__ = ["FTBenchmark", "Transpose2DPhase"]
+
+#: Bytes per grid point (one complex double).
+_BYTES_PER_POINT = 16.0
+
+#: Class-A ON-chip instruction count (calibrated: 47.25 s of ON-chip
+#: time at 600 MHz with the weighted CPI below).
+_CLASS_A_ON_CHIP = 1.0971e10
+
+#: Class-A OFF-chip instruction count (calibrated: 17.75 s at the
+#: 140 ns low-frequency bus latency).
+_CLASS_A_OFF_CHIP = 1.2679e8
+
+#: ON-chip level weights: FFT butterflies stream through L1 with a
+#: noticeable L2 component (the "larger memory footprint than EP").
+_ON_CHIP_WEIGHTS = {"cpu": 0.45, "l1": 0.48, "l2": 0.07}
+
+#: Fraction of the workload that is serial seeding / index setup.
+_SERIAL_FRACTION = 0.001
+
+#: Fraction that is (parallel) one-time setup outside the iterations.
+_SETUP_FRACTION = 0.02
+
+#: Split of each iteration's compute between phase 1 and phase 2.
+_COMPUTE1_SHARE = 0.6
+
+#: The per-iteration checksum reduction combines a few complex values.
+_CHECKSUM_BYTES = 32.0
+
+
+class Transpose2DPhase(Phase):
+    """The 2-D decomposition's transpose: row then column alltoalls.
+
+    With ranks arranged in a √N × √N grid, the distributed transpose
+    becomes two alltoalls over √N-rank sub-communicators (rows, then
+    columns), each redistributing the rank's full slab within its
+    group.  Sub-communicators are built once per rank via
+    ``MPI_Comm_split`` and cached in the context's scratch space.
+    """
+
+    def __init__(self, label: str, dataset_bytes: float) -> None:
+        super().__init__(label)
+        self.dataset_bytes = float(dataset_bytes)
+
+    def execute(self, ctx) -> _t.Generator:
+        ctx.phase(self.label)
+        if ctx.size == 1:
+            return
+        side = math.isqrt(ctx.size)
+        row = ctx.scratch.get("ft2d_row")
+        col = ctx.scratch.get("ft2d_col")
+        if row is None:
+            row = yield from ctx.split(color=ctx.rank // side)
+            col = yield from ctx.split(color=ctx.rank % side)
+            ctx.scratch["ft2d_row"] = row
+            ctx.scratch["ft2d_col"] = col
+        # Each stage redistributes this rank's slab across its group.
+        per_pair = self.dataset_bytes / ctx.size / side
+        yield from row.alltoall(per_pair)
+        yield from col.alltoall(per_pair)
+
+
+class FTBenchmark(BenchmarkModel):
+    """Workload model of NPB FT.
+
+    Parameters
+    ----------
+    problem_class:
+        NPB class letter.
+    decomposition:
+        ``"1d"`` (slab decomposition with one global alltoall per
+        transpose — the paper's configuration) or ``"2d"`` (pencil
+        decomposition: row + column alltoalls over √N-rank
+        sub-communicators; requires square rank counts).
+    """
+
+    name = "ft"
+
+    def __init__(
+        self,
+        problem_class: ProblemClass | str = ProblemClass.A,
+        decomposition: str = "1d",
+    ) -> None:
+        super().__init__(problem_class)
+        if decomposition not in ("1d", "2d"):
+            raise ConfigurationError(
+                f"decomposition must be '1d' or '2d': {decomposition!r}"
+            )
+        self.decomposition = decomposition
+        pc = self.problem_class
+        # Per-iteration work scales with grid points; total with the
+        # iteration count.
+        per_iter_scale = pc.ft_scale()
+        iter_ratio = pc.ft_iterations / ProblemClass.A.ft_iterations
+        scale = per_iter_scale * iter_ratio
+        on = _CLASS_A_ON_CHIP * scale
+        off = _CLASS_A_OFF_CHIP * scale
+        self._total_mix = InstructionMix(
+            cpu=on * _ON_CHIP_WEIGHTS["cpu"],
+            l1=on * _ON_CHIP_WEIGHTS["l1"],
+            l2=on * _ON_CHIP_WEIGHTS["l2"],
+            mem=off,
+        )
+        nx, ny, nz = pc.ft_grid
+        #: Total dataset size moved by each transpose.
+        self.dataset_bytes = float(nx * ny * nz) * _BYTES_PER_POINT
+        self.iterations = pc.ft_iterations
+
+    # -- model-side description ---------------------------------------------
+
+    def total_mix(self) -> InstructionMix:
+        return self._total_mix
+
+    @property
+    def serial_mix(self) -> InstructionMix:
+        """DOP = 1 seeding/setup work."""
+        return self._total_mix.scaled(_SERIAL_FRACTION)
+
+    @property
+    def parallel_mix(self) -> InstructionMix:
+        """Everything that scales with rank count."""
+        return self._total_mix.scaled(1.0 - _SERIAL_FRACTION)
+
+    def dop_components(self, max_dop: int) -> tuple[DopComponent, ...]:
+        return (
+            DopComponent(1, self.serial_mix),
+            DopComponent(max_dop, self.parallel_mix),
+        )
+
+    def transpose_bytes_per_pair(self, n_ranks: int) -> float:
+        """Bytes each rank sends each peer in one transpose."""
+        n = self.check_ranks(n_ranks)
+        return self.dataset_bytes / float(n * n)
+
+    def check_decomposition_ranks(self, n_ranks: int) -> int:
+        """Validate the rank count against the decomposition (2-D needs
+        a perfect square)."""
+        n = self.check_ranks(n_ranks)
+        if self.decomposition == "2d" and math.isqrt(n) ** 2 != n:
+            raise ConfigurationError(
+                f"2-D FT needs a square rank count, got {n}"
+            )
+        return n
+
+    def message_profile(self, n_ranks: int) -> MessageProfile:
+        """Critical-path messages per transpose: (N−1) pairwise sends
+        for 1-D; 2·(√N−1) group sends (of √N-fold larger payloads)
+        for 2-D."""
+        n = self.check_decomposition_ranks(n_ranks)
+        if n == 1:
+            return MessageProfile(0.0, 0.0)
+        if self.decomposition == "2d":
+            side = math.isqrt(n)
+            return MessageProfile(
+                critical_messages=float(
+                    self.iterations * 2 * (side - 1)
+                ),
+                nbytes=self.dataset_bytes / n / side,
+            )
+        return MessageProfile(
+            critical_messages=float(self.iterations * (n - 1)),
+            nbytes=self.transpose_bytes_per_pair(n),
+        )
+
+    # -- executable phases ------------------------------------------------------
+
+    def phases(self, n_ranks: int) -> list[Phase]:
+        n = self.check_decomposition_ranks(n_ranks)
+        setup_mix = self.parallel_mix.scaled(_SETUP_FRACTION / n)
+        iter_budget = self.parallel_mix.scaled(
+            (1.0 - _SETUP_FRACTION) / self.iterations / n
+        )
+        compute1 = iter_budget.scaled(_COMPUTE1_SHARE)
+        compute2 = iter_budget.scaled(1.0 - _COMPUTE1_SHARE)
+        pair_bytes = self.transpose_bytes_per_pair(n)
+
+        phase_list: list[Phase] = [
+            SerialComputePhase("seed", self.serial_mix),
+            ComputePhase("setup", setup_mix),
+        ]
+        for it in range(self.iterations):
+            phase_list.append(ComputePhase(f"compute1[{it}]", compute1))
+            phase_list.append(
+                AllreducePhase(f"checksum[{it}]", _CHECKSUM_BYTES)
+            )
+            phase_list.append(ComputePhase(f"compute2[{it}]", compute2))
+            if n > 1:
+                if self.decomposition == "2d":
+                    phase_list.append(
+                        Transpose2DPhase(
+                            f"transpose[{it}]", self.dataset_bytes
+                        )
+                    )
+                else:
+                    phase_list.append(
+                        AlltoallPhase(f"transpose[{it}]", pair_bytes)
+                    )
+        return phase_list

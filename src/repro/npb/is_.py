@@ -1,0 +1,95 @@
+"""IS — integer sort (extension beyond the paper's three codes).
+
+NPB IS ranks a large array of small integers by bucket sort.  Its
+power-aware personality is the most communication-extreme of the
+suite:
+
+* the local ranking is cheap integer work with a streaming (OFF-chip
+  heavy) access pattern;
+* each iteration redistributes all keys with an all-to-all-v — like
+  FT's transpose but with *less* compute to amortize it, so speedup
+  saturates even earlier and frequency scaling buys almost nothing at
+  scale.
+
+Loosely calibrated (class A ≈ 12 s sequential at 600 MHz).  Provided
+for the examples, not validated against the paper.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.workmix import InstructionMix
+from repro.core.workload import DopComponent, MessageProfile
+from repro.npb.base import BenchmarkModel
+from repro.npb.classes import ProblemClass
+from repro.npb.phases import (
+    AllreducePhase,
+    AlltoallPhase,
+    ComputePhase,
+    Phase,
+)
+
+__all__ = ["ISBenchmark"]
+
+#: Class-A total instruction count (≈12 s at 600 MHz).
+_CLASS_A_INSTRUCTIONS = 2.4e9
+
+#: Counting/bucketing: streaming integer work, strong memory component.
+_MIX_FRACTIONS = {"cpu": 0.38, "l1": 0.47, "l2": 0.10, "mem": 0.05}
+
+#: Bytes per key (one 32-bit integer).
+_KEY_BYTES = 4.0
+
+
+class ISBenchmark(BenchmarkModel):
+    """Workload model of NPB IS."""
+
+    name = "is"
+
+    def __init__(
+        self, problem_class: ProblemClass | str = ProblemClass.A
+    ) -> None:
+        super().__init__(problem_class)
+        pc = self.problem_class
+        scale = 2.0 ** (
+            pc.is_log2_keys - ProblemClass.A.is_log2_keys
+        )
+        self._total_mix = InstructionMix.from_fractions(
+            _CLASS_A_INSTRUCTIONS * scale, **_MIX_FRACTIONS
+        )
+        self.iterations = pc.is_iterations
+        #: Total key volume redistributed each iteration.
+        self.keys_bytes = (2.0**pc.is_log2_keys) * _KEY_BYTES
+
+    def total_mix(self) -> InstructionMix:
+        return self._total_mix
+
+    def dop_components(self, max_dop: int) -> tuple[DopComponent, ...]:
+        return (DopComponent(max_dop, self._total_mix),)
+
+    def redistribution_bytes_per_pair(self, n_ranks: int) -> float:
+        """Keys each rank ships each peer per iteration (uniform keys)."""
+        n = self.check_ranks(n_ranks)
+        return self.keys_bytes / float(n * n)
+
+    def message_profile(self, n_ranks: int) -> MessageProfile:
+        n = self.check_ranks(n_ranks)
+        if n == 1:
+            return MessageProfile(0.0, 0.0)
+        return MessageProfile(
+            critical_messages=float(self.iterations * (n - 1)),
+            nbytes=self.redistribution_bytes_per_pair(n),
+        )
+
+    def phases(self, n_ranks: int) -> list[Phase]:
+        n = self.check_ranks(n_ranks)
+        per_iter = self._total_mix.scaled(1.0 / (self.iterations * n))
+        pair_bytes = self.redistribution_bytes_per_pair(n)
+        phase_list: list[Phase] = []
+        for it in range(self.iterations):
+            phase_list.append(ComputePhase(f"rank-keys[{it}]", per_iter))
+            if n > 1:
+                phase_list.append(
+                    AlltoallPhase(f"redistribute[{it}]", pair_bytes)
+                )
+            phase_list.append(AllreducePhase(f"verify[{it}]", 8.0))
+        return phase_list

@@ -1,0 +1,264 @@
+"""Reference numeric kernels for the NPB workload models.
+
+Each modelled benchmark has a small numpy implementation of its actual
+mathematics, runnable at class-S-like scale.  They serve three roles:
+
+1. document precisely *what* each workload model abstracts;
+2. let tests check the phase structure against real data flow (e.g.
+   the FT kernel's transpose really moves the whole dataset);
+3. act as runnable examples of the algorithms the simulated cluster
+   executes.
+
+The kernels do not feed timing — the models' instruction mixes are
+calibrated to the paper's published counters and times (see each
+model's CALIBRATION notes), exactly as the paper derives them from
+PAPI measurements rather than from source inspection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "EPResult",
+    "ep_kernel",
+    "FTResult",
+    "ft_kernel",
+    "LUResult",
+    "lu_ssor_kernel",
+    "cg_kernel",
+]
+
+
+# ---------------------------------------------------------------------------
+# EP: Marsaglia polar Gaussian pairs with annular tallies
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class EPResult:
+    """Tallies of one EP run."""
+
+    sx: float
+    sy: float
+    counts: np.ndarray  # ten annular bin counts
+    pairs_accepted: int
+
+
+def ep_kernel(
+    log2_pairs: int, seed: int = 271828183, generator: str = "numpy"
+) -> EPResult:
+    """The EP computation: uniform pairs → Gaussian deviates → tallies.
+
+    Generates ``2^log2_pairs`` candidate pairs, applies the Marsaglia
+    polar method (acceptance ≈ π/4) and accumulates the sums and the
+    ten annular bin counts NPB EP reports.
+
+    ``generator`` selects the uniform source: ``"numpy"`` (fast,
+    default) or ``"randlc"`` — NPB's own 48-bit LCG
+    (:class:`repro.npb.randlc.Randlc`), whose jump-ahead splitting is
+    what makes real EP embarrassingly parallel.
+    """
+    if not 0 <= log2_pairs <= 30:
+        raise ConfigurationError(
+            f"log2_pairs out of sane range [0, 30]: {log2_pairs}"
+        )
+    if generator not in ("numpy", "randlc"):
+        raise ConfigurationError(
+            f"generator must be 'numpy' or 'randlc': {generator!r}"
+        )
+    n = 1 << log2_pairs
+    if generator == "numpy":
+        rng = np.random.default_rng(seed)
+        draw = lambda m: rng.random(m)  # noqa: E731
+    else:
+        from repro.npb.randlc import Randlc
+
+        lcg = Randlc(seed)
+        draw = lambda m: lcg.vranlc(m)  # noqa: E731
+    # Work in manageable chunks to bound memory.
+    chunk = min(n, 1 << 20)
+    sx = sy = 0.0
+    counts = np.zeros(10, dtype=np.int64)
+    accepted = 0
+    remaining = n
+    while remaining > 0:
+        m = min(chunk, remaining)
+        remaining -= m
+        xj = 2.0 * draw(m) - 1.0
+        yj = 2.0 * draw(m) - 1.0
+        t = xj * xj + yj * yj
+        mask = (t <= 1.0) & (t > 0.0)
+        tm = t[mask]
+        factor = np.sqrt(-2.0 * np.log(tm) / tm)
+        gx = xj[mask] * factor
+        gy = yj[mask] * factor
+        sx += float(gx.sum())
+        sy += float(gy.sum())
+        bins = np.maximum(np.abs(gx), np.abs(gy)).astype(np.int64)
+        bins = np.clip(bins, 0, 9)
+        counts += np.bincount(bins, minlength=10)
+        accepted += int(mask.sum())
+    return EPResult(sx=sx, sy=sy, counts=counts, pairs_accepted=accepted)
+
+
+# ---------------------------------------------------------------------------
+# FT: 3-D PDE via FFT with per-iteration evolution and checksums
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class FTResult:
+    """Checksums of one FT run."""
+
+    checksums: tuple[complex, ...]
+    shape: tuple[int, int, int]
+
+
+def ft_kernel(
+    shape: tuple[int, int, int] = (32, 32, 32),
+    iterations: int = 6,
+    alpha: float = 1e-6,
+    seed: int = 314159265,
+) -> FTResult:
+    """The FT computation: spectral solution of ∂u/∂t = α∇²u.
+
+    Forward-FFT a random initial state once, then per iteration apply
+    the spectral evolution factor, inverse-FFT and record the NPB-style
+    checksum.  (The distributed version transposes the array between
+    the FFT dimensions — the all-to-all the model charges.)
+    """
+    nx, ny, nz = shape
+    if min(shape) < 2:
+        raise ConfigurationError(f"degenerate FT grid: {shape}")
+    if iterations < 1:
+        raise ConfigurationError(f"iterations must be >= 1: {iterations}")
+    rng = np.random.default_rng(seed)
+    u0 = rng.random(shape) + 1j * rng.random(shape)
+    u_hat = np.fft.fftn(u0)
+
+    kx = np.fft.fftfreq(nx) * nx
+    ky = np.fft.fftfreq(ny) * ny
+    kz = np.fft.fftfreq(nz) * nz
+    ksq = (
+        kx[:, None, None] ** 2
+        + ky[None, :, None] ** 2
+        + kz[None, None, :] ** 2
+    )
+
+    checksums = []
+    total = nx * ny * nz
+    for it in range(1, iterations + 1):
+        factor = np.exp(-4.0 * alpha * np.pi**2 * ksq * it)
+        u_t = np.fft.ifftn(u_hat * factor)
+        # NPB checksum: a strided sample of 1024 entries.
+        flat = u_t.reshape(-1)
+        idx = (np.arange(1024) * 17) % total
+        checksums.append(complex(flat[idx].sum()))
+    return FTResult(checksums=tuple(checksums), shape=shape)
+
+
+# ---------------------------------------------------------------------------
+# LU: SSOR sweeps on a regular grid (scalar stand-in for the 5x5 blocks)
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class LUResult:
+    """Convergence record of one SSOR run."""
+
+    residuals: tuple[float, ...]
+    iterations: int
+
+
+def lu_ssor_kernel(
+    n: int = 24,
+    iterations: int = 20,
+    omega: float = 1.2,
+    seed: int = 12345,
+) -> LUResult:
+    """SSOR iteration for a 3-D Poisson system.
+
+    Performs the lower (forward) and upper (backward) wavefront sweeps
+    of symmetric successive over-relaxation — the dependency structure
+    that makes LU's parallelism pipeline-limited.  Returns the residual
+    history, which must decrease monotonically for a diagonally
+    dominant system.
+    """
+    if n < 3:
+        raise ConfigurationError(f"grid too small: {n}")
+    if not 0 < omega < 2:
+        raise ConfigurationError(f"omega must be in (0, 2): {omega}")
+    rng = np.random.default_rng(seed)
+    b = rng.random((n, n, n))
+    u = np.zeros((n, n, n))
+
+    def residual_norm() -> float:
+        r = b.copy()
+        r[1:-1, 1:-1, 1:-1] -= (
+            6.0 * u[1:-1, 1:-1, 1:-1]
+            - u[:-2, 1:-1, 1:-1]
+            - u[2:, 1:-1, 1:-1]
+            - u[1:-1, :-2, 1:-1]
+            - u[1:-1, 2:, 1:-1]
+            - u[1:-1, 1:-1, :-2]
+            - u[1:-1, 1:-1, 2:]
+        )
+        return float(np.sqrt((r[1:-1, 1:-1, 1:-1] ** 2).mean()))
+
+    def sweep(reverse: bool) -> None:
+        planes = range(n - 2, 0, -1) if reverse else range(1, n - 1)
+        for i in planes:
+            gs = (
+                b[i, 1:-1, 1:-1]
+                + u[i - 1, 1:-1, 1:-1]
+                + u[i + 1, 1:-1, 1:-1]
+                + u[i, :-2, 1:-1]
+                + u[i, 2:, 1:-1]
+                + u[i, 1:-1, :-2]
+                + u[i, 1:-1, 2:]
+            ) / 6.0
+            u[i, 1:-1, 1:-1] += omega * (gs - u[i, 1:-1, 1:-1])
+
+    residuals = [residual_norm()]
+    for _ in range(iterations):
+        sweep(reverse=False)  # blts
+        sweep(reverse=True)  # buts
+        residuals.append(residual_norm())
+    return LUResult(residuals=tuple(residuals), iterations=iterations)
+
+
+# ---------------------------------------------------------------------------
+# CG: plain conjugate gradient (reference for the CG model)
+# ---------------------------------------------------------------------------
+
+def cg_kernel(
+    n: int = 256, steps: int = 25, seed: int = 8675309
+) -> tuple[float, int]:
+    """Conjugate gradient on a random SPD system.
+
+    Returns ``(final residual norm, steps run)``; the residual must
+    shrink by orders of magnitude, validating the reference.
+    """
+    if n < 2:
+        raise ConfigurationError(f"system too small: {n}")
+    rng = np.random.default_rng(seed)
+    m = rng.random((n, n))
+    a = m @ m.T + n * np.eye(n)  # SPD, well conditioned
+    b = rng.random(n)
+    x = np.zeros(n)
+    r = b - a @ x
+    p = r.copy()
+    rs = float(r @ r)
+    for step in range(1, steps + 1):
+        ap = a @ p
+        alpha = rs / float(p @ ap)
+        x += alpha * p
+        r -= alpha * ap
+        rs_next = float(r @ r)
+        if rs_next < 1e-24:
+            return (rs_next**0.5, step)
+        p = r + (rs_next / rs) * p
+        rs = rs_next
+    return (rs**0.5, steps)

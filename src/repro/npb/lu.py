@@ -1,0 +1,188 @@
+"""LU — the SSOR regular-sparse solver (paper §5.2's case study).
+
+LU applies symmetric successive over-relaxation to a block lower/upper
+triangular system.  The paper picks it for the fine-grain
+parameterization case study because it is "an iterative solver with a
+limited amount of parallelism and a memory footprint comparable to
+FFT", exhibiting "a regular communication pattern".
+
+The defining structural feature is the *wavefront*: the lower (blts)
+and upper (buts) triangular solves sweep dependency-ordered planes
+through the rank pipeline, so parallelism ramps up over the pipeline
+fill and down over the drain.  A sweep of ``K`` dependent blocks is
+equivalent, in Amdahl terms, to a serial fraction of ``1/K`` of the
+sweep's work — the limited DOP the paper attributes to LU.
+
+CALIBRATION (class A)
+---------------------
+* The counter-measured workload decomposition is Table 5, verbatim:
+  145e9 CPU/register + 175e9 L1 + 4.71e9 L2 + 3.97e9 memory
+  instructions — 98.8 % ON-chip, weighted ``CPI_ON ≈ 2.19`` with our
+  per-level CPIs.
+* Boundary exchanges carry ``620/N`` doubles per message (Table 6:
+  310 doubles at 2 nodes, 155 at 4).
+* 250 SSOR iterations (class A), each: RHS computation (data
+  parallel), a lower sweep, an upper sweep, and a small residual-norm
+  allreduce.  The simulator batches iterations
+  (``_SIM_BATCH`` real iterations per simulated one) to bound event
+  counts; per-message sizes are preserved and message *counts* are
+  scaled accordingly in the profile.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.workmix import InstructionMix
+from repro.core.workload import DopComponent, MessageProfile
+from repro.npb.base import BenchmarkModel
+from repro.npb.classes import ProblemClass
+from repro.npb.phases import (
+    AllreducePhase,
+    ComputePhase,
+    Phase,
+    PipelinedSweepPhase,
+    SerialComputePhase,
+)
+from repro.units import doubles
+
+__all__ = ["LUBenchmark"]
+
+#: Table 5's measured class-A workload decomposition (instructions).
+_CLASS_A_MIX = InstructionMix(
+    cpu=145e9, l1=175e9, l2=4.71e9, mem=3.97e9
+)
+
+#: Wavefront blocks per triangular sweep (the nz = 64 planes of class
+#: A, one block per plane).  The 1/K equivalent-serial-fraction of a
+#: sweep follows from this.
+_SWEEP_BLOCKS = 64
+
+#: Real iterations folded into one simulated iteration (event-count
+#: control; work totals and per-message sizes are preserved).
+_SIM_BATCH = 10
+
+#: Fraction of per-iteration work in the two triangular sweeps (the
+#: rest is the Jacobian/RHS computation, which is data parallel).
+_SWEEP_FRACTION = 0.55
+
+#: Serial fraction (setup, coefficient initialization).
+_SERIAL_FRACTION = 0.001
+
+#: Boundary-exchange payload: 620/N doubles (Table 6's 310 @ N=2).
+_EXCHANGE_DOUBLES_TOTAL = 620.0
+
+#: Residual-norm allreduce payload (five doubles).
+_NORM_BYTES = 40.0
+
+
+class LUBenchmark(BenchmarkModel):
+    """Workload model of NPB LU."""
+
+    name = "lu"
+
+    def __init__(
+        self, problem_class: ProblemClass | str = ProblemClass.A
+    ) -> None:
+        super().__init__(problem_class)
+        pc = self.problem_class
+        scale = pc.lu_scale() * (
+            pc.lu_iterations / ProblemClass.A.lu_iterations
+        )
+        self._total_mix = _CLASS_A_MIX.scaled(scale)
+        self.iterations = pc.lu_iterations
+        #: Simulated (batched) iteration count.
+        self.sim_iterations = max(self.iterations // _SIM_BATCH, 1)
+        self.sweep_blocks = _SWEEP_BLOCKS
+
+    # -- model-side description ---------------------------------------------
+
+    def total_mix(self) -> InstructionMix:
+        return self._total_mix
+
+    @property
+    def serial_mix(self) -> InstructionMix:
+        """DOP = 1 setup work."""
+        return self._total_mix.scaled(_SERIAL_FRACTION)
+
+    @property
+    def sweep_mix(self) -> InstructionMix:
+        """Work inside the two triangular sweeps (pipeline-limited)."""
+        return self._total_mix.scaled(
+            (1.0 - _SERIAL_FRACTION) * _SWEEP_FRACTION
+        )
+
+    @property
+    def rhs_mix(self) -> InstructionMix:
+        """Data-parallel RHS/Jacobian work."""
+        return self._total_mix.scaled(
+            (1.0 - _SERIAL_FRACTION) * (1.0 - _SWEEP_FRACTION)
+        )
+
+    def dop_components(self, max_dop: int) -> tuple[DopComponent, ...]:
+        """Serial setup + pipeline-limited sweeps + parallel RHS.
+
+        A K-block pipeline is Amdahl-equivalent to a ``1/K`` serial
+        fraction of the sweep work, so the sweep splits into a DOP = 1
+        sliver and a fully parallel remainder.
+        """
+        sweep = self.sweep_mix
+        pipeline_serial = sweep.scaled(1.0 / self.sweep_blocks)
+        pipeline_parallel = sweep.scaled(1.0 - 1.0 / self.sweep_blocks)
+        return (
+            DopComponent(1, self.serial_mix + pipeline_serial),
+            DopComponent(max_dop, pipeline_parallel + self.rhs_mix),
+        )
+
+    def exchange_bytes(self, n_ranks: int) -> float:
+        """Boundary-message payload at ``n_ranks`` (Table 6's sizes)."""
+        n = self.check_ranks(n_ranks)
+        if n == 1:
+            return 0.0
+        return doubles(_EXCHANGE_DOUBLES_TOTAL / n)
+
+    def message_profile(self, n_ranks: int) -> MessageProfile:
+        """Per-rank boundary messages: one per block per sweep."""
+        n = self.check_ranks(n_ranks)
+        if n == 1:
+            return MessageProfile(0.0, 0.0)
+        per_iteration = 2.0 * self.sweep_blocks
+        return MessageProfile(
+            critical_messages=self.iterations * per_iteration,
+            nbytes=self.exchange_bytes(n),
+        )
+
+    # -- executable phases ------------------------------------------------------
+
+    def phases(self, n_ranks: int) -> list[Phase]:
+        n = self.check_ranks(n_ranks)
+        sim_iters = self.sim_iterations
+        # Per simulated iteration, per rank.
+        rhs_per_iter = self.rhs_mix.scaled(1.0 / (sim_iters * n))
+        sweep_per_iter = self.sweep_mix.scaled(1.0 / (2 * sim_iters))
+        block_mix = sweep_per_iter.scaled(1.0 / (self.sweep_blocks * n))
+        nbytes = self.exchange_bytes(n)
+
+        phase_list: list[Phase] = [
+            SerialComputePhase("setup", self.serial_mix)
+        ]
+        for it in range(sim_iters):
+            phase_list.append(ComputePhase(f"rhs[{it}]", rhs_per_iter))
+            phase_list.append(
+                PipelinedSweepPhase(
+                    f"blts[{it}]",
+                    block_mix,
+                    self.sweep_blocks,
+                    nbytes,
+                    reverse=False,
+                )
+            )
+            phase_list.append(
+                PipelinedSweepPhase(
+                    f"buts[{it}]",
+                    block_mix,
+                    self.sweep_blocks,
+                    nbytes,
+                    reverse=True,
+                )
+            )
+            phase_list.append(AllreducePhase(f"norm[{it}]", _NORM_BYTES))
+        return phase_list

@@ -1,0 +1,152 @@
+"""MG — multigrid V-cycles (extension beyond the paper's three codes).
+
+NPB MG solves a 3-D Poisson problem with V-cycles over a grid
+hierarchy.  Its power-aware personality:
+
+* fine grids stream large arrays — a solid OFF-chip share;
+* every level exchanges face halos with neighbours: message sizes
+  shrink 4× per level, so coarse levels are pure-latency traffic —
+  overhead that neither frequency nor bandwidth helps;
+* the coarsest levels have fewer points than ranks — genuine DOP
+  starvation, modelled with DOP-limited components.
+
+Loosely calibrated (class A ≈ 55 s sequential at 600 MHz); provided
+for the examples, not validated against the paper.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.workmix import InstructionMix
+from repro.core.workload import DopComponent, MessageProfile
+from repro.npb.base import BenchmarkModel
+from repro.npb.classes import ProblemClass
+from repro.npb.phases import (
+    AllreducePhase,
+    ComputePhase,
+    NeighborExchangePhase,
+    Phase,
+    PipelinedSweepPhase,
+    SerialComputePhase,
+)
+
+__all__ = ["MGBenchmark"]
+
+#: Class-A total instruction count (≈55 s at 600 MHz).
+_CLASS_A_INSTRUCTIONS = 1.15e10
+
+#: Stencil streaming: large working sets, real memory traffic.
+_MIX_FRACTIONS = {"cpu": 0.42, "l1": 0.46, "l2": 0.09, "mem": 0.03}
+
+_SERIAL_FRACTION = 0.001
+
+#: Work shrinks 8x per level downward (3-D coarsening).
+_LEVEL_WORK_RATIO = 0.125
+
+
+class MGBenchmark(BenchmarkModel):
+    """Workload model of NPB MG."""
+
+    name = "mg"
+
+    def __init__(
+        self, problem_class: ProblemClass | str = ProblemClass.A
+    ) -> None:
+        super().__init__(problem_class)
+        pc = self.problem_class
+        mine = pc.mg_grid
+        ref = ProblemClass.A.mg_grid
+        scale = (
+            (mine[0] * mine[1] * mine[2]) / (ref[0] * ref[1] * ref[2])
+        ) * (pc.mg_iterations / ProblemClass.A.mg_iterations)
+        self._total_mix = InstructionMix.from_fractions(
+            _CLASS_A_INSTRUCTIONS * scale, **_MIX_FRACTIONS
+        )
+        self.iterations = pc.mg_iterations
+        #: Number of grid levels (finest included).
+        self.levels = max(int(mine[0]).bit_length() - 2, 3)
+        nx, ny, _nz = mine
+        #: Finest-level halo face, in bytes (one double per face point).
+        self.finest_halo_bytes = float(nx * ny) * 8.0
+
+    def total_mix(self) -> InstructionMix:
+        return self._total_mix
+
+    @property
+    def serial_mix(self) -> InstructionMix:
+        """DOP = 1 setup work."""
+        return self._total_mix.scaled(_SERIAL_FRACTION)
+
+    def _level_shares(self) -> list[float]:
+        """Work share of each level (geometric, normalized)."""
+        raw = [_LEVEL_WORK_RATIO**k for k in range(self.levels)]
+        total = sum(raw)
+        return [r / total for r in raw]
+
+    def level_points(self, level: int) -> int:
+        """Grid points on one level (finest is level 0)."""
+        nx, ny, nz = self.problem_class.mg_grid
+        shrink = 2**level
+        return max(
+            (nx // shrink) * (ny // shrink) * (nz // shrink), 1
+        )
+
+    def dop_components(self, max_dop: int) -> tuple[DopComponent, ...]:
+        """Each level's DOP is capped by its point count."""
+        parallel = self._total_mix.scaled(1.0 - _SERIAL_FRACTION)
+        comps = [DopComponent(1, self.serial_mix)]
+        for level, share in enumerate(self._level_shares()):
+            dop = max(min(max_dop, self.level_points(level)), 1)
+            comps.append(DopComponent(dop, parallel.scaled(share)))
+        return tuple(comps)
+
+    def halo_bytes(self, level: int, n_ranks: int) -> float:
+        """Halo payload per neighbour exchange at one level."""
+        n = self.check_ranks(n_ranks)
+        if n == 1:
+            return 0.0
+        return self.finest_halo_bytes / (4.0**level)
+
+    def message_profile(self, n_ranks: int) -> MessageProfile:
+        """Halo exchanges at every level of every cycle; sizes vary per
+        level, so the profile reports the work-weighted mean size."""
+        n = self.check_ranks(n_ranks)
+        if n == 1:
+            return MessageProfile(0.0, 0.0)
+        count = float(self.iterations * self.levels * 2)
+        sizes = [self.halo_bytes(k, n) for k in range(self.levels)]
+        mean_size = sum(sizes) / len(sizes)
+        return MessageProfile(critical_messages=count, nbytes=mean_size)
+
+    def phases(self, n_ranks: int) -> list[Phase]:
+        n = self.check_ranks(n_ranks)
+        parallel = self._total_mix.scaled(1.0 - _SERIAL_FRACTION)
+        shares = self._level_shares()
+        phase_list: list[Phase] = [
+            SerialComputePhase("setup", self.serial_mix)
+        ]
+        for it in range(self.iterations):
+            for level, share in enumerate(shares):
+                mix = parallel.scaled(share / (self.iterations * n))
+                label = f"level{level}[{it}]"
+                if self.level_points(level) < n:
+                    # Coarse-level starvation: fewer points than ranks.
+                    # Run it as a 1-block pipeline on rank 0's share.
+                    phase_list.append(
+                        PipelinedSweepPhase(
+                            label,
+                            mix.scaled(float(n)),
+                            n_blocks=1,
+                            nbytes=self.halo_bytes(level, n),
+                        )
+                    )
+                else:
+                    phase_list.append(ComputePhase(label, mix))
+                    if n > 1:
+                        phase_list.append(
+                            NeighborExchangePhase(
+                                f"halo-{label}",
+                                self.halo_bytes(level, n),
+                            )
+                        )
+            phase_list.append(AllreducePhase(f"residual[{it}]", 8.0))
+        return phase_list

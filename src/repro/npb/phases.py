@@ -1,0 +1,302 @@
+"""Phase primitives for benchmark workload models.
+
+A benchmark model is a sequence of *phases*; each phase knows how to
+execute itself on a :class:`~repro.mpi.program.RankContext`.  Phases
+carry a label so the profiler can attribute time (the granularity at
+which the paper's DVS scheduling operates).
+
+Available phases:
+
+* :class:`ComputePhase` — data-parallel computation (an instruction mix
+  per rank).
+* :class:`SerialComputePhase` — DOP = 1 work: the root computes while
+  everyone else waits at the closing broadcast.
+* :class:`PipelinedSweepPhase` — wavefront computation (LU's SSOR
+  sweeps): blocks flow rank-to-rank, creating genuine pipeline
+  fill/drain imbalance (DOP between 1 and N).
+* Collective wrappers: :class:`AlltoallPhase`, :class:`AllreducePhase`,
+  :class:`ReducePhase`, :class:`BcastPhase`, :class:`BarrierPhase`,
+  :class:`AllgatherPhase`.
+"""
+
+from __future__ import annotations
+
+import abc
+import typing as _t
+
+from repro.cluster.workmix import InstructionMix
+from repro.errors import ConfigurationError
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mpi.program import RankContext
+
+__all__ = [
+    "Phase",
+    "ComputePhase",
+    "SerialComputePhase",
+    "PipelinedSweepPhase",
+    "AlltoallPhase",
+    "AllreducePhase",
+    "ReducePhase",
+    "BcastPhase",
+    "BarrierPhase",
+    "AllgatherPhase",
+    "NeighborExchangePhase",
+]
+
+
+class Phase(abc.ABC):
+    """One labelled step of a benchmark's execution."""
+
+    def __init__(self, label: str) -> None:
+        self.label = str(label)
+
+    @abc.abstractmethod
+    def execute(self, ctx: "RankContext") -> _t.Generator:
+        """Run this phase on one rank (a simulated-process generator)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.label!r}>"
+
+
+class ComputePhase(Phase):
+    """Data-parallel computation: every rank executes its mix.
+
+    ``mix`` is either one *per-rank* instruction mix applied to every
+    rank (the model builder divides the global workload by the rank
+    count before constructing phases), or a callable
+    ``(rank, size) -> InstructionMix`` for statically imbalanced
+    workloads (the load-imbalance case slack-reclamation DVFS targets).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        mix: InstructionMix
+        | _t.Callable[[int, int], InstructionMix],
+    ) -> None:
+        super().__init__(label)
+        self.mix = mix
+
+    def mix_for(self, rank: int, size: int) -> InstructionMix:
+        """The instruction mix one rank executes."""
+        if callable(self.mix):
+            return self.mix(rank, size)
+        return self.mix
+
+    def execute(self, ctx: "RankContext") -> _t.Generator:
+        ctx.phase(self.label)
+        yield from ctx.compute(self.mix_for(ctx.rank, ctx.size))
+
+
+class SerialComputePhase(Phase):
+    """DOP = 1 computation: the root works, everyone waits.
+
+    The wait is realized by the closing broadcast of ``sync_bytes``
+    (the serial result being shipped out), which is also how real codes
+    distribute the output of a serial section.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        mix: InstructionMix,
+        root: int = 0,
+        sync_bytes: float = 8.0,
+    ) -> None:
+        super().__init__(label)
+        if sync_bytes < 0:
+            raise ConfigurationError(f"sync_bytes must be >= 0: {sync_bytes}")
+        self.mix = mix
+        self.root = int(root)
+        self.sync_bytes = float(sync_bytes)
+
+    def execute(self, ctx: "RankContext") -> _t.Generator:
+        ctx.phase(self.label)
+        if ctx.size == 1:
+            yield from ctx.compute(self.mix)
+            return
+        if ctx.rank == self.root % ctx.size:
+            yield from ctx.compute(self.mix)
+        yield from ctx.bcast(root=self.root % ctx.size, nbytes=self.sync_bytes)
+
+
+class PipelinedSweepPhase(Phase):
+    """A wavefront sweep: blocks of work flow from rank to rank.
+
+    Models LU's SSOR lower/upper triangular solves.  The sweep splits
+    into ``n_blocks`` dependent steps; for each block a rank must
+    receive its predecessor's boundary data, compute, then forward its
+    own boundary downstream.  The pipeline fills over the first N−1
+    block-times and drains over the last N−1, so effective parallelism
+    is ``n_blocks·N / (n_blocks + N − 1)`` — genuinely between 1 and N,
+    which is exactly the limited-DOP behaviour the paper attributes to
+    LU.
+
+    Parameters
+    ----------
+    label:
+        Phase label.
+    block_mix:
+        Per-rank instruction mix for **one block** of the sweep.
+    n_blocks:
+        Number of dependent wavefront steps.
+    nbytes:
+        Boundary-exchange message size (paper Table 6: 310 doubles at
+        2 nodes, 155 at 4 — it halves with rank count; the caller
+        computes it).
+    reverse:
+        ``False``: sweep rank 0 → N−1 (lower solve); ``True``: the
+        mirrored upper solve.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        block_mix: InstructionMix,
+        n_blocks: int,
+        nbytes: float,
+        reverse: bool = False,
+    ) -> None:
+        super().__init__(label)
+        if n_blocks < 1:
+            raise ConfigurationError(f"n_blocks must be >= 1: {n_blocks}")
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0: {nbytes}")
+        self.block_mix = block_mix
+        self.n_blocks = int(n_blocks)
+        self.nbytes = float(nbytes)
+        self.reverse = bool(reverse)
+
+    def execute(self, ctx: "RankContext") -> _t.Generator:
+        ctx.phase(self.label)
+        if ctx.size == 1:
+            for _ in range(self.n_blocks):
+                yield from ctx.compute(self.block_mix)
+            return
+        if self.reverse:
+            upstream = ctx.rank + 1 if ctx.rank + 1 < ctx.size else None
+            downstream = ctx.rank - 1 if ctx.rank > 0 else None
+        else:
+            upstream = ctx.rank - 1 if ctx.rank > 0 else None
+            downstream = ctx.rank + 1 if ctx.rank + 1 < ctx.size else None
+        tag = 11 if not self.reverse else 12
+        for _ in range(self.n_blocks):
+            if upstream is not None:
+                yield from ctx.recv(source=upstream, tag=tag)
+            yield from ctx.compute(self.block_mix)
+            if downstream is not None:
+                yield from ctx.send(downstream, nbytes=self.nbytes, tag=tag)
+
+
+class AlltoallPhase(Phase):
+    """A full exchange of ``nbytes_per_pair`` between every rank pair."""
+
+    def __init__(self, label: str, nbytes_per_pair: float) -> None:
+        super().__init__(label)
+        if nbytes_per_pair < 0:
+            raise ConfigurationError(
+                f"nbytes_per_pair must be >= 0: {nbytes_per_pair}"
+            )
+        self.nbytes_per_pair = float(nbytes_per_pair)
+
+    def execute(self, ctx: "RankContext") -> _t.Generator:
+        ctx.phase(self.label)
+        yield from ctx.alltoall(self.nbytes_per_pair)
+
+
+class AllreducePhase(Phase):
+    """A cluster-wide reduction whose result lands everywhere."""
+
+    def __init__(self, label: str, nbytes: float) -> None:
+        super().__init__(label)
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0: {nbytes}")
+        self.nbytes = float(nbytes)
+
+    def execute(self, ctx: "RankContext") -> _t.Generator:
+        ctx.phase(self.label)
+        yield from ctx.allreduce(self.nbytes)
+
+
+class ReducePhase(Phase):
+    """A rooted reduction."""
+
+    def __init__(self, label: str, nbytes: float, root: int = 0) -> None:
+        super().__init__(label)
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0: {nbytes}")
+        self.nbytes = float(nbytes)
+        self.root = int(root)
+
+    def execute(self, ctx: "RankContext") -> _t.Generator:
+        ctx.phase(self.label)
+        yield from ctx.reduce(root=self.root % ctx.size, nbytes=self.nbytes)
+
+
+class BcastPhase(Phase):
+    """A rooted broadcast."""
+
+    def __init__(self, label: str, nbytes: float, root: int = 0) -> None:
+        super().__init__(label)
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0: {nbytes}")
+        self.nbytes = float(nbytes)
+        self.root = int(root)
+
+    def execute(self, ctx: "RankContext") -> _t.Generator:
+        ctx.phase(self.label)
+        yield from ctx.bcast(root=self.root % ctx.size, nbytes=self.nbytes)
+
+
+class BarrierPhase(Phase):
+    """A full synchronization."""
+
+    def execute(self, ctx: "RankContext") -> _t.Generator:
+        ctx.phase(self.label)
+        yield from ctx.barrier()
+
+
+class NeighborExchangePhase(Phase):
+    """Bidirectional nearest-neighbour exchange on a rank ring.
+
+    Each rank sendrecvs ``nbytes`` with both ring neighbours — the
+    halo-exchange pattern of stencil and multigrid codes.  A no-op at
+    one rank.
+    """
+
+    def __init__(self, label: str, nbytes: float) -> None:
+        super().__init__(label)
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0: {nbytes}")
+        self.nbytes = float(nbytes)
+
+    def execute(self, ctx: "RankContext") -> _t.Generator:
+        ctx.phase(self.label)
+        if ctx.size == 1:
+            return
+            yield  # pragma: no cover - generator marker
+        right = (ctx.rank + 1) % ctx.size
+        left = (ctx.rank - 1) % ctx.size
+        yield from ctx.sendrecv(
+            right, self.nbytes, source=left, send_tag=21, recv_tag=21
+        )
+        yield from ctx.sendrecv(
+            left, self.nbytes, source=right, send_tag=22, recv_tag=22
+        )
+
+
+class AllgatherPhase(Phase):
+    """A ring allgather of one block per rank."""
+
+    def __init__(self, label: str, nbytes_per_rank: float) -> None:
+        super().__init__(label)
+        if nbytes_per_rank < 0:
+            raise ConfigurationError(
+                f"nbytes_per_rank must be >= 0: {nbytes_per_rank}"
+            )
+        self.nbytes_per_rank = float(nbytes_per_rank)
+
+    def execute(self, ctx: "RankContext") -> _t.Generator:
+        ctx.phase(self.label)
+        yield from ctx.allgather(self.nbytes_per_rank)

@@ -1,0 +1,149 @@
+"""SP — scalar-pentadiagonal solver (extension beyond the paper's codes).
+
+NPB SP is BT's sibling: the same three directional sweeps per
+iteration, but with scalar pentadiagonal systems instead of 5×5
+blocks — much less computation per point relative to its
+communication, so SP scales worse than BT on slow interconnects and
+its frequency benefit saturates earlier.  (SP also runs ~2× the
+iterations of BT at class A.)
+
+Loosely calibrated (class A ≈ 550 s sequential at 600 MHz); provided
+for suite coverage and the examples, not validated against the paper.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.workmix import InstructionMix
+from repro.core.workload import DopComponent, MessageProfile
+from repro.npb.base import BenchmarkModel
+from repro.npb.classes import ProblemClass
+from repro.npb.phases import (
+    AllreducePhase,
+    ComputePhase,
+    Phase,
+    PipelinedSweepPhase,
+    SerialComputePhase,
+)
+
+__all__ = ["SPBenchmark"]
+
+_GRIDS = {
+    "S": (12, 12, 12),
+    "W": (36, 36, 36),
+    "A": (64, 64, 64),
+    "B": (102, 102, 102),
+}
+_ITERATIONS = {"S": 100, "W": 400, "A": 400, "B": 400}
+
+#: Class-A total instruction count (≈550 s at 600 MHz).
+_CLASS_A_INSTRUCTIONS = 1.1e11
+
+#: Scalar streaming sweeps: more cache traffic than BT's dense blocks.
+_MIX_FRACTIONS = {"cpu": 0.42, "l1": 0.48, "l2": 0.08, "mem": 0.02}
+
+_SERIAL_FRACTION = 0.001
+_SWEEP_FRACTION = 0.65
+_SWEEP_BLOCKS = 16
+_SIM_BATCH = 40
+
+#: Boundary payload: scalar face (1 double per point + RHS terms).
+_FACE_DOUBLES_TOTAL = 64 * 64 * 2.0
+
+
+class SPBenchmark(BenchmarkModel):
+    """Workload model of NPB SP."""
+
+    name = "sp"
+
+    def __init__(
+        self, problem_class: ProblemClass | str = ProblemClass.A
+    ) -> None:
+        super().__init__(problem_class)
+        pc = self.problem_class
+        grid = _GRIDS[pc.value]
+        ref = _GRIDS["A"]
+        scale = (
+            (grid[0] * grid[1] * grid[2]) / (ref[0] * ref[1] * ref[2])
+        ) * (_ITERATIONS[pc.value] / _ITERATIONS["A"])
+        self._total_mix = InstructionMix.from_fractions(
+            _CLASS_A_INSTRUCTIONS * scale, **_MIX_FRACTIONS
+        )
+        self.iterations = _ITERATIONS[pc.value]
+        self.sim_iterations = max(self.iterations // _SIM_BATCH, 1)
+        self.sweep_blocks = _SWEEP_BLOCKS
+        face_scale = (grid[0] * grid[1]) / (ref[0] * ref[1])
+        self.face_bytes_total = _FACE_DOUBLES_TOTAL * 8.0 * face_scale
+
+    def total_mix(self) -> InstructionMix:
+        return self._total_mix
+
+    @property
+    def serial_mix(self) -> InstructionMix:
+        """DOP = 1 setup work."""
+        return self._total_mix.scaled(_SERIAL_FRACTION)
+
+    @property
+    def sweep_mix(self) -> InstructionMix:
+        """Work inside the three directional sweeps."""
+        return self._total_mix.scaled(
+            (1.0 - _SERIAL_FRACTION) * _SWEEP_FRACTION
+        )
+
+    @property
+    def rhs_mix(self) -> InstructionMix:
+        """Data-parallel RHS computation."""
+        return self._total_mix.scaled(
+            (1.0 - _SERIAL_FRACTION) * (1.0 - _SWEEP_FRACTION)
+        )
+
+    def dop_components(self, max_dop: int) -> tuple[DopComponent, ...]:
+        sweep = self.sweep_mix
+        pipeline_serial = sweep.scaled(1.0 / self.sweep_blocks)
+        pipeline_parallel = sweep.scaled(1.0 - 1.0 / self.sweep_blocks)
+        return (
+            DopComponent(1, self.serial_mix + pipeline_serial),
+            DopComponent(max_dop, pipeline_parallel + self.rhs_mix),
+        )
+
+    def boundary_bytes(self, n_ranks: int) -> float:
+        """Per-message boundary payload at ``n_ranks``."""
+        n = self.check_ranks(n_ranks)
+        if n == 1:
+            return 0.0
+        return self.face_bytes_total / n
+
+    def message_profile(self, n_ranks: int) -> MessageProfile:
+        n = self.check_ranks(n_ranks)
+        if n == 1:
+            return MessageProfile(0.0, 0.0)
+        per_iteration = 3.0 * self.sweep_blocks
+        return MessageProfile(
+            critical_messages=self.iterations * per_iteration,
+            nbytes=self.boundary_bytes(n),
+        )
+
+    def phases(self, n_ranks: int) -> list[Phase]:
+        n = self.check_ranks(n_ranks)
+        sim_iters = self.sim_iterations
+        rhs_per_iter = self.rhs_mix.scaled(1.0 / (sim_iters * n))
+        sweep_per_iter = self.sweep_mix.scaled(1.0 / (3 * sim_iters))
+        block_mix = sweep_per_iter.scaled(1.0 / (self.sweep_blocks * n))
+        nbytes = self.boundary_bytes(n)
+
+        phase_list: list[Phase] = [
+            SerialComputePhase("setup", self.serial_mix)
+        ]
+        for it in range(sim_iters):
+            phase_list.append(ComputePhase(f"rhs[{it}]", rhs_per_iter))
+            for axis, reverse in (("x", False), ("y", True), ("z", False)):
+                phase_list.append(
+                    PipelinedSweepPhase(
+                        f"{axis}solve[{it}]",
+                        block_mix,
+                        self.sweep_blocks,
+                        nbytes,
+                        reverse=reverse,
+                    )
+                )
+            phase_list.append(AllreducePhase(f"rnorm[{it}]", 40.0))
+        return phase_list

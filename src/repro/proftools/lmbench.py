@@ -1,0 +1,85 @@
+"""LMBENCH-style memory-level latency probes.
+
+The fine-grain parameterization's step 2 (paper §5.2) needs the
+average time per instruction *for each memory level separately*, at
+every frequency: "We use the LMBENCH toolset as it enables us to
+isolate the latency for each of these workload types."
+
+:class:`LevelLatencyProbe` reproduces the idea on the simulator: for
+each level it executes a micro-workload touching *only* that level and
+divides elapsed time by the instruction count.  The output is the
+``{frequency: {level: seconds}}`` table that
+:meth:`repro.core.cpi.WorkloadRates.from_level_latencies` consumes, and
+whose shape is the paper's Table 6: ON-chip latencies fall as 1/f,
+memory latency is flat except for the low-frequency bus quirk.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cluster.machine import Cluster, ClusterSpec, paper_spec
+from repro.cluster.workmix import InstructionMix
+from repro.errors import ConfigurationError
+from repro.mpi.program import run_program
+
+__all__ = ["LevelLatencyProbe"]
+
+#: Instruction count per probe: large enough that fixed costs vanish.
+_PROBE_INSTRUCTIONS = 1e8
+
+
+class LevelLatencyProbe:
+    """Measures per-level seconds/instruction across frequencies."""
+
+    #: The four workload types of Table 5/6.
+    LEVELS = ("cpu", "l1", "l2", "mem")
+
+    def __init__(self, spec: ClusterSpec | None = None) -> None:
+        self.spec = (spec or paper_spec()).with_nodes(1)
+
+    def probe_level(self, level: str, frequency_hz: float) -> float:
+        """Seconds per instruction for one level at one frequency."""
+        if level not in self.LEVELS:
+            raise ConfigurationError(
+                f"unknown level {level!r}; choose from {self.LEVELS}"
+            )
+        mix = InstructionMix(**{level: _PROBE_INSTRUCTIONS})
+        cluster = Cluster(self.spec, frequency_hz=frequency_hz)
+
+        def program(ctx):
+            yield from ctx.compute(mix)
+
+        result = run_program(cluster, program)
+        return result.elapsed_s / _PROBE_INSTRUCTIONS
+
+    def measure(
+        self, frequencies: _t.Iterable[float] | None = None
+    ) -> dict[float, dict[str, float]]:
+        """The full per-level latency table over ``frequencies``.
+
+        Defaults to every operating point of the probed platform.
+        Result shape: ``{frequency_hz: {level: seconds/instruction}}``.
+        """
+        if frequencies is None:
+            frequencies = self.spec.cpu.operating_points.frequencies
+        table: dict[float, dict[str, float]] = {}
+        for f in frequencies:
+            table[float(f)] = {
+                level: self.probe_level(level, f) for level in self.LEVELS
+            }
+        return table
+
+    def table6_rows(
+        self, frequencies: _t.Iterable[float] | None = None
+    ) -> dict[str, dict[float, float]]:
+        """The probe data pivoted like the paper's Table 6 (rows =
+        levels, columns = frequencies, nanoseconds)."""
+        data = self.measure(frequencies)
+        rows: dict[str, dict[float, float]] = {
+            level: {} for level in self.LEVELS
+        }
+        for f, levels in data.items():
+            for level, seconds in levels.items():
+                rows[level][f] = seconds * 1e9
+        return rows

@@ -1,0 +1,154 @@
+"""MPPTEST-style message-passing performance measurement.
+
+Step 2 of the fine-grain parameterization also needs per-message times:
+"To measure communication workload time, we measure the seconds per
+communication for different message sizes using the MPPTEST toolset."
+
+:class:`MppTest` runs ping-pong exchanges between two simulated nodes
+across message sizes and frequencies; :class:`MessageTimeTable` holds
+the measured ``(size, frequency) → seconds`` surface and interpolates
+between measured sizes (per-message cost is affine in size under the
+α–β network model, so linear interpolation is exact between samples).
+
+The table reproduces the paper's Table 6 observations: small-message
+time is frequency-insensitive; large-message time rises at the lowest
+frequency because the host-CPU share of messaging slows down.
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing as _t
+
+from repro.cluster.machine import Cluster, ClusterSpec, paper_spec
+from repro.errors import ConfigurationError, MeasurementError
+from repro.mpi.program import run_program
+
+__all__ = ["MppTest", "MessageTimeTable"]
+
+
+class MessageTimeTable:
+    """Measured per-message times over (size, frequency).
+
+    Parameters
+    ----------
+    samples:
+        ``{frequency_hz: {nbytes: seconds}}``.
+    """
+
+    def __init__(
+        self, samples: _t.Mapping[float, _t.Mapping[float, float]]
+    ) -> None:
+        if not samples:
+            raise ConfigurationError("message-time table cannot be empty")
+        self._by_f: dict[float, list[tuple[float, float]]] = {}
+        for f, sizes in samples.items():
+            if not sizes:
+                raise ConfigurationError(
+                    f"no size samples at frequency {f}"
+                )
+            pairs = sorted(
+                (float(s), float(t)) for s, t in sizes.items()
+            )
+            self._by_f[float(f)] = pairs
+
+    @property
+    def frequencies(self) -> tuple[float, ...]:
+        """Measured frequencies, ascending."""
+        return tuple(sorted(self._by_f))
+
+    def sizes(self, frequency_hz: float) -> tuple[float, ...]:
+        """Measured message sizes at one frequency."""
+        return tuple(s for s, _ in self._lookup_f(frequency_hz))
+
+    def _lookup_f(self, frequency_hz: float) -> list[tuple[float, float]]:
+        f = float(frequency_hz)
+        try:
+            return self._by_f[f]
+        except KeyError:
+            raise MeasurementError(
+                f"no message timings at {f / 1e6:.0f} MHz; measured: "
+                f"{[fi / 1e6 for fi in self.frequencies]} MHz"
+            ) from None
+
+    def time(self, nbytes: float, frequency_hz: float) -> float:
+        """Per-message seconds for ``nbytes`` at ``frequency_hz``.
+
+        Linear interpolation between measured sizes; linear
+        extrapolation from the two nearest samples outside the range
+        (clamped at the smallest sample for tiny messages).
+        """
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0: {nbytes}")
+        pairs = self._lookup_f(frequency_hz)
+        sizes = [s for s, _ in pairs]
+        if len(pairs) == 1:
+            return pairs[0][1]
+        i = bisect.bisect_left(sizes, nbytes)
+        if i == 0:
+            return pairs[0][1]
+        if i == len(pairs):
+            (s0, t0), (s1, t1) = pairs[-2], pairs[-1]
+        else:
+            (s0, t0), (s1, t1) = pairs[i - 1], pairs[i]
+        if s1 == s0:  # pragma: no cover - sorted unique sizes
+            return t0
+        slope = (t1 - t0) / (s1 - s0)
+        return max(t0 + slope * (nbytes - s0), 0.0)
+
+    def as_dict(self) -> dict[float, dict[float, float]]:
+        """The raw samples (copies)."""
+        return {f: dict(pairs) for f, pairs in self._by_f.items()}
+
+
+class MppTest:
+    """Ping-pong message timing on the simulated cluster."""
+
+    def __init__(self, spec: ClusterSpec | None = None) -> None:
+        self.spec = (spec or paper_spec()).with_nodes(2)
+
+    def pingpong_time(
+        self, nbytes: float, frequency_hz: float, repetitions: int = 20
+    ) -> float:
+        """One-way per-message time from a ping-pong loop.
+
+        Sends the payload back and forth ``repetitions`` times and
+        halves the per-round-trip average, like MPPTEST's default
+        pattern.
+        """
+        if repetitions < 1:
+            raise ConfigurationError(
+                f"repetitions must be >= 1: {repetitions}"
+            )
+        cluster = Cluster(self.spec, frequency_hz=frequency_hz)
+
+        def program(ctx):
+            for rep in range(repetitions):
+                if ctx.rank == 0:
+                    yield from ctx.send(1, nbytes=nbytes, tag=1)
+                    yield from ctx.recv(source=1, tag=2)
+                else:
+                    yield from ctx.recv(source=0, tag=1)
+                    yield from ctx.send(0, nbytes=nbytes, tag=2)
+
+        result = run_program(cluster, program)
+        return result.elapsed_s / (2.0 * repetitions)
+
+    def measure(
+        self,
+        sizes: _t.Iterable[float],
+        frequencies: _t.Iterable[float] | None = None,
+        repetitions: int = 20,
+    ) -> MessageTimeTable:
+        """Measure the full (size, frequency) surface."""
+        if frequencies is None:
+            frequencies = self.spec.cpu.operating_points.frequencies
+        sizes = [float(s) for s in sizes]
+        if not sizes:
+            raise ConfigurationError("need at least one message size")
+        samples: dict[float, dict[float, float]] = {}
+        for f in frequencies:
+            samples[float(f)] = {
+                s: self.pingpong_time(s, f, repetitions) for s in sizes
+            }
+        return MessageTimeTable(samples)

@@ -1,0 +1,114 @@
+"""Measured communication profiles.
+
+The FP parameterization multiplies a message count by a per-message
+time (paper §5.2: "the number of messages obtained by profiling LU").
+This module obtains that count by *measurement*: run the application
+once, read the per-(rank, phase) send statistics the runtime collects,
+and condense them into the :class:`~repro.core.workload.MessageProfile`
+shape the model consumes.
+
+The critical-path message count is approximated by the *maximum over
+ranks* of per-rank messages sent (the busiest rank paces the job), and
+the message size by the byte-weighted mean.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing as _t
+
+from repro.cluster.machine import Cluster, ClusterSpec, paper_spec
+from repro.core.workload import MessageProfile
+from repro.mpi.program import RunResult
+from repro.npb.base import BenchmarkModel
+from repro.proftools.profiler import normalize_label
+
+__all__ = ["MessageProfileReport", "measure_message_profile"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageProfileReport:
+    """Measured communication statistics of one run."""
+
+    n_ranks: int
+    #: ``{phase_group: {rank: (messages, bytes)}}``.
+    by_phase: dict[str, dict[int, tuple[float, float]]]
+
+    @classmethod
+    def from_run(cls, result: RunResult) -> "MessageProfileReport":
+        grouped: dict[str, dict[int, list[float]]] = collections.defaultdict(
+            dict
+        )
+        for (rank, phase), (count, nbytes) in result.send_stats.items():
+            group = normalize_label(phase)
+            entry = grouped[group].setdefault(rank, [0.0, 0.0])
+            entry[0] += count
+            entry[1] += nbytes
+        return cls(
+            n_ranks=result.n_ranks,
+            by_phase={
+                group: {r: (v[0], v[1]) for r, v in ranks.items()}
+                for group, ranks in grouped.items()
+            },
+        )
+
+    # -- aggregates --------------------------------------------------------
+
+    def phases(self) -> tuple[str, ...]:
+        """Phase groups that sent messages, by descending volume."""
+        return tuple(
+            sorted(
+                self.by_phase,
+                key=lambda g: -sum(v[1] for v in self.by_phase[g].values()),
+            )
+        )
+
+    def rank_totals(self) -> dict[int, tuple[float, float]]:
+        """``{rank: (messages, bytes)}`` summed over phases."""
+        totals: dict[int, list[float]] = {}
+        for ranks in self.by_phase.values():
+            for rank, (count, nbytes) in ranks.items():
+                entry = totals.setdefault(rank, [0.0, 0.0])
+                entry[0] += count
+                entry[1] += nbytes
+        return {r: (v[0], v[1]) for r, v in totals.items()}
+
+    def message_profile(
+        self, phases: _t.Iterable[str] | None = None
+    ) -> MessageProfile:
+        """Condense to the model's :class:`MessageProfile`.
+
+        Parameters
+        ----------
+        phases:
+            Restrict to these phase groups (default: all).
+        """
+        selected = set(phases) if phases is not None else set(self.by_phase)
+        per_rank: dict[int, list[float]] = {}
+        for group in selected:
+            for rank, (count, nbytes) in self.by_phase.get(group, {}).items():
+                entry = per_rank.setdefault(rank, [0.0, 0.0])
+                entry[0] += count
+                entry[1] += nbytes
+        if not per_rank:
+            return MessageProfile(0.0, 0.0)
+        busiest = max(per_rank.values(), key=lambda v: v[0])
+        count = busiest[0]
+        total_bytes = sum(v[1] for v in per_rank.values())
+        total_msgs = sum(v[0] for v in per_rank.values())
+        mean_size = total_bytes / total_msgs if total_msgs > 0 else 0.0
+        return MessageProfile(critical_messages=count, nbytes=mean_size)
+
+
+def measure_message_profile(
+    benchmark: BenchmarkModel,
+    n_ranks: int,
+    spec: ClusterSpec | None = None,
+    frequency_hz: float | None = None,
+) -> MessageProfileReport:
+    """Run a benchmark once and return its measured message statistics."""
+    base_spec = (spec or paper_spec()).with_nodes(n_ranks)
+    cluster = Cluster(base_spec, frequency_hz=frequency_hz)
+    result = benchmark.run(cluster)
+    return MessageProfileReport.from_run(result)

@@ -1,0 +1,138 @@
+"""Per-phase profiling of simulated runs.
+
+DVS scheduling (paper §1, [15]) needs to know *which phases* of a code
+are communication-bound — those are where the processor can slow down
+almost for free.  :func:`profile_benchmark` runs a benchmark with
+tracing enabled and aggregates per-phase compute/communication times;
+:class:`PhaseProfile` answers the scheduling-relevant queries
+(communication fraction per phase, phases above a boundedness
+threshold).
+
+Phase labels are normalized by stripping the ``[iteration]`` suffix,
+so ``transpose[0] … transpose[5]`` aggregate into one ``transpose``
+phase group — matching how a phase-based scheduler treats recurring
+program regions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import typing as _t
+
+from repro.cluster.machine import Cluster, ClusterSpec, paper_spec
+from repro.mpi.program import RunResult
+from repro.npb.base import BenchmarkModel
+
+__all__ = ["PhaseStats", "PhaseProfile", "profile_benchmark", "normalize_label"]
+
+_ITER_SUFFIX = re.compile(r"\[[^\]]*\]$")
+
+
+def normalize_label(label: str) -> str:
+    """Strip a trailing ``[...]`` iteration marker from a phase label."""
+    return _ITER_SUFFIX.sub("", label)
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseStats:
+    """Aggregated times for one phase group (per single rank)."""
+
+    label: str
+    compute_s: float
+    comm_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Total traced time of the group."""
+        return self.compute_s + self.comm_s
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of the group's time spent in communication."""
+        return self.comm_s / self.total_s if self.total_s > 0 else 0.0
+
+
+class PhaseProfile:
+    """Per-phase-group profile of one run (one representative rank)."""
+
+    def __init__(
+        self, stats: _t.Mapping[str, PhaseStats], elapsed_s: float, rank: int
+    ) -> None:
+        self._stats = dict(stats)
+        self.elapsed_s = float(elapsed_s)
+        self.rank = int(rank)
+
+    @classmethod
+    def from_run(cls, result: RunResult, rank: int = 0) -> "PhaseProfile":
+        """Build a profile from a traced :class:`RunResult`."""
+        if result.tracer is None:
+            raise ValueError("run was not traced; pass trace=True")
+        groups: dict[str, dict[str, float]] = {}
+        for rec in result.tracer.iter(rank=rank):
+            group = groups.setdefault(
+                normalize_label(rec.phase), {"compute": 0.0, "comm": 0.0}
+            )
+            if rec.category in group:
+                group[rec.category] += rec.duration
+        stats = {
+            label: PhaseStats(label, g["compute"], g["comm"])
+            for label, g in groups.items()
+        }
+        return cls(stats, result.elapsed_s, rank)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        """Phase-group labels, by descending total time."""
+        return tuple(
+            sorted(self._stats, key=lambda p: -self._stats[p].total_s)
+        )
+
+    def stats(self, label: str) -> PhaseStats:
+        """The stats of one phase group."""
+        return self._stats[label]
+
+    def communication_bound_phases(
+        self, threshold: float = 0.5
+    ) -> tuple[str, ...]:
+        """Phase groups whose communication fraction exceeds
+        ``threshold`` — the DVS scheduling targets."""
+        return tuple(
+            label
+            for label in self.phases
+            if self._stats[label].comm_fraction >= threshold
+        )
+
+    def total_comm_fraction(self) -> float:
+        """Communication share of all traced time."""
+        total = sum(s.total_s for s in self._stats.values())
+        comm = sum(s.comm_s for s in self._stats.values())
+        return comm / total if total > 0 else 0.0
+
+    def as_rows(self) -> list[tuple[str, float, float, float]]:
+        """(label, compute_s, comm_s, comm_fraction) rows for reports."""
+        return [
+            (
+                label,
+                self._stats[label].compute_s,
+                self._stats[label].comm_s,
+                self._stats[label].comm_fraction,
+            )
+            for label in self.phases
+        ]
+
+
+def profile_benchmark(
+    benchmark: BenchmarkModel,
+    n_ranks: int,
+    spec: ClusterSpec | None = None,
+    frequency_hz: float | None = None,
+    rank: int = 0,
+) -> PhaseProfile:
+    """Run a benchmark with tracing and return its phase profile."""
+    base_spec = (spec or paper_spec()).with_nodes(n_ranks)
+    cluster = Cluster(base_spec, frequency_hz=frequency_hz, trace=True)
+    result = benchmark.run(cluster)
+    return PhaseProfile.from_run(result, rank=rank)

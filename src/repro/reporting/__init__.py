@@ -1,0 +1,34 @@
+"""Rendering and exporting experiment results.
+
+* :mod:`~repro.reporting.tables` — fixed-width text tables in the
+  paper's layout (rows = processor counts, columns = frequencies).
+* :mod:`~repro.reporting.surfaces` — figure-series slicing of grids
+  (per-frequency lines, per-count lines, surface matrices).
+* :mod:`~repro.reporting.export` — CSV/JSON export of grids and rows.
+"""
+
+from repro.reporting.export import grid_to_csv, grid_to_json, rows_to_csv
+from repro.reporting.surfaces import (
+    count_series,
+    frequency_series,
+    normalized_frequency_gain,
+    surface_rows,
+)
+from repro.reporting.tables import (
+    format_error_table,
+    format_grid,
+    format_rows,
+)
+
+__all__ = [
+    "format_grid",
+    "format_error_table",
+    "format_rows",
+    "grid_to_csv",
+    "grid_to_json",
+    "rows_to_csv",
+    "frequency_series",
+    "count_series",
+    "surface_rows",
+    "normalized_frequency_gain",
+]

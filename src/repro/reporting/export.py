@@ -1,0 +1,90 @@
+"""CSV/JSON export of experiment results.
+
+Grids are the ``{(n, frequency_hz): value}`` mappings used throughout
+the library; rows are generic header+records tables.  Everything is
+written with the standard library, so exports work in any environment
+the library runs in.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+import typing as _t
+
+__all__ = ["grid_to_csv", "grid_to_json", "rows_to_csv"]
+
+Key = tuple[int, float]
+
+
+def _grid_records(
+    cells: _t.Mapping[Key, float], value_name: str
+) -> list[dict[str, float]]:
+    return [
+        {
+            "n": n,
+            "frequency_mhz": f / 1e6,
+            value_name: value,
+        }
+        for (n, f), value in sorted(cells.items())
+    ]
+
+
+def grid_to_csv(
+    cells: _t.Mapping[Key, float],
+    path: str | pathlib.Path | None = None,
+    value_name: str = "value",
+) -> str:
+    """Serialize a grid to CSV (written to ``path`` when given).
+
+    Columns: ``n, frequency_mhz, <value_name>``.  Returns the CSV text.
+    """
+    records = _grid_records(cells, value_name)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer,
+        fieldnames=["n", "frequency_mhz", value_name],
+        lineterminator="\n",
+    )
+    writer.writeheader()
+    writer.writerows(records)
+    text = buffer.getvalue()
+    if path is not None:
+        pathlib.Path(path).write_text(text)
+    return text
+
+
+def grid_to_json(
+    cells: _t.Mapping[Key, float],
+    path: str | pathlib.Path | None = None,
+    value_name: str = "value",
+    metadata: _t.Mapping[str, _t.Any] | None = None,
+) -> str:
+    """Serialize a grid (plus optional metadata) to JSON."""
+    document = {
+        "metadata": dict(metadata or {}),
+        "records": _grid_records(cells, value_name),
+    }
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if path is not None:
+        pathlib.Path(path).write_text(text)
+    return text
+
+
+def rows_to_csv(
+    headers: _t.Sequence[str],
+    rows: _t.Sequence[_t.Sequence[_t.Any]],
+    path: str | pathlib.Path | None = None,
+) -> str:
+    """Serialize a header+rows table to CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    text = buffer.getvalue()
+    if path is not None:
+        pathlib.Path(path).write_text(text)
+    return text

@@ -1,0 +1,107 @@
+"""Figure-series extraction.
+
+The paper's figures are (a) execution-time line charts — one series
+per frequency, processor count on the x-axis — and (b) 2-D speedup
+surfaces over (N, f).  This module slices the library's
+``{(n, frequency_hz): value}`` grids into exactly those series, ready
+for any plotting tool (or for the CSV exporters in
+:mod:`repro.reporting.export`).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import ModelError
+
+__all__ = [
+    "frequency_series",
+    "count_series",
+    "surface_rows",
+    "normalized_frequency_gain",
+]
+
+Key = tuple[int, float]
+
+
+def frequency_series(
+    cells: _t.Mapping[Key, float]
+) -> dict[float, list[tuple[int, float]]]:
+    """One series per frequency: ``{f: [(n, value), ...]}`` (Figure a's).
+
+    Series are sorted by processor count; frequencies ascending.
+    """
+    if not cells:
+        raise ModelError("empty grid")
+    out: dict[float, list[tuple[int, float]]] = {}
+    for f in sorted({f for _, f in cells}):
+        out[f] = sorted(
+            (n, v) for (n, fi), v in cells.items() if fi == f
+        )
+    return out
+
+
+def count_series(
+    cells: _t.Mapping[Key, float]
+) -> dict[int, list[tuple[float, float]]]:
+    """One series per processor count: ``{n: [(f, value), ...]}``."""
+    if not cells:
+        raise ModelError("empty grid")
+    out: dict[int, list[tuple[float, float]]] = {}
+    for n in sorted({n for n, _ in cells}):
+        out[n] = sorted(
+            (f, v) for (ni, f), v in cells.items() if ni == n
+        )
+    return out
+
+
+def surface_rows(
+    cells: _t.Mapping[Key, float]
+) -> tuple[list[float], list[int], list[list[float | None]]]:
+    """The surface as (frequency axis, count axis, value matrix).
+
+    The matrix is row-major over counts; missing cells are ``None``.
+    This is the layout 3-D surface plotters (and the paper's Figure
+    1b/2b) consume.
+    """
+    if not cells:
+        raise ModelError("empty grid")
+    freqs = sorted({f for _, f in cells})
+    counts = sorted({n for n, _ in cells})
+    matrix: list[list[float | None]] = [
+        [cells.get((n, f)) for f in freqs] for n in counts
+    ]
+    return freqs, counts, matrix
+
+
+def normalized_frequency_gain(
+    cells: _t.Mapping[Key, float],
+    base_frequency_hz: float,
+    *,
+    lower_is_better: bool = True,
+) -> dict[int, float]:
+    """Per-count gain of the peak frequency over the base frequency.
+
+    For execution times (``lower_is_better``) this is
+    ``T(n, f0) / T(n, f_peak)``; the paper's "frequency effects
+    diminish with N" observation is this mapping decreasing in ``n``.
+    """
+    if not cells:
+        raise ModelError("empty grid")
+    freqs = sorted({f for _, f in cells})
+    f0 = float(base_frequency_hz)
+    if f0 not in freqs:
+        raise ModelError(
+            f"base frequency {f0 / 1e6:.0f} MHz not in the grid"
+        )
+    f_peak = freqs[-1]
+    gains: dict[int, float] = {}
+    for n in sorted({n for n, _ in cells}):
+        base = cells.get((n, f0))
+        peak = cells.get((n, f_peak))
+        if base is None or peak is None:
+            continue
+        gains[n] = base / peak if lower_is_better else peak / base
+    if not gains:
+        raise ModelError("no count has both base and peak cells")
+    return gains

@@ -1,0 +1,109 @@
+"""Fixed-width text tables in the paper's layout.
+
+The paper's result tables share one shape: rows are processor counts,
+columns are frequencies in MHz, cells are errors or speedups.
+:func:`format_grid` renders any ``{(n, frequency_hz): value}`` mapping
+that way; :func:`format_error_table` specializes it for
+:class:`~repro.core.analysis.ErrorTable` with percentage cells;
+:func:`format_rows` renders generic header+rows tables (Table 5/6
+shapes).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.analysis import ErrorTable
+
+__all__ = ["format_grid", "format_error_table", "format_rows"]
+
+Key = tuple[int, float]
+
+
+def _fmt_cell(value: float, style: str) -> str:
+    if style == "percent":
+        return f"{value:.1%}"
+    if style == "time":
+        return f"{value:.2f}s"
+    if style == "speedup":
+        return f"{value:.2f}"
+    return f"{value:.4g}"
+
+
+def format_grid(
+    cells: _t.Mapping[Key, float],
+    title: str = "",
+    value_style: str = "general",
+    row_label: str = "N",
+) -> str:
+    """Render a (processor count × frequency) grid as fixed-width text.
+
+    Parameters
+    ----------
+    cells:
+        ``{(n, frequency_hz): value}``.
+    title:
+        Optional heading line.
+    value_style:
+        ``"percent"``, ``"time"``, ``"speedup"`` or ``"general"``.
+    row_label:
+        Header of the row-key column.
+    """
+    if not cells:
+        return (title + "\n" if title else "") + "(empty table)"
+    counts = sorted({n for n, _ in cells})
+    freqs = sorted({f for _, f in cells})
+    headers = [row_label] + [f"{f / 1e6:.0f}" for f in freqs]
+    rows: list[list[str]] = []
+    for n in counts:
+        row = [str(n)]
+        for f in freqs:
+            value = cells.get((n, f))
+            row.append("-" if value is None else _fmt_cell(value, value_style))
+        rows.append(row)
+    body = format_rows(headers, rows, title="")
+    heading = []
+    if title:
+        heading.append(title)
+    heading.append(f"{'':>4}  Frequency (MHz)")
+    return "\n".join(heading + [body])
+
+
+def format_error_table(table: ErrorTable, title: str = "") -> str:
+    """Render an :class:`~repro.core.analysis.ErrorTable` like the
+    paper's Tables 1/3/7, with a max/mean footer."""
+    text = format_grid(
+        table.cells(), title=title or table.label, value_style="percent"
+    )
+    footer = (
+        f"max error: {table.max_error:.1%}   "
+        f"mean error: {table.mean_error:.1%}"
+    )
+    return text + "\n" + footer
+
+
+def format_rows(
+    headers: _t.Sequence[str],
+    rows: _t.Sequence[_t.Sequence[_t.Any]],
+    title: str = "",
+) -> str:
+    """Render a generic header + rows table with aligned columns."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    all_rows = [list(headers)] + str_rows
+    n_cols = max(len(r) for r in all_rows)
+    for row in all_rows:
+        row.extend([""] * (n_cols - len(row)))
+    widths = [
+        max(len(row[i]) for row in all_rows) for i in range(n_cols)
+    ]
+
+    def render_row(row: _t.Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(row, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(all_rows[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(r) for r in all_rows[1:])
+    return "\n".join(lines)

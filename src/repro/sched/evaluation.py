@@ -1,0 +1,97 @@
+"""Energy-vs-time evaluation of DVS schedules.
+
+The headline trade the power-aware literature reports (and the paper's
+abstract cites: ">30 % energy saved, <1 % performance loss") is a pair
+of ratios against a static-peak-frequency baseline.
+:func:`evaluate_policy` runs both configurations on fresh clusters and
+returns a :class:`ScheduleEvaluation` with the savings, slowdown and
+energy-delay comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cluster.machine import Cluster, ClusterSpec, paper_spec
+from repro.mpi.program import run_program
+from repro.npb.base import BenchmarkModel
+from repro.sched.policies import SchedulingPolicy, StaticPolicy
+from repro.sched.scheduler import scheduled_program
+
+__all__ = ["ScheduleEvaluation", "evaluate_policy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleEvaluation:
+    """Scheduled-vs-baseline comparison for one benchmark and rank
+    count."""
+
+    benchmark: str
+    n_ranks: int
+    baseline_time_s: float
+    baseline_energy_j: float
+    scheduled_time_s: float
+    scheduled_energy_j: float
+
+    @property
+    def energy_savings(self) -> float:
+        """Fraction of baseline energy saved (positive is good)."""
+        return 1.0 - self.scheduled_energy_j / self.baseline_energy_j
+
+    @property
+    def slowdown(self) -> float:
+        """Fractional time increase over baseline (positive = slower)."""
+        return self.scheduled_time_s / self.baseline_time_s - 1.0
+
+    @property
+    def baseline_edp(self) -> float:
+        """Baseline energy-delay product."""
+        return self.baseline_energy_j * self.baseline_time_s
+
+    @property
+    def scheduled_edp(self) -> float:
+        """Scheduled energy-delay product."""
+        return self.scheduled_energy_j * self.scheduled_time_s
+
+    @property
+    def edp_improvement(self) -> float:
+        """Fractional EDP reduction (positive is good)."""
+        return 1.0 - self.scheduled_edp / self.baseline_edp
+
+
+def evaluate_policy(
+    benchmark: BenchmarkModel,
+    n_ranks: int,
+    policy: SchedulingPolicy,
+    spec: ClusterSpec | None = None,
+    baseline: SchedulingPolicy | None = None,
+) -> ScheduleEvaluation:
+    """Run ``benchmark`` under ``policy`` and under a static baseline.
+
+    The baseline defaults to static peak frequency (the "performance
+    first" configuration every DVS study compares against).  Fresh
+    clusters are built for each run so meters start from zero.
+    """
+    base_spec = (spec or paper_spec()).with_nodes(n_ranks)
+    if baseline is None:
+        baseline = StaticPolicy(
+            base_spec.cpu.operating_points.peak.frequency_hz
+        )
+
+    def run_with(p: SchedulingPolicy) -> tuple[float, float]:
+        cluster = Cluster(base_spec)
+        program = scheduled_program(benchmark, n_ranks, p)
+        result = run_program(cluster, program)
+        return result.elapsed_s, result.energy_j
+
+    base_time, base_energy = run_with(baseline)
+    sched_time, sched_energy = run_with(policy)
+    return ScheduleEvaluation(
+        benchmark=f"{benchmark.name}.{benchmark.problem_class.value}",
+        n_ranks=n_ranks,
+        baseline_time_s=base_time,
+        baseline_energy_j=base_energy,
+        scheduled_time_s=sched_time,
+        scheduled_energy_j=sched_energy,
+    )

@@ -1,0 +1,232 @@
+"""Frequency-selection policies for DVS scheduling.
+
+A policy answers one question: *at which operating point should a node
+run the upcoming phase?*  Three implementations:
+
+* :class:`StaticPolicy` — one frequency for the whole run (the
+  baseline every scheduling study compares against).
+* :class:`PhaseTablePolicy` — an explicit phase-group → frequency
+  table (what a hand-tuned schedule or an external tool produces).
+* :class:`CommBoundPolicy` — built from a
+  :class:`~repro.proftools.profiler.PhaseProfile`: phases whose
+  communication fraction exceeds a threshold run at the low frequency,
+  everything else at the high frequency.  This is the paper-era
+  "a priori profiling" approach ([15], Freeh et al.) that power-aware
+  speedup aims to replace with prediction.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cluster.opoints import OperatingPointTable
+from repro.errors import ConfigurationError
+from repro.proftools.profiler import PhaseProfile, normalize_label
+
+__all__ = [
+    "SchedulingPolicy",
+    "StaticPolicy",
+    "PhaseTablePolicy",
+    "CommBoundPolicy",
+    "SlackPolicy",
+]
+
+
+class SchedulingPolicy(_t.Protocol):
+    """Maps a phase-group label to an operating frequency."""
+
+    def frequency_for(self, phase_group: str) -> float:
+        """Target frequency (Hz) for a phase group."""
+        ...  # pragma: no cover - protocol
+
+
+class StaticPolicy:
+    """Run everything at one frequency."""
+
+    def __init__(self, frequency_hz: float) -> None:
+        if frequency_hz <= 0:
+            raise ConfigurationError(
+                f"frequency must be positive: {frequency_hz}"
+            )
+        self.frequency_hz = float(frequency_hz)
+
+    def frequency_for(self, phase_group: str) -> float:
+        """The fixed frequency, regardless of phase."""
+        return self.frequency_hz
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StaticPolicy({self.frequency_hz / 1e6:.0f} MHz)"
+
+
+class PhaseTablePolicy:
+    """Explicit phase-group → frequency table with a default.
+
+    Phase labels are normalized (iteration suffixes stripped) before
+    lookup, so a table entry ``"transpose"`` covers ``transpose[0]``
+    through ``transpose[5]``.
+    """
+
+    def __init__(
+        self, table: _t.Mapping[str, float], default_hz: float
+    ) -> None:
+        if default_hz <= 0:
+            raise ConfigurationError(
+                f"default frequency must be positive: {default_hz}"
+            )
+        self.table = {str(k): float(v) for k, v in table.items()}
+        for label, f in self.table.items():
+            if f <= 0:
+                raise ConfigurationError(
+                    f"frequency for {label!r} must be positive: {f}"
+                )
+        self.default_hz = float(default_hz)
+
+    def frequency_for(self, phase_group: str) -> float:
+        """The table entry for the (normalized) phase, or the default."""
+        return self.table.get(normalize_label(phase_group), self.default_hz)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PhaseTablePolicy({len(self.table)} entries)"
+
+
+class CommBoundPolicy(PhaseTablePolicy):
+    """Profile-driven policy: slow down communication-bound phases.
+
+    Parameters
+    ----------
+    profile:
+        A phase profile from a representative (traced) run.
+    operating_points:
+        The platform's legal points; supplies the high (peak) and low
+        (base) frequencies unless overridden.
+    threshold:
+        Communication fraction above which a phase group is throttled.
+    low_hz, high_hz:
+        Optional explicit frequencies.
+    """
+
+    def __init__(
+        self,
+        profile: PhaseProfile,
+        operating_points: OperatingPointTable,
+        threshold: float = 0.5,
+        low_hz: float | None = None,
+        high_hz: float | None = None,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be in (0, 1]: {threshold}"
+            )
+        low = float(low_hz or operating_points.base.frequency_hz)
+        high = float(high_hz or operating_points.peak.frequency_hz)
+        operating_points.lookup(low)
+        operating_points.lookup(high)
+        table = {
+            label: low
+            for label in profile.communication_bound_phases(threshold)
+        }
+        super().__init__(table, default_hz=high)
+        self.threshold = float(threshold)
+        self.low_hz = low
+        self.high_hz = high
+
+    @property
+    def throttled_phases(self) -> tuple[str, ...]:
+        """Phase groups this policy slows down."""
+        return tuple(sorted(self.table))
+
+
+class SlackPolicy:
+    """Slack reclamation: slow down ranks off the critical path.
+
+    The related-work idea the paper cites ([7, 24], Chen et al. /
+    Kappiah et al.): in load-imbalanced codes some ranks spend much of
+    every iteration *waiting* at synchronization points.  Running those
+    ranks slower stretches their compute into their own slack —
+    saving energy with (ideally) zero effect on the critical path.
+
+    This is a *per-rank* static policy: each rank gets one frequency
+    for the whole run, chosen from a baseline run's per-rank idle
+    fractions.
+
+    Parameters
+    ----------
+    rank_frequencies:
+        Mapping from rank to its assigned frequency (Hz).
+    default_hz:
+        Frequency for ranks not in the table (the critical path).
+    """
+
+    def __init__(
+        self,
+        rank_frequencies: _t.Mapping[int, float],
+        default_hz: float,
+    ) -> None:
+        if default_hz <= 0:
+            raise ConfigurationError(
+                f"default frequency must be positive: {default_hz}"
+            )
+        self.rank_frequencies = {
+            int(r): float(f) for r, f in rank_frequencies.items()
+        }
+        for r, f in self.rank_frequencies.items():
+            if f <= 0:
+                raise ConfigurationError(
+                    f"frequency for rank {r} must be positive: {f}"
+                )
+        self.default_hz = float(default_hz)
+
+    def frequency_for(self, phase_group: str) -> float:
+        """Rank-agnostic query: the critical-path frequency."""
+        return self.default_hz
+
+    def frequency_for_rank(self, rank: int, phase_group: str) -> float:
+        """The frequency assigned to one rank (phase-independent)."""
+        return self.rank_frequencies.get(int(rank), self.default_hz)
+
+    @classmethod
+    def from_idle_fractions(
+        cls,
+        idle_by_rank: _t.Mapping[int, float],
+        operating_points: OperatingPointTable,
+        safety: float = 0.9,
+    ) -> "SlackPolicy":
+        """Assign each rank the lowest frequency its slack can absorb.
+
+        A rank observed idle for fraction ``s`` of the run was busy for
+        ``1 − s``; running it at frequency ``f`` instead of the peak
+        ``F`` inflates its busy time by ``F/f``.  The inflated busy
+        time fits inside the original elapsed time iff
+        ``(1 − s) · F/f <= 1``, i.e. ``f >= F · (1 − s)``.  ``safety``
+        shrinks the usable slack (frequency effects on waiting code and
+        transition costs eat some of it).
+
+        Parameters
+        ----------
+        idle_by_rank:
+            Per-rank idle fraction in [0, 1] from a baseline run
+            (e.g. energy-meter IDLE seconds / elapsed).
+        operating_points:
+            Legal frequencies; each rank gets the lowest legal point
+            at or above its requirement.
+        safety:
+            Fraction of the slack the policy dares to consume.
+        """
+        if not 0 < safety <= 1:
+            raise ConfigurationError(f"safety must be in (0, 1]: {safety}")
+        peak = operating_points.peak.frequency_hz
+        table: dict[int, float] = {}
+        for rank, idle in idle_by_rank.items():
+            if not 0.0 <= idle <= 1.0:
+                raise ConfigurationError(
+                    f"idle fraction for rank {rank} must be in [0, 1]: {idle}"
+                )
+            usable = idle * safety
+            required = peak * (1.0 - usable)
+            candidates = [
+                p.frequency_hz
+                for p in operating_points
+                if p.frequency_hz >= required
+            ]
+            table[int(rank)] = min(candidates) if candidates else peak
+        return cls(table, default_hz=peak)

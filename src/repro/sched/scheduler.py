@@ -1,0 +1,52 @@
+"""Applying a scheduling policy to a benchmark run.
+
+:func:`scheduled_program` wraps a benchmark's phase list into a rank
+program that consults the policy *before every phase* and performs a
+DVFS transition when the target operating point differs from the
+current one.  Transitions cost real simulated time
+(``CpuSpec.dvfs_transition_s``), so an over-eager policy pays for its
+switching — exactly the trade-off real DVS schedulers manage.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.mpi.program import RankContext
+from repro.npb.base import BenchmarkModel
+from repro.proftools.profiler import normalize_label
+from repro.sched.policies import SchedulingPolicy
+
+__all__ = ["scheduled_program"]
+
+
+def scheduled_program(
+    benchmark: BenchmarkModel,
+    n_ranks: int,
+    policy: SchedulingPolicy,
+) -> _t.Callable[[RankContext], _t.Generator]:
+    """A rank program running ``benchmark`` under ``policy``.
+
+    Each rank independently switches its own node at phase boundaries
+    (distributed DVS scheduling in the style of the paper's prior work
+    [15] — no central coordinator).  Policies exposing
+    ``frequency_for_rank(rank, phase_group)`` (e.g.
+    :class:`~repro.sched.policies.SlackPolicy`) get per-rank control;
+    plain phase policies apply uniformly.
+    """
+    phases = benchmark.phases(n_ranks)
+    per_rank = getattr(policy, "frequency_for_rank", None)
+
+    def program(ctx: RankContext) -> _t.Generator:
+        for phase in phases:
+            group = normalize_label(phase.label)
+            if per_rank is not None:
+                target = per_rank(ctx.rank, group)
+            else:
+                target = policy.frequency_for(group)
+            if target != ctx.frequency_hz:
+                yield from ctx.set_frequency(target)
+            yield from phase.execute(ctx)
+
+    program.__name__ = f"scheduled_{benchmark.name}"
+    return program

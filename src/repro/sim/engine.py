@@ -1,0 +1,183 @@
+"""The discrete-event engine: simulated clock plus event queue.
+
+The engine owns a priority queue of ``(time, seq, event)`` entries.
+:meth:`Engine.run` pops entries in time order, advances the clock and
+executes event callbacks, which typically resume simulated processes.
+
+Determinism
+-----------
+The queue breaks time ties with a monotonically increasing sequence
+number, so two runs of the same program produce identical schedules.
+Nothing in the engine consults wall-clock time or unseeded randomness —
+a property the test-suite checks (``tests/sim/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as _t
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Discrete-event simulation engine.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulated clock, in seconds.  Defaults to 0.
+
+    Examples
+    --------
+    >>> eng = Engine()
+    >>> def prog(env):
+    ...     yield env.timeout(1.5)
+    ...     return "done"
+    >>> p = eng.process(prog(eng))
+    >>> eng.run()
+    >>> eng.now
+    1.5
+    >>> p.value
+    'done'
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        #: Number of live (started, not yet finished) processes.  Used for
+        #: deadlock detection when the queue drains.
+        self._live_processes = 0
+
+    # -- clock --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`~repro.sim.events.Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: _t.Generator) -> Process:
+        """Start a new simulated process running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: _t.Iterable[Event]) -> AllOf:
+        """An event that triggers when all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: _t.Iterable[Event]) -> AnyOf:
+        """An event that triggers when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Put a triggered event on the queue ``delay`` seconds from now."""
+        if event._scheduled:
+            raise SimulationError(f"{event!r} already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    # -- main loop -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next queued event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError(
+                f"time travel: queued t={when} < now={self._now}"
+            )
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+    def peek(self) -> float:
+        """Time of the next queued event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(
+        self,
+        until: float | Event | None = None,
+        *,
+        detect_deadlock: bool = True,
+    ) -> _t.Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until the event queue drains.
+            a float
+                run until the clock reaches that time (the clock is
+                advanced to exactly ``until`` even if no event lands
+                there).
+            an :class:`~repro.sim.events.Event`
+                run until that event has been processed; its value is
+                returned (its exception re-raised if it failed).
+        detect_deadlock:
+            When true (default) and the queue drains while simulated
+            processes are still alive, raise
+            :class:`~repro.errors.DeadlockError` — the simulated analogue
+            of a hung MPI job.
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            finished = []
+            stop_event_done = lambda ev: finished.append(ev)  # noqa: E731
+            if stop_event.processed:
+                finished.append(stop_event)
+            else:
+                stop_event.callbacks.append(stop_event_done)
+            while not finished and self._queue:
+                self.step()
+            if not finished:
+                if detect_deadlock and self._live_processes > 0:
+                    raise DeadlockError(
+                        f"queue drained with {self._live_processes} live "
+                        f"process(es) blocked at t={self._now}"
+                    )
+                raise SimulationError(
+                    "run(until=event): queue drained before event triggered"
+                )
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+
+        if until is None:
+            while self._queue:
+                self.step()
+        else:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"run(until={horizon}) is in the past (now={self._now})"
+                )
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self._now = horizon
+
+        if detect_deadlock and until is None and self._live_processes > 0:
+            raise DeadlockError(
+                f"queue drained with {self._live_processes} live "
+                f"process(es) blocked at t={self._now}"
+            )
+        return None

@@ -1,0 +1,107 @@
+"""Generator-based simulated processes.
+
+A :class:`Process` wraps a Python generator.  The generator ``yield``\\ s
+:class:`~repro.sim.events.Event` objects to wait for them; when a yielded
+event triggers, the generator is resumed with the event's value (or the
+event's exception is thrown into it, letting simulated code use ordinary
+``try``/``except``).  When the generator returns, the process — itself an
+event — succeeds with the generator's return value, so processes compose:
+one process can ``yield`` another to join it.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running simulated process.
+
+    Do not instantiate directly; use
+    :meth:`Engine.process <repro.sim.engine.Engine.process>`.
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, env: "Engine", generator: _t.Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        env._live_processes += 1
+        # Kick off the process via an immediately-scheduled event so that
+        # process start order is deterministic and start happens "inside"
+        # the simulation rather than in user code.
+        start = Event(env)
+        start.callbacks.append(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process generator has not yet finished."""
+        return self._value is Event.PENDING
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the triggered event's outcome."""
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._live_processes -= 1
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._live_processes -= 1
+            self.fail(exc)
+            return
+
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process yielded {target!r}; processes must yield Events"
+            )
+            self.env._live_processes -= 1
+            try:
+                self._generator.close()
+            finally:
+                self.fail(exc)
+            return
+        if target.env is not self.env:
+            self.env._live_processes -= 1
+            self.fail(
+                SimulationError("process yielded an event from another engine")
+            )
+            return
+
+        self._waiting_on = target
+        if target.processed:
+            # Already done: resume on a fresh immediate event carrying the
+            # same outcome, preserving run-to-yield semantics.
+            relay = Event(self.env)
+            relay.callbacks.append(self._resume)
+            if target._ok:
+                relay.succeed(target._value)
+            else:
+                relay._ok = False
+                relay._value = target._value
+                self.env._schedule(relay)
+        else:
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self._generator, "__name__", "process")
+        state = "alive" if self.is_alive else "finished"
+        return f"<Process {name} {state} at {id(self):#x}>"

@@ -1,0 +1,138 @@
+"""Capacity-limited shared resources with FIFO queueing.
+
+:class:`Resource` models things like network links and the switch
+backplane: at most ``capacity`` holders at a time, waiters served in
+request order.  :class:`Store` is an unbounded FIFO of items with
+blocking ``get`` — the mailbox primitive underlying simulated MPI
+message matching in :mod:`repro.mpi.p2p`.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing as _t
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+__all__ = ["Resource", "Store"]
+
+
+class _Request(Event):
+    """A pending acquisition of a :class:`Resource` slot.
+
+    Usable as a context manager inside a simulated process::
+
+        with resource.request() as req:
+            yield req
+            yield env.timeout(service_time)
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: "Engine", resource: "Resource") -> None:
+        super().__init__(env)
+        self.resource = resource
+
+    def __enter__(self) -> "_Request":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A shared resource with fixed integer capacity and a FIFO queue.
+
+    Parameters
+    ----------
+    env:
+        Owning engine.
+    capacity:
+        Maximum simultaneous holders; must be >= 1.
+    """
+
+    def __init__(self, env: "Engine", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.env = env
+        self.capacity = int(capacity)
+        self._holders: set[_Request] = set()
+        self._waiting: collections.deque[_Request] = collections.deque()
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> _Request:
+        """Ask for a slot.  The returned event triggers when granted."""
+        req = _Request(self.env, self)
+        if len(self._holders) < self.capacity:
+            self._holders.add(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: _Request) -> None:
+        """Return a slot previously granted to ``request``.
+
+        Releasing a request that never got (or already returned) its slot
+        is a no-op if the request was still queued — it is simply
+        cancelled — and an error otherwise.
+        """
+        if request in self._holders:
+            self._holders.discard(request)
+            self._grant_next()
+        elif request in self._waiting:
+            self._waiting.remove(request)
+        elif request.triggered:
+            raise SimulationError("double release of resource request")
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._holders) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._holders.add(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """Unbounded FIFO of items with blocking retrieval.
+
+    ``put`` never blocks; ``get`` returns an event that triggers with the
+    oldest available item.  Items are delivered to getters in request
+    order (FIFO fairness on both sides).
+    """
+
+    def __init__(self, env: "Engine") -> None:
+        self.env = env
+        self._items: collections.deque[_t.Any] = collections.deque()
+        self._getters: collections.deque[Event] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: _t.Any) -> None:
+        """Deposit ``item``, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that triggers with the next available item."""
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev

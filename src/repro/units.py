@@ -1,0 +1,235 @@
+"""Units and unit helpers used throughout :mod:`repro`.
+
+The paper (and this library) mixes quantities measured at very different
+scales: CPU frequencies in MHz/GHz, per-instruction times in nanoseconds,
+phase and application times in seconds, message sizes in doubles or bytes
+and energies in joules.  To keep the arithmetic honest the library adopts
+a small set of *canonical units* and this module provides named converters
+to and from them.
+
+Canonical units
+---------------
+
+===============  ==================  =================================
+Quantity         Canonical unit      Helper(s)
+===============  ==================  =================================
+frequency        hertz (cycles/s)    :func:`mhz`, :func:`ghz`
+time             seconds             :func:`ns`, :func:`us`, :func:`ms`
+data size        bytes               :func:`kib`, :func:`mib`, :func:`doubles`
+bandwidth        bytes/second        :func:`mbit_per_s`, :func:`mbyte_per_s`
+power            watts               (native)
+energy           joules              (native)
+voltage          volts               (native)
+===============  ==================  =================================
+
+All helpers accept ints or floats and return floats; they are trivially
+vectorizable over numpy arrays as well because they only use ``*`` and
+``/``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KHZ",
+    "MHZ",
+    "GHZ",
+    "NS",
+    "US",
+    "MS",
+    "KIB",
+    "MIB",
+    "GIB",
+    "DOUBLE_BYTES",
+    "mhz",
+    "ghz",
+    "to_mhz",
+    "to_ghz",
+    "ns",
+    "us",
+    "ms",
+    "to_ns",
+    "to_us",
+    "to_ms",
+    "kib",
+    "mib",
+    "gib",
+    "doubles",
+    "to_doubles",
+    "mbit_per_s",
+    "mbyte_per_s",
+    "to_mbit_per_s",
+    "seconds_per_cycle",
+    "cycles",
+]
+
+#: One kilohertz in hertz.
+KHZ = 1.0e3
+#: One megahertz in hertz.
+MHZ = 1.0e6
+#: One gigahertz in hertz.
+GHZ = 1.0e9
+
+#: One nanosecond in seconds.
+NS = 1.0e-9
+#: One microsecond in seconds.
+US = 1.0e-6
+#: One millisecond in seconds.
+MS = 1.0e-3
+
+#: One kibibyte in bytes.
+KIB = 1024.0
+#: One mebibyte in bytes.
+MIB = 1024.0 * 1024.0
+#: One gibibyte in bytes.
+GIB = 1024.0 * 1024.0 * 1024.0
+
+#: Size of one IEEE-754 double-precision value in bytes.  NPB codes report
+#: message sizes in "doubles" (e.g. LU sends 310 doubles per message); this
+#: constant converts those counts into wire bytes.
+DOUBLE_BYTES = 8.0
+
+
+# ---------------------------------------------------------------------------
+# frequency
+# ---------------------------------------------------------------------------
+
+def mhz(value: float) -> float:
+    """Convert a frequency expressed in MHz to hertz.
+
+    >>> mhz(600)
+    600000000.0
+    """
+    return float(value) * MHZ
+
+
+def ghz(value: float) -> float:
+    """Convert a frequency expressed in GHz to hertz.
+
+    >>> ghz(1.4)
+    1400000000.0
+    """
+    return float(value) * GHZ
+
+
+def to_mhz(hertz: float) -> float:
+    """Convert a frequency in hertz to MHz."""
+    return float(hertz) / MHZ
+
+
+def to_ghz(hertz: float) -> float:
+    """Convert a frequency in hertz to GHz."""
+    return float(hertz) / GHZ
+
+
+# ---------------------------------------------------------------------------
+# time
+# ---------------------------------------------------------------------------
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return float(value) * NS
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return float(value) * US
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(value) * MS
+
+
+def to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return float(seconds) / NS
+
+
+def to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return float(seconds) / US
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return float(seconds) / MS
+
+
+# ---------------------------------------------------------------------------
+# data size
+# ---------------------------------------------------------------------------
+
+def kib(value: float) -> float:
+    """Convert kibibytes to bytes."""
+    return float(value) * KIB
+
+
+def mib(value: float) -> float:
+    """Convert mebibytes to bytes."""
+    return float(value) * MIB
+
+
+def gib(value: float) -> float:
+    """Convert gibibytes to bytes."""
+    return float(value) * GIB
+
+
+def doubles(count: float) -> float:
+    """Convert a count of double-precision values to bytes.
+
+    >>> doubles(310)
+    2480.0
+    """
+    return float(count) * DOUBLE_BYTES
+
+
+def to_doubles(nbytes: float) -> float:
+    """Convert bytes to an (possibly fractional) count of doubles."""
+    return float(nbytes) / DOUBLE_BYTES
+
+
+# ---------------------------------------------------------------------------
+# bandwidth
+# ---------------------------------------------------------------------------
+
+def mbit_per_s(value: float) -> float:
+    """Convert megabits/second (network convention, 10^6) to bytes/second.
+
+    >>> mbit_per_s(100)
+    12500000.0
+    """
+    return float(value) * 1.0e6 / 8.0
+
+
+def mbyte_per_s(value: float) -> float:
+    """Convert megabytes/second (10^6 bytes) to bytes/second."""
+    return float(value) * 1.0e6
+
+
+def to_mbit_per_s(bytes_per_s: float) -> float:
+    """Convert bytes/second to megabits/second."""
+    return float(bytes_per_s) * 8.0 / 1.0e6
+
+
+# ---------------------------------------------------------------------------
+# cycle arithmetic
+# ---------------------------------------------------------------------------
+
+def seconds_per_cycle(frequency_hz: float) -> float:
+    """Duration of one clock cycle at ``frequency_hz``.
+
+    Raises
+    ------
+    ValueError
+        If the frequency is not strictly positive.
+    """
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return 1.0 / float(frequency_hz)
+
+
+def cycles(time_s: float, frequency_hz: float) -> float:
+    """Number of clock cycles elapsing in ``time_s`` at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return float(time_s) * float(frequency_hz)

@@ -1,0 +1,94 @@
+"""Tests for PAPI-like hardware counters and the Table 5 derivation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import HardwareCounters, InstructionMix
+from repro.errors import ConfigurationError
+
+counts = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+mixes = st.builds(InstructionMix, cpu=counts, l1=counts, l2=counts, mem=counts)
+
+
+class TestCounters:
+    def test_initially_zero(self):
+        hc = HardwareCounters()
+        for name, value in hc:
+            assert value == 0.0
+
+    def test_record_mix_event_mapping(self):
+        hc = HardwareCounters()
+        hc.record_mix(InstructionMix(cpu=100, l1=50, l2=10, mem=5))
+        assert hc.read("PAPI_TOT_INS") == 165
+        assert hc.read("PAPI_L1_DCA") == 65  # l1 + l2 + mem
+        assert hc.read("PAPI_L1_DCM") == 15  # l2 + mem
+        assert hc.read("PAPI_L2_TCA") == 15
+        assert hc.read("PAPI_L2_TCM") == 5
+
+    def test_accumulation(self):
+        hc = HardwareCounters()
+        hc.record_mix(InstructionMix(cpu=10))
+        hc.record_mix(InstructionMix(cpu=20))
+        assert hc.read("PAPI_TOT_INS") == 30
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HardwareCounters().read("PAPI_FP_OPS")
+
+    def test_reset(self):
+        hc = HardwareCounters()
+        hc.record_mix(InstructionMix(cpu=10, mem=2))
+        hc.reset()
+        assert hc.read("PAPI_TOT_INS") == 0.0
+        assert hc.read("PAPI_L2_TCM") == 0.0
+
+    def test_snapshot_is_a_copy(self):
+        hc = HardwareCounters()
+        snap = hc.snapshot()
+        snap["PAPI_TOT_INS"] = 999.0
+        assert hc.read("PAPI_TOT_INS") == 0.0
+
+
+class TestTable5Derivation:
+    """The inverse mapping: counters → per-level mix (paper Table 5)."""
+
+    def test_paper_lu_numbers(self):
+        """Feed the counters so the Table 5 formulae give the published
+        LU decomposition: 145 / 175 / 4.71 / 3.97 billion instructions."""
+        hc = HardwareCounters()
+        hc.record_mix(
+            InstructionMix(cpu=145e9, l1=175e9, l2=4.71e9, mem=3.97e9)
+        )
+        derived = hc.derive_mix()
+        assert derived.cpu == pytest.approx(145e9)
+        assert derived.l1 == pytest.approx(175e9)
+        assert derived.l2 == pytest.approx(4.71e9)
+        assert derived.mem == pytest.approx(3.97e9)
+        assert derived.on_chip_fraction == pytest.approx(0.988, abs=0.001)
+
+    @given(mixes)
+    def test_roundtrip_is_exact(self, mix):
+        """record_mix then derive_mix recovers the mix (counter
+        conservation; paper's 'accurately track low-level events')."""
+        hc = HardwareCounters()
+        hc.record_mix(mix)
+        derived = hc.derive_mix()
+        # Subtraction of counters of very different magnitudes loses
+        # absolute precision proportional to the largest counter.
+        tol = mix.total * 1e-12 + 1e-6
+        assert derived.cpu == pytest.approx(mix.cpu, abs=tol)
+        assert derived.l1 == pytest.approx(mix.l1, abs=tol)
+        assert derived.l2 == pytest.approx(mix.l2, abs=tol)
+        assert derived.mem == pytest.approx(mix.mem, abs=tol)
+
+    @given(st.lists(mixes, min_size=1, max_size=5))
+    def test_roundtrip_of_sums(self, parts):
+        """Counters of a phase sequence derive the summed mix."""
+        hc = HardwareCounters()
+        for p in parts:
+            hc.record_mix(p)
+        total = sum(parts)
+        derived = hc.derive_mix()
+        assert derived.total == pytest.approx(total.total, rel=1e-9, abs=1e-6)
+        assert derived.mem == pytest.approx(total.mem, rel=1e-9, abs=1e-6)

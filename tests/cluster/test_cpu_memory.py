@@ -1,0 +1,113 @@
+"""Tests for CPU and memory timing models (paper Eq. 5/6 hardware side)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import CpuSpec, CpuTimingModel, InstructionMix, MemorySpec, MemoryTimingModel
+from repro.errors import ConfigurationError
+from repro.units import kib, mhz, mib, ns
+
+FREQS = [mhz(f) for f in (600, 800, 1000, 1200, 1400)]
+
+
+class TestCpuTiming:
+    def setup_method(self):
+        self.model = CpuTimingModel(CpuSpec())
+
+    def test_cycles_use_per_level_cpi(self):
+        spec = CpuSpec(cpi_cpu=1.0, cpi_l1=2.0, cpi_l2=10.0)
+        model = CpuTimingModel(spec)
+        mix = InstructionMix(cpu=100, l1=50, l2=10, mem=999)
+        # mem is OFF-chip: not charged here.
+        assert model.on_chip_cycles(mix) == 100 * 1.0 + 50 * 2.0 + 10 * 10.0
+
+    def test_seconds_scale_inversely_with_frequency(self):
+        mix = InstructionMix(cpu=1e9)
+        t600 = self.model.on_chip_seconds(mix, mhz(600))
+        t1200 = self.model.on_chip_seconds(mix, mhz(1200))
+        assert t600 == pytest.approx(2.0 * t1200)
+
+    def test_illegal_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.model.on_chip_seconds(InstructionMix(cpu=1), mhz(700))
+
+    def test_weighted_cpi_on_matches_paper_magnitude(self):
+        """With the LU Table 5 level weights the weighted ON-chip CPI
+        should land near the paper's measured 2.19."""
+        lu_like = InstructionMix(cpu=145e9, l1=175e9, l2=4.71e9, mem=3.97e9)
+        cpi_on = self.model.weighted_cpi_on(lu_like)
+        assert cpi_on == pytest.approx(2.19, rel=0.05)
+
+    def test_weighted_cpi_zero_for_offchip_only(self):
+        assert self.model.weighted_cpi_on(InstructionMix(mem=5)) == 0.0
+
+    def test_frequency_speedup(self):
+        assert self.model.frequency_speedup(mhz(600)) == pytest.approx(1.0)
+        assert self.model.frequency_speedup(mhz(1400)) == pytest.approx(
+            1400 / 600
+        )
+
+    @given(st.sampled_from(FREQS), st.sampled_from(FREQS))
+    def test_time_monotone_decreasing_in_frequency(self, f_lo, f_hi):
+        if f_lo > f_hi:
+            f_lo, f_hi = f_hi, f_lo
+        mix = InstructionMix(cpu=1e9, l1=1e9, l2=1e8)
+        assert self.model.on_chip_seconds(mix, f_lo) >= self.model.on_chip_seconds(
+            mix, f_hi
+        )
+
+    def test_invalid_cpi_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CpuSpec(cpi_cpu=0.0)
+
+    def test_negative_dvfs_transition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CpuSpec(dvfs_transition_s=-1e-6)
+
+
+class TestMemoryTiming:
+    def setup_method(self):
+        self.model = MemoryTimingModel(MemorySpec())
+
+    def test_default_latency_matches_table6_fast_rows(self):
+        """110 ns/OFF-chip instruction at 1.0-1.4 GHz (Table 6)."""
+        for f in (1000, 1200, 1400):
+            assert self.model.off_chip_latency_s(mhz(f)) == pytest.approx(ns(110))
+
+    def test_bus_downshift_quirk_at_low_frequencies(self):
+        """140 ns at 600 and 800 MHz (Table 6's system-specific quirk)."""
+        for f in (600, 800):
+            assert self.model.off_chip_latency_s(mhz(f)) == pytest.approx(ns(140))
+
+    def test_off_chip_seconds(self):
+        t = self.model.off_chip_seconds(1e9, mhz(1400))
+        assert t == pytest.approx(1e9 * ns(110))
+
+    def test_off_chip_time_insensitive_to_dvfs_in_fast_band(self):
+        t1000 = self.model.off_chip_seconds(5e8, mhz(1000))
+        t1400 = self.model.off_chip_seconds(5e8, mhz(1400))
+        assert t1000 == t1400
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.model.off_chip_seconds(-1, mhz(600))
+
+    def test_level_for_footprint(self):
+        assert self.model.level_for_footprint(kib(16)) == "l1"
+        assert self.model.level_for_footprint(kib(32)) == "l1"
+        assert self.model.level_for_footprint(kib(64)) == "l2"
+        assert self.model.level_for_footprint(mib(1)) == "l2"
+        assert self.model.level_for_footprint(mib(64)) == "mem"
+
+    def test_capacity_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MemorySpec(l1_bytes=mib(2), l2_bytes=mib(1))
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemorySpec(off_chip_ns=0.0)
+
+    def test_override_validation(self):
+        with pytest.raises(ConfigurationError):
+            MemorySpec(off_chip_ns_overrides={mhz(600): -5.0})

@@ -1,0 +1,164 @@
+"""Tests for node assembly, cluster assembly and DVFS control."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterSpec,
+    DvfsController,
+    InstructionMix,
+    Node,
+    paper_cluster,
+    paper_spec,
+)
+from repro.cluster.power import PowerState
+from repro.errors import ConfigurationError
+from repro.units import mhz
+
+
+class TestNode:
+    def test_defaults_to_base_frequency(self):
+        node = Node(0)
+        assert node.frequency_hz == mhz(600)
+
+    def test_explicit_initial_frequency(self):
+        node = Node(0, frequency_hz=mhz(1400))
+        assert node.frequency_hz == mhz(1400)
+
+    def test_set_frequency_validates(self):
+        node = Node(0)
+        with pytest.raises(ConfigurationError):
+            node.set_frequency(mhz(900))
+
+    def test_compute_seconds_combines_on_and_off_chip(self):
+        node = Node(0, frequency_hz=mhz(1400))
+        mix = InstructionMix(cpu=1e9, mem=1e6)
+        expected = node.cpu.on_chip_seconds(mix, mhz(1400)) + \
+            node.memory.off_chip_seconds(1e6, mhz(1400))
+        assert node.compute_seconds(mix) == pytest.approx(expected)
+
+    def test_off_chip_part_does_not_speed_up_with_dvfs(self):
+        node = Node(0, frequency_hz=mhz(1000))
+        mix = InstructionMix(mem=1e8)
+        t_slow = node.compute_seconds(mix)
+        node.set_frequency(mhz(1400))
+        assert node.compute_seconds(mix) == pytest.approx(t_slow)
+
+    def test_execute_mix_updates_counters_and_energy(self):
+        node = Node(0)
+        duration = node.execute_mix(InstructionMix(cpu=1e9, l1=1e8))
+        assert duration > 0
+        assert node.counters.read("PAPI_TOT_INS") == pytest.approx(1.1e9)
+        assert node.energy.total_joules > 0
+        assert node.energy.seconds_by_state()[PowerState.COMPUTE] == pytest.approx(duration)
+
+    def test_account_idle_and_comm(self):
+        node = Node(0)
+        node.account_idle(1.0)
+        node.account_comm(2.0)
+        seconds = node.energy.seconds_by_state()
+        assert seconds[PowerState.IDLE] == 1.0
+        assert seconds[PowerState.COMM] == 2.0
+
+    def test_reset_measurements(self):
+        node = Node(0)
+        node.execute_mix(InstructionMix(cpu=1e6))
+        node.reset_measurements()
+        assert node.energy.total_joules == 0.0
+        assert node.counters.read("PAPI_TOT_INS") == 0.0
+
+    def test_message_overhead_uses_current_frequency(self):
+        node = Node(0, frequency_hz=mhz(600))
+        slow = node.message_overhead_seconds(4096)
+        node.set_frequency(mhz(1400))
+        fast = node.message_overhead_seconds(4096)
+        assert slow > fast
+
+
+class TestCluster:
+    def test_paper_cluster_shape(self):
+        cluster = paper_cluster()
+        assert cluster.n_nodes == 16
+        assert len(cluster.nodes) == 16
+        assert cluster.network.n_nodes == 16
+
+    def test_nodes_start_at_base_frequency(self):
+        cluster = paper_cluster()
+        assert all(n.frequency_hz == mhz(600) for n in cluster.nodes)
+
+    def test_initial_frequency_override(self):
+        cluster = paper_cluster(4, frequency_hz=mhz(1200))
+        assert all(n.frequency_hz == mhz(1200) for n in cluster.nodes)
+
+    def test_set_all_frequencies(self):
+        cluster = paper_cluster(4)
+        cluster.set_all_frequencies(mhz(1000))
+        assert all(n.frequency_hz == mhz(1000) for n in cluster.nodes)
+
+    def test_node_lookup_bounds(self):
+        cluster = paper_cluster(2)
+        with pytest.raises(ConfigurationError):
+            cluster.node(5)
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(n_nodes=0)
+
+    def test_with_nodes(self):
+        assert paper_spec().with_nodes(8).n_nodes == 8
+
+    def test_total_energy_aggregates_nodes(self):
+        cluster = paper_cluster(2)
+        cluster.nodes[0].account_idle(1.0)
+        cluster.nodes[1].account_idle(1.0)
+        assert cluster.total_energy_joules == pytest.approx(
+            cluster.nodes[0].energy.total_joules * 2
+        )
+
+    def test_tracer_optional(self):
+        assert paper_cluster(2).tracer is None
+        assert paper_cluster(2, trace=True).tracer is not None
+
+
+class TestDvfsController:
+    def test_configuration_time_control(self):
+        cluster = paper_cluster(4)
+        dvfs = DvfsController(cluster)
+        dvfs.set_cluster_frequency(mhz(1400))
+        assert all(n.frequency_hz == mhz(1400) for n in cluster.nodes)
+        dvfs.set_node_frequency(2, mhz(600))
+        assert cluster.node(2).frequency_hz == mhz(600)
+
+    def test_in_simulation_transition_costs_time(self):
+        cluster = paper_cluster(1)
+        dvfs = DvfsController(cluster)
+
+        def prog(env):
+            yield from dvfs.transition(0, mhz(1400))
+
+        p = cluster.engine.process(prog(cluster.engine))
+        cluster.engine.run(until=p)
+        assert cluster.engine.now == pytest.approx(
+            cluster.spec.cpu.dvfs_transition_s
+        )
+        assert cluster.node(0).frequency_hz == mhz(1400)
+        assert dvfs.total_transitions() == 1
+
+    def test_transition_to_same_point_is_free(self):
+        cluster = paper_cluster(1)
+        dvfs = DvfsController(cluster)
+
+        def prog(env):
+            yield from dvfs.transition(0, mhz(600))
+            yield env.timeout(0.0)
+
+        p = cluster.engine.process(prog(cluster.engine))
+        cluster.engine.run(until=p)
+        assert cluster.engine.now == 0.0
+        assert dvfs.total_transitions() == 0
+
+    def test_validate(self):
+        dvfs = DvfsController(paper_cluster(1))
+        assert dvfs.validate(mhz(800)) == mhz(800)
+        with pytest.raises(ConfigurationError):
+            dvfs.validate(mhz(850))

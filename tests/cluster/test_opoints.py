@@ -1,0 +1,116 @@
+"""Tests for DVFS operating points (paper Table 2)."""
+
+import pytest
+
+from repro.cluster import (
+    PENTIUM_M_OPERATING_POINTS,
+    OperatingPoint,
+    OperatingPointTable,
+)
+from repro.errors import ConfigurationError
+from repro.units import mhz
+
+
+class TestOperatingPoint:
+    def test_fields(self):
+        p = OperatingPoint(mhz(600), 0.956)
+        assert p.frequency_hz == 600e6
+        assert p.voltage_v == 0.956
+        assert p.frequency_mhz == 600.0
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(0.0, 1.0)
+
+    def test_rejects_nonpositive_voltage(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(mhz(600), -0.5)
+
+    def test_str(self):
+        assert str(OperatingPoint(mhz(800), 1.18)) == "800 MHz @ 1.180 V"
+
+
+class TestPaperTable2:
+    """The preset must match Table 2 of the paper exactly."""
+
+    def test_five_points(self):
+        assert len(PENTIUM_M_OPERATING_POINTS) == 5
+
+    def test_frequencies(self):
+        assert PENTIUM_M_OPERATING_POINTS.frequencies_mhz == (
+            600.0,
+            800.0,
+            1000.0,
+            1200.0,
+            1400.0,
+        )
+
+    @pytest.mark.parametrize(
+        "freq_mhz,volts",
+        [(600, 0.956), (800, 1.180), (1000, 1.308), (1200, 1.436), (1400, 1.484)],
+    )
+    def test_voltages(self, freq_mhz, volts):
+        assert PENTIUM_M_OPERATING_POINTS.voltage_at(mhz(freq_mhz)) == volts
+
+    def test_base_is_600(self):
+        assert PENTIUM_M_OPERATING_POINTS.base.frequency_mhz == 600.0
+
+    def test_peak_is_1400(self):
+        assert PENTIUM_M_OPERATING_POINTS.peak.frequency_mhz == 1400.0
+
+
+class TestOperatingPointTable:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPointTable([])
+
+    def test_duplicate_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPointTable(
+                [OperatingPoint(mhz(600), 0.9), OperatingPoint(mhz(600), 1.0)]
+            )
+
+    def test_decreasing_voltage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPointTable(
+                [OperatingPoint(mhz(600), 1.2), OperatingPoint(mhz(800), 1.0)]
+            )
+
+    def test_sorted_regardless_of_input_order(self):
+        table = OperatingPointTable(
+            [OperatingPoint(mhz(1400), 1.5), OperatingPoint(mhz(600), 1.0)]
+        )
+        assert table.frequencies_mhz == (600.0, 1400.0)
+
+    def test_lookup_unknown_frequency(self):
+        with pytest.raises(ConfigurationError, match="not an available"):
+            PENTIUM_M_OPERATING_POINTS.lookup(mhz(700))
+
+    def test_contains(self):
+        assert mhz(600) in PENTIUM_M_OPERATING_POINTS
+        assert mhz(700) not in PENTIUM_M_OPERATING_POINTS
+
+    def test_nearest_exact(self):
+        assert PENTIUM_M_OPERATING_POINTS.nearest(mhz(800)).frequency_mhz == 800
+
+    def test_nearest_ties_go_down(self):
+        assert PENTIUM_M_OPERATING_POINTS.nearest(mhz(700)).frequency_mhz == 600
+
+    def test_nearest_clamps_at_extremes(self):
+        assert PENTIUM_M_OPERATING_POINTS.nearest(mhz(100)).frequency_mhz == 600
+        assert PENTIUM_M_OPERATING_POINTS.nearest(mhz(9000)).frequency_mhz == 1400
+
+    def test_next_below(self):
+        below = PENTIUM_M_OPERATING_POINTS.next_below(mhz(1000))
+        assert below is not None and below.frequency_mhz == 800
+        assert PENTIUM_M_OPERATING_POINTS.next_below(mhz(600)) is None
+
+    def test_next_above(self):
+        above = PENTIUM_M_OPERATING_POINTS.next_above(mhz(1000))
+        assert above is not None and above.frequency_mhz == 1200
+        assert PENTIUM_M_OPERATING_POINTS.next_above(mhz(1400)) is None
+
+    def test_equality_and_hash(self):
+        clone = OperatingPointTable(PENTIUM_M_OPERATING_POINTS.points)
+        assert clone == PENTIUM_M_OPERATING_POINTS
+        assert hash(clone) == hash(PENTIUM_M_OPERATING_POINTS)

@@ -1,0 +1,124 @@
+"""Tests for the power model and energy meter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import PENTIUM_M_OPERATING_POINTS, EnergyMeter, PowerSpec
+from repro.cluster.power import PowerState
+from repro.errors import ConfigurationError
+
+POINTS = PENTIUM_M_OPERATING_POINTS.points
+
+
+class TestPowerSpec:
+    def setup_method(self):
+        self.spec = PowerSpec()
+
+    def test_peak_compute_power_magnitude(self):
+        """Flat-out at 1.4 GHz a node should draw roughly dyn+static+base."""
+        p = self.spec.node_power_w(PENTIUM_M_OPERATING_POINTS.peak, PowerState.COMPUTE)
+        assert p == pytest.approx(18.0 + 2.0 + 14.0)
+
+    def test_power_monotone_in_frequency(self):
+        """Higher operating points draw strictly more power in every state."""
+        for state in PowerState:
+            powers = [self.spec.node_power_w(pt, state) for pt in POINTS]
+            assert powers == sorted(powers)
+            assert len(set(powers)) == len(powers)
+
+    def test_compute_draws_more_than_idle(self):
+        for pt in POINTS:
+            assert self.spec.node_power_w(
+                pt, PowerState.COMPUTE
+            ) > self.spec.node_power_w(pt, PowerState.IDLE)
+
+    def test_cvvf_scaling(self):
+        """Dynamic power follows (f/fmax)·(V/Vmax)² exactly."""
+        base = PENTIUM_M_OPERATING_POINTS.base
+        peak = PENTIUM_M_OPERATING_POINTS.peak
+        dyn_base = (
+            self.spec.node_power_w(base, PowerState.COMPUTE)
+            - self.spec.cpu_static_max_w * (base.voltage_v / peak.voltage_v)
+            - self.spec.system_base_w
+        )
+        expected = (
+            self.spec.cpu_dynamic_max_w
+            * (base.frequency_hz / peak.frequency_hz)
+            * (base.voltage_v / peak.voltage_v) ** 2
+        )
+        assert dyn_base == pytest.approx(expected)
+
+    def test_cpu_power_excludes_system_base(self):
+        pt = POINTS[0]
+        assert self.spec.cpu_power_w(pt, PowerState.IDLE) == pytest.approx(
+            self.spec.node_power_w(pt, PowerState.IDLE) - self.spec.system_base_w
+        )
+
+    def test_dvfs_headroom_exists(self):
+        """Dropping from peak to base during non-compute phases must save
+        a meaningful fraction of node power — the headroom behind the
+        paper's >30 % energy-saving context."""
+        hi = self.spec.node_power_w(PENTIUM_M_OPERATING_POINTS.peak, PowerState.COMPUTE)
+        lo = self.spec.node_power_w(PENTIUM_M_OPERATING_POINTS.base, PowerState.IDLE)
+        assert lo / hi < 0.55
+
+    def test_activity_factor_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerSpec(activity={PowerState.COMPUTE: 1.5,
+                                PowerState.COMM: 0.3,
+                                PowerState.IDLE: 0.1})
+
+    def test_missing_activity_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerSpec(activity={PowerState.COMPUTE: 1.0})
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerSpec(cpu_dynamic_max_w=-1.0)
+
+
+class TestEnergyMeter:
+    def setup_method(self):
+        self.meter = EnergyMeter(PowerSpec())
+        self.peak = PENTIUM_M_OPERATING_POINTS.peak
+        self.base = PENTIUM_M_OPERATING_POINTS.base
+
+    def test_account_returns_joules(self):
+        j = self.meter.account(2.0, self.peak, PowerState.COMPUTE)
+        assert j == pytest.approx(2.0 * 34.0)
+
+    def test_totals_accumulate(self):
+        self.meter.account(1.0, self.peak, PowerState.COMPUTE)
+        self.meter.account(1.0, self.base, PowerState.IDLE)
+        assert self.meter.total_seconds == pytest.approx(2.0)
+        by_state = self.meter.joules_by_state()
+        assert by_state[PowerState.COMPUTE] > by_state[PowerState.IDLE] > 0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.meter.account(-1.0, self.peak, PowerState.COMPUTE)
+
+    def test_reset(self):
+        self.meter.account(1.0, self.peak, PowerState.COMPUTE)
+        self.meter.reset()
+        assert self.meter.total_joules == 0.0
+        assert self.meter.total_seconds == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+                st.sampled_from(POINTS),
+                st.sampled_from(list(PowerState)),
+            ),
+            max_size=20,
+        )
+    )
+    def test_energy_nonnegative_and_additive(self, intervals):
+        meter = EnergyMeter(PowerSpec())
+        total = 0.0
+        for duration, point, state in intervals:
+            total += meter.account(duration, point, state)
+        assert meter.total_joules >= 0.0
+        assert meter.total_joules == pytest.approx(total, rel=1e-9, abs=1e-9)

@@ -1,0 +1,15 @@
+"""Shared test configuration.
+
+Property-based tests run simulated jobs inside hypothesis examples;
+the default 200 ms deadline is too aggressive for those, so it is
+disabled profile-wide (count-based bounds keep runtimes sane).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

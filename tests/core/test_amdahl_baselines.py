@@ -1,0 +1,194 @@
+"""Tests for Amdahl (Eq. 1–3) and the related-work speedup models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.amdahl import (
+    amdahl_speedup,
+    generalized_amdahl_speedup,
+    product_of_speedups_prediction,
+)
+from repro.core.baselines import (
+    gustafson_speedup,
+    isoefficiency_workload,
+    karp_flatt_serial_fraction,
+    memory_bounded_speedup,
+    parallel_efficiency,
+)
+from repro.errors import ModelError
+from repro.units import mhz
+
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+speedups = st.floats(min_value=0.01, max_value=1e6, allow_nan=False)
+
+
+class TestAmdahl:
+    def test_fully_enhanced(self):
+        assert amdahl_speedup(1.0, 8.0) == pytest.approx(8.0)
+
+    def test_nothing_enhanced(self):
+        assert amdahl_speedup(0.0, 100.0) == pytest.approx(1.0)
+
+    def test_classic_half_parallel(self):
+        assert amdahl_speedup(0.5, 2.0) == pytest.approx(1.0 / 0.75)
+
+    def test_limit_is_inverse_serial_fraction(self):
+        assert amdahl_speedup(0.9, 1e15) == pytest.approx(10.0)
+
+    @given(fractions, speedups)
+    def test_bounded_by_enhancement_and_limit(self, fe, se):
+        s = amdahl_speedup(fe, se)
+        assert s <= max(se, 1.0) + 1e-9
+        if fe < 1.0:
+            assert s <= 1.0 / (1.0 - fe) + 1e-9
+
+    @given(fractions, st.floats(min_value=1.0, max_value=1e6))
+    def test_speedup_at_least_one_for_real_enhancements(self, fe, se):
+        assert amdahl_speedup(fe, se) >= 1.0 - 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            amdahl_speedup(1.5, 2.0)
+        with pytest.raises(ModelError):
+            amdahl_speedup(0.5, 0.0)
+
+
+class TestGeneralizedAmdahl:
+    def test_product_structure(self):
+        """Eq. 3 with e=2 fully-enhanced terms is the plain product."""
+        s = generalized_amdahl_speedup([(1.0, 16.0), (1.0, 2.333)])
+        assert s == pytest.approx(16.0 * 2.333)
+
+    def test_single_enhancement_matches_eq2(self):
+        assert generalized_amdahl_speedup([(0.7, 4.0)]) == pytest.approx(
+            amdahl_speedup(0.7, 4.0)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            generalized_amdahl_speedup([])
+
+    def test_independence_assumption_overpredicts(self):
+        """For a workload whose overhead grows with N (interdependent
+        enhancements), the product over-predicts — the Table 1 failure.
+        Here: true times with overhead that frequency can't touch."""
+        f0, f1 = mhz(600), mhz(1400)
+        compute, overhead = 60.0, 0.0
+
+        def t(n, f):
+            ov = 0.0 if n == 1 else 10.0 + 0.5 * n
+            return compute / n * (f0 / f) + ov
+
+        times = {
+            (n, f): t(n, f) for n in (1, 2, 4, 8, 16) for f in (f0, f1)
+        }
+        predictions = product_of_speedups_prediction(times, f0)
+        measured = {k: times[(1, f0)] / v for k, v in times.items()}
+        for key in [(8, f1), (16, f1)]:
+            assert predictions[key] > measured[key] * 1.2
+
+
+class TestProductPrediction:
+    def test_base_column_exact(self):
+        """At f = f0 the product predictor degenerates to measured
+        parallel speedup (zero error — the paper's 600 MHz column)."""
+        f0 = mhz(600)
+        times = {(1, f0): 100.0, (4, f0): 30.0}
+        pred = product_of_speedups_prediction(times, f0)
+        assert pred[(4, f0)] == pytest.approx(100.0 / 30.0)
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ModelError):
+            product_of_speedups_prediction({(2, mhz(600)): 1.0}, mhz(600))
+
+    def test_cells_without_margins_skipped(self):
+        f0, f1 = mhz(600), mhz(800)
+        times = {(1, f0): 10.0, (2, f1): 4.0}  # no (2, f0) or (1, f1)
+        pred = product_of_speedups_prediction(times, f0)
+        assert (2, f1) not in pred
+
+
+class TestGustafson:
+    def test_no_serial_is_linear(self):
+        assert gustafson_speedup(0.0, 32) == 32.0
+
+    def test_all_serial_is_one(self):
+        assert gustafson_speedup(1.0, 32) == 1.0
+
+    def test_exceeds_amdahl_for_scaled_work(self):
+        s, n = 0.2, 16
+        assert gustafson_speedup(s, n) > amdahl_speedup(1 - s, n)
+
+    @given(fractions, st.integers(min_value=1, max_value=1024))
+    def test_bounded_by_n(self, s, n):
+        assert 1.0 - 1e-9 <= gustafson_speedup(s, n) <= n + 1e-9
+
+
+class TestSunNi:
+    def test_g_equal_one_recovers_amdahl(self):
+        s, n = 0.3, 8
+        sn = memory_bounded_speedup(s, n, workload_growth=lambda _n: 1.0)
+        assert sn == pytest.approx(amdahl_speedup(1 - s, n))
+
+    def test_g_equal_n_recovers_gustafson(self):
+        s, n = 0.3, 8
+        sn = memory_bounded_speedup(s, n, workload_growth=lambda m: float(m))
+        assert sn == pytest.approx(gustafson_speedup(s, n))
+
+    def test_superlinear_growth_beats_gustafson(self):
+        s, n = 0.3, 8
+        sn = memory_bounded_speedup(
+            s, n, workload_growth=lambda m: float(m) ** 1.5
+        )
+        assert sn > gustafson_speedup(s, n)
+
+    def test_growth_validation(self):
+        with pytest.raises(ModelError):
+            memory_bounded_speedup(0.3, 8, workload_growth=lambda m: 0.0)
+
+
+class TestKarpFlatt:
+    def test_perfect_speedup_gives_zero(self):
+        assert karp_flatt_serial_fraction(16.0, 16) == pytest.approx(0.0)
+
+    def test_no_speedup_gives_one(self):
+        assert karp_flatt_serial_fraction(1.0, 16) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # S=4 on 8 processors: e = (1/4 - 1/8)/(1 - 1/8) = 1/7.
+        assert karp_flatt_serial_fraction(4.0, 8) == pytest.approx(1 / 7)
+
+    def test_undefined_for_n1(self):
+        with pytest.raises(ModelError):
+            karp_flatt_serial_fraction(1.0, 1)
+
+    def test_rising_e_signals_overhead(self):
+        """FT-like measured speedups (flattening) give a rising
+        Karp-Flatt serial fraction — the overhead diagnostic."""
+        measured = {2: 1.8, 4: 3.0, 8: 4.2, 16: 5.0}
+        es = [karp_flatt_serial_fraction(s, n) for n, s in measured.items()]
+        assert all(b >= a - 1e-9 for a, b in zip(es, es[1:]))
+        assert es[-1] > es[0]
+
+
+class TestEfficiencyAndIsoefficiency:
+    def test_parallel_efficiency(self):
+        assert parallel_efficiency(8.0, 16) == 0.5
+
+    def test_isoefficiency_with_linear_overhead(self):
+        """Overhead T_o = c·n (independent of W): W* = E/(1-E)·c·n/t."""
+        c, t_unit, eff, n = 2.0, 0.1, 0.8, 8
+        w = isoefficiency_workload(
+            lambda m, _w: c * m, n, eff, t_unit
+        )
+        assert w == pytest.approx((eff / (1 - eff)) * c * n / t_unit)
+
+    def test_isoefficiency_grows_with_n(self):
+        w4 = isoefficiency_workload(lambda m, _w: 0.5 * m, 4, 0.7, 1.0)
+        w16 = isoefficiency_workload(lambda m, _w: 0.5 * m, 16, 0.7, 1.0)
+        assert w16 > w4
+
+    def test_isoefficiency_validation(self):
+        with pytest.raises(ModelError):
+            isoefficiency_workload(lambda m, w: m, 4, 1.5, 1.0)

@@ -1,0 +1,247 @@
+"""Tests for energy prediction, error analysis, sweet-spot search and
+the Predictor facade."""
+
+import pytest
+
+from repro.cluster import PENTIUM_M_OPERATING_POINTS, PowerSpec
+from repro.core.analysis import ErrorTable, relative_error
+from repro.core.energy import EnergyModel, EnergyPrediction
+from repro.core.measurements import TimingCampaign
+from repro.core.params_sp import SimplifiedParameterization
+from repro.core.prediction import Predictor
+from repro.core.sweetspot import SweetSpotFinder
+from repro.errors import MeasurementError, ModelError
+from repro.units import mhz
+
+F = {m: mhz(m) for m in (600, 800, 1000, 1200, 1400)}
+
+
+def make_energy_model(**kwargs):
+    return EnergyModel(PowerSpec(), PENTIUM_M_OPERATING_POINTS, **kwargs)
+
+
+class TestEnergyModel:
+    def test_busy_power_monotone_in_f(self):
+        em = make_energy_model()
+        powers = [em.busy_power_w(f) for f in F.values()]
+        assert powers == sorted(powers)
+
+    def test_overhead_power_below_busy(self):
+        em = make_energy_model()
+        for f in F.values():
+            assert em.overhead_power_w(f) < em.busy_power_w(f)
+
+    def test_predict_pure_busy(self):
+        em = make_energy_model()
+        pred = em.predict(4, F[600], total_time_s=10.0)
+        assert pred.energy_j == pytest.approx(4 * em.busy_power_w(F[600]) * 10)
+
+    def test_predict_with_overhead_split(self):
+        em = make_energy_model()
+        pred = em.predict(2, F[1400], total_time_s=10.0, overhead_time_s=4.0)
+        expected = 2 * (
+            em.busy_power_w(F[1400]) * 6 + em.overhead_power_w(F[1400]) * 4
+        )
+        assert pred.energy_j == pytest.approx(expected)
+
+    def test_overhead_clamped_to_total(self):
+        em = make_energy_model()
+        pred = em.predict(1, F[600], total_time_s=5.0, overhead_time_s=99.0)
+        assert pred.energy_j == pytest.approx(
+            em.overhead_power_w(F[600]) * 5.0
+        )
+
+    def test_edp_and_ed2p(self):
+        pred = EnergyPrediction(energy_j=100.0, time_s=2.0)
+        assert pred.edp == 200.0
+        assert pred.ed2p == 400.0
+        assert pred.mean_power_w == 50.0
+
+    def test_validation(self):
+        em = make_energy_model()
+        with pytest.raises(ModelError):
+            em.predict(0, F[600], 1.0)
+        with pytest.raises(ModelError):
+            make_energy_model(overhead_comm_fraction=2.0)
+
+
+class TestErrorTable:
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(9.0, 10.0) == pytest.approx(0.1)
+
+    def test_relative_error_zero_measured(self):
+        with pytest.raises(ModelError):
+            relative_error(1.0, 0.0)
+
+    def test_compare(self):
+        predicted = {(2, F[600]): 1.0, (2, F[800]): 2.2}
+        measured = {(2, F[600]): 1.0, (2, F[800]): 2.0}
+        table = ErrorTable.compare(predicted, measured)
+        assert table.error(2, F[600]) == 0.0
+        assert table.error(2, F[800]) == pytest.approx(0.1)
+
+    def test_compare_no_common_cells(self):
+        with pytest.raises(ModelError):
+            ErrorTable.compare({(1, F[600]): 1.0}, {(2, F[600]): 1.0})
+
+    def test_stats(self):
+        table = ErrorTable(
+            {(2, F[600]): 0.0, (2, F[800]): 0.1, (4, F[800]): 0.3}
+        )
+        assert table.max_error == 0.3
+        assert table.mean_error == pytest.approx(0.4 / 3)
+        assert table.counts == (2, 4)
+        assert table.frequencies == (F[600], F[800])
+
+    def test_rows_and_columns(self):
+        table = ErrorTable(
+            {(2, F[600]): 0.0, (2, F[800]): 0.1, (4, F[800]): 0.3}
+        )
+        assert table.row(2) == {F[600]: 0.0, F[800]: 0.1}
+        assert table.column(F[800]) == {2: 0.1, 4: 0.3}
+
+    def test_max_excluding_base(self):
+        table = ErrorTable({(2, F[600]): 0.9, (2, F[800]): 0.1})
+        assert table.max_excluding_base(F[600]) == 0.1
+        with pytest.raises(ModelError):
+            ErrorTable({(2, F[600]): 0.9}).max_excluding_base(F[600])
+
+
+class TestSweetSpotFinder:
+    def make_grid(self):
+        """An EP-then-overhead grid: scaling helps but overhead grows."""
+        em = make_energy_model()
+        grid = {}
+        for n in (1, 2, 4, 8, 16):
+            for m, f in F.items():
+                t = 100.0 / n * (600.0 / m) + (0 if n == 1 else 0.1 * n)
+                grid[(n, f)] = em.predict(n, f, t, overhead_time_s=0.0)
+        return grid
+
+    def test_fastest(self):
+        grid = self.make_grid()
+        spot = SweetSpotFinder(grid).fastest()
+        assert spot.time_s == min(p.time_s for p in grid.values())
+        assert spot.n == 16 and spot.frequency_mhz == 1400
+
+    def test_min_energy_is_global_minimum(self):
+        grid = self.make_grid()
+        spot = SweetSpotFinder(grid).min_energy()
+        assert spot.energy_j == min(p.energy_j for p in grid.values())
+
+    def test_overhead_bound_workload_prefers_low_frequency(self):
+        """When frequency cannot shorten the run (FT at scale: overhead
+        dominated), higher frequency only burns power — the sweet spot
+        sits at the base frequency."""
+        em = make_energy_model()
+        grid = {
+            (8, f): em.predict(8, f, 30.0, overhead_time_s=25.0)
+            for f in F.values()
+        }
+        assert SweetSpotFinder(grid).min_energy().frequency_mhz == 600
+        assert SweetSpotFinder(grid).min_edp().frequency_mhz == 600
+
+    def test_min_energy_with_slowdown_bound(self):
+        finder = SweetSpotFinder(self.make_grid())
+        unbounded = finder.min_energy()
+        bounded = finder.min_energy(max_slowdown=1.10)
+        fastest = finder.fastest()
+        assert bounded.time_s <= 1.10 * fastest.time_s
+        assert bounded.energy_j >= unbounded.energy_j
+
+    def test_fastest_within_power(self):
+        finder = SweetSpotFinder(self.make_grid())
+        spot = finder.fastest_within_power(power_budget_w=100.0)
+        grid = self.make_grid()
+        assert grid[(spot.n, spot.frequency_hz)].mean_power_w <= 100.0
+
+    def test_infeasible_budget(self):
+        with pytest.raises(ModelError):
+            SweetSpotFinder(self.make_grid()).fastest_within_power(1.0)
+
+    def test_min_edp_between_extremes(self):
+        finder = SweetSpotFinder(self.make_grid())
+        edp_spot = finder.min_edp()
+        assert (
+            finder.min_energy().energy_j
+            <= edp_spot.energy_j
+        )
+
+    def test_summary_keys(self):
+        summary = SweetSpotFinder(self.make_grid()).summary()
+        assert set(summary) == {"fastest", "min_energy", "min_edp", "min_ed2p"}
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ModelError):
+            SweetSpotFinder({})
+
+
+class TestCampaign:
+    def test_structure_queries(self):
+        campaign = TimingCampaign(
+            {(1, F[600]): 10.0, (2, F[600]): 6.0, (1, F[800]): 8.0},
+            base_frequency_hz=F[600],
+        )
+        assert campaign.counts == (1, 2)
+        assert campaign.frequencies == (F[600], F[800])
+        assert campaign.base_column() == {1: 10.0, 2: 6.0}
+        assert campaign.base_row() == {F[600]: 10.0, F[800]: 8.0}
+        assert campaign.sequential_base_time() == 10.0
+
+    def test_speedups(self):
+        campaign = TimingCampaign(
+            {(1, F[600]): 10.0, (2, F[600]): 4.0},
+            base_frequency_hz=F[600],
+        )
+        assert campaign.speedups()[(2, F[600])] == pytest.approx(2.5)
+
+    def test_missing_measurement(self):
+        campaign = TimingCampaign({(1, F[600]): 10.0}, F[600])
+        with pytest.raises(MeasurementError):
+            campaign.time(2, F[600])
+
+    def test_nonpositive_time_rejected(self):
+        with pytest.raises(MeasurementError):
+            TimingCampaign({(1, F[600]): 0.0}, F[600])
+
+    def test_merge(self):
+        a = TimingCampaign({(1, F[600]): 10.0}, F[600])
+        b = TimingCampaign({(2, F[600]): 6.0}, F[600])
+        merged = a.merged_with(b)
+        assert merged.counts == (1, 2)
+
+
+class TestPredictorFacade:
+    def make(self):
+        times = {}
+        for n in (1, 2, 4):
+            for m, f in F.items():
+                times[(n, f)] = 50.0 / n * (600.0 / m) + (
+                    0.0 if n == 1 else 1.0
+                )
+        campaign = TimingCampaign(times, F[600])
+        sp = SimplifiedParameterization(campaign)
+        return Predictor(
+            campaign,
+            sp,
+            energy_model=make_energy_model(),
+            overhead_for=lambda n, f: sp.overhead(n) if n > 1 else 0.0,
+        )
+
+    def test_time_errors_zero_for_exact_model(self):
+        table = self.make().time_error_table()
+        assert table.max_error < 1e-9
+
+    def test_speedup_errors_zero_for_exact_model(self):
+        table = self.make().speedup_error_table()
+        assert table.max_error < 1e-9
+
+    def test_predicted_energies_cover_grid(self):
+        energies = self.make().predicted_energies()
+        assert len(energies) == 3 * 5
+
+    def test_edp_requires_measured_energies(self):
+        predictor = self.make()
+        with pytest.raises(ModelError):
+            predictor.edp_error_table()

@@ -1,0 +1,245 @@
+"""Tests for the execution-time equations and power-aware speedup.
+
+Includes the paper's key analytical reductions as properties:
+
+* Eq. 6 → Eq. 5 under equal frequencies and averaged CPI;
+* Eq. 10 → Eq. 12 (S = N · f/f0) under the EP assumptions;
+* interdependence: frequency effects diminish as overhead grows.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import InstructionMix
+from repro.core.cpi import WorkloadRates
+from repro.core.exectime import ExecutionTimeModel
+from repro.core.speedup import PowerAwareSpeedupModel, measured_speedup_table
+from repro.core.workload import (
+    DopComponent,
+    MeasuredOverhead,
+    Workload,
+)
+from repro.errors import ConfigurationError, ModelError
+from repro.units import mhz, ns
+
+FREQS = tuple(mhz(f) for f in (600, 800, 1000, 1200, 1400))
+
+#: Table-6-like rates: CPI_ON = 2.19; flat 110 ns OFF-chip with the
+#: 140 ns bus quirk at the two lowest frequencies.
+RATES = WorkloadRates(
+    cpi_on=2.19,
+    off_chip_s_by_f={
+        mhz(600): ns(140),
+        mhz(800): ns(140),
+        mhz(1000): ns(110),
+        mhz(1200): ns(110),
+        mhz(1400): ns(110),
+    },
+)
+
+
+def ep_like_workload(total=1e11, max_dop=16):
+    """Pure ON-chip, fully parallel, no overhead (the EP idealization)."""
+    return Workload.fully_parallel(
+        "ep-like", InstructionMix(cpu=total), max_dop
+    )
+
+
+class TestWorkloadRates:
+    def test_on_chip_rate_scales_inversely(self):
+        r600 = RATES.on_chip_seconds_per_instruction(mhz(600))
+        r1200 = RATES.on_chip_seconds_per_instruction(mhz(1200))
+        assert r600 == pytest.approx(2 * r1200)
+
+    def test_off_chip_rate_table(self):
+        assert RATES.off_chip_seconds_per_instruction(mhz(600)) == ns(140)
+        assert RATES.off_chip_seconds_per_instruction(mhz(1400)) == ns(110)
+
+    def test_unknown_frequency_rejected(self):
+        with pytest.raises(ModelError):
+            RATES.on_chip_seconds_per_instruction(mhz(700))
+
+    def test_base_frequency(self):
+        assert RATES.base_frequency == mhz(600)
+
+    def test_from_level_latencies_recovers_cpi(self):
+        """§5.2 step 2: weighting per-level latencies by the mix must
+        recover a consistent CPI_ON."""
+        mix = InstructionMix(cpu=50, l1=40, l2=10)
+        # Per-level latencies consistent with CPIs 1/2/10 at each f.
+        probes = {
+            f: {
+                "cpu": 1.0 / f,
+                "l1": 2.0 / f,
+                "l2": 10.0 / f,
+                "mem": ns(110),
+            }
+            for f in FREQS
+        }
+        rates = WorkloadRates.from_level_latencies(mix, probes)
+        expected_cpi = 0.5 * 1 + 0.4 * 2 + 0.1 * 10
+        assert rates.cpi_on == pytest.approx(expected_cpi)
+        assert rates.off_chip_seconds_per_instruction(mhz(600)) == ns(110)
+
+    def test_from_level_latencies_requires_all_levels(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadRates.from_level_latencies(
+                InstructionMix(cpu=1), {mhz(600): {"cpu": 1e-9}}
+            )
+
+
+class TestExecutionTime:
+    def test_eq6_reduces_to_eq5(self):
+        """Eq. 6 with f_ON = f_OFF and CPI = (CPI_ON + CPI_OFF)/2 equals
+        Eq. 5's w·CPI/f for a 50/50 ON/OFF split."""
+        f = mhz(1000)
+        cpi_on, cpi_off = 2.0, 100.0
+        rates = WorkloadRates(cpi_on, {f: cpi_off / f})
+        w_on = w_off = 5e8
+        wl = Workload.fully_parallel(
+            "x", InstructionMix(cpu=w_on, mem=w_off), 1
+        )
+        t = ExecutionTimeModel(wl, rates).sequential_time(f)
+        w = w_on + w_off
+        cpi_avg = (cpi_on + cpi_off) / 2
+        assert t == pytest.approx(w * cpi_avg / f)
+
+    def test_parallel_time_reduces_to_sequential_at_n1(self):
+        wl = Workload(
+            "x",
+            [
+                DopComponent(1, InstructionMix(cpu=1e9, mem=1e6)),
+                DopComponent(16, InstructionMix(l1=5e9, mem=3e6)),
+            ],
+        )
+        model = ExecutionTimeModel(wl, RATES)
+        for f in FREQS:
+            assert model.parallel_time(1, f) == pytest.approx(
+                model.sequential_time(f)
+            )
+
+    def test_off_chip_term_ignores_frequency_in_flat_band(self):
+        wl = Workload.fully_parallel("x", InstructionMix(mem=1e9), 1)
+        model = ExecutionTimeModel(wl, RATES)
+        assert model.sequential_time(mhz(1000)) == model.sequential_time(
+            mhz(1400)
+        )
+
+    def test_serial_component_limits_scaling(self):
+        wl = Workload.serial_parallel(
+            "x",
+            InstructionMix(cpu=1e9),
+            InstructionMix(cpu=9e9),
+            max_dop=1000,
+        )
+        model = ExecutionTimeModel(wl, RATES)
+        t1 = model.parallel_time(1, mhz(600))
+        t_inf = model.parallel_time(1000, mhz(600))
+        # Amdahl bound: speedup <= 1/serial_fraction = 10.
+        assert t1 / t_inf <= 10.0 + 1e-9
+
+    def test_overhead_added(self):
+        wl = ep_like_workload()
+        ov = MeasuredOverhead({4: 2.0})
+        model = ExecutionTimeModel(wl, RATES, ov)
+        without = ExecutionTimeModel(wl, RATES)
+        f = mhz(600)
+        assert model.parallel_time(4, f) == pytest.approx(
+            without.parallel_time(4, f) + 2.0
+        )
+
+    def test_simplified_equals_full_for_fully_parallel(self):
+        """Under Assumption 1 (and N <= m) Eq. 15 equals Eq. 9."""
+        wl = ep_like_workload(max_dop=64)
+        model = ExecutionTimeModel(wl, RATES)
+        for n in (1, 2, 16, 64):
+            assert model.simplified_parallel_time(n, mhz(800)) == pytest.approx(
+                model.parallel_time(n, mhz(800))
+            )
+
+    def test_breakdown_sums_to_total(self):
+        wl = Workload(
+            "x",
+            [
+                DopComponent(1, InstructionMix(cpu=1e9, mem=1e7)),
+                DopComponent(8, InstructionMix(l1=4e9, mem=2e7)),
+            ],
+        )
+        model = ExecutionTimeModel(wl, RATES, MeasuredOverhead({4: 1.0}))
+        parts = model.time_breakdown(4, mhz(1000))
+        assert sum(parts.values()) == pytest.approx(
+            model.parallel_time(4, mhz(1000))
+        )
+
+    def test_invalid_n(self):
+        model = ExecutionTimeModel(ep_like_workload(), RATES)
+        with pytest.raises(ConfigurationError):
+            model.parallel_time(0, mhz(600))
+
+
+class TestPowerAwareSpeedup:
+    def test_eq12_ep_reduction(self):
+        """Under EP assumptions Eq. 10 reduces to S = N · f/f0 (Eq. 12)."""
+        model = PowerAwareSpeedupModel(
+            ExecutionTimeModel(ep_like_workload(max_dop=1 << 20), RATES)
+        )
+        for n in (1, 2, 8, 16):
+            for f in FREQS:
+                assert model.speedup(n, f) == pytest.approx(
+                    n * f / mhz(600), rel=1e-12
+                )
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.sampled_from(FREQS),
+    )
+    def test_speedup_bounded_by_ideal(self, n, f):
+        """No workload beats N · f/f0 (ON-chip work, no superlinearity)."""
+        wl = Workload.serial_parallel(
+            "x",
+            InstructionMix(cpu=1e8),
+            InstructionMix(cpu=9e9, l1=1e9),
+            max_dop=1 << 20,
+        )
+        model = PowerAwareSpeedupModel(ExecutionTimeModel(wl, RATES))
+        assert model.speedup(n, f) <= n * f / mhz(600) + 1e-9
+
+    def test_baseline_cell_is_one(self):
+        model = PowerAwareSpeedupModel(
+            ExecutionTimeModel(ep_like_workload(), RATES)
+        )
+        assert model.speedup(1, mhz(600)) == pytest.approx(1.0)
+
+    def test_frequency_effect_diminishes_with_overhead(self):
+        """The paper's core interdependence: with frequency-insensitive
+        overhead in the denominator, the f-gain shrinks as N grows."""
+        wl = ep_like_workload(total=1e10, max_dop=1 << 20)
+        ov = MeasuredOverhead({2: 5.0, 16: 20.0})
+        model = PowerAwareSpeedupModel(ExecutionTimeModel(wl, RATES, ov))
+        gain_2 = model.speedup(2, mhz(1400)) / model.speedup(2, mhz(600))
+        gain_16 = model.speedup(16, mhz(1400)) / model.speedup(16, mhz(600))
+        assert gain_16 < gain_2
+
+    def test_surface_covers_grid(self):
+        model = PowerAwareSpeedupModel(
+            ExecutionTimeModel(ep_like_workload(), RATES)
+        )
+        surface = model.surface([1, 2, 4], [mhz(600), mhz(1400)])
+        assert len(surface) == 6
+        assert surface[(1, mhz(600))] == pytest.approx(1.0)
+
+    def test_measured_speedup_table(self):
+        times = {
+            (1, mhz(600)): 100.0,
+            (2, mhz(600)): 60.0,
+            (2, mhz(1400)): 40.0,
+        }
+        table = measured_speedup_table(times, mhz(600))
+        assert table[(1, mhz(600))] == 1.0
+        assert table[(2, mhz(600))] == pytest.approx(100 / 60)
+        assert table[(2, mhz(1400))] == pytest.approx(2.5)
+
+    def test_measured_table_requires_baseline(self):
+        with pytest.raises(ModelError):
+            measured_speedup_table({(2, mhz(600)): 5.0}, mhz(600))

@@ -1,0 +1,188 @@
+"""Tests for the SP and FP parameterization pipelines."""
+
+import pytest
+
+from repro.cluster import InstructionMix
+from repro.core.cpi import WorkloadRates
+from repro.core.measurements import TimingCampaign
+from repro.core.params_fp import FineGrainParameterization
+from repro.core.params_sp import SimplifiedParameterization
+from repro.core.workload import MessageProfile, Workload
+from repro.errors import MeasurementError
+from repro.units import mhz, ns
+
+F = {m: mhz(m) for m in (600, 800, 1000, 1200, 1400)}
+
+
+def synthetic_campaign(
+    compute_600=100.0,
+    overhead=lambda n: 0.0 if n == 1 else 2.0 * n,
+    counts=(1, 2, 4, 8, 16),
+):
+    """Times following T(n, f) = compute/(n) · (600/f) + overhead(n) —
+    i.e. a workload that satisfies SP's assumptions exactly."""
+    times = {}
+    for n in counts:
+        for m, f in F.items():
+            times[(n, f)] = compute_600 / n * (600.0 / m) + overhead(n)
+    return TimingCampaign(times, base_frequency_hz=F[600], label="synthetic")
+
+
+class TestSimplifiedParameterization:
+    def test_overhead_derivation_eq17(self):
+        sp = SimplifiedParameterization(synthetic_campaign())
+        for n in (2, 4, 8, 16):
+            assert sp.overhead(n) == pytest.approx(2.0 * n)
+
+    def test_overhead_zero_at_n1(self):
+        sp = SimplifiedParameterization(synthetic_campaign())
+        assert sp.overhead(1) == 0.0
+
+    def test_exact_on_assumption_satisfying_workload(self):
+        """When the measured system obeys SP's assumptions, Eq. 18 is
+        exact on every grid cell."""
+        campaign = synthetic_campaign()
+        sp = SimplifiedParameterization(campaign)
+        for (n, f), measured in campaign.times.items():
+            assert sp.predict_time(n, f) == pytest.approx(measured)
+
+    def test_base_column_always_exact(self):
+        """At f0 the prediction reproduces the measurement by
+        construction (the zero column of Tables 3/7) — even when the
+        workload violates the assumptions."""
+        times = {}
+        for n in (1, 2, 4, 8):
+            for m, f in F.items():
+                # Imperfectly parallel workload: violates Assumption 1.
+                times[(n, f)] = 80.0 / (n**0.8) * (600.0 / m) + (
+                    0.0 if n == 1 else 1.0
+                )
+        campaign = TimingCampaign(times, base_frequency_hz=F[600])
+        sp = SimplifiedParameterization(campaign)
+        for n in (2, 4, 8):
+            assert sp.predict_time(n, F[600]) == pytest.approx(
+                campaign.time(n, F[600])
+            )
+
+    def test_sequential_predictions_are_measurements(self):
+        campaign = synthetic_campaign()
+        sp = SimplifiedParameterization(campaign)
+        for m, f in F.items():
+            assert sp.predict_time(1, f) == campaign.time(1, f)
+
+    def test_speedup_prediction(self):
+        sp = SimplifiedParameterization(synthetic_campaign())
+        assert sp.predict_speedup(1, F[600]) == pytest.approx(1.0)
+        assert sp.predict_speedup(16, F[1400]) > sp.predict_speedup(
+            16, F[600]
+        )
+
+    def test_missing_base_column_entry(self):
+        campaign = synthetic_campaign(counts=(1, 2))
+        sp = SimplifiedParameterization(campaign)
+        with pytest.raises(MeasurementError):
+            sp.predict_time(8, F[600])
+
+    def test_missing_frequency(self):
+        sp = SimplifiedParameterization(synthetic_campaign())
+        with pytest.raises(MeasurementError):
+            sp.predict_time(2, mhz(900))
+
+    def test_prediction_grid_shape(self):
+        sp = SimplifiedParameterization(synthetic_campaign())
+        grid = sp.prediction_grid()
+        assert len(grid) == 5 * 5
+
+    def test_inputs_used_run_count(self):
+        """SP needs counts + frequencies − 1 runs, not the full grid."""
+        sp = SimplifiedParameterization(synthetic_campaign())
+        assert sp.inputs_used()["runs_required"] == 5 + 5 - 1
+
+    def test_overhead_model_export(self):
+        sp = SimplifiedParameterization(synthetic_campaign())
+        ov = sp.overhead_model()
+        assert ov.overhead_time(4, F[1400]) == pytest.approx(8.0)
+
+
+class TestFineGrainParameterization:
+    def setup_method(self):
+        self.mix = InstructionMix(cpu=5e9, l1=4e9, l2=5e8, mem=1e8)
+        self.rates = WorkloadRates(
+            cpi_on=2.0,
+            off_chip_s_by_f={
+                F[600]: ns(140),
+                F[800]: ns(140),
+                F[1000]: ns(110),
+                F[1200]: ns(110),
+                F[1400]: ns(110),
+            },
+        )
+        self.msg_time = lambda nbytes, f: 100e-6 + nbytes * 1.2e-7
+        self.profile = lambda n: MessageProfile(
+            critical_messages=50.0 * (n - 1), nbytes=2480.0 / n
+        )
+
+    def make_fp(self, **kwargs):
+        return FineGrainParameterization(
+            self.mix, self.rates, self.msg_time, self.profile, **kwargs
+        )
+
+    def test_eq14_sequential_time(self):
+        fp = self.make_fp()
+        f = F[600]
+        expected = self.mix.on_chip * 2.0 / f + self.mix.off_chip * ns(140)
+        assert fp.predict_sequential_time(f) == pytest.approx(expected)
+
+    def test_eq15_parallel_time(self):
+        fp = self.make_fp()
+        f, n = F[1000], 4
+        expected = fp.predict_sequential_time(f) / n + 50 * 3 * (
+            100e-6 + (2480 / 4) * 1.2e-7
+        )
+        assert fp.predict_time(n, f) == pytest.approx(expected)
+
+    def test_speedup_baseline_is_one(self):
+        assert self.make_fp().predict_speedup(1, F[600]) == pytest.approx(1.0)
+
+    def test_frequency_effect_diminishes_with_n(self):
+        """More nodes → overhead dominates → less frequency benefit."""
+        fp = self.make_fp()
+        gain = lambda n: fp.predict_speedup(n, F[1400]) / fp.predict_speedup(  # noqa: E731
+            n, F[600]
+        )
+        assert gain(16) < gain(2) <= gain(1) + 1e-9
+
+    def test_dop_workload_slows_scaling(self):
+        """A DOP-decomposed workload predicts longer times than
+        Assumption 1 at large N."""
+        wl = Workload.serial_parallel(
+            "x",
+            self.mix.scaled(0.05),
+            self.mix.scaled(0.95),
+            max_dop=1 << 20,
+        )
+        fp_a1 = self.make_fp()
+        fp_dop = self.make_fp(workload=wl)
+        assert fp_dop.predict_time(16, F[600]) > fp_a1.predict_time(
+            16, F[600]
+        )
+        assert fp_dop.predict_time(1, F[600]) == pytest.approx(
+            fp_a1.predict_time(1, F[600])
+        )
+
+    def test_breakdown_sums(self):
+        fp = self.make_fp()
+        parts = fp.time_breakdown(8, F[800])
+        assert sum(parts.values()) == pytest.approx(fp.predict_time(8, F[800]))
+
+    def test_parameter_summary_shape(self):
+        summary = self.make_fp().parameter_summary()
+        assert summary["cpi_on"] == 2.0
+        assert summary["on_chip_fraction"] == pytest.approx(
+            self.mix.on_chip_fraction
+        )
+        assert set(summary["on_chip_ns_per_ins"]) == {600, 800, 1000, 1200, 1400}
+
+    def test_grid(self):
+        grid = self.make_fp().prediction_grid([1, 2, 4])
+        assert len(grid) == 3 * 5

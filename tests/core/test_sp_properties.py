@@ -1,0 +1,132 @@
+"""Property-based tests of the SP parameterization.
+
+Hypothesis generates synthetic platforms that *satisfy* SP's two
+assumptions (perfectly parallel workloads with frequency-insensitive
+overhead) and platforms that *violate* them in controlled ways; SP
+must be exact on the former and err in the documented direction on
+the latter.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.measurements import TimingCampaign
+from repro.core.params_sp import SimplifiedParameterization
+from repro.units import mhz
+
+FREQS = tuple(mhz(m) for m in (600, 800, 1000, 1200, 1400))
+COUNTS = (1, 2, 4, 8, 16)
+
+compute_times = st.floats(min_value=1.0, max_value=1e4, allow_nan=False)
+overhead_rates = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+memory_shares = st.floats(min_value=0.0, max_value=0.8, allow_nan=False)
+
+
+def synthetic_times(compute_600, overhead_rate, memory_share):
+    """Times from a platform obeying SP's assumptions exactly.
+
+    Sequential time splits into a frequency-scaled part and a
+    frequency-flat (memory) part; overhead is perfectly parallel-
+    overhead-shaped: additive, frequency-insensitive, zero at N=1.
+    """
+    times = {}
+    for n in COUNTS:
+        for f in FREQS:
+            scaled = compute_600 * (1 - memory_share) * (mhz(600) / f)
+            flat = compute_600 * memory_share
+            overhead = 0.0 if n == 1 else overhead_rate * (n**0.5)
+            times[(n, f)] = (scaled + flat) / n + overhead
+    return times
+
+
+class TestExactness:
+    @given(compute_times, overhead_rates, memory_shares)
+    def test_sp_exact_when_assumptions_hold(
+        self, compute_600, overhead_rate, memory_share
+    ):
+        """On an assumption-satisfying platform SP reproduces every
+        cell exactly — including the ON/OFF-chip split it never sees
+        explicitly (it rides in through the measured sequential row)."""
+        campaign = TimingCampaign(
+            synthetic_times(compute_600, overhead_rate, memory_share),
+            base_frequency_hz=mhz(600),
+        )
+        sp = SimplifiedParameterization(campaign)
+        for key, measured in campaign.times.items():
+            assert sp.predict_time(*key) == pytest.approx(
+                measured, rel=1e-9
+            )
+
+    @given(compute_times, overhead_rates, memory_shares)
+    def test_derived_overhead_recovers_injected(
+        self, compute_600, overhead_rate, memory_share
+    ):
+        campaign = TimingCampaign(
+            synthetic_times(compute_600, overhead_rate, memory_share),
+            base_frequency_hz=mhz(600),
+        )
+        sp = SimplifiedParameterization(campaign)
+        for n in COUNTS[1:]:
+            assert sp.overhead(n) == pytest.approx(
+                overhead_rate * n**0.5, rel=1e-9, abs=1e-9
+            )
+
+
+class TestDocumentedBiases:
+    @given(
+        compute_times,
+        st.floats(min_value=0.1, max_value=5.0),
+        st.sampled_from([2, 4, 8, 16]),
+    )
+    def test_frequency_sensitive_overhead_makes_sp_optimistic(
+        self, compute_600, overhead_rate, n
+    ):
+        """Violating Assumption 2 with overhead that *shrinks* with f:
+        SP (which froze the overhead at its base-frequency size)
+        over-predicts the time at higher frequencies."""
+        times = {}
+        for ni in COUNTS:
+            for f in FREQS:
+                overhead = (
+                    0.0
+                    if ni == 1
+                    else overhead_rate * ni * (mhz(600) / f)
+                )
+                times[(ni, f)] = compute_600 * (mhz(600) / f) / ni + overhead
+        sp = SimplifiedParameterization(
+            TimingCampaign(times, base_frequency_hz=mhz(600))
+        )
+        measured = times[(n, mhz(1400))]
+        predicted = sp.predict_time(n, mhz(1400))
+        assert predicted >= measured - 1e-12
+
+    @given(
+        compute_times,
+        st.floats(min_value=0.01, max_value=0.3),
+        st.sampled_from([2, 4, 8, 16]),
+    )
+    def test_serial_fraction_makes_sp_optimistic_at_scale(
+        self, compute_600, serial_fraction, n
+    ):
+        """Violating Assumption 1 with a serial fraction: the serial
+        term pollutes the derived overhead, which SP then freezes at
+        its base-frequency size.  At the base frequency the pollution
+        cancels exactly; at higher frequencies the frozen (too large)
+        overhead over-predicts the time — i.e. under-predicts the
+        speedup, the §5.1 "under estimating the effects of increasing
+        processor frequency"."""
+        times = {}
+        for ni in COUNTS:
+            for f in FREQS:
+                serial = compute_600 * serial_fraction * (mhz(600) / f)
+                parallel = compute_600 * (1 - serial_fraction) * (
+                    mhz(600) / f
+                )
+                times[(ni, f)] = serial + parallel / ni
+        sp = SimplifiedParameterization(
+            TimingCampaign(times, base_frequency_hz=mhz(600))
+        )
+        measured = times[(n, mhz(1400))]
+        predicted = sp.predict_time(n, mhz(1400))
+        assert predicted >= measured - 1e-12

@@ -1,0 +1,95 @@
+"""Coverage for the remaining PowerAwareSpeedupModel surface."""
+
+import pytest
+
+from repro.cluster import InstructionMix
+from repro.core.cpi import WorkloadRates
+from repro.core.exectime import ExecutionTimeModel
+from repro.core.speedup import PowerAwareSpeedupModel
+from repro.core.workload import MeasuredOverhead, Workload
+from repro.errors import ModelError
+from repro.units import mhz, ns
+
+RATES = WorkloadRates(
+    cpi_on=2.0,
+    off_chip_s_by_f={mhz(m): ns(110) for m in (600, 800, 1000, 1200, 1400)},
+)
+
+
+def make_model(simplified=False, overhead=None, serial=0.0):
+    workload = Workload.serial_parallel(
+        "t",
+        InstructionMix(cpu=serial * 1e10),
+        InstructionMix(cpu=(1 - serial) * 1e10),
+        max_dop=1 << 20,
+    )
+    return PowerAwareSpeedupModel(
+        ExecutionTimeModel(workload, RATES, overhead),
+        simplified=simplified,
+    )
+
+
+class TestAxes:
+    def test_parallel_speedup_is_base_frequency_column(self):
+        model = make_model(serial=0.05)
+        for n in (1, 2, 8):
+            assert model.parallel_speedup(n) == model.speedup(n, mhz(600))
+
+    def test_frequency_speedup_is_sequential_row(self):
+        model = make_model(serial=0.05)
+        for m in (600, 1000, 1400):
+            assert model.frequency_speedup(mhz(m)) == model.speedup(
+                1, mhz(m)
+            )
+
+    def test_explicit_base_frequency(self):
+        model = PowerAwareSpeedupModel(
+            make_model().exec_model, base_frequency_hz=mhz(1000)
+        )
+        assert model.speedup(1, mhz(1000)) == pytest.approx(1.0)
+        # Below-base frequencies show "speedup" < 1.
+        assert model.speedup(1, mhz(600)) < 1.0
+
+    def test_illegal_base_frequency_rejected(self):
+        with pytest.raises(ModelError):
+            PowerAwareSpeedupModel(
+                make_model().exec_model, base_frequency_hz=mhz(700)
+            )
+
+
+class TestSimplifiedFlag:
+    def test_equal_for_fully_parallel(self):
+        full = make_model(simplified=False)
+        simple = make_model(simplified=True)
+        assert full.speedup(8, mhz(1400)) == pytest.approx(
+            simple.speedup(8, mhz(1400))
+        )
+
+    def test_simplified_is_optimistic_with_serial_work(self):
+        """Assumption 1 ignores the serial term: the simplified model
+        predicts higher speedups whenever one exists."""
+        full = make_model(simplified=False, serial=0.1)
+        simple = make_model(simplified=True, serial=0.1)
+        assert simple.speedup(16, mhz(600)) > full.speedup(16, mhz(600))
+
+    def test_baseline_time_unaffected_by_flag(self):
+        assert make_model(simplified=True).baseline_time == pytest.approx(
+            make_model(simplified=False).baseline_time
+        )
+
+
+class TestOverheadInteraction:
+    def test_overhead_reduces_speedup(self):
+        plain = make_model()
+        loaded = make_model(
+            overhead=MeasuredOverhead({8: plain.baseline_time / 8})
+        )
+        # Overhead equal to the ideal parallel time halves the speedup.
+        assert loaded.speedup(8, mhz(600)) == pytest.approx(
+            plain.speedup(8, mhz(600)) / 2
+        )
+
+    def test_surface_uses_rates_frequencies_by_default(self):
+        surface = make_model().surface([1, 2])
+        assert len(surface) == 2 * 5
+        assert all(f in RATES.frequencies for (_n, f) in surface)

@@ -1,0 +1,144 @@
+"""Tests for workload decomposition and overhead models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import InstructionMix
+from repro.core.workload import (
+    DopComponent,
+    MeasuredOverhead,
+    MessageOverhead,
+    MessageProfile,
+    Workload,
+    ZeroOverhead,
+)
+from repro.errors import ConfigurationError, ModelError
+
+
+class TestDopComponent:
+    def test_dop_validation(self):
+        with pytest.raises(ConfigurationError):
+            DopComponent(0, InstructionMix(cpu=1))
+
+    def test_effective_divisor_dop_below_n(self):
+        """A DOP-4 component on 8 processors still only uses 4."""
+        comp = DopComponent(4, InstructionMix(cpu=1))
+        assert comp.effective_divisor(8) == 4.0
+
+    def test_effective_divisor_dop_equal_n(self):
+        comp = DopComponent(8, InstructionMix(cpu=1))
+        assert comp.effective_divisor(8) == 8.0
+
+    def test_effective_divisor_dop_above_n(self):
+        """Footnote 2: DOP 16 work on 4 processors wraps in ⌈16/4⌉ = 4
+        passes — effective speedup 4."""
+        comp = DopComponent(16, InstructionMix(cpu=1))
+        assert comp.effective_divisor(4) == 4.0
+
+    def test_effective_divisor_dop_above_n_nondivisible(self):
+        """DOP 10 on 4 processors: ⌈10/4⌉ = 3 passes → speedup 10/3."""
+        comp = DopComponent(10, InstructionMix(cpu=1))
+        assert comp.effective_divisor(4) == pytest.approx(10 / 3)
+
+    def test_serial_component_never_speeds_up(self):
+        comp = DopComponent(1, InstructionMix(cpu=1))
+        for n in (1, 2, 16, 1000):
+            assert comp.effective_divisor(n) == 1.0
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_divisor_bounded_by_dop_and_n(self, dop, n):
+        divisor = DopComponent(dop, InstructionMix(cpu=1)).effective_divisor(n)
+        assert 1.0 <= divisor <= min(dop, n) + 1e-12
+
+
+class TestWorkload:
+    def test_needs_components(self):
+        with pytest.raises(ConfigurationError):
+            Workload("empty", [])
+
+    def test_serial_parallel_constructor(self):
+        wl = Workload.serial_parallel(
+            "x", InstructionMix(cpu=10), InstructionMix(cpu=90), max_dop=16
+        )
+        assert wl.serial_fraction() == pytest.approx(0.1)
+        assert wl.max_dop == 16
+
+    def test_serial_parallel_skips_empty_serial(self):
+        wl = Workload.serial_parallel(
+            "x", InstructionMix(), InstructionMix(cpu=90), max_dop=8
+        )
+        assert len(wl.components) == 1
+        assert wl.serial_fraction() == 0.0
+
+    def test_fully_parallel(self):
+        wl = Workload.fully_parallel("x", InstructionMix(cpu=100), 4)
+        assert wl.serial_fraction() == 0.0
+        assert wl.max_dop == 4
+
+    def test_totals(self):
+        wl = Workload(
+            "x",
+            [
+                DopComponent(1, InstructionMix(cpu=10, mem=1)),
+                DopComponent(8, InstructionMix(l1=20, mem=2)),
+            ],
+        )
+        assert wl.total_on_chip == 30
+        assert wl.total_off_chip == 3
+        assert wl.total_mix.total == 33
+
+
+class TestOverheadModels:
+    def test_zero_overhead(self):
+        assert ZeroOverhead().overhead_time(16, 600e6) == 0.0
+
+    def test_measured_overhead_lookup(self):
+        ov = MeasuredOverhead({2: 1.5, 4: 2.5})
+        assert ov.overhead_time(2, 600e6) == 1.5
+        assert ov.overhead_time(4, 1400e6) == 2.5  # frequency-insensitive
+
+    def test_measured_overhead_n1_is_zero(self):
+        assert MeasuredOverhead({2: 1.5}).overhead_time(1, 600e6) == 0.0
+
+    def test_measured_overhead_unknown_n(self):
+        with pytest.raises(ModelError):
+            MeasuredOverhead({2: 1.5}).overhead_time(8, 600e6)
+
+    def test_measured_overhead_clamps_negative(self):
+        ov = MeasuredOverhead({2: -0.3})
+        assert ov.overhead_time(2, 600e6) == 0.0
+
+    def test_measured_known_counts(self):
+        assert MeasuredOverhead({4: 1, 2: 2}).known_counts() == (2, 4)
+
+    def test_message_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            MessageProfile(critical_messages=-1, nbytes=10)
+
+    def test_message_overhead_composition(self):
+        profile = lambda n: MessageProfile(  # noqa: E731
+            critical_messages=10 * (n - 1), nbytes=1000 / n
+        )
+        msg_time = lambda nbytes, f: 1e-4 + nbytes * 1e-7  # noqa: E731
+        ov = MessageOverhead(profile, msg_time)
+        expected = 10 * 3 * (1e-4 + 250 * 1e-7)
+        assert ov.overhead_time(4, 600e6) == pytest.approx(expected)
+
+    def test_message_overhead_n1_is_zero(self):
+        ov = MessageOverhead(
+            lambda n: MessageProfile(10, 100), lambda b, f: 1.0
+        )
+        assert ov.overhead_time(1, 600e6) == 0.0
+
+    def test_message_overhead_frequency_dependence(self):
+        """With a frequency-sensitive per-message time the overhead
+        varies with f — the FP refinement over Assumption 2."""
+        ov = MessageOverhead(
+            lambda n: MessageProfile(5, 1000),
+            lambda nbytes, f: 1e-3 * (600e6 / f),
+        )
+        assert ov.overhead_time(4, 600e6) > ov.overhead_time(4, 1400e6)

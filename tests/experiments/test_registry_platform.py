@@ -1,0 +1,105 @@
+"""Tests for the experiment registry, platform grid and campaign cache."""
+
+import pytest
+
+from repro.errors import UnknownExperimentError
+from repro.experiments import (
+    PAPER_COUNTS,
+    PAPER_FREQUENCIES,
+    list_experiments,
+    measure_campaign,
+)
+from repro.experiments.platform import clear_campaign_cache
+from repro.experiments.registry import get_experiment, run_experiment
+from repro.npb import EPBenchmark, ProblemClass
+from repro.units import mhz
+
+
+class TestPlatformGrid:
+    def test_paper_counts(self):
+        assert PAPER_COUNTS == (1, 2, 4, 8, 16)
+
+    def test_paper_frequencies(self):
+        assert PAPER_FREQUENCIES == tuple(
+            mhz(m) for m in (600, 800, 1000, 1200, 1400)
+        )
+
+
+class TestMeasureCampaign:
+    def test_grid_complete(self):
+        ep = EPBenchmark(ProblemClass.S)
+        campaign = measure_campaign(ep, (1, 2), (mhz(600), mhz(1400)))
+        assert set(campaign.times) == {
+            (1, mhz(600)),
+            (1, mhz(1400)),
+            (2, mhz(600)),
+            (2, mhz(1400)),
+        }
+        assert set(campaign.energies) == set(campaign.times)
+
+    def test_cache_returns_same_object(self):
+        clear_campaign_cache()
+        ep = EPBenchmark(ProblemClass.S)
+        a = measure_campaign(ep, (1, 2), (mhz(600),))
+        b = measure_campaign(ep, (1, 2), (mhz(600),))
+        assert a is b
+
+    def test_cache_respects_grid(self):
+        ep = EPBenchmark(ProblemClass.S)
+        a = measure_campaign(ep, (1, 2), (mhz(600),))
+        b = measure_campaign(ep, (1, 4), (mhz(600),))
+        assert a is not b
+
+    def test_cache_bypass(self):
+        ep = EPBenchmark(ProblemClass.S)
+        a = measure_campaign(ep, (1,), (mhz(600),))
+        b = measure_campaign(ep, (1,), (mhz(600),), use_cache=False)
+        assert a is not b
+        assert a.times == b.times  # determinism
+
+    def test_custom_spec_bypasses_cache(self):
+        import dataclasses
+
+        from repro.cluster import paper_spec
+
+        ep = EPBenchmark(ProblemClass.S)
+        slow_net = dataclasses.replace(
+            paper_spec(),
+            network=dataclasses.replace(
+                paper_spec().network, efficiency=0.1
+            ),
+        )
+        a = measure_campaign(ep, (2,), (mhz(600),))
+        b = measure_campaign(ep, (2,), (mhz(600),), spec=slow_net)
+        assert b.times[(2, mhz(600))] > a.times[(2, mhz(600))]
+
+
+class TestRegistry:
+    EXPECTED = {
+        "table1",
+        "table3",
+        "table5",
+        "table6",
+        "table7",
+        "figure1",
+        "figure2",
+        "edp",
+        "dvfs_savings",
+        "ablation_onoff",
+        "ablation_overhead",
+        "ablation_dop",
+    }
+
+    def test_all_paper_artifacts_registered(self):
+        ids = {e[0] for e in list_experiments()}
+        assert self.EXPECTED <= ids
+
+    def test_unknown_experiment(self):
+        with pytest.raises(UnknownExperimentError):
+            get_experiment("table99")
+
+    def test_run_by_id(self):
+        result = run_experiment("table5", problem_class="S")
+        assert result.experiment_id == "table5"
+        assert "Table 5" in result.text
+        assert result.data

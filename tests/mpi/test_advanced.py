@@ -1,0 +1,202 @@
+"""Tests for non-blocking p2p and the alternative collective algorithms."""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.errors import ConfigurationError
+from repro.mpi import run_program
+
+SIZES = [2, 3, 4, 5, 8, 16]
+
+
+class TestNonBlocking:
+    def test_isend_irecv_roundtrip(self):
+        cluster = paper_cluster(2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                handle = ctx.isend(1, nbytes=256, tag=5, payload="data")
+                values = yield from ctx.waitall([handle])
+                return len(values)
+            handle = ctx.irecv(source=0, tag=5)
+            (msg,) = yield from ctx.waitall([handle])
+            return msg.payload
+
+        result = run_program(cluster, program)
+        assert result.rank_values == (1, "data")
+
+    def test_overlapping_exchange_is_concurrent(self):
+        """isend+irecv posted together complete in about one transfer
+        time, like sendrecv."""
+        nbytes = 4096
+
+        def both_ways(ctx):
+            peer = 1 - ctx.rank
+            s = ctx.isend(peer, nbytes, tag=1)
+            r = ctx.irecv(source=peer, tag=1)
+            yield from ctx.waitall([s, r])
+
+        t_nb = run_program(paper_cluster(2), both_ways).elapsed_s
+
+        def one_way(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, nbytes, tag=1)
+            else:
+                yield from ctx.recv(source=0, tag=1)
+
+        t_one = run_program(paper_cluster(2), one_way).elapsed_s
+        assert t_nb < 1.8 * t_one
+
+    def test_compute_overlaps_communication(self):
+        """Work done between isend and wait hides under the transfer."""
+        nbytes = 500_000  # rendezvous-sized
+
+        def overlapped(ctx):
+            peer = 1 - ctx.rank
+            s = ctx.isend(peer, nbytes, tag=2)
+            r = ctx.irecv(source=peer, tag=2)
+            yield from ctx.compute_seconds(0.02)
+            yield from ctx.waitall([s, r])
+
+        def serial(ctx):
+            peer = 1 - ctx.rank
+            s = ctx.isend(peer, nbytes, tag=2)
+            r = ctx.irecv(source=peer, tag=2)
+            yield from ctx.waitall([s, r])
+            yield from ctx.compute_seconds(0.02)
+
+        t_overlap = run_program(paper_cluster(2), overlapped).elapsed_s
+        t_serial = run_program(paper_cluster(2), serial).elapsed_s
+        assert t_overlap < t_serial
+
+    def test_multiple_outstanding_recvs(self):
+        cluster = paper_cluster(2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                for i in range(4):
+                    yield from ctx.send(1, nbytes=64, tag=i, payload=i)
+                return None
+            handles = [ctx.irecv(source=0, tag=i) for i in range(4)]
+            msgs = yield from ctx.waitall(handles)
+            return [m.payload for m in msgs]
+
+        result = run_program(cluster, program)
+        assert result.rank_values[1] == [0, 1, 2, 3]
+
+
+class TestBruckAlltoall:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_terminates(self, n):
+        cluster = paper_cluster(n)
+
+        def program(ctx):
+            yield from ctx.alltoall(nbytes_per_pair=64, algorithm="bruck")
+
+        assert run_program(cluster, program).elapsed_s >= 0
+
+    def test_message_count_logarithmic(self):
+        cluster = paper_cluster(8)
+
+        def program(ctx):
+            yield from ctx.alltoall(nbytes_per_pair=64, algorithm="bruck")
+
+        result = run_program(cluster, program)
+        # 3 rounds x 8 ranks = 24 messages (vs 56 for pairwise).
+        assert result.message_count == 8 * 3
+
+    def test_wins_for_small_messages(self):
+        """Latency-bound regime: Bruck beats pairwise at 16 ranks."""
+
+        def timed(algorithm):
+            cluster = paper_cluster(16)
+
+            def program(ctx):
+                for _ in range(4):
+                    yield from ctx.alltoall(
+                        nbytes_per_pair=8, algorithm=algorithm
+                    )
+
+            return run_program(cluster, program).elapsed_s
+
+        assert timed("bruck") < timed("pairwise")
+
+    def test_loses_for_large_messages(self):
+        """Bandwidth-bound regime: pairwise moves less data."""
+
+        def timed(algorithm):
+            cluster = paper_cluster(8)
+
+            def program(ctx):
+                yield from ctx.alltoall(
+                    nbytes_per_pair=256 * 1024, algorithm=algorithm
+                )
+
+            return run_program(cluster, program).elapsed_s
+
+        assert timed("pairwise") < timed("bruck")
+
+    def test_unknown_algorithm(self):
+        cluster = paper_cluster(2)
+
+        def program(ctx):
+            yield from ctx.alltoall(nbytes_per_pair=8, algorithm="magic")
+
+        with pytest.raises(ConfigurationError):
+            run_program(cluster, program)
+
+
+class TestReduceScatterAndRabenseifner:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_reduce_scatter_terminates(self, n):
+        cluster = paper_cluster(n)
+
+        def program(ctx):
+            yield from ctx.reduce_scatter(nbytes_total=4096)
+
+        assert run_program(cluster, program).elapsed_s >= 0
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_rabenseifner_terminates(self, n):
+        cluster = paper_cluster(n)
+
+        def program(ctx):
+            yield from ctx.allreduce(nbytes=4096, algorithm="rabenseifner")
+
+        assert run_program(cluster, program).elapsed_s >= 0
+
+    def test_rabenseifner_wins_for_large_payloads(self):
+        """The MPICH switch-over: reduce-scatter + allgather moves
+        ~2·m instead of log2(N)·m."""
+
+        def timed(algorithm, nbytes):
+            cluster = paper_cluster(8)
+
+            def program(ctx):
+                yield from ctx.allreduce(nbytes=nbytes, algorithm=algorithm)
+
+            return run_program(cluster, program).elapsed_s
+
+        big = 1 << 20
+        assert timed("rabenseifner", big) < timed("recursive-doubling", big)
+
+    def test_recursive_doubling_wins_for_small_payloads(self):
+        def timed(algorithm):
+            cluster = paper_cluster(8)
+
+            def program(ctx):
+                for _ in range(4):
+                    yield from ctx.allreduce(nbytes=8, algorithm=algorithm)
+
+            return run_program(cluster, program).elapsed_s
+
+        assert timed("recursive-doubling") < timed("rabenseifner")
+
+    def test_unknown_allreduce_algorithm(self):
+        cluster = paper_cluster(2)
+
+        def program(ctx):
+            yield from ctx.allreduce(nbytes=8, algorithm="magic")
+
+        with pytest.raises(ConfigurationError):
+            run_program(cluster, program)

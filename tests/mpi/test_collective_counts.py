@@ -1,0 +1,112 @@
+"""Property tests: collective algorithms produce exactly the message
+counts and wire volumes their algorithms specify, for every size.
+
+These formulas are what the analytic cost models and the FP message
+profiles rely on; a silent algorithm change would skew every overhead
+prediction, so they are pinned here across the size range.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import paper_cluster
+from repro.mpi import run_program
+
+sizes = st.integers(min_value=2, max_value=17)
+payloads = st.floats(min_value=1.0, max_value=8192.0, allow_nan=False)
+
+
+def run_collective(n, body):
+    cluster = paper_cluster(n)
+
+    def program(ctx):
+        yield from body(ctx)
+
+    return run_program(cluster, program)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=sizes)
+def test_barrier_message_count(n):
+    """Dissemination: N·⌈log₂N⌉ messages."""
+    result = run_collective(n, lambda ctx: ctx.barrier())
+    assert result.message_count == n * math.ceil(math.log2(n))
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=sizes, nbytes=payloads)
+def test_bcast_count_and_volume(n, nbytes):
+    """Binomial tree: exactly N−1 copies of the payload."""
+    result = run_collective(n, lambda ctx: ctx.bcast(root=0, nbytes=nbytes))
+    assert result.message_count == n - 1
+    assert result.bytes_on_wire == pytest.approx((n - 1) * nbytes)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=sizes, nbytes=payloads)
+def test_reduce_count_and_volume(n, nbytes):
+    result = run_collective(n, lambda ctx: ctx.reduce(root=0, nbytes=nbytes))
+    assert result.message_count == n - 1
+    assert result.bytes_on_wire == pytest.approx((n - 1) * nbytes)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=sizes, nbytes=payloads)
+def test_allreduce_recursive_doubling_count(n, nbytes):
+    """pof2·log₂(pof2) exchange messages plus 2 per remainder rank
+    (one fold-in send before the doubling, one result send after)."""
+    result = run_collective(n, lambda ctx: ctx.allreduce(nbytes=nbytes))
+    pof2 = 1 << (n.bit_length() - 1)
+    rem = n - pof2
+    expected = pof2 * int(math.log2(pof2)) + 2 * rem
+    assert result.message_count == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=sizes, nbytes=payloads)
+def test_allgather_ring_count_and_volume(n, nbytes):
+    result = run_collective(n, lambda ctx: ctx.allgather(nbytes_per_rank=nbytes))
+    assert result.message_count == n * (n - 1)
+    assert result.bytes_on_wire == pytest.approx(n * (n - 1) * nbytes)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=sizes, nbytes=payloads)
+def test_alltoall_pairwise_volume(n, nbytes):
+    """Pairwise: N(N−1) messages carrying the full exchanged volume."""
+    result = run_collective(n, lambda ctx: ctx.alltoall(nbytes_per_pair=nbytes))
+    assert result.message_count == n * (n - 1)
+    assert result.bytes_on_wire == pytest.approx(n * (n - 1) * nbytes)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=sizes, nbytes=payloads)
+def test_alltoall_bruck_count_and_volume(n, nbytes):
+    """Bruck: N·⌈log₂N⌉ messages; each round ships the blocks whose
+    index has that round's bit set."""
+    result = run_collective(
+        n, lambda ctx: ctx.alltoall(nbytes_per_pair=nbytes, algorithm="bruck")
+    )
+    rounds = math.ceil(math.log2(n))
+    assert result.message_count == n * rounds
+    expected_volume = 0.0
+    k = 1
+    while k < n:
+        blocks = sum(1 for b in range(n) if b & k)
+        expected_volume += n * blocks * nbytes
+        k <<= 1
+    assert result.bytes_on_wire == pytest.approx(expected_volume)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=sizes, nbytes=payloads)
+def test_scatter_gather_linear_counts(n, nbytes):
+    def body(ctx):
+        yield from ctx.scatter(root=0, nbytes_per_rank=nbytes)
+        yield from ctx.gather(root=0, nbytes_per_rank=nbytes)
+
+    result = run_collective(n, body)
+    assert result.message_count == 2 * (n - 1)

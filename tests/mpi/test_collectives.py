@@ -1,0 +1,149 @@
+"""Tests for collective operations across communicator sizes.
+
+Every collective must terminate (no deadlock) and show the expected
+cost structure for power-of-two and non-power-of-two sizes.
+"""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.mpi import run_program
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 16]
+
+
+def run_collective(n, body):
+    cluster = paper_cluster(n)
+
+    def program(ctx):
+        yield from body(ctx)
+
+    return run_program(cluster, program)
+
+
+class TestTermination:
+    """All collectives complete at every size (deadlock-freedom)."""
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_barrier(self, n):
+        result = run_collective(n, lambda ctx: ctx.barrier())
+        assert result.elapsed_s >= 0
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_bcast(self, n):
+        result = run_collective(n, lambda ctx: ctx.bcast(root=0, nbytes=512))
+        assert result.elapsed_s >= 0
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_bcast_nonzero_root(self, n):
+        root = n - 1
+        result = run_collective(n, lambda ctx: ctx.bcast(root=root, nbytes=512))
+        assert result.elapsed_s >= 0
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_reduce(self, n):
+        result = run_collective(n, lambda ctx: ctx.reduce(root=0, nbytes=512))
+        assert result.elapsed_s >= 0
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_allreduce(self, n):
+        result = run_collective(n, lambda ctx: ctx.allreduce(nbytes=512))
+        assert result.elapsed_s >= 0
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_allgather(self, n):
+        result = run_collective(n, lambda ctx: ctx.allgather(nbytes_per_rank=256))
+        assert result.elapsed_s >= 0
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_alltoall(self, n):
+        result = run_collective(n, lambda ctx: ctx.alltoall(nbytes_per_pair=256))
+        assert result.elapsed_s >= 0
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_scatter_gather(self, n):
+        def body(ctx):
+            yield from ctx.scatter(root=0, nbytes_per_rank=128)
+            yield from ctx.gather(root=0, nbytes_per_rank=128)
+
+        assert run_collective(n, body).elapsed_s >= 0
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_back_to_back_collectives(self, n):
+        """Consecutive collectives of the same kind must not cross-match."""
+
+        def body(ctx):
+            for _ in range(4):
+                yield from ctx.allreduce(nbytes=64)
+                yield from ctx.barrier()
+
+        assert run_collective(n, body).elapsed_s >= 0
+
+
+class TestMessageCounts:
+    def test_barrier_message_count(self):
+        """Dissemination barrier: N · ceil(log2 N) messages."""
+        result = run_collective(8, lambda ctx: ctx.barrier())
+        assert result.message_count == 8 * 3
+
+    def test_bcast_message_count(self):
+        """A binomial tree delivers exactly N-1 copies."""
+        result = run_collective(8, lambda ctx: ctx.bcast(root=0, nbytes=128))
+        assert result.message_count == 7
+
+    def test_reduce_message_count(self):
+        result = run_collective(8, lambda ctx: ctx.reduce(root=0, nbytes=128))
+        assert result.message_count == 7
+
+    def test_alltoall_message_count(self):
+        """Pairwise exchange: N·(N-1) messages."""
+        result = run_collective(4, lambda ctx: ctx.alltoall(nbytes_per_pair=64))
+        assert result.message_count == 4 * 3
+
+    def test_allgather_message_count(self):
+        """Ring: N·(N-1) block forwards."""
+        result = run_collective(4, lambda ctx: ctx.allgather(nbytes_per_rank=64))
+        assert result.message_count == 4 * 3
+
+    def test_alltoall_bytes(self):
+        nbytes = 512
+        result = run_collective(4, lambda ctx: ctx.alltoall(nbytes_per_pair=nbytes))
+        assert result.bytes_on_wire == 4 * 3 * nbytes
+
+    def test_size_one_collectives_are_free(self):
+        def body(ctx):
+            yield from ctx.barrier()
+            yield from ctx.allreduce(nbytes=1024)
+            yield from ctx.alltoall(nbytes_per_pair=1024)
+            yield from ctx.bcast(root=0, nbytes=1024)
+
+        result = run_collective(1, body)
+        assert result.message_count == 0
+        assert result.elapsed_s == 0.0
+
+
+class TestCostShape:
+    def test_alltoall_cost_grows_with_ranks(self):
+        """Total alltoall volume grows ~N², so time grows superlinearly —
+        the mechanism behind FT's flattening speedup."""
+        times = {
+            n: run_collective(
+                n, lambda ctx: ctx.alltoall(nbytes_per_pair=64 * 1024)
+            ).elapsed_s
+            for n in (2, 4, 8, 16)
+        }
+        assert times[4] > times[2]
+        assert times[8] > times[4]
+        assert times[16] > times[8]
+
+    def test_allreduce_cost_grows_logarithmically(self):
+        t2 = run_collective(2, lambda ctx: ctx.allreduce(nbytes=4096)).elapsed_s
+        t16 = run_collective(16, lambda ctx: ctx.allreduce(nbytes=4096)).elapsed_s
+        # 16 ranks = 4 rounds vs 1 round (~4x) times the ~2.4x congestion
+        # penalty ratio; a linear algorithm would be ~15 rounds (~24x).
+        assert t16 < 12 * t2
+
+    def test_barrier_faster_than_payload_allreduce(self):
+        tb = run_collective(8, lambda ctx: ctx.barrier()).elapsed_s
+        ta = run_collective(8, lambda ctx: ctx.allreduce(nbytes=1 << 16)).elapsed_s
+        assert tb < ta

@@ -1,0 +1,138 @@
+"""Tests for the Hockney and LogGP analytic cost models, including
+cross-checks against the discrete-event network."""
+
+import pytest
+
+from repro.cluster import paper_cluster, paper_spec
+from repro.errors import ConfigurationError
+from repro.mpi import HockneyModel, LogGPModel, run_program
+from repro.units import mhz
+
+
+class TestHockney:
+    def setup_method(self):
+        self.model = HockneyModel.from_cluster_spec(paper_spec())
+
+    def test_p2p_formula(self):
+        m = HockneyModel(alpha_s=1e-4, beta_s_per_byte=1e-7)
+        assert m.p2p(1000) == pytest.approx(1e-4 + 1e-4)
+
+    def test_p2p_matches_uncontended_simulated_transfer(self):
+        """α + mβ equals the simulator's lone-transfer time exactly."""
+        cluster = paper_cluster(2)
+        nbytes = 50_000
+        p = cluster.network.transfer(0, 1, nbytes)
+        cluster.engine.run(until=p)
+        assert cluster.engine.now == pytest.approx(self.model.p2p(nbytes))
+
+    def test_collective_round_structure(self):
+        nbytes = 1024
+        assert self.model.bcast(8, nbytes) == pytest.approx(
+            3 * self.model.p2p(nbytes)
+        )
+        assert self.model.allreduce(16, nbytes) == pytest.approx(
+            4 * self.model.p2p(nbytes)
+        )
+        assert self.model.alltoall(8, nbytes) == pytest.approx(
+            7 * self.model.p2p(nbytes)
+        )
+        assert self.model.allgather(8, nbytes) == pytest.approx(
+            7 * self.model.p2p(nbytes)
+        )
+
+    def test_trivial_sizes_are_free(self):
+        for fn in (
+            self.model.barrier,
+            lambda n: self.model.bcast(n, 1024),
+            lambda n: self.model.allreduce(n, 1024),
+            lambda n: self.model.alltoall(n, 1024),
+        ):
+            assert fn(1) == 0.0
+
+    def test_barrier_counts_latency_only(self):
+        assert self.model.barrier(8) == pytest.approx(
+            3 * self.model.alpha_s
+        )
+
+    def test_monotone_in_size_and_ranks(self):
+        assert self.model.alltoall(8, 2048) > self.model.alltoall(8, 1024)
+        assert self.model.alltoall(16, 1024) > self.model.alltoall(8, 1024)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HockneyModel(alpha_s=-1.0, beta_s_per_byte=0.0)
+        with pytest.raises(ConfigurationError):
+            self.model.p2p(-5)
+
+
+class TestLogGP:
+    def setup_method(self):
+        self.spec = paper_spec()
+
+    def test_from_cluster_spec_couples_overhead_to_frequency(self):
+        slow = LogGPModel.from_cluster_spec(self.spec, mhz(600))
+        fast = LogGPModel.from_cluster_spec(self.spec, mhz(1400))
+        assert slow.overhead_s_per_byte > fast.overhead_s_per_byte
+        assert slow.latency_s == fast.latency_s  # wire is DVFS-immune
+
+    def test_p2p_exceeds_hockney(self):
+        """LogGP adds the host overhead Hockney ignores."""
+        loggp = LogGPModel.from_cluster_spec(self.spec, mhz(600))
+        hockney = HockneyModel.from_cluster_spec(self.spec)
+        for nbytes in (0, 1024, 100_000):
+            assert loggp.p2p(nbytes) > hockney.p2p(nbytes)
+
+    def test_loggp_tracks_simulated_pingpong_better(self):
+        """Against a simulated ping-pong (which includes host costs),
+        LogGP's per-message estimate is closer than Hockney's."""
+        from repro.proftools import MppTest
+
+        nbytes = 2480.0
+        measured = MppTest().pingpong_time(nbytes, mhz(600), repetitions=5)
+        loggp = LogGPModel.from_cluster_spec(self.spec, mhz(600)).p2p(nbytes)
+        hockney = HockneyModel.from_cluster_spec(self.spec).p2p(nbytes)
+        assert abs(loggp - measured) < abs(hockney - measured)
+
+    def test_host_overhead_formula(self):
+        m = LogGPModel(
+            latency_s=1e-4,
+            overhead_s=1e-5,
+            overhead_s_per_byte=1e-8,
+            gap_s=0.0,
+            gap_s_per_byte=1e-7,
+        )
+        assert m.host_overhead(1000) == pytest.approx(1e-5 + 1e-5)
+        assert m.p2p(1000) == pytest.approx(2 * 2e-5 + 1e-4 + 1e-4)
+
+    def test_collectives(self):
+        m = LogGPModel.from_cluster_spec(self.spec, mhz(1400))
+        assert m.alltoall(8, 1024) == pytest.approx(7 * m.p2p(1024))
+        assert m.allreduce(8, 1024) == pytest.approx(3 * m.p2p(1024))
+        assert m.alltoall(1, 1024) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogGPModel(
+                latency_s=-1.0,
+                overhead_s=0.0,
+                overhead_s_per_byte=0.0,
+                gap_s=0.0,
+                gap_s_per_byte=0.0,
+            )
+        with pytest.raises(ConfigurationError):
+            LogGPModel.from_cluster_spec(self.spec, 0.0)
+
+
+class TestCostVsSimulation:
+    def test_hockney_lower_bounds_simulated_alltoall(self):
+        """The analytic pairwise cost (no contention, no host work)
+        lower-bounds the simulated alltoall."""
+        hockney = HockneyModel.from_cluster_spec(paper_spec())
+        nbytes = 32 * 1024
+        cluster = paper_cluster(8)
+
+        def program(ctx):
+            yield from ctx.alltoall(nbytes_per_pair=nbytes)
+
+        simulated = run_program(cluster, program).elapsed_s
+        assert simulated >= hockney.alltoall(8, nbytes)

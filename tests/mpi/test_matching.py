@@ -1,0 +1,129 @@
+"""Tests for the MPI message-matching engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG
+from repro.mpi.datatypes import Message
+from repro.mpi.matching import MessageMatcher
+from repro.sim import Engine
+
+
+def make_matcher():
+    eng = Engine()
+    return eng, MessageMatcher(eng, rank=0)
+
+
+class TestEagerMatching:
+    def test_recv_then_deliver(self):
+        eng, m = make_matcher()
+        ev = m.post_recv(source=1, tag=7)
+        assert not ev.triggered
+        msg = Message(source=1, dest=0, tag=7, nbytes=10)
+        m.deliver_eager(msg)
+        assert ev.triggered and ev.value is msg
+
+    def test_deliver_then_recv(self):
+        eng, m = make_matcher()
+        msg = Message(source=1, dest=0, tag=7, nbytes=10)
+        m.deliver_eager(msg)
+        assert m.unexpected_count == 1
+        ev = m.post_recv(source=1, tag=7)
+        assert ev.triggered and ev.value is msg
+        assert m.unexpected_count == 0
+
+    def test_wildcard_source(self):
+        eng, m = make_matcher()
+        ev = m.post_recv(source=ANY_SOURCE, tag=3)
+        m.deliver_eager(Message(source=5, dest=0, tag=3, nbytes=1))
+        assert ev.triggered
+
+    def test_wildcard_tag(self):
+        eng, m = make_matcher()
+        ev = m.post_recv(source=2, tag=ANY_TAG)
+        m.deliver_eager(Message(source=2, dest=0, tag=99, nbytes=1))
+        assert ev.triggered
+
+    def test_mismatched_tag_not_matched(self):
+        eng, m = make_matcher()
+        ev = m.post_recv(source=1, tag=7)
+        m.deliver_eager(Message(source=1, dest=0, tag=8, nbytes=1))
+        assert not ev.triggered
+        assert m.unexpected_count == 1
+        assert m.posted_count == 1
+
+    def test_non_overtaking_same_envelope(self):
+        """Two messages with identical (source, tag) match receives in
+        send order — MPI's non-overtaking rule."""
+        eng, m = make_matcher()
+        first = Message(source=1, dest=0, tag=7, nbytes=1, payload="first")
+        second = Message(source=1, dest=0, tag=7, nbytes=1, payload="second")
+        m.deliver_eager(first)
+        m.deliver_eager(second)
+        assert m.post_recv(1, 7).value.payload == "first"
+        assert m.post_recv(1, 7).value.payload == "second"
+
+    def test_earliest_posted_recv_wins(self):
+        eng, m = make_matcher()
+        ev1 = m.post_recv(source=ANY_SOURCE, tag=ANY_TAG)
+        ev2 = m.post_recv(source=ANY_SOURCE, tag=ANY_TAG)
+        m.deliver_eager(Message(source=1, dest=0, tag=0, nbytes=1))
+        assert ev1.triggered and not ev2.triggered
+
+    def test_selective_recv_skips_nonmatching(self):
+        eng, m = make_matcher()
+        m.deliver_eager(Message(source=2, dest=0, tag=5, nbytes=1, payload="a"))
+        m.deliver_eager(Message(source=3, dest=0, tag=6, nbytes=1, payload="b"))
+        ev = m.post_recv(source=3, tag=6)
+        assert ev.value.payload == "b"
+        assert m.unexpected_count == 1
+
+
+class TestRendezvousMatching:
+    def test_announce_then_recv_fires_cts(self):
+        eng, m = make_matcher()
+        msg = Message(source=1, dest=0, tag=0, nbytes=1 << 20)
+        cts = eng.event()
+        m.announce_rendezvous(msg, cts)
+        assert not cts.triggered
+        delivered = m.post_recv(source=1, tag=0)
+        assert cts.triggered  # sender may start the bulk transfer
+        assert not delivered.triggered  # data not yet arrived
+        m.complete_rendezvous(msg)
+        assert delivered.triggered and delivered.value is msg
+
+    def test_recv_then_announce(self):
+        eng, m = make_matcher()
+        delivered = m.post_recv(source=ANY_SOURCE, tag=ANY_TAG)
+        msg = Message(source=4, dest=0, tag=9, nbytes=1 << 20)
+        cts = eng.event()
+        m.announce_rendezvous(msg, cts)
+        assert cts.triggered
+        m.complete_rendezvous(msg)
+        assert delivered.value is msg
+
+    def test_completion_without_match_is_error(self):
+        eng, m = make_matcher()
+        msg = Message(source=1, dest=0, tag=0, nbytes=1 << 20)
+        with pytest.raises(SimulationError):
+            m.complete_rendezvous(msg)
+
+    def test_eager_and_rndv_envelopes_share_arrival_order(self):
+        """A receive matches the earliest satisfying envelope regardless
+        of protocol."""
+        eng, m = make_matcher()
+        eager = Message(source=1, dest=0, tag=0, nbytes=8, payload="eager")
+        m.deliver_eager(eager)
+        big = Message(source=1, dest=0, tag=0, nbytes=1 << 20)
+        m.announce_rendezvous(big, eng.event())
+        ev = m.post_recv(source=1, tag=0)
+        assert ev.value.payload == "eager"
+
+    def test_pending_summary(self):
+        eng, m = make_matcher()
+        m.deliver_eager(Message(source=1, dest=0, tag=0, nbytes=8))
+        m.post_recv(source=2, tag=3)
+        summary = m.pending_summary()
+        assert summary["rank"] == 0
+        assert len(summary["unexpected"]) == 1
+        assert summary["posted"] == [(2, 3)]

@@ -1,0 +1,173 @@
+"""Tests for point-to-point messaging semantics and timing."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, Cluster, NicSpec, paper_cluster
+from repro.mpi import Communicator, run_program
+from repro.mpi import p2p
+from repro.units import mhz
+
+
+def small_cluster(n=2, **cluster_kwargs):
+    return paper_cluster(n, **cluster_kwargs)
+
+
+class TestBlockingSendRecv:
+    def test_payload_travels(self):
+        cluster = small_cluster()
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, nbytes=128, tag=4, payload={"x": 1})
+                return None
+            msg = yield from ctx.recv(source=0, tag=4)
+            return msg.payload
+
+        result = run_program(cluster, program)
+        assert result.rank_values[1] == {"x": 1}
+
+    def test_eager_send_does_not_wait_for_receiver(self):
+        """An eager sender completes even if the receiver posts late."""
+        cluster = small_cluster()
+        send_done_at = {}
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, nbytes=64)
+                send_done_at["t"] = ctx.now
+            else:
+                yield from ctx.compute_seconds(1.0)  # busy: recv posted late
+                yield from ctx.recv(source=0)
+
+        result = run_program(cluster, program)
+        assert send_done_at["t"] < 0.01
+        assert result.elapsed_s >= 1.0
+
+    def test_rendezvous_send_waits_for_receiver(self):
+        """A rendezvous sender blocks until the receive is posted."""
+        cluster = small_cluster()
+        nic = cluster.spec.nic
+        big = nic.eager_threshold_bytes * 4
+        send_done_at = {}
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, nbytes=big)
+                send_done_at["t"] = ctx.now
+            else:
+                yield from ctx.compute_seconds(1.0)
+                yield from ctx.recv(source=0)
+
+        run_program(cluster, program)
+        assert send_done_at["t"] > 1.0
+
+    def test_message_ordering_preserved(self):
+        cluster = small_cluster()
+
+        def program(ctx):
+            if ctx.rank == 0:
+                for i in range(5):
+                    yield from ctx.send(1, nbytes=32, tag=1, payload=i)
+                return None
+            got = []
+            for _ in range(5):
+                msg = yield from ctx.recv(source=0, tag=1)
+                got.append(msg.payload)
+            return got
+
+        result = run_program(cluster, program)
+        assert result.rank_values[1] == [0, 1, 2, 3, 4]
+
+    def test_transfer_time_scales_with_size(self):
+        def timed_exchange(nbytes):
+            cluster = small_cluster()
+
+            def program(ctx):
+                if ctx.rank == 0:
+                    yield from ctx.send(1, nbytes=nbytes)
+                else:
+                    yield from ctx.recv(source=0)
+
+            return run_program(cluster, program).elapsed_s
+
+        t_small = timed_exchange(1024)
+        t_big = timed_exchange(1024 * 1024)
+        assert t_big > t_small * 10
+
+    def test_recv_includes_wire_time(self):
+        cluster = small_cluster()
+        nbytes = 4096
+        wire = cluster.network.uncontended_transfer_time(nbytes)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, nbytes=nbytes)
+            else:
+                yield from ctx.recv(source=0)
+
+        result = run_program(cluster, program)
+        assert result.elapsed_s >= wire
+
+    def test_sendrecv_exchanges_concurrently(self):
+        """A symmetric exchange costs about one transfer, not two."""
+        nbytes = 2048
+        cluster = small_cluster()
+
+        def exchange(ctx):
+            peer = 1 - ctx.rank
+            yield from ctx.sendrecv(peer, nbytes, source=peer)
+
+        t_both = run_program(cluster, exchange).elapsed_s
+
+        cluster2 = small_cluster()
+
+        def one_way(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, nbytes=nbytes)
+            else:
+                yield from ctx.recv(source=0)
+
+        t_one = run_program(cluster2, one_way).elapsed_s
+        assert t_both < 1.8 * t_one
+
+    def test_frequency_reduces_host_overhead(self):
+        """The same exchange is a bit faster at 1400 MHz than at 600 MHz
+        (Table 6's frequency-sensitive messaging effect)."""
+
+        def timed(freq):
+            cluster = small_cluster(frequency_hz=freq)
+
+            def program(ctx):
+                if ctx.rank == 0:
+                    for _ in range(50):
+                        yield from ctx.send(1, nbytes=2480)
+                else:
+                    for _ in range(50):
+                        yield from ctx.recv(source=0)
+
+            return run_program(cluster, program).elapsed_s
+
+        assert timed(mhz(600)) > timed(mhz(1400))
+
+    def test_rank_bounds_checked(self):
+        cluster = small_cluster()
+        comm = Communicator(cluster)
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            next(p2p.send(comm, 0, 9, 10))
+
+
+class TestByteAccounting:
+    def test_run_result_counts_wire_bytes(self):
+        cluster = small_cluster()
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, nbytes=1000)
+            else:
+                yield from ctx.recv(source=0)
+
+        result = run_program(cluster, program)
+        assert result.bytes_on_wire == 1000
+        assert result.message_count == 1

@@ -1,0 +1,134 @@
+"""Tests for MPI_Comm_split semantics and 2-D decompositions."""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.errors import ConfigurationError
+from repro.mpi import run_program
+
+
+class TestSplitSemantics:
+    def test_partition_by_color(self):
+        cluster = paper_cluster(4)
+
+        def program(ctx):
+            sub = yield from ctx.split(color=ctx.rank % 2)
+            return (sub.size, sub.rank)
+
+        result = run_program(cluster, program)
+        # Ranks 0,2 -> color 0 (sub-ranks 0,1); ranks 1,3 -> color 1.
+        assert result.rank_values == ((2, 0), (2, 0), (2, 1), (2, 1))
+
+    def test_key_orders_sub_ranks(self):
+        cluster = paper_cluster(4)
+
+        def program(ctx):
+            # Reverse ordering within one group via the key.
+            sub = yield from ctx.split(color=0, key=-ctx.rank)
+            return sub.rank
+
+        result = run_program(cluster, program)
+        assert result.rank_values == (3, 2, 1, 0)
+
+    def test_none_color_opts_out(self):
+        cluster = paper_cluster(4)
+
+        def program(ctx):
+            color = 0 if ctx.rank < 2 else None
+            sub = yield from ctx.split(color=color)
+            if sub is None:
+                return "excluded"
+            return sub.size
+
+        result = run_program(cluster, program)
+        assert result.rank_values == (2, 2, "excluded", "excluded")
+
+    def test_collective_blocks_until_all_call(self):
+        """Early callers wait for the last one (split is collective)."""
+        cluster = paper_cluster(2)
+        split_done_at = {}
+
+        def program(ctx):
+            if ctx.rank == 1:
+                yield from ctx.compute_seconds(1.0)
+            sub = yield from ctx.split(color=0)
+            split_done_at[ctx.rank] = ctx.now
+            return sub.size
+
+        run_program(cluster, program)
+        assert split_done_at[0] >= 1.0
+
+    def test_successive_splits(self):
+        cluster = paper_cluster(4)
+
+        def program(ctx):
+            first = yield from ctx.split(color=ctx.rank % 2)
+            second = yield from ctx.split(color=ctx.rank // 2)
+            return (first.size, second.size)
+
+        result = run_program(cluster, program)
+        assert all(v == (2, 2) for v in result.rank_values)
+
+    def test_double_call_without_peers_rejected(self):
+        """A rank registering twice in one (incomplete) split operation
+        is a program error."""
+        cluster = paper_cluster(2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.comm.split(0, color=0)
+                with pytest.raises(ConfigurationError):
+                    ctx.comm.split(0, color=0)
+            yield from ctx.compute_seconds(0.0)
+            return "checked"
+
+        result = run_program(cluster, program)
+        assert result.rank_values == ("checked", "checked")
+
+
+class Test2DDecomposition:
+    def test_row_and_column_collectives(self):
+        """The 2-D FT pattern: alltoall within rows, then columns."""
+        cluster = paper_cluster(4)  # a 2x2 grid
+
+        def program(ctx):
+            row = yield from ctx.split(color=ctx.rank // 2)
+            col = yield from ctx.split(color=ctx.rank % 2)
+            yield from row.alltoall(nbytes_per_pair=1024)
+            yield from col.alltoall(nbytes_per_pair=1024)
+            yield from ctx.barrier()
+            return (row.size, col.size)
+
+        result = run_program(cluster, program)
+        assert all(v == (2, 2) for v in result.rank_values)
+        # 2 alltoalls x 4 ranks x 1 peer each = 8 messages + barrier.
+        assert result.message_count >= 8
+
+    def test_sub_communicator_p2p(self):
+        cluster = paper_cluster(4)
+
+        def program(ctx):
+            sub = yield from ctx.split(color=ctx.rank % 2)
+            if sub.rank == 0:
+                yield from sub.send(1, nbytes=64, payload=ctx.rank)
+                return None
+            msg = yield from sub.recv(source=0)
+            return msg.payload
+
+        result = run_program(cluster, program)
+        # Rank 2 (sub-rank 1 of color 0) hears from rank 0; rank 3
+        # (sub-rank 1 of color 1) hears from rank 1.
+        assert result.rank_values[2] == 0
+        assert result.rank_values[3] == 1
+
+    def test_sub_context_inherits_node_and_phase(self):
+        cluster = paper_cluster(2, trace=True)
+
+        def program(ctx):
+            ctx.phase("setup")
+            sub = yield from ctx.split(color=0)
+            assert sub.node is ctx.node
+            assert sub.current_phase == "setup"
+            yield from sub.barrier()
+
+        run_program(cluster, program)

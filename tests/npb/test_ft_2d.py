@@ -1,0 +1,84 @@
+"""Tests for FT's 2-D (pencil) decomposition."""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.errors import ConfigurationError
+from repro.npb import FTBenchmark, ProblemClass
+from repro.units import mhz
+
+
+class TestConstruction:
+    def test_default_is_1d(self):
+        assert FTBenchmark().decomposition == "1d"
+
+    def test_unknown_decomposition(self):
+        with pytest.raises(ConfigurationError):
+            FTBenchmark(decomposition="3d")
+
+    def test_2d_requires_square_rank_count(self):
+        ft = FTBenchmark(ProblemClass.S, decomposition="2d")
+        with pytest.raises(ConfigurationError):
+            ft.phases(8)
+        assert ft.phases(9)  # 3x3 is fine
+
+
+class TestExecution:
+    @pytest.mark.parametrize("n", [1, 4, 9, 16])
+    def test_2d_runs(self, n):
+        ft = FTBenchmark(ProblemClass.S, decomposition="2d")
+        result = ft.run(paper_cluster(n))
+        assert result.elapsed_s > 0
+
+    def test_sequential_identical_across_decompositions(self):
+        t1d = FTBenchmark(ProblemClass.S).run(paper_cluster(1)).elapsed_s
+        t2d = (
+            FTBenchmark(ProblemClass.S, decomposition="2d")
+            .run(paper_cluster(1))
+            .elapsed_s
+        )
+        assert t1d == t2d
+
+    def test_2d_moves_more_bytes(self):
+        """Pencil transposes ship ~2(√N−1)/√N of the dataset vs the
+        slab's (N−1)/N — more wire traffic at these rank counts."""
+        n = 16
+        b1d = FTBenchmark(ProblemClass.S).run(paper_cluster(n)).bytes_on_wire
+        b2d = (
+            FTBenchmark(ProblemClass.S, decomposition="2d")
+            .run(paper_cluster(n))
+            .bytes_on_wire
+        )
+        assert b2d > 1.3 * b1d
+
+    def test_2d_message_count_lower(self):
+        """Fewer, larger messages: 2·(√N−1) sends per rank per
+        transpose vs (N−1)."""
+        n = 16
+        ft1d = FTBenchmark(ProblemClass.S)
+        ft2d = FTBenchmark(ProblemClass.S, decomposition="2d")
+        m1d = ft1d.run(paper_cluster(n)).message_count
+        m2d = ft2d.run(paper_cluster(n)).message_count
+        assert m2d < m1d
+
+    def test_message_profile_shapes(self):
+        ft2d = FTBenchmark(ProblemClass.S, decomposition="2d")
+        profile = ft2d.message_profile(16)
+        assert profile.critical_messages == ft2d.iterations * 2 * 3
+        ft1d = FTBenchmark(ProblemClass.S)
+        assert ft1d.message_profile(16).critical_messages == (
+            ft1d.iterations * 15
+        )
+
+
+class TestAblationDriver:
+    def test_decomposition_ablation(self):
+        from repro.experiments.registry import run_experiment
+
+        result = run_experiment("ablation_decomposition", problem_class="A")
+        data = result.data
+        # On the bandwidth-starved paper switch the slab wins.
+        assert (
+            data["100Mb (paper)/1d"]["speedup"]
+            > data["100Mb (paper)/2d"]["speedup"]
+        )

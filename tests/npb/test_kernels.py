@@ -1,0 +1,126 @@
+"""Tests for the reference numeric kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.npb.kernels import (
+    cg_kernel,
+    ep_kernel,
+    ft_kernel,
+    lu_ssor_kernel,
+)
+
+
+class TestEPKernel:
+    def test_acceptance_rate_near_pi_over_four(self):
+        """The Marsaglia polar method accepts ≈ π/4 of candidate pairs."""
+        result = ep_kernel(log2_pairs=16)
+        rate = result.pairs_accepted / (1 << 16)
+        assert rate == pytest.approx(np.pi / 4, abs=0.01)
+
+    def test_counts_sum_to_accepted(self):
+        result = ep_kernel(log2_pairs=14)
+        assert int(result.counts.sum()) == result.pairs_accepted
+
+    def test_gaussian_moments(self):
+        """Generated deviates are zero-mean (sums small vs count)."""
+        result = ep_kernel(log2_pairs=16)
+        n = result.pairs_accepted
+        assert abs(result.sx) / n < 0.02
+        assert abs(result.sy) / n < 0.02
+
+    def test_most_pairs_in_innermost_bins(self):
+        """|N(0,1)| rarely exceeds 3: bins 0-2 hold almost everything."""
+        result = ep_kernel(log2_pairs=14)
+        assert result.counts[:3].sum() > 0.99 * result.counts.sum()
+
+    def test_deterministic_for_seed(self):
+        a = ep_kernel(log2_pairs=10, seed=7)
+        b = ep_kernel(log2_pairs=10, seed=7)
+        assert a.sx == b.sx and a.sy == b.sy
+
+    def test_range_validation(self):
+        with pytest.raises(ConfigurationError):
+            ep_kernel(log2_pairs=31)
+
+
+class TestFTKernel:
+    def test_checksum_count(self):
+        result = ft_kernel(shape=(16, 16, 16), iterations=4)
+        assert len(result.checksums) == 4
+
+    def test_checksums_evolve(self):
+        """The diffusion factor changes each iteration's field."""
+        result = ft_kernel(shape=(16, 16, 16), iterations=3, alpha=1e-4)
+        assert result.checksums[0] != result.checksums[1]
+
+    def test_zero_diffusion_reproduces_input(self):
+        """With α = 0 the evolution is the identity: every iteration's
+        inverse FFT returns the initial field, so checksums repeat."""
+        result = ft_kernel(shape=(8, 8, 8), iterations=2, alpha=0.0)
+        assert result.checksums[0] == pytest.approx(result.checksums[1])
+
+    def test_energy_decays_with_diffusion(self):
+        """Diffusion damps high frequencies: later checksums shrink."""
+        result = ft_kernel(shape=(16, 16, 16), iterations=5, alpha=1e-3)
+        mags = [abs(c) for c in result.checksums]
+        assert mags[-1] < mags[0]
+
+    def test_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            ft_kernel(shape=(1, 8, 8))
+
+
+class TestLUKernel:
+    def test_residual_decreases_monotonically(self):
+        result = lu_ssor_kernel(n=16, iterations=10)
+        residuals = result.residuals
+        assert all(b < a for a, b in zip(residuals, residuals[1:]))
+
+    def test_converges_substantially(self):
+        result = lu_ssor_kernel(n=16, iterations=100, omega=1.2)
+        assert result.residuals[-1] < 0.01 * result.residuals[0]
+
+    def test_omega_validation(self):
+        with pytest.raises(ConfigurationError):
+            lu_ssor_kernel(omega=2.5)
+
+    def test_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            lu_ssor_kernel(n=2)
+
+
+class TestCGKernel:
+    def test_converges(self):
+        residual, steps = cg_kernel(n=128, steps=50)
+        assert residual < 1e-8
+
+    def test_small_system_validation(self):
+        with pytest.raises(ConfigurationError):
+            cg_kernel(n=1)
+
+
+class TestEPKernelRandlc:
+    """EP with NPB's own generator (the authentic mode)."""
+
+    def test_randlc_mode_runs(self):
+        result = ep_kernel(log2_pairs=12, generator="randlc")
+        rate = result.pairs_accepted / (1 << 12)
+        import numpy as np
+
+        assert rate == pytest.approx(np.pi / 4, abs=0.05)
+
+    def test_randlc_mode_deterministic(self):
+        a = ep_kernel(log2_pairs=10, generator="randlc")
+        b = ep_kernel(log2_pairs=10, generator="randlc")
+        assert a.sx == b.sx and a.counts.tolist() == b.counts.tolist()
+
+    def test_generators_differ(self):
+        a = ep_kernel(log2_pairs=10, generator="randlc")
+        b = ep_kernel(log2_pairs=10, generator="numpy")
+        assert a.sx != b.sx
+
+    def test_unknown_generator(self):
+        with pytest.raises(ConfigurationError):
+            ep_kernel(log2_pairs=8, generator="xor")

@@ -1,0 +1,154 @@
+"""Structural tests for the NPB workload models."""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.errors import ConfigurationError
+from repro.npb import (
+    BENCHMARKS,
+    BenchmarkModel,
+    BTBenchmark,
+    CGBenchmark,
+    EPBenchmark,
+    FTBenchmark,
+    ISBenchmark,
+    LUBenchmark,
+    MGBenchmark,
+    ProblemClass,
+    SPBenchmark,
+)
+from repro.units import mhz
+
+ALL_MODELS = [
+    EPBenchmark,
+    FTBenchmark,
+    LUBenchmark,
+    CGBenchmark,
+    MGBenchmark,
+    ISBenchmark,
+    BTBenchmark,
+    SPBenchmark,
+]
+
+
+class TestProblemClass:
+    def test_parse_letter(self):
+        assert ProblemClass.parse("a") is ProblemClass.A
+        assert ProblemClass.parse(ProblemClass.S) is ProblemClass.S
+
+    def test_parse_unknown(self):
+        with pytest.raises(ConfigurationError):
+            ProblemClass.parse("Z")
+
+    def test_ep_scale_doubles_per_class(self):
+        assert ProblemClass.A.ep_scale() == 1.0
+        assert ProblemClass.B.ep_scale() == 4.0
+        assert ProblemClass.S.ep_scale() == 2.0**-4
+
+    def test_ft_grid_class_a(self):
+        assert ProblemClass.A.ft_grid == (256, 256, 128)
+
+    def test_lu_grid_class_a(self):
+        assert ProblemClass.A.lu_grid == (64, 64, 64)
+        assert ProblemClass.A.lu_iterations == 250
+
+    def test_scales_are_monotone(self):
+        order = [ProblemClass.S, ProblemClass.W, ProblemClass.A, ProblemClass.B]
+        for attr in ("ep_scale", "ft_scale", "lu_scale"):
+            values = [getattr(c, attr)() for c in order]
+            assert values == sorted(values), attr
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(BENCHMARKS) == {"ep", "ft", "lu", "cg", "mg", "is", "bt", "sp"}
+
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_names_match_registry(self, model_cls):
+        model = model_cls(ProblemClass.S)
+        assert BENCHMARKS[model.name] is model_cls
+
+
+@pytest.mark.parametrize("model_cls", ALL_MODELS)
+class TestModelContract:
+    """Every model satisfies the BenchmarkModel contract."""
+
+    def test_is_benchmark_model(self, model_cls):
+        assert issubclass(model_cls, BenchmarkModel)
+
+    def test_total_mix_positive(self, model_cls):
+        mix = model_cls(ProblemClass.S).total_mix()
+        assert mix.total > 0
+
+    def test_dop_components_conserve_mix(self, model_cls):
+        model = model_cls(ProblemClass.S)
+        comps = model.dop_components(max_dop=16)
+        total = sum(c.mix.total for c in comps)
+        assert total == pytest.approx(model.total_mix().total, rel=1e-9)
+
+    def test_phases_nonempty(self, model_cls):
+        phases = model_cls(ProblemClass.S).phases(4)
+        assert len(phases) > 0
+
+    def test_invalid_rank_count(self, model_cls):
+        with pytest.raises(ConfigurationError):
+            model_cls(ProblemClass.S).phases(0)
+
+    def test_message_profile_empty_for_one_rank(self, model_cls):
+        profile = model_cls(ProblemClass.S).message_profile(1)
+        assert profile.critical_messages == 0.0
+
+    def test_runs_on_simulator(self, model_cls):
+        model = model_cls(ProblemClass.S)
+        result = model.run(paper_cluster(4))
+        assert result.elapsed_s > 0
+        assert result.energy_j > 0
+
+    def test_sequential_run(self, model_cls):
+        model = model_cls(ProblemClass.S)
+        result = model.run(paper_cluster(1))
+        assert result.elapsed_s > 0
+
+    def test_deterministic(self, model_cls):
+        model = model_cls(ProblemClass.S)
+        r1 = model.run(paper_cluster(4))
+        r2 = model.run(paper_cluster(4))
+        assert r1.elapsed_s == r2.elapsed_s
+        assert r1.energy_j == r2.energy_j
+
+    def test_counters_match_global_mix_sequentially(self, model_cls):
+        """A sequential run's counters must read the model's own total
+        mix (counter conservation through the whole stack)."""
+        model = model_cls(ProblemClass.S)
+        cluster = paper_cluster(1)
+        model.run(cluster)
+        derived = cluster.node(0).counters.derive_mix()
+        expected = model.total_mix()
+        assert derived.total == pytest.approx(expected.total, rel=1e-6)
+        assert derived.mem == pytest.approx(expected.mem, rel=1e-6)
+
+    def test_program_size_mismatch_rejected(self, model_cls):
+        model = model_cls(ProblemClass.S)
+        program = model.rank_program(4)
+        from repro.mpi import run_program
+
+        with pytest.raises(Exception):
+            run_program(paper_cluster(2), program)
+
+    def test_workload_object(self, model_cls):
+        wl = model_cls(ProblemClass.S).workload(max_dop=16)
+        assert wl.max_dop <= 16
+        assert wl.total_mix.total > 0
+
+
+class TestWorkConservation:
+    """Total computed instructions are independent of rank count."""
+
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_parallel_counters_sum_to_total(self, model_cls, n):
+        model = model_cls(ProblemClass.S)
+        cluster = paper_cluster(n)
+        result = model.run(cluster)
+        total = sum(c["PAPI_TOT_INS"] for c in result.rank_counters)
+        assert total == pytest.approx(model.total_mix().total, rel=1e-6)

@@ -1,0 +1,121 @@
+"""Each benchmark model's power-aware personality.
+
+Beyond the structural contract, every modelled code has an intended
+character — which knob (N or f) helps it, and how much.  These tests
+pin those characters down at class S so a calibration change that
+flips a benchmark's nature fails loudly.
+"""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.npb import (
+    BTBenchmark,
+    CGBenchmark,
+    EPBenchmark,
+    FTBenchmark,
+    ISBenchmark,
+    LUBenchmark,
+    MGBenchmark,
+    ProblemClass,
+    SPBenchmark,
+)
+from repro.units import mhz
+
+
+def times(bench, counts=(1, 8), freqs=(600, 1400)):
+    return {
+        (n, f): bench.run(
+            paper_cluster(n, frequency_hz=mhz(f))
+        ).elapsed_s
+        for n in counts
+        for f in freqs
+    }
+
+
+def parallel_efficiency(t):
+    return t[(1, 600)] / t[(8, 600)] / 8
+
+
+def frequency_gain(t, n=1):
+    return t[(n, 600)] / t[(n, 1400)]
+
+
+class TestComputeBoundFamily:
+    def test_ep_near_perfect_everything(self):
+        t = times(EPBenchmark(ProblemClass.S))
+        assert parallel_efficiency(t) > 0.95
+        assert frequency_gain(t) > 2.25  # ~ideal 2.33
+
+    def test_bt_scales_well_with_strong_frequency_response(self):
+        """BT is the best-scaling pseudo-application: pipeline-limited
+        but compute-rich (its 1 % memory instructions still amount to
+        ~25 % of its time, denting the frequency gain below ideal)."""
+        t = times(BTBenchmark(ProblemClass.S))
+        assert parallel_efficiency(t) > 0.70
+        assert 1.8 < frequency_gain(t) < 2.33
+
+
+class TestMemoryHeavyFamily:
+    def test_lu_frequency_gain_dented_by_memory(self):
+        """LU's 1.2 % memory instructions are ~30 % of its time at the
+        140 ns low-frequency bus latency — sequential frequency gain
+        lands near 1.85, well short of the ideal 2.33."""
+        t = times(LUBenchmark(ProblemClass.S))
+        gain = frequency_gain(t)
+        assert 1.7 < gain < 2.1
+
+    def test_mg_frequency_gain_dented_by_memory(self):
+        t = times(MGBenchmark(ProblemClass.S))
+        assert frequency_gain(t) < 2.25
+
+    def test_is_worst_frequency_response(self):
+        """IS's 5 % memory share gives the weakest sequential gain."""
+        t_is = frequency_gain(times(ISBenchmark(ProblemClass.S)))
+        t_ep = frequency_gain(times(EPBenchmark(ProblemClass.S)))
+        assert t_is < t_ep
+
+
+class TestCommBoundFamily:
+    def test_ft_worst_parallel_efficiency(self):
+        """FT's all-to-all makes it the worst scaler in the suite."""
+        eff_ft = parallel_efficiency(times(FTBenchmark(ProblemClass.S)))
+        for other in (EPBenchmark, LUBenchmark, BTBenchmark):
+            eff_other = parallel_efficiency(times(other(ProblemClass.S)))
+            assert eff_ft < eff_other
+
+    def test_cg_latency_bound_overhead(self):
+        """CG's per-step tiny allreduces make its parallel efficiency
+        clearly sub-linear but better than FT's bandwidth collapse."""
+        eff_cg = parallel_efficiency(times(CGBenchmark(ProblemClass.S)))
+        eff_ft = parallel_efficiency(times(FTBenchmark(ProblemClass.S)))
+        assert eff_ft < eff_cg < 0.95
+
+    def test_bt_sp_both_pipeline_limited(self):
+        """BT and SP share the three-sweep structure; both sit in the
+        pipeline-limited efficiency band, far from EP's near-1.0 and
+        from FT's collapse.  (Their small boundary messages make the
+        two nearly indistinguishable on this interconnect.)"""
+        for cls in (BTBenchmark, SPBenchmark):
+            eff = parallel_efficiency(times(cls(ProblemClass.S)))
+            assert 0.60 < eff < 0.90
+
+
+class TestFrequencyEffectVsScale:
+    @pytest.mark.parametrize(
+        "bench_cls", [FTBenchmark, CGBenchmark, ISBenchmark]
+    )
+    def test_comm_bound_codes_lose_frequency_leverage_at_scale(
+        self, bench_cls
+    ):
+        """The paper's interdependence, suite-wide: for every
+        communication-bound model the frequency gain at 8 ranks is
+        below the sequential gain."""
+        t = times(bench_cls(ProblemClass.S))
+        assert frequency_gain(t, n=8) < frequency_gain(t, n=1)
+
+    def test_ep_keeps_frequency_leverage_at_scale(self):
+        t = times(EPBenchmark(ProblemClass.S))
+        assert frequency_gain(t, n=8) == pytest.approx(
+            frequency_gain(t, n=1), rel=0.02
+        )

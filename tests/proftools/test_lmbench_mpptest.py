@@ -1,0 +1,123 @@
+"""Tests for the LMBENCH- and MPPTEST-style probes (Table 6 shapes)."""
+
+import pytest
+
+from repro.cluster import CpuSpec, paper_spec
+from repro.core.cpi import WorkloadRates
+from repro.cluster.workmix import InstructionMix
+from repro.errors import ConfigurationError, MeasurementError
+from repro.proftools.lmbench import LevelLatencyProbe
+from repro.proftools.mpptest import MessageTimeTable, MppTest
+from repro.units import doubles, mhz, ns
+
+FREQS = [mhz(m) for m in (600, 800, 1000, 1200, 1400)]
+
+
+class TestLevelLatencyProbe:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return LevelLatencyProbe().measure()
+
+    def test_covers_all_operating_points(self, table):
+        assert sorted(table) == FREQS
+
+    def test_on_chip_latencies_scale_inversely(self, table):
+        """Table 6: CPI_ON/f falls proportionally to 1/f."""
+        for level in ("cpu", "l1", "l2"):
+            product = [f * table[f][level] for f in FREQS]
+            assert max(product) == pytest.approx(min(product), rel=1e-6)
+
+    def test_memory_latency_flat_in_fast_band(self, table):
+        assert table[mhz(1000)]["mem"] == pytest.approx(table[mhz(1400)]["mem"])
+
+    def test_bus_quirk_visible(self, table):
+        """Table 6: memory latency *rises* at 600/800 MHz."""
+        assert table[mhz(600)]["mem"] == pytest.approx(ns(140), rel=1e-6)
+        assert table[mhz(1400)]["mem"] == pytest.approx(ns(110), rel=1e-6)
+
+    def test_hierarchy_ordering(self, table):
+        for f in FREQS:
+            row = table[f]
+            assert row["cpu"] < row["l1"] < row["l2"] < row["mem"]
+
+    def test_probe_recovers_configured_cpi(self, table):
+        """Probe latency × frequency = the hardware's per-level CPI."""
+        cpu_spec = CpuSpec()
+        f = mhz(1200)
+        assert table[f]["cpu"] * f == pytest.approx(cpu_spec.cpi_cpu)
+        assert table[f]["l1"] * f == pytest.approx(cpu_spec.cpi_l1)
+        assert table[f]["l2"] * f == pytest.approx(cpu_spec.cpi_l2)
+
+    def test_feeds_workload_rates(self, table):
+        """End-to-end FP step 2: probes → WorkloadRates with a
+        plausible CPI_ON for the LU mix (paper: 2.19)."""
+        lu_mix = InstructionMix(cpu=145e9, l1=175e9, l2=4.71e9, mem=3.97e9)
+        rates = WorkloadRates.from_level_latencies(lu_mix, table)
+        assert rates.cpi_on == pytest.approx(2.19, rel=0.05)
+
+    def test_unknown_level(self):
+        with pytest.raises(ConfigurationError):
+            LevelLatencyProbe().probe_level("l3", mhz(600))
+
+
+class TestMppTest:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return MppTest().measure(
+            [doubles(155), doubles(310)],
+            [mhz(600), mhz(1400)],
+            repetitions=5,
+        )
+
+    def test_larger_messages_cost_more(self, table):
+        for f in (mhz(600), mhz(1400)):
+            assert table.time(doubles(310), f) > table.time(doubles(155), f)
+
+    def test_frequency_sensitivity_of_large_messages(self, table):
+        """Table 6: the 310-double message is slower at 600 MHz than at
+        higher frequencies (host-CPU share of messaging)."""
+        assert table.time(doubles(310), mhz(600)) > table.time(
+            doubles(310), mhz(1400)
+        )
+
+    def test_interpolation_between_sizes(self, table):
+        mid = table.time(doubles(232.5), mhz(600))
+        lo = table.time(doubles(155), mhz(600))
+        hi = table.time(doubles(310), mhz(600))
+        assert lo < mid < hi
+        assert mid == pytest.approx((lo + hi) / 2, rel=1e-9)
+
+    def test_extrapolation_beyond_largest(self, table):
+        t620 = table.time(doubles(620), mhz(600))
+        assert t620 > table.time(doubles(310), mhz(600))
+
+    def test_small_sizes_clamped(self, table):
+        assert table.time(1.0, mhz(600)) == table.time(
+            doubles(155), mhz(600)
+        )
+
+    def test_unknown_frequency(self, table):
+        with pytest.raises(MeasurementError):
+            table.time(doubles(155), mhz(1000))
+
+    def test_sizes_listing(self, table):
+        assert table.sizes(mhz(600)) == (doubles(155), doubles(310))
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessageTimeTable({})
+
+    def test_pingpong_validation(self):
+        with pytest.raises(ConfigurationError):
+            MppTest().pingpong_time(100, mhz(600), repetitions=0)
+
+    def test_pingpong_consistent_with_network_spec(self):
+        """A lone ping-pong must cost at least latency + serialization
+        each way."""
+        spec = paper_spec()
+        t = MppTest().pingpong_time(doubles(310), mhz(1400), repetitions=3)
+        floor = (
+            spec.network.latency_s
+            + doubles(310) / spec.network.effective_bandwidth
+        )
+        assert t >= floor

@@ -1,0 +1,73 @@
+"""Tests for measured message profiles."""
+
+import pytest
+
+from repro.npb import EPBenchmark, FTBenchmark, LUBenchmark, ProblemClass
+from repro.proftools import measure_message_profile
+from repro.units import doubles
+
+
+class TestFTMessageProfile:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return measure_message_profile(FTBenchmark(ProblemClass.S), 4)
+
+    def test_transpose_dominates_volume(self, report):
+        assert report.phases()[0] == "transpose"
+
+    def test_transpose_message_count_per_rank(self, report):
+        """Pairwise alltoall: (N−1) sends per rank per iteration."""
+        ft = FTBenchmark(ProblemClass.S)
+        per_rank = report.by_phase["transpose"]
+        for rank in range(4):
+            count, _ = per_rank[rank]
+            assert count == ft.iterations * 3
+
+    def test_transpose_message_size(self, report):
+        ft = FTBenchmark(ProblemClass.S)
+        count, nbytes = report.by_phase["transpose"][0]
+        assert nbytes / count == pytest.approx(
+            ft.transpose_bytes_per_pair(4)
+        )
+
+    def test_measured_profile_matches_model_profile(self, report):
+        """The measured critical-path count equals the model's own
+        analytic message profile — validating the FP input path."""
+        ft = FTBenchmark(ProblemClass.S)
+        measured = report.message_profile(phases=["transpose"])
+        model = ft.message_profile(4)
+        assert measured.critical_messages == pytest.approx(
+            model.critical_messages
+        )
+        assert measured.nbytes == pytest.approx(model.nbytes)
+
+
+class TestLUMessageProfile:
+    def test_exchange_sizes_match_table6(self):
+        report = measure_message_profile(LUBenchmark(ProblemClass.S), 2)
+        profile = report.message_profile(phases=["blts", "buts"])
+        assert profile.nbytes == pytest.approx(doubles(310))
+
+    def test_interior_ranks_send_most(self):
+        """In the pipelined sweeps, edge ranks send in one direction
+        only; interior ranks in both."""
+        report = measure_message_profile(LUBenchmark(ProblemClass.S), 4)
+        totals = report.rank_totals()
+        assert totals[1][0] > totals[0][0] * 0.9  # interior >= edge-ish
+        # Edge ranks: rank 0 sends only in blts, rank 3 only in buts.
+        blts = report.by_phase["blts"]
+        assert 3 not in blts or blts[3][0] == 0
+
+
+class TestEPMessageProfile:
+    def test_ep_sends_almost_nothing(self):
+        report = measure_message_profile(EPBenchmark(ProblemClass.S), 4)
+        profile = report.message_profile()
+        # A few reduction/broadcast messages only.
+        assert profile.critical_messages < 30
+        total_bytes = sum(v[1] for v in report.rank_totals().values())
+        assert total_bytes < 10_000
+
+    def test_sequential_run_has_no_messages(self):
+        report = measure_message_profile(EPBenchmark(ProblemClass.S), 1)
+        assert report.message_profile().critical_messages == 0.0

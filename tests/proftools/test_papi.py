@@ -1,0 +1,90 @@
+"""Tests for PAPI-style counter sessions."""
+
+import pytest
+
+from repro.cluster import InstructionMix, paper_cluster
+from repro.errors import ConfigurationError
+from repro.npb import LUBenchmark, ProblemClass
+from repro.proftools.papi import PapiSession, counter_campaign
+
+
+class TestPapiSession:
+    def setup_method(self):
+        self.cluster = paper_cluster(1)
+        self.node = self.cluster.node(0)
+
+    def test_start_stop_deltas(self):
+        session = PapiSession(self.node)
+        session.start(["PAPI_TOT_INS", "PAPI_L1_DCA"])
+        self.node.counters.record_mix(InstructionMix(cpu=100, l1=50))
+        values = session.stop()
+        assert values == {"PAPI_TOT_INS": 150, "PAPI_L1_DCA": 50}
+
+    def test_deltas_not_absolute_values(self):
+        self.node.counters.record_mix(InstructionMix(cpu=1000))
+        session = PapiSession(self.node)
+        session.start(["PAPI_TOT_INS"])
+        self.node.counters.record_mix(InstructionMix(cpu=5))
+        assert session.stop() == {"PAPI_TOT_INS": 5}
+
+    def test_pmu_width_enforced(self):
+        session = PapiSession(self.node, max_events=2)
+        with pytest.raises(ConfigurationError, match="at most 2"):
+            session.start(["PAPI_TOT_INS", "PAPI_L1_DCA", "PAPI_L1_DCM"])
+
+    def test_unknown_event(self):
+        session = PapiSession(self.node)
+        with pytest.raises(ConfigurationError):
+            session.start(["PAPI_FLOPS"])
+
+    def test_double_start_rejected(self):
+        session = PapiSession(self.node)
+        session.start(["PAPI_TOT_INS"])
+        with pytest.raises(ConfigurationError):
+            session.start(["PAPI_L1_DCA"])
+
+    def test_stop_without_start(self):
+        with pytest.raises(ConfigurationError):
+            PapiSession(self.node).stop()
+
+    def test_available_events(self):
+        assert "PAPI_L2_TCM" in PapiSession(self.node).available_events
+
+
+class TestCounterCampaign:
+    def test_covers_all_five_events(self):
+        lu = LUBenchmark(ProblemClass.S)
+        counters = counter_campaign(lu)
+        assert set(counters) == {
+            "PAPI_TOT_INS",
+            "PAPI_L1_DCA",
+            "PAPI_L1_DCM",
+            "PAPI_L2_TCA",
+            "PAPI_L2_TCM",
+        }
+
+    def test_matches_single_run_counters(self):
+        """The multi-run protocol gives the same numbers as one run
+        (the paper's cross-run similarity assumption, exact here)."""
+        lu = LUBenchmark(ProblemClass.S)
+        campaign = counter_campaign(lu)
+        cluster = paper_cluster(1)
+        lu.run(cluster)
+        single = cluster.node(0).counters.snapshot()
+        for event, value in campaign.items():
+            assert value == pytest.approx(single[event], rel=1e-12)
+
+    def test_derived_mix_matches_model(self):
+        """Campaign counters recover the model's configured mix — the
+        full Table 5 pipeline."""
+        from repro.cluster.counters import HardwareCounters
+
+        lu = LUBenchmark(ProblemClass.S)
+        counters = counter_campaign(lu)
+        hc = HardwareCounters()
+        hc._events.update(counters)
+        derived = hc.derive_mix()
+        expected = lu.total_mix()
+        assert derived.on_chip_fraction == pytest.approx(
+            expected.on_chip_fraction, abs=1e-6
+        )

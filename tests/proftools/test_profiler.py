@@ -1,0 +1,60 @@
+"""Tests for the per-phase profiler."""
+
+import pytest
+
+from repro.npb import EPBenchmark, FTBenchmark, ProblemClass
+from repro.proftools.profiler import normalize_label, profile_benchmark
+
+
+class TestNormalizeLabel:
+    def test_strips_iteration_suffix(self):
+        assert normalize_label("transpose[3]") == "transpose"
+        assert normalize_label("dot-rho[2.14]") == "dot-rho"
+
+    def test_leaves_plain_labels(self):
+        assert normalize_label("setup") == "setup"
+
+
+class TestFTProfile:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return profile_benchmark(FTBenchmark(ProblemClass.S), n_ranks=4)
+
+    def test_phase_groups_aggregated(self, profile):
+        assert "transpose" in profile.phases
+        assert "compute1" in profile.phases
+        assert not any("[" in p for p in profile.phases)
+
+    def test_transpose_is_communication_bound(self, profile):
+        assert profile.stats("transpose").comm_fraction > 0.9
+
+    def test_compute_phases_are_compute_bound(self, profile):
+        assert profile.stats("compute1").comm_fraction < 0.1
+        assert profile.stats("compute2").comm_fraction < 0.1
+
+    def test_comm_bound_detection(self, profile):
+        bound = profile.communication_bound_phases(threshold=0.5)
+        assert "transpose" in bound
+        assert "compute1" not in bound
+
+    def test_rows_sorted_by_total(self, profile):
+        rows = profile.as_rows()
+        totals = [r[1] + r[2] for r in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_total_comm_fraction_between_0_and_1(self, profile):
+        assert 0.0 < profile.total_comm_fraction() < 1.0
+
+
+class TestEPProfile:
+    def test_ep_is_compute_dominated(self):
+        profile = profile_benchmark(EPBenchmark(ProblemClass.S), n_ranks=4)
+        assert profile.total_comm_fraction() < 0.05
+
+    def test_untraced_run_rejected(self):
+        from repro.cluster import paper_cluster
+        from repro.proftools.profiler import PhaseProfile
+
+        result = EPBenchmark(ProblemClass.S).run(paper_cluster(2))
+        with pytest.raises(ValueError):
+            PhaseProfile.from_run(result)

@@ -1,0 +1,95 @@
+"""Tests for figure-series extraction."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.reporting import (
+    count_series,
+    frequency_series,
+    normalized_frequency_gain,
+    surface_rows,
+)
+from repro.units import mhz
+
+GRID = {
+    (1, mhz(600)): 60.0,
+    (1, mhz(1400)): 30.0,
+    (2, mhz(600)): 34.0,
+    (2, mhz(1400)): 20.0,
+    (4, mhz(600)): 20.0,
+    (4, mhz(1400)): 14.0,
+}
+
+
+class TestFrequencySeries:
+    def test_one_series_per_frequency(self):
+        series = frequency_series(GRID)
+        assert sorted(series) == [mhz(600), mhz(1400)]
+        assert series[mhz(600)] == [(1, 60.0), (2, 34.0), (4, 20.0)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            frequency_series({})
+
+
+class TestCountSeries:
+    def test_one_series_per_count(self):
+        series = count_series(GRID)
+        assert sorted(series) == [1, 2, 4]
+        assert series[2] == [(mhz(600), 34.0), (mhz(1400), 20.0)]
+
+
+class TestSurfaceRows:
+    def test_shape_and_values(self):
+        freqs, counts, matrix = surface_rows(GRID)
+        assert freqs == [mhz(600), mhz(1400)]
+        assert counts == [1, 2, 4]
+        assert matrix[0] == [60.0, 30.0]
+        assert matrix[2] == [20.0, 14.0]
+
+    def test_missing_cells_are_none(self):
+        sparse = {(1, mhz(600)): 1.0, (2, mhz(1400)): 2.0}
+        _freqs, _counts, matrix = surface_rows(sparse)
+        assert matrix[0] == [1.0, None]
+        assert matrix[1] == [None, 2.0]
+
+
+class TestNormalizedFrequencyGain:
+    def test_gain_on_times(self):
+        gains = normalized_frequency_gain(GRID, mhz(600))
+        assert gains[1] == pytest.approx(2.0)
+        assert gains[2] == pytest.approx(1.7)
+        assert gains[4] == pytest.approx(20.0 / 14.0)
+
+    def test_diminishing_gain_detectable(self):
+        """The FT signature: gain falls with N."""
+        gains = normalized_frequency_gain(GRID, mhz(600))
+        values = [gains[n] for n in sorted(gains)]
+        assert values == sorted(values, reverse=True)
+
+    def test_higher_is_better_mode(self):
+        speedups = {k: 100.0 / v for k, v in GRID.items()}
+        gains = normalized_frequency_gain(
+            speedups, mhz(600), lower_is_better=False
+        )
+        assert gains[1] == pytest.approx(2.0)
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(ModelError):
+            normalized_frequency_gain(GRID, mhz(800))
+
+
+class TestOnRealData:
+    def test_ft_diminishing_gain(self):
+        """Slice the real FT campaign and observe the paper's headline
+        interdependence through the series API."""
+        from repro.experiments import measure_campaign
+        from repro.npb import FTBenchmark, ProblemClass
+
+        campaign = measure_campaign(
+            FTBenchmark(ProblemClass.S),
+            (1, 4, 8),
+            (mhz(600), mhz(1400)),
+        )
+        gains = normalized_frequency_gain(campaign.times, mhz(600))
+        assert gains[8] < gains[1]

@@ -1,0 +1,166 @@
+"""Tests for table rendering and CSV/JSON export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.analysis import ErrorTable
+from repro.reporting import (
+    format_error_table,
+    format_grid,
+    format_rows,
+    grid_to_csv,
+    grid_to_json,
+    rows_to_csv,
+)
+from repro.units import mhz
+
+GRID = {
+    (1, mhz(600)): 1.0,
+    (1, mhz(1400)): 2.33,
+    (16, mhz(600)): 15.9,
+    (16, mhz(1400)): 36.5,
+}
+
+
+class TestFormatGrid:
+    def test_contains_headers_and_cells(self):
+        text = format_grid(GRID, title="speedups", value_style="speedup")
+        assert "speedups" in text
+        assert "600" in text and "1400" in text
+        assert "36.50" in text
+        assert "Frequency (MHz)" in text
+
+    def test_row_order(self):
+        text = format_grid(GRID)
+        assert text.index(" 1 ") < text.index("16 ")
+
+    def test_missing_cells_dashed(self):
+        sparse = {(1, mhz(600)): 1.0, (2, mhz(800)): 2.0}
+        text = format_grid(sparse)
+        assert "-" in text
+
+    def test_percent_style(self):
+        text = format_grid({(2, mhz(800)): 0.105}, value_style="percent")
+        assert "10.5%" in text
+
+    def test_time_style(self):
+        text = format_grid({(2, mhz(800)): 3.5}, value_style="time")
+        assert "3.50s" in text
+
+    def test_empty(self):
+        assert "(empty table)" in format_grid({})
+
+
+class TestFormatErrorTable:
+    def test_footer_stats(self):
+        table = ErrorTable({(2, mhz(600)): 0.0, (2, mhz(800)): 0.2})
+        text = format_error_table(table, title="T")
+        assert "max error: 20.0%" in text
+        assert "mean error: 10.0%" in text
+
+
+class TestFormatRows:
+    def test_alignment_and_separator(self):
+        text = format_rows(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1].replace("  ", "")) == {"-"}
+
+    def test_ragged_rows_padded(self):
+        text = format_rows(["x", "y", "z"], [["1"], ["1", "2", "3"]])
+        assert "3" in text
+
+
+class TestExport:
+    def test_grid_to_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "grid.csv"
+        text = grid_to_csv(GRID, path, value_name="speedup")
+        assert path.read_text() == text
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 4
+        by_key = {
+            (int(r["n"]), float(r["frequency_mhz"])): float(r["speedup"])
+            for r in rows
+        }
+        assert by_key[(16, 1400.0)] == 36.5
+
+    def test_grid_to_json_metadata(self, tmp_path):
+        path = tmp_path / "grid.json"
+        grid_to_json(GRID, path, metadata={"benchmark": "ep"})
+        document = json.loads(path.read_text())
+        assert document["metadata"]["benchmark"] == "ep"
+        assert len(document["records"]) == 4
+
+    def test_rows_to_csv(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        rows_to_csv(["a", "b"], [[1, 2], [3, 4]], path)
+        parsed = list(csv.reader(io.StringIO(path.read_text())))
+        assert parsed == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_export_without_path_returns_text(self):
+        assert "n,frequency_mhz,value" in grid_to_csv(GRID)
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "figure2" in out
+
+    def test_run_command_with_json(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        json_path = tmp_path / "t5.json"
+        code = main(
+            ["run", "table5", "--class", "S", "--json", str(json_path)]
+        )
+        assert code == 0
+        document = json.loads(json_path.read_text())
+        assert document["experiment"] == "table5"
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+
+    def test_run_unknown_experiment(self):
+        from repro.errors import UnknownExperimentError
+        from repro.experiments.cli import main
+
+        with pytest.raises(UnknownExperimentError):
+            main(["run", "nope"])
+
+
+class TestCampaignCli:
+    def test_campaign_command(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        csv_path = tmp_path / "ep.csv"
+        code = main(
+            [
+                "campaign",
+                "ep",
+                "--class",
+                "S",
+                "--counts",
+                "1,2",
+                "--frequencies",
+                "600,1400",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        assert (tmp_path / "ep_energy.csv").exists()
+        out = capsys.readouterr().out
+        assert "EP execution time" in out
+        assert "power-aware speedup" in out
+
+    def test_campaign_unknown_benchmark(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["campaign", "nope"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err

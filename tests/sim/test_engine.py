@@ -1,0 +1,299 @@
+"""Unit tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Engine
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Engine(start_time=5.0).now == 5.0
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+
+    def prog(env):
+        yield env.timeout(2.5)
+
+    eng.process(prog(eng))
+    eng.run()
+    assert eng.now == 2.5
+
+
+def test_timeouts_fire_in_time_order():
+    eng = Engine()
+    seen = []
+
+    def prog(env, name, delay):
+        yield env.timeout(delay)
+        seen.append(name)
+
+    eng.process(prog(eng, "late", 3.0))
+    eng.process(prog(eng, "early", 1.0))
+    eng.process(prog(eng, "mid", 2.0))
+    eng.run()
+    assert seen == ["early", "mid", "late"]
+
+
+def test_equal_time_events_fire_in_schedule_order():
+    eng = Engine()
+    seen = []
+
+    def prog(env, name):
+        yield env.timeout(1.0)
+        seen.append(name)
+
+    for name in "abcde":
+        eng.process(prog(eng, name))
+    eng.run()
+    assert seen == list("abcde")
+
+
+def test_negative_timeout_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.timeout(-1.0)
+
+
+def test_zero_timeout_allowed():
+    eng = Engine()
+
+    def prog(env):
+        yield env.timeout(0.0)
+        return "ok"
+
+    p = eng.process(prog(eng))
+    eng.run()
+    assert p.value == "ok"
+    assert eng.now == 0.0
+
+
+def test_process_return_value():
+    eng = Engine()
+
+    def prog(env):
+        yield env.timeout(1.0)
+        return 42
+
+    p = eng.process(prog(eng))
+    eng.run()
+    assert p.value == 42
+
+
+def test_process_joins_another_process():
+    eng = Engine()
+
+    def child(env):
+        yield env.timeout(2.0)
+        return "child-result"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return ("parent saw", result)
+
+    p = eng.process(parent(eng))
+    eng.run()
+    assert p.value == ("parent saw", "child-result")
+    assert eng.now == 2.0
+
+
+def test_joining_already_finished_process():
+    eng = Engine()
+
+    def child(env):
+        yield env.timeout(1.0)
+        return 7
+
+    child_proc = eng.process(child(eng))
+
+    def parent(env):
+        yield env.timeout(5.0)
+        value = yield child_proc
+        return value
+
+    p = eng.process(parent(eng))
+    eng.run()
+    assert p.value == 7
+    assert eng.now == 5.0
+
+
+def test_run_until_time_advances_clock_exactly():
+    eng = Engine()
+
+    def prog(env):
+        while True:
+            yield env.timeout(1.0)
+
+    eng.process(prog(eng))
+    eng.run(until=3.5)
+    assert eng.now == 3.5
+
+
+def test_run_until_time_in_past_rejected():
+    eng = Engine(start_time=10.0)
+    with pytest.raises(SimulationError):
+        eng.run(until=5.0)
+
+
+def test_run_until_event_returns_value():
+    eng = Engine()
+
+    def prog(env):
+        yield env.timeout(2.0)
+        return "finished"
+
+    p = eng.process(prog(eng))
+    assert eng.run(until=p) == "finished"
+
+
+def test_run_until_failed_event_raises():
+    eng = Engine()
+
+    def prog(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("boom")
+
+    p = eng.process(prog(eng))
+    with pytest.raises(RuntimeError, match="boom"):
+        eng.run(until=p)
+
+
+def test_exception_propagates_into_waiting_process():
+    eng = Engine()
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise ValueError("child failed")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except ValueError as exc:
+            return f"caught: {exc}"
+
+    p = eng.process(parent(eng))
+    eng.run(until=p)
+    assert p.value == "caught: child failed"
+
+
+def test_yielding_non_event_fails_process():
+    eng = Engine()
+
+    def prog(env):
+        yield 42
+
+    p = eng.process(prog(eng))
+    with pytest.raises(SimulationError):
+        eng.run(until=p)
+
+
+def test_deadlock_detection():
+    eng = Engine()
+
+    def prog(env):
+        yield env.event()  # never triggered
+
+    eng.process(prog(eng))
+    with pytest.raises(DeadlockError):
+        eng.run()
+
+
+def test_deadlock_detection_can_be_disabled():
+    eng = Engine()
+
+    def prog(env):
+        yield env.event()
+
+    eng.process(prog(eng))
+    eng.run(detect_deadlock=False)  # should not raise
+
+
+def test_event_succeed_carries_value():
+    eng = Engine()
+    ev = eng.event()
+
+    def prog(env):
+        value = yield ev
+        return value
+
+    p = eng.process(prog(eng))
+    ev.succeed("payload")
+    eng.run()
+    assert p.value == "payload"
+
+
+def test_event_double_trigger_rejected():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_event_fail_requires_exception():
+    eng = Engine()
+    with pytest.raises(TypeError):
+        eng.event().fail("not an exception")
+
+
+def test_all_of_waits_for_everything():
+    eng = Engine()
+
+    def prog(env):
+        values = yield env.all_of(
+            [env.timeout(1.0, "a"), env.timeout(3.0, "b"), env.timeout(2.0, "c")]
+        )
+        return values
+
+    p = eng.process(prog(eng))
+    eng.run()
+    assert p.value == ("a", "b", "c")
+    assert eng.now == 3.0
+
+
+def test_any_of_returns_first():
+    eng = Engine()
+
+    def prog(env):
+        value = yield env.any_of([env.timeout(5.0, "slow"), env.timeout(1.0, "fast")])
+        return value
+
+    p = eng.process(prog(eng))
+    eng.run(until=p)
+    assert p.value == "fast"
+    assert eng.now == 1.0
+
+
+def test_all_of_empty_triggers_immediately():
+    eng = Engine()
+
+    def prog(env):
+        values = yield env.all_of([])
+        return values
+
+    p = eng.process(prog(eng))
+    eng.run()
+    assert p.value == ()
+
+
+def test_process_requires_generator():
+    eng = Engine()
+    with pytest.raises(TypeError):
+        eng.process(lambda: None)
+
+
+def test_peek_reports_next_event_time():
+    eng = Engine()
+    assert eng.peek() == float("inf")
+    eng.timeout(4.0)
+    assert eng.peek() == 4.0
+
+
+def test_step_on_empty_queue_rejected():
+    with pytest.raises(SimulationError):
+        Engine().step()

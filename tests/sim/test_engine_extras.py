@@ -1,0 +1,134 @@
+"""Additional engine/event coverage: trigger relays, liveness flags,
+run-until on processed events, failing conditions."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+class TestEventTriggerHelper:
+    def test_trigger_copies_success(self):
+        eng = Engine()
+        src, dst = eng.event(), eng.event()
+        src.succeed("payload")
+        dst.trigger(src)
+        assert dst.triggered and dst.value == "payload"
+
+    def test_trigger_copies_failure(self):
+        eng = Engine()
+        src, dst = eng.event(), eng.event()
+        src._ok = False
+        src._value = RuntimeError("boom")
+        eng._schedule(src)
+        dst.trigger(src)
+        assert dst.triggered and not dst.ok
+
+    def test_value_before_trigger_raises(self):
+        eng = Engine()
+        ev = eng.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+
+class TestProcessLiveness:
+    def test_is_alive_transitions(self):
+        eng = Engine()
+
+        def prog(env):
+            yield env.timeout(1.0)
+
+        p = eng.process(prog(eng))
+        assert p.is_alive
+        eng.run()
+        assert not p.is_alive
+
+    def test_live_process_count_returns_to_zero(self):
+        eng = Engine()
+
+        def prog(env):
+            yield env.timeout(1.0)
+
+        for _ in range(5):
+            eng.process(prog(eng))
+        assert eng._live_processes == 5
+        eng.run()
+        assert eng._live_processes == 0
+
+
+class TestRunUntil:
+    def test_until_already_processed_event(self):
+        eng = Engine()
+
+        def prog(env):
+            yield env.timeout(1.0)
+            return "done"
+
+        p = eng.process(prog(eng))
+        eng.run()
+        # Running until an event that has already been processed
+        # returns its value immediately.
+        assert eng.run(until=p) == "done"
+
+    def test_until_failed_condition_raises(self):
+        eng = Engine()
+
+        def failing(env):
+            yield env.timeout(1.0)
+            raise ValueError("inner")
+
+        def waiting(env):
+            yield env.timeout(5.0)
+
+        bad = eng.process(failing(eng))
+        eng.process(waiting(eng))
+        both = eng.all_of([bad])
+        with pytest.raises(ValueError, match="inner"):
+            eng.run(until=both)
+
+    def test_mixed_engine_events_rejected(self):
+        a, b = Engine(), Engine()
+        with pytest.raises(SimulationError):
+            a.all_of([a.event(), b.event()])
+
+    def test_process_yielding_foreign_event_fails(self):
+        a, b = Engine(), Engine()
+
+        def prog(env, foreign):
+            yield foreign
+
+        p = a.process(prog(a, b.event()))
+        with pytest.raises(SimulationError):
+            a.run(until=p, detect_deadlock=False)
+
+
+class TestTimeoutValues:
+    def test_timeout_carries_value_through_anyof(self):
+        eng = Engine()
+
+        def prog(env):
+            value = yield env.any_of([env.timeout(1.0, "carried")])
+            return value
+
+        p = eng.process(prog(eng))
+        eng.run(until=p)
+        assert p.value == "carried"
+
+    def test_generator_cleanup_on_bad_yield(self):
+        """A process that yields garbage is failed and its generator
+        closed (no ResourceWarning / dangling frame)."""
+        eng = Engine()
+        cleaned = []
+
+        def prog(env):
+            try:
+                yield "not an event"
+            finally:
+                cleaned.append(True)
+
+        p = eng.process(prog(eng))
+        with pytest.raises(SimulationError):
+            eng.run(until=p, detect_deadlock=False)
+        assert cleaned == [True]

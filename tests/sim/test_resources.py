@@ -1,0 +1,136 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Engine, Resource, Store
+
+
+def test_resource_capacity_validation():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        Resource(eng, capacity=0)
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    eng = Engine()
+    res = Resource(eng, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.count == 2
+    assert res.queue_length == 1
+
+
+def test_resource_serializes_holders():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    finish_times = []
+
+    def worker(env, service):
+        with res.request() as req:
+            yield req
+            yield env.timeout(service)
+        finish_times.append(env.now)
+
+    for _ in range(3):
+        eng.process(worker(eng, 1.0))
+    eng.run()
+    assert finish_times == [1.0, 2.0, 3.0]
+
+
+def test_resource_fifo_ordering():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    order = []
+
+    def worker(env, name):
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1.0)
+
+    for name in ["first", "second", "third"]:
+        eng.process(worker(eng, name))
+    eng.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_parallel_when_capacity_allows():
+    eng = Engine()
+    res = Resource(eng, capacity=2)
+    finish_times = []
+
+    def worker(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+        finish_times.append(env.now)
+
+    for _ in range(4):
+        eng.process(worker(eng))
+    eng.run()
+    assert finish_times == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_release_of_queued_request_cancels_it():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    held = res.request()
+    queued = res.request()
+    res.release(queued)
+    assert res.queue_length == 0
+    res.release(held)
+    assert res.count == 0
+
+
+def test_store_put_then_get():
+    eng = Engine()
+    store = Store(eng)
+    store.put("x")
+    got = store.get()
+    assert got.triggered and got.value == "x"
+
+
+def test_store_get_blocks_until_put():
+    eng = Engine()
+    store = Store(eng)
+
+    def getter(env):
+        item = yield store.get()
+        return (env.now, item)
+
+    def putter(env):
+        yield env.timeout(2.0)
+        store.put("late-item")
+
+    p = eng.process(getter(eng))
+    eng.process(putter(eng))
+    eng.run()
+    assert p.value == (2.0, "late-item")
+
+
+def test_store_fifo_on_items_and_getters():
+    eng = Engine()
+    store = Store(eng)
+    store.put(1)
+    store.put(2)
+    assert store.get().value == 1
+    assert store.get().value == 2
+
+    first, second = store.get(), store.get()
+    store.put("a")
+    store.put("b")
+    eng.run()
+    assert first.value == "a"
+    assert second.value == "b"
+
+
+def test_store_len_tracks_items():
+    eng = Engine()
+    store = Store(eng)
+    assert len(store) == 0
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    store.get()
+    assert len(store) == 1

@@ -1,0 +1,71 @@
+"""Unit tests for the tracer."""
+
+import pytest
+
+from repro.sim import Tracer
+from repro.sim.trace import TraceRecord
+
+
+def test_record_duration():
+    rec = TraceRecord(start=1.0, end=3.5, category="compute", rank=0)
+    assert rec.duration == 2.5
+
+
+def test_record_rejects_negative_interval():
+    with pytest.raises(ValueError):
+        TraceRecord(start=2.0, end=1.0, category="compute", rank=0)
+
+
+def _sample_tracer() -> Tracer:
+    tr = Tracer()
+    tr.record(0.0, 1.0, "compute", rank=0, phase="fft")
+    tr.record(1.0, 3.0, "comm", rank=0, phase="transpose")
+    tr.record(0.0, 2.0, "compute", rank=1, phase="fft")
+    tr.record(2.0, 2.5, "wait", rank=1, phase="transpose")
+    return tr
+
+
+def test_total_time_by_category():
+    tr = _sample_tracer()
+    assert tr.total_time(category="compute") == pytest.approx(3.0)
+    assert tr.total_time(category="comm") == pytest.approx(2.0)
+    assert tr.total_time(category="wait") == pytest.approx(0.5)
+
+
+def test_total_time_by_rank():
+    tr = _sample_tracer()
+    assert tr.total_time(rank=0) == pytest.approx(3.0)
+    assert tr.total_time(rank=1) == pytest.approx(2.5)
+
+
+def test_total_time_combined_filters():
+    tr = _sample_tracer()
+    assert tr.total_time(category="compute", rank=1) == pytest.approx(2.0)
+    assert tr.total_time(category="comm", rank=1) == 0.0
+
+
+def test_by_category_aggregation():
+    agg = _sample_tracer().by_category()
+    assert agg == {"compute": 3.0, "comm": 2.0, "wait": 0.5}
+
+
+def test_by_phase_aggregation():
+    agg = _sample_tracer().by_phase(rank=0)
+    assert agg == {"fft": 1.0, "transpose": 2.0}
+
+
+def test_phases_in_first_appearance_order():
+    assert _sample_tracer().phases() == ("fft", "transpose")
+
+
+def test_span():
+    assert _sample_tracer().span() == (0.0, 3.0)
+    assert Tracer().span() == (0.0, 0.0)
+
+
+def test_clear():
+    tr = _sample_tracer()
+    assert len(tr) == 4
+    tr.clear()
+    assert len(tr) == 0
+    assert tr.by_category() == {}

@@ -1,0 +1,88 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples print to stdout; these tests execute their ``main()`` in
+process (sharing the campaign cache, so the whole module stays under a
+couple of minutes) and sanity-check the output.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_complete():
+    names = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart",
+        "sweet_spot",
+        "dvfs_scheduling",
+        "model_fitting",
+        "custom_benchmark",
+        "what_if_gigabit",
+    } <= names
+
+
+def test_quickstart_runs(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "derived parallel overhead" in out
+    assert "max error" in out
+
+
+def test_sweet_spot_runs(capsys):
+    load_example("sweet_spot").main()
+    out = capsys.readouterr().out
+    assert "EP" in out and "FT" in out
+    assert "min energy-delay product" in out
+
+
+def test_dvfs_scheduling_runs(capsys):
+    load_example("dvfs_scheduling").main()
+    out = capsys.readouterr().out
+    assert "FT x16" in out
+    assert "EP x16" in out
+
+
+def test_model_fitting_runs(capsys):
+    load_example("model_fitting").main()
+    out = capsys.readouterr().out
+    assert "workload decomposition" in out
+    assert "weighted CPI_ON = 2.19" in out
+
+
+def test_custom_benchmark_runs(capsys):
+    load_example("custom_benchmark").main()
+    out = capsys.readouterr().out
+    assert "measured power-aware speedup surface" in out
+    assert "min EDP" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "sweet_spot", "dvfs_scheduling", "model_fitting",
+     "custom_benchmark", "what_if_gigabit"],
+)
+def test_examples_have_docstrings(name):
+    module = load_example(name)
+    assert module.__doc__ and len(module.__doc__) > 100
+    assert hasattr(module, "main")
+
+
+def test_what_if_gigabit_runs(capsys):
+    load_example("what_if_gigabit").main()
+    out = capsys.readouterr().out
+    assert "gigabit (what-if)" in out
+    assert "serialized" in out

@@ -1,0 +1,95 @@
+"""Tests for unit helpers and the exception hierarchy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import errors, units
+
+positive = st.floats(min_value=1e-6, max_value=1e12, allow_nan=False)
+
+
+class TestFrequency:
+    def test_mhz_ghz(self):
+        assert units.mhz(600) == 600e6
+        assert units.ghz(1.4) == 1.4e9
+        assert units.mhz(1400) == units.ghz(1.4)
+
+    @given(positive)
+    def test_roundtrip(self, value):
+        assert units.to_mhz(units.mhz(value)) == pytest.approx(value)
+        assert units.to_ghz(units.ghz(value)) == pytest.approx(value)
+
+
+class TestTime:
+    def test_scales(self):
+        assert units.ns(110) == pytest.approx(110e-9)
+        assert units.us(25) == pytest.approx(25e-6)
+        assert units.ms(3) == pytest.approx(3e-3)
+
+    @given(positive)
+    def test_roundtrip(self, value):
+        assert units.to_ns(units.ns(value)) == pytest.approx(value)
+        assert units.to_us(units.us(value)) == pytest.approx(value)
+        assert units.to_ms(units.ms(value)) == pytest.approx(value)
+
+
+class TestData:
+    def test_binary_sizes(self):
+        assert units.kib(32) == 32 * 1024
+        assert units.mib(1) == 1024**2
+        assert units.gib(1) == 1024**3
+
+    def test_doubles(self):
+        assert units.doubles(310) == 2480.0
+        assert units.to_doubles(2480.0) == 310.0
+
+    def test_bandwidth(self):
+        assert units.mbit_per_s(100) == 12.5e6
+        assert units.mbyte_per_s(9) == 9e6
+        assert units.to_mbit_per_s(12.5e6) == pytest.approx(100.0)
+
+
+class TestCycles:
+    def test_seconds_per_cycle(self):
+        assert units.seconds_per_cycle(units.mhz(1000)) == pytest.approx(
+            1e-9
+        )
+
+    def test_cycles(self):
+        assert units.cycles(1e-6, units.ghz(1)) == pytest.approx(1000.0)
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            units.seconds_per_cycle(0.0)
+        with pytest.raises(ValueError):
+            units.cycles(1.0, -5.0)
+
+
+class TestErrorHierarchy:
+    def test_everything_is_repro_error(self):
+        for exc_type in (
+            errors.ConfigurationError,
+            errors.SimulationError,
+            errors.DeadlockError,
+            errors.ModelError,
+            errors.MeasurementError,
+            errors.UnknownExperimentError,
+        ):
+            assert issubclass(exc_type, errors.ReproError)
+
+    def test_stdlib_compatibility(self):
+        """Library errors double as the stdlib types callers expect."""
+        assert issubclass(errors.ConfigurationError, ValueError)
+        assert issubclass(errors.ModelError, ValueError)
+        assert issubclass(errors.SimulationError, RuntimeError)
+        assert issubclass(errors.MeasurementError, KeyError)
+
+    def test_deadlock_is_simulation_error(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+    def test_keyerror_messages_unquoted(self):
+        """KeyError normally quotes its message; ours must not."""
+        message = "no measurement at N=4, f=800 MHz"
+        assert str(errors.MeasurementError(message)) == message
+        assert str(errors.UnknownExperimentError(message)) == message
