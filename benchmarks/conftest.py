@@ -6,15 +6,47 @@ as the full reproduction report.  The underlying measurement campaigns
 are cached by :mod:`repro.experiments.platform`, so the timed portion
 of each bench is the *experiment pipeline* (fit + predict + compare),
 re-run on warm campaign data.
+
+At session end the campaign runtime's metrics — wall-clock per
+campaign, simulated-cell counts, memory/disk cache hits — are written
+to ``BENCH_campaigns.json`` so CI can track the perf trajectory of
+the campaign layer across PRs.
 """
 
+import json
+import pathlib
+import time
+
 import pytest
+
+_SESSION_START = time.perf_counter()
 
 
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "paper_artifact(name): the paper table/figure a bench regenerates"
     )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    from repro.runtime import campaign_metrics
+
+    snapshot = campaign_metrics()
+    document = {
+        "session_wall_s": time.perf_counter() - _SESSION_START,
+        **snapshot,
+    }
+    out = pathlib.Path("BENCH_campaigns.json")
+    out.write_text(json.dumps(document, indent=2))
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    if reporter is not None:
+        reporter.write_line(
+            f"[campaign runtime] {snapshot['simulated_cells']} cells "
+            f"simulated in {snapshot['simulated_wall_s']:.2f}s, "
+            f"{snapshot['memory_hits']} memory hits, "
+            f"{snapshot['disk_hits']} disk hits "
+            f"-> {out}"
+        )
 
 
 @pytest.fixture(scope="session")

@@ -59,6 +59,8 @@ from repro.core import (
 )
 from repro.core.measurements import TimingCampaign
 from repro.experiments import measure_campaign, run_experiment
+from repro.runtime import campaign_metrics, reset_campaign_metrics
+from repro.runtime import configure as configure_runtime
 from repro.mpi import RunResult, run_program
 from repro.npb import (
     BENCHMARKS,
@@ -116,4 +118,8 @@ __all__ = [
     # evaluation
     "measure_campaign",
     "run_experiment",
+    # campaign runtime
+    "configure_runtime",
+    "campaign_metrics",
+    "reset_campaign_metrics",
 ]

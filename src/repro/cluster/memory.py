@@ -80,6 +80,23 @@ class MemorySpec:
             types.MappingProxyType(dict(self.off_chip_ns_overrides)),
         )
 
+    # Mapping proxies cannot be pickled, and campaign cells are shipped
+    # to worker processes; swap a plain dict in and out of the state.
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["off_chip_ns_overrides"] = dict(self.off_chip_ns_overrides)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        object.__setattr__(
+            self,
+            "off_chip_ns_overrides",
+            types.MappingProxyType(dict(self.off_chip_ns_overrides)),
+        )
+
 
 class MemoryTimingModel:
     """Computes OFF-chip execution time for instruction mixes."""

@@ -3,8 +3,8 @@
 Usage::
 
     repro-experiments list
-    repro-experiments run table3 [--class A] [--json OUT.json]
-    repro-experiments run-all [--outdir results/]
+    repro-experiments run table3 [--class A] [--json OUT.json] [--jobs 4]
+    repro-experiments run-all [--outdir results/] [--no-disk-cache]
     repro-experiments campaign ft --class A --counts 1,2,4,8,16 \\
         --csv ft_times.csv
 
@@ -12,6 +12,11 @@ Every experiment prints its report in the paper's table layout; JSON
 export captures the machine-readable data for downstream analysis.
 The ``campaign`` subcommand measures any registered benchmark over a
 custom (counts × frequencies) grid and exports times/energies/speedups.
+
+``--jobs N`` fans campaign cells out over N worker processes and
+``--no-disk-cache`` disables the persistent ``.repro_cache/`` tier
+(see :mod:`repro.runtime`); each command ends with a ``[campaign
+runtime]`` line reporting simulated cells and cache hits.
 """
 
 from __future__ import annotations
@@ -30,25 +35,49 @@ from repro.experiments.registry import (
 __all__ = ["main"]
 
 
+def _grid_key(key: _t.Any) -> str:
+    """Render a dict key for JSON: ``(n, hz)`` grid cells become
+    ``"N@fMHz"``; anything else stringifies as-is."""
+    from repro.units import to_mhz
+
+    if (
+        isinstance(key, tuple)
+        and len(key) == 2
+        and isinstance(key[0], int)
+        and isinstance(key[1], float)
+    ):
+        return f"{key[0]}@{to_mhz(key[1]):.0f}MHz"
+    return str(key)
+
+
 def _jsonify(value: _t.Any) -> _t.Any:
     """Make experiment data JSON-serializable (tuple keys become
     strings)."""
     if isinstance(value, dict):
-        return {
-            (
-                f"{k[0]}@{k[1] / 1e6:.0f}MHz"
-                if isinstance(k, tuple) and len(k) == 2
-                else str(k)
-            ): _jsonify(v)
-            for k, v in value.items()
-        }
+        return {_grid_key(k): _jsonify(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
         return [_jsonify(v) for v in value]
-    if isinstance(value, float):
-        return value
     if hasattr(value, "as_dict"):
         return _jsonify(value.as_dict())
     return value
+
+
+def _configure_runtime(args: argparse.Namespace) -> None:
+    """Apply ``--jobs`` / ``--no-disk-cache`` to the campaign runtime."""
+    from repro import runtime
+
+    runtime.configure(
+        jobs=args.jobs,
+        disk_cache=False if args.no_disk_cache else None,
+    )
+
+
+def _print_runtime_stats() -> None:
+    """Per-cell timing and cache-hit metrics for the finished command."""
+    from repro.runtime.metrics import METRICS
+
+    if METRICS.records:
+        print(f"[campaign runtime] {METRICS.summary_line()}")
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -77,17 +106,21 @@ def _run_one(
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _configure_runtime(args)
     _run_one(args.experiment, args.problem_class, args.json)
+    _print_runtime_stats()
     return 0
 
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
+    _configure_runtime(args)
     outdir = pathlib.Path(args.outdir) if args.outdir else None
     if outdir:
         outdir.mkdir(parents=True, exist_ok=True)
     for exp_id, _title, _desc in list_experiments():
         json_path = str(outdir / f"{exp_id}.json") if outdir else None
         _run_one(exp_id, args.problem_class, json_path)
+    _print_runtime_stats()
     return 0
 
 
@@ -108,6 +141,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    _configure_runtime(args)
     counts = (
         tuple(int(c) for c in args.counts.split(","))
         if args.counts
@@ -144,6 +178,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         energy_path = base.with_name(base.stem + "_energy" + base.suffix)
         grid_to_csv(campaign.energies, energy_path, value_name="joules")
         print(f"\n[times written to {base}, energies to {energy_path}]")
+    _print_runtime_stats()
     return 0
 
 
@@ -156,10 +191,26 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    runtime_opts = argparse.ArgumentParser(add_help=False)
+    runtime_opts.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes per campaign (default: auto)",
+    )
+    runtime_opts.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="disable the on-disk campaign cache (.repro_cache/)",
+    )
+
     p_list = sub.add_parser("list", help="list available experiments")
     p_list.set_defaults(func=_cmd_list)
 
-    p_run = sub.add_parser("run", help="run one experiment")
+    p_run = sub.add_parser(
+        "run", help="run one experiment", parents=[runtime_opts]
+    )
     p_run.add_argument("experiment", help="experiment id (see 'list')")
     p_run.add_argument(
         "--class",
@@ -170,7 +221,9 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     p_run.add_argument("--json", default=None, help="write data to JSON file")
     p_run.set_defaults(func=_cmd_run)
 
-    p_all = sub.add_parser("run-all", help="run every experiment")
+    p_all = sub.add_parser(
+        "run-all", help="run every experiment", parents=[runtime_opts]
+    )
     p_all.add_argument("--class", dest="problem_class", default="")
     p_all.add_argument(
         "--outdir", default=None, help="directory for per-experiment JSON"
@@ -178,7 +231,9 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     p_all.set_defaults(func=_cmd_run_all)
 
     p_camp = sub.add_parser(
-        "campaign", help="measure a benchmark over a custom (N, f) grid"
+        "campaign",
+        help="measure a benchmark over a custom (N, f) grid",
+        parents=[runtime_opts],
     )
     p_camp.add_argument(
         "benchmark", help="benchmark name (ep, ft, lu, cg, mg, is, bt, sp)"

@@ -3,16 +3,25 @@
 The experiments all share one measurement protocol: run a benchmark at
 every (processor count, frequency) combination on the simulated
 platform, recording execution time and energy.  This module provides
-the paper's grid constants and a cached campaign runner — simulation is
-deterministic, so re-measuring the same (benchmark, grid) is wasted
-work within a process.
+the paper's grid constants and a cached campaign runner — simulation
+is deterministic, so re-measuring the same (benchmark, grid, platform)
+is wasted work.
+
+Execution is delegated to :mod:`repro.runtime`: cells fan out across a
+process pool when it pays off, and results are cached in two tiers —
+a per-process dict plus a content-addressed on-disk cache under
+``.repro_cache/`` that survives process restarts.  Campaigns measured
+on ``spec``-overridden platforms are cached too (the key includes a
+digest of every spec field), so ablations only ever simulate once.
 """
 
 from __future__ import annotations
 
+import time
 import typing as _t
 
-from repro.cluster.machine import Cluster, paper_spec
+from repro import runtime
+from repro.cluster.machine import ClusterSpec, paper_spec
 from repro.core.measurements import TimingCampaign
 from repro.npb.base import BenchmarkModel
 from repro.units import mhz
@@ -34,17 +43,41 @@ PAPER_FREQUENCIES: tuple[float, ...] = tuple(
 
 _CACHE: dict[tuple, TimingCampaign] = {}
 
+_DEFAULT_SPEC_DIGEST: str | None = None
+
+
+def _default_spec_digest() -> str:
+    """Digest of the paper platform (memoized — it never changes)."""
+    global _DEFAULT_SPEC_DIGEST
+    if _DEFAULT_SPEC_DIGEST is None:
+        _DEFAULT_SPEC_DIGEST = runtime.spec_digest(paper_spec())
+    return _DEFAULT_SPEC_DIGEST
+
 
 def _cache_key(
     benchmark: BenchmarkModel,
     counts: _t.Sequence[int],
     frequencies: _t.Sequence[float],
+    spec: ClusterSpec | None = None,
 ) -> tuple:
+    """Campaign identity, including platform and benchmark digests.
+
+    ``spec=None`` (the paper platform) and an explicitly-passed
+    ``paper_spec()`` hash identically, so they share cache entries.
+    The benchmark digest covers configuration beyond (name, class) —
+    e.g. FT's ``decomposition`` option.
+    """
     return (
         benchmark.name,
         benchmark.problem_class.value,
-        tuple(counts),
-        tuple(frequencies),
+        tuple(int(n) for n in counts),
+        tuple(float(f) for f in frequencies),
+        (
+            runtime.spec_digest(spec)
+            if spec is not None
+            else _default_spec_digest()
+        ),
+        runtime.benchmark_digest(benchmark),
     )
 
 
@@ -53,7 +86,10 @@ def measure_campaign(
     counts: _t.Sequence[int] = PAPER_COUNTS,
     frequencies: _t.Sequence[float] = PAPER_FREQUENCIES,
     use_cache: bool = True,
-    spec=None,
+    spec: ClusterSpec | None = None,
+    *,
+    jobs: int | None = None,
+    disk_cache: bool | None = None,
 ) -> TimingCampaign:
     """Measure a benchmark over a (counts × frequencies) grid.
 
@@ -63,36 +99,91 @@ def measure_campaign(
     TimingCampaign` with both times and energies.
 
     ``spec`` overrides the platform (ablations measure on modified
-    hardware); custom-spec campaigns bypass the cache.
+    hardware); such campaigns are cached under a spec-digest key.
+    ``jobs`` sets the worker-process count (default: auto — see
+    :func:`repro.runtime.resolve_jobs`); parallel runs are
+    bit-identical to serial ones.  ``disk_cache`` overrides the
+    on-disk tier for this call; ``use_cache=False`` bypasses (and
+    does not populate) both tiers.
     """
-    if spec is not None:
-        use_cache = False
-    key = _cache_key(benchmark, counts, frequencies)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    start = time.perf_counter()
+    key = _cache_key(benchmark, counts, frequencies, spec)
+    label = f"{benchmark.name}.{benchmark.problem_class.value}"
+    n_cells = len(key[2]) * len(key[3])
 
-    times: dict[tuple[int, float], float] = {}
-    energies: dict[tuple[int, float], float] = {}
-    for n in counts:
-        for f in frequencies:
-            node_spec = (
-                spec.with_nodes(n) if spec is not None else paper_spec(n)
+    if use_cache and key in _CACHE:
+        campaign = _CACHE[key]
+        runtime.METRICS.record(
+            runtime.CampaignRecord(
+                label=label,
+                source="memory",
+                cells=n_cells,
+                wall_s=time.perf_counter() - start,
             )
-            cluster = Cluster(node_spec, frequency_hz=f)
-            result = benchmark.run(cluster)
-            times[(n, f)] = result.elapsed_s
-            energies[(n, f)] = result.energy_j
+        )
+        return campaign
+
+    store = (
+        runtime.disk_cache()
+        if use_cache and runtime.disk_cache_enabled(disk_cache)
+        else None
+    )
+    digest = (
+        runtime.campaign_digest(
+            key[0], key[1], key[2], key[3], key[4], key[5]
+        )
+        if store is not None
+        else ""
+    )
+    if store is not None:
+        campaign = store.get(digest)
+        if campaign is not None:
+            _CACHE[key] = campaign
+            runtime.METRICS.record(
+                runtime.CampaignRecord(
+                    label=label,
+                    source="disk",
+                    cells=n_cells,
+                    wall_s=time.perf_counter() - start,
+                )
+            )
+            return campaign
+
+    node_spec = spec if spec is not None else paper_spec()
+    times, energies, cell_wall, used_jobs = runtime.execute_campaign(
+        benchmark,
+        key[2],
+        key[3],
+        node_spec,
+        jobs=runtime.resolve_jobs(jobs, n_cells),
+    )
     campaign = TimingCampaign(
         times=times,
-        base_frequency_hz=min(frequencies),
+        base_frequency_hz=min(key[3]),
         energies=energies,
-        label=f"{benchmark.name}.{benchmark.problem_class.value}",
+        label=label,
     )
     if use_cache:
         _CACHE[key] = campaign
+        if store is not None:
+            store.put(digest, campaign)
+    runtime.METRICS.record(
+        runtime.CampaignRecord(
+            label=label,
+            source="simulated",
+            cells=n_cells,
+            wall_s=time.perf_counter() - start,
+            jobs=used_jobs,
+            cell_wall_s=cell_wall,
+        )
+    )
     return campaign
 
 
 def clear_campaign_cache() -> None:
-    """Drop all cached campaigns (tests use this for isolation)."""
+    """Drop all cached campaigns, memory *and* disk tiers.
+
+    Tests use this for isolation, so it must leave no tier behind.
+    """
     _CACHE.clear()
+    runtime.disk_cache().clear()

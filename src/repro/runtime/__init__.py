@@ -1,0 +1,131 @@
+"""Campaign execution runtime: parallelism, caching, metrics.
+
+This subsystem turns :func:`repro.experiments.platform.
+measure_campaign` from a serial, per-process-cached loop into a
+runtime with three layers:
+
+* :mod:`repro.runtime.runner` — fans grid cells out over a persistent
+  process pool and merges results deterministically.
+* :mod:`repro.runtime.diskcache` — a content-addressed on-disk cache
+  under ``.repro_cache/`` so *warm processes skip simulation
+  entirely*.
+* :mod:`repro.runtime.metrics` — per-cell timing and cache-hit
+  counters for the benchmark harness.
+
+Configuration resolves in priority order: explicit call argument →
+:func:`configure` (what the CLI's ``--jobs`` / ``--no-disk-cache``
+set) → environment (``REPRO_JOBS``, ``REPRO_DISK_CACHE``,
+``REPRO_CACHE_DIR``) → auto.  Auto parallelism only engages for grids
+of at least :data:`MIN_CELLS_AUTO_PARALLEL` cells on multi-core
+hosts — tiny campaigns are faster serial than through a pool.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import typing as _t
+
+from repro.runtime.diskcache import (
+    SCHEMA_VERSION,
+    DiskCache,
+    benchmark_digest,
+    campaign_digest,
+    spec_digest,
+)
+from repro.runtime.metrics import (
+    METRICS,
+    CampaignRecord,
+    campaign_metrics,
+    reset_campaign_metrics,
+)
+from repro.runtime.runner import execute_campaign, shutdown_executor
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MIN_CELLS_AUTO_PARALLEL",
+    "DiskCache",
+    "CampaignRecord",
+    "benchmark_digest",
+    "campaign_digest",
+    "spec_digest",
+    "campaign_metrics",
+    "reset_campaign_metrics",
+    "execute_campaign",
+    "shutdown_executor",
+    "configure",
+    "resolve_jobs",
+    "disk_cache_enabled",
+    "cache_dir",
+    "disk_cache",
+]
+
+#: Below this many cells, auto mode stays serial (pool + pickling
+#: overhead beats the win on small grids).
+MIN_CELLS_AUTO_PARALLEL = 10
+
+_UNSET: _t.Any = object()
+
+_jobs: int | None = None
+_disk_cache: bool | None = None
+_cache_dir: pathlib.Path | None = None
+
+
+def configure(
+    jobs: int | None = _UNSET,
+    disk_cache: bool | None = _UNSET,
+    cache_dir: str | os.PathLike | None = _UNSET,
+) -> None:
+    """Set process-wide runtime defaults (``None`` restores auto).
+
+    Only the arguments actually passed are changed.
+    """
+    global _jobs, _disk_cache, _cache_dir
+    if jobs is not _UNSET:
+        _jobs = None if jobs is None else max(1, int(jobs))
+    if disk_cache is not _UNSET:
+        _disk_cache = disk_cache
+    if cache_dir is not _UNSET:
+        _cache_dir = (
+            None if cache_dir is None else pathlib.Path(cache_dir)
+        )
+
+
+def resolve_jobs(explicit: int | None, n_cells: int) -> int:
+    """Worker count for a campaign of ``n_cells`` grid cells."""
+    jobs = explicit if explicit is not None else _jobs
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                jobs = None
+    if jobs is None:  # auto
+        if n_cells < MIN_CELLS_AUTO_PARALLEL:
+            return 1
+        jobs = os.cpu_count() or 1
+    return max(1, min(int(jobs), max(1, n_cells)))
+
+
+def disk_cache_enabled(explicit: bool | None = None) -> bool:
+    """Whether the on-disk cache tier is active."""
+    if explicit is not None:
+        return explicit
+    if _disk_cache is not None:
+        return _disk_cache
+    env = os.environ.get("REPRO_DISK_CACHE", "").strip().lower()
+    return env not in ("0", "false", "no", "off")
+
+
+def cache_dir() -> pathlib.Path:
+    """Root directory of the on-disk campaign cache."""
+    if _cache_dir is not None:
+        return _cache_dir
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return pathlib.Path(env) if env else pathlib.Path(".repro_cache")
+
+
+def disk_cache() -> DiskCache:
+    """A :class:`DiskCache` at the currently-configured root."""
+    return DiskCache(cache_dir())

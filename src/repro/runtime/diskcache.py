@@ -1,0 +1,213 @@
+"""Content-addressed on-disk campaign cache.
+
+Simulation is deterministic, so a campaign is fully described by its
+inputs: benchmark name, problem class, the (counts × frequencies)
+grid, and every field of the platform spec.  This module hashes that
+description into a digest and stores the resulting
+:class:`~repro.core.measurements.TimingCampaign` as JSON under
+``.repro_cache/`` — warm processes skip simulation entirely.
+
+JSON round-trips Python floats exactly (``json.dumps`` emits the
+shortest repr that parses back to the same double), so a reloaded
+campaign is bit-identical to the freshly simulated one.
+
+Bump :data:`SCHEMA_VERSION` whenever simulation semantics change —
+the digest includes it, so old entries are orphaned rather than
+served stale.
+"""
+
+from __future__ import annotations
+
+import collections.abc as _c
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+import typing as _t
+
+from repro.cluster.machine import ClusterSpec
+from repro.core.measurements import TimingCampaign
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DiskCache",
+    "spec_digest",
+    "benchmark_digest",
+    "campaign_digest",
+]
+
+#: Version of both the digest material and the on-disk JSON layout.
+#: Bump when the simulator's outputs or this file format change.
+SCHEMA_VERSION = 1
+
+
+def _digest_material(obj: _t.Any) -> _t.Any:
+    """Recursively reduce spec values to stable JSON-able structures.
+
+    Handles what plain ``dataclasses.asdict`` cannot: mapping proxies
+    (not deep-copyable), enum keys, and iterable table objects such as
+    :class:`~repro.cluster.opoints.OperatingPointTable`.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: _digest_material(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, _c.Mapping):
+        return {
+            repr(_digest_material(k)): _digest_material(v)
+            for k, v in sorted(
+                obj.items(), key=lambda item: repr(item[0])
+            )
+        }
+    if isinstance(obj, _c.Iterable):
+        return [_digest_material(v) for v in obj]
+    return repr(obj)
+
+
+def spec_digest(spec: ClusterSpec) -> str:
+    """Digest of every platform-spec field, ignoring node count.
+
+    Node count is a grid axis, not part of the platform identity, so
+    it is normalized away before hashing.
+    """
+    material = _digest_material(spec.with_nodes(1))
+    blob = json.dumps(material, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def benchmark_digest(benchmark: _t.Any) -> str:
+    """Digest of a benchmark model's full configuration.
+
+    ``(name, problem class)`` alone is not a campaign identity — e.g.
+    ``FTBenchmark`` carries a ``decomposition`` option under one name.
+    Hash the concrete class plus every instance attribute instead.
+    """
+    material = {
+        "type": f"{type(benchmark).__module__}."
+        f"{type(benchmark).__qualname__}",
+        "state": _digest_material(vars(benchmark)),
+    }
+    blob = json.dumps(material, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def campaign_digest(
+    benchmark_name: str,
+    problem_class: str,
+    counts: _t.Sequence[int],
+    frequencies: _t.Sequence[float],
+    spec: ClusterSpec | str,
+    benchmark_state: str = "",
+) -> str:
+    """Content address of one campaign (includes the schema version).
+
+    ``spec`` may be a :class:`ClusterSpec` or an already-computed
+    :func:`spec_digest` string; ``benchmark_state`` is the
+    :func:`benchmark_digest` of the measured model.
+    """
+    material = {
+        "schema": SCHEMA_VERSION,
+        "benchmark": benchmark_name,
+        "class": problem_class,
+        "state": benchmark_state,
+        "counts": [int(n) for n in counts],
+        "frequencies": [float(f) for f in frequencies],
+        "spec": spec if isinstance(spec, str) else spec_digest(spec),
+    }
+    blob = json.dumps(material, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class DiskCache:
+    """A directory of ``<digest>.json`` campaign files.
+
+    Entries are written atomically (temp file + rename), so a reader
+    never observes a half-written campaign even with concurrent
+    processes filling the same cache.
+    """
+
+    def __init__(self, root: pathlib.Path | str) -> None:
+        self.root = pathlib.Path(root)
+
+    def _path(self, digest: str) -> pathlib.Path:
+        return self.root / f"{digest}.json"
+
+    def get(self, digest: str) -> TimingCampaign | None:
+        """Load a campaign, or ``None`` on miss/corruption."""
+        path = self._path(digest)
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if document.get("schema") != SCHEMA_VERSION:
+            return None
+        try:
+            return TimingCampaign(
+                times={
+                    (n, f): t for n, f, t in document["times"]
+                },
+                base_frequency_hz=document["base_frequency_hz"],
+                energies={
+                    (n, f): e for n, f, e in document["energies"]
+                },
+                label=document.get("label", ""),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, digest: str, campaign: TimingCampaign) -> None:
+        """Store a campaign; failures are non-fatal (cache stays cold)."""
+        document = {
+            "schema": SCHEMA_VERSION,
+            "label": campaign.label,
+            "base_frequency_hz": campaign.base_frequency_hz,
+            "times": [
+                [n, f, t] for (n, f), t in campaign.times.items()
+            ],
+            "energies": [
+                [n, f, e] for (n, f), e in campaign.energies.items()
+            ],
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.root, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(document, handle)
+                os.replace(tmp, self._path(digest))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        try:
+            entries = list(self.root.glob("*.json"))
+        except OSError:
+            return 0
+        for path in entries:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.root.glob("*.json"))
+        except OSError:
+            return 0

@@ -1,0 +1,127 @@
+"""Campaign-runtime metrics: per-cell timings and cache-hit counters.
+
+The runtime keeps one process-global :class:`MetricsRegistry` that the
+campaign runner reports into.  The benchmark harness (and the CLI's
+``--jobs`` plumbing) reads a :meth:`~MetricsRegistry.snapshot` at the
+end of a session to track the perf trajectory across PRs — how many
+cells were actually simulated, how many came from each cache tier, and
+how long the simulated cells took.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+__all__ = [
+    "CampaignRecord",
+    "MetricsRegistry",
+    "campaign_metrics",
+    "reset_campaign_metrics",
+]
+
+
+@dataclasses.dataclass
+class CampaignRecord:
+    """One ``measure_campaign`` call, as observed by the runtime.
+
+    Attributes
+    ----------
+    label:
+        Campaign label (``benchmark.class``).
+    source:
+        Where the result came from: ``"memory"``, ``"disk"`` or
+        ``"simulated"``.
+    cells:
+        Number of grid cells in the campaign.
+    wall_s:
+        Wall-clock spent producing the result (≈0 for cache hits).
+    jobs:
+        Worker processes used (1 = serial; only meaningful when
+        ``source == "simulated"``).
+    cell_wall_s:
+        Per-cell simulation wall times, in grid order (empty for
+        cache hits).
+    """
+
+    label: str
+    source: str
+    cells: int
+    wall_s: float
+    jobs: int = 1
+    cell_wall_s: tuple[float, ...] = ()
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        """JSON-ready form (what ``BENCH_campaigns.json`` stores)."""
+        return {
+            "label": self.label,
+            "source": self.source,
+            "cells": self.cells,
+            "wall_s": self.wall_s,
+            "jobs": self.jobs,
+            "cell_wall_s": list(self.cell_wall_s),
+        }
+
+
+class MetricsRegistry:
+    """Accumulates campaign records and aggregate counters."""
+
+    def __init__(self) -> None:
+        self.records: list[CampaignRecord] = []
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.simulated_campaigns = 0
+        self.simulated_cells = 0
+        self.simulated_wall_s = 0.0
+
+    def record(self, record: CampaignRecord) -> None:
+        """Append one campaign record and update the aggregates."""
+        self.records.append(record)
+        if record.source == "memory":
+            self.memory_hits += 1
+        elif record.source == "disk":
+            self.disk_hits += 1
+        else:
+            self.simulated_campaigns += 1
+            self.simulated_cells += record.cells
+            self.simulated_wall_s += record.wall_s
+
+    def reset(self) -> None:
+        """Drop all records and zero every counter."""
+        self.__init__()
+
+    def snapshot(self) -> dict[str, _t.Any]:
+        """A JSON-ready summary of everything recorded so far."""
+        return {
+            "campaigns": len(self.records),
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "simulated_campaigns": self.simulated_campaigns,
+            "simulated_cells": self.simulated_cells,
+            "simulated_wall_s": self.simulated_wall_s,
+            "records": [r.as_dict() for r in self.records],
+        }
+
+    def summary_line(self) -> str:
+        """One-line human summary (the CLI prints this)."""
+        return (
+            f"{len(self.records)} campaigns: "
+            f"{self.simulated_cells} cells simulated in "
+            f"{self.simulated_wall_s:.2f}s, "
+            f"{self.memory_hits} memory hits, "
+            f"{self.disk_hits} disk hits"
+        )
+
+
+#: The process-global registry the campaign runner reports into.
+METRICS = MetricsRegistry()
+
+
+def campaign_metrics() -> dict[str, _t.Any]:
+    """Snapshot of the global campaign-runtime metrics."""
+    return METRICS.snapshot()
+
+
+def reset_campaign_metrics() -> None:
+    """Zero the global campaign-runtime metrics."""
+    METRICS.reset()

@@ -1,0 +1,135 @@
+"""Parallel campaign cell execution.
+
+Every (processor count, frequency) cell of a measurement campaign is an
+independent deterministic simulation — embarrassingly parallel.  This
+module fans cells out across a persistent :class:`~concurrent.futures.
+ProcessPoolExecutor` and merges the results back in *grid order*, so a
+parallel run is bit-identical to a serial one: same floats, same dict
+insertion order.
+
+The pool is created lazily, reused across campaigns (startup cost is
+paid once per process, not per campaign) and torn down at interpreter
+exit.  Anything that cannot be parallelized safely — unpicklable
+benchmark objects, a broken pool — falls back to the serial path
+rather than failing the measurement.
+"""
+
+from __future__ import annotations
+
+import atexit
+import concurrent.futures
+import multiprocessing
+import pickle
+import time
+import typing as _t
+
+from repro.cluster.machine import Cluster, ClusterSpec
+from repro.npb.base import BenchmarkModel
+
+__all__ = ["execute_campaign", "shutdown_executor"]
+
+Cell = tuple[int, float]
+
+_EXECUTOR: concurrent.futures.ProcessPoolExecutor | None = None
+_EXECUTOR_JOBS = 0
+
+
+def _simulate_cell(
+    benchmark: BenchmarkModel, n: int, f: float, spec: ClusterSpec
+) -> tuple[float, float, float]:
+    """Run one grid cell; returns (elapsed_s, energy_j, sim wall s)."""
+    start = time.perf_counter()
+    cluster = Cluster(spec.with_nodes(n), frequency_hz=f)
+    result = benchmark.run(cluster)
+    return result.elapsed_s, result.energy_j, time.perf_counter() - start
+
+
+def _get_executor(jobs: int) -> concurrent.futures.ProcessPoolExecutor:
+    global _EXECUTOR, _EXECUTOR_JOBS
+    if _EXECUTOR is None or _EXECUTOR_JOBS < jobs:
+        if _EXECUTOR is not None:
+            _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        _EXECUTOR = concurrent.futures.ProcessPoolExecutor(
+            max_workers=jobs, mp_context=context
+        )
+        _EXECUTOR_JOBS = jobs
+    return _EXECUTOR
+
+
+def shutdown_executor() -> None:
+    """Tear down the worker pool (idempotent; pool restarts on demand)."""
+    global _EXECUTOR, _EXECUTOR_JOBS
+    if _EXECUTOR is not None:
+        _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+        _EXECUTOR = None
+        _EXECUTOR_JOBS = 0
+
+
+atexit.register(shutdown_executor)
+
+
+def _run_serial(
+    benchmark: BenchmarkModel,
+    cells: _t.Sequence[Cell],
+    spec: ClusterSpec,
+) -> dict[Cell, tuple[float, float, float]]:
+    return {
+        (n, f): _simulate_cell(benchmark, n, f, spec) for n, f in cells
+    }
+
+
+def _run_parallel(
+    benchmark: BenchmarkModel,
+    cells: _t.Sequence[Cell],
+    spec: ClusterSpec,
+    jobs: int,
+) -> dict[Cell, tuple[float, float, float]]:
+    executor = _get_executor(jobs)
+    futures = {
+        (n, f): executor.submit(_simulate_cell, benchmark, n, f, spec)
+        for n, f in cells
+    }
+    return {cell: future.result() for cell, future in futures.items()}
+
+
+def execute_campaign(
+    benchmark: BenchmarkModel,
+    counts: _t.Sequence[int],
+    frequencies: _t.Sequence[float],
+    spec: ClusterSpec,
+    jobs: int = 1,
+) -> tuple[
+    dict[Cell, float], dict[Cell, float], tuple[float, ...], int
+]:
+    """Simulate every grid cell, serially or across worker processes.
+
+    Returns ``(times, energies, per-cell wall times, jobs actually
+    used)``.  The returned dicts are always populated in grid order
+    (outer loop counts, inner loop frequencies) regardless of worker
+    completion order, so parallel and serial runs are bit-identical.
+    """
+    cells = [(int(n), float(f)) for n in counts for f in frequencies]
+    jobs = max(1, min(int(jobs), len(cells))) if cells else 1
+    if jobs > 1:
+        try:
+            pickle.dumps((benchmark, spec))
+        except Exception:
+            jobs = 1  # e.g. locally-defined benchmark classes
+    if jobs > 1:
+        try:
+            results = _run_parallel(benchmark, cells, spec, jobs)
+        except concurrent.futures.process.BrokenProcessPool:
+            shutdown_executor()
+            jobs = 1
+            results = _run_serial(benchmark, cells, spec)
+    else:
+        results = _run_serial(benchmark, cells, spec)
+
+    times = {cell: results[cell][0] for cell in cells}
+    energies = {cell: results[cell][1] for cell in cells}
+    cell_wall = tuple(results[cell][2] for cell in cells)
+    return times, energies, cell_wall, jobs

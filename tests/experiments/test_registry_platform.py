@@ -57,7 +57,7 @@ class TestMeasureCampaign:
         assert a is not b
         assert a.times == b.times  # determinism
 
-    def test_custom_spec_bypasses_cache(self):
+    def test_custom_spec_gets_own_cache_entry(self):
         import dataclasses
 
         from repro.cluster import paper_spec
@@ -71,7 +71,11 @@ class TestMeasureCampaign:
         )
         a = measure_campaign(ep, (2,), (mhz(600),))
         b = measure_campaign(ep, (2,), (mhz(600),), spec=slow_net)
+        # Spec-overridden campaigns are keyed by a spec digest, not
+        # served from the paper-platform entry...
         assert b.times[(2, mhz(600))] > a.times[(2, mhz(600))]
+        # ...and are themselves cached (ablations re-measure freely).
+        assert measure_campaign(ep, (2,), (mhz(600),), spec=slow_net) is b
 
 
 class TestRegistry:
