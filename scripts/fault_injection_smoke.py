@@ -1,0 +1,126 @@
+"""Fault-injection smoke test for CI.
+
+Runs one measurement campaign four ways — clean serial, parallel with
+injected worker crashes/exceptions/hangs, through a deliberately
+corrupted disk cache, and in partial-results mode — and asserts the
+fault-tolerant runtime recovers *bit-identical* results everywhere it
+promises to.  Exits non-zero on the first deviation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/fault_injection_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro import runtime
+from repro.experiments import platform
+from repro.experiments.platform import measure_campaign
+from repro.npb import EPBenchmark, ProblemClass
+from repro.runtime import FaultPlan, install_fault_plan
+from repro.units import mhz
+
+COUNTS = (1, 2, 4, 8)
+FREQUENCIES = (mhz(600), mhz(1000), mhz(1400))
+
+
+def check(label: str, condition: bool) -> None:
+    """Print a one-line verdict; exit immediately on failure."""
+    print(f"[fault smoke] {'ok' if condition else 'FAIL'}: {label}")
+    if not condition:
+        sys.exit(1)
+
+
+def main() -> int:
+    """Run the four fault scenarios against one reference campaign."""
+    cache_root = tempfile.mkdtemp(prefix="repro-fault-smoke-")
+    runtime.configure(cache_dir=cache_root, retry_backoff_s=0.0)
+    ep = EPBenchmark(ProblemClass.S)
+
+    clean = measure_campaign(
+        ep, COUNTS, FREQUENCIES, use_cache=False, jobs=1
+    )
+
+    # 1. Worker crashes + exceptions + a hang on ~25 % of cells.
+    install_fault_plan(
+        FaultPlan(seed=2, crash=0.12, exception=0.18, hang_s=10.0)
+    )
+    recovered = measure_campaign(
+        ep,
+        COUNTS,
+        FREQUENCIES,
+        use_cache=False,
+        jobs=4,
+        cell_timeout=5.0,
+    )
+    install_fault_plan(None)
+    record = runtime.campaign_metrics()["records"][-1]
+    check(
+        "crash/exception campaign bit-identical to clean serial",
+        recovered.times == clean.times
+        and recovered.energies == clean.energies
+        and list(recovered.times) == list(clean.times),
+    )
+    check("faults were actually injected", record["retries"] >= 1)
+
+    # 2. Every cache write corrupted: reads must quarantine and
+    #    re-simulate, never serve bad bytes.
+    install_fault_plan(FaultPlan(seed=2, corrupt=1.0))
+    measure_campaign(ep, COUNTS, FREQUENCIES, jobs=1)
+    install_fault_plan(None)
+    platform._CACHE.clear()
+    reread = measure_campaign(ep, COUNTS, FREQUENCIES, jobs=1)
+    record = runtime.campaign_metrics()["records"][-1]
+    check(
+        "corrupt cache entry re-simulated bit-identically",
+        reread.times == clean.times
+        and record["source"] == "simulated",
+    )
+    check(
+        "corrupt entry quarantined",
+        runtime.disk_cache().quarantined() >= 1,
+    )
+
+    # 3. Partial mode: a persistently failing cell degrades to a
+    #    partial campaign plus a failure report, not an exception.
+    install_fault_plan(
+        FaultPlan(
+            seed=2,
+            exception=1.0,
+            times=99,
+            cells=((2, mhz(600)),),
+        )
+    )
+    partial = measure_campaign(
+        ep,
+        COUNTS,
+        FREQUENCIES,
+        use_cache=False,
+        jobs=2,
+        retries=1,
+        allow_partial=True,
+    )
+    install_fault_plan(None)
+    record = runtime.campaign_metrics()["records"][-1]
+    check(
+        "partial campaign keeps every surviving cell",
+        len(partial.times) == len(clean.times) - 1
+        and all(
+            partial.times[c] == clean.times[c] for c in partial.times
+        ),
+    )
+    check(
+        "failure report names the failed cell",
+        record["failed_cells"] == 1
+        and record["failures"][0]["cell"] == [2, mhz(600)],
+    )
+
+    print("[fault smoke] all scenarios recovered bit-identically")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

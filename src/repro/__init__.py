@@ -58,8 +58,20 @@ from repro.core import (
     gustafson_speedup,
 )
 from repro.core.measurements import TimingCampaign
+from repro.errors import (
+    CampaignExecutionError,
+    CellExecutionError,
+    CellTimeoutError,
+    ReproError,
+)
 from repro.experiments import measure_campaign, run_experiment
-from repro.runtime import campaign_metrics, reset_campaign_metrics
+from repro.runtime import (
+    FaultPlan,
+    campaign_metrics,
+    install_fault_plan,
+    parse_fault_plan,
+    reset_campaign_metrics,
+)
 from repro.runtime import configure as configure_runtime
 from repro.mpi import RunResult, run_program
 from repro.npb import (
@@ -122,4 +134,12 @@ __all__ = [
     "configure_runtime",
     "campaign_metrics",
     "reset_campaign_metrics",
+    # fault tolerance
+    "ReproError",
+    "CampaignExecutionError",
+    "CellExecutionError",
+    "CellTimeoutError",
+    "FaultPlan",
+    "install_fault_plan",
+    "parse_fault_plan",
 ]

@@ -12,9 +12,15 @@ while still being able to distinguish the broad failure domains:
   answer (missing parameters, divide-by-zero workloads).
 * :class:`MeasurementError` — a measurement campaign is missing data needed
   by a parameterization step.
+* :class:`CampaignExecutionError` / :class:`CellExecutionError` /
+  :class:`CellTimeoutError` — the fault-tolerant campaign runtime
+  exhausted its retry budget; these carry the exact (n, f) cell and
+  the full attempt history for post-mortem analysis.
 """
 
 from __future__ import annotations
+
+import typing as _t
 
 __all__ = [
     "ReproError",
@@ -24,6 +30,9 @@ __all__ = [
     "ModelError",
     "MeasurementError",
     "UnknownExperimentError",
+    "CellExecutionError",
+    "CellTimeoutError",
+    "CampaignExecutionError",
 ]
 
 
@@ -69,3 +78,84 @@ class UnknownExperimentError(ReproError, KeyError):
 
     def __str__(self) -> str:
         return Exception.__str__(self)
+
+
+class CellExecutionError(ReproError, RuntimeError):
+    """One campaign grid cell failed every attempt it was given.
+
+    Attributes
+    ----------
+    cell:
+        The ``(n, frequency_hz)`` grid cell that failed.
+    attempts:
+        The cell's full attempt history — a tuple of
+        :class:`repro.runtime.runner.CellAttempt` records, one per
+        try, each carrying the outcome (``"exception"``,
+        ``"timeout"``, ``"crash"``) and the error text.
+    """
+
+    def __init__(
+        self,
+        cell: tuple[int, float],
+        attempts: _t.Sequence[_t.Any] = (),
+        message: str | None = None,
+    ) -> None:
+        self.cell = (int(cell[0]), float(cell[1]))
+        self.attempts = tuple(attempts)
+        if message is None:
+            last = (
+                getattr(self.attempts[-1], "error", "")
+                if self.attempts
+                else ""
+            )
+            message = (
+                f"cell (n={self.cell[0]}, "
+                f"f={self.cell[1] / 1e6:.0f} MHz) failed after "
+                f"{len(self.attempts)} attempt(s)"
+                + (f": {last}" if last else "")
+            )
+        super().__init__(message)
+
+
+class CellTimeoutError(CellExecutionError):
+    """A grid cell exceeded the per-cell timeout on its final attempt.
+
+    The hung worker process is terminated and the pool rebuilt; this
+    error reports the cell whose retries never beat the deadline.
+    """
+
+
+class CampaignExecutionError(ReproError, RuntimeError):
+    """A campaign could not complete within its fault-tolerance budget.
+
+    Attributes
+    ----------
+    failures:
+        One :class:`CellExecutionError` per permanently-failed cell,
+        each with its (n, f) coordinates and attempt history.
+    completed:
+        Number of cells that *did* produce results (they are not
+        discarded — re-running the campaign with ``allow_partial``
+        returns them).
+    """
+
+    def __init__(
+        self,
+        failures: _t.Sequence[CellExecutionError],
+        completed: int = 0,
+        message: str | None = None,
+    ) -> None:
+        self.failures = tuple(failures)
+        self.completed = int(completed)
+        if message is None:
+            cells = ", ".join(
+                f"(n={err.cell[0]}, f={err.cell[1] / 1e6:.0f} MHz)"
+                for err in self.failures[:4]
+            )
+            if len(self.failures) > 4:
+                cells += ", ..."
+            message = (
+                f"{len(self.failures)} campaign cell(s) failed after "
+                f"retries ({self.completed} completed): {cells}"
+            )
+        super().__init__(message)

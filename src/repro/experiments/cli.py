@@ -16,7 +16,11 @@ custom (counts × frequencies) grid and exports times/energies/speedups.
 ``--jobs N`` fans campaign cells out over N worker processes and
 ``--no-disk-cache`` disables the persistent ``.repro_cache/`` tier
 (see :mod:`repro.runtime`); each command ends with a ``[campaign
-runtime]`` line reporting simulated cells and cache hits.
+runtime]`` line reporting simulated cells and cache hits.  Fault
+tolerance is tunable per run: ``--retries N`` (extra attempts per
+failing cell), ``--cell-timeout S`` (terminate and retry hung
+workers) and ``--allow-partial`` (return surviving cells plus a
+failure report instead of aborting the command).
 """
 
 from __future__ import annotations
@@ -63,21 +67,35 @@ def _jsonify(value: _t.Any) -> _t.Any:
 
 
 def _configure_runtime(args: argparse.Namespace) -> None:
-    """Apply ``--jobs`` / ``--no-disk-cache`` to the campaign runtime."""
+    """Apply the runtime flags (jobs, cache, fault tolerance)."""
     from repro import runtime
 
     runtime.configure(
         jobs=args.jobs,
         disk_cache=False if args.no_disk_cache else None,
+        retries=args.retries,
+        cell_timeout=args.cell_timeout,
+        allow_partial=True if args.allow_partial else None,
     )
 
 
 def _print_runtime_stats() -> None:
-    """Per-cell timing and cache-hit metrics for the finished command."""
+    """Per-cell timing, cache-hit and fault metrics for the command."""
     from repro.runtime.metrics import METRICS
 
     if METRICS.records:
         print(f"[campaign runtime] {METRICS.summary_line()}")
+    for record in METRICS.records:
+        for failure in record.failures:
+            cell = failure.get("cell", ["?", 0.0])
+            try:
+                where = f"n={cell[0]}, f={float(cell[1]) / 1e6:.0f} MHz"
+            except (TypeError, ValueError, IndexError):
+                where = repr(cell)
+            print(
+                f"[campaign runtime] {record.label}: FAILED cell "
+                f"({where}): {failure.get('error', 'unknown error')}"
+            )
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -203,6 +221,27 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         "--no-disk-cache",
         action="store_true",
         help="disable the on-disk campaign cache (.repro_cache/)",
+    )
+    runtime_opts.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts per failing campaign cell (default: 2)",
+    )
+    runtime_opts.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="terminate and retry cells after this stall time "
+        "(default: disabled; needs --jobs > 1)",
+    )
+    runtime_opts.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="on exhausted retries, keep surviving cells and print a "
+        "failure report instead of aborting",
     )
 
     p_list = sub.add_parser("list", help="list available experiments")

@@ -22,6 +22,7 @@ import typing as _t
 
 from repro import runtime
 from repro.cluster.machine import ClusterSpec, paper_spec
+from repro.errors import CampaignExecutionError
 from repro.core.measurements import TimingCampaign
 from repro.npb.base import BenchmarkModel
 from repro.units import mhz
@@ -90,6 +91,9 @@ def measure_campaign(
     *,
     jobs: int | None = None,
     disk_cache: bool | None = None,
+    retries: int | None = None,
+    cell_timeout: float | None = None,
+    allow_partial: bool | None = None,
 ) -> TimingCampaign:
     """Measure a benchmark over a (counts × frequencies) grid.
 
@@ -105,6 +109,17 @@ def measure_campaign(
     bit-identical to serial ones.  ``disk_cache`` overrides the
     on-disk tier for this call; ``use_cache=False`` bypasses (and
     does not populate) both tiers.
+
+    Execution is fault tolerant: cells that raise or hang are retried
+    (``retries`` extra attempts each, default 2) with exponential
+    backoff, ``cell_timeout`` seconds of stall marks running cells
+    hung (workers are terminated and the cells re-run), and a worker
+    crash re-simulates only the unfinished cells.  When a cell
+    exhausts its budget the campaign raises :class:`~repro.errors.
+    CampaignExecutionError` — unless ``allow_partial`` is set, in
+    which case the surviving cells are returned and a structured
+    failure report lands in the campaign's metrics record.  Partial
+    campaigns are never written to either cache tier.
     """
     start = time.perf_counter()
     key = _cache_key(benchmark, counts, frequencies, spec)
@@ -150,31 +165,62 @@ def measure_campaign(
             return campaign
 
     node_spec = spec if spec is not None else paper_spec()
-    times, energies, cell_wall, used_jobs = runtime.execute_campaign(
-        benchmark,
-        key[2],
-        key[3],
-        node_spec,
-        jobs=runtime.resolve_jobs(jobs, n_cells),
-    )
+    try:
+        execution = runtime.execute_campaign(
+            benchmark,
+            key[2],
+            key[3],
+            node_spec,
+            jobs=runtime.resolve_jobs(jobs, n_cells),
+            retries=runtime.resolve_retries(retries),
+            cell_timeout=runtime.resolve_cell_timeout(cell_timeout),
+            backoff_s=runtime.resolve_retry_backoff(),
+            allow_partial=runtime.resolve_allow_partial(allow_partial),
+        )
+    except CampaignExecutionError as error:
+        runtime.METRICS.record(
+            runtime.CampaignRecord(
+                label=label,
+                source="failed",
+                cells=n_cells,
+                wall_s=time.perf_counter() - start,
+                failed_cells=len(error.failures),
+                failures=tuple(
+                    {"cell": list(err.cell), "error": str(err)}
+                    for err in error.failures
+                ),
+            )
+        )
+        raise
     campaign = TimingCampaign(
-        times=times,
+        times=execution.times,
         base_frequency_hz=min(key[3]),
-        energies=energies,
+        energies=execution.energies,
         label=label,
     )
-    if use_cache:
+    if use_cache and not execution.failures:
         _CACHE[key] = campaign
         if store is not None:
             store.put(digest, campaign)
+    cell_attempts = execution.cell_attempts()
     runtime.METRICS.record(
         runtime.CampaignRecord(
             label=label,
             source="simulated",
             cells=n_cells,
             wall_s=time.perf_counter() - start,
-            jobs=used_jobs,
-            cell_wall_s=cell_wall,
+            jobs=execution.jobs,
+            cell_wall_s=execution.cell_wall_s,
+            attempts=len(execution.attempts),
+            retries=execution.retry_count,
+            timeouts=execution.timeout_count,
+            crash_recoveries=execution.crash_recoveries,
+            failed_cells=len(execution.failures),
+            cell_attempts=tuple(
+                (n, f, count)
+                for (n, f), count in cell_attempts.items()
+            ),
+            failures=tuple(execution.failure_report()),
         )
     )
     return campaign

@@ -1,23 +1,32 @@
-"""Campaign execution runtime: parallelism, caching, metrics.
+"""Campaign execution runtime: parallelism, caching, fault tolerance.
 
 This subsystem turns :func:`repro.experiments.platform.
 measure_campaign` from a serial, per-process-cached loop into a
-runtime with three layers:
+runtime with four layers:
 
 * :mod:`repro.runtime.runner` — fans grid cells out over a persistent
-  process pool and merges results deterministically.
+  process pool, merges results deterministically, and survives worker
+  exceptions, hangs and crashes via per-cell retries, timeouts and
+  crash recovery.
 * :mod:`repro.runtime.diskcache` — a content-addressed on-disk cache
-  under ``.repro_cache/`` so *warm processes skip simulation
-  entirely*.
-* :mod:`repro.runtime.metrics` — per-cell timing and cache-hit
-  counters for the benchmark harness.
+  under ``.repro_cache/`` with checksummed, quarantine-on-corruption
+  entries and a bounded LRU footprint, so *warm processes skip
+  simulation entirely*.
+* :mod:`repro.runtime.metrics` — per-cell timing, cache-hit and
+  fault-tolerance counters for the benchmark harness.
+* :mod:`repro.runtime.faults` — a deterministic, seeded
+  fault-injection harness (``REPRO_FAULTS``) that makes the other
+  three testable.
 
 Configuration resolves in priority order: explicit call argument →
-:func:`configure` (what the CLI's ``--jobs`` / ``--no-disk-cache``
-set) → environment (``REPRO_JOBS``, ``REPRO_DISK_CACHE``,
-``REPRO_CACHE_DIR``) → auto.  Auto parallelism only engages for grids
-of at least :data:`MIN_CELLS_AUTO_PARALLEL` cells on multi-core
-hosts — tiny campaigns are faster serial than through a pool.
+:func:`configure` (what the CLI's ``--jobs`` / ``--no-disk-cache`` /
+``--retries`` / ``--cell-timeout`` / ``--allow-partial`` set) →
+environment (``REPRO_JOBS``, ``REPRO_DISK_CACHE``,
+``REPRO_CACHE_DIR``, ``REPRO_RETRIES``, ``REPRO_CELL_TIMEOUT``,
+``REPRO_ALLOW_PARTIAL``, ``REPRO_RETRY_BACKOFF_S``) → defaults.  Auto
+parallelism only engages for grids of at least
+:data:`MIN_CELLS_AUTO_PARALLEL` cells on multi-core hosts — tiny
+campaigns are faster serial than through a pool.
 """
 
 from __future__ import annotations
@@ -27,11 +36,20 @@ import pathlib
 import typing as _t
 
 from repro.runtime.diskcache import (
+    DEFAULT_MAX_ENTRIES,
     SCHEMA_VERSION,
     DiskCache,
     benchmark_digest,
     campaign_digest,
     spec_digest,
+)
+from repro.runtime.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    InjectedFaultError,
+    active_fault_plan,
+    install_fault_plan,
+    parse_fault_plan,
 )
 from repro.runtime.metrics import (
     METRICS,
@@ -39,13 +57,28 @@ from repro.runtime.metrics import (
     campaign_metrics,
     reset_campaign_metrics,
 )
-from repro.runtime.runner import execute_campaign, shutdown_executor
+from repro.runtime.runner import (
+    DEFAULT_RETRIES,
+    DEFAULT_RETRY_BACKOFF_S,
+    CampaignExecution,
+    CellAttempt,
+    execute_campaign,
+    shutdown_executor,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
     "MIN_CELLS_AUTO_PARALLEL",
+    "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_RETRIES",
+    "DEFAULT_RETRY_BACKOFF_S",
+    "FAULT_KINDS",
     "DiskCache",
     "CampaignRecord",
+    "CampaignExecution",
+    "CellAttempt",
+    "FaultPlan",
+    "InjectedFaultError",
     "benchmark_digest",
     "campaign_digest",
     "spec_digest",
@@ -53,8 +86,15 @@ __all__ = [
     "reset_campaign_metrics",
     "execute_campaign",
     "shutdown_executor",
+    "parse_fault_plan",
+    "install_fault_plan",
+    "active_fault_plan",
     "configure",
     "resolve_jobs",
+    "resolve_retries",
+    "resolve_cell_timeout",
+    "resolve_retry_backoff",
+    "resolve_allow_partial",
     "disk_cache_enabled",
     "cache_dir",
     "disk_cache",
@@ -69,18 +109,27 @@ _UNSET: _t.Any = object()
 _jobs: int | None = None
 _disk_cache: bool | None = None
 _cache_dir: pathlib.Path | None = None
+_retries: int | None = None
+_cell_timeout: float | None = None
+_allow_partial: bool | None = None
+_retry_backoff_s: float | None = None
 
 
 def configure(
     jobs: int | None = _UNSET,
     disk_cache: bool | None = _UNSET,
     cache_dir: str | os.PathLike | None = _UNSET,
+    retries: int | None = _UNSET,
+    cell_timeout: float | None = _UNSET,
+    allow_partial: bool | None = _UNSET,
+    retry_backoff_s: float | None = _UNSET,
 ) -> None:
     """Set process-wide runtime defaults (``None`` restores auto).
 
     Only the arguments actually passed are changed.
     """
     global _jobs, _disk_cache, _cache_dir
+    global _retries, _cell_timeout, _allow_partial, _retry_backoff_s
     if jobs is not _UNSET:
         _jobs = None if jobs is None else max(1, int(jobs))
     if disk_cache is not _UNSET:
@@ -89,23 +138,88 @@ def configure(
         _cache_dir = (
             None if cache_dir is None else pathlib.Path(cache_dir)
         )
+    if retries is not _UNSET:
+        _retries = None if retries is None else max(0, int(retries))
+    if cell_timeout is not _UNSET:
+        _cell_timeout = (
+            None if cell_timeout is None else float(cell_timeout)
+        )
+    if allow_partial is not _UNSET:
+        _allow_partial = allow_partial
+    if retry_backoff_s is not _UNSET:
+        _retry_backoff_s = (
+            None
+            if retry_backoff_s is None
+            else max(0.0, float(retry_backoff_s))
+        )
+
+
+def _env_number(
+    name: str, convert: _t.Callable[[str], _t.Any]
+) -> _t.Any | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return convert(raw)
+    except ValueError:
+        return None
 
 
 def resolve_jobs(explicit: int | None, n_cells: int) -> int:
     """Worker count for a campaign of ``n_cells`` grid cells."""
     jobs = explicit if explicit is not None else _jobs
     if jobs is None:
-        env = os.environ.get("REPRO_JOBS", "").strip()
-        if env:
-            try:
-                jobs = int(env)
-            except ValueError:
-                jobs = None
+        jobs = _env_number("REPRO_JOBS", int)
     if jobs is None:  # auto
         if n_cells < MIN_CELLS_AUTO_PARALLEL:
             return 1
         jobs = os.cpu_count() or 1
     return max(1, min(int(jobs), max(1, n_cells)))
+
+
+def resolve_retries(explicit: int | None = None) -> int:
+    """Extra attempts each cell gets after a failure of its own."""
+    retries = explicit if explicit is not None else _retries
+    if retries is None:
+        retries = _env_number("REPRO_RETRIES", int)
+    if retries is None:
+        retries = DEFAULT_RETRIES
+    return max(0, int(retries))
+
+
+def resolve_cell_timeout(explicit: float | None = None) -> float | None:
+    """Per-cell stall timeout in seconds (``None`` = disabled).
+
+    Non-positive values disable the timeout, matching ``--cell-timeout
+    0`` on the CLI.
+    """
+    timeout = explicit if explicit is not None else _cell_timeout
+    if timeout is None:
+        timeout = _env_number("REPRO_CELL_TIMEOUT", float)
+    if timeout is None or timeout <= 0:
+        return None
+    return float(timeout)
+
+
+def resolve_retry_backoff(explicit: float | None = None) -> float:
+    """Base of the exponential retry backoff, in seconds."""
+    backoff = explicit if explicit is not None else _retry_backoff_s
+    if backoff is None:
+        backoff = _env_number("REPRO_RETRY_BACKOFF_S", float)
+    if backoff is None:
+        backoff = DEFAULT_RETRY_BACKOFF_S
+    return max(0.0, float(backoff))
+
+
+def resolve_allow_partial(explicit: bool | None = None) -> bool:
+    """Whether exhausted cells degrade to a partial campaign."""
+    if explicit is not None:
+        return explicit
+    if _allow_partial is not None:
+        return _allow_partial
+    env = os.environ.get("REPRO_ALLOW_PARTIAL", "").strip().lower()
+    return env in ("1", "true", "yes", "on")
 
 
 def disk_cache_enabled(explicit: bool | None = None) -> bool:

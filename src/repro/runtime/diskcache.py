@@ -11,6 +11,17 @@ JSON round-trips Python floats exactly (``json.dumps`` emits the
 shortest repr that parses back to the same double), so a reloaded
 campaign is bit-identical to the freshly simulated one.
 
+Integrity: every entry embeds a SHA-256 checksum of its canonical
+payload, verified on read.  An entry that fails to parse, parses to
+the wrong shape, or fails the checksum is *quarantined* — renamed to
+``<name>.json.corrupt`` — instead of silently ignored, so corruption
+is both harmless (treated as a miss, cell re-simulated) and visible
+(the file survives for post-mortem).  The cache is also bounded: once
+it exceeds ``max_entries`` (default 4096, override with
+``REPRO_CACHE_MAX_ENTRIES``), the least-recently-used entries are
+swept after each write; reads refresh an entry's mtime to keep warm
+campaigns resident.
+
 Bump :data:`SCHEMA_VERSION` whenever simulation semantics change —
 the digest includes it, so old entries are orphaned rather than
 served stale.
@@ -30,9 +41,11 @@ import typing as _t
 
 from repro.cluster.machine import ClusterSpec
 from repro.core.measurements import TimingCampaign
+from repro.runtime import faults
 
 __all__ = [
     "SCHEMA_VERSION",
+    "DEFAULT_MAX_ENTRIES",
     "DiskCache",
     "spec_digest",
     "benchmark_digest",
@@ -41,7 +54,11 @@ __all__ = [
 
 #: Version of both the digest material and the on-disk JSON layout.
 #: Bump when the simulator's outputs or this file format change.
-SCHEMA_VERSION = 1
+#: (v2: embedded payload checksum.)
+SCHEMA_VERSION = 2
+
+#: Default cap on resident entries before the LRU sweep kicks in.
+DEFAULT_MAX_ENTRIES = 4096
 
 
 def _digest_material(obj: _t.Any) -> _t.Any:
@@ -126,31 +143,84 @@ def campaign_digest(
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def _payload_checksum(document: dict[str, _t.Any]) -> str:
+    """Checksum of an entry's canonical payload (checksum field aside)."""
+    payload = {k: v for k, v in document.items() if k != "checksum"}
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 class DiskCache:
     """A directory of ``<digest>.json`` campaign files.
 
-    Entries are written atomically (temp file + rename), so a reader
-    never observes a half-written campaign even with concurrent
-    processes filling the same cache.
+    Entries are written atomically (temp file + rename) and carry a
+    payload checksum, so a reader never observes a half-written or
+    silently-corrupted campaign even with concurrent processes filling
+    the same cache.  Bad entries are quarantined to
+    ``<name>.json.corrupt`` and treated as misses.
     """
 
-    def __init__(self, root: pathlib.Path | str) -> None:
+    def __init__(
+        self,
+        root: pathlib.Path | str,
+        max_entries: int | None = None,
+    ) -> None:
         self.root = pathlib.Path(root)
+        if max_entries is None:
+            env = os.environ.get(
+                "REPRO_CACHE_MAX_ENTRIES", ""
+            ).strip()
+            try:
+                max_entries = int(env) if env else DEFAULT_MAX_ENTRIES
+            except ValueError:
+                max_entries = DEFAULT_MAX_ENTRIES
+        self.max_entries = max(1, int(max_entries))
 
     def _path(self, digest: str) -> pathlib.Path:
         return self.root / f"{digest}.json"
 
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a bad entry aside as ``<name>.corrupt`` (best effort).
+
+        Rename rather than delete: the corrupt bytes stay available
+        for post-mortem, and can never again be served as a hit.
+        """
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            try:  # e.g. another process already quarantined it
+                path.unlink()
+            except OSError:
+                pass
+
     def get(self, digest: str) -> TimingCampaign | None:
-        """Load a campaign, or ``None`` on miss/corruption."""
+        """Load a campaign, or ``None`` on miss.
+
+        Unparseable, wrong-shaped, checksum-failing and structurally
+        invalid entries are quarantined; a wrong schema version is an
+        ordinary (legitimately orphaned) miss.
+        """
         path = self._path(digest)
         try:
-            document = json.loads(path.read_text())
-        except (OSError, ValueError):
+            raw = path.read_text()
+        except OSError:
+            return None
+        try:
+            document = json.loads(raw)
+        except ValueError:
+            self._quarantine(path)
+            return None
+        if not isinstance(document, dict):
+            self._quarantine(path)
             return None
         if document.get("schema") != SCHEMA_VERSION:
             return None
+        if document.get("checksum") != _payload_checksum(document):
+            self._quarantine(path)
+            return None
         try:
-            return TimingCampaign(
+            campaign = TimingCampaign(
                 times={
                     (n, f): t for n, f, t in document["times"]
                 },
@@ -161,7 +231,13 @@ class DiskCache:
                 label=document.get("label", ""),
             )
         except (KeyError, TypeError, ValueError):
+            self._quarantine(path)
             return None
+        try:  # LRU recency: a hit keeps the entry resident.
+            os.utime(path)
+        except OSError:
+            pass
+        return campaign
 
     def put(self, digest: str, campaign: TimingCampaign) -> None:
         """Store a campaign; failures are non-fatal (cache stays cold)."""
@@ -176,6 +252,17 @@ class DiskCache:
                 [n, f, e] for (n, f), e in campaign.energies.items()
             ],
         }
+        document["checksum"] = _payload_checksum(document)
+        plan = faults.active_fault_plan()
+        if plan is not None and plan.corrupts(digest):
+            # Injected corruption: tamper with the payload *after*
+            # sealing the checksum, so the read path must catch it.
+            if document["times"]:
+                document["times"][0][2] = (
+                    float(document["times"][0][2]) + 1.0
+                )
+            else:
+                document["label"] = document["label"] + "!corrupt"
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -189,15 +276,47 @@ class DiskCache:
                 os.unlink(tmp)
                 raise
         except OSError:
-            pass
+            return
+        self._sweep()
 
-    def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
-        removed = 0
+    def _sweep(self) -> int:
+        """Evict least-recently-used entries beyond ``max_entries``."""
+        aged: list[tuple[float, pathlib.Path]] = []
         try:
             entries = list(self.root.glob("*.json"))
         except OSError:
             return 0
+        if len(entries) <= self.max_entries:
+            return 0
+        for path in entries:
+            try:
+                aged.append((path.stat().st_mtime, path))
+            except OSError:
+                pass  # raced with another process's eviction
+        aged.sort(key=lambda pair: pair[0])
+        removed = 0
+        for _, path in aged[: max(0, len(aged) - self.max_entries)]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def clear(self) -> int:
+        """Delete every entry (quarantined ones included); returns the
+        number of live entries removed."""
+        removed = 0
+        try:
+            entries = list(self.root.glob("*.json"))
+            corrupt = list(self.root.glob("*.json.corrupt"))
+        except OSError:
+            return 0
+        for path in corrupt:
+            try:
+                path.unlink()
+            except OSError:
+                pass
         for path in entries:
             try:
                 path.unlink()
@@ -205,6 +324,13 @@ class DiskCache:
             except OSError:
                 pass
         return removed
+
+    def quarantined(self) -> int:
+        """Number of quarantined (``.json.corrupt``) entries on disk."""
+        try:
+            return sum(1 for _ in self.root.glob("*.json.corrupt"))
+        except OSError:
+            return 0
 
     def __len__(self) -> int:
         try:

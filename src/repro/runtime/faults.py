@@ -1,0 +1,247 @@
+"""Deterministic fault injection for the campaign runtime.
+
+Fault tolerance that is only exercised by real failures is fault
+tolerance that is never exercised.  This module injects the four
+failure modes the runner must survive — worker exceptions, worker
+crashes (``os._exit``), hangs, and corrupt disk-cache entries — at
+*deterministic, seeded* grid cells, so a fault-injected campaign is
+exactly reproducible and its recovered results can be asserted
+bit-identical to a clean serial run.
+
+A :class:`FaultPlan` decides, per ``(n, f)`` cell and attempt number,
+whether to inject and what kind.  Selection is a pure function of the
+plan's seed and the cell coordinates (a SHA-256 draw), never of wall
+clock, process id or call order.  By default a fault fires only on a
+cell's first attempt (``times=1``), so retried cells deterministically
+succeed; raise ``times`` to model persistent failures.
+
+Activate a plan either programmatically::
+
+    from repro.runtime import FaultPlan, install_fault_plan
+    install_fault_plan(FaultPlan(seed=42, crash=0.2, exception=0.1))
+
+or via the ``REPRO_FAULTS`` environment variable, a comma-separated
+``key=value`` list (rates in [0, 1]; cells as ``N@MHz`` joined by
+``+``)::
+
+    REPRO_FAULTS="seed=42,crash=0.2,exception=0.1,hang=0.05,hang_s=2"
+    REPRO_FAULTS="exception=1,cells=4@600+8@1400,times=2"
+    REPRO_FAULTS="corrupt=1"           # corrupt every cache write
+
+Worker processes inherit the plan through ``fork`` and through the
+environment, so injection works identically in serial, parallel and
+subprocess contexts.  ``crash`` only calls ``os._exit`` inside a
+worker process; in the main process it degrades to an exception so a
+serial run is never killed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing
+import os
+import time
+import typing as _t
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "InjectedFaultError",
+    "parse_fault_plan",
+    "install_fault_plan",
+    "active_fault_plan",
+    "maybe_inject",
+]
+
+#: The injectable failure modes, in precedence order (a cell drawn for
+#: several kinds gets the first match).
+FAULT_KINDS = ("crash", "hang", "exception", "corrupt")
+
+
+class InjectedFaultError(RuntimeError):
+    """Raised by the harness in place of a real worker failure.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: the
+    runner's retry path must treat it exactly like any unexpected
+    third-party exception.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic schedule of injected failures.
+
+    Attributes
+    ----------
+    seed:
+        Seeds every selection draw; two plans with the same seed and
+        rates pick the same cells.
+    exception, crash, hang, corrupt:
+        Per-kind injection probability in ``[0, 1]``.  ``exception``,
+        ``crash`` and ``hang`` apply to grid cells; ``corrupt``
+        applies to disk-cache writes (drawn per entry digest).
+    times:
+        A cell fault fires on attempts ``0 .. times-1`` only, so the
+        default (1) makes every faulted cell succeed on retry.
+    hang_s:
+        How long an injected hang sleeps.  Finite so that even an
+        undetected hang eventually unblocks a test run.
+    cells:
+        Optional whitelist of ``(n, frequency_hz)`` cells; when set,
+        cell faults are restricted to these (rates still apply).
+    """
+
+    seed: int = 0
+    exception: float = 0.0
+    crash: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    times: int = 1
+    hang_s: float = 5.0
+    cells: tuple[tuple[int, float], ...] | None = None
+
+    def _draw(self, kind: str, material: str) -> bool:
+        """Deterministic Bernoulli draw for one kind at one target."""
+        rate = getattr(self, kind)
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        blob = f"{self.seed}|{kind}|{material}".encode("utf-8")
+        word = int.from_bytes(
+            hashlib.sha256(blob).digest()[:8], "big"
+        )
+        return word / 2.0**64 < rate
+
+    def _covers(self, n: int, f: float) -> bool:
+        if self.cells is None:
+            return True
+        return any(
+            m == int(n) and abs(g - float(f)) < 0.5
+            for m, g in self.cells
+        )
+
+    def fault_for(self, n: int, f: float, attempt: int) -> str | None:
+        """The fault kind to inject at this cell/attempt, or ``None``."""
+        if attempt >= self.times or not self._covers(n, f):
+            return None
+        material = f"{int(n)}@{float(f):.6g}"
+        for kind in ("crash", "hang", "exception"):
+            if self._draw(kind, material):
+                return kind
+        return None
+
+    def corrupts(self, digest: str) -> bool:
+        """Whether the cache entry at ``digest`` should be corrupted."""
+        return self._draw("corrupt", digest)
+
+
+def _parse_cell(token: str) -> tuple[int, float]:
+    """Parse one ``N@MHz`` cell token into ``(n, frequency_hz)``."""
+    n, sep, megahertz = token.partition("@")
+    if not sep:
+        raise ValueError(
+            f"bad REPRO_FAULTS cell {token!r} (expected N@MHz)"
+        )
+    return int(n), float(megahertz) * 1e6
+
+
+def parse_fault_plan(text: str) -> FaultPlan | None:
+    """Parse the ``REPRO_FAULTS`` syntax into a :class:`FaultPlan`.
+
+    Returns ``None`` for blank input; raises :class:`ValueError` on
+    unknown keys or malformed values — a fault harness that silently
+    fails to arm would defeat its purpose.
+    """
+    text = text.strip()
+    if not text:
+        return None
+    kwargs: dict[str, _t.Any] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        if key in ("exception", "crash", "hang", "corrupt"):
+            kwargs[key] = float(value) if sep else 1.0
+        elif key == "seed":
+            kwargs["seed"] = int(value)
+        elif key == "times":
+            kwargs["times"] = int(value)
+        elif key == "hang_s":
+            kwargs["hang_s"] = float(value)
+        elif key == "cells":
+            kwargs["cells"] = tuple(
+                _parse_cell(token) for token in value.split("+")
+            )
+        else:
+            raise ValueError(f"unknown REPRO_FAULTS key {key!r}")
+    return FaultPlan(**kwargs)
+
+
+_PLAN: FaultPlan | None = None
+_ENV_CACHE: tuple[str, FaultPlan | None] | None = None
+
+
+def install_fault_plan(plan: FaultPlan | None) -> None:
+    """Install (or with ``None`` remove) the process-wide fault plan.
+
+    An installed plan takes priority over ``REPRO_FAULTS``.  Worker
+    processes forked after installation inherit it.
+    """
+    global _PLAN
+    _PLAN = plan
+
+
+def active_fault_plan() -> FaultPlan | None:
+    """The plan currently in force: installed, else ``REPRO_FAULTS``."""
+    if _PLAN is not None:
+        return _PLAN
+    env = os.environ.get("REPRO_FAULTS", "")
+    if not env.strip():
+        return None
+    global _ENV_CACHE
+    if _ENV_CACHE is None or _ENV_CACHE[0] != env:
+        _ENV_CACHE = (env, parse_fault_plan(env))
+    return _ENV_CACHE[1]
+
+
+def maybe_inject(
+    n: int,
+    f: float,
+    attempt: int,
+    plan: FaultPlan | None = None,
+) -> None:
+    """Execute the planned fault (if any) for this cell attempt.
+
+    Called by the cell worker before simulation starts.  The runner
+    passes the plan explicitly (it is pickled along with the cell), so
+    injection also reaches pool workers that were forked *before* the
+    plan was installed; ``plan=None`` falls back to
+    :func:`active_fault_plan`.  ``hang`` sleeps ``hang_s`` then lets
+    the cell proceed (a straggler, not a corpse — the runner's timeout
+    decides which).  ``crash`` exits the worker process without
+    cleanup; in the main process it degrades to an
+    :class:`InjectedFaultError` so serial runs survive.
+    """
+    if plan is None:
+        plan = active_fault_plan()
+    if plan is None:
+        return
+    kind = plan.fault_for(n, f, attempt)
+    if kind is None:
+        return
+    where = f"cell (n={int(n)}, f={float(f) / 1e6:.0f} MHz) attempt {attempt}"
+    if kind == "hang":
+        time.sleep(plan.hang_s)
+        return
+    if kind == "crash":
+        if multiprocessing.parent_process() is not None:
+            os._exit(86)
+        raise InjectedFaultError(
+            f"injected crash at {where} (simulated in-process)"
+        )
+    raise InjectedFaultError(f"injected exception at {where}")

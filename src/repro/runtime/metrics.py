@@ -1,11 +1,14 @@
-"""Campaign-runtime metrics: per-cell timings and cache-hit counters.
+"""Campaign-runtime metrics: per-cell timings, cache-hit counters and
+fault-tolerance accounting.
 
 The runtime keeps one process-global :class:`MetricsRegistry` that the
 campaign runner reports into.  The benchmark harness (and the CLI's
 ``--jobs`` plumbing) reads a :meth:`~MetricsRegistry.snapshot` at the
 end of a session to track the perf trajectory across PRs — how many
-cells were actually simulated, how many came from each cache tier, and
-how long the simulated cells took.
+cells were actually simulated, how many came from each cache tier,
+how long the simulated cells took, and what the fault-tolerance layer
+had to absorb (retries, timeouts, crash recoveries, permanently
+failed cells).
 """
 
 from __future__ import annotations
@@ -30,8 +33,9 @@ class CampaignRecord:
     label:
         Campaign label (``benchmark.class``).
     source:
-        Where the result came from: ``"memory"``, ``"disk"`` or
-        ``"simulated"``.
+        Where the result came from: ``"memory"``, ``"disk"``,
+        ``"simulated"`` or ``"failed"`` (retry budget exhausted
+        without ``allow_partial``).
     cells:
         Number of grid cells in the campaign.
     wall_s:
@@ -42,6 +46,24 @@ class CampaignRecord:
     cell_wall_s:
         Per-cell simulation wall times, in grid order (empty for
         cache hits).
+    attempts:
+        Total cell attempts across all retry rounds (== ``cells`` on
+        a clean simulated run, 0 for cache hits).
+    retries:
+        Attempts beyond each cell's first.
+    timeouts:
+        Attempts that ended in a per-cell timeout.
+    crash_recoveries:
+        Worker-pool breaks survived without discarding finished cells.
+    failed_cells:
+        Cells that exhausted their budget (> 0 only with
+        ``allow_partial`` or ``source == "failed"``).
+    cell_attempts:
+        Per-cell attempt counts as ``[n, f, attempts]`` triples, grid
+        order (empty when every cell took exactly one attempt).
+    failures:
+        Structured per-cell failure report (see
+        :meth:`repro.runtime.runner.CampaignExecution.failure_report`).
     """
 
     label: str
@@ -50,6 +72,13 @@ class CampaignRecord:
     wall_s: float
     jobs: int = 1
     cell_wall_s: tuple[float, ...] = ()
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crash_recoveries: int = 0
+    failed_cells: int = 0
+    cell_attempts: tuple[tuple[int, float, int], ...] = ()
+    failures: tuple[dict[str, _t.Any], ...] = ()
 
     def as_dict(self) -> dict[str, _t.Any]:
         """JSON-ready form (what ``BENCH_campaigns.json`` stores)."""
@@ -60,6 +89,13 @@ class CampaignRecord:
             "wall_s": self.wall_s,
             "jobs": self.jobs,
             "cell_wall_s": list(self.cell_wall_s),
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crash_recoveries": self.crash_recoveries,
+            "failed_cells": self.failed_cells,
+            "cell_attempts": [list(t) for t in self.cell_attempts],
+            "failures": list(self.failures),
         }
 
 
@@ -73,6 +109,11 @@ class MetricsRegistry:
         self.simulated_campaigns = 0
         self.simulated_cells = 0
         self.simulated_wall_s = 0.0
+        self.failed_campaigns = 0
+        self.total_retries = 0
+        self.total_timeouts = 0
+        self.total_crash_recoveries = 0
+        self.total_failed_cells = 0
 
     def record(self, record: CampaignRecord) -> None:
         """Append one campaign record and update the aggregates."""
@@ -81,10 +122,16 @@ class MetricsRegistry:
             self.memory_hits += 1
         elif record.source == "disk":
             self.disk_hits += 1
+        elif record.source == "failed":
+            self.failed_campaigns += 1
         else:
             self.simulated_campaigns += 1
             self.simulated_cells += record.cells
             self.simulated_wall_s += record.wall_s
+        self.total_retries += record.retries
+        self.total_timeouts += record.timeouts
+        self.total_crash_recoveries += record.crash_recoveries
+        self.total_failed_cells += record.failed_cells
 
     def reset(self) -> None:
         """Drop all records and zero every counter."""
@@ -99,18 +146,40 @@ class MetricsRegistry:
             "simulated_campaigns": self.simulated_campaigns,
             "simulated_cells": self.simulated_cells,
             "simulated_wall_s": self.simulated_wall_s,
+            "failed_campaigns": self.failed_campaigns,
+            "retries": self.total_retries,
+            "timeouts": self.total_timeouts,
+            "crash_recoveries": self.total_crash_recoveries,
+            "failed_cells": self.total_failed_cells,
             "records": [r.as_dict() for r in self.records],
         }
 
     def summary_line(self) -> str:
-        """One-line human summary (the CLI prints this)."""
-        return (
+        """One-line human summary (the CLI prints this).
+
+        Fault-tolerance counters appear only when something actually
+        went wrong, so clean runs keep the familiar short line.
+        """
+        line = (
             f"{len(self.records)} campaigns: "
             f"{self.simulated_cells} cells simulated in "
             f"{self.simulated_wall_s:.2f}s, "
             f"{self.memory_hits} memory hits, "
             f"{self.disk_hits} disk hits"
         )
+        if (
+            self.total_retries
+            or self.total_timeouts
+            or self.total_crash_recoveries
+            or self.total_failed_cells
+        ):
+            line += (
+                f"; faults absorbed: {self.total_retries} retries, "
+                f"{self.total_timeouts} timeouts, "
+                f"{self.total_crash_recoveries} crash recoveries, "
+                f"{self.total_failed_cells} failed cells"
+            )
+        return line
 
 
 #: The process-global registry the campaign runner reports into.

@@ -1,4 +1,4 @@
-"""Parallel campaign cell execution.
+"""Fault-tolerant parallel campaign cell execution.
 
 Every (processor count, frequency) cell of a measurement campaign is an
 independent deterministic simulation — embarrassingly parallel.  This
@@ -7,38 +7,203 @@ ProcessPoolExecutor` and merges the results back in *grid order*, so a
 parallel run is bit-identical to a serial one: same floats, same dict
 insertion order.
 
+On top of the fan-out sits a fault-tolerance layer:
+
+* **Per-cell retries with exponential backoff.**  A cell whose worker
+  raises gets re-submitted (with an incremented attempt number, which
+  the fault-injection harness keys on) up to ``retries`` more times.
+* **Per-cell timeouts.**  If no cell completes within ``cell_timeout``
+  seconds, every still-running cell is declared hung; the pool is
+  hard-reset (hung workers are *terminated*, not waited on) and the
+  stuck cells retried.  Cells that never started are re-queued without
+  consuming an attempt.
+* **Crash recovery.**  A worker dying (segfault, ``os._exit``) breaks
+  the whole pool, but futures that already completed keep their
+  results — only the unfinished cells are re-submitted to a fresh
+  pool.  Two fruitless crash rounds in a row drop the remainder to
+  the serial path.
+* **Graceful degradation.**  With ``allow_partial`` the surviving
+  cells are returned together with per-cell
+  :class:`~repro.errors.CellExecutionError` failure records; without
+  it the campaign raises :class:`~repro.errors.CampaignExecutionError`
+  carrying the same records.
+
+Because simulation is deterministic, a cell that succeeds on retry
+produces exactly the bytes it would have produced on a clean first
+run, so a fault-ridden campaign that completes is bit-identical to an
+undisturbed one.
+
 The pool is created lazily, reused across campaigns (startup cost is
 paid once per process, not per campaign) and torn down at interpreter
-exit.  Anything that cannot be parallelized safely — unpicklable
-benchmark objects, a broken pool — falls back to the serial path
-rather than failing the measurement.
+exit — with ``wait=True`` there, so no forked child outlives the
+interpreter.
 """
 
 from __future__ import annotations
 
 import atexit
 import concurrent.futures
+import dataclasses
 import multiprocessing
 import pickle
 import time
 import typing as _t
 
 from repro.cluster.machine import Cluster, ClusterSpec
+from repro.errors import (
+    CampaignExecutionError,
+    CellExecutionError,
+    CellTimeoutError,
+)
 from repro.npb.base import BenchmarkModel
+from repro.runtime import faults
 
-__all__ = ["execute_campaign", "shutdown_executor"]
+__all__ = [
+    "DEFAULT_RETRIES",
+    "DEFAULT_RETRY_BACKOFF_S",
+    "CellAttempt",
+    "CampaignExecution",
+    "execute_campaign",
+    "shutdown_executor",
+]
 
 Cell = tuple[int, float]
+
+#: Extra attempts a cell gets after its first failure.
+DEFAULT_RETRIES = 2
+
+#: Base of the exponential backoff between retry rounds, in seconds.
+DEFAULT_RETRY_BACKOFF_S = 0.05
+
+#: After this many consecutive pool breaks that harvested zero new
+#: results, the remaining cells run serially instead.
+_MAX_FRUITLESS_CRASHES = 2
 
 _EXECUTOR: concurrent.futures.ProcessPoolExecutor | None = None
 _EXECUTOR_JOBS = 0
 
 
+@dataclasses.dataclass(frozen=True)
+class CellAttempt:
+    """One try at one grid cell, as observed by the runner.
+
+    Attributes
+    ----------
+    cell:
+        The ``(n, frequency_hz)`` grid cell.
+    attempt:
+        0-based attempt number (0 = first try).
+    outcome:
+        ``"ok"``, ``"exception"``, ``"timeout"`` or ``"crash"``.
+    error:
+        Error text for failed attempts (empty for ``"ok"``).
+    wall_s:
+        Wall-clock the attempt took where known (0.0 for crashes and
+        cancelled waits).
+    """
+
+    cell: Cell
+    attempt: int
+    outcome: str
+    error: str = ""
+    wall_s: float = 0.0
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        """JSON-ready form (what failure reports embed)."""
+        return {
+            "cell": [self.cell[0], self.cell[1]],
+            "attempt": self.attempt,
+            "outcome": self.outcome,
+            "error": self.error,
+            "wall_s": self.wall_s,
+        }
+
+
+@dataclasses.dataclass
+class CampaignExecution:
+    """Everything one ``execute_campaign`` call produced and endured.
+
+    Attributes
+    ----------
+    times, energies:
+        Per-cell results in grid order; failed cells (only possible
+        with ``allow_partial``) are absent.
+    cell_wall_s:
+        Simulation wall time of each *successful* cell, grid order.
+    jobs:
+        Worker processes actually used (the live pool size capped by
+        the cell count — may exceed the requested jobs if an earlier
+        campaign grew the pool).
+    attempts:
+        Complete :class:`CellAttempt` log across all retry rounds.
+    failures:
+        One :class:`~repro.errors.CellExecutionError` per permanently
+        failed cell (empty unless ``allow_partial`` let them through).
+    crash_recoveries:
+        Pool-break events survived (completed results were kept and
+        only unfinished cells re-submitted).
+    """
+
+    times: dict[Cell, float]
+    energies: dict[Cell, float]
+    cell_wall_s: tuple[float, ...]
+    jobs: int
+    attempts: tuple[CellAttempt, ...] = ()
+    failures: tuple[CellExecutionError, ...] = ()
+    crash_recoveries: int = 0
+
+    @property
+    def retry_count(self) -> int:
+        """Attempts beyond each cell's first (the re-submissions)."""
+        return len(self.attempts) - len(
+            {a.cell for a in self.attempts}
+        )
+
+    @property
+    def timeout_count(self) -> int:
+        """Attempts that ended in a per-cell timeout."""
+        return sum(1 for a in self.attempts if a.outcome == "timeout")
+
+    def cell_attempts(self) -> dict[Cell, int]:
+        """Attempts consumed per cell (1 everywhere on a clean run)."""
+        counts: dict[Cell, int] = {}
+        for a in self.attempts:
+            counts[a.cell] = counts.get(a.cell, 0) + 1
+        return counts
+
+    def failure_report(self) -> list[dict[str, _t.Any]]:
+        """Structured per-cell failure report (JSON-ready)."""
+        return [
+            {
+                "cell": [err.cell[0], err.cell[1]],
+                "error": str(err),
+                "timeout": isinstance(err, CellTimeoutError),
+                "attempts": [
+                    a.as_dict()
+                    for a in err.attempts
+                    if isinstance(a, CellAttempt)
+                ],
+            }
+            for err in self.failures
+        ]
+
+
 def _simulate_cell(
-    benchmark: BenchmarkModel, n: int, f: float, spec: ClusterSpec
+    benchmark: BenchmarkModel,
+    n: int,
+    f: float,
+    spec: ClusterSpec,
+    attempt: int = 0,
+    plan: faults.FaultPlan | None = None,
 ) -> tuple[float, float, float]:
-    """Run one grid cell; returns (elapsed_s, energy_j, sim wall s)."""
+    """Run one grid cell; returns (elapsed_s, energy_j, sim wall s).
+
+    ``plan`` ships the caller's fault plan into the worker explicitly,
+    so injection works even in pool processes forked before the plan
+    was installed.
+    """
     start = time.perf_counter()
+    faults.maybe_inject(n, f, attempt, plan)
     cluster = Cluster(spec.with_nodes(n), frequency_hz=f)
     result = benchmark.run(cluster)
     return result.elapsed_s, result.energy_j, time.perf_counter() - start
@@ -60,40 +225,275 @@ def _get_executor(jobs: int) -> concurrent.futures.ProcessPoolExecutor:
     return _EXECUTOR
 
 
-def shutdown_executor() -> None:
-    """Tear down the worker pool (idempotent; pool restarts on demand)."""
+def shutdown_executor(wait: bool = False) -> None:
+    """Tear down the worker pool (idempotent; pool restarts on demand).
+
+    Mid-run resets use ``wait=False`` so a broken pool never blocks
+    recovery; the interpreter-exit hook passes ``wait=True`` so forked
+    children are reaped rather than orphaned past exit.
+    """
     global _EXECUTOR, _EXECUTOR_JOBS
     if _EXECUTOR is not None:
-        _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+        _EXECUTOR.shutdown(wait=wait, cancel_futures=True)
         _EXECUTOR = None
         _EXECUTOR_JOBS = 0
 
 
-atexit.register(shutdown_executor)
+def _shutdown_at_exit() -> None:
+    shutdown_executor(wait=True)
 
 
-def _run_serial(
+atexit.register(_shutdown_at_exit)
+
+
+def _hard_reset_executor() -> None:
+    """Terminate every worker outright and discard the pool.
+
+    The only way to clear a *hung* worker: ``shutdown`` (with or
+    without ``wait``) never interrupts a task that is already
+    running.  Terminated children are then reaped by ``wait=True``.
+    """
+    global _EXECUTOR, _EXECUTOR_JOBS
+    executor = _EXECUTOR
+    _EXECUTOR = None
+    _EXECUTOR_JOBS = 0
+    if executor is None:
+        return
+    for process in list(getattr(executor, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - racing process death
+            pass
+    try:
+        executor.shutdown(wait=True, cancel_futures=True)
+    except Exception:  # pragma: no cover - pool already broken
+        pass
+
+
+def _own_fault_attempts(log: list[CellAttempt], cell: Cell) -> int:
+    """Failed attempts attributable to the cell itself.
+
+    Crash outcomes are excluded: when a pool breaks, every unfinished
+    future reports :class:`BrokenProcessPool` and the runner cannot
+    tell the guilty cell from innocent bystanders, so crashes are
+    bounded by the round limit instead of the per-cell budget.
+    """
+    return sum(
+        1
+        for a in log
+        if a.cell == cell and a.outcome in ("exception", "timeout")
+    )
+
+
+def _run_serial_attempts(
     benchmark: BenchmarkModel,
     cells: _t.Sequence[Cell],
     spec: ClusterSpec,
-) -> dict[Cell, tuple[float, float, float]]:
-    return {
-        (n, f): _simulate_cell(benchmark, n, f, spec) for n, f in cells
-    }
+    *,
+    retries: int,
+    backoff_s: float,
+    attempt_index: dict[Cell, int],
+    log: list[CellAttempt],
+    results: dict[Cell, tuple[float, float, float]],
+    plan: faults.FaultPlan | None = None,
+) -> None:
+    """Serial execution with the same retry accounting as parallel.
+
+    Timeouts are not enforceable in-process (a hang blocks the caller)
+    — that protection requires ``jobs > 1``.  Injected crashes degrade
+    to exceptions in the main process, so they retry like any error.
+    """
+    for cell in cells:
+        if cell in results:
+            continue
+        n, f = cell
+        while True:
+            attempt = attempt_index[cell]
+            attempt_index[cell] = attempt + 1
+            start = time.perf_counter()
+            try:
+                results[cell] = _simulate_cell(
+                    benchmark, n, f, spec, attempt, plan
+                )
+            except Exception as exc:
+                log.append(
+                    CellAttempt(
+                        cell,
+                        attempt,
+                        "exception",
+                        error=repr(exc),
+                        wall_s=time.perf_counter() - start,
+                    )
+                )
+                if _own_fault_attempts(log, cell) > retries:
+                    break
+                if backoff_s > 0:
+                    time.sleep(backoff_s * 2**attempt)
+            else:
+                log.append(
+                    CellAttempt(
+                        cell, attempt, "ok", wall_s=results[cell][2]
+                    )
+                )
+                break
 
 
-def _run_parallel(
+def _harvest_round(
+    futures: dict[concurrent.futures.Future, Cell],
+    *,
+    cell_timeout: float | None,
+    attempt_of: dict[concurrent.futures.Future, int],
+    log: list[CellAttempt],
+    results: dict[Cell, tuple[float, float, float]],
+) -> tuple[bool, bool]:
+    """Collect one round of futures; returns (pool_broken, hung).
+
+    Waits for completions one ``FIRST_COMPLETED`` step at a time.  If
+    *no* future completes within ``cell_timeout`` the still-running
+    cells are recorded as timed out (queued-but-unstarted futures are
+    cancelled without consuming an attempt) and the round ends with
+    ``hung=True`` so the caller can hard-reset the pool.
+    """
+    outstanding = dict(futures)
+    pool_broken = False
+    while outstanding:
+        done, _ = concurrent.futures.wait(
+            outstanding,
+            timeout=cell_timeout,
+            return_when=concurrent.futures.FIRST_COMPLETED,
+        )
+        if not done:
+            for future, cell in outstanding.items():
+                if future.cancel():
+                    continue  # never started: retry costs no attempt
+                log.append(
+                    CellAttempt(
+                        cell,
+                        attempt_of[future],
+                        "timeout",
+                        error=(
+                            f"no completion within {cell_timeout}s; "
+                            "worker terminated"
+                        ),
+                    )
+                )
+            return pool_broken, True
+        for future in done:
+            cell = outstanding.pop(future)
+            try:
+                results[cell] = future.result()
+            except concurrent.futures.process.BrokenProcessPool:
+                pool_broken = True
+                log.append(
+                    CellAttempt(
+                        cell,
+                        attempt_of[future],
+                        "crash",
+                        error="worker process died (pool broken)",
+                    )
+                )
+            except concurrent.futures.CancelledError:
+                pass  # re-queued by the caller, no attempt consumed
+            except Exception as exc:
+                log.append(
+                    CellAttempt(
+                        cell,
+                        attempt_of[future],
+                        "exception",
+                        error=repr(exc),
+                    )
+                )
+            else:
+                log.append(
+                    CellAttempt(
+                        cell,
+                        attempt_of[future],
+                        "ok",
+                        wall_s=results[cell][2],
+                    )
+                )
+    return pool_broken, False
+
+
+def _run_parallel_resilient(
     benchmark: BenchmarkModel,
     cells: _t.Sequence[Cell],
     spec: ClusterSpec,
     jobs: int,
-) -> dict[Cell, tuple[float, float, float]]:
-    executor = _get_executor(jobs)
-    futures = {
-        (n, f): executor.submit(_simulate_cell, benchmark, n, f, spec)
-        for n, f in cells
-    }
-    return {cell: future.result() for cell, future in futures.items()}
+    *,
+    retries: int,
+    cell_timeout: float | None,
+    backoff_s: float,
+    attempt_index: dict[Cell, int],
+    log: list[CellAttempt],
+    results: dict[Cell, tuple[float, float, float]],
+) -> tuple[int, int]:
+    """Retry loop over the process pool; returns (jobs_used, crashes)."""
+    plan = faults.active_fault_plan()
+    crash_recoveries = 0
+    fruitless_crashes = 0
+    jobs_used = jobs
+    max_rounds = retries + 1 + _MAX_FRUITLESS_CRASHES
+    for round_no in range(max_rounds):
+        pending = [
+            cell
+            for cell in cells
+            if cell not in results
+            and _own_fault_attempts(log, cell) <= retries
+        ]
+        if not pending:
+            break
+        if round_no > 0 and backoff_s > 0:
+            time.sleep(backoff_s * 2 ** (round_no - 1))
+        if fruitless_crashes >= _MAX_FRUITLESS_CRASHES:
+            _run_serial_attempts(
+                benchmark,
+                pending,
+                spec,
+                retries=retries,
+                backoff_s=backoff_s,
+                attempt_index=attempt_index,
+                log=log,
+                results=results,
+                plan=plan,
+            )
+            break
+        executor = _get_executor(jobs)
+        jobs_used = max(jobs_used, min(_EXECUTOR_JOBS, len(cells)))
+        futures: dict[concurrent.futures.Future, Cell] = {}
+        attempt_of: dict[concurrent.futures.Future, int] = {}
+        for cell in pending:
+            n, f = cell
+            attempt = attempt_index[cell]
+            attempt_index[cell] = attempt + 1
+            future = executor.submit(
+                _simulate_cell, benchmark, n, f, spec, attempt, plan
+            )
+            futures[future] = cell
+            attempt_of[future] = attempt
+        harvested_before = len(results)
+        pool_broken, hung = _harvest_round(
+            futures,
+            cell_timeout=cell_timeout,
+            attempt_of=attempt_of,
+            log=log,
+            results=results,
+        )
+        # Cancelled/never-started cells did not consume their attempt.
+        for future, cell in futures.items():
+            if future.cancelled():
+                attempt_index[cell] -= 1
+        if hung:
+            _hard_reset_executor()
+        elif pool_broken:
+            shutdown_executor(wait=False)
+        if pool_broken:
+            crash_recoveries += 1
+            if len(results) == harvested_before:
+                fruitless_crashes += 1
+            else:
+                fruitless_crashes = 0
+    return jobs_used, crash_recoveries
 
 
 def execute_campaign(
@@ -102,34 +502,87 @@ def execute_campaign(
     frequencies: _t.Sequence[float],
     spec: ClusterSpec,
     jobs: int = 1,
-) -> tuple[
-    dict[Cell, float], dict[Cell, float], tuple[float, ...], int
-]:
-    """Simulate every grid cell, serially or across worker processes.
+    *,
+    retries: int = DEFAULT_RETRIES,
+    cell_timeout: float | None = None,
+    backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+    allow_partial: bool = False,
+) -> CampaignExecution:
+    """Simulate every grid cell with retries, timeouts and recovery.
 
-    Returns ``(times, energies, per-cell wall times, jobs actually
-    used)``.  The returned dicts are always populated in grid order
-    (outer loop counts, inner loop frequencies) regardless of worker
-    completion order, so parallel and serial runs are bit-identical.
+    Returns a :class:`CampaignExecution`.  The result dicts are always
+    populated in grid order (outer loop counts, inner loop
+    frequencies) regardless of worker completion order or how many
+    retry rounds a cell needed, so parallel, serial and fault-recovered
+    runs are all bit-identical.
+
+    ``retries`` is the extra attempts a cell gets after a failure of
+    its own (exception or timeout); pool-wide crashes don't bill
+    innocent cells but are bounded by a round limit.  ``cell_timeout``
+    (seconds; ``None`` disables) bounds the *stall* time — it fires
+    when no cell at all completes for that long — and requires
+    ``jobs > 1`` since an in-process hang cannot be interrupted.  On
+    exhausted budgets the campaign raises
+    :class:`~repro.errors.CampaignExecutionError` unless
+    ``allow_partial``, in which case surviving cells are returned
+    alongside per-cell failure records.
     """
     cells = [(int(n), float(f)) for n in counts for f in frequencies]
     jobs = max(1, min(int(jobs), len(cells))) if cells else 1
+    retries = max(0, int(retries))
     if jobs > 1:
         try:
             pickle.dumps((benchmark, spec))
         except Exception:
             jobs = 1  # e.g. locally-defined benchmark classes
-    if jobs > 1:
-        try:
-            results = _run_parallel(benchmark, cells, spec, jobs)
-        except concurrent.futures.process.BrokenProcessPool:
-            shutdown_executor()
-            jobs = 1
-            results = _run_serial(benchmark, cells, spec)
-    else:
-        results = _run_serial(benchmark, cells, spec)
 
-    times = {cell: results[cell][0] for cell in cells}
-    energies = {cell: results[cell][1] for cell in cells}
-    cell_wall = tuple(results[cell][2] for cell in cells)
-    return times, energies, cell_wall, jobs
+    attempt_index: dict[Cell, int] = {cell: 0 for cell in cells}
+    log: list[CellAttempt] = []
+    results: dict[Cell, tuple[float, float, float]] = {}
+    crash_recoveries = 0
+    if jobs > 1:
+        jobs, crash_recoveries = _run_parallel_resilient(
+            benchmark,
+            cells,
+            spec,
+            jobs,
+            retries=retries,
+            cell_timeout=cell_timeout,
+            backoff_s=backoff_s,
+            attempt_index=attempt_index,
+            log=log,
+            results=results,
+        )
+    else:
+        _run_serial_attempts(
+            benchmark,
+            cells,
+            spec,
+            retries=retries,
+            backoff_s=backoff_s,
+            attempt_index=attempt_index,
+            log=log,
+            results=results,
+        )
+
+    failures = []
+    for cell in cells:
+        if cell in results:
+            continue
+        history = tuple(a for a in log if a.cell == cell)
+        timed_out = any(a.outcome == "timeout" for a in history)
+        error_cls = CellTimeoutError if timed_out else CellExecutionError
+        failures.append(error_cls(cell, history))
+    if failures and not allow_partial:
+        raise CampaignExecutionError(failures, completed=len(results))
+
+    ok_cells = [cell for cell in cells if cell in results]
+    return CampaignExecution(
+        times={cell: results[cell][0] for cell in ok_cells},
+        energies={cell: results[cell][1] for cell in ok_cells},
+        cell_wall_s=tuple(results[cell][2] for cell in ok_cells),
+        jobs=jobs,
+        attempts=tuple(log),
+        failures=tuple(failures),
+        crash_recoveries=crash_recoveries,
+    )
