@@ -59,6 +59,11 @@ class CpuSpec:
                 raise ConfigurationError(f"{name} must be positive")
         if self.dvfs_transition_s < 0:
             raise ConfigurationError("dvfs_transition_s must be >= 0")
+        # Hot-path form of cpi_by_level: the timing model multiplies by
+        # these once per executed mix, so avoid rebuilding a dict there.
+        object.__setattr__(
+            self, "_on_chip_cpis", (self.cpi_cpu, self.cpi_l1, self.cpi_l2)
+        )
 
     @property
     def cpi_by_level(self) -> dict[str, float]:
@@ -87,11 +92,8 @@ class CpuTimingModel:
 
         Cycles are frequency-independent; divide by ``f`` for seconds.
         """
-        cpis = self.spec.cpi_by_level
-        return sum(
-            getattr(mix, level) * cpis[level]
-            for level in InstructionMix.ON_CHIP_LEVELS
-        )
+        cpi_cpu, cpi_l1, cpi_l2 = self.spec._on_chip_cpis
+        return mix.cpu * cpi_cpu + mix.l1 * cpi_l1 + mix.l2 * cpi_l2
 
     def on_chip_seconds(self, mix: InstructionMix, frequency_hz: float) -> float:
         """ON-chip execution time: ``Σ_level w_level · CPI_level / f``.
@@ -110,8 +112,12 @@ class CpuTimingModel:
         with no ON-chip work.
         """
         weights = mix.on_chip_weights()
-        cpis = self.spec.cpi_by_level
-        return sum(weights[level] * cpis[level] for level in weights)
+        cpi_cpu, cpi_l1, cpi_l2 = self.spec._on_chip_cpis
+        return (
+            weights["cpu"] * cpi_cpu
+            + weights["l1"] * cpi_l1
+            + weights["l2"] * cpi_l2
+        )
 
     def frequency_speedup(self, frequency_hz: float) -> float:
         """Ideal ON-chip speedup ``f / f0`` relative to the base point."""

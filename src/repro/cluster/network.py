@@ -39,6 +39,7 @@ import typing as _t
 
 from repro.errors import ConfigurationError
 from repro.sim.engine import Engine
+from repro.sim.events import Timeout
 from repro.sim.process import Process
 from repro.sim.resources import Resource
 from repro.units import mbit_per_s, mbyte_per_s
@@ -124,6 +125,10 @@ class SwitchedNetwork:
         self.env = env
         self.spec = spec or NetworkSpec()
         self.n_nodes = int(n_nodes)
+        # Hot-path caches of immutable spec values (one lookup each per
+        # remote transfer instead of property/method hops).
+        self._bandwidth = self.spec.effective_bandwidth
+        self._latency = self.spec.latency_s
         self._tx = [Resource(env, capacity=1) for _ in range(n_nodes)]
         self._rx = [Resource(env, capacity=1) for _ in range(n_nodes)]
         #: Transfers currently clocking bytes through the switch.
@@ -175,22 +180,37 @@ class SwitchedNetwork:
     ) -> _t.Generator:
         # Acquire TX before RX everywhere.  The two resource classes are
         # disjoint (nobody holds an RX while waiting for a TX), so the
-        # ordering is deadlock-free.
-        with self._tx[src].request() as tx_req:
+        # ordering is deadlock-free.  Spelled with try/finally rather
+        # than context managers — this generator runs a quarter million
+        # times per LU cell, and the release order (RX, then TX) matches
+        # what nested ``with`` blocks produced.
+        tx, rx = self._tx[src], self._rx[dst]
+        tx_req = tx.request()
+        try:
             yield tx_req
-            with self._rx[dst].request() as rx_req:
+            rx_req = rx.request()
+            try:
                 yield rx_req
                 self._active_flows += 1
-                penalty = self.spec.congestion_penalty(self._active_flows)
+                flows = self._active_flows
+                penalty = (
+                    1.0
+                    if flows <= 1
+                    else self.spec.congestion_penalty(flows)
+                )
                 try:
-                    yield self.env.timeout(
-                        self.serialization_time(nbytes) * penalty
+                    yield Timeout(
+                        self.env, nbytes / self._bandwidth * penalty
                     )
                 finally:
                     self._active_flows -= 1
+            finally:
+                rx.release(rx_req)
+        finally:
+            tx.release(tx_req)
         # Propagation/forwarding delay after the ports are released: the
         # message is "in flight" and does not block subsequent traffic.
-        yield self.env.timeout(self.spec.latency_s)
+        yield Timeout(self.env, self._latency)
         self.bytes_transferred += nbytes
         self.transfer_count += 1
 

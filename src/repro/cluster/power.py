@@ -119,12 +119,35 @@ class EnergyMeter:
     The meter is fed *intervals*: ``account(duration, point, state)``.
     It never looks at the clock itself, so it composes with any driver
     (the MPI program runtime calls it; unit tests call it directly).
+
+    ``account`` is one of the hottest calls in a simulation (every
+    compute step and every message charges it), so the meter keeps one
+    float accumulator pair per state and memoizes the last power
+    computation per state — a node stays at one operating point for
+    long stretches, so ``node_power_w`` collapses to one multiply.
     """
+
+    __slots__ = (
+        "spec",
+        "_j_compute",
+        "_j_comm",
+        "_j_idle",
+        "_s_compute",
+        "_s_comm",
+        "_s_idle",
+        "_pw_compute",
+        "_pw_comm",
+        "_pw_idle",
+    )
 
     def __init__(self, spec: PowerSpec) -> None:
         self.spec = spec
-        self._joules: dict[PowerState, float] = {s: 0.0 for s in PowerState}
-        self._seconds: dict[PowerState, float] = {s: 0.0 for s in PowerState}
+        self._j_compute = self._j_comm = self._j_idle = 0.0
+        self._s_compute = self._s_comm = self._s_idle = 0.0
+        # Per-state (point, watts) memo, identity-checked on the point.
+        self._pw_compute: tuple[OperatingPoint, float] | None = None
+        self._pw_comm: tuple[OperatingPoint, float] | None = None
+        self._pw_idle: tuple[OperatingPoint, float] | None = None
 
     def account(
         self, duration_s: float, point: OperatingPoint, state: PowerState
@@ -132,31 +155,73 @@ class EnergyMeter:
         """Add ``duration_s`` in ``state`` at ``point``; return the joules."""
         if duration_s < 0:
             raise ConfigurationError(f"duration must be >= 0: {duration_s}")
-        joules = self.spec.node_power_w(point, state) * duration_s
-        self._joules[state] += joules
-        self._seconds[state] += duration_s
+        if state is PowerState.COMPUTE:
+            memo = self._pw_compute
+            if memo is None or memo[0] is not point:
+                self._pw_compute = memo = (
+                    point,
+                    self.spec.node_power_w(point, state),
+                )
+            joules = memo[1] * duration_s
+            self._j_compute += joules
+            self._s_compute += duration_s
+        elif state is PowerState.COMM:
+            memo = self._pw_comm
+            if memo is None or memo[0] is not point:
+                self._pw_comm = memo = (
+                    point,
+                    self.spec.node_power_w(point, state),
+                )
+            joules = memo[1] * duration_s
+            self._j_comm += joules
+            self._s_comm += duration_s
+        else:
+            memo = self._pw_idle
+            if memo is None or memo[0] is not point:
+                self._pw_idle = memo = (
+                    point,
+                    self.spec.node_power_w(point, state),
+                )
+            joules = memo[1] * duration_s
+            self._j_idle += joules
+            self._s_idle += duration_s
         return joules
 
     @property
     def total_joules(self) -> float:
         """Total energy across all states."""
-        return sum(self._joules.values())
+        return self._j_compute + self._j_comm + self._j_idle
 
     @property
     def total_seconds(self) -> float:
         """Total accounted (busy + idle) time."""
-        return sum(self._seconds.values())
+        return self._s_compute + self._s_comm + self._s_idle
 
     def joules_by_state(self) -> dict[PowerState, float]:
         """Energy per power state (a copy)."""
-        return dict(self._joules)
+        return {
+            PowerState.COMPUTE: self._j_compute,
+            PowerState.COMM: self._j_comm,
+            PowerState.IDLE: self._j_idle,
+        }
 
     def seconds_by_state(self) -> dict[PowerState, float]:
         """Accounted time per power state (a copy)."""
-        return dict(self._seconds)
+        return {
+            PowerState.COMPUTE: self._s_compute,
+            PowerState.COMM: self._s_comm,
+            PowerState.IDLE: self._s_idle,
+        }
+
+    def seconds_in(self, state: PowerState) -> float:
+        """Accounted time in one state (no dict construction)."""
+        if state is PowerState.COMPUTE:
+            return self._s_compute
+        if state is PowerState.COMM:
+            return self._s_comm
+        return self._s_idle
 
     def reset(self) -> None:
-        """Zero the meter."""
-        for state in PowerState:
-            self._joules[state] = 0.0
-            self._seconds[state] = 0.0
+        """Zero the meter (power memos are kept — they are pure)."""
+        self._j_compute = self._j_comm = self._j_idle = 0.0
+        self._s_compute = self._s_comm = self._s_idle = 0.0

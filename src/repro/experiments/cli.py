@@ -16,7 +16,10 @@ custom (counts × frequencies) grid and exports times/energies/speedups.
 ``--jobs N`` fans campaign cells out over N worker processes and
 ``--no-disk-cache`` disables the persistent ``.repro_cache/`` tier
 (see :mod:`repro.runtime`); each command ends with a ``[campaign
-runtime]`` line reporting simulated cells and cache hits.  Fault
+runtime]`` line reporting simulated cells, cache hits and engine
+throughput (events processed, events/second, peak queue length).
+``--profile`` wraps the command in :mod:`cProfile` and prints the top
+20 functions by cumulative time.  Fault
 tolerance is tunable per run: ``--retries N`` (extra attempts per
 failing cell), ``--cell-timeout S`` (terminate and retry hung
 workers) and ``--allow-partial`` (return surviving cells plus a
@@ -70,8 +73,13 @@ def _configure_runtime(args: argparse.Namespace) -> None:
     """Apply the runtime flags (jobs, cache, fault tolerance)."""
     from repro import runtime
 
+    jobs = args.jobs
+    if getattr(args, "profile", False) and jobs is None:
+        # Profile in-process by default: pool workers would hide the
+        # simulation hot loop from the profiler.
+        jobs = 1
     runtime.configure(
-        jobs=args.jobs,
+        jobs=jobs,
         disk_cache=False if args.no_disk_cache else None,
         retries=args.retries,
         cell_timeout=args.cell_timeout,
@@ -243,6 +251,13 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         help="on exhausted retries, keep surviving cells and print a "
         "failure report instead of aborting",
     )
+    runtime_opts.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the command with cProfile and print the top 20 "
+        "functions by cumulative time (implies --jobs 1 unless --jobs "
+        "is given, so the simulation runs in-process)",
+    )
 
     p_list = sub.add_parser("list", help="list available experiments")
     p_list.set_defaults(func=_cmd_list)
@@ -290,6 +305,17 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     p_camp.set_defaults(func=_cmd_campaign)
 
     args = parser.parse_args(argv)
+    if getattr(args, "profile", False):
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        status = profiler.runcall(args.func, args)
+        print("\n[profile] top 20 functions by cumulative time:")
+        pstats.Stats(profiler, stream=sys.stdout).sort_stats(
+            "cumulative"
+        ).print_stats(20)
+        return status
     return args.func(args)
 
 

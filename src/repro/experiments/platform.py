@@ -221,6 +221,9 @@ def measure_campaign(
                 for (n, f), count in cell_attempts.items()
             ),
             failures=tuple(execution.failure_report()),
+            events_processed=execution.events_processed,
+            processes_spawned=execution.processes_spawned,
+            peak_queue_len=execution.peak_queue_len,
         )
     )
     return campaign
@@ -230,6 +233,11 @@ def clear_campaign_cache() -> None:
     """Drop all cached campaigns, memory *and* disk tiers.
 
     Tests use this for isolation, so it must leave no tier behind.
+    The disk tier is only touched when it is enabled or its directory
+    already exists — clearing the cache must not *create*
+    ``.repro_cache/`` on a machine that has the disk cache switched
+    off.
     """
     _CACHE.clear()
-    runtime.disk_cache().clear()
+    if runtime.disk_cache_enabled(None) or runtime.cache_dir().exists():
+        runtime.disk_cache().clear()

@@ -313,8 +313,10 @@ def alltoall_bruck(
         return
     k, round_ = 1, 0
     while k < size:
-        # Blocks whose index (relative to this rank) has bit `round_` set.
-        n_blocks = sum(1 for b in range(size) if b & k)
+        # Blocks whose index (relative to this rank) has bit `round_`
+        # set: bit k alternates in runs of k every 2k indices, so count
+        # the full periods plus the tail — O(1) instead of O(size).
+        n_blocks = (size // (2 * k)) * k + max(0, size % (2 * k) - k)
         payload = n_blocks * nbytes_per_pair
         dst = (rank - k) % size
         src = (rank + k) % size

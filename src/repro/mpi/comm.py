@@ -53,6 +53,12 @@ class Communicator:
         for n in node_ids:
             cluster.node(n)  # bounds check
         self._node_ids = tuple(node_ids)
+        # Hot-path caches: every p2p operation resolves these several
+        # times, so pay the lookups once at construction.
+        self._size = len(node_ids)
+        self._nodes = tuple(cluster.node(n) for n in node_ids)
+        self.engine = cluster.engine
+        self.network = cluster.network
         self.matchers = [
             MessageMatcher(cluster.engine, rank)
             for rank in range(len(node_ids))
@@ -89,29 +95,19 @@ class Communicator:
     @property
     def size(self) -> int:
         """Number of ranks."""
-        return len(self._node_ids)
-
-    @property
-    def engine(self):
-        """The cluster's discrete-event engine."""
-        return self.cluster.engine
-
-    @property
-    def network(self):
-        """The cluster's interconnect."""
-        return self.cluster.network
+        return self._size
 
     def check_rank(self, rank: int) -> int:
         """Validate a rank id and return it."""
-        if not 0 <= rank < self.size:
+        if not 0 <= rank < self._size:
             raise ConfigurationError(
-                f"rank {rank} out of range [0, {self.size})"
+                f"rank {rank} out of range [0, {self._size})"
             )
         return int(rank)
 
     def node_of(self, rank: int) -> Node:
         """The cluster node a rank runs on."""
-        return self.cluster.node(self._node_ids[self.check_rank(rank)])
+        return self._nodes[self.check_rank(rank)]
 
     def port_of(self, rank: int) -> int:
         """The network port of a rank's node."""

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import dataclasses
 import itertools
 import typing as _t
 
@@ -13,9 +12,13 @@ __all__ = ["Message"]
 _serial = itertools.count()
 
 
-@dataclasses.dataclass(frozen=True, slots=True)
 class Message:
     """One point-to-point message envelope.
+
+    A plain ``__slots__`` class rather than a (frozen) dataclass: one
+    envelope is allocated per simulated message, and frozen-dataclass
+    ``object.__setattr__`` field assignment is several times the cost
+    of these direct stores.  Treat instances as immutable all the same.
 
     Attributes
     ----------
@@ -35,20 +38,34 @@ class Message:
         envelopes.
     """
 
-    source: int
-    dest: int
-    tag: int
-    nbytes: float
-    payload: _t.Any = None
-    serial: int = dataclasses.field(default_factory=lambda: next(_serial))
+    __slots__ = ("source", "dest", "tag", "nbytes", "payload", "serial")
 
-    def __post_init__(self) -> None:
-        if self.nbytes < 0:
-            raise ConfigurationError(
-                f"message size must be >= 0: {self.nbytes}"
-            )
-        if self.tag < 0:
-            raise ConfigurationError(f"tag must be >= 0: {self.tag}")
+    def __init__(
+        self,
+        source: int,
+        dest: int,
+        tag: int,
+        nbytes: float,
+        payload: _t.Any = None,
+        serial: int | None = None,
+    ) -> None:
+        if nbytes < 0:
+            raise ConfigurationError(f"message size must be >= 0: {nbytes}")
+        if tag < 0:
+            raise ConfigurationError(f"tag must be >= 0: {tag}")
+        self.source = source
+        self.dest = dest
+        self.tag = tag
+        self.nbytes = nbytes
+        self.payload = payload
+        self.serial = next(_serial) if serial is None else serial
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(source={self.source}, dest={self.dest}, "
+            f"tag={self.tag}, nbytes={self.nbytes}, "
+            f"payload={self.payload!r}, serial={self.serial})"
+        )
 
     def matches(self, source: int, tag: int) -> bool:
         """Whether this envelope satisfies a receive for (source, tag).

@@ -30,25 +30,30 @@ import typing as _t
 
 from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Communicator
 from repro.mpi.datatypes import Message
-from repro.sim.events import Event
+from repro.sim.events import Event, Timeout
 
 __all__ = ["send", "recv", "sendrecv"]
 
 
 def _eager_delivery(comm: Communicator, message: Message) -> _t.Generator:
-    """Background process: move an eager payload, then deliver it."""
+    """Background process: move an eager payload, then deliver it.
+
+    Ranks were validated by :func:`send`, so the communicator's internal
+    tables are indexed directly here and below.
+    """
+    node_ids = comm._node_ids
     yield comm.network.transfer(
-        comm.port_of(message.source), comm.port_of(message.dest), message.nbytes
+        node_ids[message.source], node_ids[message.dest], message.nbytes
     )
-    comm.matcher_of(message.dest).deliver_eager(message)
+    comm.matchers[message.dest].deliver_eager(message)
 
 
 def _rndv_announce(
     comm: Communicator, message: Message, clear_to_send: Event
 ) -> _t.Generator:
     """Background process: carry a rendezvous envelope to the receiver."""
-    yield comm.engine.timeout(comm.network.spec.latency_s)
-    comm.matcher_of(message.dest).announce_rendezvous(message, clear_to_send)
+    yield Timeout(comm.engine, comm.network.spec.latency_s)
+    comm.matchers[message.dest].announce_rendezvous(message, clear_to_send)
 
 
 def send(
@@ -68,26 +73,28 @@ def send(
     """
     comm.check_rank(source)
     comm.check_rank(dest)
-    node = comm.node_of(source)
+    node = comm._nodes[source]
+    engine = comm.engine
     message = Message(source, dest, tag, nbytes, payload)
 
     # Host CPU cost of initiating the message (copies, packetization).
     overhead = node.message_overhead_seconds(nbytes)
-    yield comm.engine.timeout(overhead)
+    yield Timeout(engine, overhead)
     node.account_comm(overhead)
     comm.record_send(source, nbytes)
 
-    if node.nic_spec.is_eager(nbytes):
-        comm.engine.process(_eager_delivery(comm, message))
+    if nbytes <= node.nic_spec.eager_threshold_bytes:
+        # Nobody joins the delivery task, so run it detached: same
+        # start position in the queue, no Process event to finalize.
+        engine.detach(_eager_delivery(comm, message))
         return message
 
-    clear_to_send = Event(comm.engine)
-    comm.engine.process(_rndv_announce(comm, message, clear_to_send))
+    clear_to_send = Event(engine)
+    engine.detach(_rndv_announce(comm, message, clear_to_send))
     yield clear_to_send
-    yield comm.network.transfer(
-        comm.port_of(source), comm.port_of(dest), nbytes
-    )
-    comm.matcher_of(dest).complete_rendezvous(message)
+    node_ids = comm._node_ids
+    yield comm.network.transfer(node_ids[source], node_ids[dest], nbytes)
+    comm.matchers[dest].complete_rendezvous(message)
     return message
 
 
@@ -106,12 +113,12 @@ def recv(
     comm.check_rank(rank)
     if source != ANY_SOURCE:
         comm.check_rank(source)
-    delivered = comm.matcher_of(rank).post_recv(source, tag)
+    delivered = comm.matchers[rank].post_recv(source, tag)
     message: Message = yield delivered
     # Host CPU cost of draining the message out of the NIC buffers.
-    node = comm.node_of(rank)
+    node = comm._nodes[rank]
     overhead = node.message_overhead_seconds(message.nbytes)
-    yield comm.engine.timeout(overhead)
+    yield Timeout(comm.engine, overhead)
     node.account_comm(overhead)
     return message
 

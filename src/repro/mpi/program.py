@@ -51,6 +51,7 @@ from repro.mpi import collectives as _coll
 from repro.mpi import p2p as _p2p
 from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Communicator
 from repro.mpi.datatypes import Message
+from repro.sim.events import Event, Timeout
 from repro.sim.trace import Tracer
 
 __all__ = ["RankContext", "RunResult", "run_program"]
@@ -76,6 +77,7 @@ class RankContext:
         self.comm = comm
         self.rank = comm.check_rank(rank)
         self.node = comm.node_of(rank)
+        self._energy = self.node.energy
         self.engine = comm.engine
         self.dvfs = dvfs
         self.tracer = tracer
@@ -128,10 +130,14 @@ class RankContext:
         Advances simulated time by the Eq. 6 execution time, feeds the
         hardware counters and charges COMPUTE energy.
         """
-        t0 = self.engine.now
+        engine = self.engine
+        t0 = engine._now
         duration = self.node.execute_mix(mix)
-        yield self.engine.timeout(duration)
-        self._trace(t0, "compute", mix.total)
+        yield Timeout(engine, duration)
+        if self.tracer is not None:
+            self.tracer.record(
+                t0, engine._now, "compute", self.rank, self._phase, mix.total
+            )
 
     def compute_seconds(self, seconds: float) -> _t.Generator:
         """Burn a fixed amount of compute time (for microbenchmarks).
@@ -196,16 +202,20 @@ class RankContext:
         difference between the op's wall time and the COMM time charged
         during it was spent blocked, and is charged here at IDLE.
         """
-        t0 = self.engine.now
-        before = self.node.energy.seconds_by_state()
+        engine = self.engine
+        energy = self._energy
+        t0 = engine._now
+        before = energy._s_comm
         result = yield from gen
-        elapsed = self.engine.now - t0
-        after = self.node.energy.seconds_by_state()
-        active = after[PowerState.COMM] - before[PowerState.COMM]
-        idle = max(elapsed - active, 0.0)
+        elapsed = engine._now - t0
+        active = energy._s_comm - before
+        idle = elapsed - active
         if idle > 0:
             self.node.account_idle(idle)
-        self._trace(t0, "comm")
+        if self.tracer is not None:
+            self.tracer.record(
+                t0, engine._now, "comm", self.rank, self._phase, None
+            )
         return result
 
     # -- point-to-point -----------------------------------------------------------
@@ -217,16 +227,83 @@ class RankContext:
         tag: int = 0,
         payload: _t.Any = None,
     ) -> _t.Generator[_t.Any, _t.Any, Message]:
-        """Blocking send (eager below the NIC threshold, else rendezvous)."""
-        return self._comm_op(
-            _p2p.send(self.comm, self.rank, dest, nbytes, tag, payload)
-        )
+        """Blocking send (eager below the NIC threshold, else rendezvous).
+
+        Both the :meth:`_comm_op` accounting and the
+        :func:`repro.mpi.p2p.send` protocol body are open-coded here
+        (and in :meth:`recv`) rather than delegated: these two run once
+        per simulated message, and every dropped generator frame is a
+        measurable win on iterative benchmarks.  Keep the protocol
+        logic in sync with ``repro.mpi.p2p`` — the standalone functions
+        remain the API for direct engine use and for ``isend``/``irecv``.
+        """
+        comm = self.comm
+        rank = self.rank
+        comm.check_rank(dest)
+        node = self.node
+        engine = self.engine
+        energy = self._energy
+        t0 = engine._now
+        before = energy._s_comm
+        message = Message(rank, dest, tag, nbytes, payload)
+
+        # Host CPU cost of initiating the message (copies, packetization).
+        overhead = node.message_overhead_seconds(nbytes)
+        yield Timeout(engine, overhead)
+        node.account_comm(overhead)
+        comm.record_send(rank, nbytes)
+
+        if nbytes <= node.nic_spec.eager_threshold_bytes:
+            engine.detach(_p2p._eager_delivery(comm, message))
+        else:
+            clear_to_send = Event(engine)
+            engine.detach(_p2p._rndv_announce(comm, message, clear_to_send))
+            yield clear_to_send
+            node_ids = comm._node_ids
+            yield comm.network.transfer(
+                node_ids[rank], node_ids[dest], nbytes
+            )
+            comm.matchers[dest].complete_rendezvous(message)
+
+        idle = (engine._now - t0) - (energy._s_comm - before)
+        if idle > 0:
+            node.account_idle(idle)
+        if self.tracer is not None:
+            self.tracer.record(
+                t0, engine._now, "comm", rank, self._phase, None
+            )
+        return message
 
     def recv(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG
     ) -> _t.Generator[_t.Any, _t.Any, Message]:
-        """Blocking receive; returns the :class:`Message`."""
-        return self._comm_op(_p2p.recv(self.comm, self.rank, source, tag))
+        """Blocking receive; returns the :class:`Message`.
+
+        Open-codes :func:`repro.mpi.p2p.recv` plus the idle-time
+        accounting, like :meth:`send` — keep in sync.
+        """
+        comm = self.comm
+        if source != ANY_SOURCE:
+            comm.check_rank(source)
+        engine = self.engine
+        energy = self._energy
+        node = self.node
+        t0 = engine._now
+        before = energy._s_comm
+        delivered = comm.matchers[self.rank].post_recv(source, tag)
+        message: Message = yield delivered
+        # Host CPU cost of draining the message out of the NIC buffers.
+        overhead = node.message_overhead_seconds(message.nbytes)
+        yield Timeout(engine, overhead)
+        node.account_comm(overhead)
+        idle = (engine._now - t0) - (energy._s_comm - before)
+        if idle > 0:
+            node.account_idle(idle)
+        if self.tracer is not None:
+            self.tracer.record(
+                t0, engine._now, "comm", self.rank, self._phase, None
+            )
+        return message
 
     def sendrecv(
         self,

@@ -181,12 +181,13 @@ class PipelinedSweepPhase(Phase):
             upstream = ctx.rank - 1 if ctx.rank > 0 else None
             downstream = ctx.rank + 1 if ctx.rank + 1 < ctx.size else None
         tag = 11 if not self.reverse else 12
+        mix, nbytes = self.block_mix, self.nbytes
         for _ in range(self.n_blocks):
             if upstream is not None:
-                yield from ctx.recv(source=upstream, tag=tag)
-            yield from ctx.compute(self.block_mix)
+                yield from ctx.recv(upstream, tag)
+            yield from ctx.compute(mix)
             if downstream is not None:
-                yield from ctx.send(downstream, nbytes=self.nbytes, tag=tag)
+                yield from ctx.send(downstream, nbytes, tag)
 
 
 class AlltoallPhase(Phase):

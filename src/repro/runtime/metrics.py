@@ -64,6 +64,14 @@ class CampaignRecord:
     failures:
         Structured per-cell failure report (see
         :meth:`repro.runtime.runner.CampaignExecution.failure_report`).
+    events_processed:
+        Engine heap entries executed, summed over simulated cells
+        (0 for cache hits).
+    processes_spawned:
+        Simulated processes started (detached tasks included), summed
+        over simulated cells.
+    peak_queue_len:
+        Largest event-heap high-water mark over the campaign's cells.
     """
 
     label: str
@@ -79,6 +87,15 @@ class CampaignRecord:
     failed_cells: int = 0
     cell_attempts: tuple[tuple[int, float, int], ...] = ()
     failures: tuple[dict[str, _t.Any], ...] = ()
+    events_processed: int = 0
+    processes_spawned: int = 0
+    peak_queue_len: int = 0
+
+    @property
+    def events_per_second(self) -> float:
+        """Engine throughput over this campaign's simulated cells."""
+        wall = sum(self.cell_wall_s)
+        return self.events_processed / wall if wall > 0 else 0.0
 
     def as_dict(self) -> dict[str, _t.Any]:
         """JSON-ready form (what ``BENCH_campaigns.json`` stores)."""
@@ -96,6 +113,10 @@ class CampaignRecord:
             "failed_cells": self.failed_cells,
             "cell_attempts": [list(t) for t in self.cell_attempts],
             "failures": list(self.failures),
+            "events_processed": self.events_processed,
+            "processes_spawned": self.processes_spawned,
+            "peak_queue_len": self.peak_queue_len,
+            "events_per_second": self.events_per_second,
         }
 
 
@@ -114,6 +135,12 @@ class MetricsRegistry:
         self.total_timeouts = 0
         self.total_crash_recoveries = 0
         self.total_failed_cells = 0
+        self.total_events_processed = 0
+        self.total_processes_spawned = 0
+        self.peak_queue_len = 0
+        #: Sum of per-cell simulation wall times (the engine-throughput
+        #: denominator; excludes pool startup and harness overhead).
+        self.simulated_cell_wall_s = 0.0
 
     def record(self, record: CampaignRecord) -> None:
         """Append one campaign record and update the aggregates."""
@@ -132,10 +159,21 @@ class MetricsRegistry:
         self.total_timeouts += record.timeouts
         self.total_crash_recoveries += record.crash_recoveries
         self.total_failed_cells += record.failed_cells
+        self.total_events_processed += record.events_processed
+        self.total_processes_spawned += record.processes_spawned
+        if record.peak_queue_len > self.peak_queue_len:
+            self.peak_queue_len = record.peak_queue_len
+        self.simulated_cell_wall_s += sum(record.cell_wall_s)
 
     def reset(self) -> None:
         """Drop all records and zero every counter."""
         self.__init__()
+
+    @property
+    def events_per_second(self) -> float:
+        """Aggregate engine throughput over all simulated cells."""
+        wall = self.simulated_cell_wall_s
+        return self.total_events_processed / wall if wall > 0 else 0.0
 
     def snapshot(self) -> dict[str, _t.Any]:
         """A JSON-ready summary of everything recorded so far."""
@@ -151,6 +189,10 @@ class MetricsRegistry:
             "timeouts": self.total_timeouts,
             "crash_recoveries": self.total_crash_recoveries,
             "failed_cells": self.total_failed_cells,
+            "events_processed": self.total_events_processed,
+            "processes_spawned": self.total_processes_spawned,
+            "peak_queue_len": self.peak_queue_len,
+            "events_per_second": self.events_per_second,
             "records": [r.as_dict() for r in self.records],
         }
 
@@ -167,6 +209,12 @@ class MetricsRegistry:
             f"{self.memory_hits} memory hits, "
             f"{self.disk_hits} disk hits"
         )
+        if self.total_events_processed:
+            line += (
+                f"; engine: {self.total_events_processed / 1e6:.1f}M events"
+                f" at {self.events_per_second / 1e3:.0f}k ev/s,"
+                f" peak queue {self.peak_queue_len}"
+            )
         if (
             self.total_retries
             or self.total_timeouts

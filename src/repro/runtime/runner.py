@@ -142,6 +142,11 @@ class CampaignExecution:
     crash_recoveries:
         Pool-break events survived (completed results were kept and
         only unfinished cells re-submitted).
+    cell_engine_stats:
+        Per successful cell (grid order), the simulation engine's
+        throughput counters — ``events_processed``,
+        ``processes_spawned``, ``peak_queue_len`` (see
+        :meth:`Engine.stats <repro.sim.engine.Engine.stats>`).
     """
 
     times: dict[Cell, float]
@@ -151,6 +156,35 @@ class CampaignExecution:
     attempts: tuple[CellAttempt, ...] = ()
     failures: tuple[CellExecutionError, ...] = ()
     crash_recoveries: int = 0
+    cell_engine_stats: tuple[dict[str, int], ...] = ()
+
+    @property
+    def events_processed(self) -> int:
+        """Engine heap entries executed, summed over successful cells."""
+        return sum(s["events_processed"] for s in self.cell_engine_stats)
+
+    @property
+    def processes_spawned(self) -> int:
+        """Simulated processes started, summed over successful cells."""
+        return sum(s["processes_spawned"] for s in self.cell_engine_stats)
+
+    @property
+    def peak_queue_len(self) -> int:
+        """Largest event-heap high-water mark over all cells."""
+        return max(
+            (s["peak_queue_len"] for s in self.cell_engine_stats), default=0
+        )
+
+    @property
+    def events_per_second(self) -> float:
+        """Engine throughput: events processed per simulation-wall second.
+
+        Wall time is the *sum* of per-cell simulation times (the work
+        done), not elapsed campaign time, so the figure is comparable
+        between serial and parallel runs.
+        """
+        wall = sum(self.cell_wall_s)
+        return self.events_processed / wall if wall > 0 else 0.0
 
     @property
     def retry_count(self) -> int:
@@ -195,18 +229,26 @@ def _simulate_cell(
     spec: ClusterSpec,
     attempt: int = 0,
     plan: faults.FaultPlan | None = None,
-) -> tuple[float, float, float]:
-    """Run one grid cell; returns (elapsed_s, energy_j, sim wall s).
+) -> tuple[float, float, float, dict[str, int]]:
+    """Run one grid cell.
 
-    ``plan`` ships the caller's fault plan into the worker explicitly,
-    so injection works even in pool processes forked before the plan
-    was installed.
+    Returns ``(elapsed_s, energy_j, sim wall s, engine stats)`` where
+    the stats dict is :meth:`Engine.stats <repro.sim.engine.Engine.stats>`
+    for the cell's (fresh) engine — events processed, processes
+    spawned, peak queue length.  ``plan`` ships the caller's fault plan
+    into the worker explicitly, so injection works even in pool
+    processes forked before the plan was installed.
     """
     start = time.perf_counter()
     faults.maybe_inject(n, f, attempt, plan)
     cluster = Cluster(spec.with_nodes(n), frequency_hz=f)
     result = benchmark.run(cluster)
-    return result.elapsed_s, result.energy_j, time.perf_counter() - start
+    return (
+        result.elapsed_s,
+        result.energy_j,
+        time.perf_counter() - start,
+        cluster.engine.stats(),
+    )
 
 
 def _get_executor(jobs: int) -> concurrent.futures.ProcessPoolExecutor:
@@ -294,7 +336,7 @@ def _run_serial_attempts(
     backoff_s: float,
     attempt_index: dict[Cell, int],
     log: list[CellAttempt],
-    results: dict[Cell, tuple[float, float, float]],
+    results: dict[Cell, tuple[float, float, float, dict]],
     plan: faults.FaultPlan | None = None,
 ) -> None:
     """Serial execution with the same retry accounting as parallel.
@@ -344,7 +386,7 @@ def _harvest_round(
     cell_timeout: float | None,
     attempt_of: dict[concurrent.futures.Future, int],
     log: list[CellAttempt],
-    results: dict[Cell, tuple[float, float, float]],
+    results: dict[Cell, tuple[float, float, float, dict]],
 ) -> tuple[bool, bool]:
     """Collect one round of futures; returns (pool_broken, hung).
 
@@ -426,7 +468,7 @@ def _run_parallel_resilient(
     backoff_s: float,
     attempt_index: dict[Cell, int],
     log: list[CellAttempt],
-    results: dict[Cell, tuple[float, float, float]],
+    results: dict[Cell, tuple[float, float, float, dict]],
 ) -> tuple[int, int]:
     """Retry loop over the process pool; returns (jobs_used, crashes)."""
     plan = faults.active_fault_plan()
@@ -538,7 +580,7 @@ def execute_campaign(
 
     attempt_index: dict[Cell, int] = {cell: 0 for cell in cells}
     log: list[CellAttempt] = []
-    results: dict[Cell, tuple[float, float, float]] = {}
+    results: dict[Cell, tuple[float, float, float, dict]] = {}
     crash_recoveries = 0
     if jobs > 1:
         jobs, crash_recoveries = _run_parallel_resilient(
@@ -585,4 +627,5 @@ def execute_campaign(
         attempts=tuple(log),
         failures=tuple(failures),
         crash_recoveries=crash_recoveries,
+        cell_engine_stats=tuple(results[cell][3] for cell in ok_cells),
     )

@@ -1,6 +1,6 @@
 """The discrete-event engine: simulated clock plus event queue.
 
-The engine owns a priority queue of ``(time, seq, event)`` entries.
+The engine owns a priority queue of ``(time, seq, entry)`` entries.
 :meth:`Engine.run` pops entries in time order, advances the clock and
 executes event callbacks, which typically resume simulated processes.
 
@@ -10,6 +10,26 @@ The queue breaks time ties with a monotonically increasing sequence
 number, so two runs of the same program produce identical schedules.
 Nothing in the engine consults wall-clock time or unseeded randomness —
 a property the test-suite checks (``tests/sim/test_determinism.py``).
+
+Fast-path entries
+-----------------
+Besides full :class:`~repro.sim.events.Event` objects, the heap accepts
+:class:`_Call` entries: a bare ``(callback, ok, value)`` triple that
+:meth:`Engine._schedule_call` places at exactly the position a relay
+event would have occupied.  Processes use this to schedule their bound
+``_resume`` directly — no Event allocation, no callback list, no state
+machine — which is the dominant cost of a simulation step.  Because a
+``_Call`` consumes one sequence number exactly where the equivalent
+event would have, replacing relay events with calls is *order
+preserving*: schedules (and therefore results) are bit-identical.
+
+Throughput counters
+-------------------
+The engine counts events processed, processes spawned (including
+detached background tasks) and the peak heap size; see :meth:`stats`.
+The campaign runtime divides ``events_processed`` by wall time to
+report engine throughput per cell (``BENCH_engine.json``, the CLI's
+``[campaign runtime]`` line).
 """
 
 from __future__ import annotations
@@ -18,7 +38,7 @@ import heapq
 import typing as _t
 
 from repro.errors import DeadlockError, SimulationError
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, Timeout, _Call
 from repro.sim.process import Process
 
 __all__ = ["Engine"]
@@ -48,11 +68,17 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: list[tuple[float, int, Event]] = []
+        self._queue: list[tuple[float, int, _t.Any]] = []
         self._seq = 0
         #: Number of live (started, not yet finished) processes.  Used for
         #: deadlock detection when the queue drains.
         self._live_processes = 0
+        #: Heap entries popped and executed so far (events + calls).
+        self.events_processed = 0
+        #: Processes started, including detached background tasks.
+        self.processes_spawned = 0
+        #: Largest queue length observed (memory high-water mark).
+        self.peak_queue_len = 0
 
     # -- clock --------------------------------------------------------------
 
@@ -75,6 +101,55 @@ class Engine:
         """Start a new simulated process running ``generator``."""
         return Process(self, generator)
 
+    def detach(self, generator: _t.Generator) -> None:
+        """Run ``generator`` as a fire-and-forget background task.
+
+        Semantically equivalent to :meth:`process` for a task whose
+        completion nobody waits on — same start scheduling, same
+        deadlock accounting — but without allocating the
+        :class:`~repro.sim.process.Process` event pair, so schedules
+        stay bit-identical while background messaging (eager
+        deliveries, rendezvous envelopes) gets cheaper.  Unlike a
+        process, a detached task has no handle: an exception escaping
+        the generator propagates out of :meth:`step`.
+        """
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"detach requires a generator, got {type(generator).__name__}"
+            )
+        self._live_processes += 1
+        self.processes_spawned += 1
+
+        def _drive(entry: _t.Any) -> None:
+            try:
+                if entry._ok:
+                    target = generator.send(entry._value)
+                else:
+                    target = generator.throw(entry._value)
+            except StopIteration:
+                self._live_processes -= 1
+                return
+            except BaseException:
+                self._live_processes -= 1
+                raise
+            if not isinstance(target, Event) or target.env is not self:
+                self._live_processes -= 1
+                generator.close()
+                raise SimulationError(
+                    f"detached task yielded {target!r}; tasks must yield "
+                    "events of their own engine"
+                )
+            callbacks = target.callbacks
+            if callbacks is None:
+                self._schedule_call(_drive, target._ok, target._value)
+            else:
+                callbacks.append(_drive)
+
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self._now, self._seq, _Call(_drive, True, None))
+        )
+
     def all_of(self, events: _t.Iterable[Event]) -> AllOf:
         """An event that triggers when all ``events`` have succeeded."""
         return AllOf(self, events)
@@ -86,32 +161,122 @@ class Engine:
     # -- scheduling ----------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        """Put a triggered event on the queue ``delay`` seconds from now."""
+        """Put a triggered event on the queue ``delay`` seconds from now.
+
+        :meth:`Event.succeed <repro.sim.events.Event.succeed>` and the
+        :class:`~repro.sim.events.Timeout` constructor inline this body
+        — keep them in sync.
+        """
         if event._scheduled:
             raise SimulationError(f"{event!r} already scheduled")
         event._scheduled = True
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, self._seq, event))
 
+    def _schedule_call(
+        self,
+        fn: _t.Callable,
+        ok: bool | None,
+        value: _t.Any,
+        delay: float = 0.0,
+    ) -> None:
+        """Schedule a bare callback at the position an event would take.
+
+        Consumes one sequence number, exactly like :meth:`_schedule`,
+        so fast-path calls interleave with events in the same order a
+        relay event would have produced.
+        """
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, self._seq, _Call(fn, ok, value))
+        )
+
     # -- main loop -----------------------------------------------------------
 
     def step(self) -> None:
-        """Process the next queued event (advancing the clock to it)."""
-        if not self._queue:
+        """Process the next queued entry (advancing the clock to it)."""
+        queue = self._queue
+        if not queue:
             raise SimulationError("step() on an empty event queue")
-        when, _seq, event = heapq.heappop(self._queue)
+        # The queue only grows between pops, so sampling its length at
+        # pop time observes every high-water mark — cheaper than a
+        # check on each of the (equally many) pushes, which are spread
+        # over four call sites.
+        qlen = len(queue)
+        if qlen > self.peak_queue_len:
+            self.peak_queue_len = qlen
+        when, _seq, entry = heapq.heappop(queue)
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError(
                 f"time travel: queued t={when} < now={self._now}"
             )
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        self.events_processed += 1
+        if entry.__class__ is _Call:
+            entry.fn(entry)
+            return
+        callbacks = entry.callbacks
+        entry.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(entry)
+
+    def _drain(self, finished: list | None) -> None:
+        """Hot main loop: :meth:`step` inlined until ``finished`` is
+        non-empty (or, when ``finished`` is None, until the queue
+        empties).  Semantically ``while not finished and self._queue:
+        self.step()`` — keep in sync with :meth:`step`."""
+        queue = self._queue
+        heappop = heapq.heappop
+        call_cls = _Call
+        steps = 0
+        peak = self.peak_queue_len
+        if finished is None:
+            finished = []  # never appended to: drain until queue empties
+        try:
+            while not finished and queue:
+                qlen = len(queue)
+                if qlen > peak:
+                    peak = qlen
+                when, _seq, entry = heappop(queue)
+                if when < self._now:  # pragma: no cover - defensive
+                    raise SimulationError(
+                        f"time travel: queued t={when} < now={self._now}"
+                    )
+                self._now = when
+                steps += 1
+                if entry.__class__ is call_cls:
+                    entry.fn(entry)
+                    continue
+                callbacks = entry.callbacks
+                entry.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(entry)
+        finally:
+            self.events_processed += steps
+            if peak > self.peak_queue_len:
+                self.peak_queue_len = peak
 
     def peek(self) -> float:
         """Time of the next queued event, or ``inf`` if the queue is empty."""
         return self._queue[0][0] if self._queue else float("inf")
+
+    def stats(self) -> dict[str, int]:
+        """Engine throughput counters (JSON-ready).
+
+        ``events_processed``
+            heap entries executed (events plus fast-path calls);
+        ``processes_spawned``
+            processes started, detached background tasks included;
+        ``peak_queue_len``
+            high-water mark of the event heap.
+        """
+        return {
+            "events_processed": self.events_processed,
+            "processes_spawned": self.processes_spawned,
+            "peak_queue_len": self.peak_queue_len,
+        }
 
     def run(
         self,
@@ -147,8 +312,7 @@ class Engine:
                 finished.append(stop_event)
             else:
                 stop_event.callbacks.append(stop_event_done)
-            while not finished and self._queue:
-                self.step()
+            self._drain(finished)
             if not finished:
                 if detect_deadlock and self._live_processes > 0:
                     raise DeadlockError(
@@ -163,8 +327,7 @@ class Engine:
             return stop_event._value
 
         if until is None:
-            while self._queue:
-                self.step()
+            self._drain(None)
         else:
             horizon = float(until)
             if horizon < self._now:

@@ -13,14 +13,39 @@ barriers out of other events; they are what gives the MPI collectives in
 
 from __future__ import annotations
 
+import heapq
 import typing as _t
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine
 
 __all__ = ["Event", "Timeout", "AllOf", "AnyOf"]
+
+
+class _Call:
+    """A lightweight heap entry that invokes one callback directly.
+
+    Carries the same ``_ok`` / ``_value`` outcome slots a processed
+    event exposes, so :meth:`Process._resume
+    <repro.sim.process.Process._resume>` can consume it unchanged.
+    Never observable from user code: the engine's step loop unwraps it
+    before callbacks run.  Scheduling a ``_Call`` consumes one sequence
+    number, exactly like scheduling an event, so fast-path calls
+    interleave with events in the order a relay event would have
+    produced — the property that keeps fast-path schedules
+    bit-identical.
+    """
+
+    __slots__ = ("fn", "_ok", "_value")
+
+    def __init__(
+        self, fn: _t.Callable, ok: bool | None, value: _t.Any
+    ) -> None:
+        self.fn = fn
+        self._ok = ok
+        self._value = value
 
 
 class Event:
@@ -87,7 +112,14 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        # Inlined env._schedule(self): triggering an event is one of the
+        # two hottest heap pushes in the simulator (with Timeout).
+        env = self.env
+        if self._scheduled:
+            raise SimulationError(f"{self!r} already scheduled")
+        self._scheduled = True
+        env._seq += 1
+        heapq.heappush(env._queue, (env._now, env._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -107,6 +139,10 @@ class Event:
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another (callback helper)."""
+        if event._ok is None:
+            raise SimulationError(
+                f"trigger() from an untriggered event: {event!r}"
+            )
         if event._ok:
             self.succeed(event._value)
         else:
@@ -131,12 +167,18 @@ class Timeout(Event):
 
     def __init__(self, env: "Engine", delay: float, value: _t.Any = None) -> None:
         if delay < 0:
-            raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
-        self.delay = float(delay)
+            raise ConfigurationError(f"negative timeout delay: {delay!r}")
+        # Inlined Event.__init__ and env._schedule: timeouts are the
+        # hottest allocation in the simulator (one per compute/overhead
+        # step), born triggered and scheduled.
+        self.env = env
+        self.callbacks = []
+        self.delay = delay = float(delay)
         self._ok = True
         self._value = value
-        env._schedule(self, delay=self.delay)
+        self._scheduled = True
+        env._seq += 1
+        heapq.heappush(env._queue, (env._now + delay, env._seq, self))
 
 
 class _Condition(Event):

@@ -11,10 +11,11 @@ one process can ``yield`` another to join it.
 
 from __future__ import annotations
 
+import heapq
 import typing as _t
 
 from repro.errors import SimulationError
-from repro.sim.events import Event
+from repro.sim.events import Event, _Call
 
 if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine
@@ -29,23 +30,34 @@ class Process(Event):
     :meth:`Engine.process <repro.sim.engine.Engine.process>`.
     """
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_send", "_throw", "_waiting_on")
 
     def __init__(self, env: "Engine", generator: _t.Generator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(
                 f"Process requires a generator, got {type(generator).__name__}"
             )
-        super().__init__(env)
+        # Inlined Event.__init__ (one Process per message makes this hot).
+        self.env = env
+        self.callbacks = []
+        self._value = Event.PENDING
+        self._ok = None
+        self._scheduled = False
         self._generator = generator
+        self._send = generator.send
+        self._throw = generator.throw
         self._waiting_on: Event | None = None
         env._live_processes += 1
-        # Kick off the process via an immediately-scheduled event so that
-        # process start order is deterministic and start happens "inside"
-        # the simulation rather than in user code.
-        start = Event(env)
-        start.callbacks.append(self._resume)
-        start.succeed()
+        env.processes_spawned += 1
+        # Kick off the process via an immediately-scheduled resume so
+        # that process start order is deterministic and start happens
+        # "inside" the simulation rather than in user code.  The direct
+        # call (env._schedule_call, inlined) takes the exact queue
+        # position a start event would.
+        env._seq += 1
+        heapq.heappush(
+            env._queue, (env._now, env._seq, _Call(self._resume, True, None))
+        )
 
     @property
     def is_alive(self) -> bool:
@@ -57,9 +69,9 @@ class Process(Event):
         self._waiting_on = None
         try:
             if event._ok:
-                target = self._generator.send(event._value)
+                target = self._send(event._value)
             else:
-                target = self._generator.throw(event._value)
+                target = self._throw(event._value)
         except StopIteration as stop:
             self.env._live_processes -= 1
             self.succeed(stop.value)
@@ -87,19 +99,24 @@ class Process(Event):
             return
 
         self._waiting_on = target
-        if target.processed:
-            # Already done: resume on a fresh immediate event carrying the
-            # same outcome, preserving run-to-yield semantics.
-            relay = Event(self.env)
-            relay.callbacks.append(self._resume)
-            if target._ok:
-                relay.succeed(target._value)
-            else:
-                relay._ok = False
-                relay._value = target._value
-                self.env._schedule(relay)
+        callbacks = target.callbacks
+        if callbacks is None:
+            # Already processed: schedule the bound resume directly with
+            # the same outcome, preserving run-to-yield semantics at the
+            # exact queue position a relay event would have taken
+            # (env._schedule_call, inlined).
+            env = self.env
+            env._seq += 1
+            heapq.heappush(
+                env._queue,
+                (
+                    env._now,
+                    env._seq,
+                    _Call(self._resume, target._ok, target._value),
+                ),
+            )
         else:
-            target.callbacks.append(self._resume)
+            callbacks.append(self._resume)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = getattr(self._generator, "__name__", "process")

@@ -34,7 +34,12 @@ class _Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, env: "Engine", resource: "Resource") -> None:
-        super().__init__(env)
+        # Inlined Event.__init__ (two requests per remote transfer).
+        self.env = env
+        self.callbacks = []
+        self._value = Event.PENDING
+        self._ok = None
+        self._scheduled = False
         self.resource = resource
 
     def __enter__(self) -> "_Request":

@@ -1,0 +1,71 @@
+"""``clear_campaign_cache`` must not create cache state it clears.
+
+Regression test: clearing the campaign cache used to instantiate the
+disk tier unconditionally, which *created* ``.repro_cache/`` on
+machines that had the disk cache switched off (e.g. CI steps running
+with ``--no-disk-cache`` or ``REPRO_DISK_CACHE=0``)."""
+
+import pytest
+
+from repro import runtime
+from repro.experiments.platform import clear_campaign_cache
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the disk cache at a fresh, not-yet-created directory."""
+    monkeypatch.delenv("REPRO_DISK_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    cache_root = tmp_path / "cache"
+    runtime.configure(cache_dir=cache_root)
+    yield cache_root
+    runtime.configure(cache_dir=None, disk_cache=None)
+
+
+def test_clear_with_disk_cache_disabled_creates_no_dir(isolated_cache):
+    runtime.configure(disk_cache=False)
+    clear_campaign_cache()
+    assert not isolated_cache.exists()
+
+
+def test_clear_with_disk_cache_enabled_clears_existing_dir(isolated_cache):
+    runtime.configure(disk_cache=True)
+    store = runtime.disk_cache()
+    from repro.core.measurements import TimingCampaign
+    from repro.units import mhz
+
+    store.put(
+        "d1",
+        TimingCampaign(
+            times={(1, mhz(600)): 1.0},
+            base_frequency_hz=mhz(600),
+            energies={(1, mhz(600)): 2.0},
+            label="ep.S",
+        ),
+    )
+    assert (isolated_cache / "d1.json").exists()
+    clear_campaign_cache()
+    assert not (isolated_cache / "d1.json").exists()
+
+
+def test_clear_with_disabled_cache_still_drops_existing_dir(isolated_cache):
+    """If the directory exists from an earlier enabled run, clearing
+    with the cache now disabled must still empty it — tests rely on
+    ``clear_campaign_cache`` leaving no tier behind."""
+    runtime.configure(disk_cache=True)
+    store = runtime.disk_cache()
+    from repro.core.measurements import TimingCampaign
+    from repro.units import mhz
+
+    store.put(
+        "d1",
+        TimingCampaign(
+            times={(1, mhz(600)): 1.0},
+            base_frequency_hz=mhz(600),
+            energies={(1, mhz(600)): 2.0},
+            label="ep.S",
+        ),
+    )
+    runtime.configure(disk_cache=False)
+    clear_campaign_cache()
+    assert not (isolated_cache / "d1.json").exists()
