@@ -1,0 +1,161 @@
+"""Load benchmark for the prediction & campaign service.
+
+Boots the asyncio service in-process and drives it over real loopback
+HTTP with hundreds of concurrent clients.  The workload is the
+service's bread and butter — closed-form ``/predict`` lookups against
+a warmed model — so the figures measure the server stack (protocol
+parsing, coalescing, micro-batching, response cache), not the
+simulator.
+
+Run under pytest-benchmark as part of the harness::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py --benchmark-only
+
+or standalone, which fires ``CONCURRENCY`` simultaneous clients
+(barrier-released), asserts zero errors and a non-zero coalesce
+ratio, and writes throughput plus p50/p99 latency to
+``BENCH_service.json`` for CI to archive::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+import concurrent.futures
+import json
+import pathlib
+import statistics
+import threading
+import time
+
+from repro.service import ServiceClient, ServiceThread
+from repro.service.server import ServiceConfig
+
+#: Simultaneous clients in the standalone load test.
+CONCURRENCY = 500
+
+#: Requests issued per client.
+REQUESTS_PER_CLIENT = 4
+
+#: The predict grid each client cycles through (subset of the paper
+#: grid, so concurrent clients overlap and the cache/coalescer see
+#: shared keys).
+POINTS = (
+    ["2@600MHz"],
+    ["4@800MHz"],
+    ["8@1000MHz"],
+    ["16@1400MHz"],
+    None,  # full grid
+)
+
+
+def _predict_storm(
+    port: int,
+    concurrency: int = CONCURRENCY,
+    requests_per_client: int = REQUESTS_PER_CLIENT,
+) -> dict:
+    """``concurrency`` barrier-released clients each issue
+    ``requests_per_client`` predicts; returns latency/error stats."""
+    barrier = threading.Barrier(concurrency)
+    lock = threading.Lock()
+    latencies: list[float] = []
+    errors: list[str] = []
+
+    def client_run(index: int) -> None:
+        own: list[float] = []
+        try:
+            with ServiceClient(port=port, timeout_s=120) as client:
+                barrier.wait(timeout=120)
+                for i in range(requests_per_client):
+                    cells = POINTS[(index + i) % len(POINTS)]
+                    start = time.perf_counter()
+                    client.predict("ep", "S", cells=cells)
+                    own.append(time.perf_counter() - start)
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            with lock:
+                errors.append(f"client {index}: {exc!r}")
+        with lock:
+            latencies.extend(own)
+
+    start = time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(
+        max_workers=concurrency
+    ) as pool:
+        list(pool.map(client_run, range(concurrency)))
+    wall = time.perf_counter() - start
+
+    latencies.sort()
+    total = concurrency * requests_per_client
+    quantiles = (
+        statistics.quantiles(latencies, n=100)
+        if len(latencies) >= 2
+        else [0.0] * 99
+    )
+    return {
+        "concurrency": concurrency,
+        "requests": total,
+        "completed": len(latencies),
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "wall_s": wall,
+        "throughput_rps": len(latencies) / wall if wall > 0 else 0.0,
+        "latency_p50_ms": 1e3 * quantiles[49],
+        "latency_p99_ms": 1e3 * quantiles[98],
+    }
+
+
+def bench_service_predict(benchmark):
+    """Single-client predict latency against a warmed server."""
+    config = ServiceConfig(port=0, warmup=(("ep", "S"),))
+    with ServiceThread(config) as served:
+        with ServiceClient(port=served.port) as client:
+            result = benchmark(
+                lambda: client.predict("ep", "S", cells=["4@800MHz"])
+            )
+    assert result["predictions"]
+
+
+def main(out_path: str = "BENCH_service.json") -> dict:
+    """Standalone load run; writes and returns the document."""
+    config = ServiceConfig(port=0, warmup=(("ep", "S"),))
+    with ServiceThread(config) as served:
+        storm = _predict_storm(served.port)
+        with ServiceClient(port=served.port) as client:
+            metrics = client.metrics()["service"]
+    predict = metrics["predict"]
+    document = {
+        "storm": storm,
+        "coalesce_ratio": predict["coalesce_ratio"],
+        "cache_hits": predict["cache_hits"],
+        "coalesced": predict["coalesced"],
+        "computed": predict["computed"],
+        "batcher": predict["batcher"],
+        "requests_total": metrics["requests"]["total"],
+    }
+    out = pathlib.Path(out_path)
+    out.write_text(json.dumps(document, indent=2))
+    print(
+        f"storm: {storm['completed']}/{storm['requests']} requests "
+        f"from {storm['concurrency']} concurrent clients in "
+        f"{storm['wall_s']:.2f}s "
+        f"({storm['throughput_rps']:.0f} req/s, "
+        f"p50 {storm['latency_p50_ms']:.1f}ms, "
+        f"p99 {storm['latency_p99_ms']:.1f}ms, "
+        f"{storm['errors']} errors)"
+    )
+    print(
+        f"coalescing: ratio {document['coalesce_ratio']:.3f} "
+        f"({document['cache_hits']} cache hits, "
+        f"{document['coalesced']} coalesced, "
+        f"{document['computed']} computed)"
+    )
+    print(f"[service benchmark written to {out}]")
+    if storm["errors"]:
+        raise SystemExit(
+            f"{storm['errors']} client errors: {storm['error_samples']}"
+        )
+    if document["coalesce_ratio"] <= 0:
+        raise SystemExit("expected a non-zero coalesce ratio under load")
+    return document
+
+
+if __name__ == "__main__":
+    main()

@@ -4,14 +4,22 @@ Usage::
 
     repro-experiments list
     repro-experiments run table3 [--class A] [--json OUT.json] [--jobs 4]
-    repro-experiments run-all [--outdir results/] [--no-disk-cache]
+    repro-experiments run-all [--outdir results/] [--json ALL.json]
     repro-experiments campaign ft --class A --counts 1,2,4,8,16 \\
-        --csv ft_times.csv
+        --csv ft_times.csv --json ft.json
+    repro-experiments serve --port 8080
+    repro-experiments --version
 
 Every experiment prints its report in the paper's table layout; JSON
 export captures the machine-readable data for downstream analysis.
-The ``campaign`` subcommand measures any registered benchmark over a
-custom (counts × frequencies) grid and exports times/energies/speedups.
+All JSON exports — ``run --json``, ``run-all --json``/``--outdir``
+and ``campaign --json`` — share one schema path
+(:func:`repro.reporting.jsonify`): grid cells render as ``"N@fMHz"``
+keys and floats round-trip bit-exactly.  The ``campaign`` subcommand
+measures any registered benchmark over a custom (counts × frequencies)
+grid and exports times/energies/speedups.  ``serve`` starts the
+long-running prediction & campaign service (see
+:mod:`repro.service`).
 
 ``--jobs N`` fans campaign cells out over N worker processes and
 ``--no-disk-cache`` disables the persistent ``.repro_cache/`` tier
@@ -42,31 +50,16 @@ from repro.experiments.registry import (
 __all__ = ["main"]
 
 
-def _grid_key(key: _t.Any) -> str:
-    """Render a dict key for JSON: ``(n, hz)`` grid cells become
-    ``"N@fMHz"``; anything else stringifies as-is."""
-    from repro.units import to_mhz
-
-    if (
-        isinstance(key, tuple)
-        and len(key) == 2
-        and isinstance(key[0], int)
-        and isinstance(key[1], float)
-    ):
-        return f"{key[0]}@{to_mhz(key[1]):.0f}MHz"
-    return str(key)
-
-
 def _jsonify(value: _t.Any) -> _t.Any:
-    """Make experiment data JSON-serializable (tuple keys become
-    strings)."""
-    if isinstance(value, dict):
-        return {_grid_key(k): _jsonify(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonify(v) for v in value]
-    if hasattr(value, "as_dict"):
-        return _jsonify(value.as_dict())
-    return value
+    """Make experiment data JSON-serializable.
+
+    One shared schema path for every CLI JSON export — delegates to
+    :func:`repro.reporting.jsonify` (tuple grid keys become
+    ``"N@fMHz"`` strings).
+    """
+    from repro.reporting import jsonify
+
+    return jsonify(value)
 
 
 def _configure_runtime(args: argparse.Namespace) -> None:
@@ -114,21 +107,22 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _run_one(
     exp_id: str, problem_class: str, json_path: str | None
-) -> None:
+) -> dict[str, _t.Any]:
     kwargs: dict[str, _t.Any] = {}
     if problem_class:
         kwargs["problem_class"] = problem_class
     result = run_experiment(exp_id, **kwargs)
     print(result)
     print()
+    document = {
+        "experiment": result.experiment_id,
+        "title": result.title,
+        "data": _jsonify(result.data),
+    }
     if json_path:
-        document = {
-            "experiment": result.experiment_id,
-            "title": result.title,
-            "data": _jsonify(result.data),
-        }
         pathlib.Path(json_path).write_text(json.dumps(document, indent=2))
         print(f"[data written to {json_path}]")
+    return document
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -143,9 +137,14 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     outdir = pathlib.Path(args.outdir) if args.outdir else None
     if outdir:
         outdir.mkdir(parents=True, exist_ok=True)
+    documents = []
     for exp_id, _title, _desc in list_experiments():
         json_path = str(outdir / f"{exp_id}.json") if outdir else None
-        _run_one(exp_id, args.problem_class, json_path)
+        documents.append(_run_one(exp_id, args.problem_class, json_path))
+    if args.json:
+        combined = {"experiments": documents}
+        pathlib.Path(args.json).write_text(json.dumps(combined, indent=2))
+        print(f"[combined data written to {args.json}]")
     _print_runtime_stats()
     return 0
 
@@ -204,16 +203,44 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         energy_path = base.with_name(base.stem + "_energy" + base.suffix)
         grid_to_csv(campaign.energies, energy_path, value_name="joules")
         print(f"\n[times written to {base}, energies to {energy_path}]")
+    if args.json:
+        document = {
+            "benchmark": name,
+            "class": bench.problem_class.value,
+            "base_frequency_hz": campaign.base_frequency_hz,
+            "data": _jsonify(
+                {
+                    "times": campaign.times,
+                    "energies": campaign.energies,
+                    "speedups": campaign.speedups(),
+                }
+            ),
+        }
+        pathlib.Path(args.json).write_text(json.dumps(document, indent=2))
+        print(f"[data written to {args.json}]")
     _print_runtime_stats()
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve_from_args
+
+    return serve_from_args(args)
+
+
 def main(argv: _t.Sequence[str] | None = None) -> int:
     """Entry point for the ``repro-experiments`` console script."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce the tables and figures of 'Power-Aware "
         "Speedup' (Ge & Cameron, IPDPS 2007) on the simulated platform.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -282,6 +309,11 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     p_all.add_argument(
         "--outdir", default=None, help="directory for per-experiment JSON"
     )
+    p_all.add_argument(
+        "--json",
+        default=None,
+        help="write all experiments to one combined JSON file",
+    )
     p_all.set_defaults(func=_cmd_run_all)
 
     p_camp = sub.add_parser(
@@ -302,7 +334,21 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
     p_camp.add_argument(
         "--csv", default=None, help="CSV path for times (+ _energy sibling)"
     )
+    p_camp.add_argument(
+        "--json",
+        default=None,
+        help="write times/energies/speedups to a JSON file",
+    )
     p_camp.set_defaults(func=_cmd_campaign)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="start the long-running prediction & campaign service",
+    )
+    from repro.service.server import add_serve_arguments
+
+    add_serve_arguments(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     if getattr(args, "profile", False):

@@ -7,7 +7,13 @@
 * :mod:`~repro.reporting.export` — CSV/JSON export of grids and rows.
 """
 
-from repro.reporting.export import grid_to_csv, grid_to_json, rows_to_csv
+from repro.reporting.export import (
+    grid_key,
+    grid_to_csv,
+    grid_to_json,
+    jsonify,
+    rows_to_csv,
+)
 from repro.reporting.surfaces import (
     count_series,
     frequency_series,
@@ -24,8 +30,10 @@ __all__ = [
     "format_grid",
     "format_error_table",
     "format_rows",
+    "grid_key",
     "grid_to_csv",
     "grid_to_json",
+    "jsonify",
     "rows_to_csv",
     "frequency_series",
     "count_series",

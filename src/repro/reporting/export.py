@@ -14,9 +14,49 @@ import json
 import pathlib
 import typing as _t
 
-__all__ = ["grid_to_csv", "grid_to_json", "rows_to_csv"]
+__all__ = [
+    "grid_key",
+    "grid_to_csv",
+    "grid_to_json",
+    "jsonify",
+    "rows_to_csv",
+]
 
 Key = tuple[int, float]
+
+
+def grid_key(key: _t.Any) -> str:
+    """Render a dict key for JSON export.
+
+    ``(n, hz)`` grid cells become ``"N@fMHz"``; anything else
+    stringifies as-is.  This is the one shared rendering for every
+    JSON surface — CLI exports and the service API — so grids parse
+    identically everywhere.
+    """
+    if (
+        isinstance(key, tuple)
+        and len(key) == 2
+        and isinstance(key[0], int)
+        and isinstance(key[1], float)
+    ):
+        return f"{key[0]}@{key[1] / 1e6:.0f}MHz"
+    return str(key)
+
+
+def jsonify(value: _t.Any) -> _t.Any:
+    """Make experiment/campaign data JSON-serializable.
+
+    Tuple grid keys become :func:`grid_key` strings, tuples become
+    lists, and objects exposing ``as_dict`` are expanded.  Floats pass
+    through untouched, so a JSON round-trip is bit-exact.
+    """
+    if isinstance(value, dict):
+        return {grid_key(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if hasattr(value, "as_dict"):
+        return jsonify(value.as_dict())
+    return value
 
 
 def _grid_records(

@@ -40,7 +40,9 @@ from repro.runtime.diskcache import (
     SCHEMA_VERSION,
     DiskCache,
     benchmark_digest,
+    cache_stats,
     campaign_digest,
+    reset_cache_stats,
     spec_digest,
 )
 from repro.runtime.faults import (
@@ -49,7 +51,10 @@ from repro.runtime.faults import (
     InjectedFaultError,
     active_fault_plan,
     install_fault_plan,
+    mark_server_process,
     parse_fault_plan,
+    server_process_context,
+    unmark_server_process,
 )
 from repro.runtime.metrics import (
     METRICS,
@@ -82,6 +87,8 @@ __all__ = [
     "benchmark_digest",
     "campaign_digest",
     "spec_digest",
+    "cache_stats",
+    "reset_cache_stats",
     "campaign_metrics",
     "reset_campaign_metrics",
     "execute_campaign",
@@ -89,6 +96,9 @@ __all__ = [
     "parse_fault_plan",
     "install_fault_plan",
     "active_fault_plan",
+    "mark_server_process",
+    "unmark_server_process",
+    "server_process_context",
     "configure",
     "resolve_jobs",
     "resolve_retries",

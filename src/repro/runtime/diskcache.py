@@ -37,6 +37,7 @@ import json
 import os
 import pathlib
 import tempfile
+import threading
 import typing as _t
 
 from repro.cluster.machine import ClusterSpec
@@ -50,6 +51,8 @@ __all__ = [
     "spec_digest",
     "benchmark_digest",
     "campaign_digest",
+    "cache_stats",
+    "reset_cache_stats",
 ]
 
 #: Version of both the digest material and the on-disk JSON layout.
@@ -59,6 +62,57 @@ SCHEMA_VERSION = 2
 
 #: Default cap on resident entries before the LRU sweep kicks in.
 DEFAULT_MAX_ENTRIES = 4096
+
+# Per-process counters, shared by every DiskCache instance.  A campaign
+# cache is consulted once per campaign, not per cell, so these stay
+# cheap; the lock makes them safe to bump from the service's job
+# threads.
+_STATS_LOCK = threading.Lock()
+_HITS = 0
+_MISSES = 0
+_EVICTIONS = 0
+_QUARANTINES = 0
+_WRITES = 0
+
+
+def _count(kind: str, amount: int = 1) -> None:
+    global _HITS, _MISSES, _EVICTIONS, _QUARANTINES, _WRITES
+    with _STATS_LOCK:
+        if kind == "hit":
+            _HITS += amount
+        elif kind == "miss":
+            _MISSES += amount
+        elif kind == "eviction":
+            _EVICTIONS += amount
+        elif kind == "quarantine":
+            _QUARANTINES += amount
+        elif kind == "write":
+            _WRITES += amount
+
+
+def cache_stats() -> dict[str, int]:
+    """Per-process disk-cache counters (all instances, since start).
+
+    ``hits``/``misses`` count :meth:`DiskCache.get` outcomes (a
+    quarantined read counts as both a miss and a quarantine),
+    ``writes`` counts successful :meth:`DiskCache.put` calls,
+    ``evictions`` the entries removed by the LRU sweep.
+    """
+    with _STATS_LOCK:
+        return {
+            "hits": _HITS,
+            "misses": _MISSES,
+            "evictions": _EVICTIONS,
+            "quarantines": _QUARANTINES,
+            "writes": _WRITES,
+        }
+
+
+def reset_cache_stats() -> None:
+    """Zero the per-process disk-cache counters (test isolation)."""
+    global _HITS, _MISSES, _EVICTIONS, _QUARANTINES, _WRITES
+    with _STATS_LOCK:
+        _HITS = _MISSES = _EVICTIONS = _QUARANTINES = _WRITES = 0
 
 
 def _digest_material(obj: _t.Any) -> _t.Any:
@@ -186,6 +240,7 @@ class DiskCache:
         for post-mortem, and can never again be served as a hit.
         """
         target = path.with_name(path.name + ".corrupt")
+        _count("quarantine")
         try:
             os.replace(path, target)
         except OSError:
@@ -205,19 +260,24 @@ class DiskCache:
         try:
             raw = path.read_text()
         except OSError:
+            _count("miss")
             return None
         try:
             document = json.loads(raw)
         except ValueError:
             self._quarantine(path)
+            _count("miss")
             return None
         if not isinstance(document, dict):
             self._quarantine(path)
+            _count("miss")
             return None
         if document.get("schema") != SCHEMA_VERSION:
+            _count("miss")
             return None
         if document.get("checksum") != _payload_checksum(document):
             self._quarantine(path)
+            _count("miss")
             return None
         try:
             campaign = TimingCampaign(
@@ -232,11 +292,13 @@ class DiskCache:
             )
         except (KeyError, TypeError, ValueError):
             self._quarantine(path)
+            _count("miss")
             return None
         try:  # LRU recency: a hit keeps the entry resident.
             os.utime(path)
         except OSError:
             pass
+        _count("hit")
         return campaign
 
     def put(self, digest: str, campaign: TimingCampaign) -> None:
@@ -277,6 +339,7 @@ class DiskCache:
                 raise
         except OSError:
             return
+        _count("write")
         self._sweep()
 
     def _sweep(self) -> int:
@@ -301,6 +364,7 @@ class DiskCache:
                 removed += 1
             except OSError:
                 pass
+        _count("eviction", removed)
         return removed
 
     def clear(self) -> int:
@@ -331,6 +395,20 @@ class DiskCache:
             return sum(1 for _ in self.root.glob("*.json.corrupt"))
         except OSError:
             return 0
+
+    def stats(self) -> dict[str, int]:
+        """Per-process counters plus this root's on-disk footprint.
+
+        The counter fields (:func:`cache_stats`) are process-wide —
+        every :class:`DiskCache` instance contributes — because the
+        runtime builds a fresh instance per campaign lookup; the
+        ``entries``/``quarantined_entries`` fields are live counts for
+        *this* cache directory.
+        """
+        snapshot = cache_stats()
+        snapshot["entries"] = len(self)
+        snapshot["quarantined_entries"] = self.quarantined()
+        return snapshot
 
     def __len__(self) -> int:
         try:

@@ -52,6 +52,9 @@ __all__ = [
     "install_fault_plan",
     "active_fault_plan",
     "maybe_inject",
+    "mark_server_process",
+    "unmark_server_process",
+    "server_process_context",
 ]
 
 #: The injectable failure modes, in precedence order (a cell drawn for
@@ -182,24 +185,108 @@ def parse_fault_plan(text: str) -> FaultPlan | None:
     return FaultPlan(**kwargs)
 
 
+# The installed plan is *explicitly per-process*: it is recorded
+# together with the installing PID and ignored by any process that did
+# not install it itself.  Pool workers never rely on inheriting this
+# global — the runner captures the plan in the parent and ships it to
+# each worker as an explicit argument (see ``_simulate_cell``) — so
+# pid-scoping changes nothing for campaign execution while making the
+# ownership of the global unambiguous.
 _PLAN: FaultPlan | None = None
+_PLAN_PID: int | None = None
 _ENV_CACHE: tuple[str, FaultPlan | None] | None = None
+
+# Set by long-lived server processes (``repro-serve``).  A fault plan
+# installed inside such a process would corrupt *unrelated* service
+# jobs — every campaign that happens to share the process — so
+# installation is refused unless the server opted in.
+_SERVER_CONTEXT: str | None = None
+_SERVER_ALLOWS_FAULTS = False
+
+
+def mark_server_process(
+    context: str = "repro-serve", allow_faults: bool = False
+) -> None:
+    """Declare this process a long-lived server.
+
+    After the mark, :func:`install_fault_plan` refuses new plans and
+    :func:`active_fault_plan` ignores ``REPRO_FAULTS`` — a fault
+    harness armed via the environment of a service would otherwise
+    silently injure every job the server ever runs.  ``allow_faults``
+    opts back in (the service's own fault-tolerance tests need it).
+
+    Raises :class:`RuntimeError` if a plan is already in force and
+    faults are not allowed, so a mis-deployed ``REPRO_FAULTS`` fails
+    the server at startup instead of corrupting traffic later.
+    """
+    global _SERVER_CONTEXT, _SERVER_ALLOWS_FAULTS
+    if not allow_faults and active_fault_plan() is not None:
+        source = (
+            "an installed fault plan"
+            if _PLAN is not None and _PLAN_PID == os.getpid()
+            else f"REPRO_FAULTS={os.environ.get('REPRO_FAULTS', '')!r}"
+        )
+        raise RuntimeError(
+            f"refusing to start long-lived server process {context!r} "
+            f"with fault injection armed ({source}); unset REPRO_FAULTS "
+            "or start the server with fault injection explicitly allowed"
+        )
+    _SERVER_CONTEXT = context
+    _SERVER_ALLOWS_FAULTS = bool(allow_faults)
+
+
+def unmark_server_process() -> None:
+    """Clear the server mark (test isolation)."""
+    global _SERVER_CONTEXT, _SERVER_ALLOWS_FAULTS
+    _SERVER_CONTEXT = None
+    _SERVER_ALLOWS_FAULTS = False
+
+
+def server_process_context() -> str | None:
+    """The server context declared for this process, if any."""
+    return _SERVER_CONTEXT
 
 
 def install_fault_plan(plan: FaultPlan | None) -> None:
-    """Install (or with ``None`` remove) the process-wide fault plan.
+    """Install (or with ``None`` remove) this process's fault plan.
 
-    An installed plan takes priority over ``REPRO_FAULTS``.  Worker
-    processes forked after installation inherit it.
+    The plan is owned by the installing process only (forked pool
+    workers receive it as an explicit argument from the runner, not
+    through this global).  An installed plan takes priority over
+    ``REPRO_FAULTS``.
+
+    Raises :class:`RuntimeError` inside a process marked as a
+    long-lived server (see :func:`mark_server_process`) unless that
+    server explicitly allowed fault injection — removing a plan
+    (``None``) is always permitted.
     """
-    global _PLAN
+    global _PLAN, _PLAN_PID
+    if (
+        plan is not None
+        and _SERVER_CONTEXT is not None
+        and not _SERVER_ALLOWS_FAULTS
+    ):
+        raise RuntimeError(
+            "refusing to install a fault plan inside long-lived server "
+            f"process {_SERVER_CONTEXT!r}: injected faults would hit "
+            "unrelated service jobs; start the server with fault "
+            "injection explicitly allowed to override"
+        )
     _PLAN = plan
+    _PLAN_PID = None if plan is None else os.getpid()
 
 
 def active_fault_plan() -> FaultPlan | None:
-    """The plan currently in force: installed, else ``REPRO_FAULTS``."""
-    if _PLAN is not None:
+    """The plan currently in force: installed, else ``REPRO_FAULTS``.
+
+    An installed plan only applies to the process that installed it;
+    a server-marked process without fault allowance reports ``None``
+    even when ``REPRO_FAULTS`` is set.
+    """
+    if _PLAN is not None and _PLAN_PID == os.getpid():
         return _PLAN
+    if _SERVER_CONTEXT is not None and not _SERVER_ALLOWS_FAULTS:
+        return None
     env = os.environ.get("REPRO_FAULTS", "")
     if not env.strip():
         return None

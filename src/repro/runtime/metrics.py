@@ -14,6 +14,7 @@ failed cells).
 from __future__ import annotations
 
 import dataclasses
+import threading
 import typing as _t
 
 __all__ = [
@@ -124,6 +125,9 @@ class MetricsRegistry:
     """Accumulates campaign records and aggregate counters."""
 
     def __init__(self) -> None:
+        # The service records campaigns from worker threads; the lock
+        # keeps the aggregate counters exact under that concurrency.
+        self._lock = threading.Lock()
         self.records: list[CampaignRecord] = []
         self.memory_hits = 0
         self.disk_hits = 0
@@ -144,26 +148,27 @@ class MetricsRegistry:
 
     def record(self, record: CampaignRecord) -> None:
         """Append one campaign record and update the aggregates."""
-        self.records.append(record)
-        if record.source == "memory":
-            self.memory_hits += 1
-        elif record.source == "disk":
-            self.disk_hits += 1
-        elif record.source == "failed":
-            self.failed_campaigns += 1
-        else:
-            self.simulated_campaigns += 1
-            self.simulated_cells += record.cells
-            self.simulated_wall_s += record.wall_s
-        self.total_retries += record.retries
-        self.total_timeouts += record.timeouts
-        self.total_crash_recoveries += record.crash_recoveries
-        self.total_failed_cells += record.failed_cells
-        self.total_events_processed += record.events_processed
-        self.total_processes_spawned += record.processes_spawned
-        if record.peak_queue_len > self.peak_queue_len:
-            self.peak_queue_len = record.peak_queue_len
-        self.simulated_cell_wall_s += sum(record.cell_wall_s)
+        with self._lock:
+            self.records.append(record)
+            if record.source == "memory":
+                self.memory_hits += 1
+            elif record.source == "disk":
+                self.disk_hits += 1
+            elif record.source == "failed":
+                self.failed_campaigns += 1
+            else:
+                self.simulated_campaigns += 1
+                self.simulated_cells += record.cells
+                self.simulated_wall_s += record.wall_s
+            self.total_retries += record.retries
+            self.total_timeouts += record.timeouts
+            self.total_crash_recoveries += record.crash_recoveries
+            self.total_failed_cells += record.failed_cells
+            self.total_events_processed += record.events_processed
+            self.total_processes_spawned += record.processes_spawned
+            if record.peak_queue_len > self.peak_queue_len:
+                self.peak_queue_len = record.peak_queue_len
+            self.simulated_cell_wall_s += sum(record.cell_wall_s)
 
     def reset(self) -> None:
         """Drop all records and zero every counter."""
@@ -176,8 +181,17 @@ class MetricsRegistry:
         return self.total_events_processed / wall if wall > 0 else 0.0
 
     def snapshot(self) -> dict[str, _t.Any]:
-        """A JSON-ready summary of everything recorded so far."""
+        """A JSON-ready summary of everything recorded so far.
+
+        ``disk_cache`` reports the *per-process* disk-cache counters
+        (:func:`repro.runtime.diskcache.cache_stats`) — unlike the
+        per-campaign ``disk_hits``, they also count misses, LRU
+        evictions and quarantined entries.
+        """
+        from repro.runtime.diskcache import cache_stats
+
         return {
+            "disk_cache": cache_stats(),
             "campaigns": len(self.records),
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
@@ -226,6 +240,16 @@ class MetricsRegistry:
                 f"{self.total_timeouts} timeouts, "
                 f"{self.total_crash_recoveries} crash recoveries, "
                 f"{self.total_failed_cells} failed cells"
+            )
+        from repro.runtime.diskcache import cache_stats
+
+        disk = cache_stats()
+        if any(disk.values()):
+            line += (
+                f"; disk cache: {disk['hits']}/{disk['hits'] + disk['misses']}"
+                f" reads hit, {disk['writes']} writes, "
+                f"{disk['evictions']} evictions, "
+                f"{disk['quarantines']} quarantines"
             )
         return line
 

@@ -1,0 +1,80 @@
+"""Long-running prediction & campaign service.
+
+Every other entry point to the reproduction is a one-shot CLI: each
+invocation re-imports the package, re-warms the caches and cannot
+share in-flight work between callers.  This subsystem turns the
+reproduction into a *server* — ``repro-serve`` (or ``repro-experiments
+serve``) starts a stdlib-only asyncio HTTP service that keeps fitted
+models, campaign caches and the fault-tolerant worker pool alive
+across requests.
+
+The workload is asymmetric, and the service is shaped around that:
+
+* **Predictions are closed-form and cheap** (the paper's Eqs. 10–18
+  reduce to a handful of float operations once a parameterization is
+  fitted), so ``POST /predict`` answers synchronously — sub-millisecond
+  on a warm model — with concurrent identical requests *coalesced*
+  into one computation and concurrent distinct requests *micro-batched*
+  into single vectorized numpy evaluations
+  (:mod:`repro.service.coalesce`).
+* **Campaign simulation is expensive and cacheable**, so ``POST
+  /campaign`` submits a background job (:mod:`repro.service.jobs`)
+  onto the fault-tolerant :mod:`repro.runtime` pool, deduplicated
+  against running jobs, a bounded in-process LRU
+  (:mod:`repro.service.memcache`) and the persistent
+  :class:`~repro.runtime.diskcache.DiskCache`.  ``GET /jobs/<id>``
+  reports status plus the runtime's retry/attempt history.
+
+``GET /metrics`` exposes the service counters together with
+:func:`repro.runtime.campaign_metrics` (per-campaign sources, engine
+throughput, disk-cache behaviour), making the PR 3 observability work
+externally scrapeable; ``GET /healthz`` is the liveness probe.
+
+Everything speaks JSON over HTTP/1.1 with no dependencies beyond the
+standard library and numpy, and every float in a response is
+bit-identical to the equivalent direct
+:class:`~repro.core.params_sp.SimplifiedParameterization` /
+:func:`~repro.experiments.platform.measure_campaign` call — JSON
+round-trips doubles exactly.
+
+Environment variables (flags take precedence):
+
+* ``REPRO_SERVE_HOST`` / ``REPRO_SERVE_PORT`` — bind address
+  (default ``127.0.0.1:8642``; port ``0`` picks a free port).
+* ``REPRO_SERVE_WARMUP`` — comma-separated ``benchmark:CLASS`` models
+  to fit before accepting traffic (e.g. ``ep:A,ft:A``); unwarmed
+  models are fitted lazily on first use.
+* ``REPRO_SERVE_JOB_WORKERS`` — campaign job threads (default 2).
+* ``REPRO_SERVE_QUEUE`` — max queued+running jobs before ``/campaign``
+  returns 503 (default 64).
+* ``REPRO_SERVE_RESULT_TTL`` — seconds a finished job is retained
+  (default 900).
+* ``REPRO_SERVE_CACHE_ENTRIES`` — in-process LRU response-cache bound
+  (default 512).
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.coalesce import Coalescer, PredictBatcher
+from repro.service.jobs import Job, JobManager, JobQueueFullError
+from repro.service.memcache import LRUCache
+from repro.service.server import (
+    ReproService,
+    ServiceConfig,
+    ServiceThread,
+    main,
+)
+
+__all__ = [
+    "Coalescer",
+    "Job",
+    "JobManager",
+    "JobQueueFullError",
+    "LRUCache",
+    "PredictBatcher",
+    "ReproService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceThread",
+    "main",
+]

@@ -1,0 +1,203 @@
+"""A stdlib client for the prediction & campaign service.
+
+:class:`ServiceClient` wraps :mod:`http.client` with one persistent
+keep-alive connection per instance — concurrent callers each create
+their own client (the load benchmark runs one per worker thread).
+Service-side errors surface as :class:`ServiceError` carrying the
+HTTP status and the structured error body.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import typing as _t
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(
+        self, status: int, error_type: str, message: str
+    ) -> None:
+        super().__init__(
+            f"HTTP {status} [{error_type}]: {message}"
+        )
+        self.status = status
+        self.error_type = error_type
+        self.message = message
+
+
+class ServiceClient:
+    """JSON-over-HTTP client; one keep-alive connection, not
+    thread-safe (use one client per thread)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        timeout_s: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = float(timeout_s)
+        self._connection: http.client.HTTPConnection | None = None
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._connection
+
+    def close(self) -> None:
+        """Drop the persistent connection."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc: _t.Any) -> None:
+        self.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: _t.Any | None = None,
+    ) -> _t.Any:
+        """One round trip; returns the parsed JSON body.
+
+        Retries once on a stale keep-alive connection (the server may
+        have closed it between requests).
+        """
+        payload = (
+            json.dumps(body).encode("utf-8")
+            if body is not None
+            else None
+        )
+        headers = {"Content-Type": "application/json"}
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, payload, headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                BrokenPipeError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        document = json.loads(raw) if raw else {}
+        if response.status >= 400:
+            error = (
+                document.get("error", {})
+                if isinstance(document, dict)
+                else {}
+            )
+            raise ServiceError(
+                response.status,
+                error.get("type", "unknown"),
+                error.get("message", raw.decode("utf-8", "replace")),
+            )
+        return document
+
+    # -- endpoints ----------------------------------------------------------
+
+    def healthz(self) -> dict[str, _t.Any]:
+        """``GET /healthz``."""
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict[str, _t.Any]:
+        """``GET /metrics``."""
+        return self.request("GET", "/metrics")
+
+    def predict(
+        self,
+        benchmark: str,
+        problem_class: str = "A",
+        cells: _t.Sequence[str] | None = None,
+        counts: _t.Sequence[int] | None = None,
+        frequencies_mhz: _t.Sequence[float] | None = None,
+    ) -> dict[str, _t.Any]:
+        """``POST /predict`` — closed-form SP/energy predictions.
+
+        With no grid arguments the service evaluates the model's full
+        fitted grid.
+        """
+        body: dict[str, _t.Any] = {
+            "benchmark": benchmark,
+            "class": problem_class,
+        }
+        if cells is not None:
+            body["cells"] = list(cells)
+        if counts is not None:
+            body["counts"] = list(counts)
+        if frequencies_mhz is not None:
+            body["frequencies_mhz"] = list(frequencies_mhz)
+        return self.request("POST", "/predict", body)
+
+    def submit_campaign(
+        self,
+        benchmark: str,
+        problem_class: str = "A",
+        counts: _t.Sequence[int] | None = None,
+        frequencies_mhz: _t.Sequence[float] | None = None,
+    ) -> dict[str, _t.Any]:
+        """``POST /campaign`` — returns the job ticket (202)."""
+        body: dict[str, _t.Any] = {
+            "benchmark": benchmark,
+            "class": problem_class,
+        }
+        if counts is not None:
+            body["counts"] = list(counts)
+        if frequencies_mhz is not None:
+            body["frequencies_mhz"] = list(frequencies_mhz)
+        return self.request("POST", "/campaign", body)
+
+    def job(self, job_id: str) -> dict[str, _t.Any]:
+        """``GET /jobs/<id>`` — status, runtime history, result."""
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> dict[str, _t.Any]:
+        """``GET /jobs`` — every retained job plus manager stats."""
+        return self.request("GET", "/jobs")
+
+    def cancel_job(self, job_id: str) -> dict[str, _t.Any]:
+        """``POST /jobs/<id>/cancel``."""
+        return self.request("POST", f"/jobs/{job_id}/cancel")
+
+    def wait_for_job(
+        self,
+        job_id: str,
+        timeout_s: float = 120.0,
+        poll_s: float = 0.05,
+    ) -> dict[str, _t.Any]:
+        """Poll ``/jobs/<id>`` until it leaves the active states.
+
+        Returns the final job document (``done``, ``failed`` or
+        ``cancelled``); raises :class:`TimeoutError` past
+        ``timeout_s``.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            document = self.job(job_id)
+            if document.get("status") not in ("queued", "running"):
+                return document
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {document.get('status')!r} "
+                    f"after {timeout_s}s"
+                )
+            time.sleep(poll_s)

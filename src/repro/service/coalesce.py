@@ -1,0 +1,271 @@
+"""Request coalescing and micro-batched prediction.
+
+Two distinct sharing mechanisms live here:
+
+* :class:`Coalescer` — *single-flight* execution: identical concurrent
+  requests share one in-flight computation.  The first arrival runs
+  the factory; every later identical arrival (until the result lands)
+  awaits the same future.  The service uses it for predictor fitting,
+  predict responses and campaign-job submission alike.
+* :class:`PredictBatcher` — *micro-batching*: concurrent ``/predict``
+  requests that reach the event loop in the same scheduling window are
+  flushed together, and all their grid points are evaluated in one
+  vectorized numpy pass per model instead of one Python call per point.
+
+Bit-exactness is load-bearing: :func:`evaluate_points` performs the
+same IEEE-754 double operations the scalar
+:meth:`~repro.core.params_sp.SimplifiedParameterization.predict_time`
+path performs (one divide, one add per point), just element-wise over
+an array, so a batched response is bit-identical to an unbatched one —
+and both are bit-identical to calling the model directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from repro.core.energy import EnergyModel
+from repro.core.measurements import TimingCampaign
+from repro.core.params_sp import SimplifiedParameterization
+from repro.errors import MeasurementError
+
+__all__ = [
+    "Coalescer",
+    "PredictBatcher",
+    "PredictorBundle",
+    "evaluate_points",
+]
+
+GridPoint = tuple[int, float]
+
+
+@dataclasses.dataclass
+class PredictorBundle:
+    """A fitted model and everything needed to answer ``/predict``.
+
+    Built once per (benchmark, problem class) — the expensive part is
+    the fitting campaign — then held resident by the service so
+    predictions are pure closed-form arithmetic.
+    """
+
+    benchmark: str
+    problem_class: str
+    campaign: TimingCampaign
+    sp: SimplifiedParameterization
+    energy_model: EnergyModel
+
+    def overhead_seconds(self, n: int) -> float:
+        """The SP overhead term as used in energy blending (clamped)."""
+        return max(self.sp.overhead(n), 0.0) if n > 1 else 0.0
+
+
+def evaluate_points(
+    bundle: PredictorBundle, points: _t.Sequence[GridPoint]
+) -> dict[GridPoint, dict[str, float]]:
+    """One vectorized pass over a batch of grid points.
+
+    Returns ``{(n, f): {"time_s", "speedup", "energy_j", "edp"}}``
+    where every float is bit-identical to the scalar
+    ``sp.predict_time`` / ``sp.predict_speedup`` /
+    ``energy_model.predict`` calls for that point.
+    """
+    if not points:
+        return {}
+    base_row = bundle.sp.campaign.base_row()
+    base_column = bundle.sp.campaign.base_column()
+    for n, f in points:
+        if f not in base_row:
+            raise MeasurementError(
+                f"model {bundle.benchmark}.{bundle.problem_class} has "
+                f"no sequential measurement at {f / 1e6:.0f} MHz; "
+                f"measured: {[fi / 1e6 for fi in sorted(base_row)]}"
+            )
+        if n != 1 and n not in base_column:
+            raise MeasurementError(
+                f"model {bundle.benchmark}.{bundle.problem_class} has "
+                f"no base-frequency measurement for N={n}; "
+                f"measured: {sorted(base_column)}"
+            )
+
+    n_arr = np.array([float(n) for n, _ in points])
+    t1_arr = np.array([base_row[f] for _, f in points])
+    overhead_arr = np.array(
+        [bundle.overhead_seconds(n) for n, _ in points]
+    )
+    # Eq. 18, element-wise: T_N(w, f) = T_1(w, f)/N + overhead(N).
+    times = t1_arr / n_arr + overhead_arr
+    # N = 1 has no overhead term at all in the scalar path; restore
+    # the bare T_1 so even a -0.0-style wrinkle can never creep in.
+    sequential = n_arr == 1.0
+    times[sequential] = t1_arr[sequential]
+    # Eq. 4 over predictions: S = T_1(w, f0) / T_N(w, f).
+    speedups = bundle.campaign.sequential_base_time() / times
+
+    results: dict[GridPoint, dict[str, float]] = {}
+    for i, (n, f) in enumerate(points):
+        time_s = float(times[i])
+        energy = bundle.energy_model.predict(
+            n, f, time_s, bundle.overhead_seconds(n)
+        )
+        results[(n, f)] = {
+            "time_s": time_s,
+            "speedup": float(speedups[i]),
+            "energy_j": energy.energy_j,
+            "edp": energy.edp,
+        }
+    return results
+
+
+class Coalescer:
+    """Single-flight sharing of identical concurrent computations."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[_t.Any, asyncio.Future] = {}
+        #: Computations actually started (cache-miss leaders).
+        self.started = 0
+        #: Requests that joined an already-running computation.
+        self.coalesced = 0
+
+    def inflight(self) -> int:
+        """Number of computations currently running."""
+        return len(self._inflight)
+
+    async def run(
+        self,
+        key: _t.Any,
+        factory: _t.Callable[[], _t.Awaitable[_t.Any]],
+    ) -> tuple[_t.Any, bool]:
+        """Run ``factory`` unless ``key`` is already in flight.
+
+        Returns ``(result, joined)`` where ``joined`` is True when this
+        call shared another caller's computation.  Exceptions propagate
+        to the leader *and* every joiner.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            # shield: a cancelled joiner must not cancel the shared
+            # computation under the leader and the other joiners.
+            return await asyncio.shield(existing), True
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        self.started += 1
+        try:
+            result = await factory()
+        except BaseException as exc:
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_exception(exc)
+                future.exception()  # joiners still raise; leader logs
+            raise
+        self._inflight.pop(key, None)
+        if not future.done():
+            future.set_result(result)
+        return result, False
+
+
+class _PendingPredict(_t.NamedTuple):
+    bundle: PredictorBundle
+    points: tuple[GridPoint, ...]
+    future: asyncio.Future
+
+
+class PredictBatcher:
+    """Flush concurrent predict evaluations as vectorized batches.
+
+    ``evaluate`` never computes inline: it parks the request and
+    schedules one flush per event-loop scheduling window.  Whatever
+    accumulated by the time the flush callback runs — under concurrent
+    load, many requests — is grouped per model and evaluated with one
+    :func:`evaluate_points` call each.
+    """
+
+    def __init__(self) -> None:
+        self._pending: list[_PendingPredict] = []
+        self._flush_scheduled = False
+        #: Flush rounds executed.
+        self.batches = 0
+        #: Evaluation requests served.
+        self.requests = 0
+        #: Grid points evaluated across all batches (pre-dedup).
+        self.batched_points = 0
+        #: Largest number of requests sharing one flush.
+        self.max_batch = 0
+
+    async def evaluate(
+        self, bundle: PredictorBundle, points: _t.Sequence[GridPoint]
+    ) -> dict[GridPoint, dict[str, float]]:
+        """Evaluate ``points`` on ``bundle``, batched with neighbours."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append(
+            _PendingPredict(bundle, tuple(points), future)
+        )
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            loop.call_soon(self._flush)
+        return await asyncio.shield(future)
+
+    def _flush(self) -> None:
+        pending, self._pending = self._pending, []
+        self._flush_scheduled = False
+        if not pending:
+            return
+        self.batches += 1
+        self.requests += len(pending)
+        self.max_batch = max(self.max_batch, len(pending))
+
+        by_bundle: dict[int, list[_PendingPredict]] = {}
+        bundles: dict[int, PredictorBundle] = {}
+        for item in pending:
+            by_bundle.setdefault(id(item.bundle), []).append(item)
+            bundles[id(item.bundle)] = item.bundle
+
+        for bundle_id, items in by_bundle.items():
+            bundle = bundles[bundle_id]
+            union: list[GridPoint] = []
+            seen: set[GridPoint] = set()
+            for item in items:
+                for point in item.points:
+                    if point not in seen:
+                        seen.add(point)
+                        union.append(point)
+            self.batched_points += len(union)
+            try:
+                table = evaluate_points(bundle, union)
+            except Exception:
+                # One bad point poisons the shared pass; fall back to
+                # per-request evaluation so valid requests still serve.
+                for item in items:
+                    try:
+                        result = evaluate_points(bundle, item.points)
+                    except Exception as exc:
+                        if not item.future.done():
+                            item.future.set_exception(exc)
+                    else:
+                        if not item.future.done():
+                            item.future.set_result(result)
+                continue
+            for item in items:
+                if not item.future.done():
+                    item.future.set_result(
+                        {point: table[point] for point in item.points}
+                    )
+
+    def stats(self) -> dict[str, _t.Any]:
+        """JSON-ready counters for the ``/metrics`` endpoint."""
+        return {
+            "batches": self.batches,
+            "requests": self.requests,
+            "batched_points": self.batched_points,
+            "max_batch": self.max_batch,
+            "mean_batch": (
+                self.requests / self.batches if self.batches else 0.0
+            ),
+        }

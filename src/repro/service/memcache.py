@@ -1,0 +1,94 @@
+"""Bounded in-process LRU cache — the tier in front of the disk cache.
+
+The campaign runtime already has two tiers: an unbounded per-process
+dict keyed by campaign identity and the persistent, content-addressed
+:class:`~repro.runtime.diskcache.DiskCache`.  A long-lived server
+needs a third: a *bounded* map from request keys to fully-rendered
+response payloads, so repeated traffic is served without re-rendering
+(or re-reading disk) and memory stays capped no matter how varied the
+traffic gets.
+
+The implementation is an ``OrderedDict`` under a lock (service job
+threads populate it while the event loop reads it) with hit / miss /
+eviction counters surfaced at ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import typing as _t
+
+__all__ = ["DEFAULT_MAX_ENTRIES", "LRUCache"]
+
+#: Default response-cache bound (REPRO_SERVE_CACHE_ENTRIES overrides).
+DEFAULT_MAX_ENTRIES = 512
+
+_MISSING: _t.Any = object()
+
+
+class LRUCache:
+    """A thread-safe, bounded, least-recently-used key/value cache.
+
+    Parameters
+    ----------
+    max_entries:
+        Resident-entry bound; inserting beyond it evicts the least
+        recently *used* (read or written) entries.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        self.max_entries = max(1, int(max_entries))
+        self._lock = threading.Lock()
+        self._entries: collections.OrderedDict[_t.Any, _t.Any] = (
+            collections.OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: _t.Any, default: _t.Any = None) -> _t.Any:
+        """Look up ``key``, refreshing its recency on a hit."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: _t.Any, value: _t.Any) -> None:
+        """Insert (or refresh) ``key``, evicting beyond the bound."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __contains__(self, key: _t.Any) -> bool:
+        # Membership is a metrics-free peek: no counter, no recency.
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they are lifetime)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """JSON-ready counters for the ``/metrics`` endpoint."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

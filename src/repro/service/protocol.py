@@ -1,0 +1,194 @@
+"""Wire protocol of the service: HTTP/1.1 framing and JSON rendering.
+
+The service speaks a deliberately small slice of HTTP — enough for any
+stock client (curl, ``http.client``, a browser) while staying pure
+stdlib:
+
+* request line + headers + ``Content-Length``-framed body;
+* responses are always ``application/json`` with an explicit length;
+* ``Connection: keep-alive`` is honored (HTTP/1.1 default), so load
+  generators can reuse connections;
+* malformed input maps to structured error payloads
+  (``{"error": {"type", "message"}}``) rather than dropped
+  connections.
+
+Grids in request/response bodies use the shared export schema
+(:func:`repro.reporting.jsonify`): cells are ``"N@fMHz"`` keys, and
+:func:`parse_grid_key` inverts that rendering exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import typing as _t
+
+from repro.reporting import grid_key, jsonify
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "ProtocolError",
+    "Request",
+    "error_payload",
+    "grid_key",
+    "jsonify",
+    "parse_grid_key",
+    "read_request",
+    "render_response",
+]
+
+#: Largest accepted request body (predict/campaign payloads are tiny).
+MAX_BODY_BYTES = 1 << 20
+
+#: Largest accepted request head (request line + headers).
+MAX_HEADER_BYTES = 1 << 14
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(ValueError):
+    """A request violated the wire protocol (maps to 400/413)."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclasses.dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes = b""
+    http_version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should survive this exchange."""
+        connection = self.headers.get("connection", "").lower()
+        if self.http_version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def json(self) -> _t.Any:
+        """The body parsed as JSON (``{}`` for an empty body)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except ValueError as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}")
+
+
+async def read_request(reader: _t.Any) -> Request | None:
+    """Parse one request off an asyncio stream.
+
+    Returns ``None`` on a clean EOF before any bytes (the client
+    closed a keep-alive connection); raises :class:`ProtocolError` on
+    malformed or oversized input.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("truncated request head")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("request head too large", status=413)
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError("request head too large", status=413)
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line: {lines[0]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise ProtocolError(f"unsupported HTTP version {version!r}")
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(f"bad Content-Length: {length_text!r}")
+    if length < 0:
+        raise ProtocolError(f"bad Content-Length: {length_text!r}")
+    if length > MAX_BODY_BYTES:
+        raise ProtocolError("request body too large", status=413)
+    body = await reader.readexactly(length) if length else b""
+
+    # Strip any query string; the API is body-driven.
+    path = target.split("?", 1)[0]
+    return Request(
+        method=method.upper(),
+        path=path,
+        headers=headers,
+        body=body,
+        http_version=version,
+    )
+
+
+def render_response(
+    status: int,
+    payload: _t.Any,
+    *,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize a JSON response to raw HTTP bytes.
+
+    ``payload`` is passed through :func:`jsonify`, so grid-keyed dicts
+    and ``as_dict`` objects serialize without caller-side conversion.
+    """
+    body = json.dumps(jsonify(payload)).encode("utf-8")
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def error_payload(error_type: str, message: str) -> dict[str, _t.Any]:
+    """The service's uniform error body."""
+    return {"error": {"type": error_type, "message": message}}
+
+
+def parse_grid_key(key: str) -> tuple[int, float]:
+    """Invert :func:`grid_key`: ``"4@600MHz"`` -> ``(4, 600e6)``."""
+    text = key.strip()
+    if not text.endswith("MHz"):
+        raise ProtocolError(f"bad grid key {key!r} (expected 'N@fMHz')")
+    n_text, sep, mhz_text = text[: -len("MHz")].partition("@")
+    if not sep:
+        raise ProtocolError(f"bad grid key {key!r} (expected 'N@fMHz')")
+    try:
+        return int(n_text), float(mhz_text) * 1e6
+    except ValueError:
+        raise ProtocolError(f"bad grid key {key!r} (expected 'N@fMHz')")

@@ -1,0 +1,864 @@
+"""The asyncio HTTP server: routing, model registry, lifecycle.
+
+One :class:`ReproService` owns everything a long-lived prediction
+process needs:
+
+* a registry of fitted :class:`~repro.service.coalesce.PredictorBundle`
+  models (one per benchmark × problem class), built lazily — the
+  fitting campaign runs on the default executor so the event loop
+  keeps serving — and single-flighted so a thundering herd fits once;
+* a :class:`~repro.service.coalesce.Coalescer` +
+  :class:`~repro.service.coalesce.PredictBatcher` pair for ``/predict``
+  and a bounded :class:`~repro.service.memcache.LRUCache` of rendered
+  responses in front of the campaign disk cache;
+* a :class:`~repro.service.jobs.JobManager` running ``/campaign``
+  submissions on the fault-tolerant :mod:`repro.runtime` pool,
+  deduplicated by campaign digest;
+* graceful shutdown — SIGTERM/SIGINT stop admission, drain running
+  jobs, then close the listener.
+
+The process is marked as a long-lived server at startup
+(:func:`repro.runtime.mark_server_process`), so fault-injection plans
+cannot be armed under live traffic unless explicitly allowed.
+
+Entry points: the ``repro-serve`` console script (:func:`main`), the
+``repro-experiments serve`` subcommand (:func:`add_serve_arguments` /
+:func:`serve_from_args`), and :class:`ServiceThread` for tests and
+benchmarks that need an in-process server on a free port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import dataclasses
+import os
+import signal
+import threading
+import time
+import typing as _t
+
+from repro.errors import ReproError
+from repro.service import coalesce, jobs as jobs_mod, memcache, protocol
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "ReproService",
+    "ServiceConfig",
+    "ServiceThread",
+    "add_serve_arguments",
+    "main",
+    "serve_from_args",
+]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+#: Per-model fitting grids (LU follows the paper's N <= 8, matching
+#: the edp experiment).
+_MODEL_COUNTS: dict[str, tuple[int, ...]] = {"lu": (1, 2, 4, 8)}
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    try:
+        return int(raw) if raw else default
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    try:
+        return float(raw) if raw else default
+    except ValueError:
+        return default
+
+
+@dataclasses.dataclass
+class ServiceConfig:
+    """Everything configurable about one service instance.
+
+    Defaults come from the ``REPRO_SERVE_*`` environment (see
+    :mod:`repro.service`); CLI flags override per invocation.
+    """
+
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT
+    warmup: tuple[tuple[str, str], ...] = ()
+    job_workers: int = 2
+    max_queue: int = 64
+    result_ttl_s: float = 900.0
+    cache_entries: int = memcache.DEFAULT_MAX_ENTRIES
+    allow_faults: bool = False
+    drain_timeout_s: float = 30.0
+
+    @classmethod
+    def from_env(cls) -> "ServiceConfig":
+        """A config resolved from the ``REPRO_SERVE_*`` environment."""
+        return cls(
+            host=os.environ.get("REPRO_SERVE_HOST", "").strip()
+            or DEFAULT_HOST,
+            port=_env_int("REPRO_SERVE_PORT", DEFAULT_PORT),
+            warmup=parse_warmup(
+                os.environ.get("REPRO_SERVE_WARMUP", "")
+            ),
+            job_workers=_env_int("REPRO_SERVE_JOB_WORKERS", 2),
+            max_queue=_env_int("REPRO_SERVE_QUEUE", 64),
+            result_ttl_s=_env_float("REPRO_SERVE_RESULT_TTL", 900.0),
+            cache_entries=_env_int(
+                "REPRO_SERVE_CACHE_ENTRIES", memcache.DEFAULT_MAX_ENTRIES
+            ),
+            allow_faults=os.environ.get(
+                "REPRO_SERVE_ALLOW_FAULTS", ""
+            ).strip().lower()
+            in ("1", "true", "yes", "on"),
+        )
+
+
+def parse_warmup(text: str) -> tuple[tuple[str, str], ...]:
+    """Parse ``"ep:A,ft:A"`` into ``(("ep", "A"), ("ft", "A"))``."""
+    models = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        name, sep, cls = token.partition(":")
+        models.append((name.strip().lower(), (cls.strip() or "A").upper()))
+    return tuple(models)
+
+
+class ReproService:
+    """The prediction & campaign HTTP service."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.responses = memcache.LRUCache(self.config.cache_entries)
+        self.predict_coalescer = coalesce.Coalescer()
+        self.fit_coalescer = coalesce.Coalescer()
+        self.batcher = coalesce.PredictBatcher()
+        self.jobs = jobs_mod.JobManager(
+            max_workers=self.config.job_workers,
+            max_queue=self.config.max_queue,
+            ttl_s=self.config.result_ttl_s,
+        )
+        self.bundles: dict[tuple[str, str], coalesce.PredictorBundle] = {}
+        self.requests_total = 0
+        self.predict_requests = 0
+        self.predict_cache_hits = 0
+        self.by_endpoint: dict[str, int] = {}
+        self.by_status: dict[int, int] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._port: int | None = None
+        self._started_at: float | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._closing = False
+        self._spec_digest: str | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the real one)."""
+        if self._port is None:
+            raise RuntimeError("service is not started")
+        return self._port
+
+    async def start(self) -> None:
+        """Mark the process, warm requested models, bind the socket."""
+        from repro import runtime
+
+        runtime.mark_server_process(
+            "repro-serve", allow_faults=self.config.allow_faults
+        )
+        self._started_at = time.monotonic()
+        for name, cls in self.config.warmup:
+            await self._bundle(name, cls)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop admission, drain jobs, unbind."""
+        from repro import runtime
+
+        self._closing = True
+        await self.jobs.drain(self.config.drain_timeout_s)
+        self.jobs.shutdown()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        runtime.unmark_server_process()
+
+    def request_stop(self) -> None:
+        """Ask :meth:`run` to shut down (signal-handler safe)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def run(self, announce: bool = False) -> None:
+        """Start, serve until SIGTERM/SIGINT (or
+        :meth:`request_stop`), then drain and stop."""
+        await self.start()
+        self._stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._stop_event.set)
+                installed.append(sig)
+            except (NotImplementedError, ValueError):
+                pass  # non-main thread or unsupported platform
+        if announce:
+            print(
+                f"repro-serve listening on "
+                f"http://{self.config.host}:{self.port} "
+                f"(pid {os.getpid()}); SIGTERM drains gracefully"
+            )
+        try:
+            await self._stop_event.wait()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            await self.stop()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await protocol.read_request(reader)
+                except protocol.ProtocolError as exc:
+                    writer.write(
+                        protocol.render_response(
+                            exc.status,
+                            protocol.error_payload("protocol", str(exc)),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, payload = await self._dispatch(request)
+                self.by_status[status] = self.by_status.get(status, 0) + 1
+                keep = request.keep_alive and not self._closing
+                writer.write(
+                    protocol.render_response(
+                        status, payload, keep_alive=keep
+                    )
+                )
+                await writer.drain()
+                if not keep:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancels in-flight connection tasks;
+            # ending the handler cleanly keeps teardown quiet.
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _dispatch(
+        self, request: protocol.Request
+    ) -> tuple[int, _t.Any]:
+        """Route one request; all error mapping happens here."""
+        self.requests_total += 1
+        route = f"{request.method} {request.path}"
+        try:
+            if request.path == "/healthz" and request.method == "GET":
+                return 200, self._healthz()
+            if request.path == "/metrics" and request.method == "GET":
+                return 200, self._metrics()
+            if request.path == "/predict" and request.method == "POST":
+                return await self._handle_predict(request)
+            if request.path == "/campaign" and request.method == "POST":
+                return self._handle_campaign(request)
+            if request.path == "/jobs" and request.method == "GET":
+                return 200, self._handle_jobs_list()
+            if request.path.startswith("/jobs/"):
+                return self._handle_job(request)
+            if request.path in (
+                "/healthz",
+                "/metrics",
+                "/predict",
+                "/campaign",
+                "/jobs",
+            ):
+                return 405, protocol.error_payload(
+                    "method_not_allowed",
+                    f"{request.method} not supported on {request.path}",
+                )
+            return 404, protocol.error_payload(
+                "not_found", f"unknown path {request.path!r}"
+            )
+        except protocol.ProtocolError as exc:
+            return exc.status, protocol.error_payload(
+                "bad_request", str(exc)
+            )
+        except jobs_mod.JobQueueFullError as exc:
+            return 503, protocol.error_payload("queue_full", str(exc))
+        except jobs_mod.UnknownJobError as exc:
+            return 404, protocol.error_payload("unknown_job", str(exc))
+        except ReproError as exc:
+            return 400, protocol.error_payload(
+                type(exc).__name__, str(exc)
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            return 500, protocol.error_payload(
+                "internal", f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            self.by_endpoint[route] = self.by_endpoint.get(route, 0) + 1
+
+    # -- endpoints ----------------------------------------------------------
+
+    def _healthz(self) -> dict[str, _t.Any]:
+        from repro import __version__
+
+        uptime = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        return {
+            "status": "draining" if self._closing else "ok",
+            "version": __version__,
+            "pid": os.getpid(),
+            "uptime_s": uptime,
+            "models_loaded": sorted(
+                f"{name}:{cls}" for name, cls in self.bundles
+            ),
+            "jobs_active": self.jobs.active_count(),
+        }
+
+    def _metrics(self) -> dict[str, _t.Any]:
+        from repro.runtime import campaign_metrics, server_process_context
+
+        started = self.predict_coalescer.started
+        joined = self.predict_coalescer.coalesced
+        shared = joined + self.predict_cache_hits
+        return {
+            "service": {
+                "context": server_process_context(),
+                "uptime_s": (
+                    time.monotonic() - self._started_at
+                    if self._started_at is not None
+                    else 0.0
+                ),
+                "requests": {
+                    "total": self.requests_total,
+                    "by_endpoint": self.by_endpoint,
+                    "by_status": {
+                        str(k): v for k, v in self.by_status.items()
+                    },
+                },
+                "predict": {
+                    "requests": self.predict_requests,
+                    "cache_hits": self.predict_cache_hits,
+                    "computed": started,
+                    "coalesced": joined,
+                    # Fraction of predict traffic that shared work
+                    # (single-flight join or response-cache hit).
+                    "coalesce_ratio": (
+                        shared / self.predict_requests
+                        if self.predict_requests
+                        else 0.0
+                    ),
+                    "batcher": self.batcher.stats(),
+                },
+                "models": {
+                    "loaded": sorted(
+                        f"{name}:{cls}" for name, cls in self.bundles
+                    ),
+                    "fits_started": self.fit_coalescer.started,
+                    "fits_coalesced": self.fit_coalescer.coalesced,
+                    "fits_inflight": self.fit_coalescer.inflight(),
+                },
+                "response_cache": self.responses.stats(),
+                "jobs": self.jobs.stats(),
+            },
+            "campaign_runtime": campaign_metrics(),
+        }
+
+    async def _handle_predict(
+        self, request: protocol.Request
+    ) -> tuple[int, _t.Any]:
+        body = request.json()
+        name, cls = self._parse_model(body)
+        points = _parse_points(body)
+        self.predict_requests += 1
+        cache_key = ("predict", name, cls, points)
+        cached = self.responses.get(cache_key)
+        if cached is not None:
+            self.predict_cache_hits += 1
+            return 200, {**cached, "served_from": "cache"}
+
+        async def compute() -> dict[str, _t.Any]:
+            bundle = await self._bundle(name, cls)
+            wanted = points or tuple(sorted(bundle.campaign.times))
+            table = await self.batcher.evaluate(bundle, wanted)
+            document = {
+                "benchmark": name,
+                "class": cls,
+                "base_frequency_hz": bundle.campaign.base_frequency_hz,
+                "predictions": table,
+                "model": bundle.sp.inputs_used(),
+            }
+            self.responses.put(cache_key, document)
+            return document
+
+        document, joined = await self.predict_coalescer.run(
+            cache_key, compute
+        )
+        source = "coalesced" if joined else "computed"
+        return 200, {**document, "served_from": source}
+
+    def _handle_campaign(
+        self, request: protocol.Request
+    ) -> tuple[int, _t.Any]:
+        from repro.experiments.platform import (
+            PAPER_COUNTS,
+            PAPER_FREQUENCIES,
+            measure_campaign,
+        )
+        from repro import runtime
+        from repro.cluster.machine import paper_spec
+        from repro.units import mhz
+
+        body = request.json()
+        name, cls = self._parse_model(body)
+        bench = _build_benchmark(name, cls)
+        counts = tuple(
+            int(n) for n in body.get("counts", PAPER_COUNTS)
+        )
+        frequencies = tuple(
+            mhz(float(m))
+            for m in body.get(
+                "frequencies_mhz",
+                [f / 1e6 for f in PAPER_FREQUENCIES],
+            )
+        )
+        if not counts or not frequencies:
+            raise protocol.ProtocolError(
+                "campaign needs non-empty counts and frequencies_mhz"
+            )
+        if any(n < 1 for n in counts):
+            raise protocol.ProtocolError(
+                f"processor counts must be >= 1: {sorted(counts)}"
+            )
+        if self._spec_digest is None:
+            self._spec_digest = runtime.spec_digest(paper_spec())
+        digest = runtime.campaign_digest(
+            bench.name,
+            bench.problem_class.value,
+            counts,
+            frequencies,
+            self._spec_digest,
+            runtime.benchmark_digest(bench),
+        )
+        label = f"{bench.name}.{bench.problem_class.value}"
+        from repro.runtime.metrics import METRICS
+
+        def run_job(job: jobs_mod.Job) -> dict[str, _t.Any]:
+            cache_key = ("campaign", digest)
+            cached = self.responses.get(cache_key)
+            if cached is not None:
+                job.runtime = {"source": "service-cache"}
+                return cached
+            before = len(METRICS.records)
+            campaign = measure_campaign(bench, counts, frequencies)
+            record = next(
+                (
+                    r
+                    for r in reversed(METRICS.records[before:])
+                    if r.label == label
+                ),
+                None,
+            )
+            if record is not None:
+                job.runtime = record.as_dict()
+            document = {
+                "benchmark": name,
+                "class": cls,
+                "base_frequency_hz": campaign.base_frequency_hz,
+                "data": {
+                    "times": campaign.times,
+                    "energies": campaign.energies,
+                    "speedups": campaign.speedups(),
+                },
+            }
+            self.responses.put(cache_key, document)
+            return document
+
+        job, created = self.jobs.submit(
+            digest,
+            label,
+            run_job,
+            params={
+                "benchmark": name,
+                "class": cls,
+                "counts": list(counts),
+                "frequencies_mhz": [f / 1e6 for f in frequencies],
+            },
+        )
+        return 202, {
+            "job_id": job.id,
+            "status": job.status,
+            "key": digest,
+            "created": created,
+            "poll": f"/jobs/{job.id}",
+        }
+
+    def _handle_jobs_list(self) -> dict[str, _t.Any]:
+        return {
+            "jobs": [
+                job.as_dict(include_result=False)
+                for job in self.jobs.jobs()
+            ],
+            "stats": self.jobs.stats(),
+        }
+
+    def _handle_job(
+        self, request: protocol.Request
+    ) -> tuple[int, _t.Any]:
+        rest = request.path[len("/jobs/") :]
+        job_id, _, action = rest.partition("/")
+        if action == "cancel" and request.method == "POST":
+            job = self.jobs.cancel(job_id)
+            return 200, job.as_dict(include_result=False)
+        if action:
+            return 404, protocol.error_payload(
+                "not_found", f"unknown job action {action!r}"
+            )
+        if request.method != "GET":
+            return 405, protocol.error_payload(
+                "method_not_allowed",
+                f"{request.method} not supported on /jobs/<id>",
+            )
+        return 200, self.jobs.job(job_id).as_dict()
+
+    # -- model registry -------------------------------------------------------
+
+    def _parse_model(self, body: _t.Any) -> tuple[str, str]:
+        if not isinstance(body, dict):
+            raise protocol.ProtocolError(
+                "request body must be a JSON object"
+            )
+        from repro.npb import BENCHMARKS
+
+        name = str(body.get("benchmark", "")).strip().lower()
+        if not name:
+            raise protocol.ProtocolError(
+                "request needs a 'benchmark' field"
+            )
+        if name not in BENCHMARKS:
+            raise protocol.ProtocolError(
+                f"unknown benchmark {name!r}; "
+                f"available: {sorted(BENCHMARKS)}"
+            )
+        cls = str(body.get("class", "A")).strip().upper() or "A"
+        return name, cls
+
+    async def _bundle(
+        self, name: str, cls: str
+    ) -> coalesce.PredictorBundle:
+        """The fitted model for ``(name, cls)``; fit once, coalesced."""
+        key = (name, cls)
+        bundle = self.bundles.get(key)
+        if bundle is not None:
+            return bundle
+
+        async def fit() -> coalesce.PredictorBundle:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                None, self._fit_bundle, name, cls
+            )
+
+        bundle, _ = await self.fit_coalescer.run(("fit",) + key, fit)
+        self.bundles[key] = bundle
+        return bundle
+
+    def _fit_bundle(
+        self, name: str, cls: str
+    ) -> coalesce.PredictorBundle:
+        """Fit SP + energy model from the paper-grid campaign
+        (runs on the executor; hits the campaign caches when warm)."""
+        from repro.cluster.machine import paper_spec
+        from repro.core.energy import EnergyModel
+        from repro.core.params_sp import SimplifiedParameterization
+        from repro.experiments.platform import (
+            PAPER_COUNTS,
+            PAPER_FREQUENCIES,
+            measure_campaign,
+        )
+
+        bench = _build_benchmark(name, cls)
+        counts = _MODEL_COUNTS.get(name, PAPER_COUNTS)
+        campaign = measure_campaign(bench, counts, PAPER_FREQUENCIES)
+        spec = paper_spec()
+        return coalesce.PredictorBundle(
+            benchmark=name,
+            problem_class=cls,
+            campaign=campaign,
+            sp=SimplifiedParameterization(campaign),
+            energy_model=EnergyModel(
+                spec.power, spec.cpu.operating_points
+            ),
+        )
+
+
+def _build_benchmark(name: str, cls: str) -> _t.Any:
+    from repro.npb import BENCHMARKS, ProblemClass
+
+    try:
+        problem_class = ProblemClass.parse(cls)
+    except (ReproError, ValueError, KeyError):
+        raise protocol.ProtocolError(f"unknown problem class {cls!r}")
+    return BENCHMARKS[name](problem_class)
+
+
+def _parse_points(body: dict) -> tuple[tuple[int, float], ...]:
+    """Grid points from a predict body: ``cells`` keys and/or a
+    ``counts`` × ``frequencies_mhz`` cross-product; empty means the
+    model's full fitted grid."""
+    from repro.units import mhz
+
+    points: list[tuple[int, float]] = []
+    cells = body.get("cells")
+    if cells is not None:
+        if not isinstance(cells, list):
+            raise protocol.ProtocolError(
+                "'cells' must be a list of 'N@fMHz' keys"
+            )
+        points.extend(
+            protocol.parse_grid_key(str(key)) for key in cells
+        )
+    counts = body.get("counts")
+    frequencies = body.get("frequencies_mhz")
+    if counts is not None or frequencies is not None:
+        if not counts or not frequencies:
+            raise protocol.ProtocolError(
+                "'counts' and 'frequencies_mhz' must be given together "
+                "and non-empty"
+            )
+        try:
+            points.extend(
+                (int(n), mhz(float(m)))
+                for n in counts
+                for m in frequencies
+            )
+        except (TypeError, ValueError) as exc:
+            raise protocol.ProtocolError(f"bad grid values: {exc}")
+    if any(n < 1 for n, _ in points):
+        raise protocol.ProtocolError("processor counts must be >= 1")
+    return tuple(dict.fromkeys(points))
+
+
+class ServiceThread:
+    """An in-process service on its own thread + event loop.
+
+    Tests and benchmarks use it as a context manager::
+
+        with ServiceThread() as service:
+            client = ServiceClient(port=service.port)
+            ...
+
+    The constructor default binds port 0 (a free port).
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig(port=0)
+        self.service = ReproService(self.config)
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._error: BaseException | None = None
+
+    def start(self) -> "ServiceThread":
+        """Boot the server thread; blocks until it is accepting."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=120.0):
+            raise RuntimeError("service failed to start within 120s")
+        if self._error is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._error}"
+            ) from self._error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:
+            self._error = exc
+        finally:
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.service._stop_event = asyncio.Event()
+        await self.service.start()
+        self._ready.set()
+        await self.service._stop_event.wait()
+        await self.service.stop()
+
+    def stop(self) -> None:
+        """Request a graceful stop and join the server thread."""
+        if self._loop is not None and not self._loop.is_closed():
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(
+                    self.service.request_stop
+                )
+        if self._thread is not None:
+            self._thread.join(timeout=120.0)
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when configured as 0)."""
+        return self.service.port
+
+    @property
+    def base_url(self) -> str:
+        """The server's ``http://host:port`` root URL."""
+        return f"http://{self.config.host}:{self.port}"
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *_exc: _t.Any) -> None:
+        self.stop()
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``serve`` flags on a parser (shared between the
+    ``repro-serve`` script and ``repro-experiments serve``)."""
+    parser.add_argument(
+        "--host",
+        default=None,
+        help=f"bind address (default: REPRO_SERVE_HOST or {DEFAULT_HOST})",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=f"bind port; 0 picks a free port "
+        f"(default: REPRO_SERVE_PORT or {DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--warmup",
+        default=None,
+        metavar="MODELS",
+        help="comma-separated benchmark:CLASS models to fit before "
+        "accepting traffic, e.g. 'ep:A,ft:A' "
+        "(default: REPRO_SERVE_WARMUP)",
+    )
+    parser.add_argument(
+        "--job-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="campaign job threads (default: REPRO_SERVE_JOB_WORKERS or 2)",
+    )
+    parser.add_argument(
+        "--queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max queued+running jobs before /campaign returns 503 "
+        "(default: REPRO_SERVE_QUEUE or 64)",
+    )
+    parser.add_argument(
+        "--result-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="finished-job retention (default: REPRO_SERVE_RESULT_TTL "
+        "or 900)",
+    )
+    parser.add_argument(
+        "--cache-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="in-process response-cache bound "
+        f"(default: REPRO_SERVE_CACHE_ENTRIES or "
+        f"{memcache.DEFAULT_MAX_ENTRIES})",
+    )
+    parser.add_argument(
+        "--allow-faults",
+        action="store_true",
+        help="permit fault-injection plans inside this server process "
+        "(testing only; default: refuse, and refuse to start with "
+        "REPRO_FAULTS armed)",
+    )
+
+
+def serve_from_args(args: argparse.Namespace) -> int:
+    """Run the service from parsed CLI arguments (blocks until
+    SIGTERM/SIGINT)."""
+    config = ServiceConfig.from_env()
+    if args.host is not None:
+        config.host = args.host
+    if args.port is not None:
+        config.port = args.port
+    if args.warmup is not None:
+        config.warmup = parse_warmup(args.warmup)
+    if args.job_workers is not None:
+        config.job_workers = args.job_workers
+    if args.queue is not None:
+        config.max_queue = args.queue
+    if args.result_ttl is not None:
+        config.result_ttl_s = args.result_ttl
+    if args.cache_entries is not None:
+        config.cache_entries = args.cache_entries
+    if args.allow_faults:
+        config.allow_faults = True
+    service = ReproService(config)
+    try:
+        asyncio.run(service.run(announce=True))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    """Entry point for the ``repro-serve`` console script."""
+    from repro import __version__
+
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Long-running prediction & campaign service for "
+        "the 'Power-Aware Speedup' reproduction.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+    )
+    add_serve_arguments(parser)
+    return serve_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

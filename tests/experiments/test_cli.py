@@ -1,0 +1,108 @@
+"""CLI surface tests: ``--version``, the shared JSON schema path,
+``serve`` registration and ``python -m repro`` delegation."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro import runtime
+from repro.experiments import cli, platform
+from repro.experiments.platform import measure_campaign
+from repro.npb import EPBenchmark, ProblemClass
+from repro.reporting import jsonify
+from repro.service.protocol import parse_grid_key
+
+
+@pytest.fixture(autouse=True)
+def isolated_runtime(tmp_path):
+    runtime.configure(jobs=None, disk_cache=None, cache_dir=tmp_path)
+    platform._CACHE.clear()
+    runtime.reset_campaign_metrics()
+    yield
+    runtime.configure(jobs=None, disk_cache=None, cache_dir=None)
+    platform._CACHE.clear()
+    runtime.reset_campaign_metrics()
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert repro.__version__ in out
+        assert "repro-experiments" in out
+
+    def test_module_entry_point_reports_version(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0
+        assert repro.__version__ in proc.stdout
+
+
+class TestList:
+    def test_list_prints_experiments(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+
+
+class TestCampaignJson:
+    def test_campaign_json_uses_shared_schema(self, tmp_path, capsys):
+        out_path = tmp_path / "ep.json"
+        status = cli.main(
+            [
+                "campaign",
+                "ep",
+                "--class",
+                "S",
+                "--counts",
+                "1,2",
+                "--frequencies",
+                "600,800",
+                "--json",
+                str(out_path),
+            ]
+        )
+        assert status == 0
+        document = json.loads(out_path.read_text())
+        assert document["benchmark"] == "ep"
+        assert document["class"] == "S"
+        campaign = measure_campaign(
+            EPBenchmark(ProblemClass.S), (1, 2), (600e6, 800e6)
+        )
+        times = {
+            parse_grid_key(k): v
+            for k, v in document["data"]["times"].items()
+        }
+        assert times == campaign.times
+        # Grid keys render as "N@fMHz" strings.
+        assert "1@600MHz" in document["data"]["times"]
+        # The command reports the runtime summary line.
+        assert "[campaign runtime]" in capsys.readouterr().out
+
+    def test_jsonify_helper_delegates_to_reporting(self):
+        value = {"times": {(2, 600e6): 1.5}}
+        assert cli._jsonify(value) == jsonify(value)
+
+    def test_unknown_benchmark_fails(self, capsys):
+        assert cli.main(["campaign", "nope"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestServeRegistration:
+    def test_serve_help_registered(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--port" in out
+        assert "--warmup" in out
+        assert "--allow-faults" in out

@@ -1,0 +1,113 @@
+"""Disk-cache counter tests: hits/misses/writes/evictions/quarantines
+threaded through ``DiskCache.stats()``, ``campaign_metrics()`` and the
+CLI summary line."""
+
+import pytest
+
+from repro import runtime
+from repro.experiments import platform
+from repro.experiments.platform import measure_campaign
+from repro.npb import EPBenchmark, ProblemClass
+from repro.runtime.diskcache import DiskCache, cache_stats
+from repro.runtime.metrics import METRICS
+from repro.units import mhz
+
+
+@pytest.fixture(autouse=True)
+def isolated_runtime(tmp_path):
+    runtime.configure(jobs=None, disk_cache=None, cache_dir=tmp_path)
+    platform._CACHE.clear()
+    runtime.reset_campaign_metrics()
+    runtime.reset_cache_stats()
+    yield
+    runtime.configure(jobs=None, disk_cache=None, cache_dir=None)
+    platform._CACHE.clear()
+    runtime.reset_campaign_metrics()
+    runtime.reset_cache_stats()
+
+
+def measure(**kwargs):
+    return measure_campaign(
+        EPBenchmark(ProblemClass.S),
+        (1, 2),
+        (mhz(600),),
+        **kwargs,
+    )
+
+
+class TestCounters:
+    def test_cold_measure_counts_miss_and_write(self):
+        measure()
+        stats = cache_stats()
+        assert stats["misses"] == 1
+        assert stats["writes"] == 1
+        assert stats["hits"] == 0
+
+    def test_disk_hit_counts(self):
+        measure()
+        platform._CACHE.clear()  # force the disk tier
+        measure()
+        stats = cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_memory_hit_leaves_disk_counters_alone(self):
+        measure()
+        before = cache_stats()
+        measure()  # memory tier
+        assert cache_stats() == before
+
+    def test_reset_zeroes_everything(self):
+        measure()
+        runtime.reset_cache_stats()
+        assert all(v == 0 for v in cache_stats().values())
+
+    def test_quarantine_counts(self, tmp_path):
+        campaign = measure()
+        platform._CACHE.clear()
+        entry = next(tmp_path.glob("*.json"))
+        entry.write_text("{ not json")
+        runtime.reset_cache_stats()
+        again = measure()
+        stats = cache_stats()
+        assert stats["quarantines"] == 1
+        assert stats["misses"] == 1  # the quarantined read
+        assert stats["writes"] == 1  # re-simulated and re-stored
+        assert again.times == campaign.times
+
+    def test_eviction_counts(self, tmp_path):
+        cache = DiskCache(tmp_path / "bounded", max_entries=2)
+        source = measure()
+        runtime.reset_cache_stats()
+        for i in range(4):
+            cache.put(f"digest-{i}", source)
+        assert cache_stats()["evictions"] == 2
+        assert len(cache) == 2
+
+
+class TestStatsSurfaces:
+    def test_diskcache_stats_method(self, tmp_path):
+        measure()
+        stats = runtime.disk_cache().stats()
+        assert stats["entries"] == 1
+        assert stats["quarantined_entries"] == 0
+        assert stats["writes"] == 1
+
+    def test_campaign_metrics_embed_disk_cache(self):
+        measure()
+        snapshot = runtime.campaign_metrics()
+        assert snapshot["disk_cache"]["writes"] == 1
+        assert snapshot["disk_cache"]["misses"] == 1
+
+    def test_summary_line_reports_disk_cache(self):
+        measure()
+        platform._CACHE.clear()
+        measure()
+        line = METRICS.summary_line()
+        assert "disk cache: 1/2 reads hit" in line
+        assert "1 writes" in line
+
+    def test_summary_line_quiet_without_disk_activity(self):
+        runtime.configure(disk_cache=False)
+        measure()
+        assert "disk cache" not in METRICS.summary_line()

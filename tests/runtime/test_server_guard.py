@@ -1,0 +1,91 @@
+"""Server-process fault guard: pid-scoped plans and the refusal to
+arm fault injection inside a long-lived service process."""
+
+import os
+
+import pytest
+
+from repro.runtime import faults
+from repro.runtime.faults import (
+    FaultPlan,
+    active_fault_plan,
+    install_fault_plan,
+    mark_server_process,
+    server_process_context,
+    unmark_server_process,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    install_fault_plan(None)
+    unmark_server_process()
+    yield
+    install_fault_plan(None)
+    unmark_server_process()
+
+
+class TestPidScoping:
+    def test_installed_plan_applies_to_installing_process(self):
+        plan = FaultPlan(seed=7, exception=1.0)
+        install_fault_plan(plan)
+        assert active_fault_plan() is plan
+
+    def test_inherited_plan_ignored_by_other_pid(self):
+        # Simulate a forked child that inherited the parent's global:
+        # the plan is recorded against a pid that is not ours.
+        install_fault_plan(FaultPlan(seed=7, exception=1.0))
+        faults._PLAN_PID = os.getpid() + 1
+        assert active_fault_plan() is None
+
+    def test_env_plan_reaches_any_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "exception=1")
+        plan = active_fault_plan()
+        assert plan is not None
+        assert plan.exception == 1.0
+
+
+class TestServerMark:
+    def test_mark_records_context(self):
+        mark_server_process("repro-serve")
+        assert server_process_context() == "repro-serve"
+        unmark_server_process()
+        assert server_process_context() is None
+
+    def test_mark_refuses_env_faults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash=1")
+        with pytest.raises(RuntimeError, match="fault injection"):
+            mark_server_process("repro-serve")
+
+    def test_mark_refuses_installed_plan(self):
+        install_fault_plan(FaultPlan(exception=1.0))
+        with pytest.raises(RuntimeError, match="fault injection"):
+            mark_server_process("repro-serve")
+
+    def test_allow_faults_opts_in(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash=1")
+        mark_server_process("repro-serve", allow_faults=True)
+        assert active_fault_plan() is not None
+
+    def test_marked_server_ignores_env_faults(self, monkeypatch):
+        mark_server_process("repro-serve")
+        monkeypatch.setenv("REPRO_FAULTS", "exception=1")
+        assert active_fault_plan() is None
+
+    def test_install_refused_in_marked_server(self):
+        mark_server_process("repro-serve")
+        with pytest.raises(RuntimeError, match="long-lived server"):
+            install_fault_plan(FaultPlan(exception=1.0))
+        # The refused plan must not have been installed.
+        assert active_fault_plan() is None
+
+    def test_removing_plan_always_allowed(self):
+        mark_server_process("repro-serve")
+        install_fault_plan(None)  # must not raise
+
+    def test_install_allowed_when_server_opted_in(self):
+        mark_server_process("repro-serve", allow_faults=True)
+        plan = FaultPlan(exception=1.0)
+        install_fault_plan(plan)
+        assert active_fault_plan() is plan

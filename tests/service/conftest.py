@@ -1,0 +1,38 @@
+"""Shared fixtures for the service tests.
+
+Every test gets a fully isolated campaign runtime (temp disk cache,
+cleared memory tier, zeroed metrics and counters) and an unmarked
+process, so service tests cannot leak server state into the rest of
+the suite.
+"""
+
+import pytest
+
+from repro import runtime
+from repro.experiments import platform
+
+
+@pytest.fixture(autouse=True)
+def isolated_runtime(tmp_path):
+    runtime.configure(jobs=None, disk_cache=None, cache_dir=tmp_path)
+    platform._CACHE.clear()
+    runtime.reset_campaign_metrics()
+    runtime.reset_cache_stats()
+    runtime.unmark_server_process()
+    runtime.install_fault_plan(None)
+    yield
+    runtime.configure(jobs=None, disk_cache=None, cache_dir=None)
+    platform._CACHE.clear()
+    runtime.reset_campaign_metrics()
+    runtime.reset_cache_stats()
+    runtime.unmark_server_process()
+    runtime.install_fault_plan(None)
+
+
+@pytest.fixture
+def served():
+    """An in-process service on a free port."""
+    from repro.service import ServiceThread
+
+    with ServiceThread() as service:
+        yield service

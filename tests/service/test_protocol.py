@@ -1,0 +1,155 @@
+"""Wire-protocol tests: HTTP parsing, rendering, grid-key inversion."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.experiments.platform import PAPER_COUNTS, PAPER_FREQUENCIES
+from repro.reporting import grid_key
+from repro.service.protocol import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    Request,
+    error_payload,
+    parse_grid_key,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_get_without_body(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.body == b""
+        assert request.headers["host"] == "x"
+
+    def test_post_with_body(self):
+        body = json.dumps({"benchmark": "ep"}).encode()
+        raw = (
+            b"POST /predict HTTP/1.1\r\n"
+            b"Content-Length: %d\r\n\r\n" % len(body)
+        ) + body
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.json() == {"benchmark": "ep"}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_head_raises(self):
+        with pytest.raises(ProtocolError):
+            parse(b"GET /healthz HTTP/1.1\r\n")
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError):
+            parse(b"GEThealthz\r\n\r\n")
+
+    def test_unsupported_version(self):
+        with pytest.raises(ProtocolError):
+            parse(b"GET / HTTP/2.0\r\n\r\n")
+
+    def test_bad_content_length(self):
+        with pytest.raises(ProtocolError):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n")
+
+    def test_oversized_body_maps_to_413(self):
+        raw = (
+            b"POST / HTTP/1.1\r\nContent-Length: %d\r\n\r\n"
+            % (MAX_BODY_BYTES + 1)
+        )
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 413
+
+    def test_query_string_stripped(self):
+        request = parse(b"GET /jobs?limit=3 HTTP/1.1\r\n\r\n")
+        assert request.path == "/jobs"
+
+    def test_method_uppercased(self):
+        request = parse(b"get / HTTP/1.1\r\n\r\n")
+        assert request.method == "GET"
+
+    def test_invalid_json_body(self):
+        request = parse(
+            b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{"
+        )
+        with pytest.raises(ProtocolError):
+            request.json()
+
+
+class TestKeepAlive:
+    def test_http11_default_keeps_alive(self):
+        assert Request("GET", "/", {}).keep_alive
+
+    def test_http11_close_honored(self):
+        request = Request("GET", "/", {"connection": "close"})
+        assert not request.keep_alive
+
+    def test_http10_default_closes(self):
+        request = Request("GET", "/", {}, http_version="HTTP/1.0")
+        assert not request.keep_alive
+
+    def test_http10_keep_alive_opt_in(self):
+        request = Request(
+            "GET",
+            "/",
+            {"connection": "keep-alive"},
+            http_version="HTTP/1.0",
+        )
+        assert request.keep_alive
+
+
+class TestRenderResponse:
+    def test_shape_and_length(self):
+        raw = render_response(200, {"ok": True})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert b"Content-Type: application/json" in head
+        assert b"Content-Length: %d" % len(body) in head
+        assert json.loads(body) == {"ok": True}
+
+    def test_connection_header_tracks_keep_alive(self):
+        assert b"Connection: close" in render_response(
+            200, {}, keep_alive=False
+        )
+        assert b"Connection: keep-alive" in render_response(200, {})
+
+    def test_grid_keys_render_via_shared_schema(self):
+        raw = render_response(200, {"times": {(4, 600e6): 1.25}})
+        body = raw.split(b"\r\n\r\n", 1)[1]
+        assert json.loads(body) == {"times": {"4@600MHz": 1.25}}
+
+    def test_floats_round_trip_bit_exact(self):
+        value = 4.727844375486109
+        raw = render_response(200, {"x": value})
+        assert json.loads(raw.split(b"\r\n\r\n", 1)[1])["x"] == value
+
+    def test_error_payload_shape(self):
+        assert error_payload("bad_request", "nope") == {
+            "error": {"type": "bad_request", "message": "nope"}
+        }
+
+
+class TestGridKeyInversion:
+    def test_inverts_grid_key_over_paper_grid(self):
+        for n in PAPER_COUNTS:
+            for f in PAPER_FREQUENCIES:
+                assert parse_grid_key(grid_key((n, f))) == (n, f)
+
+    def test_rejects_malformed_keys(self):
+        for bad in ("4x600MHz", "600MHz", "4@600", "4@xMHz", ""):
+            with pytest.raises(ProtocolError):
+                parse_grid_key(bad)
