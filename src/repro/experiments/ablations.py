@@ -21,20 +21,29 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
-from repro.core.analysis import ErrorTable
 from repro.core.params_sp import SimplifiedParameterization
 from repro.core.prediction import Predictor
-from repro.experiments.platform import (
-    PAPER_FREQUENCIES,
-    measure_campaign,
-)
-from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.platform import PAPER_COUNTS, PAPER_FREQUENCIES
+from repro.experiments.registry import ExperimentResult, register_spec
 from repro.experiments.table7 import TABLE7_COUNTS, fit_lu_fp
-from repro.npb import FTBenchmark, LUBenchmark, ProblemClass
+from repro.npb import LUBenchmark, ProblemClass
 from repro.cluster.machine import paper_spec
+from repro.pipeline import CampaignRequest, ExperimentSpec, Stage, StageContext
 from repro.reporting.tables import format_error_table, format_rows
 
-__all__ = ["run_onoff", "run_overhead", "run_dop"]
+__all__ = [
+    "ONOFF_SPEC",
+    "OVERHEAD_SPEC",
+    "DOP_SPEC",
+    "DECOMPOSITION_SPEC",
+]
+
+ONOFF_TITLE = "Ablation: remove the ON/OFF-chip workload decomposition"
+OVERHEAD_TITLE = "Ablation: violate Assumption 2 (frequency-sensitive overhead)"
+DOP_TITLE = "Ablation: relax Assumption 1 with a DOP-decomposed workload"
+DECOMPOSITION_TITLE = (
+    "Ablation: FT transpose decomposition (1-D slab vs 2-D pencil)"
+)
 
 
 class _NoSplitModel:
@@ -57,21 +66,38 @@ class _NoSplitModel:
         return t1 / n + max(self._sp.overhead(n), 0.0)
 
 
-@register(
-    "ablation_onoff",
-    "Ablation: remove the ON/OFF-chip workload decomposition",
-    "Pure-1/f frequency scaling vs the full SP model on FT",
-)
-def run_onoff(problem_class: str = "A") -> ExperimentResult:
-    """Quantify what the ON/OFF-chip split buys on FT."""
-    ft = FTBenchmark(ProblemClass.parse(problem_class))
-    campaign = measure_campaign(ft)
-    sp = SimplifiedParameterization(campaign)
-    full_table = Predictor(campaign, sp).speedup_error_table(label="with split")
-    ablated_table = Predictor(campaign, _NoSplitModel(sp)).speedup_error_table(
-        label="without split"
+# --------------------------------------------------------------------------
+# ablation_onoff
+# --------------------------------------------------------------------------
+
+
+def _onoff_requires(params: dict) -> tuple[CampaignRequest, ...]:
+    return (
+        CampaignRequest(
+            "ft",
+            params.get("problem_class") or "A",
+            PAPER_COUNTS,
+            PAPER_FREQUENCIES,
+        ),
     )
 
+
+def _onoff_fit(ctx: StageContext) -> dict[str, _t.Any]:
+    campaign = ctx.campaign(0)
+    sp = SimplifiedParameterization(campaign)
+    return {
+        "full_table": Predictor(campaign, sp).speedup_error_table(
+            label="with split"
+        ),
+        "ablated_table": Predictor(
+            campaign, _NoSplitModel(sp)
+        ).speedup_error_table(label="without split"),
+    }
+
+
+def _onoff_render(ctx: StageContext) -> ExperimentResult:
+    full_table = ctx.state["fit"]["full_table"]
+    ablated_table = ctx.state["fit"]["ablated_table"]
     text = "\n\n".join(
         [
             format_error_table(
@@ -92,44 +118,71 @@ def run_onoff(problem_class: str = "A") -> ExperimentResult:
         "with_split_max": full_table.max_error,
         "without_split_max": ablated_table.max_error,
     }
-    return ExperimentResult(
-        "ablation_onoff",
-        "Ablation: remove the ON/OFF-chip workload decomposition",
-        text,
-        data,
+    return ExperimentResult("ablation_onoff", ONOFF_TITLE, text, data)
+
+
+ONOFF_SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="ablation_onoff",
+        title=ONOFF_TITLE,
+        description="Pure-1/f frequency scaling vs the full SP model on FT",
+        requires=_onoff_requires,
+        stages=(
+            Stage("fit", _onoff_fit),
+            Stage("render", _onoff_render),
+        ),
     )
-
-
-@register(
-    "ablation_overhead",
-    "Ablation: violate Assumption 2 (frequency-sensitive overhead)",
-    "SP errors on a platform with CPU-bound messaging",
 )
-def run_overhead(
-    problem_class: str = "A",
-    cycles_per_byte: float = 60.0,
-    counts: _t.Sequence[int] = (1, 2, 4, 8, 16),
-) -> ExperimentResult:
-    """Quantify SP's sensitivity to Assumption 2."""
-    ft = FTBenchmark(ProblemClass.parse(problem_class))
 
-    def sp_errors(spec) -> ErrorTable:
-        campaign = measure_campaign(
-            ft, counts, PAPER_FREQUENCIES, spec=spec
-        )
-        return Predictor(
-            campaign, SimplifiedParameterization(campaign)
-        ).speedup_error_table()
 
-    normal = sp_errors(paper_spec())
-    heavy_spec = dataclasses.replace(
+# --------------------------------------------------------------------------
+# ablation_overhead
+# --------------------------------------------------------------------------
+
+
+def _heavy_spec(cycles_per_byte: float):
+    return dataclasses.replace(
         paper_spec(),
         nic=dataclasses.replace(
             paper_spec().nic, cycles_per_byte=cycles_per_byte
         ),
     )
-    heavy = sp_errors(heavy_spec)
 
+
+def _overhead_requires(params: dict) -> tuple[CampaignRequest, ...]:
+    problem_class = params.get("problem_class") or "A"
+    cycles_per_byte = float(params.get("cycles_per_byte") or 60.0)
+    counts = tuple(params.get("counts") or (1, 2, 4, 8, 16))
+    return (
+        CampaignRequest(
+            "ft", problem_class, counts, PAPER_FREQUENCIES, spec=paper_spec()
+        ),
+        CampaignRequest(
+            "ft",
+            problem_class,
+            counts,
+            PAPER_FREQUENCIES,
+            spec=_heavy_spec(cycles_per_byte),
+        ),
+    )
+
+
+def _overhead_fit(ctx: StageContext) -> dict[str, _t.Any]:
+    def sp_errors(campaign):
+        return Predictor(
+            campaign, SimplifiedParameterization(campaign)
+        ).speedup_error_table()
+
+    return {
+        "normal": sp_errors(ctx.campaign(0)),
+        "heavy": sp_errors(ctx.campaign(1)),
+    }
+
+
+def _overhead_render(ctx: StageContext) -> ExperimentResult:
+    normal = ctx.state["fit"]["normal"]
+    heavy = ctx.state["fit"]["heavy"]
+    cycles_per_byte = float(ctx.param("cycles_per_byte", 60.0))
     text = "\n\n".join(
         [
             format_error_table(
@@ -152,34 +205,59 @@ def run_overhead(
         "normal_max": normal.max_error,
         "heavy_max": heavy.max_error,
     }
-    return ExperimentResult(
-        "ablation_overhead",
-        "Ablation: violate Assumption 2 (frequency-sensitive overhead)",
-        text,
-        data,
+    return ExperimentResult("ablation_overhead", OVERHEAD_TITLE, text, data)
+
+
+OVERHEAD_SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="ablation_overhead",
+        title=OVERHEAD_TITLE,
+        description="SP errors on a platform with CPU-bound messaging",
+        requires=_overhead_requires,
+        stages=(
+            Stage("fit", _overhead_fit),
+            Stage("render", _overhead_render),
+        ),
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# ablation_dop
+# --------------------------------------------------------------------------
+
+
+def _dop_requires(params: dict) -> tuple[CampaignRequest, ...]:
+    return (
+        CampaignRequest(
+            "lu",
+            params.get("problem_class") or "A",
+            TABLE7_COUNTS,
+            PAPER_FREQUENCIES,
+        ),
     )
 
 
-@register(
-    "ablation_dop",
-    "Ablation: relax Assumption 1 with a DOP-decomposed workload",
-    "FP with/without the DOP spectrum on LU (the paper's future work)",
-)
-def run_dop(problem_class: str = "A") -> ExperimentResult:
-    """Quantify what DOP awareness buys FP on LU."""
-    lu = LUBenchmark(ProblemClass.parse(problem_class))
-    campaign = measure_campaign(lu, TABLE7_COUNTS, PAPER_FREQUENCIES)
+def _dop_fit(ctx: StageContext) -> dict[str, _t.Any]:
+    lu = LUBenchmark(ProblemClass.parse(ctx.param("problem_class", "A")))
+    campaign = ctx.campaign(0)
 
     fp_flat = fit_lu_fp(lu)
     fp_dop = fit_lu_fp(lu, workload=lu.workload(max_dop=1 << 20))
 
-    flat_table = Predictor(campaign, fp_flat).speedup_error_table(
-        label="FP (Assumption 1)"
-    )
-    dop_table = Predictor(campaign, fp_dop).speedup_error_table(
-        label="FP + DOP"
-    )
+    return {
+        "flat_table": Predictor(campaign, fp_flat).speedup_error_table(
+            label="FP (Assumption 1)"
+        ),
+        "dop_table": Predictor(campaign, fp_dop).speedup_error_table(
+            label="FP + DOP"
+        ),
+    }
 
+
+def _dop_render(ctx: StageContext) -> ExperimentResult:
+    flat_table = ctx.state["fit"]["flat_table"]
+    dop_table = ctx.state["fit"]["dop_table"]
     rows = [
         [
             label,
@@ -218,34 +296,34 @@ def run_dop(problem_class: str = "A") -> ExperimentResult:
         "flat_mean": flat_table.mean_error,
         "dop_mean": dop_table.mean_error,
     }
-    return ExperimentResult(
-        "ablation_dop",
-        "Ablation: relax Assumption 1 with a DOP-decomposed workload",
-        text,
-        data,
+    return ExperimentResult("ablation_dop", DOP_TITLE, text, data)
+
+
+DOP_SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="ablation_dop",
+        title=DOP_TITLE,
+        description="FP with/without the DOP spectrum on LU (the paper's future work)",
+        requires=_dop_requires,
+        stages=(
+            Stage("fit", _dop_fit),
+            Stage("render", _dop_render),
+        ),
     )
-
-
-@register(
-    "ablation_decomposition",
-    "Ablation: FT transpose decomposition (1-D slab vs 2-D pencil)",
-    "Both FT decompositions on the stock switch and a gigabit variant",
 )
-def run_decomposition(
-    problem_class: str = "A", n_ranks: int = 16
-) -> ExperimentResult:
-    """Compare FT's 1-D and 2-D transposes across interconnects.
 
-    The 2-D (pencil) decomposition transposes in two √N-group stages —
-    fewer, larger messages per rank, but ~2·(√N−1)/√N vs (N−1)/N of
-    the slab volume, i.e. nearly twice the bytes on the wire.  On a
-    bandwidth-starved switch the slab wins; 2-D's raison d'être is
-    rank counts beyond the slab limit (N > nz) and latency-dominated
-    fabrics.
-    """
-    from repro.npb import FTBenchmark
 
-    gigabit = dataclasses.replace(
+# --------------------------------------------------------------------------
+# ablation_decomposition
+# --------------------------------------------------------------------------
+
+#: The network variants the decomposition ablation sweeps, in order.
+_NET_LABELS = ("100Mb (paper)", "gigabit")
+_DECOMPOSITIONS = ("1d", "2d")
+
+
+def _gigabit_spec():
+    return dataclasses.replace(
         paper_spec(),
         network=dataclasses.replace(
             paper_spec().network,
@@ -254,17 +332,36 @@ def run_decomposition(
             congestion_coeff=0.2,
         ),
     )
+
+
+def _decomposition_requires(params: dict) -> tuple[CampaignRequest, ...]:
+    problem_class = params.get("problem_class") or "A"
+    n_ranks = int(params.get("n_ranks") or 16)
+    requests = []
+    for spec in (paper_spec(), _gigabit_spec()):
+        for decomp in _DECOMPOSITIONS:
+            requests.append(
+                CampaignRequest(
+                    "ft",
+                    problem_class,
+                    (1, n_ranks),
+                    (min(PAPER_FREQUENCIES),),
+                    spec=spec,
+                    options=(("decomposition", decomp),),
+                )
+            )
+    return tuple(requests)
+
+
+def _decomposition_analyze(ctx: StageContext) -> dict[str, _t.Any]:
+    n_ranks = int(ctx.param("n_ranks", 16))
     rows = []
     data: dict[str, dict[str, float]] = {}
-    for net_label, spec in (("100Mb (paper)", paper_spec()),
-                            ("gigabit", gigabit)):
-        for decomp in ("1d", "2d"):
-            ft = FTBenchmark(
-                ProblemClass.parse(problem_class), decomposition=decomp
-            )
-            campaign = measure_campaign(
-                ft, (1, n_ranks), (min(PAPER_FREQUENCIES),), spec=spec
-            )
+    index = 0
+    for net_label in _NET_LABELS:
+        for decomp in _DECOMPOSITIONS:
+            campaign = ctx.campaign(index)
+            index += 1
             f0 = min(PAPER_FREQUENCIES)
             speedup = campaign.time(1, f0) / campaign.time(n_ranks, f0)
             data[f"{net_label}/{decomp}"] = {
@@ -279,11 +376,16 @@ def run_decomposition(
                     f"{speedup:.2f}",
                 ]
             )
+    return {"rows": rows, "data": data}
+
+
+def _decomposition_render(ctx: StageContext) -> ExperimentResult:
+    n_ranks = int(ctx.param("n_ranks", 16))
     text = "\n\n".join(
         [
             format_rows(
                 ["network", "decomposition", f"T({n_ranks},600)", "speedup"],
-                rows,
+                ctx.state["analyze"]["rows"],
                 title=f"FT transpose decomposition at {n_ranks} ranks",
             ),
             "The slab (1-D) decomposition moves ~(N-1)/N of the dataset "
@@ -295,7 +397,21 @@ def run_decomposition(
     )
     return ExperimentResult(
         "ablation_decomposition",
-        "Ablation: FT transpose decomposition (1-D slab vs 2-D pencil)",
+        DECOMPOSITION_TITLE,
         text,
-        data,
+        ctx.state["analyze"]["data"],
     )
+
+
+DECOMPOSITION_SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="ablation_decomposition",
+        title=DECOMPOSITION_TITLE,
+        description="Both FT decompositions on the stock switch and a gigabit variant",
+        requires=_decomposition_requires,
+        stages=(
+            Stage("analyze", _decomposition_analyze),
+            Stage("render", _decomposition_render),
+        ),
+    )
+)

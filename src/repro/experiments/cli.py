@@ -4,7 +4,8 @@ Usage::
 
     repro-experiments list
     repro-experiments run table3 [--class A] [--json OUT.json] [--jobs 4]
-    repro-experiments run-all [--outdir results/] [--json ALL.json]
+    repro-experiments run-all [--outdir results/] [--json ALL.json] \\
+        [--plan-json PLAN.json]
     repro-experiments campaign ft --class A --counts 1,2,4,8,16 \\
         --csv ft_times.csv --json ft.json
     repro-experiments serve --port 8080
@@ -20,6 +21,15 @@ measures any registered benchmark over a custom (counts × frequencies)
 grid and exports times/energies/speedups.  ``serve`` starts the
 long-running prediction & campaign service (see
 :mod:`repro.service`).
+
+``run-all`` executes the whole suite as **one deduplicated campaign
+plan** (:mod:`repro.pipeline`): every experiment declares the
+campaigns it requires, the planner unions the cells and simulates
+each unique (benchmark, N, f) cell at most once, and the experiments'
+fit/analyze/render stages consume the shared artifact store.  The
+``[experiment plan]`` line reports planned/deduped/executed cell
+counts; ``--plan-json`` exports the plan, the store's provenance
+document and the runtime metrics snapshot.
 
 ``--jobs N`` fans campaign cells out over N worker processes and
 ``--no-disk-cache`` disables the persistent ``.repro_cache/`` tier
@@ -114,11 +124,7 @@ def _run_one(
     result = run_experiment(exp_id, **kwargs)
     print(result)
     print()
-    document = {
-        "experiment": result.experiment_id,
-        "title": result.title,
-        "data": _jsonify(result.data),
-    }
+    document = result.document()
     if json_path:
         pathlib.Path(json_path).write_text(json.dumps(document, indent=2))
         print(f"[data written to {json_path}]")
@@ -134,17 +140,53 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
     _configure_runtime(args)
+    from repro.experiments.registry import get_experiment
+    from repro.pipeline import ArtifactStore, run_pipeline
+
     outdir = pathlib.Path(args.outdir) if args.outdir else None
     if outdir:
         outdir.mkdir(parents=True, exist_ok=True)
+    params: dict[str, _t.Any] = {}
+    if args.problem_class:
+        params["problem_class"] = args.problem_class
+
+    # One deduplicated plan for the whole suite: every experiment's
+    # campaign requests are unioned, each unique (benchmark, N, f)
+    # cell is simulated at most once, and the per-experiment stages
+    # run off the shared artifact store.
+    store = ArtifactStore()
+    listing = list_experiments()
+    specs = [(get_experiment(exp_id), dict(params)) for exp_id, _, _ in listing]
+    results, report = run_pipeline(specs, store=store)
+
     documents = []
-    for exp_id, _title, _desc in list_experiments():
-        json_path = str(outdir / f"{exp_id}.json") if outdir else None
-        documents.append(_run_one(exp_id, args.problem_class, json_path))
+    for exp_id, _title, _desc in listing:
+        result = results[exp_id]
+        print(result)
+        print()
+        document = result.document()
+        if outdir:
+            json_path = outdir / f"{exp_id}.json"
+            json_path.write_text(json.dumps(document, indent=2))
+            print(f"[data written to {json_path}]")
+        documents.append(document)
+    print(f"[experiment plan] {report.summary_line()}")
     if args.json:
         combined = {"experiments": documents}
         pathlib.Path(args.json).write_text(json.dumps(combined, indent=2))
         print(f"[combined data written to {args.json}]")
+    if args.plan_json:
+        from repro.runtime.metrics import METRICS
+
+        plan_document = {
+            "plan": report.as_dict(),
+            "store": store.provenance_document(),
+            "runtime": METRICS.snapshot(),
+        }
+        pathlib.Path(args.plan_json).write_text(
+            json.dumps(plan_document, indent=2)
+        )
+        print(f"[plan report written to {args.plan_json}]")
     _print_runtime_stats()
     return 0
 
@@ -313,6 +355,13 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         "--json",
         default=None,
         help="write all experiments to one combined JSON file",
+    )
+    p_all.add_argument(
+        "--plan-json",
+        dest="plan_json",
+        default=None,
+        help="write the campaign plan, artifact-store provenance and "
+        "runtime metrics to a JSON file",
     )
     p_all.set_defaults(func=_cmd_run_all)
 

@@ -17,34 +17,30 @@ from __future__ import annotations
 import typing as _t
 
 from repro.cluster.machine import paper_spec
-from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.registry import ExperimentResult, register_spec
 from repro.npb import BENCHMARKS, ProblemClass
+from repro.pipeline import ExperimentSpec, Stage, StageContext
 from repro.proftools.profiler import profile_benchmark
 from repro.reporting.tables import format_rows
 from repro.sched import CommBoundPolicy, evaluate_policy
 
-__all__ = ["run"]
+__all__ = ["SPEC"]
+
+TITLE = "Context claim: DVS scheduling saves >30% energy at small slowdown"
 
 
-@register(
-    "dvfs_savings",
-    "Context claim: DVS scheduling saves >30% energy at small slowdown",
-    "Profile-driven per-phase DVFS on comm-bound codes vs static peak",
-)
-def run(
-    benchmark: str = "ft",
-    problem_class: str = "A",
-    counts: _t.Sequence[int] = (4, 8, 16),
-    threshold: float = 0.5,
-) -> ExperimentResult:
-    """Evaluate profile-driven DVS scheduling."""
+def _analyze(ctx: StageContext) -> dict[str, _t.Any]:
     spec = paper_spec()
     ops = spec.cpu.operating_points
-    bench = BENCHMARKS[benchmark](ProblemClass.parse(problem_class))
+    benchmark = ctx.param("benchmark", "ft")
+    threshold = float(ctx.param("threshold", 0.5))
+    bench = BENCHMARKS[benchmark](
+        ProblemClass.parse(ctx.param("problem_class", "A"))
+    )
 
     rows = []
     evaluations = {}
-    for n in counts:
+    for n in tuple(ctx.param("counts", (4, 8, 16))):
         profile = profile_benchmark(
             bench, n, frequency_hz=ops.peak.frequency_hz
         )
@@ -65,13 +61,26 @@ def run(
                 f"{evaluation.edp_improvement:.1%}",
             ]
         )
-
     best = max(v["energy_savings"] for v in evaluations.values())
+    return {
+        "ops": ops,
+        "benchmark": benchmark,
+        "rows": rows,
+        "evaluations": evaluations,
+        "best": best,
+    }
+
+
+def _render(ctx: StageContext) -> ExperimentResult:
+    analysis = ctx.state["analyze"]
+    ops = analysis["ops"]
+    benchmark = analysis["benchmark"]
+    best = analysis["best"]
     text = "\n\n".join(
         [
             format_rows(
                 ["N", "throttled phases", "energy saved", "slowdown", "EDP gain"],
-                rows,
+                analysis["rows"],
                 title=(
                     f"Profile-driven DVS scheduling of {benchmark.upper()} "
                     f"(low={ops.base.frequency_mhz:.0f} MHz on comm-bound "
@@ -84,7 +93,20 @@ def run(
     )
     return ExperimentResult(
         "dvfs_savings",
-        "Context claim: DVS scheduling saves >30% energy at small slowdown",
+        TITLE,
         text,
-        {"evaluations": evaluations, "best_savings": best},
+        {"evaluations": analysis["evaluations"], "best_savings": best},
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="dvfs_savings",
+        title=TITLE,
+        description="Profile-driven per-phase DVFS on comm-bound codes vs static peak",
+        stages=(
+            Stage("analyze", _analyze),
+            Stage("render", _render),
+        ),
+    )
+)

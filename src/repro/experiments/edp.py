@@ -20,16 +20,14 @@ from repro.core.energy import EnergyModel
 from repro.core.params_sp import SimplifiedParameterization
 from repro.core.prediction import Predictor
 from repro.cluster.machine import paper_spec
-from repro.experiments.platform import (
-    PAPER_COUNTS,
-    PAPER_FREQUENCIES,
-    measure_campaign,
-)
-from repro.experiments.registry import ExperimentResult, register
-from repro.npb import BENCHMARKS, ProblemClass
+from repro.experiments.platform import PAPER_COUNTS, PAPER_FREQUENCIES
+from repro.experiments.registry import ExperimentResult, register_spec
+from repro.pipeline import CampaignRequest, ExperimentSpec, Stage, StageContext
 from repro.reporting.tables import format_rows
 
-__all__ = ["run"]
+__all__ = ["SPEC", "DEFAULT_BENCHMARKS"]
+
+TITLE = "Abstract claim: performance and energy-delay predicted within 7%"
 
 #: Benchmarks the claim is evaluated on (the paper's three).
 DEFAULT_BENCHMARKS = ("ep", "ft", "lu")
@@ -38,25 +36,31 @@ DEFAULT_BENCHMARKS = ("ep", "ft", "lu")
 _COUNTS = {"lu": (1, 2, 4, 8)}
 
 
-@register(
-    "edp",
-    "Abstract claim: performance and energy-delay predicted within 7%",
-    "SP + energy model vs simulated times/energies/EDPs per benchmark",
-)
-def run(
-    benchmarks: _t.Sequence[str] = DEFAULT_BENCHMARKS,
-    problem_class: str = "A",
-) -> ExperimentResult:
-    """Validate the abstract's prediction-accuracy claim."""
+def _benchmarks(params: dict) -> tuple[str, ...]:
+    return tuple(params.get("benchmarks") or DEFAULT_BENCHMARKS)
+
+
+def _requires(params: dict) -> tuple[CampaignRequest, ...]:
+    problem_class = params.get("problem_class") or "A"
+    return tuple(
+        CampaignRequest(
+            name,
+            problem_class,
+            _COUNTS.get(name, PAPER_COUNTS),
+            PAPER_FREQUENCIES,
+        )
+        for name in _benchmarks(params)
+    )
+
+
+def _analyze(ctx: StageContext) -> dict[str, _t.Any]:
     spec = paper_spec()
     energy_model = EnergyModel(spec.power, spec.cpu.operating_points)
 
     rows = []
     per_benchmark: dict[str, dict[str, float]] = {}
-    for name in benchmarks:
-        bench = BENCHMARKS[name](ProblemClass.parse(problem_class))
-        counts = _COUNTS.get(name, PAPER_COUNTS)
-        campaign = measure_campaign(bench, counts, PAPER_FREQUENCIES)
+    for index, name in enumerate(_benchmarks(ctx.params)):
+        campaign = ctx.campaign(index)
         sp = SimplifiedParameterization(campaign)
         predictor = Predictor(
             campaign,
@@ -85,8 +89,17 @@ def run(
                 f"{edp_errors.mean_error:.1%}",
             ]
         )
-
     worst_edp = max(v["edp_max_error"] for v in per_benchmark.values())
+    return {
+        "rows": rows,
+        "per_benchmark": per_benchmark,
+        "worst_edp": worst_edp,
+    }
+
+
+def _render(ctx: StageContext) -> ExperimentResult:
+    analysis = ctx.state["analyze"]
+    worst_edp = analysis["worst_edp"]
     text = "\n\n".join(
         [
             format_rows(
@@ -97,7 +110,7 @@ def run(
                     "EDP max err",
                     "EDP mean err",
                 ],
-                rows,
+                analysis["rows"],
                 title="Power-aware performance and energy-delay prediction",
             ),
             f"worst EDP error across benchmarks: {worst_edp:.1%}"
@@ -106,7 +119,24 @@ def run(
     )
     return ExperimentResult(
         "edp",
-        "Abstract claim: performance and energy-delay predicted within 7%",
+        TITLE,
         text,
-        {"per_benchmark": per_benchmark, "worst_edp_error": worst_edp},
+        {
+            "per_benchmark": analysis["per_benchmark"],
+            "worst_edp_error": worst_edp,
+        },
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="edp",
+        title=TITLE,
+        description="SP + energy model vs simulated times/energies/EDPs per benchmark",
+        requires=_requires,
+        stages=(
+            Stage("analyze", _analyze),
+            Stage("render", _render),
+        ),
+    )
+)

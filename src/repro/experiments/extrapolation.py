@@ -21,51 +21,83 @@ It also tests the paper's §4.3 empirical claim that FT's speedup
 
 from __future__ import annotations
 
+import typing as _t
+
 from repro.core.prediction import Predictor
-from repro.experiments.platform import PAPER_FREQUENCIES, measure_campaign
-from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.platform import PAPER_FREQUENCIES
+from repro.experiments.registry import ExperimentResult, register_spec
 from repro.experiments.table7 import fit_lu_fp
-from repro.npb import FTBenchmark, LUBenchmark, ProblemClass
+from repro.npb import LUBenchmark, ProblemClass
+from repro.pipeline import CampaignRequest, ExperimentSpec, Stage, StageContext
 from repro.reporting.tables import format_error_table, format_rows
 
-__all__ = ["run"]
+__all__ = ["SPEC", "EXTRAPOLATED_COUNTS"]
+
+TITLE = "Footnote 3: predict the larger cluster the authors could not build"
 
 #: The configurations the fit never sees as parallel measurements.
 EXTRAPOLATED_COUNTS = (16, 32)
 
 
-@register(
-    "extrapolation",
-    "Footnote 3: predict the larger cluster the authors could not build",
-    "FP fitted on small-config measurements, validated at 16/32 nodes",
-)
-def run(problem_class: str = "A") -> ExperimentResult:
-    """Extrapolate LU to 16/32 nodes; check FT's 16→32 flattening."""
-    # -- LU: FP extrapolation ------------------------------------------------
-    lu = LUBenchmark(ProblemClass.parse(problem_class))
+def _requires(params: dict) -> tuple[CampaignRequest, ...]:
+    problem_class = params.get("problem_class") or "A"
+    return (
+        # The sequential baseline is measurable on any machine; only
+        # the 16/32-node *parallel* cells are extrapolated.
+        CampaignRequest(
+            "lu",
+            problem_class,
+            (1,) + EXTRAPOLATED_COUNTS,
+            PAPER_FREQUENCIES,
+        ),
+        CampaignRequest(
+            "ft", problem_class, (1, 16, 32), (min(PAPER_FREQUENCIES),)
+        ),
+    )
+
+
+def _fit(ctx: StageContext) -> dict[str, _t.Any]:
+    # -- LU: FP extrapolation, small-config measurements only -----------
+    lu = LUBenchmark(ProblemClass.parse(ctx.param("problem_class", "A")))
     fp = fit_lu_fp(lu)  # sequential counters + probes only
     fp_dop = fit_lu_fp(lu, workload=lu.workload(max_dop=1 << 20))
+    campaign = ctx.campaign(0)
+    return {
+        "table": Predictor(campaign, fp).speedup_error_table(
+            label="LU extrapolation errors (FP)"
+        ),
+        "table_dop": Predictor(campaign, fp_dop).speedup_error_table(
+            label="LU extrapolation errors (FP + DOP)"
+        ),
+    }
 
-    # The sequential baseline is measurable on any machine; only the
-    # 16/32-node *parallel* cells are extrapolated.
-    campaign = measure_campaign(
-        lu, (1,) + EXTRAPOLATED_COUNTS, PAPER_FREQUENCIES
-    )
-    table = Predictor(campaign, fp).speedup_error_table(
-        label="LU extrapolation errors (FP)"
-    )
-    table_dop = Predictor(campaign, fp_dop).speedup_error_table(
-        label="LU extrapolation errors (FP + DOP)"
-    )
 
-    # -- FT: the 16 -> 32 flattening claim --------------------------------------
-    ft = FTBenchmark(ProblemClass.parse(problem_class))
+def _analyze(ctx: StageContext) -> dict[str, _t.Any]:
+    # -- FT: the 16 -> 32 flattening claim -------------------------------
+    table = ctx.state["fit"]["table"]
+    table_dop = ctx.state["fit"]["table_dop"]
     f0 = min(PAPER_FREQUENCIES)
-    ft_times = measure_campaign(ft, (1, 16, 32), (f0,))
+    ft_times = ctx.campaign(1)
     s16 = ft_times.time(1, f0) / ft_times.time(16, f0)
     s32 = ft_times.time(1, f0) / ft_times.time(32, f0)
     rel_change = (s32 - s16) / s16
+    data = {
+        "lu_errors": table.cells(),
+        "lu_max_error": table.max_error,
+        "lu_dop_errors": table_dop.cells(),
+        "lu_dop_max_error": table_dop.max_error,
+        "ft_speedup_16": s16,
+        "ft_speedup_32": s32,
+        "ft_relative_change": rel_change,
+    }
+    return {"s16": s16, "s32": s32, "rel_change": rel_change, "data": data}
 
+
+def _render(ctx: StageContext) -> ExperimentResult:
+    table = ctx.state["fit"]["table"]
+    table_dop = ctx.state["fit"]["table_dop"]
+    analysis = ctx.state["analyze"]
+    s16, s32 = analysis["s16"], analysis["s32"]
     text = "\n\n".join(
         [
             format_error_table(
@@ -83,25 +115,27 @@ def run(problem_class: str = "A") -> ExperimentResult:
                 [["16 nodes", f"{s16:.2f}"], ["32 nodes", f"{s32:.2f}"]],
                 title="FT speedup, 16 vs 32 nodes",
             ),
-            f"FT speedup changes {rel_change:+.1%} from 16 to 32 nodes — "
+            f"FT speedup changes {analysis['rel_change']:+.1%} from 16 to "
+            "32 nodes — "
             "sub-linear (ideal doubling would be +100%) but not the full "
             "saturation the authors observed on the Argus prototype [10]; "
             "our TCP-congestion surrogate keeps a modest gain beyond 16 "
             "nodes (documented in EXPERIMENTS.md).",
         ]
     )
-    data = {
-        "lu_errors": table.cells(),
-        "lu_max_error": table.max_error,
-        "lu_dop_errors": table_dop.cells(),
-        "lu_dop_max_error": table_dop.max_error,
-        "ft_speedup_16": s16,
-        "ft_speedup_32": s32,
-        "ft_relative_change": rel_change,
-    }
-    return ExperimentResult(
-        "extrapolation",
-        "Footnote 3: predict the larger cluster the authors could not build",
-        text,
-        data,
+    return ExperimentResult("extrapolation", TITLE, text, analysis["data"])
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="extrapolation",
+        title=TITLE,
+        description="FP fitted on small-config measurements, validated at 16/32 nodes",
+        requires=_requires,
+        stages=(
+            Stage("fit", _fit),
+            Stage("analyze", _analyze),
+            Stage("render", _render),
+        ),
     )
+)

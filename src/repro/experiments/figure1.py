@@ -17,40 +17,59 @@ import typing as _t
 
 from repro.core.analysis import ErrorTable
 from repro.core.speedup import measured_speedup_table
-from repro.experiments.platform import (
-    PAPER_COUNTS,
-    PAPER_FREQUENCIES,
-    measure_campaign,
-)
-from repro.experiments.registry import ExperimentResult, register
-from repro.npb import EPBenchmark, ProblemClass
+from repro.experiments.platform import PAPER_COUNTS, PAPER_FREQUENCIES
+from repro.experiments.registry import ExperimentResult, register_spec
+from repro.pipeline import CampaignRequest, ExperimentSpec, Stage, StageContext
 from repro.reporting.tables import format_grid
 
-__all__ = ["run"]
+__all__ = ["SPEC"]
+
+TITLE = "Figure 1: EP execution time and two-dimensional speedup"
 
 
-@register(
-    "figure1",
-    "Figure 1: EP execution time and two-dimensional speedup",
-    "EP time series per frequency + (N, f) speedup surface + Eq. 12 check",
-)
-def run(
-    problem_class: str = "A",
-    counts: _t.Sequence[int] = PAPER_COUNTS,
-    frequencies: _t.Sequence[float] = PAPER_FREQUENCIES,
-) -> ExperimentResult:
-    """Reproduce Figure 1 (and the §4.2 Eq. 12 accuracy claim)."""
-    ep = EPBenchmark(ProblemClass.parse(problem_class))
-    campaign = measure_campaign(ep, counts, frequencies)
+def _requires(params: dict) -> tuple[CampaignRequest, ...]:
+    return (
+        CampaignRequest(
+            "ep",
+            params.get("problem_class") or "A",
+            tuple(params.get("counts") or PAPER_COUNTS),
+            tuple(params.get("frequencies") or PAPER_FREQUENCIES),
+        ),
+    )
+
+
+def _fit(ctx: StageContext) -> dict[str, _t.Any]:
+    campaign = ctx.campaign(0)
     speedups = measured_speedup_table(
         campaign.times, campaign.base_frequency_hz
     )
-
     # Eq. 12: S = N · f / f0 (the EP analytical prediction).
     f0 = campaign.base_frequency_hz
     eq12 = {(n, f): n * f / f0 for (n, f) in speedups}
-    eq12_errors = ErrorTable.compare(eq12, speedups, label="Eq. 12 vs measured")
+    return {"speedups": speedups, "eq12": eq12}
 
+
+def _analyze(ctx: StageContext) -> dict[str, _t.Any]:
+    campaign = ctx.campaign(0)
+    speedups = ctx.state["fit"]["speedups"]
+    eq12 = ctx.state["fit"]["eq12"]
+    eq12_errors = ErrorTable.compare(
+        eq12, speedups, label="Eq. 12 vs measured"
+    )
+    data = {
+        "times": dict(campaign.times),
+        "energies": dict(campaign.energies),
+        "speedups": speedups,
+        "eq12_predictions": eq12,
+        "eq12_max_error": eq12_errors.max_error,
+    }
+    return {"eq12_errors": eq12_errors, "data": data}
+
+
+def _render(ctx: StageContext) -> ExperimentResult:
+    campaign = ctx.campaign(0)
+    speedups = ctx.state["fit"]["speedups"]
+    eq12_errors = ctx.state["analyze"]["eq12_errors"]
     text = "\n\n".join(
         [
             format_grid(
@@ -67,16 +86,24 @@ def run(
             f"  (paper: 2.3% max)",
         ]
     )
-    data = {
-        "times": dict(campaign.times),
-        "energies": dict(campaign.energies),
-        "speedups": speedups,
-        "eq12_predictions": eq12,
-        "eq12_max_error": eq12_errors.max_error,
-    }
     return ExperimentResult(
-        "figure1",
-        "Figure 1: EP execution time and two-dimensional speedup",
-        text,
-        data,
+        "figure1", TITLE, text, ctx.state["analyze"]["data"]
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="figure1",
+        title=TITLE,
+        description=(
+            "EP time series per frequency + (N, f) speedup surface + "
+            "Eq. 12 check"
+        ),
+        requires=_requires,
+        stages=(
+            Stage("fit", _fit),
+            Stage("analyze", _analyze),
+            Stage("render", _render),
+        ),
+    )
+)

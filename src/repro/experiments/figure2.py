@@ -15,38 +15,42 @@ from __future__ import annotations
 import typing as _t
 
 from repro.core.speedup import measured_speedup_table
-from repro.experiments.platform import (
-    PAPER_COUNTS,
-    PAPER_FREQUENCIES,
-    measure_campaign,
-)
-from repro.experiments.registry import ExperimentResult, register
-from repro.npb import FTBenchmark, ProblemClass
+from repro.experiments.platform import PAPER_COUNTS, PAPER_FREQUENCIES
+from repro.experiments.registry import ExperimentResult, register_spec
+from repro.pipeline import CampaignRequest, ExperimentSpec, Stage, StageContext
 from repro.reporting.tables import format_grid
 
-__all__ = ["run"]
+__all__ = ["SPEC"]
+
+TITLE = "Figure 2: FT execution time and two-dimensional speedup"
 
 
-@register(
-    "figure2",
-    "Figure 2: FT execution time and two-dimensional speedup",
-    "FT time series per frequency + (N, f) speedup surface",
-)
-def run(
-    problem_class: str = "A",
-    counts: _t.Sequence[int] = PAPER_COUNTS,
-    frequencies: _t.Sequence[float] = PAPER_FREQUENCIES,
-) -> ExperimentResult:
-    """Reproduce Figure 2."""
-    ft = FTBenchmark(ProblemClass.parse(problem_class))
-    campaign = measure_campaign(ft, counts, frequencies)
-    speedups = measured_speedup_table(
-        campaign.times, campaign.base_frequency_hz
+def _requires(params: dict) -> tuple[CampaignRequest, ...]:
+    return (
+        CampaignRequest(
+            "ft",
+            params.get("problem_class") or "A",
+            tuple(params.get("counts") or PAPER_COUNTS),
+            tuple(params.get("frequencies") or PAPER_FREQUENCIES),
+        ),
     )
+
+
+def _fit(ctx: StageContext) -> dict[str, _t.Any]:
+    campaign = ctx.campaign(0)
+    return {
+        "speedups": measured_speedup_table(
+            campaign.times, campaign.base_frequency_hz
+        )
+    }
+
+
+def _analyze(ctx: StageContext) -> dict[str, _t.Any]:
+    campaign = ctx.campaign(0)
+    speedups = ctx.state["fit"]["speedups"]
     f0 = campaign.base_frequency_hz
     f_peak = max(campaign.frequencies)
     n_max = max(campaign.counts)
-
     observations = [
         (
             "speedup dips from 1 to 2 processors",
@@ -66,10 +70,22 @@ def run(
             < speedups[(1, f_peak)] / speedups[(1, f0)],
         ),
     ]
+    data = {
+        "times": dict(campaign.times),
+        "energies": dict(campaign.energies),
+        "speedups": speedups,
+        "observations": {label: ok for label, ok in observations},
+    }
+    return {"observations": observations, "data": data}
+
+
+def _render(ctx: StageContext) -> ExperimentResult:
+    campaign = ctx.campaign(0)
+    speedups = ctx.state["fit"]["speedups"]
+    observations = ctx.state["analyze"]["observations"]
     obs_lines = [
         f"[{'ok' if ok else 'FAIL'}] {label}" for label, ok in observations
     ]
-
     text = "\n\n".join(
         [
             format_grid(
@@ -85,15 +101,21 @@ def run(
             "\n".join(obs_lines),
         ]
     )
-    data = {
-        "times": dict(campaign.times),
-        "energies": dict(campaign.energies),
-        "speedups": speedups,
-        "observations": {label: ok for label, ok in observations},
-    }
     return ExperimentResult(
-        "figure2",
-        "Figure 2: FT execution time and two-dimensional speedup",
-        text,
-        data,
+        "figure2", TITLE, text, ctx.state["analyze"]["data"]
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="figure2",
+        title=TITLE,
+        description="FT time series per frequency + (N, f) speedup surface",
+        requires=_requires,
+        stages=(
+            Stage("fit", _fit),
+            Stage("analyze", _analyze),
+            Stage("render", _render),
+        ),
+    )
+)

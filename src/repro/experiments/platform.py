@@ -31,6 +31,8 @@ __all__ = [
     "PAPER_COUNTS",
     "PAPER_FREQUENCIES",
     "measure_campaign",
+    "peek_campaign",
+    "adopt_campaign",
     "clear_campaign_cache",
 ]
 
@@ -227,6 +229,88 @@ def measure_campaign(
         )
     )
     return campaign
+
+
+def peek_campaign(
+    benchmark: BenchmarkModel,
+    counts: _t.Sequence[int] = PAPER_COUNTS,
+    frequencies: _t.Sequence[float] = PAPER_FREQUENCIES,
+    spec: ClusterSpec | None = None,
+    *,
+    disk_cache: bool | None = None,
+    record: bool = True,
+) -> TimingCampaign | None:
+    """Cache-only campaign lookup — never simulates.
+
+    Checks the per-process tier, then the on-disk tier (promoting a
+    disk hit into memory), and returns ``None`` on a full miss.  The
+    cross-experiment planner (:mod:`repro.pipeline`) peeks before
+    batching so cached campaigns never re-enter the execution union.
+    ``record=True`` reports hits to the runtime metrics exactly like
+    :func:`measure_campaign`'s cache-hit path.
+    """
+    start = time.perf_counter()
+    key = _cache_key(benchmark, counts, frequencies, spec)
+    label = f"{benchmark.name}.{benchmark.problem_class.value}"
+    n_cells = len(key[2]) * len(key[3])
+    if key in _CACHE:
+        campaign = _CACHE[key]
+        if record:
+            runtime.METRICS.record(
+                runtime.CampaignRecord(
+                    label=label,
+                    source="memory",
+                    cells=n_cells,
+                    wall_s=time.perf_counter() - start,
+                )
+            )
+        return campaign
+    if runtime.disk_cache_enabled(disk_cache):
+        digest = runtime.campaign_digest(*key)
+        campaign = runtime.disk_cache().get(digest)
+        if campaign is not None:
+            _CACHE[key] = campaign
+            if record:
+                runtime.METRICS.record(
+                    runtime.CampaignRecord(
+                        label=label,
+                        source="disk",
+                        cells=n_cells,
+                        wall_s=time.perf_counter() - start,
+                    )
+                )
+            return campaign
+    return None
+
+
+def adopt_campaign(
+    benchmark: BenchmarkModel,
+    counts: _t.Sequence[int],
+    frequencies: _t.Sequence[float],
+    campaign: TimingCampaign,
+    spec: ClusterSpec | None = None,
+    *,
+    disk_cache: bool | None = None,
+) -> None:
+    """Insert an externally-assembled campaign into both cache tiers.
+
+    The planner assembles per-experiment campaigns from the shared
+    batch's cells; adopting them here keeps the cache tiers exactly
+    as warm as if each campaign had gone through
+    :func:`measure_campaign`, so later direct calls (and warm-start
+    processes) hit instead of re-simulating.  Only complete campaigns
+    may be adopted — partial grids would poison the cache.
+    """
+    key = _cache_key(benchmark, counts, frequencies, spec)
+    expected = len(key[2]) * len(key[3])
+    if len(campaign.times) != expected:
+        raise ValueError(
+            f"refusing to adopt partial campaign {campaign.label!r}: "
+            f"{len(campaign.times)} of {expected} cells"
+        )
+    _CACHE[key] = campaign
+    if runtime.disk_cache_enabled(disk_cache):
+        runtime.disk_cache().put(runtime.campaign_digest(*key), campaign)
 
 
 def clear_campaign_cache() -> None:

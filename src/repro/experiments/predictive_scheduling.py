@@ -30,18 +30,17 @@ import typing as _t
 from repro.cluster.machine import paper_spec
 from repro.core.energy import EnergyModel
 from repro.core.params_sp import SimplifiedParameterization
-from repro.experiments.platform import (
-    PAPER_COUNTS,
-    PAPER_FREQUENCIES,
-    measure_campaign,
-)
-from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.platform import PAPER_COUNTS, PAPER_FREQUENCIES
+from repro.experiments.registry import ExperimentResult, register_spec
 from repro.npb import BENCHMARKS, ProblemClass
+from repro.pipeline import CampaignRequest, ExperimentSpec, Stage, StageContext
 from repro.proftools.profiler import profile_benchmark
 from repro.reporting.tables import format_rows
 from repro.sched import CommBoundPolicy, evaluate_policy
 
-__all__ = ["run", "predict_schedule_savings"]
+__all__ = ["SPEC", "predict_schedule_savings"]
+
+TITLE = "Motivation closed: the model decides where DVS scheduling pays"
 
 
 def predict_schedule_savings(
@@ -77,38 +76,44 @@ def predict_schedule_savings(
     }
 
 
-@register(
-    "predictive_scheduling",
-    "Motivation closed: the model decides where DVS scheduling pays",
-    "SP-predicted throttling benefit per config, validated by real runs",
-)
-def run(
-    benchmark: str = "ft",
-    problem_class: str = "A",
-    counts: _t.Sequence[int] = (2, 4, 8, 16),
-) -> ExperimentResult:
-    """Predict scheduling benefit from the SP fit; validate the pick."""
+def _requires(params: dict) -> tuple[CampaignRequest, ...]:
+    return (
+        CampaignRequest(
+            params.get("benchmark") or "ft",
+            params.get("problem_class") or "A",
+            PAPER_COUNTS,
+            PAPER_FREQUENCIES,
+        ),
+    )
+
+
+def _fit(ctx: StageContext) -> dict[str, _t.Any]:
     spec = paper_spec()
     ops = spec.cpu.operating_points
-    high, low = ops.peak.frequency_hz, ops.base.frequency_hz
-    bench = BENCHMARKS[benchmark](ProblemClass.parse(problem_class))
+    sp = SimplifiedParameterization(ctx.campaign(0))
+    return {
+        "ops": ops,
+        "sp": sp,
+        "energy_model": EnergyModel(spec.power, ops),
+    }
 
-    campaign = measure_campaign(bench, PAPER_COUNTS, PAPER_FREQUENCIES)
-    sp = SimplifiedParameterization(campaign)
-    energy_model = EnergyModel(spec.power, ops)
+
+def _analyze(ctx: StageContext) -> dict[str, _t.Any]:
+    fit = ctx.state["fit"]
+    ops = fit["ops"]
+    high, low = ops.peak.frequency_hz, ops.base.frequency_hz
+    benchmark = ctx.param("benchmark", "ft")
+    counts = tuple(ctx.param("counts", (2, 4, 8, 16)))
+    bench = BENCHMARKS[benchmark](
+        ProblemClass.parse(ctx.param("problem_class", "A"))
+    )
 
     predictions = {
-        n: predict_schedule_savings(sp, energy_model, n, high, low)
+        n: predict_schedule_savings(
+            fit["sp"], fit["energy_model"], n, high, low
+        )
         for n in counts
     }
-    rows = [
-        [
-            n,
-            f"{p['overhead_share']:.0%}",
-            f"{p['predicted_savings']:.1%}",
-        ]
-        for n, p in predictions.items()
-    ]
 
     # The model's pick: largest predicted savings.
     best_n = max(counts, key=lambda n: predictions[n]["predicted_savings"])
@@ -118,8 +123,30 @@ def run(
     policy = CommBoundPolicy(profile, ops)
     actual = evaluate_policy(bench, best_n, policy)
     predicted = predictions[best_n]["predicted_savings"]
-    error = abs(predicted - actual.energy_savings)
+    return {
+        "benchmark": benchmark,
+        "low": low,
+        "predictions": predictions,
+        "best_n": best_n,
+        "predicted": predicted,
+        "actual": actual,
+        "error": abs(predicted - actual.energy_savings),
+    }
 
+
+def _render(ctx: StageContext) -> ExperimentResult:
+    analysis = ctx.state["analyze"]
+    predictions = analysis["predictions"]
+    actual = analysis["actual"]
+    predicted = analysis["predicted"]
+    rows = [
+        [
+            n,
+            f"{p['overhead_share']:.0%}",
+            f"{p['predicted_savings']:.1%}",
+        ]
+        for n, p in predictions.items()
+    ]
     text = "\n\n".join(
         [
             format_rows(
@@ -127,28 +154,38 @@ def run(
                 rows,
                 title=(
                     f"Model-predicted benefit of throttling "
-                    f"{benchmark.upper()}'s overhead to "
-                    f"{low / 1e6:.0f} MHz (no profiling runs used)"
+                    f"{analysis['benchmark'].upper()}'s overhead to "
+                    f"{analysis['low'] / 1e6:.0f} MHz (no profiling runs used)"
                 ),
             ),
-            f"model's pick: N={best_n} "
+            f"model's pick: N={analysis['best_n']} "
             f"(predicted {predicted:.1%} savings)\n"
             f"validation run: achieved {actual.energy_savings:.1%} savings "
             f"at {actual.slowdown:.2%} slowdown\n"
-            f"prediction error on savings: {error:.1%} absolute",
+            f"prediction error on savings: {analysis['error']:.1%} absolute",
         ]
     )
     data = {
         "predictions": predictions,
-        "best_n": best_n,
+        "best_n": analysis["best_n"],
         "predicted_savings": predicted,
         "achieved_savings": actual.energy_savings,
         "achieved_slowdown": actual.slowdown,
-        "absolute_error": error,
+        "absolute_error": analysis["error"],
     }
-    return ExperimentResult(
-        "predictive_scheduling",
-        "Motivation closed: the model decides where DVS scheduling pays",
-        text,
-        data,
+    return ExperimentResult("predictive_scheduling", TITLE, text, data)
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="predictive_scheduling",
+        title=TITLE,
+        description="SP-predicted throttling benefit per config, validated by real runs",
+        requires=_requires,
+        stages=(
+            Stage("fit", _fit),
+            Stage("analyze", _analyze),
+            Stage("render", _render),
+        ),
     )
+)

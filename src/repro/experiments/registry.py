@@ -1,20 +1,33 @@
 """Experiment registry and result container.
 
-Experiments register themselves with :func:`register`; the CLI and the
-benchmark harness discover them through :func:`list_experiments` /
-:func:`run_experiment`.
+Experiment modules register an :class:`~repro.pipeline.experiment.
+ExperimentSpec` with :func:`register_spec`; the CLI, the service and
+the benchmark harness discover them through :func:`list_experiments` /
+:func:`run_experiment`.  Modules are auto-discovered: every module in
+:mod:`repro.experiments` (minus the infrastructure modules) is
+imported for its registration side effects, so a new experiment file
+can never be silently unregistered by a stale import list.
+
+:func:`register` remains as a legacy adapter wrapping an imperative
+runner function into a single-stage spec.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import importlib
+import pkgutil
 import typing as _t
 
 from repro.errors import UnknownExperimentError
 
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.experiment import ExperimentSpec
+
 __all__ = [
     "ExperimentResult",
     "register",
+    "register_spec",
     "get_experiment",
     "list_experiments",
     "run_experiment",
@@ -45,26 +58,61 @@ class ExperimentResult:
     def __str__(self) -> str:
         return f"== {self.title} ==\n{self.text}"
 
+    def document(self) -> dict[str, _t.Any]:
+        """The JSON-ready export of this result.
 
-@dataclasses.dataclass(frozen=True)
-class _Entry:
-    experiment_id: str
-    title: str
-    runner: _t.Callable[..., ExperimentResult]
-    description: str
+        One shared schema path for every machine-readable surface —
+        CLI exports, the service API and the golden snapshots — via
+        :func:`repro.reporting.jsonify`: tuple grid keys render as
+        ``"N@fMHz"`` strings and floats round-trip bit-exactly.
+        """
+        from repro.reporting import jsonify
+
+        return {
+            "experiment": self.experiment_id,
+            "title": self.title,
+            "data": jsonify(self.data),
+        }
 
 
-_REGISTRY: dict[str, _Entry] = {}
+_REGISTRY: dict[str, "ExperimentSpec"] = {}
+
+#: Infrastructure modules in this package that are not experiments.
+_NON_EXPERIMENT_MODULES = {"cli", "platform", "registry"}
+
+_loaded = False
+
+
+def register_spec(spec: "ExperimentSpec") -> "ExperimentSpec":
+    """Register a declarative experiment spec under its id."""
+    _REGISTRY[spec.experiment_id] = spec
+    return spec
 
 
 def register(
     experiment_id: str, title: str, description: str = ""
 ) -> _t.Callable:
-    """Decorator registering an experiment runner under an id."""
+    """Legacy decorator: wrap an imperative runner into a spec.
+
+    The wrapped function keeps its old contract — called with the
+    run's keyword parameters, returns an :class:`ExperimentResult` —
+    and appears in the registry as a single-``render``-stage spec
+    with no declared campaign requests (its campaigns still hit the
+    platform caches, which the planner keeps warm).
+    """
 
     def wrap(fn: _t.Callable[..., ExperimentResult]):
-        _REGISTRY[experiment_id] = _Entry(
-            experiment_id, title, fn, description or fn.__doc__ or ""
+        from repro.pipeline.experiment import ExperimentSpec, Stage
+
+        register_spec(
+            ExperimentSpec(
+                experiment_id=experiment_id,
+                title=title,
+                stages=(
+                    Stage("render", lambda ctx: fn(**ctx.params)),
+                ),
+                description=description or fn.__doc__ or "",
+            )
         )
         return fn
 
@@ -72,27 +120,27 @@ def register(
 
 
 def _ensure_loaded() -> None:
-    # Import experiment modules for their registration side effects.
-    from repro.experiments import (  # noqa: F401
-        ablations,
-        dvfs_savings,
-        edp,
-        extrapolation,
-        figure1,
-        figure2,
-        predictive_scheduling,
-        slack_savings,
-        suite_overview,
-        table1,
-        table3,
-        table5,
-        table6,
-        table7,
-    )
+    """Import every experiment module for its registration effects.
+
+    Discovery is ``pkgutil``-based: any non-underscore module in
+    :mod:`repro.experiments` other than the known infrastructure
+    modules is treated as an experiment module.
+    """
+    global _loaded
+    if _loaded:
+        return
+    import repro.experiments as package
+
+    for info in pkgutil.iter_modules(package.__path__):
+        name = info.name
+        if name.startswith("_") or name in _NON_EXPERIMENT_MODULES:
+            continue
+        importlib.import_module(f"repro.experiments.{name}")
+    _loaded = True
 
 
-def get_experiment(experiment_id: str) -> _Entry:
-    """Look up a registered experiment."""
+def get_experiment(experiment_id: str) -> "ExperimentSpec":
+    """Look up a registered experiment spec."""
     _ensure_loaded()
     try:
         return _REGISTRY[experiment_id]
@@ -107,11 +155,15 @@ def list_experiments() -> list[tuple[str, str, str]]:
     """(id, title, description) of every registered experiment."""
     _ensure_loaded()
     return [
-        (e.experiment_id, e.title, e.description)
-        for e in sorted(_REGISTRY.values(), key=lambda e: e.experiment_id)
+        (spec.experiment_id, spec.title, spec.description)
+        for spec in sorted(
+            _REGISTRY.values(), key=lambda spec: spec.experiment_id
+        )
     ]
 
 
 def run_experiment(experiment_id: str, **kwargs: _t.Any) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id).runner(**kwargs)
+    """Run one experiment by id through the pipeline."""
+    from repro.pipeline.experiment import run_single
+
+    return run_single(get_experiment(experiment_id), kwargs)

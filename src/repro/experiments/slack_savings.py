@@ -25,13 +25,16 @@ from repro.cluster.machine import Cluster, paper_spec
 from repro.cluster.power import PowerState
 from repro.cluster.workmix import InstructionMix
 from repro.core.workload import DopComponent
-from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.registry import ExperimentResult, register_spec
 from repro.npb.base import BenchmarkModel
 from repro.npb.phases import AllreducePhase, ComputePhase, Phase
+from repro.pipeline import ExperimentSpec, Stage, StageContext
 from repro.reporting.tables import format_rows
 from repro.sched import SlackPolicy, evaluate_policy
 
-__all__ = ["ImbalancedStencil", "run"]
+__all__ = ["ImbalancedStencil", "SPEC"]
+
+TITLE = "Related work: slack reclamation on imbalanced loads (Chen/Kappiah)"
 
 
 class ImbalancedStencil(BenchmarkModel):
@@ -108,26 +111,35 @@ def measure_idle_fractions(
     return fractions
 
 
-@register(
-    "slack_savings",
-    "Related work: slack reclamation on imbalanced loads (Chen/Kappiah)",
-    "Per-rank DVFS sized to measured slack vs static peak",
-)
-def run(
-    n_ranks: int = 8,
-    imbalance: float = 0.6,
-    safety: float = 0.9,
-    problem_class: str = "A",
-) -> ExperimentResult:
-    """Evaluate slack-reclamation DVFS on the imbalanced stencil."""
+def _analyze(ctx: StageContext) -> dict[str, _t.Any]:
     spec = paper_spec()
     ops = spec.cpu.operating_points
-    bench = ImbalancedStencil(problem_class, imbalance=imbalance)
+    n_ranks = int(ctx.param("n_ranks", 8))
+    imbalance = float(ctx.param("imbalance", 0.6))
+    bench = ImbalancedStencil(
+        ctx.param("problem_class", "A"), imbalance=imbalance
+    )
 
     idle = measure_idle_fractions(bench, n_ranks, ops.peak.frequency_hz)
-    policy = SlackPolicy.from_idle_fractions(idle, ops, safety=safety)
+    policy = SlackPolicy.from_idle_fractions(
+        idle, ops, safety=float(ctx.param("safety", 0.9))
+    )
     evaluation = evaluate_policy(bench, n_ranks, policy)
+    return {
+        "n_ranks": n_ranks,
+        "imbalance": imbalance,
+        "idle": idle,
+        "policy": policy,
+        "evaluation": evaluation,
+    }
 
+
+def _render(ctx: StageContext) -> ExperimentResult:
+    analysis = ctx.state["analyze"]
+    n_ranks = analysis["n_ranks"]
+    idle = analysis["idle"]
+    policy = analysis["policy"]
+    evaluation = analysis["evaluation"]
     rows = [
         [
             rank,
@@ -142,7 +154,8 @@ def run(
                 ["rank", "idle fraction", "assigned MHz"],
                 rows,
                 title=(
-                    f"Slack reclamation on a {imbalance:.0%}-imbalanced "
+                    f"Slack reclamation on a {analysis['imbalance']:.0%}"
+                    f"-imbalanced "
                     f"{n_ranks}-rank stencil"
                 ),
             ),
@@ -160,9 +173,17 @@ def run(
         "slowdown": evaluation.slowdown,
         "edp_improvement": evaluation.edp_improvement,
     }
-    return ExperimentResult(
-        "slack_savings",
-        "Related work: slack reclamation on imbalanced loads (Chen/Kappiah)",
-        text,
-        data,
+    return ExperimentResult("slack_savings", TITLE, text, data)
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="slack_savings",
+        title=TITLE,
+        description="Per-rank DVFS sized to measured slack vs static peak",
+        stages=(
+            Stage("analyze", _analyze),
+            Stage("render", _render),
+        ),
     )
+)

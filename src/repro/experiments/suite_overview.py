@@ -12,34 +12,40 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.experiments.platform import measure_campaign
-from repro.experiments.registry import ExperimentResult, register
-from repro.npb import BENCHMARKS, ProblemClass
+from repro.experiments.registry import ExperimentResult, register_spec
+from repro.pipeline import CampaignRequest, ExperimentSpec, Stage, StageContext
 from repro.reporting.tables import format_rows
 from repro.units import mhz
 
-__all__ = ["run"]
+__all__ = ["SPEC", "DEFAULT_SUITE"]
+
+TITLE = "Suite overview: all eight codes through the power-aware lens"
 
 DEFAULT_SUITE = ("ep", "bt", "sp", "lu", "mg", "cg", "ft", "is")
 
 
-@register(
-    "suite_overview",
-    "Suite overview: all eight codes through the power-aware lens",
-    "Corner-grid sweep of every benchmark model at class A",
-)
-def run(
-    benchmarks: _t.Sequence[str] = DEFAULT_SUITE,
-    problem_class: str = "A",
-    n_max: int = 16,
-) -> ExperimentResult:
-    """Sweep the suite over the (1/n_max) × (600/1400 MHz) corners."""
+def _suite(params: dict) -> tuple[str, ...]:
+    return tuple(params.get("benchmarks") or DEFAULT_SUITE)
+
+
+def _requires(params: dict) -> tuple[CampaignRequest, ...]:
+    problem_class = params.get("problem_class") or "A"
+    n_max = int(params.get("n_max") or 16)
+    return tuple(
+        CampaignRequest(
+            name, problem_class, (1, n_max), (mhz(600), mhz(1400))
+        )
+        for name in _suite(params)
+    )
+
+
+def _analyze(ctx: StageContext) -> dict[str, _t.Any]:
     f0, f1 = mhz(600), mhz(1400)
+    n_max = int(ctx.param("n_max", 16))
     rows = []
     data: dict[str, dict[str, float]] = {}
-    for name in benchmarks:
-        bench = BENCHMARKS[name](ProblemClass.parse(problem_class))
-        campaign = measure_campaign(bench, (1, n_max), (f0, f1))
+    for index, name in enumerate(_suite(ctx.params)):
+        campaign = ctx.campaign(index)
         t = campaign.times
         s_parallel = t[(1, f0)] / t[(n_max, f0)]
         s_combined = t[(1, f0)] / t[(n_max, f1)]
@@ -64,8 +70,13 @@ def run(
                 f"{gain_n / gain_1:.0%}",
             ]
         )
-
     rows.sort(key=lambda r: -float(r[3]))
+    return {"rows": rows, "data": data}
+
+
+def _render(ctx: StageContext) -> ExperimentResult:
+    n_max = int(ctx.param("n_max", 16))
+    problem_class = ctx.param("problem_class", "A")
     text = "\n\n".join(
         [
             format_rows(
@@ -78,7 +89,7 @@ def run(
                     f"f-gain @{n_max}",
                     "leverage kept",
                 ],
-                rows,
+                ctx.state["analyze"]["rows"],
                 title=(
                     f"NPB suite, class {problem_class}, on the "
                     f"{n_max}-node power-aware cluster"
@@ -93,7 +104,21 @@ def run(
     )
     return ExperimentResult(
         "suite_overview",
-        "Suite overview: all eight codes through the power-aware lens",
+        TITLE,
         text,
-        {"suite": data},
+        {"suite": ctx.state["analyze"]["data"]},
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="suite_overview",
+        title=TITLE,
+        description="Corner-grid sweep of every benchmark model at class A",
+        requires=_requires,
+        stages=(
+            Stage("analyze", _analyze),
+            Stage("render", _render),
+        ),
+    )
+)

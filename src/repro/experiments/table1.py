@@ -16,45 +16,48 @@ import typing as _t
 from repro.core.amdahl import product_of_speedups_prediction
 from repro.core.analysis import ErrorTable
 from repro.core.speedup import measured_speedup_table
-from repro.experiments.platform import (
-    PAPER_COUNTS,
-    PAPER_FREQUENCIES,
-    measure_campaign,
-)
-from repro.experiments.registry import ExperimentResult, register
-from repro.npb import FTBenchmark, ProblemClass
+from repro.experiments.platform import PAPER_COUNTS, PAPER_FREQUENCIES
+from repro.experiments.registry import ExperimentResult, register_spec
+from repro.pipeline import CampaignRequest, ExperimentSpec, Stage, StageContext
 from repro.reporting.tables import format_error_table
 
-__all__ = ["run"]
+__all__ = ["SPEC"]
+
+TITLE = "Table 1: generalized-Amdahl speedup prediction errors for FT"
 
 
-@register(
-    "table1",
-    "Table 1: generalized-Amdahl speedup prediction errors for FT",
-    "Product-of-speedups (Eq. 3) predictions vs measured FT speedups",
-)
-def run(
-    problem_class: str = "A",
-    counts: _t.Sequence[int] = PAPER_COUNTS,
-    frequencies: _t.Sequence[float] = PAPER_FREQUENCIES,
-) -> ExperimentResult:
-    """Reproduce Table 1 on the simulated platform."""
-    ft = FTBenchmark(ProblemClass.parse(problem_class))
-    campaign = measure_campaign(ft, counts, frequencies)
+def _requires(params: dict) -> tuple[CampaignRequest, ...]:
+    return (
+        CampaignRequest(
+            "ft",
+            params.get("problem_class") or "A",
+            tuple(params.get("counts") or PAPER_COUNTS),
+            tuple(params.get("frequencies") or PAPER_FREQUENCIES),
+        ),
+    )
 
+
+def _fit(ctx: StageContext) -> dict[str, _t.Any]:
+    campaign = ctx.campaign(0)
     measured = measured_speedup_table(
         campaign.times, campaign.base_frequency_hz
     )
     predicted = product_of_speedups_prediction(
         campaign.times, campaign.base_frequency_hz
     )
+    return {"measured": measured, "predicted": predicted}
+
+
+def _analyze(ctx: StageContext) -> dict[str, _t.Any]:
+    campaign = ctx.campaign(0)
+    measured = ctx.state["fit"]["measured"]
+    predicted = ctx.state["fit"]["predicted"]
     # The paper tabulates N >= 2 only (N = 1 is the baseline row).
     keys = [k for k in predicted if k[0] > 1]
     table = ErrorTable(
         {k: abs(predicted[k] - measured[k]) / measured[k] for k in keys},
         label="Table 1 (Eq. 3 errors, FT)",
     )
-
     off_base = [
         e
         for (n, f), e in table.cells().items()
@@ -67,13 +70,32 @@ def run(
         "max_error": table.max_error,
         "mean_error_off_base": sum(off_base) / len(off_base),
     }
+    return {"table": table, "data": data}
+
+
+def _render(ctx: StageContext) -> ExperimentResult:
+    table = ctx.state["analyze"]["table"]
+    data = ctx.state["analyze"]["data"]
     text = format_error_table(table) + (
         f"\nmean off-base-column error: {data['mean_error_off_base']:.1%}"
         f"  (paper: up to 78%, 45% average)"
     )
-    return ExperimentResult(
-        "table1",
-        "Table 1: generalized-Amdahl speedup prediction errors for FT",
-        text,
-        data,
+    return ExperimentResult("table1", TITLE, text, data)
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="table1",
+        title=TITLE,
+        description=(
+            "Product-of-speedups (Eq. 3) predictions vs measured FT "
+            "speedups"
+        ),
+        requires=_requires,
+        stages=(
+            Stage("fit", _fit),
+            Stage("analyze", _analyze),
+            Stage("render", _render),
+        ),
     )
+)

@@ -13,36 +13,55 @@ import typing as _t
 
 from repro.core.params_sp import SimplifiedParameterization
 from repro.core.prediction import Predictor
-from repro.experiments.platform import (
-    PAPER_COUNTS,
-    PAPER_FREQUENCIES,
-    measure_campaign,
-)
-from repro.experiments.registry import ExperimentResult, register
-from repro.npb import FTBenchmark, ProblemClass
+from repro.experiments.platform import PAPER_COUNTS, PAPER_FREQUENCIES
+from repro.experiments.registry import ExperimentResult, register_spec
+from repro.pipeline import CampaignRequest, ExperimentSpec, Stage, StageContext
 from repro.reporting.tables import format_error_table, format_grid
 
-__all__ = ["run"]
+__all__ = ["SPEC"]
+
+TITLE = "Table 3: power-aware speedup (SP) prediction errors for FT"
 
 
-@register(
-    "table3",
-    "Table 3: power-aware speedup (SP) prediction errors for FT",
-    "Simplified parameterization fitted to FT, errors over the grid",
-)
-def run(
-    problem_class: str = "A",
-    counts: _t.Sequence[int] = PAPER_COUNTS,
-    frequencies: _t.Sequence[float] = PAPER_FREQUENCIES,
-) -> ExperimentResult:
-    """Reproduce Table 3."""
-    ft = FTBenchmark(ProblemClass.parse(problem_class))
-    campaign = measure_campaign(ft, counts, frequencies)
+def _requires(params: dict) -> tuple[CampaignRequest, ...]:
+    return (
+        CampaignRequest(
+            "ft",
+            params.get("problem_class") or "A",
+            tuple(params.get("counts") or PAPER_COUNTS),
+            tuple(params.get("frequencies") or PAPER_FREQUENCIES),
+        ),
+    )
+
+
+def _fit(ctx: StageContext) -> dict[str, _t.Any]:
+    campaign = ctx.campaign(0)
     sp = SimplifiedParameterization(campaign)
-    predictor = Predictor(campaign, sp)
-    table = predictor.speedup_error_table(label="Table 3 (SP errors, FT)")
+    return {"sp": sp, "predictor": Predictor(campaign, sp)}
 
+
+def _analyze(ctx: StageContext) -> dict[str, _t.Any]:
+    campaign = ctx.campaign(0)
+    sp = ctx.state["fit"]["sp"]
+    predictor = ctx.state["fit"]["predictor"]
+    table = predictor.speedup_error_table(label="Table 3 (SP errors, FT)")
     overheads = {n: sp.overhead(n) for n in campaign.counts if n > 1}
+    data = {
+        "errors": table.cells(),
+        "max_error": table.max_error,
+        "predicted_speedups": predictor.predicted_speedups(),
+        "measured_speedups": predictor.measured_speedups(),
+        "derived_overheads": overheads,
+        "runs_required": sp.inputs_used()["runs_required"],
+    }
+    return {"table": table, "overheads": overheads, "data": data}
+
+
+def _render(ctx: StageContext) -> ExperimentResult:
+    campaign = ctx.campaign(0)
+    predictor = ctx.state["fit"]["predictor"]
+    table = ctx.state["analyze"]["table"]
+    overheads = ctx.state["analyze"]["overheads"]
     text = "\n\n".join(
         [
             format_error_table(table),
@@ -60,17 +79,21 @@ def run(
             f"  (paper: <= 3%)",
         ]
     )
-    data = {
-        "errors": table.cells(),
-        "max_error": table.max_error,
-        "predicted_speedups": predictor.predicted_speedups(),
-        "measured_speedups": predictor.measured_speedups(),
-        "derived_overheads": overheads,
-        "runs_required": sp.inputs_used()["runs_required"],
-    }
-    return ExperimentResult(
-        "table3",
-        "Table 3: power-aware speedup (SP) prediction errors for FT",
-        text,
-        data,
+    return ExperimentResult("table3", TITLE, text, ctx.state["analyze"]["data"])
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="table3",
+        title=TITLE,
+        description=(
+            "Simplified parameterization fitted to FT, errors over the grid"
+        ),
+        requires=_requires,
+        stages=(
+            Stage("fit", _fit),
+            Stage("analyze", _analyze),
+            Stage("render", _render),
+        ),
     )
+)

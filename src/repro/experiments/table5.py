@@ -9,30 +9,32 @@ paper's class-A numbers: 145 / 175 / 4.71 / 3.97 billion instructions
 
 from __future__ import annotations
 
+import typing as _t
+
 from repro.cluster.counters import HardwareCounters
-from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.registry import ExperimentResult, register_spec
 from repro.npb import LUBenchmark, ProblemClass
+from repro.pipeline import ExperimentSpec, Stage, StageContext
 from repro.proftools.papi import counter_campaign
 from repro.reporting.tables import format_rows
 
-__all__ = ["run"]
+__all__ = ["SPEC"]
+
+TITLE = "Table 5: LU workload measurement and decomposition"
 
 
-@register(
-    "table5",
-    "Table 5: LU workload measurement and decomposition",
-    "PAPI counter campaign on sequential LU + Table 5 derivation",
-)
-def run(problem_class: str = "A") -> ExperimentResult:
-    """Reproduce Table 5."""
-    lu = LUBenchmark(ProblemClass.parse(problem_class))
+def _fit(ctx: StageContext) -> dict[str, _t.Any]:
+    lu = LUBenchmark(ProblemClass.parse(ctx.param("problem_class", "A")))
     counters = counter_campaign(lu)
-
     hc = HardwareCounters()
     for event, value in counters.items():
         hc._events[event] = value
-    mix = hc.derive_mix()
+    return {"counters": counters, "mix": hc.derive_mix()}
 
+
+def _analyze(ctx: StageContext) -> dict[str, _t.Any]:
+    counters = ctx.state["fit"]["counters"]
+    mix = ctx.state["fit"]["mix"]
     rows = [
         (
             "ON-chip",
@@ -60,6 +62,19 @@ def run(problem_class: str = "A") -> ExperimentResult:
         ),
     ]
     weights = mix.on_chip_weights()
+    data = {
+        "counters": counters,
+        "mix": mix.as_dict(),
+        "on_chip_fraction": mix.on_chip_fraction,
+        "on_chip_weights": weights,
+    }
+    return {"rows": rows, "weights": weights, "data": data}
+
+
+def _render(ctx: StageContext) -> ExperimentResult:
+    mix = ctx.state["fit"]["mix"]
+    rows = ctx.state["analyze"]["rows"]
+    weights = ctx.state["analyze"]["weights"]
     text = "\n\n".join(
         [
             format_rows(
@@ -73,12 +88,20 @@ def run(problem_class: str = "A") -> ExperimentResult:
             f"  (paper: 44.66% / 53.89% / 1.45%)",
         ]
     )
-    data = {
-        "counters": counters,
-        "mix": mix.as_dict(),
-        "on_chip_fraction": mix.on_chip_fraction,
-        "on_chip_weights": weights,
-    }
     return ExperimentResult(
-        "table5", "Table 5: LU workload measurement and decomposition", text, data
+        "table5", TITLE, text, ctx.state["analyze"]["data"]
     )
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="table5",
+        title=TITLE,
+        description="PAPI counter campaign on sequential LU + Table 5 derivation",
+        stages=(
+            Stage("fit", _fit),
+            Stage("analyze", _analyze),
+            Stage("render", _render),
+        ),
+    )
+)

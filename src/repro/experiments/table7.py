@@ -28,16 +28,19 @@ from repro.core.params_fp import FineGrainParameterization
 from repro.core.params_sp import SimplifiedParameterization
 from repro.core.prediction import Predictor
 from repro.cluster.counters import HardwareCounters
-from repro.experiments.platform import PAPER_FREQUENCIES, measure_campaign
-from repro.experiments.registry import ExperimentResult, register
+from repro.experiments.platform import PAPER_FREQUENCIES
+from repro.experiments.registry import ExperimentResult, register_spec
 from repro.npb import LUBenchmark, ProblemClass
+from repro.pipeline import CampaignRequest, ExperimentSpec, Stage, StageContext
 from repro.proftools.lmbench import LevelLatencyProbe
 from repro.proftools.mpptest import MppTest
 from repro.proftools.papi import counter_campaign
 from repro.reporting.tables import format_rows
 from repro.units import doubles
 
-__all__ = ["run", "fit_lu_fp"]
+__all__ = ["SPEC", "fit_lu_fp", "TABLE7_COUNTS"]
+
+TITLE = "Table 7: LU prediction errors, fine-grain (FP) vs simplified (SP)"
 
 #: The paper's Table 7 uses N = 1..8.
 TABLE7_COUNTS: tuple[int, ...] = (1, 2, 4, 8)
@@ -76,24 +79,37 @@ def fit_lu_fp(
     )
 
 
-@register(
-    "table7",
-    "Table 7: LU prediction errors, fine-grain (FP) vs simplified (SP)",
-    "Both parameterizations fitted to LU, error tables side by side",
-)
-def run(
-    problem_class: str = "A",
-    counts: _t.Sequence[int] = TABLE7_COUNTS,
-) -> ExperimentResult:
-    """Reproduce Table 7."""
-    lu = LUBenchmark(ProblemClass.parse(problem_class))
-    campaign = measure_campaign(lu, counts, PAPER_FREQUENCIES)
+def _counts(params: dict) -> tuple[int, ...]:
+    return tuple(params.get("counts") or TABLE7_COUNTS)
 
+
+def _requires(params: dict) -> tuple[CampaignRequest, ...]:
+    return (
+        CampaignRequest(
+            "lu",
+            params.get("problem_class") or "A",
+            _counts(params),
+            PAPER_FREQUENCIES,
+        ),
+    )
+
+
+def _fit(ctx: StageContext) -> dict[str, _t.Any]:
+    campaign = ctx.campaign(0)
+    lu = LUBenchmark(ProblemClass.parse(ctx.param("problem_class", "A")))
     sp = SimplifiedParameterization(campaign)
     fp = fit_lu_fp(lu)
-    sp_table = Predictor(campaign, sp).speedup_error_table(label="SP")
-    fp_table = Predictor(campaign, fp).speedup_error_table(label="FP")
+    return {
+        "fp": fp,
+        "sp_table": Predictor(campaign, sp).speedup_error_table(label="SP"),
+        "fp_table": Predictor(campaign, fp).speedup_error_table(label="FP"),
+    }
 
+
+def _analyze(ctx: StageContext) -> dict[str, _t.Any]:
+    fit = ctx.state["fit"]
+    fp_table, sp_table = fit["fp_table"], fit["sp_table"]
+    counts = _counts(ctx.params)
     # Interleave like the paper's Table 7: per (N, f), FP and SP cells.
     headers = ["N"] + [
         f"{f / 1e6:.0f} {m}"
@@ -107,27 +123,45 @@ def run(
             row.append(f"{fp_table.error(n, f):.1%}")
             row.append(f"{sp_table.error(n, f):.1%}")
         rows.append(row)
+    data = {
+        "fp_errors": fp_table.cells(),
+        "sp_errors": sp_table.cells(),
+        "fp_max_error": fp_table.max_error,
+        "sp_max_error": sp_table.max_error,
+        "fp_parameters": fit["fp"].parameter_summary(),
+    }
+    return {"headers": headers, "rows": rows, "data": data}
 
+
+def _render(ctx: StageContext) -> ExperimentResult:
+    fit = ctx.state["fit"]
+    analysis = ctx.state["analyze"]
+    fp_table, sp_table = fit["fp_table"], fit["sp_table"]
     text = "\n\n".join(
         [
             format_rows(
-                headers, rows, title="Table 7: LU power-aware speedup errors"
+                analysis["headers"],
+                analysis["rows"],
+                title="Table 7: LU power-aware speedup errors",
             ),
             f"FP max {fp_table.max_error:.1%} / mean {fp_table.mean_error:.1%}"
             f"   SP max {sp_table.max_error:.1%} / mean "
             f"{sp_table.mean_error:.1%}   (paper: both <= ~13%)",
         ]
     )
-    data = {
-        "fp_errors": fp_table.cells(),
-        "sp_errors": sp_table.cells(),
-        "fp_max_error": fp_table.max_error,
-        "sp_max_error": sp_table.max_error,
-        "fp_parameters": fp.parameter_summary(),
-    }
-    return ExperimentResult(
-        "table7",
-        "Table 7: LU prediction errors, fine-grain (FP) vs simplified (SP)",
-        text,
-        data,
+    return ExperimentResult("table7", TITLE, text, analysis["data"])
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        experiment_id="table7",
+        title=TITLE,
+        description="Both parameterizations fitted to LU, error tables side by side",
+        requires=_requires,
+        stages=(
+            Stage("fit", _fit),
+            Stage("analyze", _analyze),
+            Stage("render", _render),
+        ),
     )
+)

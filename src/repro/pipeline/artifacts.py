@@ -1,0 +1,150 @@
+"""Typed pipeline artifacts with provenance.
+
+Every value flowing between pipeline stages is wrapped in an
+:class:`Artifact`: the measured campaigns feeding the stages
+(:class:`CampaignArtifact`), fitted model parameters
+(:class:`FitArtifact`) and rendered paper artifacts
+(:class:`TableArtifact`).  Each carries a :class:`Provenance` — which
+experiment and stage produced it, a digest of the inputs it was
+computed from, the pipeline schema version and the wall time spent —
+so an artifact store can be serialized (via
+:func:`repro.reporting.jsonify`) into a machine-checkable record of
+how every number was produced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import typing as _t
+
+__all__ = [
+    "PIPELINE_SCHEMA_VERSION",
+    "inputs_digest",
+    "Provenance",
+    "Artifact",
+    "CampaignArtifact",
+    "FitArtifact",
+    "TableArtifact",
+]
+
+#: Version of the artifact/provenance schema.  Bump when the layout of
+#: provenance documents changes incompatibly.
+PIPELINE_SCHEMA_VERSION = 1
+
+
+def inputs_digest(value: _t.Any) -> str:
+    """Stable short digest of a stage's (jsonified) inputs."""
+    from repro.reporting import jsonify
+
+    payload = json.dumps(jsonify(value), sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@dataclasses.dataclass(frozen=True)
+class Provenance:
+    """Where an artifact came from.
+
+    Attributes
+    ----------
+    experiment_id:
+        Producing experiment (empty for planner-produced campaign
+        artifacts, which are shared across experiments).
+    stage:
+        Producing stage name (``"plan"`` for campaign artifacts).
+    inputs_digest:
+        Digest of the inputs the artifact was computed from — params,
+        request digests and upstream stage names.
+    schema_version:
+        :data:`PIPELINE_SCHEMA_VERSION` at creation time.
+    wall_s:
+        Wall-clock seconds spent producing the artifact.
+    """
+
+    experiment_id: str
+    stage: str
+    inputs_digest: str
+    schema_version: int = PIPELINE_SCHEMA_VERSION
+    wall_s: float = 0.0
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        """JSON-ready provenance record."""
+        return {
+            "experiment_id": self.experiment_id,
+            "stage": self.stage,
+            "inputs_digest": self.inputs_digest,
+            "schema_version": self.schema_version,
+            "wall_s": self.wall_s,
+        }
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class Artifact:
+    """A named, provenance-tracked value in the pipeline store."""
+
+    name: str
+    value: _t.Any
+    provenance: Provenance
+
+    kind: _t.ClassVar[str] = "artifact"
+
+    def describe(self) -> dict[str, _t.Any]:
+        """Kind-specific summary for provenance documents (no bulk
+        data — the store serializes values separately when asked)."""
+        return {}
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        """JSON-ready description: name, kind, provenance, summary."""
+        document = {
+            "name": self.name,
+            "kind": self.kind,
+            "provenance": self.provenance.as_dict(),
+        }
+        document.update(self.describe())
+        return document
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class CampaignArtifact(Artifact):
+    """A measured :class:`~repro.core.measurements.TimingCampaign`.
+
+    ``source`` records how the planner satisfied the request:
+    ``"cached"`` (memory or disk tier hit) or ``"planned"``
+    (assembled from the shared cross-experiment batch).
+    """
+
+    request: _t.Any = None  # CampaignRequest (kept Any: no cycle)
+    source: str = "planned"
+
+    kind: _t.ClassVar[str] = "campaign"
+
+    def describe(self) -> dict[str, _t.Any]:
+        summary: dict[str, _t.Any] = {"source": self.source}
+        if self.request is not None:
+            summary["request"] = self.request.as_dict()
+        if self.value is not None:
+            summary["cells"] = len(self.value.times)
+            summary["label"] = self.value.label
+        return summary
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class FitArtifact(Artifact):
+    """Fitted model parameters (a ``fit`` stage's output)."""
+
+    kind: _t.ClassVar[str] = "fit"
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class TableArtifact(Artifact):
+    """A rendered paper artifact (an ``ExperimentResult``)."""
+
+    kind: _t.ClassVar[str] = "table"
+
+    def describe(self) -> dict[str, _t.Any]:
+        result = self.value
+        return {
+            "experiment": getattr(result, "experiment_id", ""),
+            "title": getattr(result, "title", ""),
+        }

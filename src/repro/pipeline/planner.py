@@ -1,0 +1,327 @@
+"""Cross-experiment campaign planning.
+
+Given every :class:`~repro.pipeline.requests.CampaignRequest` of a set
+of experiments, the planner:
+
+1. **Dedupes** requests by content digest — identical grids from
+   different experiments collapse to one.
+2. **Peeks** the existing cache tiers (memory, then disk) for each
+   unique request; hits never re-enter execution, and their cells seed
+   the process-global cell index so *overlapping* grids reuse them
+   too.
+3. Computes, per execution group (same benchmark config + platform),
+   the **union of still-missing cells** and simulates each union once
+   through :func:`repro.runtime.execute_cells` — one batch per group,
+   inheriting the runner's parallelism and fault tolerance.
+4. **Assembles** each request's campaign from the cell index in grid
+   order — bit-identical to a direct ``measure_campaign`` call,
+   because cells are independent and the simulator is deterministic —
+   and adopts it into both cache tiers so later direct calls (and
+   warm restarts) hit.
+
+The cell index is process-global: across any number of plans in one
+process, each unique (benchmark config, platform, n, f) cell is
+simulated at most once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import typing as _t
+
+from repro import runtime
+from repro.cluster.machine import paper_spec
+from repro.core.measurements import TimingCampaign
+from repro.errors import CampaignExecutionError
+from repro.pipeline.artifacts import CampaignArtifact, Provenance
+from repro.pipeline.requests import CampaignRequest
+from repro.pipeline.store import ArtifactStore, campaign_artifact_name
+
+__all__ = ["PlanReport", "execute_plan", "clear_cell_index"]
+
+#: (group key, n, f) → (time_s, energy_j) for every cell simulated or
+#: recovered from cache in this process.  The at-most-once guarantee.
+_CELL_INDEX: dict[tuple, tuple[float, float]] = {}
+
+
+def clear_cell_index() -> None:
+    """Forget all indexed cells (test isolation)."""
+    _CELL_INDEX.clear()
+
+
+@dataclasses.dataclass
+class PlanReport:
+    """Cell-level accounting of one planner pass.
+
+    ``planned_cells`` counts cells over *all* incoming requests (the
+    work the experiments asked for); ``executed_cells`` is what the
+    batches actually simulated; ``deduped_cells`` is the difference —
+    cells avoided by request dedup, grid overlap and the cache tiers.
+    """
+
+    requested_campaigns: int = 0
+    unique_campaigns: int = 0
+    cached_campaigns: int = 0
+    planned_cells: int = 0
+    deduped_cells: int = 0
+    executed_cells: int = 0
+    batches: list[dict[str, _t.Any]] = dataclasses.field(
+        default_factory=list
+    )
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        """JSON-ready plan accounting (the ``--plan-json`` export)."""
+        return {
+            "requested_campaigns": self.requested_campaigns,
+            "unique_campaigns": self.unique_campaigns,
+            "cached_campaigns": self.cached_campaigns,
+            "planned_cells": self.planned_cells,
+            "deduped_cells": self.deduped_cells,
+            "executed_cells": self.executed_cells,
+            "batches": list(self.batches),
+        }
+
+    def summary_line(self) -> str:
+        """One-line human summary (the CLI's ``[experiment plan]``)."""
+        return (
+            f"{self.requested_campaigns} campaigns requested "
+            f"({self.unique_campaigns} unique): "
+            f"{self.planned_cells} cells planned, "
+            f"{self.deduped_cells} deduped, "
+            f"{self.executed_cells} executed in "
+            f"{len(self.batches)} batches"
+        )
+
+
+def _index_campaign(request: CampaignRequest, campaign: TimingCampaign) -> None:
+    """Seed the cell index with a campaign's cells."""
+    group = request.group()
+    for (n, f), seconds in campaign.times.items():
+        _CELL_INDEX[(group, n, f)] = (
+            seconds,
+            campaign.energies[(n, f)],
+        )
+
+
+def _run_batch(
+    request: CampaignRequest,
+    cells: _t.Sequence[tuple[int, float]],
+    *,
+    jobs: int | None,
+) -> int:
+    """Simulate one group's missing-cell union; returns cells done.
+
+    Reports a ``"simulated"`` campaign record exactly like
+    ``measure_campaign`` does for a direct execution, so downstream
+    metrics consumers see one batch per group.
+    """
+    start = time.perf_counter()
+    group = request.group()
+    benchmark = request.build()
+    node_spec = request.spec if request.spec is not None else paper_spec()
+    try:
+        execution = runtime.execute_cells(
+            benchmark,
+            cells,
+            node_spec,
+            jobs=runtime.resolve_jobs(jobs, len(cells)),
+            retries=runtime.resolve_retries(None),
+            cell_timeout=runtime.resolve_cell_timeout(None),
+            backoff_s=runtime.resolve_retry_backoff(None),
+            allow_partial=runtime.resolve_allow_partial(None),
+        )
+    except CampaignExecutionError as error:
+        runtime.METRICS.record(
+            runtime.CampaignRecord(
+                label=request.label,
+                source="failed",
+                cells=len(cells),
+                wall_s=time.perf_counter() - start,
+                failed_cells=len(error.failures),
+                failures=tuple(
+                    {"cell": list(err.cell), "error": str(err)}
+                    for err in error.failures
+                ),
+            )
+        )
+        raise
+    for cell, seconds in execution.times.items():
+        _CELL_INDEX[(group, cell[0], cell[1])] = (
+            seconds,
+            execution.energies[cell],
+        )
+    cell_attempts = execution.cell_attempts()
+    runtime.METRICS.record(
+        runtime.CampaignRecord(
+            label=request.label,
+            source="simulated",
+            cells=len(cells),
+            wall_s=time.perf_counter() - start,
+            jobs=execution.jobs,
+            cell_wall_s=execution.cell_wall_s,
+            attempts=len(execution.attempts),
+            retries=execution.retry_count,
+            timeouts=execution.timeout_count,
+            crash_recoveries=execution.crash_recoveries,
+            failed_cells=len(execution.failures),
+            cell_attempts=tuple(
+                (n, f, count)
+                for (n, f), count in cell_attempts.items()
+            ),
+            failures=tuple(execution.failure_report()),
+            events_processed=execution.events_processed,
+            processes_spawned=execution.processes_spawned,
+            peak_queue_len=execution.peak_queue_len,
+        )
+    )
+    return len(execution.times)
+
+
+def execute_plan(
+    requests: _t.Sequence[CampaignRequest],
+    store: ArtifactStore,
+    *,
+    jobs: int | None = None,
+) -> PlanReport:
+    """Satisfy every request, simulating each unique cell at most once.
+
+    Deposits one :class:`CampaignArtifact` per unique request into
+    ``store`` and reports plan counters (planned/deduped/executed
+    cells) into the runtime metrics.  Raises
+    :class:`~repro.errors.CampaignExecutionError` if a batch exhausts
+    its retry budget and partial campaigns are not allowed.
+    """
+    start = time.perf_counter()
+    report = PlanReport(requested_campaigns=len(requests))
+    report.planned_cells = sum(len(r.cells()) for r in requests)
+
+    # 1. Dedup by content digest.
+    unique: dict[str, CampaignRequest] = {}
+    for request in requests:
+        unique.setdefault(request.digest(), request)
+    report.unique_campaigns = len(unique)
+
+    # 2. Cache peek; hits seed the cell index for overlapping grids.
+    campaigns: dict[str, TimingCampaign] = {}
+    sources: dict[str, str] = {}
+    missing: dict[str, CampaignRequest] = {}
+    for digest, request in unique.items():
+        campaign = platform_peek(request)
+        if campaign is not None:
+            campaigns[digest] = campaign
+            sources[digest] = "cached"
+            _index_campaign(request, campaign)
+        else:
+            missing[digest] = request
+    report.cached_campaigns = len(campaigns)
+
+    # 3. Per-group union of cells not yet indexed, one batch each.
+    groups: dict[tuple, list[CampaignRequest]] = {}
+    for request in missing.values():
+        groups.setdefault(request.group(), []).append(request)
+    for group, members in groups.items():
+        needed: list[tuple[int, float]] = []
+        seen: set[tuple[int, float]] = set()
+        for request in members:
+            for cell in request.cells():
+                if cell in seen or (group, *cell) in _CELL_INDEX:
+                    continue
+                seen.add(cell)
+                needed.append(cell)
+        if not needed:
+            continue
+        done = _run_batch(members[0], needed, jobs=jobs)
+        report.executed_cells += done
+        report.batches.append(
+            {
+                "label": members[0].label,
+                "requests": len(members),
+                "cells": len(needed),
+                "completed": done,
+            }
+        )
+
+    # 4. Assemble per-request campaigns from the index, grid order.
+    for digest, request in missing.items():
+        group = request.group()
+        times: dict[tuple[int, float], float] = {}
+        energies: dict[tuple[int, float], float] = {}
+        for cell in request.cells():
+            entry = _CELL_INDEX.get((group, *cell))
+            if entry is not None:
+                times[cell] = entry[0]
+                energies[cell] = entry[1]
+        campaign = TimingCampaign(
+            times=times,
+            base_frequency_hz=min(request.frequencies),
+            energies=energies,
+            label=request.label,
+        )
+        if len(times) == len(request.cells()):
+            # Complete → warm both cache tiers, exactly as if this
+            # campaign had gone through measure_campaign.
+            platform_adopt(request, campaign)
+        campaigns[digest] = campaign
+        sources[digest] = "planned"
+        runtime.METRICS.record(
+            runtime.CampaignRecord(
+                label=request.label,
+                source="planned",
+                cells=len(request.cells()),
+                wall_s=0.0,
+                failed_cells=len(request.cells()) - len(times),
+            )
+        )
+
+    # 5. Deposit campaign artifacts.
+    for digest, request in unique.items():
+        store.add(
+            CampaignArtifact(
+                name=campaign_artifact_name(request),
+                value=campaigns[digest],
+                provenance=Provenance(
+                    experiment_id="",
+                    stage="plan",
+                    inputs_digest=digest,
+                    wall_s=time.perf_counter() - start,
+                ),
+                request=request,
+                source=sources[digest],
+            )
+        )
+
+    report.deduped_cells = report.planned_cells - report.executed_cells
+    runtime.METRICS.record_plan(
+        report.planned_cells,
+        report.deduped_cells,
+        report.executed_cells,
+    )
+    return report
+
+
+def platform_peek(request: CampaignRequest) -> TimingCampaign | None:
+    """Cache-only lookup via the platform's tiers."""
+    from repro.experiments.platform import peek_campaign
+
+    return peek_campaign(
+        request.build(),
+        request.counts,
+        request.frequencies,
+        request.spec,
+    )
+
+
+def platform_adopt(
+    request: CampaignRequest, campaign: TimingCampaign
+) -> None:
+    """Warm the platform's cache tiers with an assembled campaign."""
+    from repro.experiments.platform import adopt_campaign
+
+    adopt_campaign(
+        request.build(),
+        request.counts,
+        request.frequencies,
+        campaign,
+        request.spec,
+    )

@@ -1,0 +1,153 @@
+"""Typed campaign requirements — what an experiment *needs*.
+
+A :class:`CampaignRequest` names a measurement grid declaratively:
+benchmark, problem class, processor counts, frequencies, and
+optionally a platform override (:class:`~repro.cluster.machine.
+ClusterSpec`) and benchmark constructor options (e.g. FT's
+``decomposition``).  Experiments publish their requests *before*
+running, which is what lets the planner (:mod:`repro.pipeline.
+planner`) compute the union of cells across many experiments and
+execute it as one deduplicated batch.
+
+Identity is content-based: two requests naming the same (benchmark
+config, grid, platform) share a digest — and therefore one execution —
+no matter which experiments issued them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import typing as _t
+
+from repro.cluster.machine import ClusterSpec
+from repro.npb import BENCHMARKS, ProblemClass
+from repro.npb.base import BenchmarkModel
+
+__all__ = ["CampaignRequest"]
+
+Cell = tuple[int, float]
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class CampaignRequest:
+    """One declarative (benchmark × counts × frequencies) requirement.
+
+    Attributes
+    ----------
+    benchmark:
+        Benchmark name from :data:`repro.npb.BENCHMARKS`
+        (``"ep"``, ``"ft"``, ``"lu"``, ...).
+    problem_class:
+        NPB problem class (a :class:`~repro.npb.ProblemClass` or its
+        letter).
+    counts:
+        Processor counts of the grid.
+    frequencies:
+        Frequencies of the grid, in hertz.
+    spec:
+        Platform override; ``None`` means the paper platform (and
+        digests identically to an explicit ``paper_spec()``).
+    options:
+        Extra benchmark constructor keyword arguments as sorted
+        ``(name, value)`` pairs — e.g. ``(("decomposition", "1d"),)``
+        for FT's ablation variant.
+    """
+
+    benchmark: str
+    problem_class: ProblemClass | str = ProblemClass.A
+    counts: tuple[int, ...] = ()
+    frequencies: tuple[float, ...] = ()
+    spec: ClusterSpec | None = None
+    options: tuple[tuple[str, _t.Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "benchmark", str(self.benchmark).lower())
+        if self.benchmark not in BENCHMARKS:
+            raise ValueError(
+                f"unknown benchmark {self.benchmark!r}; available: "
+                f"{sorted(BENCHMARKS)}"
+            )
+        if isinstance(self.problem_class, str):
+            object.__setattr__(
+                self, "problem_class", ProblemClass.parse(self.problem_class)
+            )
+        object.__setattr__(
+            self, "counts", tuple(int(n) for n in self.counts)
+        )
+        object.__setattr__(
+            self, "frequencies", tuple(float(f) for f in self.frequencies)
+        )
+        object.__setattr__(
+            self,
+            "options",
+            tuple(sorted((str(k), v) for k, v in self.options)),
+        )
+        if not self.counts or not self.frequencies:
+            raise ValueError(
+                f"{self.benchmark}: a campaign request needs at least "
+                "one count and one frequency"
+            )
+
+    @property
+    def label(self) -> str:
+        """Campaign label, matching ``measure_campaign``'s."""
+        return f"{self.benchmark}.{self.problem_class.value}"
+
+    def build(self) -> BenchmarkModel:
+        """Construct the benchmark model this request names."""
+        return BENCHMARKS[self.benchmark](
+            self.problem_class, **dict(self.options)
+        )
+
+    def cells(self) -> tuple[Cell, ...]:
+        """The grid cells in grid order (count-major)."""
+        return tuple(
+            (n, f) for n in self.counts for f in self.frequencies
+        )
+
+    def key(self) -> tuple:
+        """Full campaign identity (platform cache key), memoized."""
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            from repro.experiments.platform import _cache_key
+
+            cached = _cache_key(
+                self.build(), self.counts, self.frequencies, self.spec
+            )
+            object.__setattr__(self, "_key", cached)
+        return cached
+
+    def digest(self) -> str:
+        """Short content digest — the dedup identity of this request."""
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = hashlib.sha256(
+                repr(self.key()).encode()
+            ).hexdigest()[:16]
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    def group(self) -> tuple:
+        """Execution-group identity: same benchmark config + platform.
+
+        Requests in one group share simulated cells — a cell result
+        depends only on (benchmark config, platform, n, f), never on
+        which grid it was part of.
+        """
+        k = self.key()
+        return (k[0], k[1], k[4], k[5])
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        """JSON-ready description (provenance documents)."""
+        k = self.key()
+        return {
+            "benchmark": self.benchmark,
+            "class": self.problem_class.value,
+            "counts": list(self.counts),
+            "frequencies_mhz": [f / 1e6 for f in self.frequencies],
+            "options": {name: value for name, value in self.options},
+            "spec_digest": k[4],
+            "benchmark_digest": k[5],
+            "digest": self.digest(),
+        }

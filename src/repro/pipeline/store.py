@@ -1,0 +1,71 @@
+"""In-memory artifact store shared by the experiments of one plan.
+
+The planner deposits one :class:`~repro.pipeline.artifacts.
+CampaignArtifact` per unique request; each experiment's stages then
+read their campaigns from here (instead of calling
+``measure_campaign`` privately) and deposit their own fit/analysis/
+table artifacts.  :meth:`ArtifactStore.provenance_document` serializes
+the whole store — every artifact's kind, producer and inputs digest —
+through :func:`repro.reporting.jsonify` for export (the CLI's
+``--plan-json``, CI's provenance upload).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.pipeline.artifacts import (
+    PIPELINE_SCHEMA_VERSION,
+    Artifact,
+    CampaignArtifact,
+)
+from repro.pipeline.requests import CampaignRequest
+
+__all__ = ["ArtifactStore", "campaign_artifact_name"]
+
+
+def campaign_artifact_name(request: CampaignRequest) -> str:
+    """Store name of the campaign artifact satisfying ``request``."""
+    return f"campaign/{request.label}/{request.digest()}"
+
+
+class ArtifactStore:
+    """Insert-only mapping of artifact name → :class:`Artifact`."""
+
+    def __init__(self) -> None:
+        self._artifacts: dict[str, Artifact] = {}
+
+    def add(self, artifact: Artifact) -> Artifact:
+        """Deposit an artifact (last write wins) and return it."""
+        self._artifacts[artifact.name] = artifact
+        return artifact
+
+    def get(self, name: str) -> Artifact | None:
+        """The artifact stored under ``name``, or ``None``."""
+        return self._artifacts.get(name)
+
+    def campaign(self, request: CampaignRequest) -> CampaignArtifact | None:
+        """The campaign artifact satisfying ``request``, if planned."""
+        artifact = self._artifacts.get(campaign_artifact_name(request))
+        if isinstance(artifact, CampaignArtifact):
+            return artifact
+        return None
+
+    def names(self) -> list[str]:
+        """Every stored artifact name, sorted."""
+        return sorted(self._artifacts)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._artifacts
+
+    def __len__(self) -> int:
+        return len(self._artifacts)
+
+    def provenance_document(self) -> dict[str, _t.Any]:
+        """JSON-ready provenance of every artifact in the store."""
+        return {
+            "schema_version": PIPELINE_SCHEMA_VERSION,
+            "artifacts": [
+                self._artifacts[name].as_dict() for name in self.names()
+            ],
+        }

@@ -68,6 +68,7 @@ from repro.runtime.runner import (
     CampaignExecution,
     CellAttempt,
     execute_campaign,
+    execute_cells,
     shutdown_executor,
 )
 
@@ -92,6 +93,7 @@ __all__ = [
     "campaign_metrics",
     "reset_campaign_metrics",
     "execute_campaign",
+    "execute_cells",
     "shutdown_executor",
     "parse_fault_plan",
     "install_fault_plan",

@@ -35,8 +35,10 @@ class CampaignRecord:
         Campaign label (``benchmark.class``).
     source:
         Where the result came from: ``"memory"``, ``"disk"``,
-        ``"simulated"`` or ``"failed"`` (retry budget exhausted
-        without ``allow_partial``).
+        ``"simulated"``, ``"planned"`` (assembled from a shared
+        cross-experiment batch by :mod:`repro.pipeline`; the batch
+        itself reports separately as ``"simulated"``) or ``"failed"``
+        (retry budget exhausted without ``allow_partial``).
     cells:
         Number of grid cells in the campaign.
     wall_s:
@@ -135,6 +137,14 @@ class MetricsRegistry:
         self.simulated_cells = 0
         self.simulated_wall_s = 0.0
         self.failed_campaigns = 0
+        self.planned_campaigns = 0
+        # Cross-experiment planner accounting (repro.pipeline): cells
+        # requested across all experiments in a plan, cells saved by
+        # dedup/caching, cells the batch actually simulated.
+        self.plans = 0
+        self.planned_cells = 0
+        self.deduped_cells = 0
+        self.executed_cells = 0
         self.total_retries = 0
         self.total_timeouts = 0
         self.total_crash_recoveries = 0
@@ -156,6 +166,8 @@ class MetricsRegistry:
                 self.disk_hits += 1
             elif record.source == "failed":
                 self.failed_campaigns += 1
+            elif record.source == "planned":
+                self.planned_campaigns += 1
             else:
                 self.simulated_campaigns += 1
                 self.simulated_cells += record.cells
@@ -169,6 +181,23 @@ class MetricsRegistry:
             if record.peak_queue_len > self.peak_queue_len:
                 self.peak_queue_len = record.peak_queue_len
             self.simulated_cell_wall_s += sum(record.cell_wall_s)
+
+    def record_plan(
+        self, planned: int, deduped: int, executed: int
+    ) -> None:
+        """Account one cross-experiment plan's cell bookkeeping.
+
+        ``planned`` counts cells over all requested campaigns,
+        ``deduped`` the cells dedup and the cache tiers avoided
+        simulating, and ``executed`` the cells the shared batch
+        actually ran (``planned == deduped + executed`` on a clean
+        plan).
+        """
+        with self._lock:
+            self.plans += 1
+            self.planned_cells += int(planned)
+            self.deduped_cells += int(deduped)
+            self.executed_cells += int(executed)
 
     def reset(self) -> None:
         """Drop all records and zero every counter."""
@@ -199,6 +228,11 @@ class MetricsRegistry:
             "simulated_cells": self.simulated_cells,
             "simulated_wall_s": self.simulated_wall_s,
             "failed_campaigns": self.failed_campaigns,
+            "planned_campaigns": self.planned_campaigns,
+            "plans": self.plans,
+            "planned_cells": self.planned_cells,
+            "deduped_cells": self.deduped_cells,
+            "executed_cells": self.executed_cells,
             "retries": self.total_retries,
             "timeouts": self.total_timeouts,
             "crash_recoveries": self.total_crash_recoveries,
@@ -228,6 +262,12 @@ class MetricsRegistry:
                 f"; engine: {self.total_events_processed / 1e6:.1f}M events"
                 f" at {self.events_per_second / 1e3:.0f}k ev/s,"
                 f" peak queue {self.peak_queue_len}"
+            )
+        if self.plans:
+            line += (
+                f"; plan: {self.planned_cells} cells planned, "
+                f"{self.deduped_cells} deduped, "
+                f"{self.executed_cells} executed"
             )
         if (
             self.total_retries

@@ -64,6 +64,7 @@ __all__ = [
     "CellAttempt",
     "CampaignExecution",
     "execute_campaign",
+    "execute_cells",
     "shutdown_executor",
 ]
 
@@ -570,6 +571,41 @@ def execute_campaign(
     alongside per-cell failure records.
     """
     cells = [(int(n), float(f)) for n in counts for f in frequencies]
+    return execute_cells(
+        benchmark,
+        cells,
+        spec,
+        jobs,
+        retries=retries,
+        cell_timeout=cell_timeout,
+        backoff_s=backoff_s,
+        allow_partial=allow_partial,
+    )
+
+
+def execute_cells(
+    benchmark: BenchmarkModel,
+    cells: _t.Sequence[Cell],
+    spec: ClusterSpec,
+    jobs: int = 1,
+    *,
+    retries: int = DEFAULT_RETRIES,
+    cell_timeout: float | None = None,
+    backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+    allow_partial: bool = False,
+) -> CampaignExecution:
+    """Simulate an explicit cell list (not necessarily a full grid).
+
+    The batch entry point behind :func:`execute_campaign` and the
+    experiment planner (:mod:`repro.pipeline`): callers that already
+    know exactly which ``(n, frequency_hz)`` cells they are missing —
+    e.g. the union of several experiments' grids minus the cached
+    cells — submit just those.  Results come back in the order the
+    cells were given, with the same retry/timeout/crash-recovery
+    behaviour and the same bit-identical determinism as a full
+    campaign.
+    """
+    cells = [(int(n), float(f)) for n, f in cells]
     jobs = max(1, min(int(jobs), len(cells))) if cells else 1
     retries = max(0, int(retries))
     if jobs > 1:

@@ -166,6 +166,20 @@ class ServiceClient:
             body["frequencies_mhz"] = list(frequencies_mhz)
         return self.request("POST", "/campaign", body)
 
+    def experiments(self) -> dict[str, _t.Any]:
+        """``GET /experiments`` — the registry's pipeline specs."""
+        return self.request("GET", "/experiments")
+
+    def submit_experiment(
+        self,
+        experiment_id: str,
+        params: dict[str, _t.Any] | None = None,
+    ) -> dict[str, _t.Any]:
+        """``POST /experiments/<id>`` — returns the job ticket (202)."""
+        return self.request(
+            "POST", f"/experiments/{experiment_id}", dict(params or {})
+        )
+
     def job(self, job_id: str) -> dict[str, _t.Any]:
         """``GET /jobs/<id>`` — status, runtime history, result."""
         return self.request("GET", f"/jobs/{job_id}")

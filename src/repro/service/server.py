@@ -14,6 +14,12 @@ process needs:
 * a :class:`~repro.service.jobs.JobManager` running ``/campaign``
   submissions on the fault-tolerant :mod:`repro.runtime` pool,
   deduplicated by campaign digest;
+* experiment access: ``GET /experiments`` lists the registry's
+  declarative pipeline specs, ``POST /experiments/<id>`` runs one
+  through :func:`repro.pipeline.run_single` as a job (deduplicated by
+  experiment + parameter digest) whose result carries the rendered
+  report, the jsonified data and the artifact store's provenance
+  document;
 * graceful shutdown — SIGTERM/SIGINT stop admission, drain running
   jobs, then close the listener.
 
@@ -289,6 +295,10 @@ class ReproService:
                 return await self._handle_predict(request)
             if request.path == "/campaign" and request.method == "POST":
                 return self._handle_campaign(request)
+            if request.path == "/experiments" and request.method == "GET":
+                return 200, self._handle_experiments_list()
+            if request.path.startswith("/experiments/"):
+                return self._handle_experiment(request)
             if request.path == "/jobs" and request.method == "GET":
                 return 200, self._handle_jobs_list()
             if request.path.startswith("/jobs/"):
@@ -298,6 +308,7 @@ class ReproService:
                 "/metrics",
                 "/predict",
                 "/campaign",
+                "/experiments",
                 "/jobs",
             ):
                 return 405, protocol.error_payload(
@@ -516,6 +527,104 @@ class ReproService:
                 "counts": list(counts),
                 "frequencies_mhz": [f / 1e6 for f in frequencies],
             },
+        )
+        return 202, {
+            "job_id": job.id,
+            "status": job.status,
+            "key": digest,
+            "created": created,
+            "poll": f"/jobs/{job.id}",
+        }
+
+    def _handle_experiments_list(self) -> dict[str, _t.Any]:
+        from repro.experiments.registry import (
+            get_experiment,
+            list_experiments,
+        )
+
+        experiments = []
+        for exp_id, title, description in list_experiments():
+            spec = get_experiment(exp_id)
+            experiments.append(
+                {
+                    "id": exp_id,
+                    "title": title,
+                    "description": description,
+                    "stages": [stage.name for stage in spec.stages],
+                }
+            )
+        return {"experiments": experiments}
+
+    def _handle_experiment(
+        self, request: protocol.Request
+    ) -> tuple[int, _t.Any]:
+        import hashlib
+        import json as json_mod
+
+        from repro.experiments.registry import (
+            UnknownExperimentError,
+            get_experiment,
+        )
+
+        rest = request.path[len("/experiments/") :]
+        exp_id, _, extra = rest.partition("/")
+        if extra:
+            return 404, protocol.error_payload(
+                "not_found", f"unknown path {request.path!r}"
+            )
+        if request.method != "POST":
+            return 405, protocol.error_payload(
+                "method_not_allowed",
+                f"{request.method} not supported on /experiments/<id>",
+            )
+        try:
+            spec = get_experiment(exp_id)
+        except UnknownExperimentError as exc:
+            return 404, protocol.error_payload(
+                "unknown_experiment", str(exc)
+            )
+        body = request.json()
+        if not isinstance(body, dict):
+            raise protocol.ProtocolError(
+                "request body must be a JSON object of experiment "
+                "parameters"
+            )
+        params = {str(key): value for key, value in body.items()}
+        digest = (
+            "exp-"
+            + hashlib.sha256(
+                json_mod.dumps(
+                    {"experiment": exp_id, "params": params},
+                    sort_keys=True,
+                    default=repr,
+                ).encode()
+            ).hexdigest()[:16]
+        )
+        label = f"experiment:{exp_id}"
+
+        def run_job(job: jobs_mod.Job) -> dict[str, _t.Any]:
+            cache_key = ("experiment", digest)
+            cached = self.responses.get(cache_key)
+            if cached is not None:
+                job.runtime = {"source": "service-cache"}
+                return cached
+            from repro.pipeline import ArtifactStore, run_single
+
+            store = ArtifactStore()
+            result = run_single(spec, dict(params), store=store)
+            document = {
+                **result.document(),
+                "text": result.text,
+                "provenance": store.provenance_document(),
+            }
+            self.responses.put(cache_key, document)
+            return document
+
+        job, created = self.jobs.submit(
+            digest,
+            label,
+            run_job,
+            params={"experiment": exp_id, "params": params},
         )
         return 202, {
             "job_id": job.id,

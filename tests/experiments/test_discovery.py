@@ -1,0 +1,71 @@
+"""Tests for registry auto-discovery and the legacy register adapter."""
+
+import pytest
+
+from repro.experiments import registry
+
+ALL_EXPERIMENTS = {
+    "table1",
+    "table3",
+    "table5",
+    "table6",
+    "table7",
+    "figure1",
+    "figure2",
+    "edp",
+    "extrapolation",
+    "suite_overview",
+    "dvfs_savings",
+    "slack_savings",
+    "predictive_scheduling",
+    "ablation_onoff",
+    "ablation_overhead",
+    "ablation_dop",
+    "ablation_decomposition",
+}
+
+
+class TestDiscovery:
+    def test_every_experiment_module_discovered(self):
+        ids = {e[0] for e in registry.list_experiments()}
+        assert ids == ALL_EXPERIMENTS
+
+    def test_infrastructure_modules_are_not_experiments(self):
+        ids = {e[0] for e in registry.list_experiments()}
+        assert not ids & registry._NON_EXPERIMENT_MODULES
+
+    def test_specs_are_well_formed(self):
+        for exp_id, title, _desc in registry.list_experiments():
+            spec = registry.get_experiment(exp_id)
+            assert spec.experiment_id == exp_id
+            assert spec.title == title
+            assert spec.stages
+            assert spec.stages[-1].name == "render"
+
+
+class TestLegacyRegister:
+    def test_register_wraps_function_into_spec(self):
+        from repro.experiments.registry import ExperimentResult
+
+        @registry.register("zz_legacy_probe", "Probe", "a probe")
+        def run(flavor: str = "plain") -> ExperimentResult:
+            return ExperimentResult(
+                "zz_legacy_probe", "Probe", "text", {"flavor": flavor}
+            )
+
+        try:
+            spec = registry.get_experiment("zz_legacy_probe")
+            assert [s.name for s in spec.stages] == ["render"]
+            assert spec.description == "a probe"
+            result = registry.run_experiment(
+                "zz_legacy_probe", flavor="spicy"
+            )
+            assert result.data == {"flavor": "spicy"}
+        finally:
+            registry._REGISTRY.pop("zz_legacy_probe", None)
+
+    def test_unknown_experiment_still_raises(self):
+        from repro.errors import UnknownExperimentError
+
+        with pytest.raises(UnknownExperimentError, match="zz_nope"):
+            registry.get_experiment("zz_nope")

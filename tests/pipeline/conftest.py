@@ -1,0 +1,25 @@
+"""Isolation for the pipeline tests.
+
+Every test gets a fresh campaign runtime (disk cache off, cleared
+memory tier, zeroed metrics) and an empty planner cell index, so
+dedup and at-most-once assertions count exactly this test's work.
+"""
+
+import pytest
+
+from repro import runtime
+from repro.experiments import platform
+from repro.pipeline import clear_cell_index
+
+
+@pytest.fixture(autouse=True)
+def isolated_pipeline(tmp_path):
+    runtime.configure(jobs=1, disk_cache=False, cache_dir=tmp_path)
+    platform._CACHE.clear()
+    clear_cell_index()
+    runtime.reset_campaign_metrics()
+    yield
+    runtime.configure(jobs=None, disk_cache=None, cache_dir=None)
+    platform._CACHE.clear()
+    clear_cell_index()
+    runtime.reset_campaign_metrics()

@@ -1,0 +1,113 @@
+"""Tests for the spec/stage layer: state threading, artifacts, params."""
+
+import pytest
+
+from repro.experiments.registry import ExperimentResult
+from repro.pipeline import (
+    ArtifactStore,
+    CampaignRequest,
+    ExperimentSpec,
+    Stage,
+    run_single,
+)
+from repro.units import mhz
+
+
+def _spec(stages, requires=(), experiment_id="toy"):
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        title="Toy",
+        stages=tuple(stages),
+        requires=requires,
+    )
+
+
+class TestStages:
+    def test_state_threads_between_stages(self):
+        def fit(ctx):
+            return {"x": 2}
+
+        def render(ctx):
+            return ExperimentResult(
+                "toy", "Toy", "t", {"x": ctx.state["fit"]["x"]}
+            )
+
+        result = run_single(
+            _spec([Stage("fit", fit), Stage("render", render)])
+        )
+        assert result.data == {"x": 2}
+
+    def test_param_defaults_apply_to_none_and_empty(self):
+        seen = {}
+
+        def render(ctx):
+            seen["cls"] = ctx.param("problem_class", "A")
+            seen["n"] = ctx.param("n_max", 16)
+            return ExperimentResult("toy", "Toy", "t", {})
+
+        run_single(
+            _spec([Stage("render", render)]),
+            {"problem_class": "", "n_max": None},
+        )
+        assert seen == {"cls": "A", "n": 16}
+
+    def test_final_stage_must_return_result(self):
+        spec = _spec([Stage("render", lambda ctx: {"not": "a result"})])
+        with pytest.raises(TypeError, match="expected ExperimentResult"):
+            run_single(spec)
+
+    def test_stage_artifacts_deposited_with_provenance(self):
+        def fit(ctx):
+            return 1
+
+        def render(ctx):
+            return ExperimentResult("toy", "Toy", "t", {})
+
+        store = ArtifactStore()
+        run_single(
+            _spec([Stage("fit", fit), Stage("render", render)]),
+            store=store,
+        )
+        fit_artifact = store.get("toy/fit")
+        assert fit_artifact.kind == "fit"
+        assert fit_artifact.provenance.stage == "fit"
+        table = store.get("toy/render")
+        assert table.kind == "table"
+        assert table.provenance.experiment_id == "toy"
+        assert table.provenance.wall_s >= 0.0
+
+    def test_campaign_accessor_reads_planned_store(self):
+        request = CampaignRequest("ep", "S", (1, 2), (mhz(600),))
+
+        def render(ctx):
+            campaign = ctx.campaign(0)
+            return ExperimentResult(
+                "toy", "Toy", "t", {"cells": sorted(campaign.times)}
+            )
+
+        store = ArtifactStore()
+        result = run_single(
+            _spec([Stage("render", render)], requires=(request,)),
+            store=store,
+        )
+        assert result.data["cells"] == [(1, mhz(600)), (2, mhz(600))]
+        assert store.campaign(request) is not None
+
+    def test_requires_hook_receives_params(self):
+        def requires(params):
+            return (
+                CampaignRequest(
+                    "ep", params["problem_class"], (1,), (mhz(600),)
+                ),
+            )
+
+        def render(ctx):
+            return ExperimentResult(
+                "toy", "Toy", "t", {"label": ctx.requests[0].label}
+            )
+
+        result = run_single(
+            _spec([Stage("render", render)], requires=requires),
+            {"problem_class": "S"},
+        )
+        assert result.data["label"] == "ep.S"

@@ -1,0 +1,136 @@
+"""Tests for cross-experiment planning: dedup, at-most-once, identity.
+
+The acceptance property of the pipeline: running any set of
+experiments together simulates each unique (benchmark config,
+platform, N, f) cell **at most once per process**, and every
+assembled campaign is bit-identical to a direct
+``measure_campaign`` call.
+"""
+
+from repro.experiments.platform import (
+    PAPER_COUNTS,
+    PAPER_FREQUENCIES,
+    measure_campaign,
+)
+from repro.experiments.registry import get_experiment
+from repro.pipeline import (
+    ArtifactStore,
+    CampaignRequest,
+    execute_plan,
+    run_pipeline,
+)
+from repro.runtime import campaign_metrics
+from repro.units import mhz
+
+
+def _simulated_cells():
+    """Every (label, n, f) cell the runtime actually simulated."""
+    cells = []
+    for record in campaign_metrics()["records"]:
+        if record["source"] != "simulated":
+            continue
+        for n, f, attempts in record.get("cell_attempts", ()):
+            cells.append((record["label"], int(n), float(f), attempts))
+    return cells
+
+
+class TestExecutePlan:
+    def test_identical_requests_collapse(self):
+        store = ArtifactStore()
+        requests = [
+            CampaignRequest("ep", "S", (1, 2), (mhz(600),)),
+            CampaignRequest("ep", "S", (1, 2), (mhz(600),)),
+        ]
+        report = execute_plan(requests, store)
+        assert report.requested_campaigns == 2
+        assert report.unique_campaigns == 1
+        assert report.planned_cells == 4
+        assert report.executed_cells == 2
+        assert report.deduped_cells == 2
+
+    def test_overlapping_grids_share_cells(self):
+        store = ArtifactStore()
+        requests = [
+            CampaignRequest("ep", "S", (1, 2), (mhz(600),)),
+            CampaignRequest("ep", "S", (1, 2, 4), (mhz(600),)),
+        ]
+        report = execute_plan(requests, store)
+        # 5 planned, only 3 unique cells exist.
+        assert report.planned_cells == 5
+        assert report.executed_cells == 3
+
+    def test_assembled_campaign_matches_direct_measurement(self):
+        store = ArtifactStore()
+        request = CampaignRequest(
+            "ep", "S", (1, 2), (mhz(600), mhz(1400))
+        )
+        execute_plan([request], store)
+        planned = store.campaign(request).value
+        direct = measure_campaign(
+            request.build(), request.counts, request.frequencies
+        )
+        assert planned.times == direct.times
+        assert planned.energies == direct.energies
+        assert planned.base_frequency_hz == direct.base_frequency_hz
+
+    def test_second_plan_executes_nothing(self):
+        store = ArtifactStore()
+        request = CampaignRequest("ep", "S", (1, 2), (mhz(600),))
+        first = execute_plan([request], store)
+        assert first.executed_cells == 2
+        second = execute_plan([request], ArtifactStore())
+        assert second.executed_cells == 0
+        assert second.cached_campaigns == 1
+
+    def test_plan_metrics_recorded(self):
+        store = ArtifactStore()
+        execute_plan(
+            [CampaignRequest("ep", "S", (1, 2), (mhz(600),))], store
+        )
+        snapshot = campaign_metrics()
+        assert snapshot["plans"] == 1
+        assert snapshot["planned_cells"] == 2
+        assert snapshot["executed_cells"] == 2
+        assert snapshot["deduped_cells"] == 0
+
+
+class TestCrossExperimentDedup:
+    """The ISSUE's satellite: table1 + figure2 + edp share FT cells."""
+
+    def test_shared_cells_simulated_exactly_once(self):
+        specs = [
+            (get_experiment("table1"), {"problem_class": "S"}),
+            (get_experiment("figure2"), {"problem_class": "S"}),
+            (get_experiment("edp"), {"problem_class": "S"}),
+        ]
+        results, report = run_pipeline(specs)
+        assert set(results) == {"table1", "figure2", "edp"}
+
+        # table1 and figure2 both want FT over the full paper grid;
+        # edp wants FT again plus EP and LU.  The union is FT(25) +
+        # EP(25) + LU(20) = 70 unique cells out of 120 requested.
+        grid = len(PAPER_COUNTS) * len(PAPER_FREQUENCIES)
+        assert report.planned_cells == 4 * grid + 4 * len(PAPER_FREQUENCIES)
+        assert report.executed_cells == 70
+        assert report.deduped_cells == report.planned_cells - 70
+
+        # Cell-level at-most-once, from the runtime's own records:
+        # every simulated cell appears exactly once, on one attempt.
+        cells = _simulated_cells()
+        assert len(cells) == 70
+        keys = [(label, n, f) for label, n, f, _ in cells]
+        assert len(set(keys)) == 70
+        assert all(attempts == 1 for _, _, _, attempts in cells)
+        ft_cells = [k for k in keys if k[0] == "ft.S"]
+        assert len(ft_cells) == grid
+
+    def test_rerun_simulates_zero_cells(self):
+        specs = [
+            (get_experiment("table1"), {"problem_class": "S"}),
+            (get_experiment("figure2"), {"problem_class": "S"}),
+        ]
+        run_pipeline(specs)
+        before = len(_simulated_cells())
+        _results, report = run_pipeline(specs)
+        assert report.executed_cells == 0
+        assert len(_simulated_cells()) == before

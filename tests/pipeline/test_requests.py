@@ -1,0 +1,96 @@
+"""Tests for :class:`repro.pipeline.requests.CampaignRequest`."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.machine import paper_spec
+from repro.npb import ProblemClass
+from repro.pipeline import CampaignRequest
+from repro.units import mhz
+
+
+class TestValidation:
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            CampaignRequest("nope", "A", (1,), (mhz(600),))
+
+    def test_empty_grid(self):
+        with pytest.raises(ValueError, match="at least"):
+            CampaignRequest("ep", "A", (), (mhz(600),))
+        with pytest.raises(ValueError, match="at least"):
+            CampaignRequest("ep", "A", (1,), ())
+
+    def test_normalization(self):
+        request = CampaignRequest("FT", "a", [1, 2], [600e6])
+        assert request.benchmark == "ft"
+        assert request.problem_class is ProblemClass.A
+        assert request.counts == (1, 2)
+        assert request.frequencies == (600e6,)
+        assert request.label == "ft.A"
+
+    def test_cells_grid_order(self):
+        request = CampaignRequest(
+            "ep", "S", (1, 2), (mhz(600), mhz(1400))
+        )
+        assert request.cells() == (
+            (1, mhz(600)),
+            (1, mhz(1400)),
+            (2, mhz(600)),
+            (2, mhz(1400)),
+        )
+
+
+class TestIdentity:
+    def test_same_content_same_digest(self):
+        a = CampaignRequest("ep", "S", (1, 2), (mhz(600),))
+        b = CampaignRequest("ep", "S", (1, 2), (mhz(600),))
+        assert a.digest() == b.digest()
+        assert a.group() == b.group()
+
+    def test_grid_changes_digest_but_not_group(self):
+        a = CampaignRequest("ep", "S", (1, 2), (mhz(600),))
+        b = CampaignRequest("ep", "S", (1, 4), (mhz(600),))
+        assert a.digest() != b.digest()
+        assert a.group() == b.group()
+
+    def test_default_spec_digests_like_paper_spec(self):
+        a = CampaignRequest("ep", "S", (1,), (mhz(600),))
+        b = CampaignRequest("ep", "S", (1,), (mhz(600),), spec=paper_spec())
+        assert a.digest() == b.digest()
+
+    def test_custom_spec_changes_group(self):
+        slow = dataclasses.replace(
+            paper_spec(),
+            network=dataclasses.replace(
+                paper_spec().network, efficiency=0.1
+            ),
+        )
+        a = CampaignRequest("ep", "S", (1,), (mhz(600),))
+        b = CampaignRequest("ep", "S", (1,), (mhz(600),), spec=slow)
+        assert a.digest() != b.digest()
+        assert a.group() != b.group()
+
+    def test_options_change_identity_and_build(self):
+        a = CampaignRequest(
+            "ft", "S", (1,), (mhz(600),),
+            options=(("decomposition", "1d"),),
+        )
+        b = CampaignRequest(
+            "ft", "S", (1,), (mhz(600),),
+            options=(("decomposition", "2d"),),
+        )
+        assert a.digest() != b.digest()
+        assert a.build().decomposition == "1d"
+        assert b.build().decomposition == "2d"
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        request = CampaignRequest("ep", "S", (1, 2), (mhz(600),))
+        document = request.as_dict()
+        assert json.loads(json.dumps(document)) == document
+        assert document["benchmark"] == "ep"
+        assert document["counts"] == [1, 2]
+        assert document["frequencies_mhz"] == [600.0]
+        assert document["digest"] == request.digest()

@@ -1,0 +1,87 @@
+"""Tests for the artifact store and artifact provenance documents."""
+
+import json
+
+from repro.pipeline import (
+    ArtifactStore,
+    CampaignRequest,
+    PIPELINE_SCHEMA_VERSION,
+    campaign_artifact_name,
+    inputs_digest,
+)
+from repro.pipeline.artifacts import (
+    Artifact,
+    CampaignArtifact,
+    Provenance,
+    TableArtifact,
+)
+from repro.units import mhz
+
+
+def _provenance(stage="analyze"):
+    return Provenance(
+        experiment_id="exp", stage=stage, inputs_digest="abc123"
+    )
+
+
+class TestArtifacts:
+    def test_as_dict_merges_describe(self):
+        artifact = Artifact("a", 42, _provenance())
+        document = artifact.as_dict()
+        assert document["name"] == "a"
+        assert document["kind"] == "artifact"
+        assert document["provenance"]["stage"] == "analyze"
+        assert (
+            document["provenance"]["schema_version"]
+            == PIPELINE_SCHEMA_VERSION
+        )
+
+    def test_table_artifact_describes_result(self):
+        from repro.experiments.registry import ExperimentResult
+
+        result = ExperimentResult("t", "Title", "text", {})
+        document = TableArtifact("t/render", result, _provenance()).as_dict()
+        assert document["kind"] == "table"
+        assert document["experiment"] == "t"
+        assert document["title"] == "Title"
+
+    def test_inputs_digest_stable_and_order_insensitive(self):
+        a = inputs_digest({"x": 1, "y": 2})
+        b = inputs_digest({"y": 2, "x": 1})
+        assert a == b
+        assert a != inputs_digest({"x": 1, "y": 3})
+
+
+class TestArtifactStore:
+    def test_add_get_contains(self):
+        store = ArtifactStore()
+        artifact = Artifact("a", 1, _provenance())
+        store.add(artifact)
+        assert store.get("a") is artifact
+        assert "a" in store
+        assert len(store) == 1
+        assert store.get("missing") is None
+
+    def test_campaign_lookup_by_request(self):
+        store = ArtifactStore()
+        request = CampaignRequest("ep", "S", (1,), (mhz(600),))
+        artifact = CampaignArtifact(
+            campaign_artifact_name(request),
+            None,
+            _provenance("plan"),
+            request=request,
+        )
+        store.add(artifact)
+        assert store.campaign(request) is artifact
+        # An equal-content request resolves to the same artifact.
+        twin = CampaignRequest("ep", "S", (1,), (mhz(600),))
+        assert store.campaign(twin) is artifact
+
+    def test_provenance_document_is_json_ready(self):
+        store = ArtifactStore()
+        store.add(Artifact("b", 2, _provenance()))
+        store.add(Artifact("a", 1, _provenance()))
+        document = store.provenance_document()
+        assert document["schema_version"] == PIPELINE_SCHEMA_VERSION
+        assert [a["name"] for a in document["artifacts"]] == ["a", "b"]
+        assert json.loads(json.dumps(document)) == document
