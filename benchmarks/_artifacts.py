@@ -1,0 +1,35 @@
+"""Canonical location for ``BENCH_*.json`` benchmark artifacts.
+
+Every standalone bench writes its JSON document through
+:func:`artifact_path` so the artifacts land in one documented place —
+the repository root (the parent of this ``benchmarks/`` directory) —
+no matter which working directory the script was launched from.  CI
+uploads them from there, and ``REPRO_BENCH_DIR`` redirects the whole
+set (e.g. to a scratch dir when running benches locally without
+dirtying the checkout).
+"""
+
+import os
+import pathlib
+
+__all__ = ["artifacts_dir", "artifact_path"]
+
+
+def artifacts_dir() -> pathlib.Path:
+    """The directory ``BENCH_*.json`` files are written to.
+
+    ``REPRO_BENCH_DIR`` wins when set (created if missing); otherwise
+    the repository root, resolved relative to this file so the result
+    does not depend on the caller's working directory.
+    """
+    override = os.environ.get("REPRO_BENCH_DIR", "").strip()
+    if override:
+        path = pathlib.Path(override)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    return pathlib.Path(__file__).resolve().parent.parent
+
+
+def artifact_path(name: str) -> pathlib.Path:
+    """Absolute path for the artifact file ``name``."""
+    return artifacts_dir() / name

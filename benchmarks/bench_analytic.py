@@ -1,0 +1,159 @@
+"""Analytic backend vs the discrete-event simulator, head to head.
+
+The tentpole claim of ``backend="analytic"`` is that a full paper
+grid (5 counts x 5 frequencies) evaluates as one vectorized numpy
+pass in well under 100 ms cold, at least two orders of magnitude
+faster than simulating the same grid event by event — while staying
+inside each benchmark's documented golden tolerance.  This bench
+measures exactly that, per validated benchmark (EP, FT, LU):
+
+* cold DES wall time via :func:`repro.runtime.execute_campaign`
+  (no caches in the path);
+* cold analytic wall time (model construction + ``evaluate_grid``,
+  best of 5);
+* the speedup ratio and the max relative time/energy error.
+
+Run under pytest-benchmark as part of the harness (analytic side
+only — the DES comparison is the standalone run's job)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_analytic.py --benchmark-only
+
+or standalone, which writes the comparison table to
+``BENCH_analytic.json`` at the repository root (see
+:mod:`benchmarks._artifacts`) for CI to archive, and exits non-zero
+if the < 100 ms / >= 100x / tolerance claims don't hold::
+
+    PYTHONPATH=src python benchmarks/bench_analytic.py
+"""
+
+import json
+import pathlib
+import time
+
+from repro.analytic import (
+    ENERGY_TOLERANCE,
+    TIME_TOLERANCE,
+    AnalyticCampaignModel,
+    validated_benchmarks,
+)
+from repro.cluster import paper_spec
+from repro.experiments.platform import PAPER_COUNTS, PAPER_FREQUENCIES
+from repro.npb import BENCHMARKS
+from repro.runtime import execute_campaign
+
+try:
+    from benchmarks._artifacts import artifact_path
+except ImportError:  # standalone: script dir is sys.path[0]
+    from _artifacts import artifact_path
+
+#: Wall-time budget for evaluating ALL validated paper grids cold.
+ANALYTIC_BUDGET_S = 0.100
+
+#: Required per-benchmark speedup of analytic over cold DES.
+MIN_SPEEDUP = 100.0
+
+#: Best-of runs for the analytic side (the DES side runs once; it is
+#: seconds, not microseconds).
+ANALYTIC_REPEATS = 5
+
+
+def _analytic_cold(name: str) -> tuple[float, "AnalyticCampaignModel"]:
+    """Cold evaluation: build the model AND evaluate the grid."""
+    start = time.perf_counter()
+    model = AnalyticCampaignModel(BENCHMARKS[name]())
+    model.evaluate_grid(PAPER_COUNTS, PAPER_FREQUENCIES)
+    return time.perf_counter() - start, model
+
+
+def _compare(name: str) -> dict:
+    """DES-vs-analytic comparison document for one benchmark."""
+    benchmark = BENCHMARKS[name]()
+    start = time.perf_counter()
+    execution = execute_campaign(
+        benchmark, PAPER_COUNTS, PAPER_FREQUENCIES, paper_spec(),
+        backend="des",
+    )
+    des_wall = time.perf_counter() - start
+
+    analytic_wall, model = min(
+        (_analytic_cold(name) for _ in range(ANALYTIC_REPEATS)),
+        key=lambda pair: pair[0],
+    )
+    evaluation = model.evaluate_grid(PAPER_COUNTS, PAPER_FREQUENCIES)
+    times = evaluation.times_by_cell()
+    energies = evaluation.energies_by_cell()
+    max_time_error = max(
+        abs(times[cell] - t) / t for cell, t in execution.times.items()
+    )
+    max_energy_error = max(
+        abs(energies[cell] - e) / e
+        for cell, e in execution.energies.items()
+    )
+    return {
+        "cells": len(execution.times),
+        "des_wall_s": des_wall,
+        "analytic_wall_s": analytic_wall,
+        "speedup_vs_des": des_wall / analytic_wall,
+        "max_time_error": max_time_error,
+        "max_energy_error": max_energy_error,
+        "time_tolerance": TIME_TOLERANCE[name],
+        "energy_tolerance": ENERGY_TOLERANCE[name],
+    }
+
+
+def bench_analytic_paper_grid(benchmark):
+    """Harness side: one cold paper-grid evaluation per round."""
+    wall, _ = benchmark(lambda: _analytic_cold("lu"))
+    assert wall < ANALYTIC_BUDGET_S
+
+
+def main(out_path: str | None = None) -> dict:
+    """Full comparison run; writes, asserts and returns the document."""
+    document = {}
+    for name in validated_benchmarks():
+        document[name] = _compare(name)
+    total_analytic = sum(
+        row["analytic_wall_s"] for row in document.values()
+    )
+    document["total_analytic_wall_s"] = total_analytic
+
+    out = (
+        pathlib.Path(out_path)
+        if out_path is not None
+        else artifact_path("BENCH_analytic.json")
+    )
+    out.write_text(json.dumps(document, indent=2))
+    for name in validated_benchmarks():
+        row = document[name]
+        print(
+            f"{name}: {row['cells']} cells — DES {row['des_wall_s']:.2f}s, "
+            f"analytic {1e3 * row['analytic_wall_s']:.2f}ms "
+            f"({row['speedup_vs_des']:.0f}x), max err "
+            f"time {100 * row['max_time_error']:.2f}% / "
+            f"energy {100 * row['max_energy_error']:.2f}% "
+            f"(tol {100 * row['time_tolerance']:.1f}% / "
+            f"{100 * row['energy_tolerance']:.1f}%)"
+        )
+    print(
+        f"all grids analytic: {1e3 * total_analytic:.2f}ms "
+        f"(budget {1e3 * ANALYTIC_BUDGET_S:.0f}ms) "
+        f"-> {out}"
+    )
+
+    assert total_analytic < ANALYTIC_BUDGET_S, (
+        f"analytic evaluation of all paper grids took "
+        f"{total_analytic:.3f}s, budget {ANALYTIC_BUDGET_S:.3f}s"
+    )
+    for name in validated_benchmarks():
+        row = document[name]
+        assert row["speedup_vs_des"] >= MIN_SPEEDUP, (
+            f"{name}: analytic only {row['speedup_vs_des']:.0f}x "
+            f"faster than DES, need >= {MIN_SPEEDUP:.0f}x"
+        )
+        assert row["max_time_error"] <= row["time_tolerance"], row
+        assert row["max_energy_error"] <= row["energy_tolerance"], row
+    return document
+
+
+if __name__ == "__main__":
+    main()

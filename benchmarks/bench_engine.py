@@ -13,7 +13,8 @@ Run under pytest-benchmark as part of the harness::
     PYTHONPATH=src python -m pytest benchmarks/bench_engine.py --benchmark-only
 
 or standalone, which times both workloads (best of 3) and writes the
-events/second figures to ``BENCH_engine.json`` for CI to archive::
+events/second figures to ``BENCH_engine.json`` at the repository root
+(see :mod:`benchmarks._artifacts`) for CI to archive::
 
     PYTHONPATH=src python benchmarks/bench_engine.py
 """
@@ -21,6 +22,11 @@ events/second figures to ``BENCH_engine.json`` for CI to archive::
 import json
 import pathlib
 import time
+
+try:
+    from benchmarks._artifacts import artifact_path
+except ImportError:  # standalone: script dir is sys.path[0]
+    from _artifacts import artifact_path
 
 from repro.cluster import paper_cluster
 from repro.mpi.program import run_program
@@ -88,7 +94,7 @@ def bench_engine_timeout_storm(benchmark):
     assert stats["events_processed"] > STORM_SHAPE[0] * STORM_SHAPE[1]
 
 
-def main(out_path: str = "BENCH_engine.json") -> dict:
+def main(out_path: str | None = None) -> dict:
     """Best-of-3 standalone run; writes and returns the document."""
     document = {}
     for name, fn in (
@@ -103,7 +109,11 @@ def main(out_path: str = "BENCH_engine.json") -> dict:
             else 0.0
         )
         document[name] = best
-    out = pathlib.Path(out_path)
+    out = (
+        pathlib.Path(out_path)
+        if out_path is not None
+        else artifact_path("BENCH_engine.json")
+    )
     out.write_text(json.dumps(document, indent=2))
     for name, stats in document.items():
         print(

@@ -14,7 +14,8 @@ Run under pytest-benchmark as part of the harness::
 or standalone, which fires ``CONCURRENCY`` simultaneous clients
 (barrier-released), asserts zero errors and a non-zero coalesce
 ratio, and writes throughput plus p50/p99 latency to
-``BENCH_service.json`` for CI to archive::
+``BENCH_service.json`` at the repository root (see
+:mod:`benchmarks._artifacts`) for CI to archive::
 
     PYTHONPATH=src python benchmarks/bench_service.py
 """
@@ -25,6 +26,11 @@ import pathlib
 import statistics
 import threading
 import time
+
+try:
+    from benchmarks._artifacts import artifact_path
+except ImportError:  # standalone: script dir is sys.path[0]
+    from _artifacts import artifact_path
 
 from repro.service import ServiceClient, ServiceThread
 from repro.service.server import ServiceConfig
@@ -113,7 +119,7 @@ def bench_service_predict(benchmark):
     assert result["predictions"]
 
 
-def main(out_path: str = "BENCH_service.json") -> dict:
+def main(out_path: str | None = None) -> dict:
     """Standalone load run; writes and returns the document."""
     config = ServiceConfig(port=0, warmup=(("ep", "S"),))
     with ServiceThread(config) as served:
@@ -130,7 +136,11 @@ def main(out_path: str = "BENCH_service.json") -> dict:
         "batcher": predict["batcher"],
         "requests_total": metrics["requests"]["total"],
     }
-    out = pathlib.Path(out_path)
+    out = (
+        pathlib.Path(out_path)
+        if out_path is not None
+        else artifact_path("BENCH_service.json")
+    )
     out.write_text(json.dumps(document, indent=2))
     print(
         f"storm: {storm['completed']}/{storm['requests']} requests "

@@ -9,15 +9,20 @@ re-run on warm campaign data.
 
 At session end the campaign runtime's metrics — wall-clock per
 campaign, simulated-cell counts, memory/disk cache hits — are written
-to ``BENCH_campaigns.json`` so CI can track the perf trajectory of
+to ``BENCH_campaigns.json`` at the repository root (see
+:mod:`benchmarks._artifacts`) so CI can track the perf trajectory of
 the campaign layer across PRs.
 """
 
 import json
-import pathlib
 import time
 
 import pytest
+
+try:
+    from benchmarks._artifacts import artifact_path
+except ImportError:  # collected without the package on sys.path
+    from _artifacts import artifact_path
 
 _SESSION_START = time.perf_counter()
 
@@ -36,7 +41,7 @@ def pytest_sessionfinish(session, exitstatus):
         "session_wall_s": time.perf_counter() - _SESSION_START,
         **snapshot,
     }
-    out = pathlib.Path("BENCH_campaigns.json")
+    out = artifact_path("BENCH_campaigns.json")
     out.write_text(json.dumps(document, indent=2))
     reporter = session.config.pluginmanager.get_plugin("terminalreporter")
     if reporter is not None:

@@ -1,0 +1,40 @@
+"""Analytic campaign backend: closed forms, vectorized over grids.
+
+Evaluates entire (processor count, frequency) campaign grids from the
+paper's equations in one numpy pass instead of one discrete-event
+simulation per cell — the ``backend="analytic"`` execution path.  See
+:mod:`repro.analytic.model` for the model construction and
+:mod:`repro.analytic.vectorized` for the bit-identical kernels, and
+``docs/ANALYTIC.md`` for the equations → code map and the documented
+analytic-vs-DES tolerances.
+"""
+
+from repro.analytic.model import (
+    DEFAULT_MAX_DOP,
+    ENERGY_TOLERANCE,
+    TIME_TOLERANCE,
+    AnalyticCampaignModel,
+    AnalyticEvaluation,
+    AnalyticOverhead,
+    partition_cells,
+    validated_benchmarks,
+)
+from repro.analytic.vectorized import (
+    component_times,
+    energy_joules,
+    sp_times,
+)
+
+__all__ = [
+    "DEFAULT_MAX_DOP",
+    "TIME_TOLERANCE",
+    "ENERGY_TOLERANCE",
+    "AnalyticCampaignModel",
+    "AnalyticEvaluation",
+    "AnalyticOverhead",
+    "partition_cells",
+    "validated_benchmarks",
+    "component_times",
+    "energy_joules",
+    "sp_times",
+]

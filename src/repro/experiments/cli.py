@@ -41,7 +41,10 @@ throughput (events processed, events/second, peak queue length).
 tolerance is tunable per run: ``--retries N`` (extra attempts per
 failing cell), ``--cell-timeout S`` (terminate and retry hung
 workers) and ``--allow-partial`` (return surviving cells plus a
-failure report instead of aborting the command).
+failure report instead of aborting the command).  ``--backend
+{des,analytic,auto}`` picks the campaign execution path — the
+discrete-event simulator, the vectorized closed forms, or per-cell
+routing between them (see ``docs/ANALYTIC.md``).
 """
 
 from __future__ import annotations
@@ -87,6 +90,7 @@ def _configure_runtime(args: argparse.Namespace) -> None:
         retries=args.retries,
         cell_timeout=args.cell_timeout,
         allow_partial=True if args.allow_partial else None,
+        backend=getattr(args, "backend", None),
     )
 
 
@@ -319,6 +323,15 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         action="store_true",
         help="on exhausted retries, keep surviving cells and print a "
         "failure report instead of aborting",
+    )
+    runtime_opts.add_argument(
+        "--backend",
+        choices=("des", "analytic", "auto"),
+        default=None,
+        help="campaign execution backend: 'des' simulates every cell, "
+        "'analytic' evaluates the closed forms in one vectorized "
+        "pass, 'auto' uses the analytic path where validated and "
+        "falls back to the simulator (default: des, or REPRO_BACKEND)",
     )
     runtime_opts.add_argument(
         "--profile",

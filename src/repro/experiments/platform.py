@@ -62,13 +62,16 @@ def _cache_key(
     counts: _t.Sequence[int],
     frequencies: _t.Sequence[float],
     spec: ClusterSpec | None = None,
+    backend: str | None = None,
 ) -> tuple:
     """Campaign identity, including platform and benchmark digests.
 
     ``spec=None`` (the paper platform) and an explicitly-passed
     ``paper_spec()`` hash identically, so they share cache entries.
     The benchmark digest covers configuration beyond (name, class) —
-    e.g. FT's ``decomposition`` option.
+    e.g. FT's ``decomposition`` option.  The resolved backend is part
+    of the identity: analytic and DES results agree only to documented
+    tolerances, so their campaigns never share cache entries.
     """
     return (
         benchmark.name,
@@ -81,6 +84,7 @@ def _cache_key(
             else _default_spec_digest()
         ),
         runtime.benchmark_digest(benchmark),
+        runtime.resolve_backend(backend),
     )
 
 
@@ -96,6 +100,7 @@ def measure_campaign(
     retries: int | None = None,
     cell_timeout: float | None = None,
     allow_partial: bool | None = None,
+    backend: str | None = None,
 ) -> TimingCampaign:
     """Measure a benchmark over a (counts × frequencies) grid.
 
@@ -122,9 +127,14 @@ def measure_campaign(
     which case the surviving cells are returned and a structured
     failure report lands in the campaign's metrics record.  Partial
     campaigns are never written to either cache tier.
+
+    ``backend`` selects the execution path (``"des"``, ``"analytic"``
+    or ``"auto"``; ``None`` resolves the configured default).  The
+    resolved backend is part of the cache identity, so a DES-measured
+    grid is never served for an analytic request or vice versa.
     """
     start = time.perf_counter()
-    key = _cache_key(benchmark, counts, frequencies, spec)
+    key = _cache_key(benchmark, counts, frequencies, spec, backend)
     label = f"{benchmark.name}.{benchmark.problem_class.value}"
     n_cells = len(key[2]) * len(key[3])
 
@@ -145,13 +155,7 @@ def measure_campaign(
         if use_cache and runtime.disk_cache_enabled(disk_cache)
         else None
     )
-    digest = (
-        runtime.campaign_digest(
-            key[0], key[1], key[2], key[3], key[4], key[5]
-        )
-        if store is not None
-        else ""
-    )
+    digest = runtime.campaign_digest(*key) if store is not None else ""
     if store is not None:
         campaign = store.get(digest)
         if campaign is not None:
@@ -178,6 +182,7 @@ def measure_campaign(
             cell_timeout=runtime.resolve_cell_timeout(cell_timeout),
             backoff_s=runtime.resolve_retry_backoff(),
             allow_partial=runtime.resolve_allow_partial(allow_partial),
+            backend=key[6],
         )
     except CampaignExecutionError as error:
         runtime.METRICS.record(
@@ -212,6 +217,7 @@ def measure_campaign(
             cells=n_cells,
             wall_s=time.perf_counter() - start,
             jobs=execution.jobs,
+            analytic_cells=execution.analytic_cells,
             cell_wall_s=execution.cell_wall_s,
             attempts=len(execution.attempts),
             retries=execution.retry_count,
@@ -239,6 +245,7 @@ def peek_campaign(
     *,
     disk_cache: bool | None = None,
     record: bool = True,
+    backend: str | None = None,
 ) -> TimingCampaign | None:
     """Cache-only campaign lookup — never simulates.
 
@@ -250,7 +257,7 @@ def peek_campaign(
     :func:`measure_campaign`'s cache-hit path.
     """
     start = time.perf_counter()
-    key = _cache_key(benchmark, counts, frequencies, spec)
+    key = _cache_key(benchmark, counts, frequencies, spec, backend)
     label = f"{benchmark.name}.{benchmark.problem_class.value}"
     n_cells = len(key[2]) * len(key[3])
     if key in _CACHE:
@@ -291,6 +298,7 @@ def adopt_campaign(
     spec: ClusterSpec | None = None,
     *,
     disk_cache: bool | None = None,
+    backend: str | None = None,
 ) -> None:
     """Insert an externally-assembled campaign into both cache tiers.
 
@@ -301,7 +309,7 @@ def adopt_campaign(
     processes) hit instead of re-simulating.  Only complete campaigns
     may be adopted — partial grids would poison the cache.
     """
-    key = _cache_key(benchmark, counts, frequencies, spec)
+    key = _cache_key(benchmark, counts, frequencies, spec, backend)
     expected = len(key[2]) * len(key[3])
     if len(campaign.times) != expected:
         raise ValueError(

@@ -68,6 +68,19 @@ class BenchmarkModel(abc.ABC):
         """
         return MessageProfile(critical_messages=0.0, nbytes=0.0)
 
+    def concurrent_flows(self, n_ranks: int) -> float:
+        """Switch flows concurrently active at communication steady state.
+
+        The analytic backend scales wire serialization by the
+        network's congestion penalty at this concurrency, mirroring
+        what the simulated switch charges a transfer that starts while
+        others are active.  Defaults to 1 (uncontended); dense
+        exchanges override — FT's transpose keeps every rank's port
+        busy at once, LU's sweep keeps the whole neighbour chain
+        streaming.
+        """
+        return 1.0
+
     # -- derived conveniences ----------------------------------------------------
 
     def check_ranks(self, n_ranks: int) -> int:

@@ -213,6 +213,11 @@ class FTBenchmark(BenchmarkModel):
             nbytes=self.transpose_bytes_per_pair(n),
         )
 
+    def concurrent_flows(self, n_ranks: int) -> float:
+        """Every rank sends during the transpose: N concurrent flows."""
+        n = self.check_decomposition_ranks(n_ranks)
+        return float(n) if n > 1 else 1.0
+
     # -- executable phases ------------------------------------------------------
 
     def phases(self, n_ranks: int) -> list[Phase]:

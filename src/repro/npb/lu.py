@@ -150,6 +150,11 @@ class LUBenchmark(BenchmarkModel):
             nbytes=self.exchange_bytes(n),
         )
 
+    def concurrent_flows(self, n_ranks: int) -> float:
+        """Steady-state wavefront: the whole neighbour chain streams."""
+        n = self.check_ranks(n_ranks)
+        return float(n - 1) if n > 1 else 1.0
+
     # -- executable phases ------------------------------------------------------
 
     def phases(self, n_ranks: int) -> list[Phase]:

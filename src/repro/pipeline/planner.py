@@ -66,6 +66,7 @@ class PlanReport:
     planned_cells: int = 0
     deduped_cells: int = 0
     executed_cells: int = 0
+    analytic_cells: int = 0
     batches: list[dict[str, _t.Any]] = dataclasses.field(
         default_factory=list
     )
@@ -79,12 +80,13 @@ class PlanReport:
             "planned_cells": self.planned_cells,
             "deduped_cells": self.deduped_cells,
             "executed_cells": self.executed_cells,
+            "analytic_cells": self.analytic_cells,
             "batches": list(self.batches),
         }
 
     def summary_line(self) -> str:
         """One-line human summary (the CLI's ``[experiment plan]``)."""
-        return (
+        line = (
             f"{self.requested_campaigns} campaigns requested "
             f"({self.unique_campaigns} unique): "
             f"{self.planned_cells} cells planned, "
@@ -92,6 +94,9 @@ class PlanReport:
             f"{self.executed_cells} executed in "
             f"{len(self.batches)} batches"
         )
+        if self.analytic_cells:
+            line += f" ({self.analytic_cells} analytic)"
+        return line
 
 
 def _index_campaign(request: CampaignRequest, campaign: TimingCampaign) -> None:
@@ -109,12 +114,13 @@ def _run_batch(
     cells: _t.Sequence[tuple[int, float]],
     *,
     jobs: int | None,
-) -> int:
-    """Simulate one group's missing-cell union; returns cells done.
+) -> tuple[int, int]:
+    """Run one group's missing-cell union.
 
-    Reports a ``"simulated"`` campaign record exactly like
-    ``measure_campaign`` does for a direct execution, so downstream
-    metrics consumers see one batch per group.
+    Returns ``(cells done, cells answered analytically)``.  Reports a
+    ``"simulated"`` campaign record exactly like ``measure_campaign``
+    does for a direct execution, so downstream metrics consumers see
+    one batch per group.
     """
     start = time.perf_counter()
     group = request.group()
@@ -130,6 +136,7 @@ def _run_batch(
             cell_timeout=runtime.resolve_cell_timeout(None),
             backoff_s=runtime.resolve_retry_backoff(None),
             allow_partial=runtime.resolve_allow_partial(None),
+            backend=request.key()[6],
         )
     except CampaignExecutionError as error:
         runtime.METRICS.record(
@@ -159,6 +166,7 @@ def _run_batch(
             cells=len(cells),
             wall_s=time.perf_counter() - start,
             jobs=execution.jobs,
+            analytic_cells=execution.analytic_cells,
             cell_wall_s=execution.cell_wall_s,
             attempts=len(execution.attempts),
             retries=execution.retry_count,
@@ -175,7 +183,7 @@ def _run_batch(
             peak_queue_len=execution.peak_queue_len,
         )
     )
-    return len(execution.times)
+    return len(execution.times), execution.analytic_cells
 
 
 def execute_plan(
@@ -231,14 +239,17 @@ def execute_plan(
                 needed.append(cell)
         if not needed:
             continue
-        done = _run_batch(members[0], needed, jobs=jobs)
+        done, analytic = _run_batch(members[0], needed, jobs=jobs)
         report.executed_cells += done
+        report.analytic_cells += analytic
         report.batches.append(
             {
                 "label": members[0].label,
                 "requests": len(members),
                 "cells": len(needed),
                 "completed": done,
+                "backend": members[0].key()[6],
+                "analytic_cells": analytic,
             }
         )
 
@@ -309,6 +320,7 @@ def platform_peek(request: CampaignRequest) -> TimingCampaign | None:
         request.counts,
         request.frequencies,
         request.spec,
+        backend=request.key()[6],
     )
 
 
@@ -324,4 +336,5 @@ def platform_adopt(
         request.frequencies,
         campaign,
         request.spec,
+        backend=request.key()[6],
     )

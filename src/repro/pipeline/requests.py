@@ -52,6 +52,11 @@ class CampaignRequest:
         Extra benchmark constructor keyword arguments as sorted
         ``(name, value)`` pairs — e.g. ``(("decomposition", "1d"),)``
         for FT's ablation variant.
+    backend:
+        Execution backend (``"des"``, ``"analytic"`` or ``"auto"``);
+        ``None`` resolves the runtime default at key time.  Part of
+        the request identity — analytic and DES grids never dedup
+        into one execution.
     """
 
     benchmark: str
@@ -60,6 +65,7 @@ class CampaignRequest:
     frequencies: tuple[float, ...] = ()
     spec: ClusterSpec | None = None
     options: tuple[tuple[str, _t.Any], ...] = ()
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "benchmark", str(self.benchmark).lower())
@@ -67,6 +73,12 @@ class CampaignRequest:
             raise ValueError(
                 f"unknown benchmark {self.benchmark!r}; available: "
                 f"{sorted(BENCHMARKS)}"
+            )
+        if self.backend is not None:
+            from repro.runtime import check_backend
+
+            object.__setattr__(
+                self, "backend", check_backend(self.backend)
             )
         if isinstance(self.problem_class, str):
             object.__setattr__(
@@ -113,7 +125,11 @@ class CampaignRequest:
             from repro.experiments.platform import _cache_key
 
             cached = _cache_key(
-                self.build(), self.counts, self.frequencies, self.spec
+                self.build(),
+                self.counts,
+                self.frequencies,
+                self.spec,
+                self.backend,
             )
             object.__setattr__(self, "_key", cached)
         return cached
@@ -136,7 +152,7 @@ class CampaignRequest:
         which grid it was part of.
         """
         k = self.key()
-        return (k[0], k[1], k[4], k[5])
+        return (k[0], k[1], k[4], k[5], k[6])
 
     def as_dict(self) -> dict[str, _t.Any]:
         """JSON-ready description (provenance documents)."""
@@ -149,5 +165,6 @@ class CampaignRequest:
             "options": {name: value for name, value in self.options},
             "spec_digest": k[4],
             "benchmark_digest": k[5],
+            "backend": k[6],
             "digest": self.digest(),
         }

@@ -20,10 +20,11 @@ runtime with four layers:
 
 Configuration resolves in priority order: explicit call argument →
 :func:`configure` (what the CLI's ``--jobs`` / ``--no-disk-cache`` /
-``--retries`` / ``--cell-timeout`` / ``--allow-partial`` set) →
-environment (``REPRO_JOBS``, ``REPRO_DISK_CACHE``,
-``REPRO_CACHE_DIR``, ``REPRO_RETRIES``, ``REPRO_CELL_TIMEOUT``,
-``REPRO_ALLOW_PARTIAL``, ``REPRO_RETRY_BACKOFF_S``) → defaults.  Auto
+``--retries`` / ``--cell-timeout`` / ``--allow-partial`` /
+``--backend`` set) → environment (``REPRO_JOBS``,
+``REPRO_DISK_CACHE``, ``REPRO_CACHE_DIR``, ``REPRO_RETRIES``,
+``REPRO_CELL_TIMEOUT``, ``REPRO_ALLOW_PARTIAL``,
+``REPRO_RETRY_BACKOFF_S``, ``REPRO_BACKEND``) → defaults.  Auto
 parallelism only engages for grids of at least
 :data:`MIN_CELLS_AUTO_PARALLEL` cells on multi-core hosts — tiny
 campaigns are faster serial than through a pool.
@@ -63,16 +64,19 @@ from repro.runtime.metrics import (
     reset_campaign_metrics,
 )
 from repro.runtime.runner import (
+    BACKENDS,
     DEFAULT_RETRIES,
     DEFAULT_RETRY_BACKOFF_S,
     CampaignExecution,
     CellAttempt,
+    check_backend,
     execute_campaign,
     execute_cells,
     shutdown_executor,
 )
 
 __all__ = [
+    "BACKENDS",
     "SCHEMA_VERSION",
     "MIN_CELLS_AUTO_PARALLEL",
     "DEFAULT_MAX_ENTRIES",
@@ -101,7 +105,9 @@ __all__ = [
     "mark_server_process",
     "unmark_server_process",
     "server_process_context",
+    "check_backend",
     "configure",
+    "resolve_backend",
     "resolve_jobs",
     "resolve_retries",
     "resolve_cell_timeout",
@@ -125,6 +131,7 @@ _retries: int | None = None
 _cell_timeout: float | None = None
 _allow_partial: bool | None = None
 _retry_backoff_s: float | None = None
+_backend: str | None = None
 
 
 def configure(
@@ -135,6 +142,7 @@ def configure(
     cell_timeout: float | None = _UNSET,
     allow_partial: bool | None = _UNSET,
     retry_backoff_s: float | None = _UNSET,
+    backend: str | None = _UNSET,
 ) -> None:
     """Set process-wide runtime defaults (``None`` restores auto).
 
@@ -142,6 +150,9 @@ def configure(
     """
     global _jobs, _disk_cache, _cache_dir
     global _retries, _cell_timeout, _allow_partial, _retry_backoff_s
+    global _backend
+    if backend is not _UNSET:
+        _backend = None if backend is None else check_backend(backend)
     if jobs is not _UNSET:
         _jobs = None if jobs is None else max(1, int(jobs))
     if disk_cache is not _UNSET:
@@ -188,6 +199,20 @@ def resolve_jobs(explicit: int | None, n_cells: int) -> int:
             return 1
         jobs = os.cpu_count() or 1
     return max(1, min(int(jobs), max(1, n_cells)))
+
+
+def resolve_backend(explicit: str | None = None) -> str:
+    """Campaign execution backend: ``"des"``, ``"analytic"`` or ``"auto"``.
+
+    Resolution order: explicit argument → :func:`configure` →
+    ``REPRO_BACKEND`` → ``"des"``.  Unknown names raise
+    :class:`~repro.errors.ConfigurationError` naming the choices.
+    """
+    backend = explicit if explicit is not None else _backend
+    if backend is None:
+        env = os.environ.get("REPRO_BACKEND", "").strip()
+        backend = env or "des"
+    return check_backend(backend)
 
 
 def resolve_retries(explicit: int | None = None) -> int:

@@ -177,12 +177,16 @@ def campaign_digest(
     frequencies: _t.Sequence[float],
     spec: ClusterSpec | str,
     benchmark_state: str = "",
+    backend: str = "des",
 ) -> str:
     """Content address of one campaign (includes the schema version).
 
     ``spec`` may be a :class:`ClusterSpec` or an already-computed
     :func:`spec_digest` string; ``benchmark_state`` is the
-    :func:`benchmark_digest` of the measured model.
+    :func:`benchmark_digest` of the measured model.  ``backend`` is
+    part of the identity: the analytic closed forms and the DES agree
+    only to documented tolerances, so a grid measured under one
+    backend must never silently answer a request for the other.
     """
     material = {
         "schema": SCHEMA_VERSION,
@@ -192,6 +196,7 @@ def campaign_digest(
         "counts": [int(n) for n in counts],
         "frequencies": [float(f) for f in frequencies],
         "spec": spec if isinstance(spec, str) else spec_digest(spec),
+        "backend": str(backend),
     }
     blob = json.dumps(material, sort_keys=True)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

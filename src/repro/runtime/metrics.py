@@ -75,6 +75,9 @@ class CampaignRecord:
         over simulated cells.
     peak_queue_len:
         Largest event-heap high-water mark over the campaign's cells.
+    analytic_cells:
+        Cells evaluated by the closed-form analytic backend (they
+        count toward ``cells`` but not toward *simulated* cells).
     """
 
     label: str
@@ -82,6 +85,7 @@ class CampaignRecord:
     cells: int
     wall_s: float
     jobs: int = 1
+    analytic_cells: int = 0
     cell_wall_s: tuple[float, ...] = ()
     attempts: int = 0
     retries: int = 0
@@ -108,6 +112,7 @@ class CampaignRecord:
             "cells": self.cells,
             "wall_s": self.wall_s,
             "jobs": self.jobs,
+            "analytic_cells": self.analytic_cells,
             "cell_wall_s": list(self.cell_wall_s),
             "attempts": self.attempts,
             "retries": self.retries,
@@ -138,6 +143,8 @@ class MetricsRegistry:
         self.simulated_wall_s = 0.0
         self.failed_campaigns = 0
         self.planned_campaigns = 0
+        #: Cells answered by the closed-form analytic backend.
+        self.analytic_cells = 0
         # Cross-experiment planner accounting (repro.pipeline): cells
         # requested across all experiments in a plan, cells saved by
         # dedup/caching, cells the batch actually simulated.
@@ -170,8 +177,11 @@ class MetricsRegistry:
                 self.planned_campaigns += 1
             else:
                 self.simulated_campaigns += 1
-                self.simulated_cells += record.cells
+                self.simulated_cells += (
+                    record.cells - record.analytic_cells
+                )
                 self.simulated_wall_s += record.wall_s
+            self.analytic_cells += record.analytic_cells
             self.total_retries += record.retries
             self.total_timeouts += record.timeouts
             self.total_crash_recoveries += record.crash_recoveries
@@ -226,6 +236,7 @@ class MetricsRegistry:
             "disk_hits": self.disk_hits,
             "simulated_campaigns": self.simulated_campaigns,
             "simulated_cells": self.simulated_cells,
+            "analytic_cells": self.analytic_cells,
             "simulated_wall_s": self.simulated_wall_s,
             "failed_campaigns": self.failed_campaigns,
             "planned_campaigns": self.planned_campaigns,
@@ -254,6 +265,10 @@ class MetricsRegistry:
             f"{len(self.records)} campaigns: "
             f"{self.simulated_cells} cells simulated in "
             f"{self.simulated_wall_s:.2f}s, "
+        )
+        if self.analytic_cells:
+            line += f"{self.analytic_cells} analytic cells, "
+        line += (
             f"{self.memory_hits} memory hits, "
             f"{self.disk_hits} disk hits"
         )

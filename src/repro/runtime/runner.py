@@ -54,21 +54,46 @@ from repro.errors import (
     CampaignExecutionError,
     CellExecutionError,
     CellTimeoutError,
+    ConfigurationError,
 )
 from repro.npb.base import BenchmarkModel
 from repro.runtime import faults
 
 __all__ = [
+    "BACKENDS",
     "DEFAULT_RETRIES",
     "DEFAULT_RETRY_BACKOFF_S",
     "CellAttempt",
     "CampaignExecution",
+    "check_backend",
     "execute_campaign",
     "execute_cells",
     "shutdown_executor",
 ]
 
 Cell = tuple[int, float]
+
+#: Campaign execution backends: ``"des"`` simulates every cell in the
+#: discrete-event simulator, ``"analytic"`` evaluates the closed forms
+#: (:mod:`repro.analytic`) without spawning any pool, and ``"auto"``
+#: routes each cell analytically when the closed form models it and
+#: falls back to the DES otherwise.
+BACKENDS = ("des", "analytic", "auto")
+
+
+def check_backend(backend: str) -> str:
+    """Validate a backend name, returning it normalised.
+
+    Raises :class:`~repro.errors.ConfigurationError` naming the valid
+    choices for anything outside :data:`BACKENDS`.
+    """
+    name = str(backend).strip().lower()
+    if name not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}: valid choices are "
+            + ", ".join(repr(b) for b in BACKENDS)
+        )
+    return name
 
 #: Extra attempts a cell gets after its first failure.
 DEFAULT_RETRIES = 2
@@ -143,6 +168,10 @@ class CampaignExecution:
     crash_recoveries:
         Pool-break events survived (completed results were kept and
         only unfinished cells re-submitted).
+    analytic_cells:
+        Cells evaluated by the closed-form analytic backend instead of
+        the simulator (nonzero only for ``backend="analytic"`` or
+        ``"auto"``).
     cell_engine_stats:
         Per successful cell (grid order), the simulation engine's
         throughput counters — ``events_processed``,
@@ -158,6 +187,7 @@ class CampaignExecution:
     failures: tuple[CellExecutionError, ...] = ()
     crash_recoveries: int = 0
     cell_engine_stats: tuple[dict[str, int], ...] = ()
+    analytic_cells: int = 0
 
     @property
     def events_processed(self) -> int:
@@ -381,6 +411,48 @@ def _run_serial_attempts(
                 break
 
 
+def _run_analytic_cells(
+    benchmark: BenchmarkModel,
+    cells: _t.Sequence[Cell],
+    spec: ClusterSpec,
+    *,
+    attempt_index: dict[Cell, int],
+    log: list[CellAttempt],
+    results: dict[Cell, tuple[float, float, float, dict]],
+) -> None:
+    """Evaluate cells through the closed-form analytic backend.
+
+    One vectorized numpy pass over the whole cell list — no process
+    pool, no retries (the evaluation is pure arithmetic; any failure is
+    a configuration error and raises immediately).  Per-cell wall time
+    is the pass's elapsed time split evenly, and engine stats are zero:
+    no simulation events happen on this path.
+    """
+    from repro.analytic import AnalyticCampaignModel
+
+    start = time.perf_counter()
+    evaluation = AnalyticCampaignModel(benchmark, spec).evaluate_cells(
+        cells
+    )
+    wall_share = (time.perf_counter() - start) / max(len(cells), 1)
+    times = evaluation.times_by_cell()
+    energies = evaluation.energies_by_cell()
+    for cell in cells:
+        attempt = attempt_index[cell]
+        attempt_index[cell] = attempt + 1
+        results[cell] = (
+            times[cell],
+            energies[cell],
+            wall_share,
+            {
+                "events_processed": 0,
+                "processes_spawned": 0,
+                "peak_queue_len": 0,
+            },
+        )
+        log.append(CellAttempt(cell, attempt, "ok", wall_s=wall_share))
+
+
 def _harvest_round(
     futures: dict[concurrent.futures.Future, Cell],
     *,
@@ -550,6 +622,7 @@ def execute_campaign(
     cell_timeout: float | None = None,
     backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
     allow_partial: bool = False,
+    backend: str | None = None,
 ) -> CampaignExecution:
     """Simulate every grid cell with retries, timeouts and recovery.
 
@@ -569,6 +642,9 @@ def execute_campaign(
     :class:`~repro.errors.CampaignExecutionError` unless
     ``allow_partial``, in which case surviving cells are returned
     alongside per-cell failure records.
+
+    ``backend`` picks the execution path per :data:`BACKENDS`
+    (``None`` resolves through :func:`repro.runtime.resolve_backend`).
     """
     cells = [(int(n), float(f)) for n in counts for f in frequencies]
     return execute_cells(
@@ -580,6 +656,7 @@ def execute_campaign(
         cell_timeout=cell_timeout,
         backoff_s=backoff_s,
         allow_partial=allow_partial,
+        backend=backend,
     )
 
 
@@ -593,6 +670,7 @@ def execute_cells(
     cell_timeout: float | None = None,
     backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
     allow_partial: bool = False,
+    backend: str | None = None,
 ) -> CampaignExecution:
     """Simulate an explicit cell list (not necessarily a full grid).
 
@@ -604,9 +682,31 @@ def execute_cells(
     cells were given, with the same retry/timeout/crash-recovery
     behaviour and the same bit-identical determinism as a full
     campaign.
+
+    ``backend="analytic"`` evaluates every cell through the vectorized
+    closed forms (raising :class:`~repro.errors.ModelError` if any
+    cell falls outside the analytic model); ``"auto"`` evaluates the
+    modelable cells analytically and simulates the rest; ``"des"``
+    simulates everything.  ``None`` resolves the process default via
+    :func:`repro.runtime.resolve_backend`.
     """
+    from repro import runtime as _runtime
+
+    backend = _runtime.resolve_backend(backend)
     cells = [(int(n), float(f)) for n, f in cells]
-    jobs = max(1, min(int(jobs), len(cells))) if cells else 1
+    if backend == "analytic":
+        analytic_cells: list[Cell] = list(cells)
+        des_cells: list[Cell] = []
+    elif backend == "auto":
+        from repro.analytic import partition_cells
+
+        analytic_cells, des_cells, _ = partition_cells(
+            benchmark, cells, spec
+        )
+    else:
+        analytic_cells, des_cells = [], list(cells)
+
+    jobs = max(1, min(int(jobs), len(des_cells))) if des_cells else 1
     retries = max(0, int(retries))
     if jobs > 1:
         try:
@@ -618,10 +718,19 @@ def execute_cells(
     log: list[CellAttempt] = []
     results: dict[Cell, tuple[float, float, float, dict]] = {}
     crash_recoveries = 0
-    if jobs > 1:
+    if analytic_cells:
+        _run_analytic_cells(
+            benchmark,
+            analytic_cells,
+            spec,
+            attempt_index=attempt_index,
+            log=log,
+            results=results,
+        )
+    if des_cells and jobs > 1:
         jobs, crash_recoveries = _run_parallel_resilient(
             benchmark,
-            cells,
+            des_cells,
             spec,
             jobs,
             retries=retries,
@@ -631,10 +740,10 @@ def execute_cells(
             log=log,
             results=results,
         )
-    else:
+    elif des_cells:
         _run_serial_attempts(
             benchmark,
-            cells,
+            des_cells,
             spec,
             retries=retries,
             backoff_s=backoff_s,
@@ -664,4 +773,5 @@ def execute_cells(
         failures=tuple(failures),
         crash_recoveries=crash_recoveries,
         cell_engine_stats=tuple(results[cell][3] for cell in ok_cells),
+        analytic_cells=len(set(analytic_cells)),
     )

@@ -17,7 +17,11 @@ same IEEE-754 double operations the scalar
 :meth:`~repro.core.params_sp.SimplifiedParameterization.predict_time`
 path performs (one divide, one add per point), just element-wise over
 an array, so a batched response is bit-identical to an unbatched one —
-and both are bit-identical to calling the model directly.
+and both are bit-identical to calling the model directly.  The
+element-wise kernels themselves (:func:`repro.analytic.vectorized.
+sp_times`, :func:`~repro.analytic.vectorized.energy_joules`) are
+shared with the analytic campaign backend, so the service and
+``backend="analytic"`` agree by construction.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ import typing as _t
 
 import numpy as np
 
+from repro.analytic.vectorized import energy_joules, sp_times
 from repro.core.energy import EnergyModel
 from repro.core.measurements import TimingCampaign
 from repro.core.params_sp import SimplifiedParameterization
@@ -96,26 +101,32 @@ def evaluate_points(
     overhead_arr = np.array(
         [bundle.overhead_seconds(n) for n, _ in points]
     )
-    # Eq. 18, element-wise: T_N(w, f) = T_1(w, f)/N + overhead(N).
-    times = t1_arr / n_arr + overhead_arr
-    # N = 1 has no overhead term at all in the scalar path; restore
-    # the bare T_1 so even a -0.0-style wrinkle can never creep in.
-    sequential = n_arr == 1.0
-    times[sequential] = t1_arr[sequential]
+    # Eq. 18, element-wise: T_N(w, f) = T_1(w, f)/N + overhead(N),
+    # with the N = 1 entries restored to the bare T_1 (the scalar
+    # path has no overhead term there at all).
+    times = sp_times(t1_arr, n_arr, overhead_arr)
     # Eq. 4 over predictions: S = T_1(w, f0) / T_N(w, f).
     speedups = bundle.campaign.sequential_base_time() / times
+    # Power lookups are per-frequency table reads; the blend itself is
+    # the shared element-wise kernel the analytic backend uses.
+    energies = energy_joules(
+        n_arr,
+        np.array([bundle.energy_model.busy_power_w(f) for _, f in points]),
+        np.array(
+            [bundle.energy_model.overhead_power_w(f) for _, f in points]
+        ),
+        times,
+        overhead_arr,
+    )
+    edps = energies * times
 
     results: dict[GridPoint, dict[str, float]] = {}
     for i, (n, f) in enumerate(points):
-        time_s = float(times[i])
-        energy = bundle.energy_model.predict(
-            n, f, time_s, bundle.overhead_seconds(n)
-        )
         results[(n, f)] = {
-            "time_s": time_s,
+            "time_s": float(times[i]),
             "speedup": float(speedups[i]),
-            "energy_j": energy.energy_j,
-            "edp": energy.edp,
+            "energy_j": float(energies[i]),
+            "edp": float(edps[i]),
         }
     return results
 

@@ -45,7 +45,7 @@ import threading
 import time
 import typing as _t
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.service import coalesce, jobs as jobs_mod, memcache, protocol
 
 __all__ = [
@@ -473,6 +473,10 @@ class ReproService:
             raise protocol.ProtocolError(
                 f"processor counts must be >= 1: {sorted(counts)}"
             )
+        try:
+            backend = runtime.resolve_backend(body.get("backend"))
+        except ConfigurationError as exc:
+            raise protocol.ProtocolError(str(exc)) from exc
         if self._spec_digest is None:
             self._spec_digest = runtime.spec_digest(paper_spec())
         digest = runtime.campaign_digest(
@@ -482,6 +486,7 @@ class ReproService:
             frequencies,
             self._spec_digest,
             runtime.benchmark_digest(bench),
+            backend,
         )
         label = f"{bench.name}.{bench.problem_class.value}"
         from repro.runtime.metrics import METRICS
@@ -493,7 +498,9 @@ class ReproService:
                 job.runtime = {"source": "service-cache"}
                 return cached
             before = len(METRICS.records)
-            campaign = measure_campaign(bench, counts, frequencies)
+            campaign = measure_campaign(
+                bench, counts, frequencies, backend=backend
+            )
             record = next(
                 (
                     r
@@ -526,6 +533,7 @@ class ReproService:
                 "class": cls,
                 "counts": list(counts),
                 "frequencies_mhz": [f / 1e6 for f in frequencies],
+                "backend": backend,
             },
         )
         return 202, {

@@ -1,0 +1,91 @@
+"""Golden-tolerance validation: analytic vs DES, cell by cell.
+
+For every validated benchmark, the analytic backend's full paper grid
+must stay within the documented relative tolerance of the
+discrete-event simulator's grid (:data:`repro.analytic.TIME_TOLERANCE`
+/ :data:`~repro.analytic.ENERGY_TOLERANCE`).  The DES side goes
+through ``measure_campaign(backend="des")`` so warm caches make reruns
+cheap; the analytic side is evaluated fresh each time (it costs well
+under a millisecond).
+
+These tolerances are *golden*: they were measured on the full grids
+(EP 0.01%/0.05%, FT 0.05%/0.7%, LU 10.5%/10.9% time/energy maxima)
+and then pinned with margin.  A failure here means either backend
+drifted — tighten or loosen only with an updated measurement written
+into ``docs/ANALYTIC.md``.
+"""
+
+import pytest
+
+from repro.analytic import (
+    ENERGY_TOLERANCE,
+    TIME_TOLERANCE,
+    AnalyticCampaignModel,
+    validated_benchmarks,
+)
+from repro.experiments.platform import (
+    PAPER_COUNTS,
+    PAPER_FREQUENCIES,
+    measure_campaign,
+)
+from repro.npb import BENCHMARKS
+
+
+def relative_errors(analytic, des):
+    return {
+        cell: abs(analytic[cell] - des[cell]) / des[cell]
+        for cell in des
+    }
+
+
+def test_all_paper_benchmarks_are_validated():
+    """The three paper case studies all carry documented tolerances."""
+    assert set(validated_benchmarks()) >= {"ep", "ft", "lu"}
+    assert set(TIME_TOLERANCE) == set(ENERGY_TOLERANCE)
+
+
+@pytest.mark.parametrize("name", sorted(TIME_TOLERANCE))
+def test_analytic_within_documented_tolerance(name):
+    benchmark = BENCHMARKS[name]()
+    des = measure_campaign(
+        benchmark, PAPER_COUNTS, PAPER_FREQUENCIES, backend="des"
+    )
+    evaluation = AnalyticCampaignModel(benchmark).evaluate_grid(
+        PAPER_COUNTS, PAPER_FREQUENCIES
+    )
+    analytic_times = evaluation.times_by_cell()
+    analytic_energies = evaluation.energies_by_cell()
+    assert set(analytic_times) == set(des.times)
+
+    time_errors = relative_errors(analytic_times, des.times)
+    energy_errors = relative_errors(analytic_energies, des.energies)
+    worst_time = max(time_errors, key=time_errors.get)
+    worst_energy = max(energy_errors, key=energy_errors.get)
+    assert time_errors[worst_time] <= TIME_TOLERANCE[name], (
+        f"{name}: time error {time_errors[worst_time]:.4f} at "
+        f"{worst_time} exceeds documented {TIME_TOLERANCE[name]}"
+    )
+    assert energy_errors[worst_energy] <= ENERGY_TOLERANCE[name], (
+        f"{name}: energy error {energy_errors[worst_energy]:.4f} at "
+        f"{worst_energy} exceeds documented {ENERGY_TOLERANCE[name]}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(TIME_TOLERANCE))
+def test_analytic_preserves_paper_signatures(name):
+    """The analytic grid reproduces the paper-level shape, not just
+    per-cell closeness: speedups at the base frequency grow with N
+    for EP, and FT's 1→2 processor slowdown survives."""
+    benchmark = BENCHMARKS[name]()
+    evaluation = AnalyticCampaignModel(benchmark).evaluate_grid(
+        PAPER_COUNTS, PAPER_FREQUENCIES
+    )
+    times = evaluation.times_by_cell()
+    base_f = min(PAPER_FREQUENCIES)
+    if name == "ep":
+        # Embarrassingly parallel: monotone speedup in N.
+        for lo, hi in zip(PAPER_COUNTS, PAPER_COUNTS[1:]):
+            assert times[(hi, base_f)] < times[(lo, base_f)]
+    if name == "ft":
+        # §4.3: execution time *rises* from 1 to 2 processors.
+        assert times[(2, base_f)] > times[(1, base_f)]

@@ -1,0 +1,197 @@
+"""Bit-identity of the vectorized kernels against the scalar models.
+
+The analytic backend's whole claim is that one numpy pass over a grid
+produces *exactly* the floats the scalar closed-form calls produce —
+not approximately: the kernels replay the same IEEE-754 double
+operations in the same order, element-wise.  These tests sweep random
+workload decompositions, rate tables and overheads (seeded, so
+failures reproduce) and assert ``==`` on every float.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.analytic import AnalyticCampaignModel
+from repro.analytic.vectorized import (
+    component_times,
+    energy_joules,
+    sp_times,
+)
+from repro.cluster import paper_spec
+from repro.core.cpi import WorkloadRates
+from repro.core.energy import EnergyModel
+from repro.core.exectime import ExecutionTimeModel
+from repro.core.measurements import TimingCampaign
+from repro.core.params_sp import SimplifiedParameterization
+from repro.core.workload import DopComponent, Workload, ZeroOverhead
+from repro.cluster.workmix import InstructionMix
+from repro.npb import BENCHMARKS
+from repro.units import mhz
+
+FREQUENCIES = tuple(mhz(m) for m in (600, 800, 1000, 1200, 1400))
+
+
+def random_workload(rng: random.Random) -> Workload:
+    """A random DOP decomposition: 1-5 components, mixed DOPs."""
+    components = []
+    for _ in range(rng.randint(1, 5)):
+        dop = rng.choice([1, 2, 3, 8, 64, 1000, 1 << 20])
+        mix = InstructionMix(
+            cpu=rng.uniform(1e8, 1e11),
+            l1=rng.uniform(1e7, 1e11),
+            l2=rng.uniform(0.0, 1e9),
+            mem=rng.uniform(0.0, 1e9),
+        )
+        components.append(DopComponent(dop, mix))
+    return Workload("random", tuple(components))
+
+
+def random_rates(rng: random.Random) -> WorkloadRates:
+    return WorkloadRates(
+        rng.uniform(0.8, 4.0),
+        {f: rng.uniform(50e-9, 200e-9) for f in FREQUENCIES},
+    )
+
+
+class PerCountOverhead:
+    """Random overhead table keyed by (n, f) — worst case for fan-out."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._by_cell = {
+            (n, f): rng.uniform(0.0, 10.0)
+            for n in (1, 2, 3, 4, 7, 8, 16, 33)
+            for f in FREQUENCIES
+        }
+
+    def overhead_time(self, n: int, frequency_hz: float) -> float:
+        if n <= 1:
+            return 0.0
+        return self._by_cell[(n, frequency_hz)]
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_component_times_matches_parallel_time(seed):
+    """Random decompositions: kernel == ExecutionTimeModel, bit-exact."""
+    rng = random.Random(seed)
+    workload = random_workload(rng)
+    rates = random_rates(rng)
+    overhead = PerCountOverhead(rng) if seed % 2 else ZeroOverhead()
+    model = ExecutionTimeModel(workload, rates, overhead)
+
+    cells = [
+        (n, f)
+        for n in (1, 2, 3, 4, 7, 8, 16, 33)
+        for f in FREQUENCIES
+    ]
+    on_rate = np.array(
+        [rates.on_chip_seconds_per_instruction(f) for _, f in cells]
+    )
+    off_rate = np.array(
+        [rates.off_chip_seconds_per_instruction(f) for _, f in cells]
+    )
+    overheads = np.array(
+        [overhead.overhead_time(n, f) for n, f in cells]
+    )
+    components = [
+        (
+            comp.mix.on_chip,
+            comp.mix.off_chip,
+            np.array([comp.effective_divisor(n) for n, _ in cells]),
+        )
+        for comp in workload.components
+    ]
+    times = component_times(components, on_rate, off_rate, overheads)
+    for i, (n, f) in enumerate(cells):
+        assert float(times[i]) == model.parallel_time(n, f)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_sp_times_matches_predict_time(seed):
+    """Random campaigns: sp_times == SP.predict_time, bit-exact."""
+    rng = random.Random(1000 + seed)
+    counts = (1, 2, 4, 8, 16)
+    base_f = min(FREQUENCIES)
+    times = {}
+    for n in counts:
+        for f in FREQUENCIES:
+            times[(n, f)] = rng.uniform(0.5, 500.0)
+    campaign = TimingCampaign(times=times, base_frequency_hz=base_f)
+    sp = SimplifiedParameterization(campaign)
+
+    points = [(n, f) for n in counts for f in FREQUENCIES]
+    t1 = np.array([campaign.base_row()[f] for _, f in points])
+    n_arr = np.array([float(n) for n, _ in points])
+    overhead = np.array(
+        [max(sp.overhead(n), 0.0) if n > 1 else 0.0 for n, _ in points]
+    )
+    predicted = sp_times(t1, n_arr, overhead)
+    for i, (n, f) in enumerate(points):
+        assert float(predicted[i]) == sp.predict_time(n, f)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_energy_joules_matches_energy_model(seed):
+    """Random blends: kernel == EnergyModel.predict, bit-exact.
+
+    Includes overhead > total (clamped to total) and negative
+    overhead (clamped to zero), the two edge branches of the scalar
+    blend.
+    """
+    rng = random.Random(2000 + seed)
+    spec = paper_spec()
+    model = EnergyModel(spec.power, spec.cpu.operating_points)
+    cells = []
+    for n in (1, 2, 4, 8, 16):
+        for f in FREQUENCIES:
+            total = rng.uniform(0.1, 100.0)
+            overhead = rng.choice(
+                [0.0, rng.uniform(0.0, total), total * 2.0, -1.0]
+            )
+            cells.append((n, f, total, overhead))
+    energies = energy_joules(
+        np.array([float(n) for n, _, _, _ in cells]),
+        np.array([model.busy_power_w(f) for _, f, _, _ in cells]),
+        np.array([model.overhead_power_w(f) for _, f, _, _ in cells]),
+        np.array([t for _, _, t, _ in cells]),
+        np.array([o for _, _, _, o in cells]),
+    )
+    times = np.array([t for _, _, t, _ in cells])
+    edps = energies * times
+    for i, (n, f, total, overhead) in enumerate(cells):
+        prediction = model.predict(n, f, total, overhead)
+        assert float(energies[i]) == prediction.energy_j
+        assert float(edps[i]) == prediction.edp
+
+
+@pytest.mark.parametrize("name", ["ep", "ft", "lu"])
+def test_evaluate_cells_bit_identical_to_scalar_loop(name):
+    """Full paper grids: the vectorized evaluator == the scalar loop."""
+    benchmark = BENCHMARKS[name]()
+    model = AnalyticCampaignModel(benchmark)
+    scalar = model.scalar_model()
+    counts = (1, 2, 4, 8, 16)
+    evaluation = model.evaluate_grid(counts, FREQUENCIES)
+    for i, (n, f) in enumerate(evaluation.cells):
+        time_s = scalar.parallel_time(n, f)
+        assert float(evaluation.times[i]) == time_s
+        overhead_s = model.overhead.overhead_time(n, f)
+        assert float(evaluation.overheads[i]) == overhead_s
+        prediction = model.energy_model.predict(n, f, time_s, overhead_s)
+        assert float(evaluation.energies[i]) == prediction.energy_j
+    # Speedups are the Eq. 4 ratio against T_1(w, f0).
+    baseline = scalar.parallel_time(1, min(FREQUENCIES))
+    assert evaluation.baseline_s == baseline
+    assert np.all(evaluation.speedups() == baseline / evaluation.times)
+
+
+def test_evaluate_cells_handles_duplicates_and_empty():
+    model = AnalyticCampaignModel(BENCHMARKS["ep"]())
+    empty = model.evaluate_cells([])
+    assert empty.cells == ()
+    assert empty.times.shape == (0,)
+    assert math.isfinite(empty.baseline_s)
+    twice = model.evaluate_cells([(2, mhz(600)), (2, mhz(600))])
+    assert twice.times[0] == twice.times[1]
