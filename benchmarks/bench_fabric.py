@@ -1,0 +1,190 @@
+"""Benchmark for the distributed campaign fabric.
+
+Run under pytest-benchmark as part of the harness::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fabric.py --benchmark-only
+
+which times a single-cell lease -> simulate -> complete -> merge round
+trip against a one-worker fleet (the fabric's per-cell protocol
+overhead), or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fabric.py
+
+which sweeps a worker-scaling curve — the same paper grid executed on
+fleets of 1, 2 and 4 workers plus a serial reference — verifies every
+fleet merge is bit-identical to the serial run, and **merges** the
+curve into ``BENCH_campaigns.json`` under the ``"fabric_scaling"`` key
+(the harness session writes the rest of that document; CI runs this
+script afterwards so the two compose).
+
+The in-process fleet shares the driver's interpreter, so the curve
+measures coordination cost — lease round trips, payload pickling,
+checksum verification, merge — not parallel simulation speedup; real
+deployments put workers in separate processes (``repro-worker``).
+"""
+
+import json
+import pathlib
+import threading
+import time
+
+try:
+    from benchmarks._artifacts import artifact_path
+except ImportError:  # standalone: script dir is sys.path[0]
+    from _artifacts import artifact_path
+
+from repro import runtime
+from repro.cluster import paper_spec
+from repro.experiments.platform import measure_campaign
+from repro.fabric.worker import FabricWorker
+from repro.npb import EPBenchmark, ProblemClass
+from repro.service.server import ServiceConfig, ServiceThread
+from repro.units import mhz
+
+COUNTS = (1, 2, 4, 8)
+FREQUENCIES = (mhz(600), mhz(1000), mhz(1400))
+
+#: Fleet sizes swept by the standalone scaling run.
+FLEET_SIZES = (1, 2, 4)
+
+
+class _Fleet:
+    """A ServiceThread plus ``count`` in-thread workers, ready to lease."""
+
+    def __init__(self, count: int):
+        self.count = count
+        self.service = ServiceThread(
+            ServiceConfig(
+                port=0,
+                fabric_lease_ttl_s=2.0,
+                fabric_heartbeat_s=0.2,
+                housekeeping_s=0.2,
+            )
+        )
+        self.workers: list[FabricWorker] = []
+        self.threads: list[threading.Thread] = []
+
+    def __enter__(self) -> "_Fleet":
+        self.service.__enter__()
+        self.workers = [
+            FabricWorker(
+                port=self.service.port,
+                name=f"bench-{i}",
+                kill_mode="stop",
+            )
+            for i in range(self.count)
+        ]
+        self.threads = [
+            threading.Thread(target=w.run, daemon=True)
+            for w in self.workers
+        ]
+        for thread in self.threads:
+            thread.start()
+        coordinator = self.service.service.coordinator
+        deadline = time.monotonic() + 15.0
+        while (
+            coordinator.live_workers() < self.count
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        if coordinator.live_workers() < self.count:
+            raise RuntimeError(
+                f"{self.count} bench workers not live within 15s"
+            )
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        for worker in self.workers:
+            worker.stop()
+        self.service.__exit__(*_exc)
+        for thread in self.threads:
+            thread.join(timeout=10.0)
+
+
+def bench_fabric_cell_roundtrip(benchmark):
+    """One cell leased, simulated and merged through the fleet."""
+    ep = EPBenchmark(ProblemClass.S)
+    spec = paper_spec()
+    cells = [(1, mhz(600))]
+    with _Fleet(1):
+        result = benchmark(
+            lambda: runtime.execute_cells(
+                ep, cells, spec, jobs=1, fabric=True
+            )
+        )
+    assert result.fabric_cells == 1
+
+
+def main(out_path: str | None = None) -> dict:
+    """Standalone scaling sweep; merges and returns the curve."""
+    ep = EPBenchmark(ProblemClass.S)
+    grid_cells = len(COUNTS) * len(FREQUENCIES)
+
+    start = time.perf_counter()
+    serial = measure_campaign(
+        ep, COUNTS, FREQUENCIES, use_cache=False, jobs=1
+    )
+    serial_wall = time.perf_counter() - start
+
+    curve = []
+    for size in FLEET_SIZES:
+        with _Fleet(size):
+            start = time.perf_counter()
+            fleet = measure_campaign(
+                ep,
+                COUNTS,
+                FREQUENCIES,
+                use_cache=False,
+                jobs=1,
+                fabric=True,
+            )
+            wall = time.perf_counter() - start
+        record = runtime.campaign_metrics()["records"][-1]
+        if fleet.times != serial.times or fleet.energies != serial.energies:
+            raise SystemExit(
+                f"{size}-worker fleet merge deviates from serial"
+            )
+        if record["fabric_cells"] != grid_cells:
+            raise SystemExit(
+                f"{size}-worker fleet executed "
+                f"{record['fabric_cells']}/{grid_cells} cells"
+            )
+        curve.append(
+            {
+                "workers": size,
+                "wall_s": wall,
+                "cells": record["fabric_cells"],
+                "distinct_workers": record["fabric_workers"],
+                "reassignments": record["fabric_reassignments"],
+            }
+        )
+        print(
+            f"[fabric bench] {size} worker(s): {grid_cells} cells in "
+            f"{wall:.2f}s (serial {serial_wall:.2f}s)"
+        )
+
+    document = {
+        "grid_cells": grid_cells,
+        "serial_wall_s": serial_wall,
+        "fleet": curve,
+        "bit_identical": True,
+    }
+    out = (
+        artifact_path("BENCH_campaigns.json")
+        if out_path is None
+        else pathlib.Path(out_path)
+    )
+    existing = {}
+    if out.exists():
+        try:
+            existing = json.loads(out.read_text())
+        except (ValueError, OSError):
+            existing = {}
+    existing["fabric_scaling"] = document
+    out.write_text(json.dumps(existing, indent=2))
+    print(f"[fabric scaling curve merged into {out}]")
+    return document
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,12 @@
 """Fault-injection smoke test for CI.
 
-Runs one measurement campaign four ways — clean serial, parallel with
+Runs one measurement campaign five ways — clean serial, parallel with
 injected worker crashes/exceptions/hangs, through a deliberately
-corrupted disk cache, and in partial-results mode — and asserts the
-fault-tolerant runtime recovers *bit-identical* results everywhere it
-promises to.  Exits non-zero on the first deviation.
+corrupted disk cache, in partial-results mode, and on a distributed
+fabric fleet under injected worker kills, heartbeat stalls and corrupt
+payloads — and asserts the fault-tolerant runtime recovers
+*bit-identical* results everywhere it promises to.  Exits non-zero on
+the first deviation.
 
 Usage::
 
@@ -15,12 +17,16 @@ from __future__ import annotations
 
 import sys
 import tempfile
+import threading
+import time
 
 from repro import runtime
 from repro.experiments import platform
 from repro.experiments.platform import measure_campaign
+from repro.fabric.worker import FabricWorker
 from repro.npb import EPBenchmark, ProblemClass
 from repro.runtime import FaultPlan, install_fault_plan
+from repro.service.server import ServiceConfig, ServiceThread
 from repro.units import mhz
 
 COUNTS = (1, 2, 4, 8)
@@ -116,6 +122,86 @@ def main() -> int:
         "failure report names the failed cell",
         record["failed_cells"] == 1
         and record["failures"][0]["cell"] == [2, mhz(600)],
+    )
+
+    # 4. Distributed: a 4-worker fabric fleet under injected worker
+    #    kills, heartbeat stalls and corrupt payloads merges
+    #    bit-identically, with the recovery visible in the record.
+    grid = [(n, f) for n in COUNTS for f in FREQUENCIES]
+    fleet_plan = None
+    for seed in range(1000):
+        candidate = FaultPlan(
+            seed=seed,
+            worker_kill=0.2,
+            heartbeat_stall=0.2,
+            corrupt_result=0.2,
+        )
+        kinds = [candidate.worker_fault_for(n, f, 0) for n, f in grid]
+        down = kinds.count("worker_kill") + kinds.count(
+            "heartbeat_stall"
+        )
+        # Kills + stalls capped below the fleet size: a live worker
+        # always remains, so the all-workers-lost local fallback
+        # (covered elsewhere) never masks the fleet path.
+        if (
+            {"worker_kill", "heartbeat_stall", "corrupt_result"}
+            <= set(kinds)
+            and down <= 3
+        ):
+            fleet_plan = candidate
+            break
+    check("found a fleet chaos seed", fleet_plan is not None)
+    config = ServiceConfig(
+        port=0,
+        fabric_lease_ttl_s=0.4,
+        fabric_heartbeat_s=0.05,
+        fabric_max_lease_cells=1,
+        housekeeping_s=0.05,
+    )
+    with ServiceThread(config) as served:
+        workers = [
+            FabricWorker(
+                port=served.port,
+                name=f"smoke-{i}",
+                kill_mode="stop",
+                plan=fleet_plan,
+            )
+            for i in range(4)
+        ]
+        threads = [
+            threading.Thread(target=w.run, daemon=True) for w in workers
+        ]
+        for thread in threads:
+            thread.start()
+        coordinator = served.service.coordinator
+        deadline = time.monotonic() + 15.0
+        while (
+            coordinator.live_workers() < 4
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        check("fleet registered", coordinator.live_workers() >= 4)
+        fleet = measure_campaign(
+            ep, COUNTS, FREQUENCIES, use_cache=False, jobs=1, fabric=True
+        )
+        stats = coordinator.stats()
+        for worker in workers:
+            worker.stop()
+    record = runtime.campaign_metrics()["records"][-1]
+    check(
+        "faulted fleet campaign bit-identical to clean serial",
+        fleet.times == clean.times and fleet.energies == clean.energies,
+    )
+    check(
+        "the fleet simulated every cell",
+        record["fabric_cells"] == len(grid),
+    )
+    check(
+        "lost leases were reassigned and the corrupt payload "
+        "quarantined",
+        record["fabric_reassignments"] >= 2
+        and stats["workers"]["lost"] >= 1
+        and stats["cells"]["corrupt_payloads"] >= 1,
     )
 
     print("[fault smoke] all scenarios recovered bit-identically")

@@ -1,0 +1,213 @@
+"""Fleet chaos harness for CI: a faulted worker fleet changes nothing.
+
+Boots the campaign service (coordinator) in-process, joins three real
+``python -m repro worker`` subprocesses armed via ``REPRO_FAULTS`` —
+so an injected ``worker_kill`` is an actual ``os._exit`` mid-lease,
+not a simulated unwind — submits a paper-grid campaign over HTTP to
+the fabric, and asserts the merged result is **bit-identical** to a
+clean serial run computed locally, with the kills, stalls and the
+quarantined corrupt payload visible in the coordinator's ledger.
+
+Exits non-zero on the first deviation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/fleet_chaos.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+# The driver computes the clean baseline itself: a REPRO_FAULTS leaked
+# into *this* process would poison it (only the workers get the plan).
+os.environ.pop("REPRO_FAULTS", None)
+
+from repro import runtime  # noqa: E402
+from repro.experiments.platform import measure_campaign  # noqa: E402
+from repro.npb import EPBenchmark, ProblemClass  # noqa: E402
+from repro.runtime.faults import FaultPlan  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.protocol import parse_grid_key  # noqa: E402
+from repro.service.server import ServiceConfig, ServiceThread  # noqa: E402
+from repro.units import mhz  # noqa: E402
+
+COUNTS = (1, 2, 4)
+FREQUENCIES_MHZ = (600, 800)
+GRID = [(n, mhz(f)) for n in COUNTS for f in FREQUENCIES_MHZ]
+WORKERS = 3
+REQUIRED = {"worker_kill", "heartbeat_stall", "corrupt_result"}
+RATES = {"worker_kill": 0.25, "heartbeat_stall": 0.25, "corrupt_result": 0.25}
+
+
+def check(label: str, condition: bool) -> None:
+    """Print a one-line verdict; exit immediately on failure."""
+    print(f"[fleet chaos] {'ok' if condition else 'FAIL'}: {label}")
+    if not condition:
+        sys.exit(1)
+
+
+def chaos_seed() -> int:
+    """A seed whose plan fires every required distributed fault kind.
+
+    A killed worker is gone for good and a stalling one reads as dead
+    while silent, so kills + stalls are capped at ``WORKERS - 1``: the
+    fleet always keeps a live member and the dispatcher never takes
+    its all-workers-lost local-fallback exit.
+    """
+    for seed in range(1000):
+        plan = FaultPlan(seed=seed, **RATES)
+        kinds = [plan.worker_fault_for(n, f, 0) for n, f in GRID]
+        down = kinds.count("worker_kill") + kinds.count("heartbeat_stall")
+        if REQUIRED <= set(kinds) and down <= WORKERS - 1:
+            return seed
+    raise AssertionError("no chaos seed found in 1000 tries")
+
+
+def spawn_worker(index: int, port: int, faults: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["REPRO_FAULTS"] = faults
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--port",
+            str(port),
+            "--name",
+            f"chaos-{index}",
+        ],
+        env=env,
+    )
+
+
+def main() -> int:
+    runtime.configure(cache_dir=tempfile.mkdtemp(prefix="repro-fleet-"))
+    seed = chaos_seed()
+    faults = "seed=%d,%s" % (
+        seed,
+        ",".join(f"{kind}={rate}" for kind, rate in RATES.items()),
+    )
+    print(f"[fleet chaos] arming workers with REPRO_FAULTS={faults!r}")
+
+    # Single-cell leases: every planned fault fires no matter which
+    # worker wins which lease; moderate timings keep lease expiry and
+    # worker death detection in the ~1 s range over real HTTP.
+    config = ServiceConfig(
+        port=0,
+        fabric_lease_ttl_s=1.0,
+        fabric_heartbeat_s=0.2,
+        fabric_max_lease_cells=1,
+        housekeeping_s=0.1,
+    )
+    procs: list[subprocess.Popen] = []
+    try:
+        with ServiceThread(config) as served:
+            coordinator = served.service.coordinator
+            procs = [
+                spawn_worker(i, served.port, faults)
+                for i in range(WORKERS)
+            ]
+            deadline = time.monotonic() + 30.0
+            while (
+                coordinator.live_workers() < WORKERS
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            check(
+                "fleet registered within 30 s",
+                coordinator.live_workers() >= WORKERS,
+            )
+
+            with ServiceClient(port=served.port) as client:
+                ticket = client.submit_campaign(
+                    "ep",
+                    "S",
+                    counts=list(COUNTS),
+                    frequencies_mhz=list(FREQUENCIES_MHZ),
+                    fabric=True,
+                )
+                job = client.wait_for_job(
+                    ticket["job_id"], timeout_s=300.0
+                )
+            stats = coordinator.stats()
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    check("fabric campaign job completed", job["status"] == "done")
+    check(
+        "every cell simulated by the fleet, none stranded",
+        job["runtime"]["fabric_cells"] == len(GRID)
+        and job["runtime"]["failed_cells"] == 0,
+    )
+    check(
+        "lost leases were reassigned (kill + stall)",
+        job["runtime"]["fabric_reassignments"] >= 2,
+    )
+    check(
+        "coordinator declared a worker dead",
+        stats["workers"]["lost"] >= 1,
+    )
+    check(
+        "corrupt payload quarantined",
+        stats["cells"]["corrupt_payloads"] >= 1,
+    )
+    check(
+        "a worker really died mid-lease (os._exit)",
+        any(proc.poll() == 86 for proc in procs),
+    )
+
+    # The clean serial reference, computed locally *after* the fabric
+    # run with the cache bypassed: resubmitting through the service
+    # would be answered from its response cache and prove nothing.
+    clean = measure_campaign(
+        EPBenchmark(ProblemClass.S),
+        COUNTS,
+        tuple(mhz(f) for f in FREQUENCIES_MHZ),
+        use_cache=False,
+        jobs=1,
+    )
+    data = job["result"]["data"]
+    times = {parse_grid_key(k): v for k, v in data["times"].items()}
+    energies = {
+        parse_grid_key(k): v for k, v in data["energies"].items()
+    }
+    check(
+        "faulted fleet times bit-identical to clean serial",
+        times == dict(clean.times),
+    )
+    check(
+        "faulted fleet energies bit-identical to clean serial",
+        energies == dict(clean.energies),
+    )
+
+    print(
+        "[fleet chaos] faulted %d-worker fleet merged bit-identically "
+        "(%d reassignments, %d workers lost)"
+        % (
+            WORKERS,
+            job["runtime"]["fabric_reassignments"],
+            stats["workers"]["lost"],
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@ Lets environments without console-script installation (e.g. a plain
     python -m repro list
     python -m repro run table3
     python -m repro campaign ft --counts 1,2,4
+    python -m repro worker --port 8642
 """
 
 import sys

@@ -91,6 +91,7 @@ def _configure_runtime(args: argparse.Namespace) -> None:
         cell_timeout=args.cell_timeout,
         allow_partial=True if args.allow_partial else None,
         backend=getattr(args, "backend", None),
+        fabric=True if getattr(args, "fabric", False) else None,
     )
 
 
@@ -274,6 +275,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return serve_from_args(args)
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.fabric.worker import FabricWorker
+
+    worker = FabricWorker(
+        args.host,
+        args.port,
+        name=args.name,
+        max_idle_s=args.max_idle_s,
+    )
+    done = worker.run()
+    print(f"repro-worker {worker.name}: {done} cells completed")
+    return 0
+
+
 def main(argv: _t.Sequence[str] | None = None) -> int:
     """Entry point for the ``repro-experiments`` console script."""
     from repro import __version__
@@ -332,6 +347,13 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         "'analytic' evaluates the closed forms in one vectorized "
         "pass, 'auto' uses the analytic path where validated and "
         "falls back to the simulator (default: des, or REPRO_BACKEND)",
+    )
+    runtime_opts.add_argument(
+        "--fabric",
+        action="store_true",
+        help="offer DES cells to the distributed worker fleet when a "
+        "coordinator is installed in this process (default: off, or "
+        "REPRO_FABRIC; no live fleet falls back to the local pool)",
     )
     runtime_opts.add_argument(
         "--profile",
@@ -411,6 +433,24 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
 
     add_serve_arguments(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a running service's campaign fabric as a worker",
+    )
+    p_worker.add_argument("--host", default="127.0.0.1")
+    p_worker.add_argument("--port", type=int, default=8642)
+    p_worker.add_argument(
+        "--name", default="", help="worker name shown in /metrics"
+    )
+    p_worker.add_argument(
+        "--max-idle-s",
+        type=float,
+        default=None,
+        help="exit after this long with no leasable work "
+        "(default: run until drained)",
+    )
+    p_worker.set_defaults(func=_cmd_worker)
 
     args = parser.parse_args(argv)
     if getattr(args, "profile", False):

@@ -101,6 +101,7 @@ def measure_campaign(
     cell_timeout: float | None = None,
     allow_partial: bool | None = None,
     backend: str | None = None,
+    fabric: bool | None = None,
 ) -> TimingCampaign:
     """Measure a benchmark over a (counts × frequencies) grid.
 
@@ -132,6 +133,12 @@ def measure_campaign(
     or ``"auto"``; ``None`` resolves the configured default).  The
     resolved backend is part of the cache identity, so a DES-measured
     grid is never served for an analytic request or vice versa.
+
+    ``fabric`` offers the DES cells to the distributed worker fleet
+    (:mod:`repro.fabric`) when one is installed, falling back to the
+    local pool otherwise.  Fabric is *not* part of the cache identity:
+    it changes where cells run, never what they compute — fleet
+    results are bit-identical to local ones.
     """
     start = time.perf_counter()
     key = _cache_key(benchmark, counts, frequencies, spec, backend)
@@ -183,6 +190,7 @@ def measure_campaign(
             backoff_s=runtime.resolve_retry_backoff(),
             allow_partial=runtime.resolve_allow_partial(allow_partial),
             backend=key[6],
+            fabric=fabric,
         )
     except CampaignExecutionError as error:
         runtime.METRICS.record(
@@ -218,6 +226,9 @@ def measure_campaign(
             wall_s=time.perf_counter() - start,
             jobs=execution.jobs,
             analytic_cells=execution.analytic_cells,
+            fabric_cells=execution.fabric_cells,
+            fabric_workers=execution.fabric_workers,
+            fabric_reassignments=execution.fabric_reassignments,
             cell_wall_s=execution.cell_wall_s,
             attempts=len(execution.attempts),
             retries=execution.retry_count,

@@ -1,0 +1,89 @@
+"""Distributed campaign fabric: a lease-based worker fleet.
+
+The campaign grids are embarrassingly shardable — every ``(n, f)``
+cell is an independent deterministic simulation and the merge order is
+fixed by the input grid — so execution need not stop at one machine's
+process pool.  This subsystem shards cell execution across *remote
+workers* over the existing service HTTP stack:
+
+* :mod:`repro.fabric.coordinator` — the server-side state machine.
+  Workers register, **lease** content-addressed cell batches with a
+  TTL, stream per-cell results back (each carrying a payload checksum)
+  and heartbeat.  Expired leases and dead workers are detected and
+  their unfinished cells reassigned — attempt history preserved, the
+  per-cell exponential backoff of the local runner carried over —
+  while straggler double-completions are deduplicated by cell digest
+  so the grid-order merge stays bit-identical to a clean serial run.
+  Corrupt result payloads (checksum mismatch) are quarantined and the
+  cell re-leased.
+* :mod:`repro.fabric.worker` — the worker loop behind the
+  ``repro-worker`` console script and ``python -m repro worker``:
+  register, lease, simulate serially, stream completions, heartbeat
+  from a background thread; survives coordinator restarts through
+  :class:`~repro.service.client.ServiceClient`'s retry layer.
+* :mod:`repro.fabric.dispatch` — the runner-side bridge.
+  :func:`repro.runtime.execute_cells` hands DES cells to the fleet
+  when fabric execution is enabled and a coordinator with live
+  workers is installed; if the fleet shrinks to zero mid-batch the
+  unfinished cells are reclaimed and finished on the local pool, so a
+  fabric campaign *degrades*, never dies.
+
+The coordinator lives inside the service process (``repro-serve``
+installs one and exposes ``/fabric/register``, ``/fabric/lease``,
+``/fabric/complete`` and ``/fabric/heartbeat``; ``/metrics`` carries
+the worker/lease counters).  Fault injection extends to the
+distributed failure modes via ``REPRO_FAULTS`` —
+``worker_kill``, ``heartbeat_stall``, ``lease_race``,
+``corrupt_result``, ``dup_complete`` (see
+:data:`repro.runtime.faults.WORKER_FAULT_KINDS`) — keyed on cells,
+not workers, so chaos runs are reproducible.
+
+The wire payload for a batch is a pickled (benchmark, platform spec)
+pair: the fabric trusts its workers exactly as much as the process
+pool trusts its forked children, and is meant for the same trust
+domain (one user's cluster), not the open internet.
+"""
+
+from repro.fabric.coordinator import (
+    FabricBatch,
+    FabricCoordinator,
+    Lease,
+    UnknownWorkerError,
+    WorkerInfo,
+    result_checksum,
+)
+from repro.fabric.dispatch import FabricOutcome, run_fabric_cells
+from repro.fabric.worker import FabricWorker
+
+__all__ = [
+    "FabricBatch",
+    "FabricCoordinator",
+    "FabricOutcome",
+    "FabricWorker",
+    "Lease",
+    "UnknownWorkerError",
+    "WorkerInfo",
+    "active_coordinator",
+    "install_coordinator",
+    "result_checksum",
+    "run_fabric_cells",
+]
+
+#: The process-global coordinator (installed by the service at
+#: startup).  The runner's fabric execution path dispatches to this —
+#: when it is ``None`` (or has no live workers) fabric campaigns fall
+#: back to the local pool.
+_COORDINATOR: FabricCoordinator | None = None
+
+
+def install_coordinator(
+    coordinator: FabricCoordinator | None,
+) -> None:
+    """Install (or with ``None`` remove) the process coordinator."""
+    global _COORDINATOR
+    _COORDINATOR = coordinator
+
+
+def active_coordinator() -> FabricCoordinator | None:
+    """The coordinator fabric campaigns in this process dispatch to."""
+    return _COORDINATOR

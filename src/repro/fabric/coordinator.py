@@ -1,0 +1,745 @@
+"""The fabric coordinator: leases, heartbeats, lost-worker recovery.
+
+One :class:`FabricCoordinator` instance lives inside the service
+process and owns the fleet state:
+
+* **workers** register and are considered live while they heartbeat;
+  a worker silent for ``worker_timeout_s`` is declared dead and every
+  lease it held is expired.
+* **batches** of content-addressed cells are submitted by the runner's
+  fabric execution path (:mod:`repro.fabric.dispatch`); cells queue in
+  input order and are handed out in **leases** of up to
+  ``max_lease_cells`` cells with a TTL.  Heartbeats extend the TTL, so
+  a lease stays valid exactly as long as its worker demonstrates
+  liveness — the distributed analogue of the local runner's
+  stall-based cell timeout.
+* **completions** stream back per cell, each carrying a checksum over
+  the result values.  A checksum mismatch *quarantines* the
+  completion (the cell is re-leased and the corrupt payload never
+  enters the merge); a completion for an already-finished cell is a
+  deduplicated straggler; a completion for an expired lease is
+  accepted if (and only if) the cell is still pending — simulation is
+  deterministic, so any verified result for a cell is *the* result.
+* **recovery** preserves semantics across machine loss: expired
+  leases requeue their unfinished cells with the attempt history
+  intact and the per-cell exponential backoff carried over from the
+  local runner's :class:`~repro.runtime.runner.CellAttempt` machinery.
+  Lost-worker attempts (outcome ``"lost"``) do not bill the cell's
+  own retry budget — like pool crashes in the local runner, the cell
+  is an innocent bystander — but are bounded: past
+  ``max_cell_losses`` the cell is *stranded* and handed back for
+  local execution instead of ping-ponging between dying workers.
+
+Every method is thread-safe (one lock, no blocking inside): the
+service's event loop calls the protocol methods, job threads submit
+batches and wait, and the reaper runs from both the service's
+housekeeping task and the dispatcher's wait loop.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import pickle
+import threading
+import time
+import typing as _t
+
+from repro.runtime.runner import CellAttempt
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_LEASE_TTL_S",
+    "DEFAULT_MAX_LEASE_CELLS",
+    "FabricBatch",
+    "FabricCoordinator",
+    "Lease",
+    "UnknownWorkerError",
+    "WorkerInfo",
+    "result_checksum",
+]
+
+Cell = tuple[int, float]
+
+#: Interval at which workers are asked to heartbeat, in seconds.
+DEFAULT_HEARTBEAT_S = 1.0
+
+#: Lease time-to-live; heartbeats extend it by the same amount.
+DEFAULT_LEASE_TTL_S = 5.0
+
+#: Most cells a single lease hands to one worker.
+DEFAULT_MAX_LEASE_CELLS = 4
+
+#: Lost-worker attempts a cell absorbs before it is stranded back to
+#: local execution.
+DEFAULT_MAX_CELL_LOSSES = 3
+
+
+class UnknownWorkerError(KeyError):
+    """A lease/heartbeat named a worker the coordinator has never seen
+    (or has garbage-collected) — the worker must re-register."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+def result_checksum(
+    n: int, f: float, time_s: float, energy_j: float
+) -> str:
+    """Checksum of one cell result's exact float values.
+
+    ``repr`` of a Python float is shortest-round-trip, so two results
+    checksum equal iff they are bit-identical doubles — the integrity
+    check behind corrupt-payload quarantine.
+    """
+    material = (
+        f"{int(n)}|{float(f)!r}|{float(time_s)!r}|{float(energy_j)!r}"
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclasses.dataclass
+class WorkerInfo:
+    """One registered fleet member, as observed by the coordinator."""
+
+    id: str
+    name: str
+    registered_s: float
+    last_seen_s: float
+    state: str = "live"  # "live" | "dead"
+    leases_issued: int = 0
+    cells_completed: int = 0
+    cells_failed: int = 0
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        """JSON-ready form (the ``/metrics`` worker listing)."""
+        return {
+            "worker_id": self.id,
+            "name": self.name,
+            "state": self.state,
+            "leases_issued": self.leases_issued,
+            "cells_completed": self.cells_completed,
+            "cells_failed": self.cells_failed,
+        }
+
+
+@dataclasses.dataclass
+class Lease:
+    """One worker's claim on a set of cells, bounded by a deadline."""
+
+    id: str
+    worker_id: str
+    batch_id: str
+    cells: dict[Cell, int]  # cell -> attempt number
+    issued_s: float
+    deadline_s: float
+
+
+class FabricBatch:
+    """One runner-submitted unit of fleet work (a cell union).
+
+    Tracks, per cell: the attempt counter, failures billed to the
+    cell's own retry budget (exceptions and quarantined payloads),
+    lost-worker counts, and the earliest time the cell may be leased
+    again (exponential backoff).  ``done`` fires when every cell is
+    completed, permanently failed, or stranded.
+    """
+
+    def __init__(
+        self,
+        batch_id: str,
+        label: str,
+        payload_b64: str,
+        cells: _t.Sequence[Cell],
+        *,
+        retries: int,
+        backoff_s: float,
+        max_cell_losses: int = DEFAULT_MAX_CELL_LOSSES,
+    ) -> None:
+        self.id = batch_id
+        self.label = label
+        self.payload_b64 = payload_b64
+        self.cells: tuple[Cell, ...] = tuple(cells)
+        self.retries = max(0, int(retries))
+        self.backoff_s = max(0.0, float(backoff_s))
+        self.max_cell_losses = max(1, int(max_cell_losses))
+        self.queue: list[Cell] = list(self.cells)
+        self.not_before: dict[Cell, float] = {}
+        self.attempt_next: dict[Cell, int] = {c: 0 for c in self.cells}
+        self.own_failures: dict[Cell, int] = {c: 0 for c in self.cells}
+        self.losses: dict[Cell, int] = {c: 0 for c in self.cells}
+        self.results: dict[Cell, tuple[float, float, float, dict]] = {}
+        self.attempts: list[CellAttempt] = []
+        self.failed: set[Cell] = set()
+        self.stranded: list[Cell] = []
+        self.workers_used: set[str] = set()
+        self.reassignments = 0
+        self.done = threading.Event()
+
+    def pending(self) -> list[Cell]:
+        """Cells not yet completed, failed or stranded (grid order)."""
+        settled = (
+            set(self.results) | self.failed | set(self.stranded)
+        )
+        return [c for c in self.cells if c not in settled]
+
+    def _check_done(self) -> None:
+        if not self.pending():
+            self.done.set()
+
+    def settle_locally(self, cells: _t.Iterable[Cell]) -> None:
+        """Mark cells as taken back for local execution (reclaim)."""
+        for cell in cells:
+            if cell not in self.results and cell not in self.failed:
+                if cell not in self.stranded:
+                    self.stranded.append(cell)
+        self._check_done()
+
+
+class FabricCoordinator:
+    """Fleet state machine behind the ``/fabric/*`` endpoints."""
+
+    def __init__(
+        self,
+        *,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        worker_timeout_s: float | None = None,
+        max_lease_cells: int = DEFAULT_MAX_LEASE_CELLS,
+        max_cell_losses: int = DEFAULT_MAX_CELL_LOSSES,
+    ) -> None:
+        self.lease_ttl_s = max(0.1, float(lease_ttl_s))
+        self.heartbeat_s = max(0.05, float(heartbeat_s))
+        # A worker is dead after missing ~3 heartbeats (but never
+        # sooner than a lease TTL, so lease expiry leads detection).
+        self.worker_timeout_s = (
+            float(worker_timeout_s)
+            if worker_timeout_s is not None
+            else max(3.0 * self.heartbeat_s, self.lease_ttl_s)
+        )
+        self.max_lease_cells = max(1, int(max_lease_cells))
+        self.max_cell_losses = max(1, int(max_cell_losses))
+        self._lock = threading.Lock()
+        self._workers: dict[str, WorkerInfo] = {}
+        self._leases: dict[str, Lease] = {}
+        self._batches: dict[str, FabricBatch] = {}
+        self._batch_order: list[str] = []
+        self._worker_counter = 0
+        self._lease_counter = 0
+        self._batch_counter = 0
+        self._draining = False
+        # Aggregate counters (monotonic; survive batch completion).
+        self.leases_issued = 0
+        self.leases_expired = 0
+        self.workers_lost = 0
+        self.cells_completed = 0
+        self.cells_failed = 0
+        self.duplicate_completions = 0
+        self.corrupt_payloads = 0
+        self.late_completions = 0
+        self.reassigned_cells = 0
+        self.batches_submitted = 0
+        self.batches_completed = 0
+
+    # -- worker protocol ---------------------------------------------------
+
+    def register(
+        self, name: str = "", capacity: int | None = None
+    ) -> dict[str, _t.Any]:
+        """Register a worker; returns its id and the fleet timings."""
+        del capacity  # reserved for future scheduling hints
+        now = time.monotonic()
+        with self._lock:
+            self._worker_counter += 1
+            worker = WorkerInfo(
+                id=f"w-{self._worker_counter:04d}",
+                name=str(name) or f"worker-{self._worker_counter}",
+                registered_s=now,
+                last_seen_s=now,
+            )
+            self._workers[worker.id] = worker
+        return {
+            "worker_id": worker.id,
+            "heartbeat_s": self.heartbeat_s,
+            "lease_ttl_s": self.lease_ttl_s,
+            "worker_timeout_s": self.worker_timeout_s,
+            "max_lease_cells": self.max_lease_cells,
+        }
+
+    def _touch(self, worker_id: str, now: float) -> WorkerInfo:
+        worker = self._workers.get(worker_id)
+        if worker is None:
+            raise UnknownWorkerError(
+                f"unknown worker {worker_id!r}; re-register"
+            )
+        worker.last_seen_s = now
+        if worker.state == "dead":
+            # A presumed-dead worker speaking again is alive after
+            # all — but its leases were already reassigned; it will
+            # be handed fresh ones.
+            worker.state = "live"
+        return worker
+
+    def lease(
+        self, worker_id: str, max_cells: int | None = None
+    ) -> dict[str, _t.Any]:
+        """Hand out up to ``max_cells`` leasable cells of one batch.
+
+        Returns a lease document, ``{"idle": true}`` when nothing is
+        leasable right now (backoff hint included), or
+        ``{"drain": true}`` when the coordinator is shutting down.
+        """
+        now = time.monotonic()
+        limit = min(
+            self.max_lease_cells,
+            max(1, int(max_cells or self.max_lease_cells)),
+        )
+        with self._lock:
+            self._reap_locked(now)
+            worker = self._touch(worker_id, now)
+            if self._draining:
+                return {"drain": True}
+            for batch_id in self._batch_order:
+                batch = self._batches[batch_id]
+                ready: list[Cell] = []
+                for cell in list(batch.queue):
+                    if len(ready) >= limit:
+                        break
+                    if batch.not_before.get(cell, 0.0) > now:
+                        continue
+                    ready.append(cell)
+                if not ready:
+                    continue
+                for cell in ready:
+                    batch.queue.remove(cell)
+                self._lease_counter += 1
+                lease = Lease(
+                    id=f"l-{self._lease_counter:06d}",
+                    worker_id=worker_id,
+                    batch_id=batch.id,
+                    cells={
+                        cell: batch.attempt_next[cell]
+                        for cell in ready
+                    },
+                    issued_s=now,
+                    deadline_s=now + self.lease_ttl_s,
+                )
+                for cell in ready:
+                    batch.attempt_next[cell] += 1
+                self._leases[lease.id] = lease
+                worker.leases_issued += 1
+                self.leases_issued += 1
+                return {
+                    "lease_id": lease.id,
+                    "batch_id": batch.id,
+                    "label": batch.label,
+                    "payload": batch.payload_b64,
+                    "lease_ttl_s": self.lease_ttl_s,
+                    "cells": [
+                        {
+                            "cell": [cell[0], cell[1]],
+                            "attempt": lease.cells[cell],
+                        }
+                        for cell in ready
+                    ],
+                }
+            # Nothing leasable: idle, with a backoff hint.
+            hint = self.heartbeat_s
+            for batch in self._batches.values():
+                for cell in batch.queue:
+                    wait = batch.not_before.get(cell, 0.0) - now
+                    if 0.0 < wait < hint:
+                        hint = wait
+            return {"idle": True, "backoff_s": hint}
+
+    def heartbeat(
+        self, worker_id: str, lease_id: str | None = None
+    ) -> dict[str, _t.Any]:
+        """Record worker liveness; extend the named lease's TTL."""
+        now = time.monotonic()
+        with self._lock:
+            self._touch(worker_id, now)
+            extended = False
+            if lease_id is not None:
+                lease = self._leases.get(lease_id)
+                if lease is not None and lease.worker_id == worker_id:
+                    lease.deadline_s = now + self.lease_ttl_s
+                    extended = True
+            return {"ok": True, "lease_extended": extended}
+
+    def complete(
+        self,
+        worker_id: str,
+        lease_id: str,
+        batch_id: str,
+        results: _t.Sequence[dict[str, _t.Any]] = (),
+        failures: _t.Sequence[dict[str, _t.Any]] = (),
+    ) -> dict[str, _t.Any]:
+        """Ingest streamed per-cell results (and failure reports).
+
+        Tolerates every straggler shape: duplicates are dropped by
+        cell digest, completions for expired leases are accepted only
+        while the cell is still pending, and checksum mismatches are
+        quarantined and the cell re-leased.  The response carries the
+        per-call accounting so workers (and tests) can observe what
+        happened to each payload.
+        """
+        now = time.monotonic()
+        accepted = duplicates = corrupt = late = failed = 0
+        with self._lock:
+            unknown_worker = False
+            try:
+                worker = self._touch(worker_id, now)
+            except UnknownWorkerError:
+                worker = None
+                unknown_worker = True
+            batch = self._batches.get(batch_id)
+            lease = self._leases.get(lease_id)
+            lease_live = (
+                lease is not None and lease.worker_id == worker_id
+            )
+            if not lease_live:
+                late += len(results)
+                self.late_completions += len(results)
+            if batch is not None:
+                for doc in results:
+                    outcome = self._ingest_result(
+                        batch, lease if lease_live else None,
+                        worker, doc, now,
+                    )
+                    if outcome == "ok":
+                        accepted += 1
+                    elif outcome == "duplicate":
+                        duplicates += 1
+                    elif outcome == "corrupt":
+                        corrupt += 1
+                for doc in failures:
+                    self._ingest_failure(
+                        batch, lease if lease_live else None,
+                        worker, doc, now,
+                    )
+                    failed += 1
+                batch._check_done()
+                if batch.done.is_set():
+                    self._retire_batch(batch)
+            if lease_live and not lease.cells:
+                self._leases.pop(lease.id, None)
+            return {
+                "accepted": accepted,
+                "duplicates": duplicates,
+                "corrupt": corrupt,
+                "late": late,
+                "failed": failed,
+                "reregister": unknown_worker,
+            }
+
+    # -- completion internals ----------------------------------------------
+
+    @staticmethod
+    def _parse_cell(doc: dict[str, _t.Any]) -> Cell:
+        raw = doc.get("cell", ())
+        return (int(raw[0]), float(raw[1]))
+
+    def _ingest_result(
+        self,
+        batch: FabricBatch,
+        lease: Lease | None,
+        worker: WorkerInfo | None,
+        doc: dict[str, _t.Any],
+        now: float,
+    ) -> str:
+        cell = self._parse_cell(doc)
+        attempt = int(doc.get("attempt", 0))
+        if lease is not None:
+            attempt = lease.cells.pop(cell, attempt)
+        if cell in batch.results or cell not in batch.attempt_next:
+            self.duplicate_completions += 1
+            return "duplicate"
+        time_s = float(doc["time_s"])
+        energy_j = float(doc["energy_j"])
+        checksum = str(doc.get("checksum", ""))
+        if checksum != result_checksum(
+            cell[0], cell[1], time_s, energy_j
+        ):
+            # Quarantine: the payload never enters the merge; the
+            # cell is billed one failed attempt and re-leased after
+            # backoff.
+            self.corrupt_payloads += 1
+            batch.attempts.append(
+                CellAttempt(
+                    cell,
+                    attempt,
+                    "corrupt",
+                    error="result payload failed checksum; quarantined",
+                )
+            )
+            self._requeue_locked(batch, cell, now, billed=True)
+            return "corrupt"
+        stats = doc.get("engine_stats") or {
+            "events_processed": 0,
+            "processes_spawned": 0,
+            "peak_queue_len": 0,
+        }
+        batch.results[cell] = (
+            time_s,
+            energy_j,
+            float(doc.get("wall_s", 0.0)),
+            {k: int(v) for k, v in stats.items()},
+        )
+        batch.attempts.append(
+            CellAttempt(
+                cell,
+                attempt,
+                "ok",
+                wall_s=float(doc.get("wall_s", 0.0)),
+            )
+        )
+        # The cell may still sit in another (expired) lease's cell
+        # set or in the requeue queue; completion supersedes both.
+        if cell in batch.queue:
+            batch.queue.remove(cell)
+        for other in self._leases.values():
+            other.cells.pop(cell, None)
+        if worker is not None:
+            worker.cells_completed += 1
+            batch.workers_used.add(worker.id)
+        self.cells_completed += 1
+        return "ok"
+
+    def _ingest_failure(
+        self,
+        batch: FabricBatch,
+        lease: Lease | None,
+        worker: WorkerInfo | None,
+        doc: dict[str, _t.Any],
+        now: float,
+    ) -> None:
+        cell = self._parse_cell(doc)
+        attempt = int(doc.get("attempt", 0))
+        if lease is not None:
+            attempt = lease.cells.pop(cell, attempt)
+        if cell in batch.results or cell not in batch.attempt_next:
+            return
+        batch.attempts.append(
+            CellAttempt(
+                cell,
+                attempt,
+                "exception",
+                error=str(doc.get("error", "worker reported failure")),
+            )
+        )
+        if worker is not None:
+            worker.cells_failed += 1
+        self._requeue_locked(batch, cell, now, billed=True)
+
+    def _requeue_locked(
+        self,
+        batch: FabricBatch,
+        cell: Cell,
+        now: float,
+        *,
+        billed: bool,
+    ) -> None:
+        """Return a cell to the queue (or settle it as failed/stranded).
+
+        ``billed`` failures (exceptions, quarantined payloads) count
+        against the cell's own retry budget; unbilled ones (lost
+        workers, expired leases) count against the loss bound only.
+        """
+        if billed:
+            batch.own_failures[cell] += 1
+            if batch.own_failures[cell] > batch.retries:
+                batch.failed.add(cell)
+                self.cells_failed += 1
+                batch._check_done()
+                return
+        else:
+            batch.losses[cell] += 1
+            self.reassigned_cells += 1
+            batch.reassignments += 1
+            if batch.losses[cell] >= batch.max_cell_losses:
+                if cell not in batch.stranded:
+                    batch.stranded.append(cell)
+                batch._check_done()
+                return
+        prior = batch.own_failures[cell] + batch.losses[cell]
+        if batch.backoff_s > 0 and prior > 0:
+            batch.not_before[cell] = (
+                now + batch.backoff_s * 2 ** (prior - 1)
+            )
+        if cell not in batch.queue:
+            batch.queue.append(cell)
+
+    # -- batches -----------------------------------------------------------
+
+    def submit_batch(
+        self,
+        benchmark: _t.Any,
+        cells: _t.Sequence[Cell],
+        spec: _t.Any,
+        *,
+        label: str = "",
+        retries: int = 2,
+        backoff_s: float = 0.0,
+    ) -> FabricBatch:
+        """Queue a cell union for the fleet; returns the live batch."""
+        payload = base64.b64encode(
+            pickle.dumps((benchmark, spec))
+        ).decode("ascii")
+        with self._lock:
+            self._batch_counter += 1
+            batch = FabricBatch(
+                f"b-{self._batch_counter:04d}",
+                label,
+                payload,
+                cells,
+                retries=retries,
+                backoff_s=backoff_s,
+                max_cell_losses=self.max_cell_losses,
+            )
+            self._batches[batch.id] = batch
+            self._batch_order.append(batch.id)
+            self.batches_submitted += 1
+            batch._check_done()  # empty batch is done immediately
+            if batch.done.is_set():
+                self._retire_batch(batch)
+        return batch
+
+    def _retire_batch(self, batch: FabricBatch) -> None:
+        """Drop a finished batch from the leasable set (lock held)."""
+        if batch.id in self._batches:
+            del self._batches[batch.id]
+            self._batch_order.remove(batch.id)
+            self.batches_completed += 1
+
+    def reclaim_batch(self, batch: FabricBatch) -> list[Cell]:
+        """Take every unfinished cell back for local execution.
+
+        The fleet-shrank-to-zero fallback: pending cells (queued *and*
+        leased — a dead worker's completion would be deduplicated
+        anyway) are stranded and the batch completes.  Returns the
+        reclaimed cells in grid order.
+        """
+        with self._lock:
+            pending = batch.pending()
+            batch.settle_locally(pending)
+            for lease in list(self._leases.values()):
+                if lease.batch_id == batch.id:
+                    self._leases.pop(lease.id, None)
+            if batch.done.is_set():
+                self._retire_batch(batch)
+            return pending
+
+    # -- liveness ----------------------------------------------------------
+
+    def reap(self, now: float | None = None) -> None:
+        """Expire overdue leases, declare silent workers dead, requeue.
+
+        Idempotent and cheap; called from the service housekeeping
+        task and from the dispatcher's wait loop.
+        """
+        with self._lock:
+            self._reap_locked(
+                time.monotonic() if now is None else now
+            )
+
+    def _reap_locked(self, now: float) -> None:
+        for worker in self._workers.values():
+            if (
+                worker.state == "live"
+                and now - worker.last_seen_s > self.worker_timeout_s
+            ):
+                worker.state = "dead"
+                self.workers_lost += 1
+        for lease in list(self._leases.values()):
+            worker = self._workers.get(lease.worker_id)
+            worker_dead = worker is None or worker.state == "dead"
+            if now <= lease.deadline_s and not worker_dead:
+                continue
+            self._leases.pop(lease.id, None)
+            self.leases_expired += 1
+            batch = self._batches.get(lease.batch_id)
+            if batch is None:
+                continue
+            reason = (
+                "worker lost (missed heartbeats)"
+                if worker_dead
+                else "lease expired (TTL passed without completion)"
+            )
+            for cell, attempt in lease.cells.items():
+                if cell in batch.results or cell in batch.failed:
+                    continue
+                batch.attempts.append(
+                    CellAttempt(cell, attempt, "lost", error=reason)
+                )
+                self._requeue_locked(batch, cell, now, billed=False)
+            batch._check_done()
+            if batch.done.is_set():
+                self._retire_batch(batch)
+
+    def live_workers(self) -> int:
+        """Workers currently considered alive (reaps first)."""
+        with self._lock:
+            self._reap_locked(time.monotonic())
+            return sum(
+                1
+                for w in self._workers.values()
+                if w.state == "live"
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def drain(self) -> None:
+        """Stop handing out work; workers see ``drain`` and exit."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        """Whether the coordinator has stopped issuing leases."""
+        return self._draining
+
+    def stats(self) -> dict[str, _t.Any]:
+        """JSON-ready fleet counters for the ``/metrics`` endpoint."""
+        with self._lock:
+            live = [
+                w for w in self._workers.values() if w.state == "live"
+            ]
+            return {
+                "workers": {
+                    "registered": len(self._workers),
+                    "live": len(live),
+                    "dead": len(self._workers) - len(live),
+                    "lost": self.workers_lost,
+                    "fleet": [
+                        w.as_dict() for w in self._workers.values()
+                    ],
+                },
+                "leases": {
+                    "issued": self.leases_issued,
+                    "active": len(self._leases),
+                    "expired": self.leases_expired,
+                    "ttl_s": self.lease_ttl_s,
+                },
+                "cells": {
+                    "queued": sum(
+                        len(b.queue) for b in self._batches.values()
+                    ),
+                    "leased": sum(
+                        len(l.cells) for l in self._leases.values()
+                    ),
+                    "completed": self.cells_completed,
+                    "failed": self.cells_failed,
+                    "reassigned": self.reassigned_cells,
+                    "duplicates": self.duplicate_completions,
+                    "corrupt_payloads": self.corrupt_payloads,
+                    "late_completions": self.late_completions,
+                },
+                "batches": {
+                    "submitted": self.batches_submitted,
+                    "completed": self.batches_completed,
+                    "active": len(self._batches),
+                },
+                "draining": self._draining,
+            }

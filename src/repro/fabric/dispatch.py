@@ -1,0 +1,115 @@
+"""Runner-side bridge: hand a cell batch to the fleet, wait, merge.
+
+:func:`run_fabric_cells` is called by
+:func:`repro.runtime.execute_cells` when fabric execution is enabled.
+It is deliberately conservative about *when* the fleet is used at
+all — no installed coordinator, a draining coordinator, or zero live
+workers each return ``None`` so the caller falls straight through to
+the local pool — and about *how* a degrading fleet is handled: while
+waiting it keeps reaping (so lease expiry and worker death are
+detected even when no service housekeeping task is running), and the
+moment the fleet shrinks to zero live workers the unfinished cells
+are reclaimed and reported back as ``stranded`` for local execution.
+A fabric campaign can therefore lose every worker mid-batch and still
+complete, bit-identical, on the local pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import typing as _t
+
+from repro.fabric.coordinator import FabricCoordinator
+from repro.runtime.runner import CellAttempt
+
+__all__ = ["FabricOutcome", "run_fabric_cells"]
+
+Cell = tuple[int, float]
+
+
+@dataclasses.dataclass
+class FabricOutcome:
+    """What came back from the fleet for one submitted batch.
+
+    ``stranded`` cells are the graceful-degradation residue — cells
+    the fleet could not finish (all workers died, or a cell was lost
+    too many times) — in grid order, for the caller to run locally.
+    ``failed`` cells exhausted their own retry budget on real
+    simulation errors; the caller accounts them exactly like local
+    failures (``allow_partial`` applies).
+    """
+
+    results: dict[Cell, tuple[float, float, float, dict]]
+    attempts: list[CellAttempt]
+    failed_cells: set[Cell]
+    stranded: list[Cell]
+    workers_used: int
+    reassignments: int
+
+
+def run_fabric_cells(
+    benchmark: _t.Any,
+    cells: _t.Sequence[Cell],
+    spec: _t.Any,
+    *,
+    retries: int,
+    backoff_s: float,
+    label: str = "",
+    coordinator: FabricCoordinator | None = None,
+    poll_s: float = 0.02,
+    max_wait_s: float | None = None,
+) -> FabricOutcome | None:
+    """Execute ``cells`` on the fleet; ``None`` means "no fleet, run
+    locally instead".
+
+    The wait loop reaps on every poll so the coordinator's failure
+    detection does not depend on any background task, and reclaims
+    the batch the moment no live worker remains (or ``max_wait_s``
+    elapses, when given) — reclaimed cells come back ``stranded``.
+    """
+    if coordinator is None:
+        from repro.fabric import active_coordinator
+
+        coordinator = active_coordinator()
+    if coordinator is None or coordinator.draining:
+        return None
+    if not cells:
+        return None
+    if coordinator.live_workers() == 0:
+        return None
+    batch = coordinator.submit_batch(
+        benchmark,
+        cells,
+        spec,
+        label=label,
+        retries=retries,
+        backoff_s=backoff_s,
+    )
+    deadline = (
+        time.monotonic() + max_wait_s
+        if max_wait_s is not None
+        else None
+    )
+    while not batch.done.wait(poll_s):
+        coordinator.reap()
+        overdue = (
+            deadline is not None and time.monotonic() > deadline
+        )
+        if (
+            coordinator.live_workers() == 0
+            or coordinator.draining
+            or overdue
+        ):
+            # The fleet is gone (or we are out of patience): take
+            # every unfinished cell back for local execution.
+            coordinator.reclaim_batch(batch)
+            break
+    return FabricOutcome(
+        results=dict(batch.results),
+        attempts=list(batch.attempts),
+        failed_cells=set(batch.failed),
+        stranded=list(batch.stranded),
+        workers_used=len(batch.workers_used),
+        reassignments=batch.reassignments,
+    )

@@ -114,6 +114,7 @@ def _run_batch(
     cells: _t.Sequence[tuple[int, float]],
     *,
     jobs: int | None,
+    fabric: bool | None = None,
 ) -> tuple[int, int]:
     """Run one group's missing-cell union.
 
@@ -137,6 +138,7 @@ def _run_batch(
             backoff_s=runtime.resolve_retry_backoff(None),
             allow_partial=runtime.resolve_allow_partial(None),
             backend=request.key()[6],
+            fabric=fabric,
         )
     except CampaignExecutionError as error:
         runtime.METRICS.record(
@@ -167,6 +169,9 @@ def _run_batch(
             wall_s=time.perf_counter() - start,
             jobs=execution.jobs,
             analytic_cells=execution.analytic_cells,
+            fabric_cells=execution.fabric_cells,
+            fabric_workers=execution.fabric_workers,
+            fabric_reassignments=execution.fabric_reassignments,
             cell_wall_s=execution.cell_wall_s,
             attempts=len(execution.attempts),
             retries=execution.retry_count,
@@ -191,6 +196,7 @@ def execute_plan(
     store: ArtifactStore,
     *,
     jobs: int | None = None,
+    fabric: bool | None = None,
 ) -> PlanReport:
     """Satisfy every request, simulating each unique cell at most once.
 
@@ -199,6 +205,10 @@ def execute_plan(
     cells) into the runtime metrics.  Raises
     :class:`~repro.errors.CampaignExecutionError` if a batch exhausts
     its retry budget and partial campaigns are not allowed.
+
+    ``fabric`` dispatches each execution-group batch to the
+    distributed worker fleet (``None`` resolves the configured
+    default; no live fleet falls back to the local pool per batch).
     """
     start = time.perf_counter()
     report = PlanReport(requested_campaigns=len(requests))
@@ -239,7 +249,9 @@ def execute_plan(
                 needed.append(cell)
         if not needed:
             continue
-        done, analytic = _run_batch(members[0], needed, jobs=jobs)
+        done, analytic = _run_batch(
+            members[0], needed, jobs=jobs, fabric=fabric
+        )
         report.executed_cells += done
         report.analytic_cells += analytic
         report.batches.append(

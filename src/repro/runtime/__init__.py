@@ -24,7 +24,8 @@ Configuration resolves in priority order: explicit call argument →
 ``--backend`` set) → environment (``REPRO_JOBS``,
 ``REPRO_DISK_CACHE``, ``REPRO_CACHE_DIR``, ``REPRO_RETRIES``,
 ``REPRO_CELL_TIMEOUT``, ``REPRO_ALLOW_PARTIAL``,
-``REPRO_RETRY_BACKOFF_S``, ``REPRO_BACKEND``) → defaults.  Auto
+``REPRO_RETRY_BACKOFF_S``, ``REPRO_BACKEND``, ``REPRO_FABRIC``) →
+defaults.  Auto
 parallelism only engages for grids of at least
 :data:`MIN_CELLS_AUTO_PARALLEL` cells on multi-core hosts — tiny
 campaigns are faster serial than through a pool.
@@ -48,6 +49,7 @@ from repro.runtime.diskcache import (
 )
 from repro.runtime.faults import (
     FAULT_KINDS,
+    WORKER_FAULT_KINDS,
     FaultPlan,
     InjectedFaultError,
     active_fault_plan,
@@ -83,6 +85,7 @@ __all__ = [
     "DEFAULT_RETRIES",
     "DEFAULT_RETRY_BACKOFF_S",
     "FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
     "DiskCache",
     "CampaignRecord",
     "CampaignExecution",
@@ -108,6 +111,7 @@ __all__ = [
     "check_backend",
     "configure",
     "resolve_backend",
+    "resolve_fabric",
     "resolve_jobs",
     "resolve_retries",
     "resolve_cell_timeout",
@@ -132,6 +136,7 @@ _cell_timeout: float | None = None
 _allow_partial: bool | None = None
 _retry_backoff_s: float | None = None
 _backend: str | None = None
+_fabric: bool | None = None
 
 
 def configure(
@@ -143,6 +148,7 @@ def configure(
     allow_partial: bool | None = _UNSET,
     retry_backoff_s: float | None = _UNSET,
     backend: str | None = _UNSET,
+    fabric: bool | None = _UNSET,
 ) -> None:
     """Set process-wide runtime defaults (``None`` restores auto).
 
@@ -150,9 +156,11 @@ def configure(
     """
     global _jobs, _disk_cache, _cache_dir
     global _retries, _cell_timeout, _allow_partial, _retry_backoff_s
-    global _backend
+    global _backend, _fabric
     if backend is not _UNSET:
         _backend = None if backend is None else check_backend(backend)
+    if fabric is not _UNSET:
+        _fabric = None if fabric is None else bool(fabric)
     if jobs is not _UNSET:
         _jobs = None if jobs is None else max(1, int(jobs))
     if disk_cache is not _UNSET:
@@ -213,6 +221,24 @@ def resolve_backend(explicit: str | None = None) -> str:
         env = os.environ.get("REPRO_BACKEND", "").strip()
         backend = env or "des"
     return check_backend(backend)
+
+
+def resolve_fabric(explicit: bool | None = None) -> bool:
+    """Whether DES cells are offered to the distributed worker fleet.
+
+    Resolution order: explicit argument → :func:`configure` →
+    ``REPRO_FABRIC`` → ``False``.  Enabling fabric is *safe* even with
+    no fleet: the dispatcher falls back to local execution when no
+    coordinator is installed or no workers are live.  Fabric is not
+    part of the campaign cache identity — it changes where DES cells
+    run, never what they compute.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    if _fabric is not None:
+        return _fabric
+    env = os.environ.get("REPRO_FABRIC", "").strip().lower()
+    return env in ("1", "true", "yes", "on")
 
 
 def resolve_retries(explicit: int | None = None) -> int:

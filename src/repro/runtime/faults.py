@@ -1,12 +1,15 @@
 """Deterministic fault injection for the campaign runtime.
 
 Fault tolerance that is only exercised by real failures is fault
-tolerance that is never exercised.  This module injects the four
-failure modes the runner must survive — worker exceptions, worker
-crashes (``os._exit``), hangs, and corrupt disk-cache entries — at
-*deterministic, seeded* grid cells, so a fault-injected campaign is
-exactly reproducible and its recovered results can be asserted
-bit-identical to a clean serial run.
+tolerance that is never exercised.  This module injects the failure
+modes the runner must survive — worker exceptions, worker crashes
+(``os._exit``), hangs, and corrupt disk-cache entries, plus the
+*distributed* modes of the fabric fleet (worker kills, heartbeat
+stalls, lease-expiry races, corrupt result payloads, duplicate
+completions; see :data:`WORKER_FAULT_KINDS`) — at *deterministic,
+seeded* grid cells, so a fault-injected campaign is exactly
+reproducible and its recovered results can be asserted bit-identical
+to a clean serial run.
 
 A :class:`FaultPlan` decides, per ``(n, f)`` cell and attempt number,
 whether to inject and what kind.  Selection is a pure function of the
@@ -46,6 +49,7 @@ import typing as _t
 
 __all__ = [
     "FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
     "FaultPlan",
     "InjectedFaultError",
     "parse_fault_plan",
@@ -60,6 +64,19 @@ __all__ = [
 #: The injectable failure modes, in precedence order (a cell drawn for
 #: several kinds gets the first match).
 FAULT_KINDS = ("crash", "hang", "exception", "corrupt")
+
+#: Distributed failure modes, injected by fabric *workers* (see
+#: :mod:`repro.fabric`), in precedence order: a worker that leased the
+#: drawn cell dies outright, stops heartbeating, completes only after
+#: its lease expired, ships a corrupted result payload, or sends the
+#: same completion twice.
+WORKER_FAULT_KINDS = (
+    "worker_kill",
+    "heartbeat_stall",
+    "lease_race",
+    "corrupt_result",
+    "dup_complete",
+)
 
 
 class InjectedFaultError(RuntimeError):
@@ -84,6 +101,13 @@ class FaultPlan:
         Per-kind injection probability in ``[0, 1]``.  ``exception``,
         ``crash`` and ``hang`` apply to grid cells; ``corrupt``
         applies to disk-cache writes (drawn per entry digest).
+    worker_kill, heartbeat_stall, lease_race, corrupt_result, \
+    dup_complete:
+        Per-kind injection probability for the *distributed* failure
+        modes, drawn per grid cell by the fabric worker that leased it
+        (:data:`WORKER_FAULT_KINDS`).  Deterministic in the cell, not
+        the worker, so the same plan injures the same cells no matter
+        how leases were distributed.
     times:
         A cell fault fires on attempts ``0 .. times-1`` only, so the
         default (1) makes every faulted cell succeed on retry.
@@ -100,6 +124,11 @@ class FaultPlan:
     crash: float = 0.0
     hang: float = 0.0
     corrupt: float = 0.0
+    worker_kill: float = 0.0
+    heartbeat_stall: float = 0.0
+    lease_race: float = 0.0
+    corrupt_result: float = 0.0
+    dup_complete: float = 0.0
     times: int = 1
     hang_s: float = 5.0
     cells: tuple[tuple[int, float], ...] | None = None
@@ -139,6 +168,24 @@ class FaultPlan:
         """Whether the cache entry at ``digest`` should be corrupted."""
         return self._draw("corrupt", digest)
 
+    def worker_fault_for(
+        self, n: int, f: float, attempt: int
+    ) -> str | None:
+        """The distributed fault a fabric worker should inject while
+        holding a lease on this cell/attempt, or ``None``.
+
+        Selection is keyed on the cell (and attempt), never on the
+        worker identity, so a chaos run is reproducible regardless of
+        which worker happens to win each lease.
+        """
+        if attempt >= self.times or not self._covers(n, f):
+            return None
+        material = f"{int(n)}@{float(f):.6g}"
+        for kind in WORKER_FAULT_KINDS:
+            if self._draw(kind, material):
+                return kind
+        return None
+
 
 def _parse_cell(token: str) -> tuple[int, float]:
     """Parse one ``N@MHz`` cell token into ``(n, frequency_hz)``."""
@@ -168,7 +215,9 @@ def parse_fault_plan(text: str) -> FaultPlan | None:
         key, sep, value = part.partition("=")
         key = key.strip().lower()
         value = value.strip()
-        if key in ("exception", "crash", "hang", "corrupt"):
+        if key in ("exception", "crash", "hang", "corrupt") or (
+            key in WORKER_FAULT_KINDS
+        ):
             kwargs[key] = float(value) if sep else 1.0
         elif key == "seed":
             kwargs["seed"] = int(value)

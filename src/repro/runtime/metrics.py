@@ -78,6 +78,13 @@ class CampaignRecord:
     analytic_cells:
         Cells evaluated by the closed-form analytic backend (they
         count toward ``cells`` but not toward *simulated* cells).
+    fabric_cells:
+        Cells whose result was produced by the distributed worker
+        fleet (:mod:`repro.fabric`).
+    fabric_workers:
+        Distinct fleet workers that contributed results.
+    fabric_reassignments:
+        Cells requeued after a lost worker or expired lease.
     """
 
     label: str
@@ -86,6 +93,9 @@ class CampaignRecord:
     wall_s: float
     jobs: int = 1
     analytic_cells: int = 0
+    fabric_cells: int = 0
+    fabric_workers: int = 0
+    fabric_reassignments: int = 0
     cell_wall_s: tuple[float, ...] = ()
     attempts: int = 0
     retries: int = 0
@@ -113,6 +123,9 @@ class CampaignRecord:
             "wall_s": self.wall_s,
             "jobs": self.jobs,
             "analytic_cells": self.analytic_cells,
+            "fabric_cells": self.fabric_cells,
+            "fabric_workers": self.fabric_workers,
+            "fabric_reassignments": self.fabric_reassignments,
             "cell_wall_s": list(self.cell_wall_s),
             "attempts": self.attempts,
             "retries": self.retries,
@@ -145,6 +158,10 @@ class MetricsRegistry:
         self.planned_campaigns = 0
         #: Cells answered by the closed-form analytic backend.
         self.analytic_cells = 0
+        #: Cells executed on the distributed worker fleet, and the
+        #: fleet's recovery work (lost-worker/expired-lease requeues).
+        self.fabric_cells = 0
+        self.fabric_reassignments = 0
         # Cross-experiment planner accounting (repro.pipeline): cells
         # requested across all experiments in a plan, cells saved by
         # dedup/caching, cells the batch actually simulated.
@@ -182,6 +199,8 @@ class MetricsRegistry:
                 )
                 self.simulated_wall_s += record.wall_s
             self.analytic_cells += record.analytic_cells
+            self.fabric_cells += record.fabric_cells
+            self.fabric_reassignments += record.fabric_reassignments
             self.total_retries += record.retries
             self.total_timeouts += record.timeouts
             self.total_crash_recoveries += record.crash_recoveries
@@ -237,6 +256,8 @@ class MetricsRegistry:
             "simulated_campaigns": self.simulated_campaigns,
             "simulated_cells": self.simulated_cells,
             "analytic_cells": self.analytic_cells,
+            "fabric_cells": self.fabric_cells,
+            "fabric_reassignments": self.fabric_reassignments,
             "simulated_wall_s": self.simulated_wall_s,
             "failed_campaigns": self.failed_campaigns,
             "planned_campaigns": self.planned_campaigns,
@@ -268,6 +289,12 @@ class MetricsRegistry:
         )
         if self.analytic_cells:
             line += f"{self.analytic_cells} analytic cells, "
+        if self.fabric_cells:
+            line += f"{self.fabric_cells} fabric cells, "
+            if self.fabric_reassignments:
+                line += (
+                    f"{self.fabric_reassignments} fleet reassignments, "
+                )
         line += (
             f"{self.memory_hits} memory hits, "
             f"{self.disk_hits} disk hits"

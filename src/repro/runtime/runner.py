@@ -120,7 +120,12 @@ class CellAttempt:
     attempt:
         0-based attempt number (0 = first try).
     outcome:
-        ``"ok"``, ``"exception"``, ``"timeout"`` or ``"crash"``.
+        ``"ok"``, ``"exception"``, ``"timeout"`` or ``"crash"`` from
+        the local runner; fabric execution adds ``"lost"`` (the
+        worker holding the cell's lease died or let it expire — not
+        billed to the cell's retry budget, like a pool crash) and
+        ``"corrupt"`` (the result payload failed its checksum and was
+        quarantined — billed, like an exception).
     error:
         Error text for failed attempts (empty for ``"ok"``).
     wall_s:
@@ -177,6 +182,14 @@ class CampaignExecution:
         throughput counters — ``events_processed``,
         ``processes_spawned``, ``peak_queue_len`` (see
         :meth:`Engine.stats <repro.sim.engine.Engine.stats>`).
+    fabric_cells:
+        Cells whose accepted result came from the worker fleet
+        (:mod:`repro.fabric`) rather than the local pool.
+    fabric_workers:
+        Distinct fleet workers that contributed accepted results.
+    fabric_reassignments:
+        Cells requeued after a lost worker or expired lease — the
+        fleet's analogue of ``crash_recoveries``.
     """
 
     times: dict[Cell, float]
@@ -188,6 +201,9 @@ class CampaignExecution:
     crash_recoveries: int = 0
     cell_engine_stats: tuple[dict[str, int], ...] = ()
     analytic_cells: int = 0
+    fabric_cells: int = 0
+    fabric_workers: int = 0
+    fabric_reassignments: int = 0
 
     @property
     def events_processed(self) -> int:
@@ -623,6 +639,7 @@ def execute_campaign(
     backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
     allow_partial: bool = False,
     backend: str | None = None,
+    fabric: bool | None = None,
 ) -> CampaignExecution:
     """Simulate every grid cell with retries, timeouts and recovery.
 
@@ -644,7 +661,9 @@ def execute_campaign(
     alongside per-cell failure records.
 
     ``backend`` picks the execution path per :data:`BACKENDS`
-    (``None`` resolves through :func:`repro.runtime.resolve_backend`).
+    (``None`` resolves through :func:`repro.runtime.resolve_backend`);
+    ``fabric`` offers DES cells to the distributed worker fleet first
+    (``None`` resolves through :func:`repro.runtime.resolve_fabric`).
     """
     cells = [(int(n), float(f)) for n in counts for f in frequencies]
     return execute_cells(
@@ -657,6 +676,7 @@ def execute_campaign(
         backoff_s=backoff_s,
         allow_partial=allow_partial,
         backend=backend,
+        fabric=fabric,
     )
 
 
@@ -671,6 +691,7 @@ def execute_cells(
     backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
     allow_partial: bool = False,
     backend: str | None = None,
+    fabric: bool | None = None,
 ) -> CampaignExecution:
     """Simulate an explicit cell list (not necessarily a full grid).
 
@@ -689,10 +710,21 @@ def execute_cells(
     modelable cells analytically and simulates the rest; ``"des"``
     simulates everything.  ``None`` resolves the process default via
     :func:`repro.runtime.resolve_backend`.
+
+    ``fabric`` (``None`` resolves through
+    :func:`repro.runtime.resolve_fabric`) offers the DES cells to the
+    distributed worker fleet first.  The fleet is an *accelerator*,
+    never a point of failure: with no installed coordinator, no live
+    workers, or an unpicklable payload the cells run locally, and any
+    cells the fleet strands (every worker died mid-batch, or a cell
+    was lost too many times) are finished on the local pool — results
+    stay bit-identical either way, because every path runs the same
+    deterministic per-cell simulation.
     """
     from repro import runtime as _runtime
 
     backend = _runtime.resolve_backend(backend)
+    fabric = _runtime.resolve_fabric(fabric)
     cells = [(int(n), float(f)) for n, f in cells]
     if backend == "analytic":
         analytic_cells: list[Cell] = list(cells)
@@ -708,16 +740,18 @@ def execute_cells(
 
     jobs = max(1, min(int(jobs), len(des_cells))) if des_cells else 1
     retries = max(0, int(retries))
-    if jobs > 1:
+    if jobs > 1 or fabric:
         try:
             pickle.dumps((benchmark, spec))
         except Exception:
             jobs = 1  # e.g. locally-defined benchmark classes
+            fabric = False  # the fleet ships the same pickle
 
     attempt_index: dict[Cell, int] = {cell: 0 for cell in cells}
     log: list[CellAttempt] = []
     results: dict[Cell, tuple[float, float, float, dict]] = {}
     crash_recoveries = 0
+    fabric_cells = fabric_workers = fabric_reassignments = 0
     if analytic_cells:
         _run_analytic_cells(
             benchmark,
@@ -727,6 +761,34 @@ def execute_cells(
             log=log,
             results=results,
         )
+    if des_cells and fabric:
+        # Local import: repro.fabric itself imports this module.
+        from repro.fabric.dispatch import run_fabric_cells
+
+        outcome = run_fabric_cells(
+            benchmark,
+            des_cells,
+            spec,
+            retries=retries,
+            backoff_s=backoff_s,
+            label=f"{getattr(benchmark, 'name', benchmark)!s}",
+        )
+        if outcome is not None:
+            results.update(outcome.results)
+            log.extend(outcome.attempts)
+            fabric_cells = len(outcome.results)
+            fabric_workers = outcome.workers_used
+            fabric_reassignments = outcome.reassignments
+            # Local attempt numbering continues after the fleet's.
+            for a in outcome.attempts:
+                attempt_index[a.cell] = max(
+                    attempt_index.get(a.cell, 0), a.attempt + 1
+                )
+            # Stranded cells (fleet died / loss bound hit) finish
+            # locally; fleet-failed cells exhausted their own retry
+            # budget and are accounted as failures below.
+            des_cells = list(outcome.stranded)
+        # outcome None: no usable fleet — run everything locally.
     if des_cells and jobs > 1:
         jobs, crash_recoveries = _run_parallel_resilient(
             benchmark,
@@ -774,4 +836,7 @@ def execute_cells(
         crash_recoveries=crash_recoveries,
         cell_engine_stats=tuple(results[cell][3] for cell in ok_cells),
         analytic_cells=len(set(analytic_cells)),
+        fabric_cells=fabric_cells,
+        fabric_workers=fabric_workers,
+        fabric_reassignments=fabric_reassignments,
     )

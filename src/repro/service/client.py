@@ -5,6 +5,14 @@ keep-alive connection per instance — concurrent callers each create
 their own client (the load benchmark runs one per worker thread).
 Service-side errors surface as :class:`ServiceError` carrying the
 HTTP status and the structured error body.
+
+Transient connection failures (``ConnectionRefusedError`` while the
+server restarts, a reset mid-read) are retried with bounded
+exponential backoff — but only when the request is safe to repeat:
+idempotent GETs retry by default, POSTs only when the caller flags
+``retry=True`` (fabric workers do: their completions deduplicate
+server-side, so repeating one is harmless, and surviving a
+coordinator restart is the point).
 """
 
 from __future__ import annotations
@@ -15,6 +23,16 @@ import time
 import typing as _t
 
 __all__ = ["ServiceClient", "ServiceError"]
+
+#: Connection-level failures worth retrying: the server was down,
+#: restarting, or dropped the connection mid-exchange.  HTTP *status*
+#: errors are never retried — the request made it and was answered.
+_TRANSIENT_ERRORS = (
+    http.client.HTTPException,
+    ConnectionError,  # refused, reset, aborted
+    BrokenPipeError,
+    TimeoutError,
+)
 
 
 class ServiceError(RuntimeError):
@@ -40,10 +58,15 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 8642,
         timeout_s: float = 60.0,
+        *,
+        retries: int = 2,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         self.host = host
         self.port = int(port)
         self.timeout_s = float(timeout_s)
+        self.retries = max(0, int(retries))
+        self.retry_backoff_s = max(0.0, float(retry_backoff_s))
         self._connection: http.client.HTTPConnection | None = None
 
     # -- plumbing -----------------------------------------------------------
@@ -72,33 +95,47 @@ class ServiceClient:
         method: str,
         path: str,
         body: _t.Any | None = None,
+        *,
+        retry: bool | None = None,
     ) -> _t.Any:
         """One round trip; returns the parsed JSON body.
 
-        Retries once on a stale keep-alive connection (the server may
-        have closed it between requests).
+        A stale keep-alive connection (the server may have closed it
+        between requests) always gets one silent reconnect.  Beyond
+        that, *transient* connection failures — refused while the
+        server restarts, reset mid-read — are retried up to
+        ``self.retries`` times with exponential backoff
+        (``retry_backoff_s * 2**k``), but only when ``retry`` is true:
+        it defaults to ``True`` for idempotent GETs and ``False`` for
+        everything else, so a non-idempotent POST is never silently
+        repeated unless the caller declared it safe.
         """
+        if retry is None:
+            retry = method.upper() in ("GET", "HEAD")
+        extra_attempts = self.retries if retry else 1
         payload = (
             json.dumps(body).encode("utf-8")
             if body is not None
             else None
         )
         headers = {"Content-Type": "application/json"}
-        for attempt in (0, 1):
+        for attempt in range(extra_attempts + 1):
             connection = self._connect()
             try:
                 connection.request(method, path, payload, headers)
                 response = connection.getresponse()
                 raw = response.read()
                 break
-            except (
-                http.client.HTTPException,
-                ConnectionError,
-                BrokenPipeError,
-            ):
+            except _TRANSIENT_ERRORS:
                 self.close()
-                if attempt:
+                if attempt >= extra_attempts:
                     raise
+                # The first reconnect is free (stale keep-alive is
+                # routine, not an outage); later ones back off.
+                if attempt > 0:
+                    time.sleep(
+                        self.retry_backoff_s * 2 ** (attempt - 1)
+                    )
         document = json.loads(raw) if raw else {}
         if response.status >= 400:
             error = (
@@ -116,8 +153,16 @@ class ServiceClient:
     # -- endpoints ----------------------------------------------------------
 
     def healthz(self) -> dict[str, _t.Any]:
-        """``GET /healthz``."""
+        """``GET /healthz`` — liveness (the process is up)."""
         return self.request("GET", "/healthz")
+
+    def readyz(self) -> dict[str, _t.Any]:
+        """``GET /readyz`` — readiness to take *new* work.
+
+        Raises :class:`ServiceError` with status 503 while the
+        service is draining or its job queue is full.
+        """
+        return self.request("GET", "/readyz")
 
     def metrics(self) -> dict[str, _t.Any]:
         """``GET /metrics``."""
@@ -154,8 +199,17 @@ class ServiceClient:
         problem_class: str = "A",
         counts: _t.Sequence[int] | None = None,
         frequencies_mhz: _t.Sequence[float] | None = None,
+        *,
+        fabric: bool | None = None,
+        allow_partial: bool | None = None,
     ) -> dict[str, _t.Any]:
-        """``POST /campaign`` — returns the job ticket (202)."""
+        """``POST /campaign`` — returns the job ticket (202).
+
+        ``fabric`` asks the service to execute on the worker fleet
+        (falling back to its local pool when no workers are live);
+        ``allow_partial`` lets the campaign complete with failed-cell
+        metadata instead of failing outright.
+        """
         body: dict[str, _t.Any] = {
             "benchmark": benchmark,
             "class": problem_class,
@@ -164,6 +218,10 @@ class ServiceClient:
             body["counts"] = list(counts)
         if frequencies_mhz is not None:
             body["frequencies_mhz"] = list(frequencies_mhz)
+        if fabric is not None:
+            body["fabric"] = bool(fabric)
+        if allow_partial is not None:
+            body["allow_partial"] = bool(allow_partial)
         return self.request("POST", "/campaign", body)
 
     def experiments(self) -> dict[str, _t.Any]:

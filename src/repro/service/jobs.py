@@ -271,10 +271,20 @@ class JobManager:
                 self._release(job)
             return job
 
+    def purge(self, now: float | None = None) -> int:
+        """Locked :meth:`purge_expired` for periodic housekeeping.
+
+        The query methods purge opportunistically, but a service that
+        stops being queried would retain expired results until the
+        next request — the server's housekeeping task calls this on a
+        timer so retention is bounded by the TTL, not by traffic.
+        """
+        with self._lock:
+            return self.purge_expired(now)
+
     def purge_expired(self, now: float | None = None) -> int:
         """Drop finished jobs older than the TTL (lock held by caller
-        when invoked internally; safe to call standalone in tests via
-        the public query methods)."""
+        when invoked internally; use :meth:`purge` standalone)."""
         if self.ttl_s <= 0:
             return 0
         now = time.time() if now is None else now

@@ -20,8 +20,19 @@ process needs:
   experiment + parameter digest) whose result carries the rendered
   report, the jsonified data and the artifact store's provenance
   document;
-* graceful shutdown — SIGTERM/SIGINT stop admission, drain running
-  jobs, then close the listener.
+* the campaign-fabric coordinator (:mod:`repro.fabric`): remote
+  workers drive ``/fabric/register``, ``/fabric/lease``,
+  ``/fabric/complete`` and ``/fabric/heartbeat``; worker/lease
+  counters ride along in ``/metrics``, and a periodic housekeeping
+  task reaps dead workers and purges expired job results;
+* split health endpoints — ``/healthz`` is pure liveness (200 while
+  the process answers), ``/readyz`` is readiness (503 while draining
+  or queue-full, so load balancers stop routing *before* the SIGTERM
+  drain completes);
+* graceful shutdown — SIGTERM/SIGINT stop admission, drain the
+  fabric (workers see ``drain`` and exit; in-flight fabric batches
+  fall back to local execution), drain running jobs, then close the
+  listener.
 
 The process is marked as a long-lived server at startup
 (:func:`repro.runtime.mark_server_process`), so fault-injection plans
@@ -100,6 +111,15 @@ class ServiceConfig:
     cache_entries: int = memcache.DEFAULT_MAX_ENTRIES
     allow_faults: bool = False
     drain_timeout_s: float = 30.0
+    #: Campaign-fabric timings (see :mod:`repro.fabric`); tests dial
+    #: these down so lease expiry and worker death resolve in tens of
+    #: milliseconds instead of seconds.
+    fabric_lease_ttl_s: float = 5.0
+    fabric_heartbeat_s: float = 1.0
+    fabric_worker_timeout_s: float | None = None
+    fabric_max_lease_cells: int = 4
+    #: Period of the housekeeping task (job purge + fabric reap).
+    housekeeping_s: float = 1.0
 
     @classmethod
     def from_env(cls) -> "ServiceConfig":
@@ -121,6 +141,18 @@ class ServiceConfig:
                 "REPRO_SERVE_ALLOW_FAULTS", ""
             ).strip().lower()
             in ("1", "true", "yes", "on"),
+            fabric_lease_ttl_s=_env_float(
+                "REPRO_SERVE_LEASE_TTL", 5.0
+            ),
+            fabric_heartbeat_s=_env_float(
+                "REPRO_SERVE_HEARTBEAT", 1.0
+            ),
+            fabric_max_lease_cells=_env_int(
+                "REPRO_SERVE_MAX_LEASE_CELLS", 4
+            ),
+            housekeeping_s=_env_float(
+                "REPRO_SERVE_HOUSEKEEPING", 1.0
+            ),
         )
 
 
@@ -162,6 +194,8 @@ class ReproService:
         self._stop_event: asyncio.Event | None = None
         self._closing = False
         self._spec_digest: str | None = None
+        self.coordinator: _t.Any | None = None
+        self._housekeeping: asyncio.Task | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -175,29 +209,62 @@ class ReproService:
     async def start(self) -> None:
         """Mark the process, warm requested models, bind the socket."""
         from repro import runtime
+        from repro.fabric import FabricCoordinator, install_coordinator
 
         runtime.mark_server_process(
             "repro-serve", allow_faults=self.config.allow_faults
         )
         self._started_at = time.monotonic()
+        self.coordinator = FabricCoordinator(
+            lease_ttl_s=self.config.fabric_lease_ttl_s,
+            heartbeat_s=self.config.fabric_heartbeat_s,
+            worker_timeout_s=self.config.fabric_worker_timeout_s,
+            max_lease_cells=self.config.fabric_max_lease_cells,
+        )
+        install_coordinator(self.coordinator)
         for name, cls in self.config.warmup:
             await self._bundle(name, cls)
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
         self._port = self._server.sockets[0].getsockname()[1]
+        self._housekeeping = asyncio.create_task(
+            self._housekeeping_loop()
+        )
+
+    async def _housekeeping_loop(self) -> None:
+        """Periodic upkeep no request should have to trigger: purge
+        expired job results and reap dead fabric workers/leases."""
+        period = max(0.05, float(self.config.housekeeping_s))
+        while True:
+            await asyncio.sleep(period)
+            self.jobs.purge()
+            if self.coordinator is not None:
+                self.coordinator.reap()
 
     async def stop(self) -> None:
         """Graceful shutdown: stop admission, drain jobs, unbind."""
         from repro import runtime
+        from repro.fabric import install_coordinator
 
         self._closing = True
+        if self.coordinator is not None:
+            # Workers see ``drain`` on their next lease and exit; any
+            # in-flight fabric batch falls back to local execution.
+            self.coordinator.drain()
         await self.jobs.drain(self.config.drain_timeout_s)
         self.jobs.shutdown()
+        if self._housekeeping is not None:
+            self._housekeeping.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._housekeeping
+            self._housekeeping = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        install_coordinator(None)
+        self.coordinator = None
         runtime.unmark_server_process()
 
     def request_stop(self) -> None:
@@ -289,12 +356,16 @@ class ReproService:
         try:
             if request.path == "/healthz" and request.method == "GET":
                 return 200, self._healthz()
+            if request.path == "/readyz" and request.method == "GET":
+                return self._readyz()
             if request.path == "/metrics" and request.method == "GET":
                 return 200, self._metrics()
             if request.path == "/predict" and request.method == "POST":
                 return await self._handle_predict(request)
             if request.path == "/campaign" and request.method == "POST":
                 return self._handle_campaign(request)
+            if request.path.startswith("/fabric/"):
+                return self._handle_fabric(request)
             if request.path == "/experiments" and request.method == "GET":
                 return 200, self._handle_experiments_list()
             if request.path.startswith("/experiments/"):
@@ -305,6 +376,7 @@ class ReproService:
                 return self._handle_job(request)
             if request.path in (
                 "/healthz",
+                "/readyz",
                 "/metrics",
                 "/predict",
                 "/campaign",
@@ -340,6 +412,12 @@ class ReproService:
     # -- endpoints ----------------------------------------------------------
 
     def _healthz(self) -> dict[str, _t.Any]:
+        """Liveness: the process is up and the loop is turning.
+
+        Always 200 while the listener answers — even mid-drain.  A
+        supervisor restarts on liveness failure; readiness
+        (:meth:`_readyz`) is what load balancers route on.
+        """
         from repro import __version__
 
         uptime = (
@@ -357,6 +435,89 @@ class ReproService:
             ),
             "jobs_active": self.jobs.active_count(),
         }
+
+    def _readyz(self) -> tuple[int, dict[str, _t.Any]]:
+        """Readiness: should *new* work be routed here right now?
+
+        503 while draining (so a balancer stops routing before the
+        SIGTERM drain finishes) or while the job queue is full; 200
+        with capacity detail otherwise.
+        """
+        active = self.jobs.active_count()
+        reasons = []
+        if self._closing or self.jobs.draining:
+            reasons.append("draining")
+        if active >= self.jobs.max_queue:
+            reasons.append("queue_full")
+        document = {
+            "status": "ready" if not reasons else "unavailable",
+            "reasons": reasons,
+            "jobs_active": active,
+            "queue_capacity": self.jobs.max_queue,
+            "fabric_workers": (
+                self.coordinator.live_workers()
+                if self.coordinator is not None
+                else 0
+            ),
+        }
+        return (200 if not reasons else 503), document
+
+    def _handle_fabric(
+        self, request: protocol.Request
+    ) -> tuple[int, _t.Any]:
+        """The worker-protocol endpoints (``/fabric/<action>``).
+
+        Thin wrappers over the installed
+        :class:`~repro.fabric.FabricCoordinator` — every method is a
+        quick in-memory state transition, so handling them inline on
+        the event loop is fine.
+        """
+        from repro.fabric.coordinator import UnknownWorkerError
+
+        if request.method != "POST":
+            return 405, protocol.error_payload(
+                "method_not_allowed",
+                f"{request.method} not supported on {request.path}",
+            )
+        if self.coordinator is None:
+            return 503, protocol.error_payload(
+                "no_fabric", "fabric coordinator is not running"
+            )
+        body = request.json()
+        if not isinstance(body, dict):
+            raise protocol.ProtocolError(
+                "fabric request body must be a JSON object"
+            )
+        action = request.path[len("/fabric/") :]
+        try:
+            if action == "register":
+                return 200, self.coordinator.register(
+                    str(body.get("name", ""))
+                )
+            worker_id = str(body.get("worker_id", ""))
+            if action == "lease":
+                return 200, self.coordinator.lease(
+                    worker_id, body.get("max_cells")
+                )
+            if action == "heartbeat":
+                return 200, self.coordinator.heartbeat(
+                    worker_id, body.get("lease_id")
+                )
+            if action == "complete":
+                return 200, self.coordinator.complete(
+                    worker_id,
+                    str(body.get("lease_id", "")),
+                    str(body.get("batch_id", "")),
+                    body.get("results") or (),
+                    body.get("failures") or (),
+                )
+        except UnknownWorkerError as exc:
+            return 404, protocol.error_payload(
+                "unknown_worker", str(exc)
+            )
+        return 404, protocol.error_payload(
+            "not_found", f"unknown fabric action {action!r}"
+        )
 
     def _metrics(self) -> dict[str, _t.Any]:
         from repro.runtime import campaign_metrics, server_process_context
@@ -403,6 +564,11 @@ class ReproService:
                 },
                 "response_cache": self.responses.stats(),
                 "jobs": self.jobs.stats(),
+                "fabric": (
+                    self.coordinator.stats()
+                    if self.coordinator is not None
+                    else None
+                ),
             },
             "campaign_runtime": campaign_metrics(),
         }
@@ -477,6 +643,8 @@ class ReproService:
             backend = runtime.resolve_backend(body.get("backend"))
         except ConfigurationError as exc:
             raise protocol.ProtocolError(str(exc)) from exc
+        fabric = bool(body.get("fabric", False))
+        allow_partial = bool(body.get("allow_partial", False))
         if self._spec_digest is None:
             self._spec_digest = runtime.spec_digest(paper_spec())
         digest = runtime.campaign_digest(
@@ -488,18 +656,28 @@ class ReproService:
             runtime.benchmark_digest(bench),
             backend,
         )
+        # Fabric execution computes identical results, so it shares
+        # the digest; allow_partial can produce a *different* document
+        # (missing cells + failure report) and must not collide with —
+        # or be served from — the full-campaign entry.
+        job_key = digest + ("+partial" if allow_partial else "")
         label = f"{bench.name}.{bench.problem_class.value}"
         from repro.runtime.metrics import METRICS
 
         def run_job(job: jobs_mod.Job) -> dict[str, _t.Any]:
-            cache_key = ("campaign", digest)
+            cache_key = ("campaign", job_key)
             cached = self.responses.get(cache_key)
             if cached is not None:
                 job.runtime = {"source": "service-cache"}
                 return cached
             before = len(METRICS.records)
             campaign = measure_campaign(
-                bench, counts, frequencies, backend=backend
+                bench,
+                counts,
+                frequencies,
+                backend=backend,
+                fabric=fabric or None,
+                allow_partial=allow_partial or None,
             )
             record = next(
                 (
@@ -521,11 +699,15 @@ class ReproService:
                     "speedups": campaign.speedups(),
                 },
             }
+            if record is not None and record.failed_cells:
+                # Partial result: reusable only by this job's own
+                # poll, never by future submissions.
+                return document
             self.responses.put(cache_key, document)
             return document
 
         job, created = self.jobs.submit(
-            digest,
+            job_key,
             label,
             run_job,
             params={
@@ -534,6 +716,8 @@ class ReproService:
                 "counts": list(counts),
                 "frequencies_mhz": [f / 1e6 for f in frequencies],
                 "backend": backend,
+                "fabric": fabric,
+                "allow_partial": allow_partial,
             },
         )
         return 202, {

@@ -1,0 +1,56 @@
+"""Shared fixtures for the campaign-fabric tests.
+
+Fabric tests get the same isolated campaign runtime as the service
+tests, plus guaranteed teardown of the process-global coordinator —
+a leaked coordinator would silently reroute every later
+fabric-enabled campaign in the suite.
+"""
+
+import pytest
+
+from repro import fabric, runtime
+from repro.experiments import platform
+from repro.pipeline import clear_cell_index
+from repro.service.server import ServiceThread
+
+from tests.fabric.fleet import fast_config
+
+
+@pytest.fixture(autouse=True)
+def isolated_runtime(tmp_path):
+    runtime.configure(
+        jobs=1,
+        disk_cache=False,
+        cache_dir=tmp_path,
+        fabric=None,
+        allow_partial=None,
+    )
+    platform._CACHE.clear()
+    clear_cell_index()
+    runtime.reset_campaign_metrics()
+    runtime.reset_cache_stats()
+    runtime.unmark_server_process()
+    runtime.install_fault_plan(None)
+    fabric.install_coordinator(None)
+    yield
+    runtime.configure(
+        jobs=None,
+        disk_cache=None,
+        cache_dir=None,
+        fabric=None,
+        allow_partial=None,
+    )
+    platform._CACHE.clear()
+    clear_cell_index()
+    runtime.reset_campaign_metrics()
+    runtime.reset_cache_stats()
+    runtime.unmark_server_process()
+    runtime.install_fault_plan(None)
+    fabric.install_coordinator(None)
+
+
+@pytest.fixture
+def served():
+    """An in-process service with fast fabric timings."""
+    with ServiceThread(fast_config()) as service:
+        yield service

@@ -1,0 +1,82 @@
+"""Test fleet plumbing shared by the fabric test modules."""
+
+import threading
+import time
+
+from repro.fabric.worker import FabricWorker
+from repro.service.server import ServiceConfig
+
+
+def fast_config(**overrides) -> ServiceConfig:
+    """A free-port service config with test-speed fabric timings.
+
+    Sub-second leases and heartbeats so lost-worker detection and
+    lease expiry resolve in test time; ``allow_faults`` so chaos
+    tests may arm a fault plan inside the server-marked process.
+    """
+    defaults = dict(
+        port=0,
+        fabric_lease_ttl_s=0.4,
+        fabric_heartbeat_s=0.05,
+        housekeeping_s=0.05,
+        allow_faults=True,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def wait_for_workers(service, count: int, timeout_s: float = 15.0) -> None:
+    """Block until ``count`` workers are registered and live.
+
+    Submitting a batch before any worker has registered makes the
+    dispatcher (correctly) fall back to local execution — fleet tests
+    must not race their own workers' registration.
+    """
+    coordinator = service.service.coordinator
+    deadline = time.monotonic() + timeout_s
+    while coordinator.live_workers() < count:
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"{count} workers not live within {timeout_s}s"
+            )
+        time.sleep(0.01)
+
+
+class WorkerFleet:
+    """In-thread fabric workers with lifecycle management.
+
+    ``kill_mode="stop"`` everywhere: an injected ``worker_kill`` must
+    end the worker's loop, not the test process.
+    """
+
+    def __init__(self, port: int, count: int, **worker_kwargs):
+        self.workers = [
+            FabricWorker(
+                port=port,
+                name=f"fleet-{i}",
+                kill_mode="stop",
+                **worker_kwargs,
+            )
+            for i in range(count)
+        ]
+        self.threads = [
+            threading.Thread(target=w.run, daemon=True)
+            for w in self.workers
+        ]
+
+    def start(self) -> "WorkerFleet":
+        for thread in self.threads:
+            thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        for worker in self.workers:
+            worker.stop()
+        for thread in self.threads:
+            thread.join(timeout=timeout_s)
+
+    def __enter__(self) -> "WorkerFleet":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

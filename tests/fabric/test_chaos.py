@@ -1,0 +1,161 @@
+"""The distributed chaos harness: a faulted fleet changes nothing.
+
+The acceptance test of the fabric: a 4-worker campaign where at least
+one worker is killed mid-lease, one stalls its heartbeats, and one
+ships a corrupted result payload must still complete every cell, with
+the reassignments visible in the attempt history and the merged
+results **bit-identical** to a clean serial run.
+
+Fault selection is seeded and keyed on the cell (never the worker),
+and leases carry a single cell in these tests, so every planned fault
+deterministically fires no matter which worker wins which lease.
+"""
+
+import time
+
+from repro import runtime
+from repro.cluster import paper_spec
+from repro.npb import EPBenchmark, ProblemClass
+from repro.runtime.faults import FaultPlan
+from repro.service.server import ServiceThread
+
+from tests.fabric.fleet import WorkerFleet, fast_config, wait_for_workers
+
+COUNTS = (1, 2, 4)
+FREQUENCIES = (600e6, 800e6)
+GRID = [(n, f) for n in COUNTS for f in FREQUENCIES]
+REQUIRED = {"worker_kill", "heartbeat_stall", "corrupt_result"}
+
+
+def _bench():
+    return EPBenchmark(ProblemClass.S)
+
+
+def chaos_plan() -> FaultPlan:
+    """A seeded plan where each required distributed fault kind fires
+    on at least one grid cell.
+
+    Killed workers are out permanently and stalling workers read as
+    dead while silent, so kills + stalls are capped at 3: the 4-worker
+    fleet always has a live member and the dispatcher never invokes
+    its (separately tested) all-workers-lost local fallback.
+    """
+    for seed in range(1000):
+        plan = FaultPlan(
+            seed=seed,
+            worker_kill=0.25,
+            heartbeat_stall=0.25,
+            corrupt_result=0.25,
+        )
+        kinds = [plan.worker_fault_for(n, f, 0) for n, f in GRID]
+        down = kinds.count("worker_kill") + kinds.count(
+            "heartbeat_stall"
+        )
+        if REQUIRED <= set(kinds) and down <= 3:
+            return plan
+    raise AssertionError("no chaos seed found in 1000 tries")
+
+
+def test_chaos_plan_is_deterministic():
+    plan = chaos_plan()
+    kinds = {plan.worker_fault_for(n, f, 0) for n, f in GRID}
+    assert REQUIRED <= kinds
+    # Faults fire on the first attempt only: every retry is clean.
+    assert all(
+        plan.worker_fault_for(n, f, 1) is None for n, f in GRID
+    )
+
+
+def test_faulted_fleet_campaign_bit_identical_to_serial():
+    spec = paper_spec()
+    serial = runtime.execute_campaign(
+        _bench(), COUNTS, FREQUENCIES, spec, jobs=1
+    )
+    plan = chaos_plan()
+    # Single-cell leases: a killed/stalled worker takes down exactly
+    # the drawn cell's attempt, never an innocent lease-mate's.
+    config = fast_config(fabric_max_lease_cells=1)
+    with ServiceThread(config) as service:
+        with WorkerFleet(service.port, 4, plan=plan):
+            wait_for_workers(service, 4)
+            execution = runtime.execute_campaign(
+                _bench(), COUNTS, FREQUENCIES, spec, jobs=1, fabric=True
+            )
+            stats = service.service.coordinator.stats()
+
+    # 1. Bit-identical merge, every cell present.
+    assert execution.times == serial.times
+    assert execution.energies == serial.energies
+    assert execution.cell_engine_stats == serial.cell_engine_stats
+    assert execution.failures == ()
+
+    # 2. Every cell was simulated by the fleet (no stranding: each
+    # faulted cell absorbs one loss or one billed failure, both well
+    # inside the bounds).
+    assert execution.fabric_cells == len(GRID)
+
+    # 3. The attempt history shows the recovery work: lost leases
+    # (killed + stalled workers) and the quarantined corrupt payload.
+    outcomes = [a.outcome for a in execution.attempts]
+    assert "lost" in outcomes
+    assert "corrupt" in outcomes
+    assert outcomes.count("ok") == len(GRID)
+    assert execution.fabric_reassignments >= 2  # kill + stall
+
+    # 4. The coordinator's ledger agrees.
+    assert stats["workers"]["lost"] >= 1
+    assert stats["cells"]["corrupt_payloads"] >= 1
+    assert stats["cells"]["reassigned"] >= 2
+    assert stats["cells"]["completed"] == len(GRID)
+
+
+def test_duplicate_completions_are_deduplicated():
+    spec = paper_spec()
+    cells = GRID[:2]
+    serial = runtime.execute_cells(_bench(), cells, spec, jobs=1)
+    plan = FaultPlan(dup_complete=1.0, cells=(cells[0],))
+    # Single-cell leases: the second (duplicate) completion arrives
+    # while the other cell still holds the batch open, so the dedup
+    # is observable in the coordinator's ledger.
+    with ServiceThread(fast_config(fabric_max_lease_cells=1)) as service:
+        with WorkerFleet(service.port, 1, plan=plan):
+            wait_for_workers(service, 1)
+            execution = runtime.execute_cells(
+                _bench(), cells, spec, jobs=1, fabric=True
+            )
+            stats = service.service.coordinator.stats()
+    assert execution.times == serial.times
+    assert execution.energies == serial.energies
+    assert stats["cells"]["duplicates"] >= 1
+
+
+def test_lease_expiry_race_merges_first_verified_result():
+    spec = paper_spec()
+    cells = GRID[:2]
+    serial = runtime.execute_cells(_bench(), cells, spec, jobs=1)
+    # The racing worker computes its cell, goes silent until its lease
+    # has expired, then delivers: the completion is late, and either
+    # it wins (cell still pending) or the reassigned copy already did
+    # (duplicate).  Both merge to the same bits.
+    plan = FaultPlan(lease_race=1.0, cells=(cells[0],))
+    with ServiceThread(fast_config(fabric_max_lease_cells=1)) as service:
+        with WorkerFleet(service.port, 2, plan=plan):
+            wait_for_workers(service, 2)
+            execution = runtime.execute_cells(
+                _bench(), cells, spec, jobs=1, fabric=True
+            )
+            # The batch finishes via reassignment while the racing
+            # worker is still sitting out its expired lease; give its
+            # late delivery time to land before reading the ledger.
+            coordinator = service.service.coordinator
+            deadline = time.monotonic() + 10.0
+            while (
+                coordinator.late_completions < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            stats = coordinator.stats()
+    assert execution.times == serial.times
+    assert execution.energies == serial.energies
+    assert stats["cells"]["late_completions"] >= 1
+    assert stats["cells"]["completed"] == len(cells)

@@ -1,0 +1,338 @@
+"""Protocol-level unit tests for the fabric coordinator.
+
+These drive :class:`repro.fabric.FabricCoordinator` directly — no
+HTTP, no worker threads — so every straggler shape the protocol must
+tolerate (duplicates, late completions, corrupt payloads, lost
+workers, re-registration) can be staged deterministically.
+"""
+
+import time
+
+import pytest
+
+from repro.fabric import (
+    FabricCoordinator,
+    UnknownWorkerError,
+    result_checksum,
+)
+
+CELLS = [(1, 600e6), (2, 600e6), (4, 600e6)]
+
+
+def _coordinator(**kwargs):
+    kwargs.setdefault("lease_ttl_s", 0.5)
+    kwargs.setdefault("heartbeat_s", 0.1)
+    return FabricCoordinator(**kwargs)
+
+
+def _result(cell, attempt=0, *, time_s=1.0, energy_j=2.0, corrupt=False):
+    """A wire-format completion document for one cell."""
+    checksum = result_checksum(cell[0], cell[1], time_s, energy_j)
+    doc = {
+        "cell": [cell[0], cell[1]],
+        "attempt": attempt,
+        "time_s": time_s,
+        "energy_j": energy_j,
+        "wall_s": 0.01,
+        "engine_stats": {
+            "events_processed": 1,
+            "processes_spawned": 1,
+            "peak_queue_len": 1,
+        },
+        "checksum": checksum,
+    }
+    if corrupt:
+        doc["energy_j"] = energy_j + 1.0  # checksum no longer matches
+    return doc
+
+
+def _register(coord, name="w"):
+    return coord.register(name)["worker_id"]
+
+
+class TestLeaseProtocol:
+    def test_register_reports_fleet_timings(self):
+        coord = _coordinator()
+        doc = coord.register("alpha")
+        assert doc["worker_id"].startswith("w-")
+        assert doc["lease_ttl_s"] == coord.lease_ttl_s
+        assert doc["heartbeat_s"] == coord.heartbeat_s
+        assert doc["worker_timeout_s"] == coord.worker_timeout_s
+        assert doc["max_lease_cells"] == coord.max_lease_cells
+
+    def test_lease_complete_roundtrip(self):
+        coord = _coordinator()
+        wid = _register(coord)
+        batch = coord.submit_batch(None, CELLS, None)
+        lease = coord.lease(wid)
+        assert lease["batch_id"] == batch.id
+        leased = [tuple(c["cell"]) for c in lease["cells"]]
+        assert all(c["attempt"] == 0 for c in lease["cells"])
+        response = coord.complete(
+            wid,
+            lease["lease_id"],
+            batch.id,
+            results=[_result(cell) for cell in leased],
+        )
+        assert response["accepted"] == len(leased)
+        assert response["corrupt"] == 0
+        assert response["reregister"] is False
+        remaining = [c for c in CELLS if tuple(c) not in set(leased)]
+        while remaining:
+            lease = coord.lease(wid)
+            cells = [tuple(c["cell"]) for c in lease["cells"]]
+            coord.complete(
+                wid,
+                lease["lease_id"],
+                batch.id,
+                results=[_result(cell) for cell in cells],
+            )
+            remaining = [c for c in remaining if c not in set(cells)]
+        assert batch.done.is_set()
+        assert set(batch.results) == {(n, f) for n, f in CELLS}
+        assert all(a.outcome == "ok" for a in batch.attempts)
+        # The finished batch is retired from the leasable set.
+        assert coord.lease(wid) == {
+            "idle": True,
+            "backoff_s": coord.heartbeat_s,
+        }
+
+    def test_unknown_worker_must_reregister(self):
+        coord = _coordinator()
+        coord.submit_batch(None, CELLS, None)
+        with pytest.raises(UnknownWorkerError):
+            coord.lease("w-9999")
+        with pytest.raises(UnknownWorkerError):
+            coord.heartbeat("w-9999")
+        # complete() cannot raise — the payload may still be usable —
+        # it flags the worker to re-register instead.
+        response = coord.complete("w-9999", "l-000001", "b-0001")
+        assert response["reregister"] is True
+
+    def test_drain_stops_issuing_leases(self):
+        coord = _coordinator()
+        wid = _register(coord)
+        coord.submit_batch(None, CELLS, None)
+        coord.drain()
+        assert coord.lease(wid) == {"drain": True}
+
+    def test_heartbeat_extends_lease_deadline(self):
+        coord = _coordinator()
+        wid = _register(coord)
+        coord.submit_batch(None, CELLS, None)
+        lease_doc = coord.lease(wid)
+        lease = coord._leases[lease_doc["lease_id"]]
+        before = lease.deadline_s
+        time.sleep(0.02)
+        response = coord.heartbeat(wid, lease_doc["lease_id"])
+        assert response["lease_extended"] is True
+        assert lease.deadline_s > before
+
+
+class TestStragglers:
+    def test_duplicate_completion_first_wins(self):
+        # Two cells so the batch is still live (not yet retired) when
+        # the straggler's duplicate lands.
+        coord = _coordinator(max_lease_cells=1)
+        wid = _register(coord)
+        batch = coord.submit_batch(None, CELLS[:2], None)
+        lease = coord.lease(wid)
+        cell = tuple(lease["cells"][0]["cell"])
+        first = _result(cell, time_s=1.0, energy_j=2.0)
+        coord.complete(wid, lease["lease_id"], batch.id, results=[first])
+        # A straggler delivers a second (even different-valued, still
+        # checksummed) result for the same cell: dropped.
+        second = _result(cell, time_s=9.0, energy_j=9.0)
+        response = coord.complete(
+            wid, lease["lease_id"], batch.id, results=[second]
+        )
+        assert response["duplicates"] == 1
+        assert response["accepted"] == 0
+        assert batch.results[cell][0] == 1.0
+        assert coord.duplicate_completions == 1
+
+    def test_corrupt_payload_quarantined_and_retried(self):
+        coord = _coordinator(max_lease_cells=1)
+        wid = _register(coord)
+        batch = coord.submit_batch(
+            None, CELLS[:1], None, retries=2, backoff_s=0.0
+        )
+        lease = coord.lease(wid)
+        cell = tuple(lease["cells"][0]["cell"])
+        response = coord.complete(
+            wid,
+            lease["lease_id"],
+            batch.id,
+            results=[_result(cell, corrupt=True)],
+        )
+        assert response["corrupt"] == 1
+        assert response["accepted"] == 0
+        # Quarantined: never merged, billed one attempt, re-leasable.
+        assert cell not in batch.results
+        assert batch.own_failures[cell] == 1
+        assert [a.outcome for a in batch.attempts] == ["corrupt"]
+        retry = coord.lease(wid)
+        assert retry["cells"][0]["attempt"] == 1
+        coord.complete(
+            wid, retry["lease_id"], batch.id, results=[_result(cell, 1)]
+        )
+        assert batch.done.is_set()
+        assert cell in batch.results
+        assert coord.corrupt_payloads == 1
+
+    def test_corrupt_payloads_exhaust_retry_budget(self):
+        coord = _coordinator(max_lease_cells=1)
+        wid = _register(coord)
+        batch = coord.submit_batch(
+            None, CELLS[:1], None, retries=0, backoff_s=0.0
+        )
+        lease = coord.lease(wid)
+        cell = tuple(lease["cells"][0]["cell"])
+        coord.complete(
+            wid,
+            lease["lease_id"],
+            batch.id,
+            results=[_result(cell, corrupt=True)],
+        )
+        assert cell in batch.failed
+        assert batch.done.is_set()
+
+    def test_worker_failure_report_requeues_billed(self):
+        coord = _coordinator(max_lease_cells=1)
+        wid = _register(coord)
+        batch = coord.submit_batch(
+            None, CELLS[:1], None, retries=2, backoff_s=0.0
+        )
+        lease = coord.lease(wid)
+        cell = tuple(lease["cells"][0]["cell"])
+        response = coord.complete(
+            wid,
+            lease["lease_id"],
+            batch.id,
+            failures=[
+                {"cell": list(cell), "attempt": 0, "error": "boom"}
+            ],
+        )
+        assert response["failed"] == 1
+        assert batch.own_failures[cell] == 1
+        attempt = batch.attempts[0]
+        assert attempt.outcome == "exception"
+        assert "boom" in attempt.error
+
+
+class TestLostWorkers:
+    def test_expired_lease_requeues_with_lost_attempts(self):
+        coord = _coordinator()
+        w1 = _register(coord, "doomed")
+        batch = coord.submit_batch(None, CELLS, None, backoff_s=0.0)
+        lease = coord.lease(w1)
+        leased = [tuple(c["cell"]) for c in lease["cells"]]
+        # Time travel: well past both the lease TTL and the worker
+        # silence window.
+        coord.reap(now=time.monotonic() + 60.0)
+        assert coord.live_workers() == 0
+        assert coord.leases_expired == 1
+        lost = [a for a in batch.attempts if a.outcome == "lost"]
+        assert [a.cell for a in lost] == leased
+        assert batch.reassignments == len(leased)
+        assert all(batch.losses[c] == 1 for c in leased)
+        # A healthy replacement picks the cells back up (attempt
+        # numbers continue past the lost attempt).
+        w2 = _register(coord, "replacement")
+        while not batch.done.is_set():
+            doc = coord.lease(w2)
+            cells = [tuple(c["cell"]) for c in doc["cells"]]
+            assert all(c["attempt"] >= 1 for c in doc["cells"] if tuple(c["cell"]) in leased)
+            coord.complete(
+                w2,
+                doc["lease_id"],
+                batch.id,
+                results=[
+                    _result(cell, item["attempt"])
+                    for cell, item in zip(cells, doc["cells"])
+                ],
+            )
+        assert set(batch.results) == {(n, f) for n, f in CELLS}
+        # Lost attempts never bill the cell's own retry budget.
+        assert all(v == 0 for v in batch.own_failures.values())
+
+    def test_late_completion_accepted_only_while_pending(self):
+        coord = _coordinator(max_lease_cells=2)
+        w1 = _register(coord, "slow")
+        batch = coord.submit_batch(None, CELLS[:2], None, backoff_s=0.0)
+        lease1 = coord.lease(w1)
+        cells = [tuple(c["cell"]) for c in lease1["cells"]]
+        assert len(cells) == 2
+        coord.reap(now=time.monotonic() + 60.0)  # w1 presumed dead
+        # A replacement finishes the first cell.
+        w2 = _register(coord, "fast")
+        lease2 = coord.lease(w2, max_cells=1)
+        taken = tuple(lease2["cells"][0]["cell"])
+        coord.complete(
+            w2, lease2["lease_id"], batch.id, results=[_result(taken, 1)]
+        )
+        # Now w1's completion for BOTH cells finally lands: the
+        # already-finished cell is a duplicate, the still-pending one
+        # is accepted — determinism makes any verified result valid.
+        response = coord.complete(
+            w1,
+            lease1["lease_id"],
+            batch.id,
+            results=[_result(cell) for cell in cells],
+        )
+        assert response["late"] == 2
+        assert response["duplicates"] == 1
+        assert response["accepted"] == 1
+        assert batch.done.is_set()
+        assert coord.late_completions == 2
+
+    def test_repeated_losses_strand_the_cell(self):
+        coord = _coordinator(max_cell_losses=2, max_lease_cells=1)
+        batch = coord.submit_batch(None, CELLS[:1], None, backoff_s=0.0)
+        cell = (CELLS[0][0], CELLS[0][1])
+        for expected_losses in (1, 2):
+            wid = _register(coord)
+            coord.lease(wid)
+            coord.reap(now=time.monotonic() + 60.0)
+            assert batch.losses[cell] == expected_losses
+        # Bounded: after max_cell_losses the cell is handed back for
+        # local execution instead of ping-ponging across the fleet.
+        assert batch.stranded == [cell]
+        assert batch.done.is_set()
+
+    def test_requeue_backoff_delays_next_lease(self):
+        coord = _coordinator(max_lease_cells=1)
+        w1 = _register(coord)
+        batch = coord.submit_batch(
+            None, CELLS[:1], None, retries=3, backoff_s=30.0
+        )
+        lease = coord.lease(w1)
+        cell = tuple(lease["cells"][0]["cell"])
+        coord.complete(
+            wid := w1,
+            lease["lease_id"],
+            batch.id,
+            results=[_result(cell, corrupt=True)],
+        )
+        # Backoff armed: the cell is queued but not yet leasable.
+        doc = coord.lease(wid)
+        assert doc.get("idle") is True
+        assert batch.not_before[cell] > time.monotonic()
+
+    def test_reclaim_batch_strands_pending_cells(self):
+        coord = _coordinator()
+        wid = _register(coord)
+        batch = coord.submit_batch(None, CELLS, None)
+        lease = coord.lease(wid, max_cells=1)
+        done_cell = tuple(lease["cells"][0]["cell"])
+        coord.complete(
+            wid, lease["lease_id"], batch.id, results=[_result(done_cell)]
+        )
+        coord.lease(wid, max_cells=1)  # leave one cell leased
+        reclaimed = coord.reclaim_batch(batch)
+        assert batch.done.is_set()
+        # Queued and leased cells both come back, in grid order; the
+        # completed one stays completed.
+        assert reclaimed == [c for c in batch.cells if c != done_cell]
+        assert batch.stranded == reclaimed
+        assert coord._leases == {}

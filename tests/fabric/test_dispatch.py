@@ -1,0 +1,169 @@
+"""Runner-side fabric dispatch: fallback ladder and degradation.
+
+No HTTP here — the coordinator is driven in-process, with a minimal
+thread standing in for a worker where one is needed — so these tests
+pin the *runner's* obligations: silent local fallback whenever no
+usable fleet exists, and bit-identical completion when the fleet dies
+mid-batch and strands its cells back to the local pool.
+"""
+
+import base64
+import pickle
+import threading
+import time
+
+from repro import runtime
+from repro.cluster import paper_spec
+from repro.fabric import (
+    FabricCoordinator,
+    install_coordinator,
+    result_checksum,
+)
+from repro.fabric.dispatch import run_fabric_cells
+from repro.npb import EPBenchmark, ProblemClass
+from repro.runtime.runner import _simulate_cell
+
+CELLS = [(1, 600e6), (2, 600e6), (1, 800e6), (2, 800e6)]
+
+
+def _bench():
+    return EPBenchmark(ProblemClass.S)
+
+
+def _drive(coordinator, stop):
+    """A worker loop without the HTTP: lease, simulate, complete."""
+    wid = coordinator.register("driver")["worker_id"]
+    while not stop.is_set():
+        doc = coordinator.lease(wid)
+        if doc.get("drain"):
+            return
+        if doc.get("idle"):
+            time.sleep(0.005)
+            continue
+        benchmark, spec = pickle.loads(
+            base64.b64decode(doc["payload"])
+        )
+        results = []
+        for item in doc["cells"]:
+            n, f = int(item["cell"][0]), float(item["cell"][1])
+            time_s, energy_j, wall_s, stats = _simulate_cell(
+                benchmark, n, f, spec, item["attempt"], None
+            )
+            results.append(
+                {
+                    "cell": [n, f],
+                    "attempt": item["attempt"],
+                    "time_s": time_s,
+                    "energy_j": energy_j,
+                    "wall_s": wall_s,
+                    "engine_stats": stats,
+                    "checksum": result_checksum(
+                        n, f, time_s, energy_j
+                    ),
+                }
+            )
+        coordinator.complete(
+            wid, doc["lease_id"], doc["batch_id"], results
+        )
+
+
+class TestFallbackLadder:
+    def test_no_coordinator_returns_none(self):
+        assert (
+            run_fabric_cells(
+                _bench(), CELLS, paper_spec(), retries=2, backoff_s=0.0
+            )
+            is None
+        )
+
+    def test_draining_coordinator_returns_none(self):
+        coordinator = FabricCoordinator()
+        coordinator.register("w")
+        coordinator.drain()
+        assert (
+            run_fabric_cells(
+                _bench(),
+                CELLS,
+                paper_spec(),
+                retries=2,
+                backoff_s=0.0,
+                coordinator=coordinator,
+            )
+            is None
+        )
+
+    def test_zero_workers_returns_none(self):
+        assert (
+            run_fabric_cells(
+                _bench(),
+                CELLS,
+                paper_spec(),
+                retries=2,
+                backoff_s=0.0,
+                coordinator=FabricCoordinator(),
+            )
+            is None
+        )
+
+    def test_execute_cells_fabric_without_fleet_matches_serial(self):
+        spec = paper_spec()
+        serial = runtime.execute_cells(_bench(), CELLS, spec, jobs=1)
+        fleetless = runtime.execute_cells(
+            _bench(), CELLS, spec, jobs=1, fabric=True
+        )
+        assert fleetless.times == serial.times
+        assert fleetless.energies == serial.energies
+        assert fleetless.fabric_cells == 0
+        assert fleetless.fabric_workers == 0
+
+
+class TestFleetExecution:
+    def test_fleet_run_bit_identical_to_serial(self):
+        spec = paper_spec()
+        serial = runtime.execute_cells(_bench(), CELLS, spec, jobs=1)
+        coordinator = FabricCoordinator(
+            lease_ttl_s=2.0, heartbeat_s=0.1, max_lease_cells=2
+        )
+        install_coordinator(coordinator)
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=_drive, args=(coordinator, stop), daemon=True
+        )
+        thread.start()
+        try:
+            execution = runtime.execute_cells(
+                _bench(), CELLS, spec, jobs=1, fabric=True
+            )
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+        assert execution.times == serial.times
+        assert execution.energies == serial.energies
+        assert execution.cell_engine_stats == serial.cell_engine_stats
+        assert execution.fabric_cells == len(CELLS)
+        assert execution.fabric_workers == 1
+
+    def test_fleet_death_mid_batch_strands_to_local(self):
+        spec = paper_spec()
+        serial = runtime.execute_cells(_bench(), CELLS, spec, jobs=1)
+        # A ghost fleet: one registered worker that never leases and
+        # never heartbeats.  The dispatcher submits the batch, the
+        # ghost is declared dead moments later, and every cell must be
+        # reclaimed and finished locally — same results, no fleet
+        # credit.
+        coordinator = FabricCoordinator(
+            lease_ttl_s=0.1, heartbeat_s=0.05, worker_timeout_s=0.15
+        )
+        coordinator.register("ghost")
+        install_coordinator(coordinator)
+        execution = runtime.execute_cells(
+            _bench(), CELLS, spec, jobs=1, fabric=True
+        )
+        assert execution.times == serial.times
+        assert execution.energies == serial.energies
+        assert execution.fabric_cells == 0
+        # Every cell still has an "ok" attempt (the local one).
+        ok_cells = {
+            a.cell for a in execution.attempts if a.outcome == "ok"
+        }
+        assert ok_cells == {(n, f) for n, f in CELLS}

@@ -1,0 +1,59 @@
+"""The server's periodic housekeeping task.
+
+Job retention used to be purged only opportunistically, on the next
+query — a server nobody polled kept expired results forever.  The
+housekeeping task must purge on a timer, with no request traffic at
+all; it also reaps the fabric coordinator, so a dead worker is
+detected even while no dispatcher is waiting on a batch.
+"""
+
+import time
+
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig, ServiceThread
+
+
+def test_expired_jobs_purged_without_traffic():
+    config = ServiceConfig(
+        port=0, result_ttl_s=0.2, housekeeping_s=0.05
+    )
+    with ServiceThread(config) as served:
+        with ServiceClient(port=served.port) as client:
+            ticket = client.submit_campaign(
+                "ep", "S", counts=[1], frequencies_mhz=[600]
+            )
+            client.wait_for_job(ticket["job_id"])
+        # No further requests: only the housekeeping task can purge.
+        manager = served.service.jobs
+        deadline = time.monotonic() + 10.0
+        while manager.stats()["retained"] > 0:
+            assert time.monotonic() < deadline, (
+                "housekeeping never purged the expired job"
+            )
+            time.sleep(0.05)
+        assert manager.stats()["expired"] == 1
+
+
+def test_housekeeping_reaps_dead_fabric_workers():
+    config = ServiceConfig(
+        port=0,
+        fabric_heartbeat_s=0.05,
+        fabric_lease_ttl_s=0.1,
+        housekeeping_s=0.05,
+    )
+    with ServiceThread(config) as served:
+        with ServiceClient(port=served.port) as client:
+            client.request(
+                "POST", "/fabric/register", {"name": "silent"}
+            )
+            # The worker never heartbeats; nobody leases or polls the
+            # coordinator.  Only housekeeping can declare it dead.
+            deadline = time.monotonic() + 10.0
+            while True:
+                workers = client.metrics()["service"]["fabric"]["workers"]
+                if workers["dead"] == 1:
+                    break
+                assert time.monotonic() < deadline, (
+                    "housekeeping never reaped the silent worker"
+                )
+                time.sleep(0.05)
