@@ -37,11 +37,20 @@ def pytest_sessionfinish(session, exitstatus):
     from repro.runtime import campaign_metrics
 
     snapshot = campaign_metrics()
-    document = {
-        "session_wall_s": time.perf_counter() - _SESSION_START,
-        **snapshot,
-    }
     out = artifact_path("BENCH_campaigns.json")
+    # Merge over the existing document: keys this harness does not
+    # own (e.g. bench_fabric.py's "fabric_scaling" curve) survive,
+    # whichever order CI runs the two writers in.
+    document = {}
+    if out.exists():
+        try:
+            existing = json.loads(out.read_text())
+            if isinstance(existing, dict):
+                document = existing
+        except (ValueError, OSError):
+            document = {}
+    document["session_wall_s"] = time.perf_counter() - _SESSION_START
+    document.update(snapshot)
     out.write_text(json.dumps(document, indent=2))
     reporter = session.config.pluginmanager.get_plugin("terminalreporter")
     if reporter is not None:

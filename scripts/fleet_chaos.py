@@ -12,11 +12,15 @@ Exits non-zero on the first deviation.
 
 Usage::
 
-    PYTHONPATH=src python scripts/fleet_chaos.py
+    PYTHONPATH=src python scripts/fleet_chaos.py [--procs N]
+
+``--procs`` gives every worker subprocess a local process pool of
+that size, so the chaos run also covers the pooled fan-out path.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import subprocess
 import sys
@@ -68,7 +72,9 @@ def chaos_seed() -> int:
     raise AssertionError("no chaos seed found in 1000 tries")
 
 
-def spawn_worker(index: int, port: int, faults: str) -> subprocess.Popen:
+def spawn_worker(
+    index: int, port: int, faults: str, procs: int
+) -> subprocess.Popen:
     env = dict(os.environ)
     env["REPRO_FAULTS"] = faults
     src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
@@ -85,12 +91,23 @@ def spawn_worker(index: int, port: int, faults: str) -> subprocess.Popen:
             str(port),
             "--name",
             f"chaos-{index}",
+            "--procs",
+            str(procs),
         ],
         env=env,
     )
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        help="process-pool size for each worker (default 1)",
+    )
+    args = parser.parse_args()
+
     runtime.configure(cache_dir=tempfile.mkdtemp(prefix="repro-fleet-"))
     seed = chaos_seed()
     faults = "seed=%d,%s" % (
@@ -114,7 +131,7 @@ def main() -> int:
         with ServiceThread(config) as served:
             coordinator = served.service.coordinator
             procs = [
-                spawn_worker(i, served.port, faults)
+                spawn_worker(i, served.port, faults, args.procs)
                 for i in range(WORKERS)
             ]
             deadline = time.monotonic() + 30.0
@@ -128,6 +145,7 @@ def main() -> int:
                 coordinator.live_workers() >= WORKERS,
             )
 
+            campaign_start = time.perf_counter()
             with ServiceClient(port=served.port) as client:
                 ticket = client.submit_campaign(
                     "ep",
@@ -139,6 +157,7 @@ def main() -> int:
                 job = client.wait_for_job(
                     ticket["job_id"], timeout_s=300.0
                 )
+            campaign_wall = time.perf_counter() - campaign_start
             stats = coordinator.stats()
     finally:
         for proc in procs:
@@ -204,6 +223,16 @@ def main() -> int:
             WORKERS,
             job["runtime"]["fabric_reassignments"],
             stats["workers"]["lost"],
+        )
+    )
+    print(
+        "[fleet chaos] %d cells in %.2fs through the faulted fleet "
+        "(%.1f cells/s, %d procs per worker)"
+        % (
+            len(GRID),
+            campaign_wall,
+            len(GRID) / campaign_wall,
+            args.procs,
         )
     )
     return 0

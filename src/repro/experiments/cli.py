@@ -276,16 +276,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    from repro.fabric.worker import FabricWorker
+    from repro.fabric.worker import FabricWorker, resolve_worker_procs
 
     worker = FabricWorker(
         args.host,
         args.port,
         name=args.name,
         max_idle_s=args.max_idle_s,
+        procs=resolve_worker_procs(args.procs),
+        stall_timeout_s=args.stall_timeout_s,
     )
-    done = worker.run()
-    print(f"repro-worker {worker.name}: {done} cells completed")
+    try:
+        done = worker.run()
+    except KeyboardInterrupt:
+        worker.stop()
+        done = worker.cells_done
+    print(
+        f"repro-worker {worker.name}: {done} cells completed "
+        f"({worker.leases_taken} leases, {worker.procs} procs, "
+        f"{worker.reconnects} reconnects)"
+    )
     return 0
 
 
@@ -449,6 +459,20 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         default=None,
         help="exit after this long with no leasable work "
         "(default: run until drained)",
+    )
+    p_worker.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        help="local simulation processes (default: "
+        "REPRO_WORKER_PROCS or os.cpu_count())",
+    )
+    p_worker.add_argument(
+        "--stall-timeout-s",
+        type=float,
+        default=None,
+        help="declare a pool round hung after this long without a "
+        "completion (default: disabled)",
     )
     p_worker.set_defaults(func=_cmd_worker)
 

@@ -8,11 +8,21 @@ process and owns the fleet state:
   lease it held is expired.
 * **batches** of content-addressed cells are submitted by the runner's
   fabric execution path (:mod:`repro.fabric.dispatch`); cells queue in
-  input order and are handed out in **leases** of up to
-  ``max_lease_cells`` cells with a TTL.  Heartbeats extend the TTL, so
-  a lease stays valid exactly as long as its worker demonstrates
-  liveness — the distributed analogue of the local runner's
-  stall-based cell timeout.
+  input order and are handed out in **leases** with a TTL.  Heartbeats
+  extend the TTL, so a lease stays valid exactly as long as its worker
+  demonstrates liveness — the distributed analogue of the local
+  runner's stall-based cell timeout.
+* **lease sizing is adaptive**: the coordinator keeps an EWMA of the
+  observed per-cell wall time *per backend* (``"analytic"`` cells are
+  microseconds, ``"des"`` cells are tens of milliseconds and up) and
+  sizes each lease so it should take about ``target_lease_s`` of work
+  (default ~2× the heartbeat interval), scaled by the worker's
+  registered process capacity.  Cheap analytic cells therefore ship
+  in leases of hundreds of cells — amortizing payload pickling and
+  HTTP round trips — while expensive DES cells get small leases so a
+  lost worker strands little work.  ``max_lease_cells`` is a *cap*
+  on that policy, not the policy itself; ``target_lease_s=0``
+  disables adaptation (every lease is filled to the cap).
 * **completions** stream back per cell, each carrying a checksum over
   the result values.  A checksum mismatch *quarantines* the
   completion (the cell is re-leased and the corrupt payload never
@@ -49,9 +59,12 @@ import typing as _t
 from repro.runtime.runner import CellAttempt
 
 __all__ = [
+    "DEFAULT_BOOTSTRAP_LEASE_CELLS",
     "DEFAULT_HEARTBEAT_S",
     "DEFAULT_LEASE_TTL_S",
     "DEFAULT_MAX_LEASE_CELLS",
+    "DEFAULT_TARGET_LEASE_FACTOR",
+    "LEASE_EWMA_ALPHA",
     "FabricBatch",
     "FabricCoordinator",
     "Lease",
@@ -68,8 +81,20 @@ DEFAULT_HEARTBEAT_S = 1.0
 #: Lease time-to-live; heartbeats extend it by the same amount.
 DEFAULT_LEASE_TTL_S = 5.0
 
-#: Most cells a single lease hands to one worker.
-DEFAULT_MAX_LEASE_CELLS = 4
+#: Hard cap on cells per lease.  Adaptive sizing picks the actual
+#: count (see :class:`FabricCoordinator`); the cap only bounds it.
+DEFAULT_MAX_LEASE_CELLS = 256
+
+#: Cells per capacity slot handed out before any wall-time
+#: observation exists for a backend.
+DEFAULT_BOOTSTRAP_LEASE_CELLS = 4
+
+#: ``target_lease_s`` defaults to this multiple of the heartbeat
+#: interval, so a lease's work roughly spans two liveness proofs.
+DEFAULT_TARGET_LEASE_FACTOR = 2.0
+
+#: Smoothing factor for the per-backend cell wall-time EWMA.
+LEASE_EWMA_ALPHA = 0.25
 
 #: Lost-worker attempts a cell absorbs before it is stranded back to
 #: local execution.
@@ -108,6 +133,7 @@ class WorkerInfo:
     registered_s: float
     last_seen_s: float
     state: str = "live"  # "live" | "dead"
+    capacity: int = 1  # local simulation processes (lease multiplier)
     leases_issued: int = 0
     cells_completed: int = 0
     cells_failed: int = 0
@@ -118,6 +144,7 @@ class WorkerInfo:
             "worker_id": self.id,
             "name": self.name,
             "state": self.state,
+            "capacity": self.capacity,
             "leases_issued": self.leases_issued,
             "cells_completed": self.cells_completed,
             "cells_failed": self.cells_failed,
@@ -156,9 +183,11 @@ class FabricBatch:
         retries: int,
         backoff_s: float,
         max_cell_losses: int = DEFAULT_MAX_CELL_LOSSES,
+        backend: str = "des",
     ) -> None:
         self.id = batch_id
         self.label = label
+        self.backend = str(backend) or "des"
         self.payload_b64 = payload_b64
         self.cells: tuple[Cell, ...] = tuple(cells)
         self.retries = max(0, int(retries))
@@ -208,6 +237,7 @@ class FabricCoordinator:
         worker_timeout_s: float | None = None,
         max_lease_cells: int = DEFAULT_MAX_LEASE_CELLS,
         max_cell_losses: int = DEFAULT_MAX_CELL_LOSSES,
+        target_lease_s: float | None = None,
     ) -> None:
         self.lease_ttl_s = max(0.1, float(lease_ttl_s))
         self.heartbeat_s = max(0.05, float(heartbeat_s))
@@ -220,6 +250,16 @@ class FabricCoordinator:
         )
         self.max_lease_cells = max(1, int(max_lease_cells))
         self.max_cell_losses = max(1, int(max_cell_losses))
+        # Adaptive lease sizing: aim each lease at ~target_lease_s of
+        # work using the per-backend wall-time EWMA.  0 disables the
+        # policy (leases are filled to the cap, the pre-adaptive
+        # behaviour).
+        self.target_lease_s = (
+            DEFAULT_TARGET_LEASE_FACTOR * self.heartbeat_s
+            if target_lease_s is None
+            else max(0.0, float(target_lease_s))
+        )
+        self._cell_wall_ewma: dict[str, float] = {}
         self._lock = threading.Lock()
         self._workers: dict[str, WorkerInfo] = {}
         self._leases: dict[str, Lease] = {}
@@ -241,14 +281,19 @@ class FabricCoordinator:
         self.reassigned_cells = 0
         self.batches_submitted = 0
         self.batches_completed = 0
+        self.leases_by_backend: dict[str, int] = {}
 
     # -- worker protocol ---------------------------------------------------
 
     def register(
         self, name: str = "", capacity: int | None = None
     ) -> dict[str, _t.Any]:
-        """Register a worker; returns its id and the fleet timings."""
-        del capacity  # reserved for future scheduling hints
+        """Register a worker; returns its id and the fleet timings.
+
+        ``capacity`` is the worker's local simulation-process count
+        (``--procs``); adaptive sizing hands a 4-proc worker leases
+        four times as large so its pool stays fed.
+        """
         now = time.monotonic()
         with self._lock:
             self._worker_counter += 1
@@ -257,6 +302,7 @@ class FabricCoordinator:
                 name=str(name) or f"worker-{self._worker_counter}",
                 registered_s=now,
                 last_seen_s=now,
+                capacity=max(1, int(capacity or 1)),
             )
             self._workers[worker.id] = worker
         return {
@@ -265,6 +311,7 @@ class FabricCoordinator:
             "lease_ttl_s": self.lease_ttl_s,
             "worker_timeout_s": self.worker_timeout_s,
             "max_lease_cells": self.max_lease_cells,
+            "target_lease_s": self.target_lease_s,
         }
 
     def _touch(self, worker_id: str, now: float) -> WorkerInfo:
@@ -281,19 +328,46 @@ class FabricCoordinator:
             worker.state = "live"
         return worker
 
+    def _lease_limit_locked(
+        self,
+        batch: FabricBatch,
+        worker: WorkerInfo,
+        explicit: int | None,
+    ) -> int:
+        """How many cells of ``batch`` to lease to ``worker``.
+
+        Adaptive policy: target ``target_lease_s`` of work per lease
+        using the backend's observed per-cell wall-time EWMA, times
+        the worker's process capacity, bounded by ``max_lease_cells``
+        (and any explicit per-request ``max_cells``).  Before the
+        first observation a small bootstrap lease seeds the EWMA.
+        """
+        cap = self.max_lease_cells
+        if explicit is not None:
+            cap = min(cap, explicit)
+        if self.target_lease_s <= 0.0:
+            return cap  # fixed-size mode: fill to the cap
+        capacity = max(1, worker.capacity)
+        ewma = self._cell_wall_ewma.get(batch.backend)
+        if ewma is None:
+            size = DEFAULT_BOOTSTRAP_LEASE_CELLS * capacity
+        else:
+            per_cell = max(ewma, 1e-7)
+            size = int(self.target_lease_s / per_cell) * capacity
+        return max(1, min(cap, size))
+
     def lease(
         self, worker_id: str, max_cells: int | None = None
     ) -> dict[str, _t.Any]:
-        """Hand out up to ``max_cells`` leasable cells of one batch.
+        """Hand out an adaptively-sized lease of one batch's cells.
 
         Returns a lease document, ``{"idle": true}`` when nothing is
         leasable right now (backoff hint included), or
         ``{"drain": true}`` when the coordinator is shutting down.
         """
         now = time.monotonic()
-        limit = min(
-            self.max_lease_cells,
-            max(1, int(max_cells or self.max_lease_cells)),
+        explicit = (
+            max(1, int(max_cells)) if max_cells else None
         )
         with self._lock:
             self._reap_locked(now)
@@ -302,6 +376,9 @@ class FabricCoordinator:
                 return {"drain": True}
             for batch_id in self._batch_order:
                 batch = self._batches[batch_id]
+                limit = self._lease_limit_locked(
+                    batch, worker, explicit
+                )
                 ready: list[Cell] = []
                 for cell in list(batch.queue):
                     if len(ready) >= limit:
@@ -330,10 +407,14 @@ class FabricCoordinator:
                 self._leases[lease.id] = lease
                 worker.leases_issued += 1
                 self.leases_issued += 1
+                self.leases_by_backend[batch.backend] = (
+                    self.leases_by_backend.get(batch.backend, 0) + 1
+                )
                 return {
                     "lease_id": lease.id,
                     "batch_id": batch.id,
                     "label": batch.label,
+                    "backend": batch.backend,
                     "payload": batch.payload_b64,
                     "lease_ttl_s": self.lease_ttl_s,
                     "cells": [
@@ -476,6 +557,16 @@ class FabricCoordinator:
             )
             self._requeue_locked(batch, cell, now, billed=True)
             return "corrupt"
+        wall_s = float(doc.get("wall_s", 0.0))
+        if wall_s > 0.0:
+            # Feed the lease-sizing policy: smoothed per-cell wall
+            # time, tracked per backend.
+            prev = self._cell_wall_ewma.get(batch.backend)
+            self._cell_wall_ewma[batch.backend] = (
+                wall_s
+                if prev is None
+                else prev + LEASE_EWMA_ALPHA * (wall_s - prev)
+            )
         stats = doc.get("engine_stats") or {
             "events_processed": 0,
             "processes_spawned": 0,
@@ -582,6 +673,7 @@ class FabricCoordinator:
         label: str = "",
         retries: int = 2,
         backoff_s: float = 0.0,
+        backend: str = "des",
     ) -> FabricBatch:
         """Queue a cell union for the fleet; returns the live batch."""
         payload = base64.b64encode(
@@ -597,6 +689,7 @@ class FabricCoordinator:
                 retries=retries,
                 backoff_s=backoff_s,
                 max_cell_losses=self.max_cell_losses,
+                backend=backend,
             )
             self._batches[batch.id] = batch
             self._batch_order.append(batch.id)
@@ -721,6 +814,12 @@ class FabricCoordinator:
                     "active": len(self._leases),
                     "expired": self.leases_expired,
                     "ttl_s": self.lease_ttl_s,
+                    "issued_by_backend": dict(self.leases_by_backend),
+                },
+                "lease_sizing": {
+                    "target_lease_s": self.target_lease_s,
+                    "max_lease_cells": self.max_lease_cells,
+                    "ewma_cell_wall_s": dict(self._cell_wall_ewma),
                 },
                 "cells": {
                     "queued": sum(

@@ -1,4 +1,4 @@
-"""Runner-side bridge: hand a cell batch to the fleet, wait, merge.
+"""Runner-side bridge: hand cell batches to the fleet, wait, merge.
 
 :func:`run_fabric_cells` is called by
 :func:`repro.runtime.execute_cells` when fabric execution is enabled.
@@ -12,6 +12,13 @@ moment the fleet shrinks to zero live workers the unfinished cells
 are reclaimed and reported back as ``stranded`` for local execution.
 A fabric campaign can therefore lose every worker mid-batch and still
 complete, bit-identical, on the local pool.
+
+Submission and collection are split (:func:`submit_fabric_cells` /
+:func:`collect_fabric_batch`) so callers can *pipeline*: the runner
+submits its analytic and DES batches before waiting on either, and
+the planner keeps a bounded window of execution groups in flight so
+the fleet never drains between groups.  :func:`run_fabric_cells`
+remains the submit-then-wait convenience wrapper.
 """
 
 from __future__ import annotations
@@ -20,10 +27,16 @@ import dataclasses
 import time
 import typing as _t
 
-from repro.fabric.coordinator import FabricCoordinator
+from repro.fabric.coordinator import FabricBatch, FabricCoordinator
 from repro.runtime.runner import CellAttempt
 
-__all__ = ["FabricOutcome", "run_fabric_cells"]
+__all__ = [
+    "FabricOutcome",
+    "PendingFabricBatch",
+    "collect_fabric_batch",
+    "run_fabric_cells",
+    "submit_fabric_cells",
+]
 
 Cell = tuple[int, float]
 
@@ -46,9 +59,18 @@ class FabricOutcome:
     stranded: list[Cell]
     workers_used: int
     reassignments: int
+    worker_ids: frozenset[str] = frozenset()
 
 
-def run_fabric_cells(
+@dataclasses.dataclass
+class PendingFabricBatch:
+    """A batch in flight on the fleet, awaiting collection."""
+
+    coordinator: FabricCoordinator
+    batch: FabricBatch
+
+
+def submit_fabric_cells(
     benchmark: _t.Any,
     cells: _t.Sequence[Cell],
     spec: _t.Any,
@@ -56,17 +78,13 @@ def run_fabric_cells(
     retries: int,
     backoff_s: float,
     label: str = "",
+    backend: str = "des",
     coordinator: FabricCoordinator | None = None,
-    poll_s: float = 0.02,
-    max_wait_s: float | None = None,
-) -> FabricOutcome | None:
-    """Execute ``cells`` on the fleet; ``None`` means "no fleet, run
-    locally instead".
+) -> PendingFabricBatch | None:
+    """Queue ``cells`` on the fleet without waiting.
 
-    The wait loop reaps on every poll so the coordinator's failure
-    detection does not depend on any background task, and reclaims
-    the batch the moment no live worker remains (or ``max_wait_s``
-    elapses, when given) — reclaimed cells come back ``stranded``.
+    ``None`` means "no fleet, run locally instead": no installed
+    coordinator, a draining one, no cells, or zero live workers.
     """
     if coordinator is None:
         from repro.fabric import active_coordinator
@@ -85,7 +103,25 @@ def run_fabric_cells(
         label=label,
         retries=retries,
         backoff_s=backoff_s,
+        backend=backend,
     )
+    return PendingFabricBatch(coordinator=coordinator, batch=batch)
+
+
+def collect_fabric_batch(
+    pending: PendingFabricBatch,
+    *,
+    poll_s: float = 0.02,
+    max_wait_s: float | None = None,
+) -> FabricOutcome:
+    """Wait for a submitted batch and merge its outcome.
+
+    The wait loop reaps on every poll so the coordinator's failure
+    detection does not depend on any background task, and reclaims
+    the batch the moment no live worker remains (or ``max_wait_s``
+    elapses, when given) — reclaimed cells come back ``stranded``.
+    """
+    coordinator, batch = pending.coordinator, pending.batch
     deadline = (
         time.monotonic() + max_wait_s
         if max_wait_s is not None
@@ -112,4 +148,37 @@ def run_fabric_cells(
         stranded=list(batch.stranded),
         workers_used=len(batch.workers_used),
         reassignments=batch.reassignments,
+        worker_ids=frozenset(batch.workers_used),
+    )
+
+
+def run_fabric_cells(
+    benchmark: _t.Any,
+    cells: _t.Sequence[Cell],
+    spec: _t.Any,
+    *,
+    retries: int,
+    backoff_s: float,
+    label: str = "",
+    backend: str = "des",
+    coordinator: FabricCoordinator | None = None,
+    poll_s: float = 0.02,
+    max_wait_s: float | None = None,
+) -> FabricOutcome | None:
+    """Submit-then-wait convenience: execute ``cells`` on the fleet;
+    ``None`` means "no fleet, run locally instead"."""
+    pending = submit_fabric_cells(
+        benchmark,
+        cells,
+        spec,
+        retries=retries,
+        backoff_s=backoff_s,
+        label=label,
+        backend=backend,
+        coordinator=coordinator,
+    )
+    if pending is None:
+        return None
+    return collect_fabric_batch(
+        pending, poll_s=poll_s, max_wait_s=max_wait_s
     )

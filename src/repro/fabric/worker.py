@@ -1,13 +1,26 @@
 """The fabric worker loop (``repro-worker``).
 
-A worker is deliberately dumb: register with the coordinator, lease a
-handful of cells, simulate them serially with the very same
-:func:`~repro.runtime.runner._simulate_cell` the local pool uses,
-stream the results back (each with a payload checksum), repeat.  A
-background thread heartbeats the active lease so a *busy* worker never
-loses it; a *dead* worker stops heartbeating and the coordinator
-reassigns its cells — no worker-side recovery logic exists, because
-none is needed.
+A worker registers with the coordinator, leases a slice of cells,
+simulates them, and **streams completions back as each cell finishes**
+— per-cell for serial DES work, per-completed-wave when fanning cells
+across its local process pool — so the coordinator's straggler and
+requeue logic always sees fresh progress, not a silent worker that
+dumps everything at lease end.
+
+Scale comes from two places:
+
+* **A per-worker process pool** (``--procs`` / ``REPRO_WORKER_PROCS``,
+  default ``os.cpu_count()``): DES cells of a lease are fanned across
+  ``procs`` local processes with the same recovery semantics as the
+  local runner — a crashed pool is rebuilt and its unfinished cells
+  re-run (bounded rounds, then in-process serial fallback), cell
+  exceptions are shipped as billed failure reports, and an optional
+  stall timeout declares silent rounds hung.  The worker registers
+  ``procs`` as its *capacity* so the coordinator sizes leases to keep
+  the pool fed.
+* **Backend-aware leases**: a lease tagged ``backend="analytic"`` is
+  evaluated in one vectorized numpy pass in the worker parent —
+  hundreds of closed-form cells per HTTP round trip.
 
 The worker is also the injection point for the distributed failure
 modes (:data:`repro.runtime.faults.WORKER_FAULT_KINDS`): when a fault
@@ -17,7 +30,10 @@ fault, the worker misbehaves *on purpose* — dies mid-lease, stops
 heartbeating, completes after its lease expired, corrupts a payload
 after checksumming it, or sends the same completion twice.  Draws are
 keyed on the cell, so a chaos fleet is reproducible no matter which
-worker wins each lease.
+worker wins each lease.  The resolved plan is also passed *into* pool
+children explicitly (plans are pid-scoped), so in-cell fault kinds
+(``crash``/``hang``/``exception``/``corrupt``) fire inside worker
+subprocesses exactly as they do in the local runner's pool.
 
 ``kill_mode`` selects how ``worker_kill`` dies: ``"exit"`` calls
 ``os._exit`` (subprocess fleets, the real failure), ``"stop"`` ends
@@ -29,6 +45,8 @@ from __future__ import annotations
 
 import argparse
 import base64
+import concurrent.futures
+import multiprocessing
 import os
 import pickle
 import threading
@@ -40,7 +58,28 @@ from repro.runtime import faults
 from repro.runtime.runner import _simulate_cell
 from repro.service.client import ServiceClient, ServiceError
 
-__all__ = ["FabricWorker", "main"]
+__all__ = ["FabricWorker", "main", "resolve_worker_procs"]
+
+#: Pool-crash rebuild rounds before a lease falls back to in-process
+#: serial simulation (mirrors the local runner's fruitless-crash cap).
+_MAX_POOL_REBUILDS = 2
+
+
+def resolve_worker_procs(explicit: int | None = None) -> int:
+    """Local simulation processes per worker.
+
+    Precedence: explicit ``--procs`` > ``REPRO_WORKER_PROCS`` >
+    ``os.cpu_count()``.
+    """
+    if explicit is not None:
+        return max(1, int(explicit))
+    raw = os.environ.get("REPRO_WORKER_PROCS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
 
 
 class _WorkerKilled(Exception):
@@ -48,7 +87,7 @@ class _WorkerKilled(Exception):
 
 
 class FabricWorker:
-    """One fleet member: lease → simulate → complete → repeat."""
+    """One fleet member: lease → simulate → stream completions → repeat."""
 
     def __init__(
         self,
@@ -60,6 +99,8 @@ class FabricWorker:
         max_idle_s: float | None = None,
         plan: faults.FaultPlan | None = None,
         timeout_s: float = 30.0,
+        procs: int | None = None,
+        stall_timeout_s: float | None = None,
     ) -> None:
         self.host = host
         self.port = int(port)
@@ -71,21 +112,42 @@ class FabricWorker:
         self.kill_mode = kill_mode
         self.max_idle_s = max_idle_s
         self._plan = plan
+        # procs defaults to 1 here (in-thread test fleets stay
+        # serial); the CLI resolves env/cpu_count via
+        # resolve_worker_procs before constructing.
+        self.procs = max(1, int(procs or 1))
+        self.stall_timeout_s = (
+            float(stall_timeout_s)
+            if stall_timeout_s and stall_timeout_s > 0
+            else None
+        )
         self.worker_id: str | None = None
         self.heartbeat_s = 1.0
         self.lease_ttl_s = 5.0
         self.worker_timeout_s = 5.0
         self.cells_done = 0
         self.leases_taken = 0
+        self.pool_rebuilds = 0
         self._client = ServiceClient(
             host, port, timeout_s=timeout_s, retries=4
         )
+        self._hb_client: ServiceClient | None = None
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
         self._stop = threading.Event()
         self._hb_suppressed = threading.Event()
         self._hb_lease: str | None = None
         self._hb_thread: threading.Thread | None = None
 
     # -- plumbing -----------------------------------------------------------
+
+    @property
+    def reconnects(self) -> int:
+        """Keep-alive connections re-established across both HTTP
+        clients (lease loop + heartbeat thread)."""
+        count = self._client.reconnects
+        if self._hb_client is not None:
+            count += self._hb_client.reconnects
+        return count
 
     def _post(self, path: str, body: dict[str, _t.Any]) -> _t.Any:
         # Fabric POSTs are all safe to retry: completions deduplicate
@@ -94,7 +156,10 @@ class FabricWorker:
         return self._client.request("POST", path, body, retry=True)
 
     def _register(self) -> None:
-        doc = self._post("/fabric/register", {"name": self.name})
+        doc = self._post(
+            "/fabric/register",
+            {"name": self.name, "capacity": self.procs},
+        )
         self.worker_id = doc["worker_id"]
         self.heartbeat_s = float(doc.get("heartbeat_s", 1.0))
         self.lease_ttl_s = float(doc.get("lease_ttl_s", 5.0))
@@ -109,9 +174,10 @@ class FabricWorker:
 
     def _heartbeat_loop(self) -> None:
         # Own client: ServiceClient is not thread-safe.
-        with ServiceClient(
+        self._hb_client = ServiceClient(
             self.host, self.port, timeout_s=10.0, retries=2
-        ) as client:
+        )
+        with self._hb_client as client:
             while not self._stop.is_set():
                 if self._stop.wait(self.heartbeat_s):
                     return
@@ -135,6 +201,30 @@ class FabricWorker:
     def stop(self) -> None:
         """Ask the worker loop to exit (in-thread fleets)."""
         self._stop.set()
+
+    # -- the local pool -----------------------------------------------------
+
+    def _get_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                context = multiprocessing.get_context()
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.procs, mp_context=context
+            )
+        return self._pool
+
+    def _reset_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self.pool_rebuilds += 1
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     # -- the loop -----------------------------------------------------------
 
@@ -212,6 +302,7 @@ class FabricWorker:
             pass
         finally:
             self._stop.set()
+            self._shutdown_pool()
         return self.cells_done
 
     def _die(self) -> None:
@@ -219,27 +310,116 @@ class FabricWorker:
             os._exit(86)
         raise _WorkerKilled()
 
+    # -- lease processing ---------------------------------------------------
+
+    def _ship(
+        self,
+        lease_id: str,
+        batch_id: str,
+        results: list[dict[str, _t.Any]],
+        failures: list[dict[str, _t.Any]],
+    ) -> None:
+        """Stream one completion wave back to the coordinator."""
+        if not results and not failures:
+            return
+        response = self._post(
+            "/fabric/complete",
+            {
+                "worker_id": self.worker_id,
+                "lease_id": lease_id,
+                "batch_id": batch_id,
+                "results": results,
+                "failures": failures,
+            },
+        )
+        self.cells_done += len(results)
+        if response.get("reregister"):
+            self._register()
+
+    @staticmethod
+    def _completion(
+        n: int,
+        f: float,
+        attempt: int,
+        time_s: float,
+        energy_j: float,
+        wall_s: float,
+        stats: dict[str, int],
+    ) -> dict[str, _t.Any]:
+        return {
+            "cell": [n, f],
+            "attempt": attempt,
+            "time_s": time_s,
+            "energy_j": energy_j,
+            "wall_s": wall_s,
+            "engine_stats": stats,
+            "checksum": result_checksum(n, f, time_s, energy_j),
+        }
+
+    @staticmethod
+    def _failure(
+        n: int, f: float, attempt: int, error: BaseException | str
+    ) -> dict[str, _t.Any]:
+        message = (
+            error
+            if isinstance(error, str)
+            else f"{type(error).__name__}: {error}"
+        )
+        return {"cell": [n, f], "attempt": attempt, "error": message}
+
+    def _apply_worker_fault(
+        self,
+        kind: str | None,
+        completion: dict[str, _t.Any],
+        duplicates: list[dict[str, _t.Any]],
+        deferred: list[dict[str, _t.Any]],
+    ) -> bool:
+        """Mutate a completion per its distributed fault draw.
+
+        Returns True when the completion must be *deferred* (the
+        lease_race straggler: delivered only after the lease expired)
+        instead of streamed now.
+        """
+        if kind == "corrupt_result":
+            # Checksummed first, corrupted second: exactly the
+            # bit-flip-in-flight the quarantine exists for.
+            completion["energy_j"] = completion["energy_j"] + 1.0
+        elif kind == "dup_complete":
+            duplicates.append(dict(completion))
+        elif kind == "lease_race":
+            deferred.append(completion)
+            return True
+        return False
+
     def _process_lease(self, doc: dict[str, _t.Any]) -> None:
         benchmark, spec = pickle.loads(
             base64.b64decode(doc["payload"])
         )
         lease_id = doc["lease_id"]
         batch_id = doc["batch_id"]
+        backend = str(doc.get("backend", "des"))
         self._hb_lease = lease_id
         plan = (
             self._plan
             if self._plan is not None
             else faults.active_fault_plan()
         )
-        results: list[dict[str, _t.Any]] = []
-        failures: list[dict[str, _t.Any]] = []
-        duplicates: list[dict[str, _t.Any]] = []
-        race = False
+        items = [
+            (
+                int(item["cell"][0]),
+                float(item["cell"][1]),
+                int(item.get("attempt", 0)),
+            )
+            for item in doc.get("cells", ())
+        ]
         try:
-            for item in doc.get("cells", ()):
-                n = int(item["cell"][0])
-                f = float(item["cell"][1])
-                attempt = int(item.get("attempt", 0))
+            # Distributed fault kinds are evaluated in the parent, in
+            # lease order, before any simulation: worker_kill and
+            # heartbeat_stall abandon the remainder of the lease (the
+            # coordinator reassigns it), the payload faults mutate
+            # individual completions below.
+            kinds: dict[tuple[int, float], str | None] = {}
+            for n, f, attempt in items:
                 kind = (
                     plan.worker_fault_for(n, f, attempt)
                     if plan is not None
@@ -250,67 +430,255 @@ class FabricWorker:
                 if kind == "heartbeat_stall":
                     # Go silent mid-lease and abandon it: the
                     # coordinator must declare us dead and reassign
-                    # every cell of this lease, completed or not.
+                    # every unfinished cell of this lease.
                     self._hb_suppressed.set()
                     self._stop.wait(self._stall_s())
                     return
-                try:
-                    time_s, energy_j, wall_s, stats = _simulate_cell(
-                        benchmark, n, f, spec, attempt, None
-                    )
-                except Exception as error:  # ship it; don't die
-                    failures.append(
-                        {
-                            "cell": [n, f],
-                            "attempt": attempt,
-                            "error": f"{type(error).__name__}: {error}",
-                        }
-                    )
-                    continue
-                completion = {
-                    "cell": [n, f],
-                    "attempt": attempt,
-                    "time_s": time_s,
-                    "energy_j": energy_j,
-                    "wall_s": wall_s,
-                    "engine_stats": stats,
-                    "checksum": result_checksum(
-                        n, f, time_s, energy_j
-                    ),
-                }
-                if kind == "corrupt_result":
-                    # Checksummed first, corrupted second: exactly the
-                    # bit-flip-in-flight the quarantine exists for.
-                    completion["energy_j"] = energy_j + 1.0
-                elif kind == "dup_complete":
-                    duplicates.append(dict(completion))
-                elif kind == "lease_race":
-                    race = True
-                results.append(completion)
-                self.cells_done += 1
-            if race:
+                kinds[(n, f)] = kind
+            duplicates: list[dict[str, _t.Any]] = []
+            deferred: list[dict[str, _t.Any]] = []
+            if backend == "analytic":
+                self._run_analytic_lease(
+                    benchmark, spec, items, lease_id, batch_id,
+                    kinds, duplicates, deferred,
+                )
+            elif self.procs > 1 and len(items) > 1:
+                self._run_pooled_lease(
+                    benchmark, spec, items, plan, lease_id, batch_id,
+                    kinds, duplicates, deferred,
+                )
+            else:
+                self._run_serial_lease(
+                    benchmark, spec, items, plan, lease_id, batch_id,
+                    kinds, duplicates, deferred,
+                )
+            if duplicates:
+                self._post(
+                    "/fabric/complete",
+                    {
+                        "worker_id": self.worker_id,
+                        "lease_id": lease_id,
+                        "batch_id": batch_id,
+                        "results": duplicates,
+                        "failures": [],
+                    },
+                )
+            if deferred:
                 # Finish the work but deliver it only after the lease
                 # has expired: the straggler double-assignment race.
                 self._hb_suppressed.set()
                 self._stop.wait(self._stall_s())
-            body = {
-                "worker_id": self.worker_id,
-                "lease_id": lease_id,
-                "batch_id": batch_id,
-                "results": results,
-                "failures": failures,
-            }
-            response = self._post("/fabric/complete", body)
-            if duplicates:
-                self._post(
-                    "/fabric/complete",
-                    {**body, "results": duplicates, "failures": []},
-                )
-            if response.get("reregister"):
-                self._register()
+                self._ship(lease_id, batch_id, deferred, [])
         finally:
             self._hb_lease = None
             self._hb_suppressed.clear()
+
+    def _run_serial_lease(
+        self,
+        benchmark: _t.Any,
+        spec: _t.Any,
+        items: list[tuple[int, float, int]],
+        plan: faults.FaultPlan | None,
+        lease_id: str,
+        batch_id: str,
+        kinds: dict[tuple[int, float], str | None],
+        duplicates: list[dict[str, _t.Any]],
+        deferred: list[dict[str, _t.Any]],
+    ) -> None:
+        """Simulate cells one at a time, streaming each completion."""
+        for n, f, attempt in items:
+            try:
+                time_s, energy_j, wall_s, stats = _simulate_cell(
+                    benchmark, n, f, spec, attempt, plan
+                )
+            except Exception as error:  # ship it; don't die
+                self._ship(
+                    lease_id, batch_id, [],
+                    [self._failure(n, f, attempt, error)],
+                )
+                continue
+            completion = self._completion(
+                n, f, attempt, time_s, energy_j, wall_s, stats
+            )
+            if self._apply_worker_fault(
+                kinds.get((n, f)), completion, duplicates, deferred
+            ):
+                continue
+            self._ship(lease_id, batch_id, [completion], [])
+
+    def _run_pooled_lease(
+        self,
+        benchmark: _t.Any,
+        spec: _t.Any,
+        items: list[tuple[int, float, int]],
+        plan: faults.FaultPlan | None,
+        lease_id: str,
+        batch_id: str,
+        kinds: dict[tuple[int, float], str | None],
+        duplicates: list[dict[str, _t.Any]],
+        deferred: list[dict[str, _t.Any]],
+    ) -> None:
+        """Fan one lease's cells across the local process pool.
+
+        Streams each completed wave back immediately.  Recovery
+        mirrors the local runner: a broken pool is rebuilt and its
+        unfinished cells re-run with a bumped attempt number (so a
+        seeded in-cell crash does not re-fire forever), bounded by
+        ``_MAX_POOL_REBUILDS`` rounds before falling back to
+        in-process serial simulation; a round that is silent past
+        ``stall_timeout_s`` is declared hung — running cells are
+        shipped as billed failures, unstarted ones re-run.
+        """
+        todo = list(items)
+        rebuilds = 0
+        while todo:
+            if rebuilds > _MAX_POOL_REBUILDS:
+                # The pool keeps dying: finish what is left serially
+                # in the parent (same degradation as the local
+                # runner's fruitless-crash fallback).
+                self._run_serial_lease(
+                    benchmark, spec, todo, plan, lease_id, batch_id,
+                    kinds, duplicates, deferred,
+                )
+                return
+            pool = self._get_pool()
+            pending = {
+                pool.submit(
+                    _simulate_cell, benchmark, n, f, spec, attempt,
+                    plan,
+                ): (n, f, attempt)
+                for n, f, attempt in todo
+            }
+            broken: list[tuple[int, float, int]] = []
+            requeued: list[tuple[int, float, int]] = []
+            hung = False
+            while pending:
+                done, _ = concurrent.futures.wait(
+                    pending,
+                    timeout=self.stall_timeout_s,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                if not done:
+                    # Stall: no completion within the window.  Bill
+                    # the running cells (the coordinator retries
+                    # them), requeue the unstarted ones for free.
+                    hung = True
+                    failures = []
+                    for future, (n, f, attempt) in list(
+                        pending.items()
+                    ):
+                        if future.cancel():
+                            requeued.append((n, f, attempt))
+                        else:
+                            failures.append(
+                                self._failure(
+                                    n, f, attempt,
+                                    "cell stalled past worker "
+                                    "timeout; pool reset",
+                                )
+                            )
+                    self._ship(lease_id, batch_id, [], failures)
+                    pending.clear()
+                    break
+                wave: list[dict[str, _t.Any]] = []
+                failures = []
+                for future in done:
+                    n, f, attempt = pending.pop(future)
+                    try:
+                        time_s, energy_j, wall_s, stats = (
+                            future.result()
+                        )
+                    except concurrent.futures.process.BrokenProcessPool:
+                        broken.append((n, f, attempt))
+                        continue
+                    except concurrent.futures.CancelledError:
+                        requeued.append((n, f, attempt))
+                        continue
+                    except Exception as error:
+                        failures.append(
+                            self._failure(n, f, attempt, error)
+                        )
+                        continue
+                    completion = self._completion(
+                        n, f, attempt, time_s, energy_j, wall_s,
+                        stats,
+                    )
+                    if not self._apply_worker_fault(
+                        kinds.get((n, f)), completion, duplicates,
+                        deferred,
+                    ):
+                        wave.append(completion)
+                self._ship(lease_id, batch_id, wave, failures)
+            if hung or broken:
+                self._reset_pool()
+                rebuilds += 1
+            # A pool crash is not the cell's fault, but re-running a
+            # seeded in-cell crash at the same attempt would re-fire
+            # it forever — bump the attempt locally (the coordinator
+            # overrides reported attempts with the lease's own, so
+            # this only affects fault draws).
+            todo = [(n, f, a + 1) for n, f, a in broken] + requeued
+
+    def _run_analytic_lease(
+        self,
+        benchmark: _t.Any,
+        spec: _t.Any,
+        items: list[tuple[int, float, int]],
+        lease_id: str,
+        batch_id: str,
+        kinds: dict[tuple[int, float], str | None],
+        duplicates: list[dict[str, _t.Any]],
+        deferred: list[dict[str, _t.Any]],
+    ) -> None:
+        """Evaluate an analytic lease in one vectorized pass.
+
+        The closed-form kernels are elementwise, so evaluating a
+        lease-sized subset is bit-identical to evaluating the whole
+        grid — the wall time is split evenly across cells, exactly
+        like the local analytic path.
+        """
+        from repro.analytic import AnalyticCampaignModel
+
+        cells = [(n, f) for n, f, _ in items]
+        start = time.perf_counter()
+        try:
+            evaluation = AnalyticCampaignModel(
+                benchmark, spec
+            ).evaluate_cells(cells)
+        except Exception as error:
+            self._ship(
+                lease_id, batch_id, [],
+                [
+                    self._failure(n, f, attempt, error)
+                    for n, f, attempt in items
+                ],
+            )
+            return
+        wall_share = (time.perf_counter() - start) / max(
+            len(cells), 1
+        )
+        times = evaluation.times_by_cell()
+        energies = evaluation.energies_by_cell()
+        wave: list[dict[str, _t.Any]] = []
+        for n, f, attempt in items:
+            completion = self._completion(
+                n,
+                f,
+                attempt,
+                times[(n, f)],
+                energies[(n, f)],
+                wall_share,
+                {
+                    "events_processed": 0,
+                    "processes_spawned": 0,
+                    "peak_queue_len": 0,
+                },
+            )
+            if not self._apply_worker_fault(
+                kinds.get((n, f)), completion, duplicates, deferred
+            ):
+                wave.append(completion)
+        self._ship(lease_id, batch_id, wave, [])
 
 
 def main(argv: _t.Sequence[str] | None = None) -> int:
@@ -319,7 +687,8 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         prog="repro-worker",
         description=(
             "Join a repro-serve campaign fabric as a worker: lease "
-            "grid cells, simulate them, stream results back."
+            "grid cells, simulate them across a local process pool, "
+            "stream results back."
         ),
     )
     parser.add_argument("--host", default="127.0.0.1")
@@ -334,15 +703,35 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         help="exit after this long with no leasable work "
         "(default: run until drained)",
     )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        help="local simulation processes (default: "
+        "REPRO_WORKER_PROCS or os.cpu_count())",
+    )
+    parser.add_argument(
+        "--stall-timeout-s",
+        type=float,
+        default=None,
+        help="declare a pool round hung after this long without a "
+        "completion (default: disabled)",
+    )
     args = parser.parse_args(argv)
     worker = FabricWorker(
         args.host,
         args.port,
         name=args.name,
         max_idle_s=args.max_idle_s,
+        procs=resolve_worker_procs(args.procs),
+        stall_timeout_s=args.stall_timeout_s,
     )
     done = worker.run()
-    print(f"repro-worker {worker.name}: {done} cells completed")
+    print(
+        f"repro-worker {worker.name}: {done} cells completed "
+        f"({worker.leases_taken} leases, {worker.procs} procs, "
+        f"{worker.reconnects} reconnects)"
+    )
     return 0
 
 

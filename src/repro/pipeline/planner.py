@@ -26,6 +26,7 @@ simulated at most once.
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
 import time
 import typing as _t
@@ -209,6 +210,9 @@ def execute_plan(
     ``fabric`` dispatches each execution-group batch to the
     distributed worker fleet (``None`` resolves the configured
     default; no live fleet falls back to the local pool per batch).
+    With a live fleet, up to ``REPRO_PLAN_WINDOW`` (default 4) group
+    batches are kept in flight on the coordinator concurrently so the
+    fleet never drains between groups.
     """
     start = time.perf_counter()
     report = PlanReport(requested_campaigns=len(requests))
@@ -238,6 +242,9 @@ def execute_plan(
     groups: dict[tuple, list[CampaignRequest]] = {}
     for request in missing.values():
         groups.setdefault(request.group(), []).append(request)
+    group_batches: list[
+        tuple[list[CampaignRequest], list[tuple[int, float]]]
+    ] = []
     for group, members in groups.items():
         needed: list[tuple[int, float]] = []
         seen: set[tuple[int, float]] = set()
@@ -247,11 +254,71 @@ def execute_plan(
                     continue
                 seen.add(cell)
                 needed.append(cell)
-        if not needed:
-            continue
-        done, analytic = _run_batch(
-            members[0], needed, jobs=jobs, fabric=fabric
+        if needed:
+            group_batches.append((members, needed))
+
+    # With a live worker fleet, pipeline the group batches: up to
+    # ``REPRO_PLAN_WINDOW`` groups are submitted to the coordinator
+    # concurrently, so the fleet never drains between groups.  Each
+    # in-flight group still produces its own CampaignRecord, and
+    # per-group assembly below stays in plan order (bit-identical
+    # merge).  Without a fleet, dispatch stays strictly sequential.
+    window = runtime.resolve_plan_window(None)
+    live_fleet = False
+    if (
+        runtime.resolve_fabric(fabric)
+        and window > 1
+        and len(group_batches) > 1
+    ):
+        from repro.fabric import active_coordinator
+
+        coordinator = active_coordinator()
+        live_fleet = (
+            coordinator is not None
+            and not coordinator.draining
+            and coordinator.live_workers() > 0
         )
+    outcomes: list[tuple[int, int] | None] = [None] * len(
+        group_batches
+    )
+    if live_fleet:
+        errors: list[CampaignExecutionError | None] = [None] * len(
+            group_batches
+        )
+        # Cells a degrading fleet strands run locally *inside* a
+        # dispatch thread — force that fallback serial (jobs=1) so
+        # concurrent groups never fight over the shared local pool.
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=window, thread_name_prefix="plan-dispatch"
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _run_batch,
+                    members[0],
+                    needed,
+                    jobs=1,
+                    fabric=fabric,
+                ): index
+                for index, (members, needed) in enumerate(
+                    group_batches
+                )
+            }
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                try:
+                    outcomes[index] = future.result()
+                except CampaignExecutionError as error:
+                    errors[index] = error
+        for error in errors:
+            if error is not None:
+                raise error
+    else:
+        for index, (members, needed) in enumerate(group_batches):
+            outcomes[index] = _run_batch(
+                members[0], needed, jobs=jobs, fabric=fabric
+            )
+    for (members, needed), outcome in zip(group_batches, outcomes):
+        done, analytic = outcome
         report.executed_cells += done
         report.analytic_cells += analytic
         report.batches.append(

@@ -113,6 +113,7 @@ __all__ = [
     "resolve_backend",
     "resolve_fabric",
     "resolve_jobs",
+    "resolve_plan_window",
     "resolve_retries",
     "resolve_cell_timeout",
     "resolve_retry_backoff",
@@ -239,6 +240,26 @@ def resolve_fabric(explicit: bool | None = None) -> bool:
         return _fabric
     env = os.environ.get("REPRO_FABRIC", "").strip().lower()
     return env in ("1", "true", "yes", "on")
+
+
+#: Default bounded in-flight window for pipelined planner dispatch.
+DEFAULT_PLAN_WINDOW = 4
+
+
+def resolve_plan_window(explicit: int | None = None) -> int:
+    """Concurrent execution groups the planner keeps in flight.
+
+    Only applies when a live worker fleet is dispatching the plan
+    (``fabric``); the local-pool path stays strictly sequential.
+    Resolution order: explicit argument → ``REPRO_PLAN_WINDOW`` →
+    ``4``.  ``1`` disables pipelining.
+    """
+    window = explicit
+    if window is None:
+        window = _env_number("REPRO_PLAN_WINDOW", int)
+    if window is None:
+        window = DEFAULT_PLAN_WINDOW
+    return max(1, int(window))
 
 
 def resolve_retries(explicit: int | None = None) -> int:

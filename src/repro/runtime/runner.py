@@ -662,7 +662,7 @@ def execute_campaign(
 
     ``backend`` picks the execution path per :data:`BACKENDS`
     (``None`` resolves through :func:`repro.runtime.resolve_backend`);
-    ``fabric`` offers DES cells to the distributed worker fleet first
+    ``fabric`` offers the cells to the distributed worker fleet first
     (``None`` resolves through :func:`repro.runtime.resolve_fabric`).
     """
     cells = [(int(n), float(f)) for n in counts for f in frequencies]
@@ -712,8 +712,12 @@ def execute_cells(
     :func:`repro.runtime.resolve_backend`.
 
     ``fabric`` (``None`` resolves through
-    :func:`repro.runtime.resolve_fabric`) offers the DES cells to the
-    distributed worker fleet first.  The fleet is an *accelerator*,
+    :func:`repro.runtime.resolve_fabric`) offers the cells to the
+    distributed worker fleet first — the analytic and DES slices are
+    submitted as separate backend-tagged batches *before* either is
+    waited on, so the coordinator pipelines them across the fleet
+    (adaptively-sized leases: huge for analytic cells, small for
+    DES).  The fleet is an *accelerator*,
     never a point of failure: with no installed coordinator, no live
     workers, or an unpicklable payload the cells run locally, and any
     cells the fleet strands (every worker died mid-batch, or a cell
@@ -752,33 +756,47 @@ def execute_cells(
     results: dict[Cell, tuple[float, float, float, dict]] = {}
     crash_recoveries = 0
     fabric_cells = fabric_workers = fabric_reassignments = 0
-    if analytic_cells:
-        _run_analytic_cells(
-            benchmark,
-            analytic_cells,
-            spec,
-            attempt_index=attempt_index,
-            log=log,
-            results=results,
-        )
-    if des_cells and fabric:
+    analytic_local = list(analytic_cells)
+    if (analytic_cells or des_cells) and fabric:
         # Local import: repro.fabric itself imports this module.
-        from repro.fabric.dispatch import run_fabric_cells
-
-        outcome = run_fabric_cells(
-            benchmark,
-            des_cells,
-            spec,
-            retries=retries,
-            backoff_s=backoff_s,
-            label=f"{getattr(benchmark, 'name', benchmark)!s}",
+        from repro.fabric.dispatch import (
+            collect_fabric_batch,
+            submit_fabric_cells,
         )
-        if outcome is not None:
+
+        label = f"{getattr(benchmark, 'name', benchmark)!s}"
+        # Pipelined dispatch: both backends' batches are queued on
+        # the coordinator before either is waited on, so the fleet
+        # streams the cheap analytic wave while DES cells simulate.
+        pending = [
+            (
+                kind,
+                submit_fabric_cells(
+                    benchmark,
+                    kind_cells,
+                    spec,
+                    retries=retries,
+                    backoff_s=backoff_s,
+                    label=label,
+                    backend=kind,
+                ),
+            )
+            for kind, kind_cells in (
+                ("analytic", analytic_cells),
+                ("des", des_cells),
+            )
+            if kind_cells
+        ]
+        fleet_worker_ids: set[str] = set()
+        for kind, batch in pending:
+            if batch is None:
+                continue  # no usable fleet — this slice runs locally
+            outcome = collect_fabric_batch(batch)
             results.update(outcome.results)
             log.extend(outcome.attempts)
-            fabric_cells = len(outcome.results)
-            fabric_workers = outcome.workers_used
-            fabric_reassignments = outcome.reassignments
+            fabric_cells += len(outcome.results)
+            fleet_worker_ids |= set(outcome.worker_ids)
+            fabric_reassignments += outcome.reassignments
             # Local attempt numbering continues after the fleet's.
             for a in outcome.attempts:
                 attempt_index[a.cell] = max(
@@ -787,8 +805,20 @@ def execute_cells(
             # Stranded cells (fleet died / loss bound hit) finish
             # locally; fleet-failed cells exhausted their own retry
             # budget and are accounted as failures below.
-            des_cells = list(outcome.stranded)
-        # outcome None: no usable fleet — run everything locally.
+            if kind == "analytic":
+                analytic_local = list(outcome.stranded)
+            else:
+                des_cells = list(outcome.stranded)
+        fabric_workers = len(fleet_worker_ids)
+    if analytic_local:
+        _run_analytic_cells(
+            benchmark,
+            analytic_local,
+            spec,
+            attempt_index=attempt_index,
+            log=log,
+            results=results,
+        )
     if des_cells and jobs > 1:
         jobs, crash_recoveries = _run_parallel_resilient(
             benchmark,

@@ -68,6 +68,11 @@ class ServiceClient:
         self.retries = max(0, int(retries))
         self.retry_backoff_s = max(0.0, float(retry_backoff_s))
         self._connection: http.client.HTTPConnection | None = None
+        #: Connections established / re-established after the first.
+        #: ``reconnects`` staying near zero is the keep-alive path
+        #: working — fabric workers surface it in their stats.
+        self.connects = 0
+        self.reconnects = 0
 
     # -- plumbing -----------------------------------------------------------
 
@@ -76,6 +81,9 @@ class ServiceClient:
             self._connection = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout_s
             )
+            self.connects += 1
+            if self.connects > 1:
+                self.reconnects += 1
         return self._connection
 
     def close(self) -> None:

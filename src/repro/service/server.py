@@ -117,7 +117,13 @@ class ServiceConfig:
     fabric_lease_ttl_s: float = 5.0
     fabric_heartbeat_s: float = 1.0
     fabric_worker_timeout_s: float | None = None
-    fabric_max_lease_cells: int = 4
+    #: Cap on cells per lease; the adaptive sizing policy picks the
+    #: actual count (see :class:`repro.fabric.FabricCoordinator`).
+    fabric_max_lease_cells: int = 256
+    #: Per-lease work target driving adaptive lease sizing.  ``None``
+    #: defaults to ~2× the heartbeat; ``0`` disables adaptation
+    #: (every lease filled to the cap).
+    fabric_target_lease_s: float | None = None
     #: Period of the housekeeping task (job purge + fabric reap).
     housekeeping_s: float = 1.0
 
@@ -148,7 +154,14 @@ class ServiceConfig:
                 "REPRO_SERVE_HEARTBEAT", 1.0
             ),
             fabric_max_lease_cells=_env_int(
-                "REPRO_SERVE_MAX_LEASE_CELLS", 4
+                "REPRO_SERVE_MAX_LEASE_CELLS", 256
+            ),
+            fabric_target_lease_s=(
+                _env_float("REPRO_SERVE_TARGET_LEASE", -1.0)
+                if os.environ.get(
+                    "REPRO_SERVE_TARGET_LEASE", ""
+                ).strip()
+                else None
             ),
             housekeeping_s=_env_float(
                 "REPRO_SERVE_HOUSEKEEPING", 1.0
@@ -220,6 +233,7 @@ class ReproService:
             heartbeat_s=self.config.fabric_heartbeat_s,
             worker_timeout_s=self.config.fabric_worker_timeout_s,
             max_lease_cells=self.config.fabric_max_lease_cells,
+            target_lease_s=self.config.fabric_target_lease_s,
         )
         install_coordinator(self.coordinator)
         for name, cls in self.config.warmup:
@@ -492,7 +506,8 @@ class ReproService:
         try:
             if action == "register":
                 return 200, self.coordinator.register(
-                    str(body.get("name", ""))
+                    str(body.get("name", "")),
+                    body.get("capacity"),
                 )
             worker_id = str(body.get("worker_id", ""))
             if action == "lease":

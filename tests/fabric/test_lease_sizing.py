@@ -1,0 +1,160 @@
+"""Adaptive lease sizing: the EWMA policy behind lease sizes.
+
+Drives :class:`repro.fabric.FabricCoordinator` directly.  The policy
+under test: lease size ≈ ``target_lease_s / EWMA(cell wall time)``
+per backend, scaled by worker capacity, bounded by
+``max_lease_cells`` — so cheap analytic cells earn huge leases,
+expensive DES cells earn tiny ones, and ``target_lease_s=0`` restores
+the fixed fill-to-the-cap behaviour.
+"""
+
+from repro.fabric import FabricCoordinator, result_checksum
+
+GRID = [(n, 600e6) for n in range(1, 401)]
+
+
+def _coordinator(**kwargs):
+    kwargs.setdefault("lease_ttl_s", 5.0)
+    kwargs.setdefault("heartbeat_s", 0.5)
+    kwargs.setdefault("target_lease_s", 1.0)
+    return FabricCoordinator(**kwargs)
+
+
+def _result(cell, attempt=0, *, wall_s):
+    checksum = result_checksum(cell[0], cell[1], 1.0, 2.0)
+    return {
+        "cell": [cell[0], cell[1]],
+        "attempt": attempt,
+        "time_s": 1.0,
+        "energy_j": 2.0,
+        "wall_s": wall_s,
+        "checksum": checksum,
+    }
+
+
+def _complete_lease(coord, wid, lease, *, wall_s):
+    """Complete every cell of a lease with the given per-cell wall."""
+    coord.complete(
+        wid,
+        lease["lease_id"],
+        lease["batch_id"],
+        results=[
+            _result(tuple(c["cell"]), c["attempt"], wall_s=wall_s)
+            for c in lease["cells"]
+        ],
+    )
+
+
+class TestAdaptiveLeaseSizing:
+    def test_bootstrap_lease_before_any_observation(self):
+        coord = _coordinator()
+        wid = coord.register("w")["worker_id"]
+        coord.submit_batch(None, GRID, None, backend="des")
+        lease = coord.lease(wid)
+        # No EWMA yet: the small bootstrap lease seeds it.
+        assert len(lease["cells"]) == 4
+        assert lease["backend"] == "des"
+
+    def test_ewma_converges_on_constant_walls(self):
+        coord = _coordinator()
+        wid = coord.register("w")["worker_id"]
+        coord.submit_batch(None, GRID, None, backend="des")
+        for _ in range(12):
+            lease = coord.lease(wid)
+            _complete_lease(coord, wid, lease, wall_s=0.05)
+        ewma = coord.stats()["lease_sizing"]["ewma_cell_wall_s"]
+        assert abs(ewma["des"] - 0.05) < 1e-9
+
+    def test_cheap_cells_grow_leases(self):
+        coord = _coordinator(max_lease_cells=1000)
+        wid = coord.register("w")["worker_id"]
+        coord.submit_batch(None, GRID, None, backend="analytic")
+        first = coord.lease(wid)
+        _complete_lease(coord, wid, first, wall_s=0.001)
+        second = coord.lease(wid)
+        # 1s target / 1ms per cell → leases of hundreds of cells.
+        assert len(second["cells"]) > 100
+        assert len(second["cells"]) > len(first["cells"])
+
+    def test_expensive_cells_shrink_leases(self):
+        coord = _coordinator()
+        wid = coord.register("w")["worker_id"]
+        coord.submit_batch(None, GRID, None, backend="des")
+        first = coord.lease(wid)
+        assert len(first["cells"]) == 4
+        _complete_lease(coord, wid, first, wall_s=2.0)
+        second = coord.lease(wid)
+        # 1s target / 2s per cell → recovery-friendly 1-cell leases.
+        assert len(second["cells"]) == 1
+
+    def test_max_lease_cells_still_caps(self):
+        coord = _coordinator(max_lease_cells=7)
+        wid = coord.register("w")["worker_id"]
+        coord.submit_batch(None, GRID, None, backend="analytic")
+        _complete_lease(coord, wid, coord.lease(wid), wall_s=1e-6)
+        lease = coord.lease(wid)
+        assert len(lease["cells"]) == 7
+
+    def test_explicit_max_cells_tightens_further(self):
+        coord = _coordinator()
+        wid = coord.register("w")["worker_id"]
+        coord.submit_batch(None, GRID, None, backend="analytic")
+        _complete_lease(coord, wid, coord.lease(wid), wall_s=1e-6)
+        lease = coord.lease(wid, max_cells=3)
+        assert len(lease["cells"]) == 3
+
+    def test_worker_capacity_multiplies_lease_size(self):
+        coord = _coordinator(max_lease_cells=1000)
+        solo = coord.register("solo", capacity=1)["worker_id"]
+        pooled = coord.register("pooled", capacity=4)["worker_id"]
+        coord.submit_batch(None, GRID, None, backend="des")
+        _complete_lease(coord, solo, coord.lease(solo), wall_s=0.1)
+        lease_solo = coord.lease(solo)
+        lease_pooled = coord.lease(pooled)
+        assert len(lease_pooled["cells"]) == 4 * len(
+            lease_solo["cells"]
+        )
+
+    def test_backends_track_independent_ewmas(self):
+        coord = _coordinator(max_lease_cells=1000)
+        wid = coord.register("w")["worker_id"]
+        coord.submit_batch(None, GRID[:40], None, backend="des")
+        coord.submit_batch(None, GRID, None, backend="analytic")
+        # Drain the DES batch with slow cells.
+        while True:
+            lease = coord.lease(wid)
+            if lease.get("idle") or lease["backend"] != "des":
+                break
+            _complete_lease(coord, wid, lease, wall_s=0.5)
+        # A slow DES EWMA must not shrink analytic leases: the
+        # analytic batch is still unobserved → bootstrap size.
+        sizing = coord.stats()["lease_sizing"]["ewma_cell_wall_s"]
+        assert "des" in sizing and "analytic" not in sizing
+        lease = coord.lease(wid)
+        assert lease["backend"] == "analytic"
+        assert len(lease["cells"]) == 4
+        _complete_lease(coord, wid, lease, wall_s=1e-4)
+        grown = coord.lease(wid)
+        assert len(grown["cells"]) > 100
+
+    def test_target_zero_disables_adaptation(self):
+        coord = _coordinator(target_lease_s=0, max_lease_cells=6)
+        wid = coord.register("w")["worker_id"]
+        coord.submit_batch(None, GRID, None, backend="des")
+        first = coord.lease(wid)
+        assert len(first["cells"]) == 6  # fixed: filled to the cap
+        _complete_lease(coord, wid, first, wall_s=10.0)
+        second = coord.lease(wid)
+        assert len(second["cells"]) == 6  # observations ignored
+
+    def test_lease_backend_counters(self):
+        coord = _coordinator()
+        wid = coord.register("w")["worker_id"]
+        coord.submit_batch(None, GRID[:4], None, backend="analytic")
+        lease = coord.lease(wid)
+        _complete_lease(coord, wid, lease, wall_s=0.001)
+        stats = coord.stats()
+        assert stats["leases"]["issued_by_backend"] == {
+            "analytic": 1
+        }
+        assert stats["lease_sizing"]["target_lease_s"] == 1.0
