@@ -1,0 +1,157 @@
+"""Governor comparison grid -> ``BENCH_governor.json``.
+
+Runs the closed-loop governor over the EP/FT/LU trio under both
+power-cap scenarios with all four policies, times the sweep, and
+writes the EDP comparison plus the acceptance checks to
+``BENCH_governor.json`` (merged into any existing document, never
+overwritten wholesale — see :mod:`benchmarks._artifacts`).  CI runs
+this standalone and asserts the checks:
+
+* model-predictive EDP <= reactive EDP on every (benchmark, cap);
+* model-predictive EDP within 10% of the static-optimal oracle;
+* zero cap violations across every decision trace;
+* bit-identical trace digests across two seeded repeats.
+
+Standalone usage::
+
+    PYTHONPATH=src python benchmarks/bench_governor.py
+"""
+
+import json
+import sys
+import time
+
+from repro.experiments import run_experiment
+from repro.experiments.governor_comparison import count_cap_violations
+from repro.governor import govern_run, power_cap_scenarios
+from repro.npb import BENCHMARKS, ProblemClass
+
+try:
+    from benchmarks._artifacts import artifact_path
+except ImportError:  # standalone: script dir is sys.path[0]
+    from _artifacts import artifact_path
+
+GRID_BENCHMARKS = ("ep", "ft", "lu")
+SCENARIOS = ("cluster_cap", "node_cap")
+POLICY_ORDER = ("static", "static_optimal", "reactive", "model_predictive")
+N_RANKS = 4
+ORACLE_MARGIN = 1.10
+
+
+def bench_governor_comparison(benchmark, print_once):
+    """Pytest-benchmark wrapper: time the full comparison pipeline.
+
+    One round only — governed runs are genuine DES executions with no
+    cache in the path, so this is the most expensive experiment in the
+    harness.
+    """
+    result = benchmark.pedantic(
+        lambda: run_experiment("governor_comparison"), rounds=1, iterations=1
+    )
+    print_once("governor_comparison", result.text)
+    assert result.data["mp_le_reactive_everywhere"] is True
+    assert result.data["worst_mp_vs_oracle"] <= ORACLE_MARGIN
+    assert result.data["cap_violations"] == 0
+
+
+def run_grid() -> dict:
+    """Execute the governed comparison grid and collect the document."""
+    rows: dict = {}
+    violations = 0
+    digests_stable = True
+    t0 = time.perf_counter()
+    for name in GRID_BENCHMARKS:
+        bench = BENCHMARKS[name](ProblemClass.A)
+        scenarios = power_cap_scenarios(N_RANKS)
+        rows[name] = {}
+        for label in SCENARIOS:
+            cap = scenarios[label]
+            per_policy = {}
+            for policy in POLICY_ORDER:
+                governed = govern_run(bench, N_RANKS, policy, cap, seed=0)
+                violations += count_cap_violations(governed.trace)
+                per_policy[policy] = {
+                    "elapsed_s": governed.elapsed_s,
+                    "energy_j": governed.energy_j,
+                    "edp_j_s": governed.edp,
+                    "transitions": governed.trace.transitions,
+                    "trace_digest": governed.trace.digest(),
+                }
+            repeat = govern_run(
+                bench, N_RANKS, "model_predictive", cap, seed=0
+            )
+            if (
+                repeat.trace.digest()
+                != per_policy["model_predictive"]["trace_digest"]
+            ):
+                digests_stable = False
+            rows[name][label] = per_policy
+    wall_s = time.perf_counter() - t0
+
+    checks = []
+    for name, by_scenario in rows.items():
+        for label, per_policy in by_scenario.items():
+            mp = per_policy["model_predictive"]["edp_j_s"]
+            checks.append(
+                {
+                    "benchmark": name,
+                    "scenario": label,
+                    "mp_le_reactive": mp
+                    <= per_policy["reactive"]["edp_j_s"] * (1 + 1e-12),
+                    "mp_vs_oracle": mp
+                    / per_policy["static_optimal"]["edp_j_s"],
+                }
+            )
+    return {
+        "governor": {
+            "n_ranks": N_RANKS,
+            "problem_class": "A",
+            "results": rows,
+            "checks": checks,
+            "cap_violations": violations,
+            "digests_stable": digests_stable,
+            "wall_s": wall_s,
+        }
+    }
+
+
+def main() -> int:
+    """Run the grid, merge the artifact, enforce the claims."""
+    document = run_grid()
+    path = artifact_path("BENCH_governor.json")
+    merged = {}
+    if path.exists():
+        merged = json.loads(path.read_text())
+    merged.update(document)
+    path.write_text(json.dumps(merged, indent=2))
+
+    gov = document["governor"]
+    failures = []
+    for check in gov["checks"]:
+        where = f"{check['benchmark']}/{check['scenario']}"
+        if not check["mp_le_reactive"]:
+            failures.append(f"{where}: model-predictive EDP > reactive")
+        if check["mp_vs_oracle"] > ORACLE_MARGIN:
+            failures.append(
+                f"{where}: model-predictive {check['mp_vs_oracle']:.3f}x "
+                f"oracle EDP (margin {ORACLE_MARGIN})"
+            )
+    if gov["cap_violations"]:
+        failures.append(f"{gov['cap_violations']} cap violations in traces")
+    if not gov["digests_stable"]:
+        failures.append("trace digests differ across seeded repeats")
+
+    print(
+        f"governor grid: {len(GRID_BENCHMARKS)} benchmarks x "
+        f"{len(SCENARIOS)} caps x {len(POLICY_ORDER)} policies "
+        f"in {gov['wall_s']:.2f}s -> {path}"
+    )
+    worst = max(c["mp_vs_oracle"] for c in gov["checks"])
+    print(f"worst model-predictive/oracle EDP ratio: {worst:.3f}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

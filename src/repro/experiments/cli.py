@@ -8,6 +8,8 @@ Usage::
         [--plan-json PLAN.json]
     repro-experiments campaign ft --class A --counts 1,2,4,8,16 \\
         --csv ft_times.csv --json ft.json
+    repro-experiments govern ft --ranks 4 --policy model_predictive \\
+        --scenario cluster_cap --json trace.json
     repro-experiments serve --port 8080
     repro-experiments --version
 
@@ -45,6 +47,12 @@ failure report instead of aborting the command).  ``--backend
 {des,analytic,auto}`` picks the campaign execution path — the
 discrete-event simulator, the vectorized closed forms, or per-cell
 routing between them (see ``docs/ANALYTIC.md``).
+
+``govern`` runs one benchmark under the closed-loop DVFS governor
+(:mod:`repro.governor`): pick a policy and a power-cap scenario, get
+the decision trace plus the energy/time/EDP comparison against the
+static baseline governed under the same cap (see
+``docs/GOVERNOR.md``).
 """
 
 from __future__ import annotations
@@ -269,6 +277,104 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_govern(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.governor import PowerCap, govern_run, power_cap_scenarios
+    from repro.npb import BENCHMARKS, ProblemClass
+    from repro.reporting.tables import format_rows
+
+    name = args.benchmark.lower()
+    if name not in BENCHMARKS:
+        print(
+            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}",
+            file=sys.stderr,
+        )
+        return 2
+    bench = BENCHMARKS[name](ProblemClass.parse(args.problem_class or "A"))
+    ranks = args.ranks
+    if args.scenario:
+        scenarios = power_cap_scenarios(ranks)
+        if args.scenario not in scenarios:
+            print(
+                f"unknown cap scenario {args.scenario!r}; available: "
+                f"{sorted(scenarios)}",
+                file=sys.stderr,
+            )
+            return 2
+        cap = scenarios[args.scenario]
+    elif args.cluster_cap_w or args.node_cap_w:
+        cap = PowerCap(
+            label="custom",
+            cluster_w=args.cluster_cap_w,
+            node_w=args.node_cap_w,
+        )
+    else:
+        cap = PowerCap()
+
+    try:
+        governed = govern_run(
+            bench,
+            ranks,
+            args.policy,
+            cap,
+            epoch_phases=args.epoch_phases,
+            safety=args.safety,
+            seed=args.seed,
+        )
+        baseline = govern_run(
+            bench,
+            ranks,
+            "static",
+            cap,
+            epoch_phases=args.epoch_phases,
+            safety=args.safety,
+            seed=args.seed,
+        )
+    except ReproError as exc:
+        print(f"govern failed: {exc}", file=sys.stderr)
+        return 2
+
+    rows = [
+        [
+            run.policy,
+            f"{run.elapsed_s:.3f}",
+            f"{run.energy_j:.1f}",
+            f"{run.edp:.1f}",
+            run.trace.transitions,
+        ]
+        for run in (baseline, governed)
+    ]
+    print(
+        format_rows(
+            ["policy", "time [s]", "energy [J]", "EDP [J*s]", "transitions"],
+            rows,
+            title=(
+                f"{name.upper()} class {bench.problem_class.value} at "
+                f"N={ranks}, cap '{cap.label}' "
+                f"({governed.trace.n_epochs} epochs)"
+            ),
+        )
+    )
+    ratio = governed.edp / baseline.edp if baseline.edp else 0.0
+    print(
+        f"\nEDP vs static baseline: {ratio:.3f}  "
+        f"(trace digest {governed.trace.digest()[:16]})"
+    )
+    if args.json:
+        document = {
+            "baseline": {
+                "elapsed_s": baseline.elapsed_s,
+                "energy_j": baseline.energy_j,
+                "edp_j_s": baseline.edp,
+            },
+            "edp_ratio_vs_static": ratio,
+            "trace": governed.trace.to_document(),
+        }
+        pathlib.Path(args.json).write_text(json.dumps(document, indent=2))
+        print(f"[decision trace written to {args.json}]")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve_from_args
 
@@ -434,6 +540,67 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         help="write times/energies/speedups to a JSON file",
     )
     p_camp.set_defaults(func=_cmd_campaign)
+
+    p_gov = sub.add_parser(
+        "govern",
+        help="run a benchmark under the closed-loop DVFS governor",
+    )
+    p_gov.add_argument(
+        "benchmark", help="benchmark name (ep, ft, lu, cg, mg, is, bt, sp)"
+    )
+    p_gov.add_argument("--class", dest="problem_class", default="A")
+    p_gov.add_argument(
+        "--ranks", type=int, default=4, help="rank count (default: 4)"
+    )
+    p_gov.add_argument(
+        "--policy",
+        default=None,
+        help="governor policy: static, static_optimal, reactive, "
+        "model_predictive (default: REPRO_GOVERNOR_POLICY or "
+        "model_predictive)",
+    )
+    p_gov.add_argument(
+        "--scenario",
+        default=None,
+        help="named power-cap scenario: uncapped, cluster_cap, node_cap",
+    )
+    p_gov.add_argument(
+        "--cluster-cap-w",
+        dest="cluster_cap_w",
+        type=float,
+        default=None,
+        help="explicit cluster-wide power budget in watts",
+    )
+    p_gov.add_argument(
+        "--node-cap-w",
+        dest="node_cap_w",
+        type=float,
+        default=None,
+        help="explicit per-node power ceiling in watts",
+    )
+    p_gov.add_argument(
+        "--epoch-phases",
+        dest="epoch_phases",
+        type=int,
+        default=None,
+        help="phases per governor epoch (default: REPRO_GOVERNOR_EPOCH or 4)",
+    )
+    p_gov.add_argument(
+        "--safety",
+        type=float,
+        default=None,
+        help="slack-reclamation safety in [0,1] "
+        "(default: REPRO_GOVERNOR_SAFETY or 0.9)",
+    )
+    p_gov.add_argument(
+        "--seed", type=int, default=0, help="trace provenance seed"
+    )
+    p_gov.add_argument(
+        "--json",
+        default=None,
+        help="write the decision trace + baseline comparison to JSON",
+    )
+    p_gov.set_defaults(func=_cmd_govern)
 
     p_serve = sub.add_parser(
         "serve",

@@ -1,0 +1,326 @@
+"""The governed-run harness: sensors in, decisions out, actuations back.
+
+:func:`govern_run` executes a benchmark under closed-loop frequency
+control.  The phase list is chunked into epochs; at every epoch
+boundary the ranks synchronize on a barrier, the governor folds the
+previous epoch's :class:`~repro.governor.telemetry.PhaseObservation`
+stream into a policy decision (computed exactly once per epoch — the
+first rank through the barrier triggers it), and each rank actuates
+its assigned frequency through the real
+:class:`~repro.cluster.dvfs.DvfsController` (paying the transition
+latency).  Re-timing of remaining work is automatic: node compute
+durations are memoized per (mix, frequency), so a frequency change
+simply selects a different memoized duration for everything that
+follows.
+
+The epoch-0 decision is applied as *pre-run configuration* (no
+simulated time has passed, so no transition is charged), which also
+means a static policy generates zero DVFS transitions.
+
+Every run yields a :class:`GovernedRun` wrapping the raw
+:class:`~repro.mpi.program.RunResult` and the sealed, deterministic
+:class:`~repro.governor.trace.DecisionTrace`.
+
+Environment knobs (all overridable per call):
+
+* ``REPRO_GOVERNOR_EPOCH`` — phases per epoch (default 4);
+* ``REPRO_GOVERNOR_POLICY`` — default policy name;
+* ``REPRO_GOVERNOR_SAFETY`` — slack-reclamation safety factor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import typing as _t
+
+from repro.cluster.machine import Cluster, paper_spec
+from repro.errors import ConfigurationError
+from repro.governor.caps import PowerCap
+from repro.governor.policies import (
+    DEFAULT_SAFETY,
+    GovernorContext,
+    GovernorDecision,
+    GovernorPolicy,
+    build_policy,
+)
+from repro.governor.telemetry import EpochSensor, PhaseObservation
+from repro.governor.trace import DecisionTrace, EpochDecision
+from repro.mpi.program import RunResult, run_program
+from repro.proftools.profiler import normalize_label
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.machine import ClusterSpec
+    from repro.npb.base import BenchmarkModel
+
+__all__ = [
+    "GovernedRun",
+    "govern_run",
+    "resolve_epoch_phases",
+    "resolve_policy_name",
+    "resolve_safety",
+    "DEFAULT_EPOCH_PHASES",
+    "DEFAULT_POLICY",
+]
+
+#: Phases folded into one governor epoch by default (aligned with the
+#: four-phase iteration structure of the FT and LU models).
+DEFAULT_EPOCH_PHASES = 4
+
+#: Policy used when neither the call nor the environment names one.
+DEFAULT_POLICY = "model_predictive"
+
+
+def _env_positive_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(f"{name} must be an integer, got {raw!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def resolve_epoch_phases(explicit: int | None = None) -> int:
+    """Phases per epoch: explicit arg, else ``REPRO_GOVERNOR_EPOCH``."""
+    if explicit is not None:
+        if explicit <= 0:
+            raise ConfigurationError(
+                f"epoch_phases must be positive, got {explicit}"
+            )
+        return int(explicit)
+    return _env_positive_int("REPRO_GOVERNOR_EPOCH", DEFAULT_EPOCH_PHASES)
+
+
+def resolve_policy_name(explicit: str | None = None) -> str:
+    """Policy name: explicit arg, else ``REPRO_GOVERNOR_POLICY``."""
+    if explicit is not None:
+        return explicit
+    return os.environ.get("REPRO_GOVERNOR_POLICY", DEFAULT_POLICY)
+
+
+def resolve_safety(explicit: float | None = None) -> float:
+    """Safety factor: explicit arg, else ``REPRO_GOVERNOR_SAFETY``."""
+    if explicit is not None:
+        value = float(explicit)
+    else:
+        raw = os.environ.get("REPRO_GOVERNOR_SAFETY")
+        if raw is None:
+            return DEFAULT_SAFETY
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_GOVERNOR_SAFETY must be a float, got {raw!r}"
+            )
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(
+            f"governor safety must be in [0, 1], got {value}"
+        )
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
+class GovernedRun:
+    """Outcome of one governed execution."""
+
+    benchmark: str
+    problem_class: str
+    n_ranks: int
+    policy: str
+    cap: PowerCap
+    run: RunResult
+    trace: DecisionTrace
+
+    @property
+    def elapsed_s(self) -> float:
+        """Simulated wall time of the governed run."""
+        return self.run.elapsed_s
+
+    @property
+    def energy_j(self) -> float:
+        """Total cluster energy of the governed run."""
+        return self.run.energy_j
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J*s) — the governor's objective."""
+        return self.run.elapsed_s * self.run.energy_j
+
+    @property
+    def mean_power_w(self) -> float:
+        """Average cluster power over the run."""
+        if self.run.elapsed_s <= 0:
+            return 0.0
+        return self.run.energy_j / self.run.elapsed_s
+
+
+class _Governor:
+    """Run-scoped coordinator shared by all rank programs.
+
+    Memoizes one decision per epoch (the first rank consulting it
+    after the boundary barrier computes it from the completed history;
+    engine scheduling is deterministic, so "first" is too), enforces
+    the power cap on every actuation, and feeds the trace.
+    """
+
+    def __init__(
+        self,
+        policy: GovernorPolicy,
+        context: GovernorContext,
+        trace: DecisionTrace,
+    ) -> None:
+        self.policy = policy
+        self.context = context
+        self.trace = trace
+        self._decisions: dict[int, tuple[float, ...]] = {}
+        self._history: list[tuple[PhaseObservation, ...]] = []
+        self._pending: dict[int, dict[int, PhaseObservation]] = {}
+        self.sensors: dict[int, EpochSensor] = {}
+        self.dvfs = None
+
+    def decide(self, epoch: int, now: float) -> tuple[float, ...]:
+        if epoch in self._decisions:
+            return self._decisions[epoch]
+        decision: GovernorDecision = self.policy.decide(
+            epoch, tuple(self._history), self.context
+        )
+        clamped = tuple(
+            self.context.cap.clamp(f, self.context.allowed)
+            for f in decision.frequencies
+        )
+        if len(clamped) != self.context.n_ranks:
+            raise ConfigurationError(
+                f"policy {self.policy.name!r} returned "
+                f"{len(clamped)} frequencies for {self.context.n_ranks} ranks"
+            )
+        self._decisions[epoch] = clamped
+        self.trace.record_decision(
+            EpochDecision(
+                epoch=epoch,
+                time_s=now,
+                policy=self.policy.name,
+                frequencies=clamped,
+                reason=decision.reason,
+            )
+        )
+        return clamped
+
+    def observe(self, epoch: int, rank: int, ctx: _t.Any, span: str) -> None:
+        if self.dvfs is None:
+            self.dvfs = ctx.dvfs
+        observation = self.sensors[rank].observe(
+            epoch, rank, ctx.now, ctx.frequency_hz, phase_span=span
+        )
+        self.trace.record_observation(observation)
+        bucket = self._pending.setdefault(epoch, {})
+        bucket[rank] = observation
+        if len(bucket) == self.context.n_ranks:
+            self._history.append(
+                tuple(bucket[r] for r in range(self.context.n_ranks))
+            )
+            del self._pending[epoch]
+
+
+def govern_run(
+    benchmark: "BenchmarkModel",
+    n_ranks: int,
+    policy: GovernorPolicy | str | None = None,
+    cap: PowerCap | None = None,
+    *,
+    spec: "ClusterSpec | None" = None,
+    epoch_phases: int | None = None,
+    safety: float | None = None,
+    seed: int = 0,
+) -> GovernedRun:
+    """Execute ``benchmark`` on ``n_ranks`` under closed-loop control.
+
+    ``policy`` may be a registry name (see
+    :data:`repro.governor.policies.POLICIES`), a policy instance, or
+    ``None`` to resolve from the environment.  ``cap`` defaults to
+    uncapped.  The run is fully deterministic for a given argument
+    tuple; ``seed`` is recorded in the trace as provenance.
+    """
+    benchmark.check_ranks(n_ranks)
+    cap = cap or PowerCap()
+    safety = resolve_safety(safety)
+    epoch_phases = resolve_epoch_phases(epoch_phases)
+    if isinstance(policy, str) or policy is None:
+        policy = build_policy(resolve_policy_name(policy), safety=safety)
+
+    spec = (spec or paper_spec()).with_nodes(int(n_ranks))
+    allowed = cap.allowed_frequencies(
+        spec.cpu.operating_points, spec.power, int(n_ranks)
+    )
+    context = GovernorContext(
+        benchmark=benchmark,
+        n_ranks=int(n_ranks),
+        spec=spec,
+        cap=cap,
+        allowed=allowed,
+        safety=safety,
+    )
+    trace = DecisionTrace(
+        benchmark=benchmark.name,
+        problem_class=benchmark.problem_class.value,
+        n_ranks=int(n_ranks),
+        policy=policy.name,
+        cap=cap,
+        epoch_phases=epoch_phases,
+        seed=seed,
+        safety=safety,
+    )
+    governor = _Governor(policy, context, trace)
+
+    phases = list(benchmark.phases(int(n_ranks)))
+    groups = [
+        phases[i : i + epoch_phases]
+        for i in range(0, len(phases), epoch_phases)
+    ]
+    spans = [
+        "+".join(
+            dict.fromkeys(normalize_label(phase.label) for phase in group)
+        )
+        for group in groups
+    ]
+
+    cluster = Cluster(spec)
+    # Epoch 0 is pre-run configuration: no simulated time has passed,
+    # so the initial operating point costs no transition.
+    initial = governor.decide(0, now=0.0)
+    for rank in range(int(n_ranks)):
+        cluster.node(rank).set_frequency(initial[rank])
+        governor.sensors[rank] = EpochSensor(cluster.node(rank))
+
+    def program(ctx: _t.Any) -> _t.Generator:
+        for index, group in enumerate(groups):
+            if index:
+                yield from ctx.barrier()
+                target = governor.decide(index, now=ctx.now)[ctx.rank]
+                if target != ctx.frequency_hz:
+                    yield from ctx.set_frequency(target)
+            for phase in group:
+                yield from phase.execute(ctx)
+            governor.observe(index, ctx.rank, ctx, spans[index])
+
+    result = run_program(cluster, program)
+    transitions = (
+        governor.dvfs.total_transitions() if governor.dvfs is not None else 0
+    )
+    trace.finalize(
+        elapsed_s=result.elapsed_s,
+        energy_j=result.energy_j,
+        transitions=transitions,
+    )
+    return GovernedRun(
+        benchmark=benchmark.name,
+        problem_class=benchmark.problem_class.value,
+        n_ranks=int(n_ranks),
+        policy=policy.name,
+        cap=cap,
+        run=result,
+        trace=trace,
+    )

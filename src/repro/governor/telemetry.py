@@ -1,0 +1,168 @@
+"""Sensor layer: per-rank, per-epoch telemetry for the governor.
+
+The closed-loop governor needs to *observe* an in-flight run the way a
+real runtime system would — through the node's own meters, not through
+privileged knowledge of the benchmark model.  This module taps the
+accounting the simulator already keeps (the
+:class:`~repro.cluster.power.EnergyMeter` per-state integrators and the
+PAPI-style :class:`~repro.cluster.counters.HardwareCounters`) and turns
+interval *differences* into a stream of :class:`PhaseObservation`
+records at epoch boundaries:
+
+* compute / comm / idle time split — where the epoch's wall time went;
+* joules — what the epoch cost;
+* the executed :class:`~repro.cluster.workmix.InstructionMix`,
+  recovered from hardware-counter deltas via the paper's Table 5
+  formulae (the counter feed is exactly invertible, so the governor's
+  model-predictive policy sees the true per-level workload without
+  touching the benchmark definition);
+* the operating frequency the epoch ran at.
+
+One :class:`EpochSensor` is attached per rank; it is a pure
+differencing engine — it never advances simulated time and never
+mutates the node.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cluster.power import PowerState
+from repro.cluster.workmix import InstructionMix
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.node import Node
+
+__all__ = ["PhaseObservation", "EpochSensor"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseObservation:
+    """What the sensor learned about one rank over one epoch.
+
+    Attributes
+    ----------
+    epoch:
+        Zero-based epoch index.
+    rank:
+        The observed rank.
+    phase_span:
+        Normalized phase-group labels the epoch covered (for humans
+        reading the trace).
+    frequency_hz:
+        The operating frequency the rank ran the epoch at.
+    elapsed_s:
+        Wall (simulated) time between the epoch's boundary snapshots.
+    compute_s, comm_s, idle_s:
+        Accounted time per power state within the epoch.
+    joules:
+        Node energy consumed within the epoch.
+    mix:
+        The instruction mix executed during the epoch, recovered from
+        hardware-counter deltas (Table 5 inversion).
+    """
+
+    epoch: int
+    rank: int
+    phase_span: str
+    frequency_hz: float
+    elapsed_s: float
+    compute_s: float
+    comm_s: float
+    idle_s: float
+    joules: float
+    mix: InstructionMix
+
+    @property
+    def busy_s(self) -> float:
+        """Compute plus active-messaging time."""
+        return self.compute_s + self.comm_s
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of the epoch the rank spent blocked (its slack)."""
+        return self.idle_s / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def mean_power_w(self) -> float:
+        """Average node power over the epoch."""
+        return self.joules / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        """A JSON-ready rendering (mix expanded to its four levels)."""
+        return {
+            "epoch": self.epoch,
+            "rank": self.rank,
+            "phase_span": self.phase_span,
+            "frequency_mhz": self.frequency_hz / 1e6,
+            "elapsed_s": self.elapsed_s,
+            "compute_s": self.compute_s,
+            "comm_s": self.comm_s,
+            "idle_s": self.idle_s,
+            "joules": self.joules,
+            "mix": {
+                "cpu": self.mix.cpu,
+                "l1": self.mix.l1,
+                "l2": self.mix.l2,
+                "mem": self.mix.mem,
+            },
+        }
+
+
+class EpochSensor:
+    """Differences one node's meters between epoch boundaries.
+
+    Construction snapshots the node's current accounting; every
+    :meth:`observe` call yields the delta since the previous snapshot
+    as a :class:`PhaseObservation` and re-arms the sensor.
+    """
+
+    def __init__(self, node: "Node", start_time: float = 0.0) -> None:
+        self._node = node
+        self._mark(start_time)
+
+    def _mark(self, now: float) -> None:
+        self._time = now
+        self._seconds = self._node.energy.seconds_by_state()
+        self._joules = self._node.energy.total_joules
+        self._events = self._node.counters.snapshot()
+
+    def observe(
+        self,
+        epoch: int,
+        rank: int,
+        now: float,
+        frequency_hz: float,
+        phase_span: str = "",
+    ) -> PhaseObservation:
+        """Read the epoch's telemetry delta and re-arm the sensor."""
+        seconds = self._node.energy.seconds_by_state()
+        events = self._node.counters.snapshot()
+        tot = events["PAPI_TOT_INS"] - self._events["PAPI_TOT_INS"]
+        l1_dca = events["PAPI_L1_DCA"] - self._events["PAPI_L1_DCA"]
+        l1_dcm = events["PAPI_L1_DCM"] - self._events["PAPI_L1_DCM"]
+        l2_tca = events["PAPI_L2_TCA"] - self._events["PAPI_L2_TCA"]
+        l2_tcm = events["PAPI_L2_TCM"] - self._events["PAPI_L2_TCM"]
+        observation = PhaseObservation(
+            epoch=int(epoch),
+            rank=int(rank),
+            phase_span=str(phase_span),
+            frequency_hz=float(frequency_hz),
+            elapsed_s=now - self._time,
+            compute_s=seconds[PowerState.COMPUTE]
+            - self._seconds[PowerState.COMPUTE],
+            comm_s=seconds[PowerState.COMM]
+            - self._seconds[PowerState.COMM],
+            idle_s=seconds[PowerState.IDLE]
+            - self._seconds[PowerState.IDLE],
+            joules=self._node.energy.total_joules - self._joules,
+            mix=InstructionMix(
+                cpu=max(tot - l1_dca, 0.0),
+                l1=max(l1_dca - l1_dcm, 0.0),
+                l2=max(l2_tca - l2_tcm, 0.0),
+                mem=max(l2_tcm, 0.0),
+            ),
+        )
+        self._mark(now)
+        return observation

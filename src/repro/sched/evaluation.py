@@ -59,6 +59,21 @@ class ScheduleEvaluation:
         """Fractional EDP reduction (positive is good)."""
         return 1.0 - self.scheduled_edp / self.baseline_edp
 
+    @property
+    def edp(self) -> float:
+        """The schedule's energy-delay product (J*s).
+
+        Alias of :attr:`scheduled_edp`, matching the metric name the
+        governor subsystem reports (``GovernedRun.edp``) so offline
+        schedules and governed runs compare on the same axis.
+        """
+        return self.scheduled_edp
+
+    @property
+    def edp_ratio(self) -> float:
+        """Scheduled EDP over baseline EDP (< 1 is an improvement)."""
+        return self.scheduled_edp / self.baseline_edp
+
 
 def evaluate_policy(
     benchmark: BenchmarkModel,

@@ -232,6 +232,50 @@ class ServiceClient:
             body["allow_partial"] = bool(allow_partial)
         return self.request("POST", "/campaign", body)
 
+    def submit_govern(
+        self,
+        benchmark: str,
+        problem_class: str = "A",
+        ranks: int = 4,
+        *,
+        policy: str | None = None,
+        scenario: str | None = None,
+        cluster_cap_w: float | None = None,
+        node_cap_w: float | None = None,
+        epoch_phases: int | None = None,
+        safety: float | None = None,
+        seed: int | None = None,
+    ) -> dict[str, _t.Any]:
+        """``POST /govern`` — returns the job ticket (202).
+
+        Runs a closed-loop governed simulation on the service;
+        ``scenario`` names a derived power-cap scenario
+        (``uncapped``/``cluster_cap``/``node_cap``), or explicit watt
+        budgets can be given.  The finished job's result carries the
+        full decision trace and the EDP comparison against the static
+        baseline under the same cap.
+        """
+        body: dict[str, _t.Any] = {
+            "benchmark": benchmark,
+            "class": problem_class,
+            "ranks": int(ranks),
+        }
+        if policy is not None:
+            body["policy"] = policy
+        if scenario is not None:
+            body["scenario"] = scenario
+        if cluster_cap_w is not None:
+            body["cluster_cap_w"] = float(cluster_cap_w)
+        if node_cap_w is not None:
+            body["node_cap_w"] = float(node_cap_w)
+        if epoch_phases is not None:
+            body["epoch_phases"] = int(epoch_phases)
+        if safety is not None:
+            body["safety"] = float(safety)
+        if seed is not None:
+            body["seed"] = int(seed)
+        return self.request("POST", "/govern", body)
+
     def experiments(self) -> dict[str, _t.Any]:
         """``GET /experiments`` — the registry's pipeline specs."""
         return self.request("GET", "/experiments")

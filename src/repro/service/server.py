@@ -20,6 +20,12 @@ process needs:
   experiment + parameter digest) whose result carries the rendered
   report, the jsonified data and the artifact store's provenance
   document;
+* governed simulations: ``POST /govern`` runs a closed-loop DVFS
+  governed run (:func:`repro.governor.govern_run`) as a background
+  job — named power-cap scenario or explicit watt budgets, policy by
+  registry name — whose result serves the full deterministic decision
+  trace plus energy/time/EDP against the static baseline under the
+  same cap;
 * the campaign-fabric coordinator (:mod:`repro.fabric`): remote
   workers drive ``/fabric/register``, ``/fabric/lease``,
   ``/fabric/complete`` and ``/fabric/heartbeat``; worker/lease
@@ -378,6 +384,8 @@ class ReproService:
                 return await self._handle_predict(request)
             if request.path == "/campaign" and request.method == "POST":
                 return self._handle_campaign(request)
+            if request.path == "/govern" and request.method == "POST":
+                return self._handle_govern(request)
             if request.path.startswith("/fabric/"):
                 return self._handle_fabric(request)
             if request.path == "/experiments" and request.method == "GET":
@@ -394,6 +402,7 @@ class ReproService:
                 "/metrics",
                 "/predict",
                 "/campaign",
+                "/govern",
                 "/experiments",
                 "/jobs",
             ):
@@ -739,6 +748,169 @@ class ReproService:
             "job_id": job.id,
             "status": job.status,
             "key": digest,
+            "created": created,
+            "poll": f"/jobs/{job.id}",
+        }
+
+    def _handle_govern(
+        self, request: protocol.Request
+    ) -> tuple[int, _t.Any]:
+        """Run a governed simulation as a background job.
+
+        Body: ``benchmark``/``class``, ``ranks``, ``policy`` (registry
+        name), and either a named cap ``scenario`` or explicit
+        ``cluster_cap_w``/``node_cap_w`` watts; optional
+        ``epoch_phases``, ``safety`` and ``seed`` override the
+        environment defaults.  The job result carries the full
+        decision trace plus energy/time/EDP against the static
+        baseline governed under the same cap.
+        """
+        import hashlib
+        import json as json_mod
+
+        from repro.governor import (
+            POLICIES,
+            PowerCap,
+            govern_run,
+            power_cap_scenarios,
+            resolve_epoch_phases,
+            resolve_policy_name,
+            resolve_safety,
+        )
+
+        body = request.json()
+        name, cls = self._parse_model(body)
+        bench = _build_benchmark(name, cls)
+        try:
+            ranks = int(body.get("ranks", 4))
+        except (TypeError, ValueError):
+            raise protocol.ProtocolError(
+                f"ranks must be an integer, got {body.get('ranks')!r}"
+            )
+        if ranks < 1:
+            raise protocol.ProtocolError(f"ranks must be >= 1, got {ranks}")
+        policy = body.get("policy")
+        if policy is not None and policy not in POLICIES:
+            raise protocol.ProtocolError(
+                f"unknown policy {policy!r}; choose from {sorted(POLICIES)}"
+            )
+        scenario = body.get("scenario")
+        try:
+            if scenario is not None:
+                scenarios = power_cap_scenarios(ranks)
+                if scenario not in scenarios:
+                    raise protocol.ProtocolError(
+                        f"unknown cap scenario {scenario!r}; "
+                        f"choose from {sorted(scenarios)}"
+                    )
+                cap = scenarios[scenario]
+            elif body.get("cluster_cap_w") or body.get("node_cap_w"):
+                cap = PowerCap(
+                    label="custom",
+                    cluster_w=(
+                        float(body["cluster_cap_w"])
+                        if body.get("cluster_cap_w")
+                        else None
+                    ),
+                    node_w=(
+                        float(body["node_cap_w"])
+                        if body.get("node_cap_w")
+                        else None
+                    ),
+                )
+            else:
+                cap = PowerCap()
+            # Reject infeasible budgets at submit time, not in the job.
+            from repro.cluster.machine import paper_spec
+
+            check_spec = paper_spec()
+            cap.allowed_frequencies(
+                check_spec.cpu.operating_points, check_spec.power, ranks
+            )
+            policy = resolve_policy_name(policy)
+            epoch_phases = resolve_epoch_phases(
+                int(body["epoch_phases"])
+                if body.get("epoch_phases") is not None
+                else None
+            )
+            safety = resolve_safety(
+                float(body["safety"])
+                if body.get("safety") is not None
+                else None
+            )
+        except ConfigurationError as exc:
+            raise protocol.ProtocolError(str(exc)) from exc
+        except (TypeError, ValueError) as exc:
+            raise protocol.ProtocolError(f"bad govern body: {exc}") from exc
+        seed = int(body.get("seed", 0))
+
+        params = {
+            "benchmark": name,
+            "class": cls,
+            "ranks": ranks,
+            "policy": policy,
+            "cap": cap.as_dict(),
+            "epoch_phases": epoch_phases,
+            "safety": safety,
+            "seed": seed,
+        }
+        job_key = "govern-" + hashlib.sha256(
+            json_mod.dumps(params, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        label = f"govern.{name}.{cls}.{policy}"
+
+        def run_job(job: jobs_mod.Job) -> dict[str, _t.Any]:
+            cache_key = ("govern", job_key)
+            cached = self.responses.get(cache_key)
+            if cached is not None:
+                job.runtime = {"source": "service-cache"}
+                return cached
+            governed = govern_run(
+                bench,
+                ranks,
+                policy,
+                cap,
+                epoch_phases=epoch_phases,
+                safety=safety,
+                seed=seed,
+            )
+            baseline = govern_run(
+                bench,
+                ranks,
+                "static",
+                cap,
+                epoch_phases=epoch_phases,
+                safety=safety,
+                seed=seed,
+            )
+            document = {
+                "params": params,
+                "governed": {
+                    "elapsed_s": governed.elapsed_s,
+                    "energy_j": governed.energy_j,
+                    "edp_j_s": governed.edp,
+                    "transitions": governed.trace.transitions,
+                    "trace_digest": governed.trace.digest(),
+                },
+                "baseline": {
+                    "policy": "static",
+                    "elapsed_s": baseline.elapsed_s,
+                    "energy_j": baseline.energy_j,
+                    "edp_j_s": baseline.edp,
+                },
+                "edp_ratio_vs_static": (
+                    governed.edp / baseline.edp if baseline.edp else 0.0
+                ),
+                "trace": governed.trace.to_document(),
+            }
+            self.responses.put(cache_key, document)
+            return document
+
+        job, created = self.jobs.submit(job_key, label, run_job, params=params)
+        return 202, {
+            "job_id": job.id,
+            "status": job.status,
+            "key": job_key,
             "created": created,
             "poll": f"/jobs/{job.id}",
         }

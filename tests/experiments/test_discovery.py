@@ -22,6 +22,7 @@ ALL_EXPERIMENTS = {
     "ablation_overhead",
     "ablation_dop",
     "ablation_decomposition",
+    "governor_comparison",
 }
 
 

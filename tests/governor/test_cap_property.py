@@ -1,0 +1,66 @@
+"""Property test: no decision trace ever exceeds its configured cap.
+
+Hypothesis drives random (benchmark, rank count, budget, policy,
+safety) combinations through the governed harness; every actuation in
+the resulting trace is priced at worst-case (flat-out COMPUTE) power
+and audited against the cap.  Budgets are drawn from the feasible
+range — at least the lowest operating point's draw — because an
+infeasible cap is rejected up front by construction.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machine import paper_spec
+from repro.cluster.power import PowerState
+from repro.experiments.governor_comparison import count_cap_violations
+from repro.governor import PowerCap, govern_run
+from repro.npb import BENCHMARKS, ProblemClass
+
+_SPEC = paper_spec()
+_POINTS = _SPEC.cpu.operating_points
+_FLOOR_W = _SPEC.power.node_power_w(_POINTS.base, PowerState.COMPUTE)
+_PEAK_W = _SPEC.power.node_power_w(_POINTS.peak, PowerState.COMPUTE)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    name=st.sampled_from(["ep", "ft"]),
+    n_ranks=st.sampled_from([2, 4]),
+    policy=st.sampled_from(["reactive", "model_predictive"]),
+    node_headroom=st.floats(min_value=1.0001, max_value=1.6),
+    cluster_headroom=st.one_of(
+        st.none(), st.floats(min_value=1.0001, max_value=1.6)
+    ),
+    safety=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_no_trace_exceeds_its_cap(
+    name, n_ranks, policy, node_headroom, cluster_headroom, safety
+):
+    cap = PowerCap(
+        label="fuzzed",
+        node_w=_FLOOR_W * node_headroom,
+        cluster_w=(
+            _FLOOR_W * n_ranks * cluster_headroom
+            if cluster_headroom is not None
+            else None
+        ),
+    )
+    bench = BENCHMARKS[name](ProblemClass.A)
+    governed = govern_run(bench, n_ranks, policy, cap, safety=safety)
+    assert count_cap_violations(governed.trace) == 0
+    # And the audit itself has teeth: an uncapped run at peak would
+    # violate any budget below the peak draw.
+    assert governed.trace.decisions
+    allowed = cap.allowed_frequencies(_POINTS, _SPEC.power, n_ranks)
+    for decision in governed.trace.decisions:
+        assert set(decision.frequencies) <= set(allowed)
+
+
+def test_audit_detects_violations():
+    """count_cap_violations flags a trace that ignored its cap."""
+    bench = BENCHMARKS["ep"](ProblemClass.A)
+    governed = govern_run(bench, 2, "static", PowerCap())
+    # Re-label the (peak-frequency) trace with a cap it never obeyed.
+    governed.trace.cap = PowerCap(label="retro", node_w=_PEAK_W - 1.0)
+    assert count_cap_violations(governed.trace) > 0

@@ -1,0 +1,82 @@
+"""DecisionTrace serialization: document shape, digests, stability."""
+
+import json
+
+from repro.cluster.workmix import InstructionMix
+from repro.governor import (
+    DecisionTrace,
+    EpochDecision,
+    PhaseObservation,
+    PowerCap,
+)
+
+
+def _trace():
+    trace = DecisionTrace(
+        benchmark="ft",
+        problem_class="A",
+        n_ranks=2,
+        policy="reactive",
+        cap=PowerCap(label="node_cap", node_w=26.0),
+        epoch_phases=4,
+        seed=5,
+        safety=0.9,
+    )
+    trace.record_decision(
+        EpochDecision(
+            epoch=0,
+            time_s=0.0,
+            policy="reactive",
+            frequencies=(1.0e9, 1.0e9),
+            reason="bootstrap",
+        )
+    )
+    for rank in range(2):
+        trace.record_observation(
+            PhaseObservation(
+                epoch=0,
+                rank=rank,
+                phase_span="evolve",
+                frequency_hz=1.0e9,
+                elapsed_s=2.0,
+                compute_s=1.5,
+                comm_s=0.3,
+                idle_s=0.2,
+                joules=50.0,
+                mix=InstructionMix(cpu=100.0, l1=40.0, l2=5.0, mem=2.0),
+            )
+        )
+    trace.finalize(elapsed_s=2.0, energy_j=100.0, transitions=1)
+    return trace
+
+
+class TestDecisionTrace:
+    def test_document_round_trips_through_json(self):
+        document = _trace().to_document()
+        assert json.loads(json.dumps(document)) == document
+        assert document["result"]["edp_j_s"] == 200.0
+        assert document["result"]["finalized"] is True
+        assert document["cap"]["node_w"] == 26.0
+        assert len(document["observations"]) == 2
+        assert document["decisions"][0]["frequencies_mhz"] == [1000.0, 1000.0]
+
+    def test_identical_traces_share_a_digest(self):
+        assert _trace().digest() == _trace().digest()
+        assert _trace().canonical_json() == _trace().canonical_json()
+
+    def test_any_field_change_moves_the_digest(self):
+        base = _trace()
+        other = _trace()
+        other.seed = 6
+        assert base.digest() != other.digest()
+
+    def test_edp_and_epoch_count(self):
+        trace = _trace()
+        assert trace.edp == 200.0
+        assert trace.n_epochs == 1
+
+    def test_observation_derived_metrics(self):
+        observation = _trace().observations[0]
+        assert observation.busy_s == 1.8
+        assert observation.idle_fraction == 0.1
+        assert observation.mean_power_w == 25.0

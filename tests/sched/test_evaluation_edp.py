@@ -1,0 +1,37 @@
+"""Unit tests for ScheduleEvaluation's energy-delay properties."""
+
+import pytest
+
+from repro.sched.evaluation import ScheduleEvaluation
+
+
+@pytest.fixture
+def evaluation():
+    return ScheduleEvaluation(
+        benchmark="ft.A",
+        n_ranks=4,
+        baseline_time_s=10.0,
+        baseline_energy_j=1000.0,
+        scheduled_time_s=11.0,
+        scheduled_energy_j=800.0,
+    )
+
+
+class TestEdpProperties:
+    def test_edp_is_scheduled_energy_delay(self, evaluation):
+        assert evaluation.edp == pytest.approx(800.0 * 11.0)
+        assert evaluation.edp == evaluation.scheduled_edp
+
+    def test_edp_ratio_vs_baseline(self, evaluation):
+        assert evaluation.edp_ratio == pytest.approx(
+            (800.0 * 11.0) / (1000.0 * 10.0)
+        )
+
+    def test_edp_ratio_complements_improvement(self, evaluation):
+        assert evaluation.edp_ratio + evaluation.edp_improvement == (
+            pytest.approx(1.0)
+        )
+
+    def test_ratio_below_one_means_better_schedule(self, evaluation):
+        assert evaluation.edp_ratio < 1.0
+        assert evaluation.edp_improvement > 0.0
