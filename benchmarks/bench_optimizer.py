@@ -1,0 +1,191 @@
+"""Configuration-search smoke -> ``BENCH_optimizer.json``.
+
+Runs :func:`repro.optimizer.optimize` over every registered platform
+for EP and FT under each power-cap scenario and every objective, and
+cross-checks each winner against an **independent exhaustive
+re-enumeration** of the search space (platform x count x frequency
+priced one cell at a time through the analytic model — deliberately
+naive so a pruning or sorting bug in the optimizer cannot hide in
+shared code).  The energy winner under the cluster cap is additionally
+confirmed against the discrete-event simulator.
+
+CI asserts, from the written document:
+
+* every ``winner_matches_exhaustive`` flag is true;
+* the DES confirmation errors stay within the analytic backend's
+  pinned tolerances;
+* the full sweep prices in well under a second.
+
+Standalone usage::
+
+    PYTHONPATH=src python benchmarks/bench_optimizer.py
+"""
+
+import json
+import sys
+import time
+
+from repro.analytic import AnalyticCampaignModel
+from repro.experiments.platform import PAPER_COUNTS
+from repro.governor import power_cap_scenarios
+from repro.npb import BENCHMARKS, ProblemClass
+from repro.optimizer import OBJECTIVES, optimize
+from repro.platforms import get_platform, platform_names
+
+try:
+    from benchmarks._artifacts import artifact_path
+except ImportError:  # standalone: script dir is sys.path[0]
+    from _artifacts import artifact_path
+
+SWEEP_BENCHMARKS = ("ep", "ft")
+SCENARIOS = ("uncapped", "cluster_cap", "node_cap")
+CONFIRM_TIME_TOLERANCE = 1e-2
+CONFIRM_ENERGY_TOLERANCE = 2e-2
+
+
+def exhaustive_argmin(benchmark, objective, cap):
+    """Independent re-enumeration: no shared code with the optimizer
+    beyond the analytic model itself."""
+    best = None
+    for platform in platform_names():
+        spec = get_platform(platform)
+        model = AnalyticCampaignModel(
+            BENCHMARKS[benchmark](ProblemClass.A), spec
+        )
+        for n in PAPER_COUNTS:
+            if n > spec.n_nodes:
+                continue
+            for f in spec.common_frequencies():
+                if model.unsupported_reason((n, f)) is not None:
+                    continue
+                if not cap.admits_spec(f, spec, n):
+                    continue
+                evaluation = model.evaluate_cells([(n, f)])
+                time_s = evaluation.times_by_cell()[(n, f)]
+                energy_j = evaluation.energies_by_cell()[(n, f)]
+                score = {
+                    "energy": energy_j,
+                    "edp": energy_j * time_s,
+                    "time": time_s,
+                }[objective]
+                key = (score, time_s, n, f, platform)
+                if best is None or key < best[0]:
+                    best = (key, platform, n, f)
+    return best[1:] if best else None
+
+
+def run_sweep() -> dict:
+    """Price every (benchmark, scenario, objective) search and verify
+    each winner against the independent enumeration."""
+    checks = []
+    confirmations = []
+    t0 = time.perf_counter()
+    for name in SWEEP_BENCHMARKS:
+        scenarios = power_cap_scenarios(max(PAPER_COUNTS))
+        for label in SCENARIOS:
+            cap = scenarios[label]
+            for objective in OBJECTIVES:
+                confirm = (
+                    name == "ep"
+                    and label == "cluster_cap"
+                    and objective == "energy"
+                )
+                result = optimize(
+                    name,
+                    "A",
+                    objective=objective,
+                    cap=cap,
+                    confirm=confirm,
+                )
+                winner = result.winner
+                expected = exhaustive_argmin(name, objective, cap)
+                checks.append(
+                    {
+                        "benchmark": name,
+                        "scenario": label,
+                        "objective": objective,
+                        "winner": winner.as_dict(),
+                        "feasible": len(result.feasible_candidates()),
+                        "skipped": len(result.skipped),
+                        "winner_matches_exhaustive": (
+                            winner.platform,
+                            winner.n,
+                            winner.frequency_hz,
+                        )
+                        == expected,
+                    }
+                )
+                if result.confirmation is not None:
+                    confirmations.append(
+                        {
+                            "benchmark": name,
+                            "scenario": label,
+                            "objective": objective,
+                            **result.confirmation,
+                        }
+                    )
+    wall_s = time.perf_counter() - t0
+    return {
+        "optimizer": {
+            "platforms": list(platform_names()),
+            "counts": list(PAPER_COUNTS),
+            "searches": len(checks),
+            "checks": checks,
+            "confirmations": confirmations,
+            "time_tolerance": CONFIRM_TIME_TOLERANCE,
+            "energy_tolerance": CONFIRM_ENERGY_TOLERANCE,
+            "wall_s": wall_s,
+        }
+    }
+
+
+def main() -> int:
+    document = run_sweep()
+    path = artifact_path("BENCH_optimizer.json")
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    opt = document["optimizer"]
+    failures = []
+    for check in opt["checks"]:
+        where = (
+            f"{check['benchmark']}/{check['scenario']}"
+            f"/{check['objective']}"
+        )
+        if not check["winner_matches_exhaustive"]:
+            failures.append(
+                f"{where}: optimizer winner diverges from the "
+                f"exhaustive enumeration"
+            )
+    for confirmation in opt["confirmations"]:
+        if confirmation["time_rel_err"] > CONFIRM_TIME_TOLERANCE:
+            failures.append(
+                f"confirmation time err {confirmation['time_rel_err']:.5f}"
+                f" > {CONFIRM_TIME_TOLERANCE}"
+            )
+        if confirmation["energy_rel_err"] > CONFIRM_ENERGY_TOLERANCE:
+            failures.append(
+                "confirmation energy err "
+                f"{confirmation['energy_rel_err']:.5f}"
+                f" > {CONFIRM_ENERGY_TOLERANCE}"
+            )
+    if not opt["confirmations"]:
+        failures.append("no DES confirmation was recorded")
+
+    print(
+        f"optimizer sweep: {opt['searches']} searches over "
+        f"{len(opt['platforms'])} platforms in {opt['wall_s']:.2f}s "
+        f"-> {path}"
+    )
+    matched = sum(
+        1 for c in opt["checks"] if c["winner_matches_exhaustive"]
+    )
+    print(f"winners matching exhaustive enumeration: {matched}/{opt['searches']}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

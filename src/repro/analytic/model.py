@@ -128,9 +128,21 @@ class AnalyticOverhead:
     def message_time(
         self, nbytes: float, frequency_hz: float, flows: float = 1.0
     ) -> float:
-        """Analytic cost of one point-to-point message at ``f``."""
+        """Analytic cost of one point-to-point message at ``f``.
+
+        On heterogeneous platforms the host-overhead term uses the
+        slowest group's NIC — critical-path messages are paced by
+        their slowest endpoint.  The homogeneous branch is untouched
+        (bit-identical to the pre-registry model).
+        """
         network = self._spec.network
-        host = self._spec.nic.host_overhead_s(nbytes, frequency_hz)
+        if self._spec.is_heterogeneous:
+            host = max(
+                group.nic.host_overhead_s(nbytes, frequency_hz)
+                for group in self._spec.node_groups()
+            )
+        else:
+            host = self._spec.nic.host_overhead_s(nbytes, frequency_hz)
         serialization = nbytes / network.effective_bandwidth
         penalty = network.congestion_penalty(int(flows))
         return 2.0 * host + serialization * penalty + network.latency_s
@@ -232,7 +244,10 @@ class AnalyticCampaignModel:
         self.spec = spec if spec is not None else paper_spec()
         mix = benchmark.total_mix()
         memory = MemoryTimingModel(self.spec.memory)
-        frequencies = self.spec.cpu.operating_points.frequencies
+        if self.spec.is_heterogeneous:
+            frequencies = self.spec.common_frequencies()
+        else:
+            frequencies = self.spec.cpu.operating_points.frequencies
         self.rates = WorkloadRates(
             CpuTimingModel(self.spec.cpu).weighted_cpi_on(mix),
             {f: memory.off_chip_latency_s(f) for f in frequencies},
@@ -242,6 +257,31 @@ class AnalyticCampaignModel:
         self.energy_model = EnergyModel(
             self.spec.power, self.spec.cpu.operating_points
         )
+        # Per-group rate/energy models for heterogeneous platforms.
+        # Group 0's entries equal self.rates / self.energy_model, so
+        # the homogeneous path (which never reads these) stays the
+        # single-model code above.
+        self._group_rates: tuple[WorkloadRates, ...] = ()
+        self._group_energy: tuple[EnergyModel, ...] = ()
+        if self.spec.is_heterogeneous:
+            group_rates = []
+            group_energy = []
+            for group in self.spec.node_groups():
+                group_memory = MemoryTimingModel(group.memory)
+                group_rates.append(
+                    WorkloadRates(
+                        CpuTimingModel(group.cpu).weighted_cpi_on(mix),
+                        {
+                            f: group_memory.off_chip_latency_s(f)
+                            for f in frequencies
+                        },
+                    )
+                )
+                group_energy.append(
+                    EnergyModel(group.power, group.cpu.operating_points)
+                )
+            self._group_rates = tuple(group_rates)
+            self._group_energy = tuple(group_energy)
 
     def scalar_model(self) -> ExecutionTimeModel:
         """The scalar Eq. 9 model this evaluator vectorizes."""
@@ -256,6 +296,11 @@ class AnalyticCampaignModel:
         n, f = int(cell[0]), float(cell[1])
         if n < 1:
             return f"processor count must be >= 1: {n}"
+        if self.spec.is_heterogeneous and n > self.spec.n_nodes:
+            return (
+                f"processor count {n} exceeds the platform's "
+                f"{self.spec.n_nodes} nodes"
+            )
         try:
             self.rates.check_frequency(f)
         except ModelError:
@@ -297,6 +342,8 @@ class AnalyticCampaignModel:
                 overheads=empty.copy(),
                 baseline_s=baseline,
             )
+        if self.spec.is_heterogeneous:
+            return self._evaluate_heterogeneous(coerced, baseline)
 
         unique_n = {n for n, _ in coerced}
         unique_f = {f for _, f in coerced}
@@ -341,6 +388,106 @@ class AnalyticCampaignModel:
             times,
             overheads,
         )
+        return AnalyticEvaluation(
+            cells=coerced,
+            times=times,
+            energies=energies,
+            overheads=overheads,
+            baseline_s=baseline,
+        )
+
+    def _group_counts(self, n: int) -> tuple[int, ...]:
+        """Nodes each group contributes to an ``n``-rank job.
+
+        Group-major, mirroring :meth:`ClusterSpec.with_nodes
+        <repro.cluster.machine.ClusterSpec.with_nodes>` and the DES
+        cluster's node layout: the earliest groups fill first.
+        """
+        counts = []
+        remaining = int(n)
+        for group in self.spec.node_groups():
+            take = min(group.count, max(remaining, 0))
+            counts.append(take)
+            remaining -= take
+        return tuple(counts)
+
+    def _evaluate_heterogeneous(
+        self, coerced: tuple[Cell, ...], baseline: float
+    ) -> AnalyticEvaluation:
+        """Per-group closed forms for mixed-generation platforms.
+
+        Work splits evenly across ranks (the DES does the same), so a
+        cell's time is the *slowest participating group's* compute
+        time plus the critical-path overhead; each group's nodes are
+        then billed busy power for their own compute time and overhead
+        power while they wait for the stragglers — summed into the
+        cell energy.  Groups contributing zero nodes to a cell are
+        masked out of the max and zeroed out of the sum.
+        """
+        unique_n = {n for n, _ in coerced}
+        unique_f = {f for _, f in coerced}
+        counts_by_n = {n: self._group_counts(n) for n in unique_n}
+        overheads = np.array(
+            [self.overhead.overhead_time(n, f) for n, f in coerced]
+        )
+        divisors = []
+        for comp in self.workload.components:
+            div_by_n = {n: comp.effective_divisor(n) for n in unique_n}
+            divisors.append(
+                (
+                    comp.mix.on_chip,
+                    comp.mix.off_chip,
+                    np.array([div_by_n[n] for n, _ in coerced]),
+                )
+            )
+        group_times = []
+        group_counts = []
+        for index, rates in enumerate(self._group_rates):
+            on_by_f = {
+                f: rates.on_chip_seconds_per_instruction(f)
+                for f in unique_f
+            }
+            off_by_f = {
+                f: rates.off_chip_seconds_per_instruction(f)
+                for f in unique_f
+            }
+            group_times.append(
+                component_times(
+                    divisors,
+                    np.array([on_by_f[f] for _, f in coerced]),
+                    np.array([off_by_f[f] for _, f in coerced]),
+                    overheads,
+                )
+            )
+            group_counts.append(
+                np.array(
+                    [float(counts_by_n[n][index]) for n, _ in coerced]
+                )
+            )
+        stacked_times = np.stack(group_times)
+        stacked_counts = np.stack(group_counts)
+        times = np.max(
+            np.where(stacked_counts > 0, stacked_times, -np.inf), axis=0
+        )
+        energies = np.zeros_like(times)
+        for index, energy_model in enumerate(self._group_energy):
+            busy_by_f = {
+                f: energy_model.busy_power_w(f) for f in unique_f
+            }
+            over_by_f = {
+                f: energy_model.overhead_power_w(f) for f in unique_f
+            }
+            # This group's nodes compute for (its own time − overhead)
+            # seconds and idle at overhead power for the rest of the
+            # cell — waiting on slower groups counts as overhead.
+            busy_s = stacked_times[index] - overheads
+            energies += energy_joules(
+                stacked_counts[index],
+                np.array([busy_by_f[f] for _, f in coerced]),
+                np.array([over_by_f[f] for _, f in coerced]),
+                times,
+                times - busy_s,
+            )
         return AnalyticEvaluation(
             cells=coerced,
             times=times,

@@ -26,7 +26,13 @@ Components
 from repro.cluster.counters import HardwareCounters
 from repro.cluster.cpu import CpuSpec, CpuTimingModel
 from repro.cluster.dvfs import DvfsController
-from repro.cluster.machine import Cluster, ClusterSpec, paper_cluster, paper_spec
+from repro.cluster.machine import (
+    Cluster,
+    ClusterSpec,
+    NodeGroupSpec,
+    paper_cluster,
+    paper_spec,
+)
 from repro.cluster.memory import MemorySpec, MemoryTimingModel
 from repro.cluster.network import NetworkSpec, SwitchedNetwork
 from repro.cluster.nic import NicSpec
@@ -58,6 +64,7 @@ __all__ = [
     "Node",
     "Cluster",
     "ClusterSpec",
+    "NodeGroupSpec",
     "paper_cluster",
     "paper_spec",
     "DvfsController",

@@ -16,6 +16,7 @@ Ethernet.
 from __future__ import annotations
 
 import dataclasses
+import typing as _t
 
 from repro.cluster.cpu import CpuSpec
 from repro.cluster.memory import MemorySpec
@@ -27,12 +28,51 @@ from repro.errors import ConfigurationError
 from repro.sim.engine import Engine
 from repro.sim.trace import Tracer
 
-__all__ = ["ClusterSpec", "Cluster", "paper_spec", "paper_cluster"]
+__all__ = [
+    "NodeGroupSpec",
+    "ClusterSpec",
+    "Cluster",
+    "paper_spec",
+    "paper_cluster",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeGroupSpec:
+    """Hardware description of one homogeneous slice of a cluster.
+
+    A heterogeneous cluster is a sequence of node groups — e.g. eight
+    first-generation nodes plus eight newer ones.  Node ids are laid
+    out group-major: group 0 owns ids ``0..count₀-1``, group 1 the next
+    ``count₁``, and so on, so a job on the first ``n`` nodes draws from
+    the earliest groups first.
+    """
+
+    count: int
+    cpu: CpuSpec = dataclasses.field(default_factory=CpuSpec)
+    memory: MemorySpec = dataclasses.field(default_factory=MemorySpec)
+    power: PowerSpec = dataclasses.field(default_factory=PowerSpec)
+    nic: NicSpec = dataclasses.field(default_factory=NicSpec)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError(
+                f"node group count must be >= 1: {self.count}"
+            )
 
 
 @dataclasses.dataclass(frozen=True)
 class ClusterSpec:
-    """Full static description of a homogeneous cluster."""
+    """Full static description of a cluster.
+
+    The degenerate form (``groups=()``) is a homogeneous cluster of
+    ``n_nodes`` identical nodes built from the top-level component
+    specs — the paper's platform.  A heterogeneous cluster supplies
+    explicit ``groups``; the top-level component fields then mirror
+    group 0 (enforced here), so code that only understands one spec
+    sees the first group's view.
+    """
 
     n_nodes: int = 16
     cpu: CpuSpec = dataclasses.field(default_factory=CpuSpec)
@@ -40,14 +80,131 @@ class ClusterSpec:
     power: PowerSpec = dataclasses.field(default_factory=PowerSpec)
     nic: NicSpec = dataclasses.field(default_factory=NicSpec)
     network: NetworkSpec = dataclasses.field(default_factory=NetworkSpec)
+    groups: tuple[NodeGroupSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ConfigurationError(f"n_nodes must be >= 1: {self.n_nodes}")
+        if not self.groups:
+            return
+        object.__setattr__(self, "groups", tuple(self.groups))
+        total = sum(group.count for group in self.groups)
+        if total != self.n_nodes:
+            raise ConfigurationError(
+                f"node groups provide {total} nodes but n_nodes is "
+                f"{self.n_nodes}"
+            )
+        # The top-level component fields mirror group 0 so single-spec
+        # consumers (and the digest of the degenerate case) stay
+        # coherent with the group layout.
+        first = self.groups[0]
+        object.__setattr__(self, "cpu", first.cpu)
+        object.__setattr__(self, "memory", first.memory)
+        object.__setattr__(self, "power", first.power)
+        object.__setattr__(self, "nic", first.nic)
+        # DVFS consistency: every group must be able to run at the
+        # cluster's base frequency (jobs boot there by default).
+        # Catching this here — with_nodes() goes through the same
+        # validation via dataclasses.replace — beats the lookup error
+        # a Node would raise deep inside the engine.
+        base = first.cpu.operating_points.base.frequency_hz
+        for index, group in enumerate(self.groups):
+            table = group.cpu.operating_points
+            if base not in table.frequencies:
+                label = group.name or f"group {index}"
+                legal = ", ".join(
+                    f"{f / 1e6:.0f}" for f in table.frequencies
+                )
+                raise ConfigurationError(
+                    f"node group {label!r}: cluster base frequency "
+                    f"{base / 1e6:.0f} MHz is absent from its "
+                    f"operating-point table (legal: {legal} MHz)"
+                )
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        groups: _t.Iterable[NodeGroupSpec],
+        network: NetworkSpec | None = None,
+    ) -> "ClusterSpec":
+        """A spec from explicit node groups (node count = sum of counts)."""
+        groups = tuple(groups)
+        if not groups:
+            raise ConfigurationError("need at least one node group")
+        return cls(
+            n_nodes=sum(group.count for group in groups),
+            network=network if network is not None else NetworkSpec(),
+            groups=groups,
+        )
+
+    def node_groups(self) -> tuple[NodeGroupSpec, ...]:
+        """The group layout; homogeneous specs synthesize one group."""
+        if self.groups:
+            return self.groups
+        return (
+            NodeGroupSpec(
+                count=self.n_nodes,
+                cpu=self.cpu,
+                memory=self.memory,
+                power=self.power,
+                nic=self.nic,
+                name="all",
+            ),
+        )
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when the spec carries more than one node group."""
+        return len(self.groups) > 1
+
+    @property
+    def base_frequency_hz(self) -> float:
+        """The cluster's boot frequency (group 0's lowest point)."""
+        return self.cpu.operating_points.base.frequency_hz
+
+    def common_frequencies(self) -> tuple[float, ...]:
+        """Frequencies legal on *every* node group, ascending.
+
+        The cluster-wide campaign grid and the governor's legal sets
+        draw from this; for homogeneous specs it is simply the
+        operating-point table.
+        """
+        common = set(self.cpu.operating_points.frequencies)
+        for group in self.node_groups():
+            common &= set(group.cpu.operating_points.frequencies)
+        if not common:
+            raise ConfigurationError(
+                "node groups share no common operating frequency"
+            )
+        return tuple(sorted(common))
 
     def with_nodes(self, n_nodes: int) -> "ClusterSpec":
-        """A copy of this spec with a different node count."""
-        return dataclasses.replace(self, n_nodes=n_nodes)
+        """A copy of this spec with a different node count.
+
+        Heterogeneous specs keep the group-major layout: the copy is
+        the *first* ``n_nodes`` nodes, truncating groups from the end
+        (a grid cell at ``n`` uses the earliest groups first, exactly
+        the nodes :class:`Cluster` would boot).
+        """
+        if not self.groups:
+            return dataclasses.replace(self, n_nodes=n_nodes)
+        total = sum(group.count for group in self.groups)
+        if n_nodes > total:
+            raise ConfigurationError(
+                f"cannot scale a heterogeneous spec to {n_nodes} nodes: "
+                f"its groups provide only {total}"
+            )
+        remaining = int(n_nodes)
+        kept: list[NodeGroupSpec] = []
+        for group in self.groups:
+            if remaining <= 0:
+                break
+            take = min(group.count, remaining)
+            kept.append(dataclasses.replace(group, count=take))
+            remaining -= take
+        return dataclasses.replace(
+            self, n_nodes=int(n_nodes), groups=tuple(kept)
+        )
 
 
 class Cluster:
@@ -73,17 +230,23 @@ class Cluster:
     ) -> None:
         self.spec = spec or ClusterSpec()
         self.engine = Engine()
-        self.nodes = [
-            Node(
-                node_id=i,
-                cpu=self.spec.cpu,
-                memory=self.spec.memory,
-                power=self.spec.power,
-                nic=self.spec.nic,
-                frequency_hz=frequency_hz,
-            )
-            for i in range(self.spec.n_nodes)
-        ]
+        # Nodes are built group-major: group 0's nodes take the lowest
+        # ids.  The homogeneous case is one synthesized group carrying
+        # the spec's own component objects, so it boots exactly the
+        # nodes the pre-group code did.
+        self.nodes: list[Node] = []
+        for group in self.spec.node_groups():
+            for _ in range(group.count):
+                self.nodes.append(
+                    Node(
+                        node_id=len(self.nodes),
+                        cpu=group.cpu,
+                        memory=group.memory,
+                        power=group.power,
+                        nic=group.nic,
+                        frequency_hz=frequency_hz,
+                    )
+                )
         self.network = SwitchedNetwork(
             self.engine, self.spec.n_nodes, self.spec.network
         )
@@ -113,7 +276,12 @@ class Cluster:
 
     @property
     def operating_points(self):
-        """The (shared) operating point table of the nodes' CPUs."""
+        """The operating point table of group 0's CPUs.
+
+        Homogeneous clusters share one table; on heterogeneous
+        clusters, cluster-wide frequency choices should come from
+        ``spec.common_frequencies()`` instead.
+        """
         return self.spec.cpu.operating_points
 
     # -- meters -----------------------------------------------------------

@@ -50,6 +50,16 @@ class MemorySpec:
     off_chip_ns_overrides:
         Mapping from *core* frequency (Hz) to an overriding OFF-chip
         latency (ns), modelling the bus-downshift quirk.
+    shared_cores:
+        How many cores (ranks) contend for this node's memory bus.  The
+        paper platform runs one rank per node, so the default is 1.
+    contention:
+        Memory-wall contention coefficient ``α``: with ``c`` sharers the
+        OFF-chip latency is inflated by ``1 + α·(c − 1)`` — the
+        Furtunato-style memory-wall shape, where OFF-chip time stops
+        scaling once the shared bus saturates.  The defaults make the
+        multiplier exactly 1.0, so the paper platform is bit-identical
+        to the pre-memory-wall model.
     """
 
     l1_bytes: float = kib(32)
@@ -59,10 +69,20 @@ class MemorySpec:
     off_chip_ns_overrides: dict[float, float] = dataclasses.field(
         default_factory=_default_bus_quirk
     )
+    shared_cores: int = 1
+    contention: float = 0.0
 
     def __post_init__(self) -> None:
         if self.off_chip_ns <= 0:
             raise ConfigurationError("off_chip_ns must be positive")
+        if self.shared_cores < 1:
+            raise ConfigurationError(
+                f"shared_cores must be >= 1: {self.shared_cores}"
+            )
+        if self.contention < 0:
+            raise ConfigurationError(
+                f"contention must be >= 0: {self.contention}"
+            )
         for f, lat in self.off_chip_ns_overrides.items():
             if f <= 0 or lat <= 0:
                 raise ConfigurationError(
@@ -97,6 +117,15 @@ class MemorySpec:
             types.MappingProxyType(dict(self.off_chip_ns_overrides)),
         )
 
+    @property
+    def contention_multiplier(self) -> float:
+        """Memory-wall inflation factor ``1 + α·(shared_cores − 1)``.
+
+        Exactly 1.0 on contention-free specs (the paper platform), so
+        the memory-wall term is zero-effect there.
+        """
+        return 1.0 + self.contention * (self.shared_cores - 1)
+
 
 class MemoryTimingModel:
     """Computes OFF-chip execution time for instruction mixes."""
@@ -108,12 +137,18 @@ class MemoryTimingModel:
         """Seconds per OFF-chip instruction at a given *core* frequency.
 
         Mostly flat (OFF-chip work is bus-clocked), except where the
-        platform's bus-downshift overrides apply.
+        platform's bus-downshift overrides apply.  On memory-wall specs
+        the latency is further inflated by the contention multiplier;
+        the multiplier-1.0 branch returns the uninflated latency
+        unchanged so contention-free specs stay bit-identical.
         """
         nanos = self.spec.off_chip_ns_overrides.get(
             float(core_frequency_hz), self.spec.off_chip_ns
         )
-        return ns(nanos)
+        multiplier = self.spec.contention_multiplier
+        if multiplier == 1.0:
+            return ns(nanos)
+        return ns(nanos) * multiplier
 
     def off_chip_seconds(
         self, off_chip_instructions: float, core_frequency_hz: float

@@ -10,6 +10,8 @@ Usage::
         --csv ft_times.csv --json ft.json
     repro-experiments govern ft --ranks 4 --policy model_predictive \\
         --scenario cluster_cap --json trace.json
+    repro-experiments optimize ep --objective energy \\
+        --scenario cluster_cap --json winner.json
     repro-experiments serve --port 8080
     repro-experiments --version
 
@@ -53,6 +55,14 @@ routing between them (see ``docs/ANALYTIC.md``).
 the decision trace plus the energy/time/EDP comparison against the
 static baseline governed under the same cap (see
 ``docs/GOVERNOR.md``).
+
+``--platform NAME`` selects a registered platform (``paper``,
+``paper-memwall``, ``hetero-2gen``; see ``docs/PLATFORMS.md``) for
+the command's campaigns and governed runs — equivalent to setting
+``REPRO_PLATFORM``.  ``optimize`` searches every ``(platform, N, f)``
+configuration for the energy/EDP/time-optimal one under a power
+budget, pricing candidates analytically and confirming the winner in
+the simulator (:mod:`repro.optimizer`).
 """
 
 from __future__ import annotations
@@ -84,14 +94,25 @@ def _jsonify(value: _t.Any) -> _t.Any:
 
 
 def _configure_runtime(args: argparse.Namespace) -> None:
-    """Apply the runtime flags (jobs, cache, fault tolerance)."""
+    """Apply the runtime flags (jobs, cache, platform, fault tolerance)."""
     from repro import runtime
+    from repro.errors import ConfigurationError
 
     jobs = args.jobs
     if getattr(args, "profile", False) and jobs is None:
         # Profile in-process by default: pool workers would hide the
         # simulation hot loop from the profiler.
         jobs = 1
+    try:
+        _apply_runtime(runtime, args, jobs)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _apply_runtime(
+    runtime: _t.Any, args: argparse.Namespace, jobs: int | None
+) -> None:
     runtime.configure(
         jobs=jobs,
         disk_cache=False if args.no_disk_cache else None,
@@ -100,6 +121,7 @@ def _configure_runtime(args: argparse.Namespace) -> None:
         allow_partial=True if args.allow_partial else None,
         backend=getattr(args, "backend", None),
         fabric=True if getattr(args, "fabric", False) else None,
+        platform=getattr(args, "platform", None),
     )
 
 
@@ -278,7 +300,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_govern(args: argparse.Namespace) -> int:
-    from repro.errors import ReproError
+    from repro.errors import ConfigurationError, ReproError
     from repro.governor import PowerCap, govern_run, power_cap_scenarios
     from repro.npb import BENCHMARKS, ProblemClass
     from repro.reporting.tables import format_rows
@@ -292,8 +314,16 @@ def _cmd_govern(args: argparse.Namespace) -> int:
         return 2
     bench = BENCHMARKS[name](ProblemClass.parse(args.problem_class or "A"))
     ranks = args.ranks
+    try:
+        from repro import runtime
+        from repro.platforms import get_platform
+
+        spec = get_platform(runtime.resolve_platform(args.platform))
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     if args.scenario:
-        scenarios = power_cap_scenarios(ranks)
+        scenarios = power_cap_scenarios(ranks, spec)
         if args.scenario not in scenarios:
             print(
                 f"unknown cap scenario {args.scenario!r}; available: "
@@ -317,6 +347,7 @@ def _cmd_govern(args: argparse.Namespace) -> int:
             ranks,
             args.policy,
             cap,
+            spec=spec,
             epoch_phases=args.epoch_phases,
             safety=args.safety,
             seed=args.seed,
@@ -326,6 +357,7 @@ def _cmd_govern(args: argparse.Namespace) -> int:
             ranks,
             "static",
             cap,
+            spec=spec,
             epoch_phases=args.epoch_phases,
             safety=args.safety,
             seed=args.seed,
@@ -372,6 +404,153 @@ def _cmd_govern(args: argparse.Namespace) -> int:
         }
         pathlib.Path(args.json).write_text(json.dumps(document, indent=2))
         print(f"[decision trace written to {args.json}]")
+    return 0
+
+
+def _cmd_platforms(_args: argparse.Namespace) -> int:
+    from repro.platforms import platform_summaries
+    from repro.reporting.tables import format_rows
+
+    rows = []
+    for summary in platform_summaries():
+        rows.append(
+            [
+                summary["name"],
+                str(summary["n_nodes"]),
+                "yes" if summary["heterogeneous"] else "no",
+                ",".join(f"{m:.0f}" for m in summary["frequencies_mhz"]),
+                summary["spec_digest"][:12],
+                summary["description"],
+            ]
+        )
+    print(
+        format_rows(
+            [
+                "platform",
+                "nodes",
+                "hetero",
+                "common f [MHz]",
+                "digest",
+                "description",
+            ],
+            rows,
+            title="registered platforms (select with --platform or "
+            "REPRO_PLATFORM)",
+        )
+    )
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.governor import PowerCap, power_cap_scenarios
+    from repro.optimizer import optimize
+    from repro.reporting.tables import format_rows
+
+    _configure_runtime(args)
+    counts = (
+        tuple(int(c) for c in args.counts.split(","))
+        if args.counts
+        else None
+    )
+    platforms = (
+        tuple(p.strip() for p in args.platforms.split(","))
+        if args.platforms
+        else None
+    )
+    try:
+        if args.scenario:
+            ranks = max(counts) if counts else None
+            from repro.experiments.platform import PAPER_COUNTS
+
+            scenarios = power_cap_scenarios(ranks or max(PAPER_COUNTS))
+            if args.scenario not in scenarios:
+                print(
+                    f"unknown cap scenario {args.scenario!r}; available: "
+                    f"{sorted(scenarios)}",
+                    file=sys.stderr,
+                )
+                return 2
+            cap = scenarios[args.scenario]
+        elif args.cluster_cap_w or args.node_cap_w:
+            cap = PowerCap(
+                label="custom",
+                cluster_w=args.cluster_cap_w,
+                node_w=args.node_cap_w,
+            )
+        else:
+            cap = PowerCap()
+        result = optimize(
+            args.benchmark,
+            args.problem_class or "A",
+            objective=args.objective,
+            platforms=platforms,
+            counts=counts,
+            cap=cap,
+            confirm=not args.no_confirm,
+        )
+    except ReproError as exc:
+        print(f"optimize failed: {exc}", file=sys.stderr)
+        return 2
+
+    shown = result.feasible_candidates()[: args.top]
+    rows = [
+        [
+            c.platform,
+            str(c.n),
+            f"{c.frequency_hz / 1e6:.0f}",
+            f"{c.time_s:.3f}",
+            f"{c.energy_j:.1f}",
+            f"{c.edp_j_s:.1f}",
+            f"{c.mean_power_w:.1f}",
+        ]
+        for c in shown
+    ]
+    n_feasible = len(result.feasible_candidates())
+    print(
+        format_rows(
+            [
+                "platform",
+                "N",
+                "f [MHz]",
+                "time [s]",
+                "energy [J]",
+                "EDP [J*s]",
+                "mean [W]",
+            ],
+            rows,
+            title=(
+                f"{result.benchmark.upper()} class {result.problem_class}: "
+                f"top {len(shown)} of {n_feasible} feasible configs by "
+                f"{result.objective}, cap '{result.cap.label}'"
+            ),
+        )
+    )
+    winner = result.winner
+    print(
+        f"\nwinner: {winner.platform} at N={winner.n}, "
+        f"f={winner.frequency_hz / 1e6:.0f} MHz "
+        f"({result.objective} = "
+        f"{winner.objective_value(result.objective):.1f})"
+    )
+    infeasible = len(result.candidates) - n_feasible
+    if infeasible or result.skipped:
+        print(
+            f"[{infeasible} candidates over cap, "
+            f"{len(result.skipped)} cells skipped]"
+        )
+    if result.confirmation is not None:
+        print(
+            "DES confirmation: time err "
+            f"{result.confirmation['time_rel_err']:.3%}, energy err "
+            f"{result.confirmation['energy_rel_err']:.3%}"
+        )
+    if args.json:
+        pathlib.Path(args.json).write_text(
+            json.dumps(result.as_dict(), indent=2)
+        )
+        print(f"[optimizer result written to {args.json}]")
+    _print_runtime_stats()
     return 0
 
 
@@ -463,6 +642,13 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         "'analytic' evaluates the closed forms in one vectorized "
         "pass, 'auto' uses the analytic path where validated and "
         "falls back to the simulator (default: des, or REPRO_BACKEND)",
+    )
+    runtime_opts.add_argument(
+        "--platform",
+        default=None,
+        metavar="NAME",
+        help="registered platform for this command's campaigns "
+        "(see 'platforms'; default: paper, or REPRO_PLATFORM)",
     )
     runtime_opts.add_argument(
         "--fabric",
@@ -579,6 +765,13 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         help="explicit per-node power ceiling in watts",
     )
     p_gov.add_argument(
+        "--platform",
+        default=None,
+        metavar="NAME",
+        help="registered platform to govern on (see 'platforms'; "
+        "default: paper, or REPRO_PLATFORM)",
+    )
+    p_gov.add_argument(
         "--epoch-phases",
         dest="epoch_phases",
         type=int,
@@ -601,6 +794,74 @@ def main(argv: _t.Sequence[str] | None = None) -> int:
         help="write the decision trace + baseline comparison to JSON",
     )
     p_gov.set_defaults(func=_cmd_govern)
+
+    p_platforms = sub.add_parser(
+        "platforms",
+        help="list the registered platforms",
+    )
+    p_platforms.set_defaults(func=_cmd_platforms)
+
+    p_opt = sub.add_parser(
+        "optimize",
+        help="search (platform, N, f) for the energy/EDP-optimal "
+        "configuration under a power budget",
+        parents=[runtime_opts],
+    )
+    p_opt.add_argument(
+        "benchmark", help="benchmark name (ep, ft, lu, cg, mg, is, bt, sp)"
+    )
+    p_opt.add_argument("--class", dest="problem_class", default="A")
+    p_opt.add_argument(
+        "--objective",
+        choices=("energy", "edp", "time"),
+        default="energy",
+        help="optimization objective (default: energy)",
+    )
+    p_opt.add_argument(
+        "--platforms",
+        default="",
+        help="comma-separated platform names to search "
+        "(default: every registered platform)",
+    )
+    p_opt.add_argument(
+        "--counts", default="", help="comma-separated processor counts"
+    )
+    p_opt.add_argument(
+        "--scenario",
+        default=None,
+        help="named power-cap scenario: uncapped, cluster_cap, node_cap",
+    )
+    p_opt.add_argument(
+        "--cluster-cap-w",
+        dest="cluster_cap_w",
+        type=float,
+        default=None,
+        help="explicit cluster-wide power budget in watts",
+    )
+    p_opt.add_argument(
+        "--node-cap-w",
+        dest="node_cap_w",
+        type=float,
+        default=None,
+        help="explicit per-node power ceiling in watts",
+    )
+    p_opt.add_argument(
+        "--top",
+        type=int,
+        default=8,
+        help="feasible candidates to print (default: 8)",
+    )
+    p_opt.add_argument(
+        "--no-confirm",
+        action="store_true",
+        help="skip the DES confirmation of the winning cell",
+    )
+    p_opt.add_argument(
+        "--json",
+        default=None,
+        help="write the full candidate ranking to a JSON file",
+    )
+    p_opt.set_defaults(func=_cmd_optimize)
 
     p_serve = sub.add_parser(
         "serve",

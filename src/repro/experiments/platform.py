@@ -22,7 +22,7 @@ import typing as _t
 
 from repro import runtime
 from repro.cluster.machine import ClusterSpec, paper_spec
-from repro.errors import CampaignExecutionError
+from repro.errors import CampaignExecutionError, ConfigurationError
 from repro.core.measurements import TimingCampaign
 from repro.npb.base import BenchmarkModel
 from repro.units import mhz
@@ -55,6 +55,31 @@ def _default_spec_digest() -> str:
     if _DEFAULT_SPEC_DIGEST is None:
         _DEFAULT_SPEC_DIGEST = runtime.spec_digest(paper_spec())
     return _DEFAULT_SPEC_DIGEST
+
+
+def _resolve_spec(
+    spec: ClusterSpec | None, platform: str | None
+) -> ClusterSpec | None:
+    """Resolve the (spec, platform) pair every entry point accepts.
+
+    An explicit ``spec`` wins (and excludes ``platform``); otherwise
+    the named platform resolves through the runtime ladder (explicit →
+    :func:`repro.runtime.configure` → ``REPRO_PLATFORM`` → paper).
+    The paper platform resolves to ``None`` so its campaigns keep
+    their pre-registry cache keys.
+    """
+    if spec is not None:
+        if platform is not None:
+            raise ConfigurationError(
+                f"pass either spec= or platform={platform!r}, not both"
+            )
+        return spec
+    from repro.platforms import DEFAULT_PLATFORM, get_platform
+
+    name = runtime.resolve_platform(platform)
+    if name == DEFAULT_PLATFORM:
+        return None
+    return get_platform(name)
 
 
 def _cache_key(
@@ -102,6 +127,7 @@ def measure_campaign(
     allow_partial: bool | None = None,
     backend: str | None = None,
     fabric: bool | None = None,
+    platform: str | None = None,
 ) -> TimingCampaign:
     """Measure a benchmark over a (counts × frequencies) grid.
 
@@ -139,8 +165,13 @@ def measure_campaign(
     local pool otherwise.  Fabric is *not* part of the cache identity:
     it changes where cells run, never what they compute — fleet
     results are bit-identical to local ones.
+
+    ``platform`` names a registered platform (:mod:`repro.platforms`)
+    as an alternative to ``spec``; ``None`` resolves the configured
+    default (``REPRO_PLATFORM`` or the paper cluster).
     """
     start = time.perf_counter()
+    spec = _resolve_spec(spec, platform)
     key = _cache_key(benchmark, counts, frequencies, spec, backend)
     label = f"{benchmark.name}.{benchmark.problem_class.value}"
     n_cells = len(key[2]) * len(key[3])
@@ -257,6 +288,7 @@ def peek_campaign(
     disk_cache: bool | None = None,
     record: bool = True,
     backend: str | None = None,
+    platform: str | None = None,
 ) -> TimingCampaign | None:
     """Cache-only campaign lookup — never simulates.
 
@@ -268,6 +300,7 @@ def peek_campaign(
     :func:`measure_campaign`'s cache-hit path.
     """
     start = time.perf_counter()
+    spec = _resolve_spec(spec, platform)
     key = _cache_key(benchmark, counts, frequencies, spec, backend)
     label = f"{benchmark.name}.{benchmark.problem_class.value}"
     n_cells = len(key[2]) * len(key[3])
@@ -310,6 +343,7 @@ def adopt_campaign(
     *,
     disk_cache: bool | None = None,
     backend: str | None = None,
+    platform: str | None = None,
 ) -> None:
     """Insert an externally-assembled campaign into both cache tiers.
 
@@ -320,6 +354,7 @@ def adopt_campaign(
     processes) hit instead of re-simulating.  Only complete campaigns
     may be adopted — partial grids would poison the cache.
     """
+    spec = _resolve_spec(spec, platform)
     key = _cache_key(benchmark, counts, frequencies, spec, backend)
     expected = len(key[2]) * len(key[3])
     if len(campaign.times) != expected:

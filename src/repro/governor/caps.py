@@ -76,6 +76,64 @@ class PowerCap:
             return False
         return True
 
+    def admits_spec(
+        self,
+        frequency_hz: float,
+        spec: ClusterSpec,
+        n_ranks: int,
+    ) -> bool:
+        """Per-node-group :meth:`admits` for arbitrary platforms.
+
+        Sizes the spec to ``n_ranks`` nodes (group-major, the nodes a
+        job would actually boot), checks every participating group's
+        worst-case draw against the node cap, and their count-weighted
+        sum against the cluster cap.  Homogeneous specs delegate to
+        :meth:`admits` unchanged — same floats, same result.
+        """
+        sized = spec.with_nodes(max(int(n_ranks), 1))
+        if not sized.is_heterogeneous:
+            return self.admits(
+                frequency_hz,
+                sized.cpu.operating_points,
+                sized.power,
+                n_ranks,
+            )
+        total = 0.0
+        for group in sized.node_groups():
+            point = group.cpu.operating_points.lookup(frequency_hz)
+            worst = group.power.node_power_w(point, PowerState.COMPUTE)
+            if self.node_w is not None and worst > self.node_w:
+                return False
+            total += worst * group.count
+        if self.cluster_w is not None and total > self.cluster_w:
+            return False
+        return True
+
+    def allowed_frequencies_for(
+        self, spec: ClusterSpec, n_ranks: int
+    ) -> tuple[float, ...]:
+        """The cap-legal *cluster-wide* frequencies for a platform.
+
+        Draws candidates from ``spec.common_frequencies()`` (legal on
+        every node group) and filters with :meth:`admits_spec`; on
+        homogeneous specs this is exactly
+        ``allowed_frequencies(spec.cpu.operating_points, spec.power,
+        n_ranks)``.  Raises :class:`~repro.errors.ConfigurationError`
+        when no operating point survives.
+        """
+        sized = spec.with_nodes(max(int(n_ranks), 1))
+        legal = tuple(
+            f
+            for f in sized.common_frequencies()
+            if self.admits_spec(f, sized, n_ranks)
+        )
+        if not legal:
+            raise ConfigurationError(
+                f"power cap {self.label!r} ({self.as_dict()}) is infeasible: "
+                f"no operating point is legal for {n_ranks} ranks"
+            )
+        return legal
+
     def allowed_frequencies(
         self,
         operating_points: "OperatingPointTable",
@@ -135,19 +193,47 @@ def power_cap_scenarios(
       machine can run one notch below peak, but not at peak).
     * ``node_cap`` — a per-node ceiling sized to the middle operating
       point's worst-case draw (each node loses its top two notches).
+
+    On heterogeneous platforms the candidate notches are the
+    cluster-wide common frequencies, the node ceiling tracks the
+    hungriest group's draw, and the cluster budget is the
+    count-weighted sum of per-group draws over the first ``n_ranks``
+    nodes.  On homogeneous platforms the arithmetic is unchanged from
+    the pre-registry code (same floats).
     """
     spec = spec or paper_spec(n_nodes=max(int(n_ranks), 1))
-    points = spec.cpu.operating_points
-    frequencies = points.frequencies
+    hetero = spec.is_heterogeneous
+    sized = spec.with_nodes(max(int(n_ranks), 1)) if hetero else spec
+    frequencies = sized.common_frequencies()
     if len(frequencies) < 3:
         raise ConfigurationError(
             "power cap scenarios need at least three operating points, "
             f"got {len(frequencies)}"
         )
 
+    def group_worst_w(group, frequency_hz: float) -> float:
+        point = group.cpu.operating_points.lookup(frequency_hz)
+        return group.power.node_power_w(point, PowerState.COMPUTE)
+
     def worst_w(frequency_hz: float) -> float:
-        point = points.lookup(frequency_hz)
+        point = spec.cpu.operating_points.lookup(frequency_hz)
         return spec.power.node_power_w(point, PowerState.COMPUTE)
+
+    def node_worst_w(frequency_hz: float) -> float:
+        if not hetero:
+            return worst_w(frequency_hz)
+        return max(
+            group_worst_w(group, frequency_hz)
+            for group in sized.node_groups()
+        )
+
+    def cluster_worst_w(frequency_hz: float) -> float:
+        if not hetero:
+            return worst_w(frequency_hz) * n_ranks
+        return sum(
+            group_worst_w(group, frequency_hz) * group.count
+            for group in sized.node_groups()
+        )
 
     second = frequencies[-2]
     middle = frequencies[len(frequencies) // 2]
@@ -155,10 +241,10 @@ def power_cap_scenarios(
         "uncapped": PowerCap(label="uncapped"),
         "cluster_cap": PowerCap(
             label="cluster_cap",
-            cluster_w=worst_w(second) * n_ranks * _SCENARIO_HEADROOM,
+            cluster_w=cluster_worst_w(second) * _SCENARIO_HEADROOM,
         ),
         "node_cap": PowerCap(
             label="node_cap",
-            node_w=worst_w(middle) * _SCENARIO_HEADROOM,
+            node_w=node_worst_w(middle) * _SCENARIO_HEADROOM,
         ),
     }

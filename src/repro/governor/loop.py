@@ -34,7 +34,7 @@ import dataclasses
 import os
 import typing as _t
 
-from repro.cluster.machine import Cluster, paper_spec
+from repro.cluster.machine import Cluster
 from repro.errors import ConfigurationError
 from repro.governor.caps import PowerCap
 from repro.governor.policies import (
@@ -232,6 +232,7 @@ def govern_run(
     cap: PowerCap | None = None,
     *,
     spec: "ClusterSpec | None" = None,
+    platform: str | None = None,
     epoch_phases: int | None = None,
     safety: float | None = None,
     seed: int = 0,
@@ -241,8 +242,12 @@ def govern_run(
     ``policy`` may be a registry name (see
     :data:`repro.governor.policies.POLICIES`), a policy instance, or
     ``None`` to resolve from the environment.  ``cap`` defaults to
-    uncapped.  The run is fully deterministic for a given argument
-    tuple; ``seed`` is recorded in the trace as provenance.
+    uncapped.  ``platform`` names a registered platform as an
+    alternative to ``spec`` (``None`` resolves the runtime default);
+    the governor's legal frequency set is then the cap-filtered
+    *cluster-wide common* frequencies of the platform's node groups.
+    The run is fully deterministic for a given argument tuple;
+    ``seed`` is recorded in the trace as provenance.
     """
     benchmark.check_ranks(n_ranks)
     cap = cap or PowerCap()
@@ -251,10 +256,17 @@ def govern_run(
     if isinstance(policy, str) or policy is None:
         policy = build_policy(resolve_policy_name(policy), safety=safety)
 
-    spec = (spec or paper_spec()).with_nodes(int(n_ranks))
-    allowed = cap.allowed_frequencies(
-        spec.cpu.operating_points, spec.power, int(n_ranks)
-    )
+    if spec is None:
+        from repro import runtime
+        from repro.platforms import get_platform
+
+        spec = get_platform(runtime.resolve_platform(platform))
+    elif platform is not None:
+        raise ConfigurationError(
+            f"pass either spec= or platform={platform!r}, not both"
+        )
+    spec = spec.with_nodes(int(n_ranks))
+    allowed = cap.allowed_frequencies_for(spec, int(n_ranks))
     context = GovernorContext(
         benchmark=benchmark,
         n_ranks=int(n_ranks),

@@ -1,0 +1,25 @@
+"""Energy-optimal configuration optimizer.
+
+Searches ``(platform, processor count, frequency)`` for the
+energy-, EDP- or time-optimal configuration of a benchmark under a
+power budget, pricing candidates through the analytic backend and
+confirming the winner in the DES.  Exposed as the
+``repro-experiments optimize`` CLI, the declarative
+``optimizer_search`` experiment and the service's ``POST /optimize``.
+"""
+
+from repro.optimizer.search import (
+    OBJECTIVES,
+    Candidate,
+    OptimizeResult,
+    check_objective,
+    optimize,
+)
+
+__all__ = [
+    "OBJECTIVES",
+    "Candidate",
+    "OptimizeResult",
+    "check_objective",
+    "optimize",
+]

@@ -146,6 +146,7 @@ class StageContext:
             request.counts,
             request.frequencies,
             spec=request.spec,
+            backend=request.backend,
         )
 
 

@@ -57,6 +57,15 @@ class CampaignRequest:
         ``None`` resolves the runtime default at key time.  Part of
         the request identity — analytic and DES grids never dedup
         into one execution.
+    platform:
+        Named platform from the registry (:mod:`repro.platforms`),
+        an alternative to passing ``spec`` directly.  ``"paper"``
+        (and ``None``) keep ``spec`` at ``None`` so pre-registry
+        digests — and warm caches — are preserved; any other name is
+        resolved to its :class:`ClusterSpec` here, so the platform
+        participates in cache identity through the spec digest.
+        Unknown names raise :class:`~repro.errors.ConfigurationError`
+        listing the registered choices.
     """
 
     benchmark: str
@@ -66,6 +75,7 @@ class CampaignRequest:
     spec: ClusterSpec | None = None
     options: tuple[tuple[str, _t.Any], ...] = ()
     backend: str | None = None
+    platform: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "benchmark", str(self.benchmark).lower())
@@ -80,6 +90,18 @@ class CampaignRequest:
             object.__setattr__(
                 self, "backend", check_backend(self.backend)
             )
+        if self.platform is not None:
+            from repro.platforms import DEFAULT_PLATFORM, check_platform, get_platform
+
+            name = check_platform(self.platform)
+            object.__setattr__(self, "platform", name)
+            if self.spec is not None:
+                raise ValueError(
+                    f"{self.benchmark}: pass either spec= or "
+                    f"platform={name!r}, not both"
+                )
+            if name != DEFAULT_PLATFORM:
+                object.__setattr__(self, "spec", get_platform(name))
         if isinstance(self.problem_class, str):
             object.__setattr__(
                 self, "problem_class", ProblemClass.parse(self.problem_class)
@@ -166,5 +188,6 @@ class CampaignRequest:
             "spec_digest": k[4],
             "benchmark_digest": k[5],
             "backend": k[6],
+            "platform": self.platform,
             "digest": self.digest(),
         }

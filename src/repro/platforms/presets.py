@@ -1,0 +1,136 @@
+"""The built-in platform presets.
+
+* ``paper`` — the paper's experimental platform (§4.1), byte-for-byte
+  the spec every campaign ran on before the registry existed: its
+  digest (and therefore every warm cache entry) is unchanged.
+* ``paper-memwall`` — the same nodes re-imagined as dual-core parts
+  sharing the memory bus: OFF-chip latency inflated by the
+  Furtunato-style contention term ``1 + α·(c − 1)`` with ``c = 2``
+  sharers and ``α = 0.35``.  Everything else is identical, so the
+  platform isolates the memory-wall effect.
+* ``hetero-2gen`` — a mixed-generation 8 + 8 cluster: eight paper
+  (``gen0``) nodes plus eight ``gen1`` nodes one process shrink newer.
+  ``gen1`` keeps the same five SpeedStep frequencies (so cluster-wide
+  grids stay meaningful) at ~12 % lower voltage, has a better core
+  (lower effective CPIs), a faster memory system with no bus-downshift
+  quirk, and a leaner power envelope.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cpu import CpuSpec
+from repro.cluster.machine import (
+    ClusterSpec,
+    NodeGroupSpec,
+    paper_spec,
+)
+from repro.cluster.memory import MemorySpec
+from repro.cluster.opoints import (
+    PENTIUM_M_OPERATING_POINTS,
+    OperatingPoint,
+    OperatingPointTable,
+)
+from repro.cluster.power import PowerSpec
+from repro.platforms.registry import register_platform
+from repro.units import gib, mib
+
+__all__ = [
+    "gen1_operating_points",
+    "paper_memwall_spec",
+    "hetero_2gen_spec",
+    "register_builtin_platforms",
+]
+
+#: Voltage scale of the ``gen1`` process shrink relative to the
+#: Pentium M table (same frequency ladder, lower V_dd per point).
+GEN1_VOLTAGE_SCALE = 0.88
+
+#: Memory-wall parameters of ``paper-memwall``: two cores per bus at a
+#: contention coefficient of 0.35 → OFF-chip latency × 1.35.
+MEMWALL_SHARED_CORES = 2
+MEMWALL_CONTENTION = 0.35
+
+
+def gen1_operating_points() -> OperatingPointTable:
+    """The ``gen1`` DVFS table: paper frequencies, shrunk voltages."""
+    return OperatingPointTable(
+        tuple(
+            OperatingPoint(
+                point.frequency_hz,
+                round(point.voltage_v * GEN1_VOLTAGE_SCALE, 3),
+            )
+            for point in PENTIUM_M_OPERATING_POINTS
+        )
+    )
+
+
+def paper_memwall_spec(n_nodes: int = 16) -> ClusterSpec:
+    """The paper platform with a saturated shared memory bus."""
+    return ClusterSpec(
+        n_nodes=n_nodes,
+        memory=MemorySpec(
+            shared_cores=MEMWALL_SHARED_CORES,
+            contention=MEMWALL_CONTENTION,
+        ),
+    )
+
+
+def _gen1_group(count: int) -> NodeGroupSpec:
+    table = gen1_operating_points()
+    return NodeGroupSpec(
+        count=count,
+        cpu=CpuSpec(
+            operating_points=table,
+            cpi_cpu=1.1,
+            cpi_l1=2.4,
+            cpi_l2=8.0,
+            dvfs_transition_s=30e-6,
+        ),
+        memory=MemorySpec(
+            l2_bytes=mib(2),
+            ram_bytes=gib(2),
+            off_chip_ns=90.0,
+            off_chip_ns_overrides={},
+        ),
+        power=PowerSpec(
+            cpu_dynamic_max_w=15.0,
+            cpu_static_max_w=2.5,
+            system_base_w=12.0,
+            peak=table.peak,
+        ),
+        name="gen1",
+    )
+
+
+def hetero_2gen_spec() -> ClusterSpec:
+    """An 8 + 8 mixed-generation cluster (``gen0`` = paper nodes)."""
+    return ClusterSpec.heterogeneous(
+        [
+            NodeGroupSpec(count=8, name="gen0"),
+            _gen1_group(8),
+        ]
+    )
+
+
+def register_builtin_platforms() -> None:
+    """Register the three built-in presets (idempotent)."""
+    register_platform(
+        "paper",
+        paper_spec,
+        "the paper's homogeneous 16-node Pentium M cluster (§4.1)",
+        replace=True,
+    )
+    register_platform(
+        "paper-memwall",
+        paper_memwall_spec,
+        "paper nodes with a contended shared memory bus "
+        f"(OFF-chip latency × {1 + MEMWALL_CONTENTION * (MEMWALL_SHARED_CORES - 1):.2f})",
+        replace=True,
+    )
+    register_platform(
+        "hetero-2gen",
+        hetero_2gen_spec,
+        "mixed-generation 8 + 8 cluster: paper gen0 nodes plus a "
+        "lower-voltage, faster-memory gen1 shrink",
+        replace=True,
+    )

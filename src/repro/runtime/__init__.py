@@ -24,7 +24,8 @@ Configuration resolves in priority order: explicit call argument →
 ``--backend`` set) → environment (``REPRO_JOBS``,
 ``REPRO_DISK_CACHE``, ``REPRO_CACHE_DIR``, ``REPRO_RETRIES``,
 ``REPRO_CELL_TIMEOUT``, ``REPRO_ALLOW_PARTIAL``,
-``REPRO_RETRY_BACKOFF_S``, ``REPRO_BACKEND``, ``REPRO_FABRIC``) →
+``REPRO_RETRY_BACKOFF_S``, ``REPRO_BACKEND``, ``REPRO_FABRIC``,
+``REPRO_PLATFORM``) →
 defaults.  Auto
 parallelism only engages for grids of at least
 :data:`MIN_CELLS_AUTO_PARALLEL` cells on multi-core hosts — tiny
@@ -111,6 +112,7 @@ __all__ = [
     "check_backend",
     "configure",
     "resolve_backend",
+    "resolve_platform",
     "resolve_fabric",
     "resolve_jobs",
     "resolve_plan_window",
@@ -138,6 +140,7 @@ _allow_partial: bool | None = None
 _retry_backoff_s: float | None = None
 _backend: str | None = None
 _fabric: bool | None = None
+_platform: str | None = None
 
 
 def configure(
@@ -150,6 +153,7 @@ def configure(
     retry_backoff_s: float | None = _UNSET,
     backend: str | None = _UNSET,
     fabric: bool | None = _UNSET,
+    platform: str | None = _UNSET,
 ) -> None:
     """Set process-wide runtime defaults (``None`` restores auto).
 
@@ -157,9 +161,16 @@ def configure(
     """
     global _jobs, _disk_cache, _cache_dir
     global _retries, _cell_timeout, _allow_partial, _retry_backoff_s
-    global _backend, _fabric
+    global _backend, _fabric, _platform
     if backend is not _UNSET:
         _backend = None if backend is None else check_backend(backend)
+    if platform is not _UNSET:
+        if platform is None:
+            _platform = None
+        else:
+            from repro.platforms import check_platform
+
+            _platform = check_platform(platform)
     if fabric is not _UNSET:
         _fabric = None if fabric is None else bool(fabric)
     if jobs is not _UNSET:
@@ -222,6 +233,23 @@ def resolve_backend(explicit: str | None = None) -> str:
         env = os.environ.get("REPRO_BACKEND", "").strip()
         backend = env or "des"
     return check_backend(backend)
+
+
+def resolve_platform(explicit: str | None = None) -> str:
+    """Named platform campaigns run on (see :mod:`repro.platforms`).
+
+    Resolution order: explicit argument → :func:`configure` →
+    ``REPRO_PLATFORM`` → ``"paper"``.  Unknown names raise
+    :class:`~repro.errors.ConfigurationError` naming the registered
+    choices, exactly like :func:`resolve_backend` does for backends.
+    """
+    from repro.platforms import DEFAULT_PLATFORM, check_platform
+
+    platform = explicit if explicit is not None else _platform
+    if platform is None:
+        env = os.environ.get("REPRO_PLATFORM", "").strip()
+        platform = env or DEFAULT_PLATFORM
+    return check_platform(platform)
 
 
 def resolve_fabric(explicit: bool | None = None) -> bool:

@@ -143,13 +143,42 @@ def _digest_material(obj: _t.Any) -> _t.Any:
     return repr(obj)
 
 
+def _prune_degenerate(material: _t.Any) -> _t.Any:
+    """Drop spec fields that sit at their zero-effect defaults.
+
+    Newer ``ClusterSpec``/``MemorySpec`` fields (node groups, the
+    memory-wall contention term) default to values with exactly zero
+    model effect; omitting them from the digest material keeps the
+    paper platform's digest — and therefore every warm cache entry —
+    identical to its pre-refactor value.
+    """
+    if isinstance(material, dict):
+        return {
+            key: _prune_degenerate(value)
+            for key, value in material.items()
+            if not (
+                (key == "groups" and value == [])
+                or (key == "shared_cores" and value == 1)
+                or (key == "contention" and value == 0.0)
+            )
+        }
+    if isinstance(material, list):
+        return [_prune_degenerate(value) for value in material]
+    return material
+
+
 def spec_digest(spec: ClusterSpec) -> str:
     """Digest of every platform-spec field, ignoring node count.
 
     Node count is a grid axis, not part of the platform identity, so
-    it is normalized away before hashing.
+    homogeneous specs normalize it away before hashing.  Grouped
+    (heterogeneous) specs hash their full group composition — counts
+    included — because "the same machine with fewer nodes" is a
+    different mix of generations there, and two platforms sharing a
+    leading group must never share cache entries.
     """
-    material = _digest_material(spec.with_nodes(1))
+    normalized = spec if spec.groups else spec.with_nodes(1)
+    material = _prune_degenerate(_digest_material(normalized))
     blob = json.dumps(material, sort_keys=True)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

@@ -176,6 +176,10 @@ class ServiceClient:
         """``GET /metrics``."""
         return self.request("GET", "/metrics")
 
+    def platforms(self) -> dict[str, _t.Any]:
+        """``GET /platforms`` — the registered platform specs."""
+        return self.request("GET", "/platforms")
+
     def predict(
         self,
         benchmark: str,
@@ -183,11 +187,14 @@ class ServiceClient:
         cells: _t.Sequence[str] | None = None,
         counts: _t.Sequence[int] | None = None,
         frequencies_mhz: _t.Sequence[float] | None = None,
+        *,
+        platform: str | None = None,
     ) -> dict[str, _t.Any]:
         """``POST /predict`` — closed-form SP/energy predictions.
 
         With no grid arguments the service evaluates the model's full
-        fitted grid.
+        fitted grid; ``platform`` selects a registered platform (the
+        service fits one model per benchmark × class × platform).
         """
         body: dict[str, _t.Any] = {
             "benchmark": benchmark,
@@ -199,6 +206,8 @@ class ServiceClient:
             body["counts"] = list(counts)
         if frequencies_mhz is not None:
             body["frequencies_mhz"] = list(frequencies_mhz)
+        if platform is not None:
+            body["platform"] = platform
         return self.request("POST", "/predict", body)
 
     def submit_campaign(
@@ -210,13 +219,15 @@ class ServiceClient:
         *,
         fabric: bool | None = None,
         allow_partial: bool | None = None,
+        platform: str | None = None,
     ) -> dict[str, _t.Any]:
         """``POST /campaign`` — returns the job ticket (202).
 
         ``fabric`` asks the service to execute on the worker fleet
         (falling back to its local pool when no workers are live);
         ``allow_partial`` lets the campaign complete with failed-cell
-        metadata instead of failing outright.
+        metadata instead of failing outright; ``platform`` selects a
+        registered platform for the grid.
         """
         body: dict[str, _t.Any] = {
             "benchmark": benchmark,
@@ -230,6 +241,8 @@ class ServiceClient:
             body["fabric"] = bool(fabric)
         if allow_partial is not None:
             body["allow_partial"] = bool(allow_partial)
+        if platform is not None:
+            body["platform"] = platform
         return self.request("POST", "/campaign", body)
 
     def submit_govern(
@@ -245,6 +258,7 @@ class ServiceClient:
         epoch_phases: int | None = None,
         safety: float | None = None,
         seed: int | None = None,
+        platform: str | None = None,
     ) -> dict[str, _t.Any]:
         """``POST /govern`` — returns the job ticket (202).
 
@@ -274,7 +288,48 @@ class ServiceClient:
             body["safety"] = float(safety)
         if seed is not None:
             body["seed"] = int(seed)
+        if platform is not None:
+            body["platform"] = platform
         return self.request("POST", "/govern", body)
+
+    def submit_optimize(
+        self,
+        benchmark: str,
+        problem_class: str = "A",
+        *,
+        objective: str = "energy",
+        platforms: _t.Sequence[str] | None = None,
+        counts: _t.Sequence[int] | None = None,
+        scenario: str | None = None,
+        cluster_cap_w: float | None = None,
+        node_cap_w: float | None = None,
+        confirm: bool | None = None,
+    ) -> dict[str, _t.Any]:
+        """``POST /optimize`` — returns the job ticket (202).
+
+        Searches every ``(platform, N, f)`` configuration for the
+        ``objective``-optimal one under the given power budget; the
+        finished job's result is the full candidate ranking with the
+        winner's DES confirmation.
+        """
+        body: dict[str, _t.Any] = {
+            "benchmark": benchmark,
+            "class": problem_class,
+            "objective": objective,
+        }
+        if platforms is not None:
+            body["platforms"] = list(platforms)
+        if counts is not None:
+            body["counts"] = list(counts)
+        if scenario is not None:
+            body["scenario"] = scenario
+        if cluster_cap_w is not None:
+            body["cluster_cap_w"] = float(cluster_cap_w)
+        if node_cap_w is not None:
+            body["node_cap_w"] = float(node_cap_w)
+        if confirm is not None:
+            body["confirm"] = bool(confirm)
+        return self.request("POST", "/optimize", body)
 
     def experiments(self) -> dict[str, _t.Any]:
         """``GET /experiments`` — the registry's pipeline specs."""

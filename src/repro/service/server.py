@@ -26,6 +26,12 @@ process needs:
   registry name — whose result serves the full deterministic decision
   trace plus energy/time/EDP against the static baseline under the
   same cap;
+* platforms: ``GET /platforms`` lists the registered platform specs
+  (:mod:`repro.platforms`); ``/predict``, ``/campaign`` and
+  ``/govern`` accept a ``platform`` field selecting one (unknown
+  names are a 400 naming the valid choices), and ``POST /optimize``
+  runs the energy/EDP-optimal ``(platform, N, f)`` configuration
+  search (:func:`repro.optimizer.optimize`) as a background job;
 * the campaign-fabric coordinator (:mod:`repro.fabric`): remote
   workers drive ``/fabric/register``, ``/fabric/lease``,
   ``/fabric/complete`` and ``/fabric/heartbeat``; worker/lease
@@ -201,7 +207,9 @@ class ReproService:
             max_queue=self.config.max_queue,
             ttl_s=self.config.result_ttl_s,
         )
-        self.bundles: dict[tuple[str, str], coalesce.PredictorBundle] = {}
+        self.bundles: dict[
+            tuple[str, str, str], coalesce.PredictorBundle
+        ] = {}
         self.requests_total = 0
         self.predict_requests = 0
         self.predict_cache_hits = 0
@@ -212,7 +220,7 @@ class ReproService:
         self._started_at: float | None = None
         self._stop_event: asyncio.Event | None = None
         self._closing = False
-        self._spec_digest: str | None = None
+        self._spec_digests: dict[str, str] = {}
         self.coordinator: _t.Any | None = None
         self._housekeeping: asyncio.Task | None = None
 
@@ -386,6 +394,10 @@ class ReproService:
                 return self._handle_campaign(request)
             if request.path == "/govern" and request.method == "POST":
                 return self._handle_govern(request)
+            if request.path == "/optimize" and request.method == "POST":
+                return self._handle_optimize(request)
+            if request.path == "/platforms" and request.method == "GET":
+                return 200, self._handle_platforms()
             if request.path.startswith("/fabric/"):
                 return self._handle_fabric(request)
             if request.path == "/experiments" and request.method == "GET":
@@ -403,6 +415,8 @@ class ReproService:
                 "/predict",
                 "/campaign",
                 "/govern",
+                "/optimize",
+                "/platforms",
                 "/experiments",
                 "/jobs",
             ):
@@ -454,7 +468,7 @@ class ReproService:
             "pid": os.getpid(),
             "uptime_s": uptime,
             "models_loaded": sorted(
-                f"{name}:{cls}" for name, cls in self.bundles
+                _model_label(key) for key in self.bundles
             ),
             "jobs_active": self.jobs.active_count(),
         }
@@ -580,7 +594,7 @@ class ReproService:
                 },
                 "models": {
                     "loaded": sorted(
-                        f"{name}:{cls}" for name, cls in self.bundles
+                        _model_label(key) for key in self.bundles
                     ),
                     "fits_started": self.fit_coalescer.started,
                     "fits_coalesced": self.fit_coalescer.coalesced,
@@ -597,26 +611,50 @@ class ReproService:
             "campaign_runtime": campaign_metrics(),
         }
 
+    def _parse_platform(self, body: dict) -> str:
+        """The request's validated platform name (default resolution
+        through the runtime ladder); unknown names are a 400 naming
+        the valid choices."""
+        from repro import runtime
+
+        explicit = body.get("platform")
+        try:
+            return runtime.resolve_platform(
+                str(explicit) if explicit is not None else None
+            )
+        except ConfigurationError as exc:
+            raise protocol.ProtocolError(str(exc)) from exc
+
+    def _handle_platforms(self) -> dict[str, _t.Any]:
+        from repro.platforms import DEFAULT_PLATFORM, platform_summaries
+
+        return {
+            "default": DEFAULT_PLATFORM,
+            "platforms": platform_summaries(),
+        }
+
     async def _handle_predict(
         self, request: protocol.Request
     ) -> tuple[int, _t.Any]:
         body = request.json()
         name, cls = self._parse_model(body)
+        platform = self._parse_platform(body)
         points = _parse_points(body)
         self.predict_requests += 1
-        cache_key = ("predict", name, cls, points)
+        cache_key = ("predict", name, cls, platform, points)
         cached = self.responses.get(cache_key)
         if cached is not None:
             self.predict_cache_hits += 1
             return 200, {**cached, "served_from": "cache"}
 
         async def compute() -> dict[str, _t.Any]:
-            bundle = await self._bundle(name, cls)
+            bundle = await self._bundle(name, cls, platform)
             wanted = points or tuple(sorted(bundle.campaign.times))
             table = await self.batcher.evaluate(bundle, wanted)
             document = {
                 "benchmark": name,
                 "class": cls,
+                "platform": platform,
                 "base_frequency_hz": bundle.campaign.base_frequency_hz,
                 "predictions": table,
                 "model": bundle.sp.inputs_used(),
@@ -644,6 +682,7 @@ class ReproService:
 
         body = request.json()
         name, cls = self._parse_model(body)
+        platform = self._parse_platform(body)
         bench = _build_benchmark(name, cls)
         counts = tuple(
             int(n) for n in body.get("counts", PAPER_COUNTS)
@@ -669,14 +708,19 @@ class ReproService:
             raise protocol.ProtocolError(str(exc)) from exc
         fabric = bool(body.get("fabric", False))
         allow_partial = bool(body.get("allow_partial", False))
-        if self._spec_digest is None:
-            self._spec_digest = runtime.spec_digest(paper_spec())
+        from repro.platforms import get_platform
+
+        spec = None if platform == "paper" else get_platform(platform)
+        spec_digest = self._spec_digests.get(platform)
+        if spec_digest is None:
+            spec_digest = runtime.spec_digest(spec or paper_spec())
+            self._spec_digests[platform] = spec_digest
         digest = runtime.campaign_digest(
             bench.name,
             bench.problem_class.value,
             counts,
             frequencies,
-            self._spec_digest,
+            spec_digest,
             runtime.benchmark_digest(bench),
             backend,
         )
@@ -699,6 +743,7 @@ class ReproService:
                 bench,
                 counts,
                 frequencies,
+                spec=spec,
                 backend=backend,
                 fabric=fabric or None,
                 allow_partial=allow_partial or None,
@@ -716,6 +761,7 @@ class ReproService:
             document = {
                 "benchmark": name,
                 "class": cls,
+                "platform": platform,
                 "base_frequency_hz": campaign.base_frequency_hz,
                 "data": {
                     "times": campaign.times,
@@ -737,6 +783,7 @@ class ReproService:
             params={
                 "benchmark": name,
                 "class": cls,
+                "platform": platform,
                 "counts": list(counts),
                 "frequencies_mhz": [f / 1e6 for f in frequencies],
                 "backend": backend,
@@ -780,6 +827,7 @@ class ReproService:
 
         body = request.json()
         name, cls = self._parse_model(body)
+        platform = self._parse_platform(body)
         bench = _build_benchmark(name, cls)
         try:
             ranks = int(body.get("ranks", 4))
@@ -794,10 +842,13 @@ class ReproService:
             raise protocol.ProtocolError(
                 f"unknown policy {policy!r}; choose from {sorted(POLICIES)}"
             )
+        from repro.platforms import get_platform
+
         scenario = body.get("scenario")
         try:
+            spec = get_platform(platform)
             if scenario is not None:
-                scenarios = power_cap_scenarios(ranks)
+                scenarios = power_cap_scenarios(ranks, spec)
                 if scenario not in scenarios:
                     raise protocol.ProtocolError(
                         f"unknown cap scenario {scenario!r}; "
@@ -821,12 +872,7 @@ class ReproService:
             else:
                 cap = PowerCap()
             # Reject infeasible budgets at submit time, not in the job.
-            from repro.cluster.machine import paper_spec
-
-            check_spec = paper_spec()
-            cap.allowed_frequencies(
-                check_spec.cpu.operating_points, check_spec.power, ranks
-            )
+            cap.allowed_frequencies_for(spec, ranks)
             policy = resolve_policy_name(policy)
             epoch_phases = resolve_epoch_phases(
                 int(body["epoch_phases"])
@@ -847,6 +893,7 @@ class ReproService:
         params = {
             "benchmark": name,
             "class": cls,
+            "platform": platform,
             "ranks": ranks,
             "policy": policy,
             "cap": cap.as_dict(),
@@ -870,6 +917,7 @@ class ReproService:
                 ranks,
                 policy,
                 cap,
+                spec=spec,
                 epoch_phases=epoch_phases,
                 safety=safety,
                 seed=seed,
@@ -879,6 +927,7 @@ class ReproService:
                 ranks,
                 "static",
                 cap,
+                spec=spec,
                 epoch_phases=epoch_phases,
                 safety=safety,
                 seed=seed,
@@ -903,6 +952,126 @@ class ReproService:
                 ),
                 "trace": governed.trace.to_document(),
             }
+            self.responses.put(cache_key, document)
+            return document
+
+        job, created = self.jobs.submit(job_key, label, run_job, params=params)
+        return 202, {
+            "job_id": job.id,
+            "status": job.status,
+            "key": job_key,
+            "created": created,
+            "poll": f"/jobs/{job.id}",
+        }
+
+    def _handle_optimize(
+        self, request: protocol.Request
+    ) -> tuple[int, _t.Any]:
+        """Run the energy-optimal configuration search as a job.
+
+        Body: ``benchmark``/``class``, ``objective``
+        (energy/edp/time), optional ``platforms`` (default: every
+        registered platform), ``counts``, and either a named cap
+        ``scenario`` or explicit ``cluster_cap_w``/``node_cap_w``
+        watts; ``confirm: false`` skips the DES confirmation of the
+        winner.  The job result is the full candidate ranking
+        (:meth:`repro.optimizer.OptimizeResult.as_dict`).
+        """
+        import hashlib
+        import json as json_mod
+
+        from repro.governor import PowerCap, power_cap_scenarios
+        from repro.optimizer import check_objective, optimize
+        from repro.platforms import check_platform
+
+        body = request.json()
+        name, cls = self._parse_model(body)
+        try:
+            objective = check_objective(body.get("objective", "energy"))
+            platforms = body.get("platforms")
+            if platforms is not None:
+                if not isinstance(platforms, list) or not platforms:
+                    raise protocol.ProtocolError(
+                        "'platforms' must be a non-empty list of "
+                        "platform names"
+                    )
+                platforms = tuple(
+                    check_platform(str(p)) for p in platforms
+                )
+            counts = body.get("counts")
+            if counts is not None:
+                counts = tuple(int(n) for n in counts)
+                if not counts or any(n < 1 for n in counts):
+                    raise protocol.ProtocolError(
+                        "'counts' must be a non-empty list of "
+                        "processor counts >= 1"
+                    )
+            scenario = body.get("scenario")
+            if scenario is not None:
+                from repro.experiments.platform import PAPER_COUNTS
+
+                ranks = max(counts) if counts else max(PAPER_COUNTS)
+                scenarios = power_cap_scenarios(ranks)
+                if scenario not in scenarios:
+                    raise protocol.ProtocolError(
+                        f"unknown cap scenario {scenario!r}; "
+                        f"choose from {sorted(scenarios)}"
+                    )
+                cap = scenarios[scenario]
+            elif body.get("cluster_cap_w") or body.get("node_cap_w"):
+                cap = PowerCap(
+                    label="custom",
+                    cluster_w=(
+                        float(body["cluster_cap_w"])
+                        if body.get("cluster_cap_w")
+                        else None
+                    ),
+                    node_w=(
+                        float(body["node_cap_w"])
+                        if body.get("node_cap_w")
+                        else None
+                    ),
+                )
+            else:
+                cap = PowerCap()
+        except ConfigurationError as exc:
+            raise protocol.ProtocolError(str(exc)) from exc
+        except (TypeError, ValueError) as exc:
+            raise protocol.ProtocolError(
+                f"bad optimize body: {exc}"
+            ) from exc
+        confirm = bool(body.get("confirm", True))
+
+        params = {
+            "benchmark": name,
+            "class": cls,
+            "objective": objective,
+            "platforms": list(platforms) if platforms else None,
+            "counts": list(counts) if counts else None,
+            "cap": cap.as_dict(),
+            "confirm": confirm,
+        }
+        job_key = "optimize-" + hashlib.sha256(
+            json_mod.dumps(params, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        label = f"optimize.{name}.{cls}.{objective}"
+
+        def run_job(job: jobs_mod.Job) -> dict[str, _t.Any]:
+            cache_key = ("optimize", job_key)
+            cached = self.responses.get(cache_key)
+            if cached is not None:
+                job.runtime = {"source": "service-cache"}
+                return cached
+            result = optimize(
+                name,
+                cls,
+                objective=objective,
+                platforms=platforms,
+                counts=counts,
+                cap=cap,
+                confirm=confirm,
+            )
+            document = result.as_dict()
             self.responses.put(cache_key, document)
             return document
 
@@ -1064,10 +1233,11 @@ class ReproService:
         return name, cls
 
     async def _bundle(
-        self, name: str, cls: str
+        self, name: str, cls: str, platform: str = "paper"
     ) -> coalesce.PredictorBundle:
-        """The fitted model for ``(name, cls)``; fit once, coalesced."""
-        key = (name, cls)
+        """The fitted model for ``(name, cls, platform)``; fit once,
+        coalesced."""
+        key = (name, cls, platform)
         bundle = self.bundles.get(key)
         if bundle is not None:
             return bundle
@@ -1075,7 +1245,7 @@ class ReproService:
         async def fit() -> coalesce.PredictorBundle:
             loop = asyncio.get_running_loop()
             return await loop.run_in_executor(
-                None, self._fit_bundle, name, cls
+                None, self._fit_bundle, name, cls, platform
             )
 
         bundle, _ = await self.fit_coalescer.run(("fit",) + key, fit)
@@ -1083,11 +1253,10 @@ class ReproService:
         return bundle
 
     def _fit_bundle(
-        self, name: str, cls: str
+        self, name: str, cls: str, platform: str = "paper"
     ) -> coalesce.PredictorBundle:
-        """Fit SP + energy model from the paper-grid campaign
+        """Fit SP + energy model from the platform-grid campaign
         (runs on the executor; hits the campaign caches when warm)."""
-        from repro.cluster.machine import paper_spec
         from repro.core.energy import EnergyModel
         from repro.core.params_sp import SimplifiedParameterization
         from repro.experiments.platform import (
@@ -1095,11 +1264,24 @@ class ReproService:
             PAPER_FREQUENCIES,
             measure_campaign,
         )
+        from repro.platforms import DEFAULT_PLATFORM, get_platform
 
         bench = _build_benchmark(name, cls)
         counts = _MODEL_COUNTS.get(name, PAPER_COUNTS)
-        campaign = measure_campaign(bench, counts, PAPER_FREQUENCIES)
-        spec = paper_spec()
+        spec = get_platform(platform)
+        if platform == DEFAULT_PLATFORM:
+            # Identical call to the pre-registry code: same digest,
+            # same cached campaigns.
+            campaign = measure_campaign(bench, counts, PAPER_FREQUENCIES)
+        else:
+            campaign = measure_campaign(
+                bench,
+                tuple(n for n in counts if n <= spec.n_nodes),
+                spec.common_frequencies(),
+                spec=spec,
+            )
+        # Heterogeneous specs mirror group 0 at the top level; the
+        # bundle's energy model prices the reference group.
         return coalesce.PredictorBundle(
             benchmark=name,
             problem_class=cls,
@@ -1109,6 +1291,14 @@ class ReproService:
                 spec.power, spec.cpu.operating_points
             ),
         )
+
+
+def _model_label(key: tuple[str, str, str]) -> str:
+    """``ep:A`` for paper-platform bundles, ``ep:A@<platform>`` else."""
+    name, cls, platform = key
+    if platform == "paper":
+        return f"{name}:{cls}"
+    return f"{name}:{cls}@{platform}"
 
 
 def _build_benchmark(name: str, cls: str) -> _t.Any:

@@ -1,0 +1,124 @@
+"""Golden-tolerance validation for the heterogeneous platform.
+
+Same contract as ``test_golden_tolerance.py``, measured on the
+``hetero-2gen`` platform's full paper grid (5 counts × 5
+frequencies): the per-group analytic evaluation must stay within the
+pinned relative tolerance of the discrete-event simulator.
+
+Measured maxima (2026-08, full grids, worst cell ``(16, 1400 MHz)``):
+
+* EP: time 4.7e-5, energy 9.2e-4
+* FT: time 4.2e-4, energy 6.9e-3
+
+pinned below with ~2x margin.  A failure means one of the backends
+drifted on the heterogeneous path — re-measure before touching the
+pins (see ``docs/PLATFORMS.md``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytic import AnalyticCampaignModel
+from repro.experiments.platform import (
+    PAPER_COUNTS,
+    PAPER_FREQUENCIES,
+    measure_campaign,
+)
+from repro.npb import BENCHMARKS
+from repro.platforms import get_platform
+
+#: Pinned analytic-vs-DES tolerances on hetero-2gen (relative error).
+HETERO_TIME_TOLERANCE = {"ep": 1e-4, "ft": 1e-3}
+HETERO_ENERGY_TOLERANCE = {"ep": 2e-3, "ft": 1.5e-2}
+
+
+def relative_errors(analytic, des):
+    return {
+        cell: abs(analytic[cell] - des[cell]) / des[cell]
+        for cell in des
+    }
+
+
+@pytest.mark.parametrize("name", sorted(HETERO_TIME_TOLERANCE))
+def test_hetero_analytic_within_pinned_tolerance(name):
+    spec = get_platform("hetero-2gen")
+    benchmark = BENCHMARKS[name]()
+    des = measure_campaign(
+        benchmark,
+        PAPER_COUNTS,
+        PAPER_FREQUENCIES,
+        spec=spec,
+        backend="des",
+    )
+    evaluation = AnalyticCampaignModel(benchmark, spec).evaluate_grid(
+        PAPER_COUNTS, PAPER_FREQUENCIES
+    )
+    analytic_times = evaluation.times_by_cell()
+    analytic_energies = evaluation.energies_by_cell()
+    assert set(analytic_times) == set(des.times)
+
+    time_errors = relative_errors(analytic_times, des.times)
+    energy_errors = relative_errors(analytic_energies, des.energies)
+    worst_time = max(time_errors, key=time_errors.get)
+    worst_energy = max(energy_errors, key=energy_errors.get)
+    assert time_errors[worst_time] <= HETERO_TIME_TOLERANCE[name], (
+        f"{name}: hetero time error {time_errors[worst_time]:.6f} at "
+        f"{worst_time} exceeds pinned {HETERO_TIME_TOLERANCE[name]}"
+    )
+    assert energy_errors[worst_energy] <= HETERO_ENERGY_TOLERANCE[
+        name
+    ], (
+        f"{name}: hetero energy error {energy_errors[worst_energy]:.6f}"
+        f" at {worst_energy} exceeds pinned "
+        f"{HETERO_ENERGY_TOLERANCE[name]}"
+    )
+
+
+def test_homogeneous_platforms_skip_the_group_path():
+    """The per-group evaluation is reserved for grouped specs: on the
+    paper platform the model must take the pre-refactor vectorized
+    path (no per-group state), keeping its results bit-identical."""
+    model = AnalyticCampaignModel(BENCHMARKS["ep"]())
+    assert model._group_rates == ()
+    assert model._group_energy == ()
+
+
+def test_hetero_single_gen0_node_matches_paper():
+    """Group-major layout: a 1-node hetero campaign runs on a gen0
+    (paper) node, so the analytic result is bit-identical to the
+    paper platform's."""
+    benchmark = BENCHMARKS["ep"]()
+    paper = AnalyticCampaignModel(benchmark).evaluate_grid(
+        (1,), PAPER_FREQUENCIES
+    )
+    hetero = AnalyticCampaignModel(
+        benchmark, get_platform("hetero-2gen")
+    ).evaluate_grid((1,), PAPER_FREQUENCIES)
+    assert paper.times_by_cell() == hetero.times_by_cell()
+    assert paper.energies_by_cell() == hetero.energies_by_cell()
+
+
+def test_hetero_mixed_cell_is_max_over_groups():
+    """With both generations participating, the campaign time is the
+    slowest group's time — strictly between the two pure-group
+    extremes for a memory-bound workload, and total energy decomposes
+    into finite per-group contributions."""
+    spec = get_platform("hetero-2gen")
+    model = AnalyticCampaignModel(BENCHMARKS["ep"](), spec)
+    evaluation = model.evaluate_grid((16,), (PAPER_FREQUENCIES[-1],))
+    times = evaluation.times_by_cell()
+    cell = (16, PAPER_FREQUENCIES[-1])
+    assert np.isfinite(times[cell]) and times[cell] > 0
+    # gen1's faster memory cannot make the *cluster* faster than the
+    # paper platform at equal N: gen0 nodes gate the barrier.
+    paper = AnalyticCampaignModel(BENCHMARKS["ep"]()).evaluate_grid(
+        (16,), (PAPER_FREQUENCIES[-1],)
+    )
+    assert times[cell] >= paper.times_by_cell()[cell] * (1 - 1e-12)
+
+
+def test_hetero_rejects_overflow_counts():
+    spec = get_platform("hetero-2gen")
+    model = AnalyticCampaignModel(BENCHMARKS["ep"](), spec)
+    reason = model.unsupported_reason((32, PAPER_FREQUENCIES[0]))
+    assert reason is not None and "16" in reason

@@ -23,6 +23,7 @@ ALL_EXPERIMENTS = {
     "ablation_dop",
     "ablation_decomposition",
     "governor_comparison",
+    "optimizer_search",
 }
 
 

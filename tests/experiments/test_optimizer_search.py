@@ -1,0 +1,95 @@
+"""Tests for the declarative ``optimizer_search`` experiment."""
+
+import pytest
+
+from repro.experiments import optimizer_search
+from repro.experiments.registry import (
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.optimizer import optimize
+
+
+class TestSpec:
+    def test_registered(self):
+        assert "optimizer_search" in [
+            experiment_id for experiment_id, _, _ in list_experiments()
+        ]
+        spec = get_experiment("optimizer_search")
+        assert spec.requires is not None
+
+    def test_paper_request_dedups_through_planner(self):
+        """The paper platform's request must look exactly like the
+        table experiments' requests (``platform``/``spec``/``backend``
+        all ``None``) so the planner coalesces them into one
+        measurement."""
+        spec = get_experiment("optimizer_search")
+        requests = spec.resolve_requests({})
+        assert len(requests) == len(
+            optimizer_search.SEARCH_PLATFORMS
+        )
+        paper = requests[0]
+        assert paper.platform is None
+        assert paper.spec is None
+        assert paper.backend is None
+        for request in requests[1:]:
+            assert request.spec is not None
+            assert request.backend == "analytic"
+
+    def test_counts_clip_to_platform(self):
+        spec = get_experiment("optimizer_search")
+        requests = spec.resolve_requests({})
+        for request in requests:
+            if request.spec is not None:
+                assert max(request.counts) <= request.spec.n_nodes
+
+
+class TestRun:
+    def test_result_consistent_with_optimize(self):
+        from repro.experiments.platform import PAPER_COUNTS
+        from repro.governor import power_cap_scenarios
+
+        result = run_experiment("optimizer_search")
+        assert result.experiment_id == "optimizer_search"
+        winner = result.data["winner"]
+        cap = power_cap_scenarios(max(PAPER_COUNTS))[
+            result.data["scenario"]
+        ]
+        direct = optimize(
+            result.data["benchmark"],
+            result.data["class"],
+            objective=result.data["objective"],
+            platforms=optimizer_search.SEARCH_PLATFORMS,
+            cap=cap,
+            confirm=False,
+        )
+        assert winner["platform"] == direct.winner.platform
+        assert winner["n"] == direct.winner.n
+        assert winner["frequency_mhz"] == pytest.approx(
+            direct.winner.frequency_hz / 1e6
+        )
+        assert winner["energy_j"] == pytest.approx(
+            direct.winner.energy_j
+        )
+
+    def test_render_mentions_winner(self):
+        result = run_experiment("optimizer_search")
+        winner = result.data["winner"]
+        assert winner["platform"] in result.text
+        assert "confirmation" in result.data
+        confirmation = result.data["confirmation"]
+        if confirmation:
+            assert confirmation["energy_rel_err"] < 2e-2
+
+    def test_objective_param(self):
+        result = run_experiment(
+            "optimizer_search", objective="time", scenario="uncapped"
+        )
+        assert result.data["objective"] == "time"
+        assert result.data["scenario"] == "uncapped"
+        # Uncapped time-optimal lands at the top notch, max nodes.
+        assert result.data["winner"]["frequency_mhz"] == pytest.approx(
+            1400.0
+        )
+        assert result.data["winner"]["n"] == 16

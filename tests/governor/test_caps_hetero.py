@@ -1,0 +1,149 @@
+"""Power caps on heterogeneous platforms.
+
+``admits_spec``/``allowed_frequencies_for`` extend enforcement to
+grouped specs: every participating node group's worst-case draw is
+checked against the node ceiling and their count-weighted sum against
+the cluster budget.  On homogeneous specs they must delegate to the
+pre-registry ``admits``/``allowed_frequencies`` with identical floats.
+"""
+
+import pytest
+
+from repro.cluster.machine import paper_spec
+from repro.cluster.power import PowerState
+from repro.errors import ConfigurationError
+from repro.governor import PowerCap, govern_run, power_cap_scenarios
+from repro.npb import BENCHMARKS, ProblemClass
+from repro.platforms import get_platform
+
+
+def _bench(name):
+    return BENCHMARKS[name](ProblemClass.A)
+
+
+def _group_worst_w(group, frequency_hz):
+    point = group.cpu.operating_points.lookup(frequency_hz)
+    return group.power.node_power_w(point, PowerState.COMPUTE)
+
+
+class TestHomogeneousDelegation:
+    def test_admits_spec_matches_admits_on_paper(self):
+        spec = paper_spec()
+        scenarios = power_cap_scenarios(16)
+        for cap in scenarios.values():
+            for n in (1, 2, 4, 8, 16):
+                for f in spec.cpu.operating_points.frequencies:
+                    assert cap.admits_spec(f, spec, n) == cap.admits(
+                        f, spec.cpu.operating_points, spec.power, n
+                    )
+
+    def test_allowed_frequencies_for_matches_legacy(self):
+        spec = paper_spec()
+        cap = power_cap_scenarios(16)["node_cap"]
+        assert cap.allowed_frequencies_for(
+            spec, 16
+        ) == cap.allowed_frequencies(
+            spec.cpu.operating_points, spec.power, 16
+        )
+
+
+class TestHeteroEnforcement:
+    def test_node_ceiling_tracks_hungriest_group(self):
+        """gen0 mirrors the paper nodes and gen1 runs at lower
+        voltage, so the hungriest group is gen0 — the hetero node-cap
+        scenario budget equals the paper one."""
+        paper = power_cap_scenarios(16)["node_cap"]
+        hetero = power_cap_scenarios(
+            16, get_platform("hetero-2gen")
+        )["node_cap"]
+        assert hetero.node_w == pytest.approx(paper.node_w)
+
+    def test_cluster_budget_is_count_weighted_sum(self):
+        """Half the hetero nodes draw less, so its derived cluster
+        budget sits strictly below the paper platform's."""
+        paper = power_cap_scenarios(16)["cluster_cap"]
+        hetero = power_cap_scenarios(
+            16, get_platform("hetero-2gen")
+        )["cluster_cap"]
+        assert hetero.cluster_w < paper.cluster_w
+        # And it is exactly the count-weighted per-group sum at the
+        # second-highest common frequency (x headroom).
+        sized = get_platform("hetero-2gen").with_nodes(16)
+        second = sized.common_frequencies()[-2]
+        expected = sum(
+            _group_worst_w(g, second) * g.count
+            for g in sized.node_groups()
+        )
+        assert hetero.cluster_w == pytest.approx(expected * 1.001)
+
+    def test_any_group_violation_rejects(self):
+        """A node cap between the two groups' draws must reject: the
+        frugal gen1 nodes fit, but enforcement is per group and gen0
+        does not."""
+        sized = get_platform("hetero-2gen").with_nodes(16)
+        top = sized.common_frequencies()[-1]
+        gen0, gen1 = sized.node_groups()
+        w0 = _group_worst_w(gen0, top)
+        w1 = _group_worst_w(gen1, top)
+        assert w1 < w0
+        between = PowerCap(label="between", node_w=(w0 + w1) / 2)
+        assert not between.admits_spec(top, sized, 16)
+        above = PowerCap(label="above", node_w=w0 * 1.01)
+        assert above.admits_spec(top, sized, 16)
+
+    def test_allowed_frequencies_filters_common_ladder(self):
+        spec = get_platform("hetero-2gen")
+        cap = power_cap_scenarios(16, spec)["node_cap"]
+        legal = cap.allowed_frequencies_for(spec, 16)
+        ladder = spec.with_nodes(16).common_frequencies()
+        assert set(legal) < set(ladder)
+        assert legal == tuple(sorted(legal))
+        # node_cap is sized at the middle notch: the top ones go.
+        assert max(ladder) not in legal
+
+    def test_infeasible_cap_raises(self):
+        spec = get_platform("hetero-2gen")
+        tiny = PowerCap(label="tiny", node_w=0.5)
+        with pytest.raises(ConfigurationError, match="infeasible"):
+            tiny.allowed_frequencies_for(spec, 4)
+
+
+class TestGovernRunPlatform:
+    def test_platform_keyword_selects_spec(self):
+        bench = _bench("ep")
+        cap = power_cap_scenarios(
+            4, get_platform("hetero-2gen")
+        )["cluster_cap"]
+        run = govern_run(
+            bench, 4, "static", cap, platform="hetero-2gen"
+        )
+        again = govern_run(
+            bench, 4, "static", cap, platform="hetero-2gen"
+        )
+        assert run.elapsed_s == again.elapsed_s
+        assert run.energy_j == again.energy_j
+        paper = govern_run(bench, 4, "static", cap)
+        # 4 ranks boot 4 gen0 nodes (group-major), so the times agree;
+        # the platforms still resolve independently without error.
+        assert paper.elapsed_s > 0 and run.elapsed_s > 0
+
+    def test_spec_and_platform_conflict(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            govern_run(
+                _bench("ep"),
+                2,
+                "static",
+                PowerCap(),
+                spec=paper_spec(),
+                platform="hetero-2gen",
+            )
+
+    def test_unknown_platform_names_choices(self):
+        with pytest.raises(ConfigurationError, match="valid choices are"):
+            govern_run(
+                _bench("ep"),
+                2,
+                "static",
+                PowerCap(),
+                platform="bogus",
+            )

@@ -1,0 +1,204 @@
+"""Cross-platform cache-identity isolation (ISSUE satellite).
+
+Two different registered platforms must never share campaign digests,
+disk-cache keys or request digests — a hetero campaign silently served
+from a paper cache entry would corrupt every downstream table.  And
+the *paper* platform's identities must be byte-for-byte what they were
+before the registry refactor, so the seeded caches and the 17 golden
+experiment results stay valid.
+"""
+
+import itertools
+
+import pytest
+
+from repro import runtime
+from repro.pipeline import CampaignRequest
+from repro.platforms import get_platform, platform_names
+from repro.units import mhz
+
+PAPER_FREQS = tuple(mhz(m) for m in (600, 800, 1000, 1200, 1400))
+PAPER_COUNTS = (1, 2, 4, 8, 16)
+
+#: Pre-refactor pins.  These are the exact identities the seed repo
+#: produced for the paper platform; any drift invalidates the on-disk
+#: campaign caches and the golden results.
+PAPER_SPEC_DIGEST = (
+    "a418c1b39472b0251529bc6f776c098c497ace4b886376ed871e0b54a555a51d"
+)
+EP_DES_REQUEST_DIGEST = "f27dbee29cc2e565"
+FT_DES_REQUEST_DIGEST = "aff0163bddce104e"
+EP_DES_CAMPAIGN_DIGEST = (
+    "261706560132587fa24b152be85ea5c9df46af89979d9528b53b1a7d10eba23b"
+)
+
+
+class TestPaperPins:
+    def test_paper_spec_digest_unchanged(self):
+        assert (
+            runtime.spec_digest(get_platform("paper"))
+            == PAPER_SPEC_DIGEST
+        )
+
+    def test_paper_request_digests_unchanged(self):
+        ep = CampaignRequest(
+            "ep", "A", PAPER_COUNTS, PAPER_FREQS, backend="des"
+        )
+        ft = CampaignRequest(
+            "ft", "A", PAPER_COUNTS, PAPER_FREQS, backend="des"
+        )
+        assert ep.digest() == EP_DES_REQUEST_DIGEST
+        assert ft.digest() == FT_DES_REQUEST_DIGEST
+        assert (
+            runtime.campaign_digest(*ep.key()) == EP_DES_CAMPAIGN_DIGEST
+        )
+
+    def test_platform_paper_is_the_default_identity(self):
+        """``platform='paper'`` resolves to spec ``None`` so it hits
+        the very same cache entries as a platform-less request."""
+        plain = CampaignRequest(
+            "ep", "A", PAPER_COUNTS, PAPER_FREQS, backend="des"
+        )
+        named = CampaignRequest(
+            "ep",
+            "A",
+            PAPER_COUNTS,
+            PAPER_FREQS,
+            backend="des",
+            platform="paper",
+        )
+        assert named.spec is None
+        assert named.digest() == plain.digest()
+        assert named.key() == plain.key()
+
+
+class TestCrossPlatformIsolation:
+    @pytest.mark.parametrize(
+        "left,right",
+        list(itertools.combinations(sorted(platform_names()), 2)),
+    )
+    def test_spec_digests_never_collide(self, left, right):
+        assert runtime.spec_digest(
+            get_platform(left)
+        ) != runtime.spec_digest(get_platform(right))
+
+    @pytest.mark.parametrize(
+        "left,right",
+        list(itertools.combinations(sorted(platform_names()), 2)),
+    )
+    def test_request_identities_never_collide(self, left, right):
+        requests = [
+            CampaignRequest(
+                "ep",
+                "A",
+                PAPER_COUNTS,
+                PAPER_FREQS,
+                backend="des",
+                platform=name,
+            )
+            for name in (left, right)
+        ]
+        assert requests[0].digest() != requests[1].digest()
+        assert requests[0].key() != requests[1].key()
+        assert (
+            runtime.campaign_digest(*requests[0].key())
+            != runtime.campaign_digest(*requests[1].key())
+        )
+
+    def test_sized_down_hetero_is_its_own_platform(self):
+        """Truncating a grouped spec changes the generation mix, so
+        the digest must change too (unlike homogeneous node counts,
+        which normalize away)."""
+        hetero = get_platform("hetero-2gen")
+        assert runtime.spec_digest(hetero) != runtime.spec_digest(
+            hetero.with_nodes(8)
+        )
+        paper = get_platform("paper")
+        assert runtime.spec_digest(paper) == runtime.spec_digest(
+            paper.with_nodes(8)
+        )
+
+    def test_disk_cache_entries_do_not_alias(self, tmp_path):
+        """End to end: the same grid measured on two platforms lands
+        in two distinct disk-cache entries, and re-reading each one
+        returns its own platform's numbers."""
+        from repro.experiments.platform import measure_campaign
+        from repro.npb import BENCHMARKS
+
+        runtime.configure(cache_dir=tmp_path, disk_cache=True)
+        try:
+            bench = BENCHMARKS["ep"]()
+            grids = {}
+            for name in ("paper", "hetero-2gen"):
+                grids[name] = measure_campaign(
+                    bench,
+                    (16,),
+                    (mhz(1400),),
+                    spec=(
+                        None
+                        if name == "paper"
+                        else get_platform(name)
+                    ),
+                    backend="analytic",
+                )
+            cell = (16, mhz(1400))
+            # Times coincide by construction (equal work shares mean
+            # the gen0 nodes gate the barrier at the paper time), but
+            # gen1's lower voltages make the energies differ — the
+            # discriminating observable for cache aliasing.
+            assert (
+                grids["paper"].energies[cell]
+                != grids["hetero-2gen"].energies[cell]
+            )
+            # Second read round-trips from cache without mixing.
+            again = measure_campaign(
+                bench,
+                (16,),
+                (mhz(1400),),
+                spec=get_platform("hetero-2gen"),
+                backend="analytic",
+            )
+            assert (
+                again.energies[cell]
+                == grids["hetero-2gen"].energies[cell]
+            )
+        finally:
+            runtime.configure(cache_dir=None, disk_cache=None)
+
+
+class TestRequestPlatformField:
+    def test_platform_and_spec_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            CampaignRequest(
+                "ep",
+                "A",
+                (1,),
+                (mhz(600),),
+                spec=get_platform("paper"),
+                platform="hetero-2gen",
+            )
+
+    def test_unknown_platform_names_choices(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(
+            ConfigurationError, match="valid choices are"
+        ):
+            CampaignRequest(
+                "ep", "A", (1,), (mhz(600),), platform="bogus"
+            )
+
+    def test_non_default_platform_populates_spec(self):
+        request = CampaignRequest(
+            "ep", "A", (1,), (mhz(600),), platform="hetero-2gen"
+        )
+        assert request.platform == "hetero-2gen"
+        assert request.spec == get_platform("hetero-2gen")
+        assert request.as_dict()["platform"] == "hetero-2gen"
+
+    def test_platform_name_normalized(self):
+        request = CampaignRequest(
+            "ep", "A", (1,), (mhz(600),), platform="PAPER"
+        )
+        assert request.platform == "paper"
+        assert request.spec is None

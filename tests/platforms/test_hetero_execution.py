@@ -1,0 +1,105 @@
+"""Heterogeneous campaigns are deterministic on every execution path.
+
+The acceptance bar for the registry refactor: the same hetero grid
+must produce bit-identical results whether cells run serially, on the
+local process pool, or through the fabric (the lease payload pickles
+the full grouped spec, so workers reconstruct the exact platform).
+"""
+
+import base64
+import pickle
+import threading
+import time
+
+from repro import runtime
+from repro.fabric import (
+    FabricCoordinator,
+    install_coordinator,
+    result_checksum,
+)
+from repro.npb import EPBenchmark, ProblemClass
+from repro.platforms import get_platform
+from repro.runtime.runner import _simulate_cell
+
+CELLS = [(1, 600e6), (2, 600e6), (16, 1400e6)]
+
+
+def _bench():
+    return EPBenchmark(ProblemClass.S)
+
+
+def _drive(coordinator, stop):
+    """A worker loop without the HTTP: lease, simulate, complete."""
+    wid = coordinator.register("driver")["worker_id"]
+    while not stop.is_set():
+        doc = coordinator.lease(wid)
+        if doc.get("drain"):
+            return
+        if doc.get("idle"):
+            time.sleep(0.005)
+            continue
+        benchmark, spec = pickle.loads(
+            base64.b64decode(doc["payload"])
+        )
+        results = []
+        for item in doc["cells"]:
+            n, f = int(item["cell"][0]), float(item["cell"][1])
+            time_s, energy_j, wall_s, stats = _simulate_cell(
+                benchmark, n, f, spec, item["attempt"], None
+            )
+            results.append(
+                {
+                    "cell": [n, f],
+                    "attempt": item["attempt"],
+                    "time_s": time_s,
+                    "energy_j": energy_j,
+                    "wall_s": wall_s,
+                    "engine_stats": stats,
+                    "checksum": result_checksum(
+                        n, f, time_s, energy_j
+                    ),
+                }
+            )
+        coordinator.complete(
+            wid, doc["lease_id"], doc["batch_id"], results
+        )
+
+
+def test_hetero_spec_round_trips_through_pickle():
+    spec = get_platform("hetero-2gen")
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    assert runtime.spec_digest(clone) == runtime.spec_digest(spec)
+
+
+def test_hetero_pool_run_bit_identical_to_serial():
+    spec = get_platform("hetero-2gen")
+    serial = runtime.execute_cells(_bench(), CELLS, spec, jobs=1)
+    pooled = runtime.execute_cells(_bench(), CELLS, spec, jobs=2)
+    assert pooled.times == serial.times
+    assert pooled.energies == serial.energies
+
+
+def test_hetero_fleet_run_bit_identical_to_serial():
+    spec = get_platform("hetero-2gen")
+    serial = runtime.execute_cells(_bench(), CELLS, spec, jobs=1)
+    coordinator = FabricCoordinator(
+        lease_ttl_s=2.0, heartbeat_s=0.1, max_lease_cells=2
+    )
+    install_coordinator(coordinator)
+    stop = threading.Event()
+    thread = threading.Thread(
+        target=_drive, args=(coordinator, stop), daemon=True
+    )
+    thread.start()
+    try:
+        execution = runtime.execute_cells(
+            _bench(), CELLS, spec, jobs=1, fabric=True
+        )
+    finally:
+        stop.set()
+        thread.join(timeout=10.0)
+        install_coordinator(None)
+    assert execution.times == serial.times
+    assert execution.energies == serial.energies
+    assert execution.fabric_cells == len(CELLS)
